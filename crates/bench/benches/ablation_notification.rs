@@ -1,0 +1,76 @@
+//! Ablation A3: notification fan-out.
+//!
+//! The paper's notification manager delivers events to registered clients over pluggable
+//! channels and to remote peers over the network (Section 4).  This bench measures the
+//! per-element delivery cost as the number of local subscribers grows, and the additional
+//! cost of remote (serialised) delivery through the simulated network.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsn_core::NotificationManager;
+use gsn_network::SimulatedNetwork;
+use gsn_types::{DataType, NodeId, StreamElement, StreamSchema, Timestamp, Value};
+
+fn element(payload: usize) -> StreamElement {
+    let schema = Arc::new(
+        StreamSchema::from_pairs(&[
+            ("temperature", DataType::Double),
+            ("payload", DataType::Binary),
+        ])
+        .unwrap(),
+    );
+    StreamElement::new(
+        schema,
+        vec![Value::Double(21.5), Value::binary(vec![0u8; payload])],
+        Timestamp(1),
+    )
+    .unwrap()
+}
+
+fn bench_notifications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_notification");
+    group.sample_size(20);
+
+    // Local fan-out: callback subscribers.
+    for &subscribers in &[1usize, 10, 100, 500] {
+        group.bench_with_input(
+            BenchmarkId::new("local_callbacks", subscribers),
+            &subscribers,
+            |b, &subscribers| {
+                let mut nm = NotificationManager::new(NodeId::LOCAL, 16);
+                for _ in 0..subscribers {
+                    nm.subscribe_callback("motes", |_| {});
+                }
+                let e = element(1_024);
+                b.iter(|| nm.notify("motes", &e, Timestamp(1), None));
+            },
+        );
+    }
+
+    // Remote delivery: one subscriber, growing payloads (serialisation dominates).
+    for &payload in &[15usize, 16 * 1024, 75 * 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("remote_payload_bytes", payload),
+            &payload,
+            |b, &payload| {
+                let network = SimulatedNetwork::new();
+                network.add_node(NodeId::new(1)).unwrap();
+                network.add_node(NodeId::new(2)).unwrap();
+                let mut nm = NotificationManager::new(NodeId::new(1), 16);
+                nm.add_remote_subscriber(NodeId::new(2), "motes");
+                let e = element(payload);
+                b.iter(|| {
+                    nm.notify("motes", &e, Timestamp(1), Some(&network));
+                    // Drain so the inbox does not grow across iterations.
+                    network.receive(NodeId::new(2), Timestamp(i64::MAX))
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_notifications);
+criterion_main!(benches);

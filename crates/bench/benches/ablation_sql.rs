@@ -1,0 +1,114 @@
+//! Ablation A2: SQL complexity and the prepared-query cache.
+//!
+//! The paper claims GSN supports "the full range of operations allowed by the standard
+//! syntax" and notes that query-compilation cost grows with the number of clients
+//! (Section 5).  This bench measures (a) query latency as the WHERE clause grows from 1 to
+//! 8 predicates, (b) a join + aggregation query, and (c) the benefit of the prepared-query
+//! cache versus re-compiling per execution.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsn_sql::{MemoryCatalog, Relation, SqlEngine};
+use gsn_storage::{Retention, StorageManager, WindowSpec};
+use gsn_types::{DataType, StreamElement, StreamSchema, Timestamp, Value};
+
+fn build_catalog(rows: usize) -> MemoryCatalog {
+    let storage = StorageManager::new();
+    let schema = Arc::new(
+        StreamSchema::from_pairs(&[
+            ("temperature", DataType::Double),
+            ("light", DataType::Double),
+            ("mote_id", DataType::Integer),
+            ("room", DataType::Varchar),
+        ])
+        .unwrap(),
+    );
+    storage
+        .create_table("motes", Arc::clone(&schema), Retention::Unbounded)
+        .unwrap();
+    for i in 0..rows {
+        let e = StreamElement::new(
+            Arc::clone(&schema),
+            vec![
+                Value::Double(15.0 + (i % 25) as f64),
+                Value::Double(100.0 + (i % 900) as f64),
+                Value::Integer(i as i64 % 22),
+                Value::varchar(format!("bc{}", 140 + i % 8)),
+            ],
+            Timestamp(i as i64 * 10),
+        )
+        .unwrap();
+        storage.insert("motes", e, Timestamp(i as i64 * 10)).unwrap();
+    }
+    storage
+        .windowed_catalog(
+            &[
+                gsn_storage::CatalogView::new("motes", "motes", WindowSpec::Count(rows)),
+                gsn_storage::CatalogView::new("rooms", "motes", WindowSpec::Count(rows / 10)),
+            ],
+            Timestamp(rows as i64 * 10),
+        )
+        .unwrap()
+}
+
+fn predicate_query(count: usize) -> String {
+    let predicates = [
+        "temperature > 16",
+        "temperature < 39",
+        "light > 110",
+        "light < 980",
+        "mote_id > 0",
+        "mote_id < 21",
+        "room like 'bc%'",
+        "temperature between 10 and 45",
+    ];
+    let chosen: Vec<&str> = predicates.iter().take(count).copied().collect();
+    format!("select count(*) from motes where {}", chosen.join(" and "))
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let catalog = build_catalog(5_000);
+    let mut group = c.benchmark_group("ablation_sql");
+    group.sample_size(20);
+
+    // (a) predicate count sweep.
+    for &predicates in &[1usize, 3, 5, 8] {
+        let sql = predicate_query(predicates);
+        group.bench_with_input(
+            BenchmarkId::new("predicates", predicates),
+            &sql,
+            |b, sql| {
+                let mut engine = SqlEngine::new();
+                b.iter(|| -> Relation { engine.execute(sql, &catalog).unwrap() });
+            },
+        );
+    }
+
+    // (b) join + group-by, the shape of the paper's multi-network demo queries.
+    let join_sql = "select m.room, avg(m.temperature), max(r.light) \
+                    from motes m join rooms r on m.room = r.room \
+                    group by m.room order by m.room";
+    group.bench_function("join_group_by", |b| {
+        let mut engine = SqlEngine::new();
+        b.iter(|| engine.execute(join_sql, &catalog).unwrap());
+    });
+
+    // (c) prepared-query cache on vs. off.
+    let cached_sql = predicate_query(3);
+    group.bench_function("prepared_cache_on", |b| {
+        let mut engine = SqlEngine::new();
+        engine.set_cache_enabled(true);
+        b.iter(|| engine.execute(&cached_sql, &catalog).unwrap());
+    });
+    group.bench_function("prepared_cache_off", |b| {
+        let mut engine = SqlEngine::new();
+        engine.set_cache_enabled(false);
+        b.iter(|| engine.execute(&cached_sql, &catalog).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation A1: window type (time vs. count) and window size.
+//!
+//! GSN's processing pipeline re-evaluates the declared window on every trigger
+//! (paper, Section 3).  This bench compares the cost of materialising windowed relations
+//! for count- and time-based windows of increasing size, which is the dominant per-element
+//! cost once payloads are small.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsn_storage::{Retention, StorageManager, WindowSpec};
+use gsn_types::{DataType, Duration, StreamElement, StreamSchema, Timestamp, Value};
+
+fn build_storage(elements: usize) -> (StorageManager, Arc<StreamSchema>) {
+    let storage = StorageManager::new();
+    let schema = Arc::new(
+        StreamSchema::from_pairs(&[
+            ("temperature", DataType::Double),
+            ("mote_id", DataType::Integer),
+        ])
+        .unwrap(),
+    );
+    storage
+        .create_table("motes", Arc::clone(&schema), Retention::Unbounded)
+        .unwrap();
+    for i in 0..elements {
+        let e = StreamElement::new(
+            Arc::clone(&schema),
+            vec![Value::Double(20.0 + (i % 10) as f64), Value::Integer(i as i64 % 22)],
+            Timestamp(i as i64 * 100),
+        )
+        .unwrap();
+        storage.insert("motes", e, Timestamp(i as i64 * 100)).unwrap();
+    }
+    (storage, schema)
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let (storage, _schema) = build_storage(10_000);
+    let now = Timestamp(10_000 * 100);
+    let mut engine = gsn_sql::SqlEngine::new();
+    let sql = "select avg(temperature) from w";
+
+    let mut group = c.benchmark_group("ablation_windows");
+    group.sample_size(20);
+
+    for &size in &[10usize, 100, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("count", size), &size, |b, &size| {
+            b.iter(|| {
+                let catalog = storage
+                    .windowed_catalog(
+                        &[gsn_storage::CatalogView::new("w", "motes", WindowSpec::Count(size))],
+                        now,
+                    )
+                    .unwrap();
+                engine.execute(sql, &catalog).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("time", size), &size, |b, &size| {
+            let window = WindowSpec::Time(Duration::from_millis(size as i64 * 100));
+            b.iter(|| {
+                let catalog = storage
+                    .windowed_catalog(&[gsn_storage::CatalogView::new("w", "motes", window)], now)
+                    .unwrap();
+                engine.execute(sql, &catalog).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_windows);
+criterion_main!(benches);

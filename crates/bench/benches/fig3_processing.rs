@@ -1,0 +1,38 @@
+//! Criterion regression bench for the Figure 3 code path: per-element processing time of
+//! a GSN node under time-triggered load, for a small and a large stream element size.
+//!
+//! The full paper-scale sweep lives in the `fig3_time_triggered_load` binary; this bench
+//! keeps the hot path under continuous measurement with a reduced device population so
+//! that `cargo bench` stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsn_bench::fig3::{run_cell, Fig3Config};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_time_triggered_load");
+    group.sample_size(10);
+
+    for &(interval_ms, element_size, label) in &[
+        (100u64, 15usize, "15B@100ms"),
+        (100, 32 * 1024, "32KB@100ms"),
+        (1000, 32 * 1024, "32KB@1000ms"),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(interval_ms, element_size),
+            |b, &(interval, size)| {
+                b.iter(|| {
+                    let config = Fig3Config {
+                        elements_per_device: 5,
+                        ..Fig3Config::small(interval, size)
+                    };
+                    run_cell(&config)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion regression bench for the Figure 4 code path: evaluating the registered
+//! client-query set when a new stream element arrives, for increasing client counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsn_bench::fig4::{Fig4Config, Fig4Harness};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_query_latency");
+    group.sample_size(10);
+
+    for &clients in &[10usize, 50, 200] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| {
+                let mut harness = Fig4Harness::build(Fig4Config::small(clients)).unwrap();
+                b.iter(|| harness.measure_one_arrival().unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

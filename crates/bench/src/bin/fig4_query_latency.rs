@@ -1,0 +1,76 @@
+//! Reproduces **Figure 4** of the paper: "Query processing latency in a GSN node".
+//!
+//! Registers 0–500 clients, each with a random filtering query (≈3 predicates, history
+//! 1 s–30 min, uniform sampling rate) over a stream with 32 KB elements, and measures the
+//! total time to evaluate the whole client set per arriving element, with bursts injected
+//! at a small probability (the spikes in the paper's figure).
+//!
+//! ```text
+//! cargo run -p gsn-bench --release --bin fig4_query_latency [--quick]
+//! ```
+
+use gsn_bench::fig4::{run_sweep, Fig4Config, PAPER_CLIENT_COUNTS};
+use gsn_bench::{write_report, BenchReport};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let client_counts: Vec<usize> = if quick {
+        vec![0, 50, 200, 500]
+    } else {
+        PAPER_CLIENT_COUNTS.to_vec()
+    };
+
+    eprintln!(
+        "Figure 4 reproduction: SES=32KB, {} client counts ({} mode)",
+        client_counts.len(),
+        if quick { "quick" } else { "paper" }
+    );
+
+    let points = run_sweep(&client_counts, |clients| {
+        if quick {
+            Fig4Config {
+                arrivals: 5,
+                ..Fig4Config::paper(clients)
+            }
+        } else {
+            Fig4Config::paper(clients)
+        }
+    })
+    .expect("figure 4 harness");
+
+    let mut report = BenchReport::new(
+        "fig4_query_latency",
+        "Total processing time (ms) for the set of registered clients per stream element, SES = 32 KB",
+        &["clients", "mean_total_ms", "max_total_ms", "mean_per_client_ms"],
+    );
+
+    println!("\nFigure 4: query processing latency in a GSN node (SES = 32 KB)");
+    println!(
+        "{:>10} {:>18} {:>18} {:>22}",
+        "clients", "mean total (ms)", "max total (ms)", "per client (ms)"
+    );
+    for p in &points {
+        println!(
+            "{:>10} {:>18.3} {:>18.3} {:>22.4}",
+            p.clients, p.mean_total_ms, p.max_total_ms, p.mean_per_client_ms
+        );
+        report.push_row(vec![
+            p.clients as f64,
+            p.mean_total_ms,
+            p.max_total_ms,
+            p.mean_per_client_ms,
+        ]);
+    }
+
+    if let Some(p500) = points.iter().find(|p| p.clients == 500) {
+        println!(
+            "\nAt 500 clients: total {:.2} ms per element, {:.4} ms per client (paper: ~40 ms total, <1 ms per client)",
+            p500.mean_total_ms, p500.mean_per_client_ms
+        );
+    }
+
+    match write_report(&report) {
+        Ok(path) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+}

@@ -1,0 +1,79 @@
+//! Reproduces the paper's qualitative wrapper-effort claim (Section 5): "The effort to
+//! implement wrappers is quite low, i.e., typically around 100-200 lines of Java code.
+//! For example, the TinyOS wrapper required 150 lines of code."
+//!
+//! This binary counts the non-blank, non-comment, non-test lines of every wrapper module
+//! in `gsn-wrappers` and prints them next to the paper's reference numbers so the claim
+//! can be checked against the Rust reproduction.
+//!
+//! ```text
+//! cargo run -p gsn-bench --bin wrapper_loc_report
+//! ```
+
+use std::path::PathBuf;
+
+use gsn_bench::{write_report, BenchReport};
+
+/// Counts implementation lines: skips blanks, `//` comments and everything from the
+/// `#[cfg(test)]` module to the end of the file.
+fn count_impl_lines(source: &str) -> usize {
+    let mut count = 0;
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+fn wrappers_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .join("wrappers")
+        .join("src")
+}
+
+fn main() {
+    let targets = [
+        ("mote.rs", "TinyOS mote (paper: ~150 LoC in Java)"),
+        ("camera.rs", "AXIS-class camera wrapper"),
+        ("rfid.rs", "RFID reader wrapper"),
+        ("generic.rs", "system-time / push / replay / scripted wrappers"),
+    ];
+
+    let mut report = BenchReport::new(
+        "wrapper_loc",
+        "Implementation lines per wrapper module (paper claims 100-200 LoC per wrapper)",
+        &["wrapper_index", "impl_lines"],
+    );
+
+    println!("Wrapper implementation effort (non-comment, non-test lines)\n");
+    println!("{:<14} {:>12}   note", "module", "impl lines");
+    let dir = wrappers_dir();
+    for (i, (file, note)) in targets.iter().enumerate() {
+        let path = dir.join(file);
+        match std::fs::read_to_string(&path) {
+            Ok(source) => {
+                let lines = count_impl_lines(&source);
+                println!("{:<14} {:>12}   {}", file, lines, note);
+                report.push_row(vec![i as f64, lines as f64]);
+            }
+            Err(e) => println!("{:<14} {:>12}   unreadable: {e}", file, "-"),
+        }
+    }
+    println!(
+        "\nPaper reference: wrappers are typically 100-200 lines; the TinyOS wrapper was 150 lines."
+    );
+    println!("Note: generic.rs bundles four wrappers; divide by four for a per-wrapper figure.");
+
+    match write_report(&report) {
+        Ok(path) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+}

@@ -1,0 +1,282 @@
+//! Figure 3 workload: a GSN node under time-triggered load.
+//!
+//! The paper attaches 22 motes and 15 cameras (4 sensor networks) to GSN and sweeps the
+//! device output interval over {10, 25, 50, 100, 250, 500, 1000} ms while measuring the
+//! node's internal per-element processing time, one series per stream element size
+//! (15 B, 50 B, 100 B, 16 KB, 32 KB, 75 KB).
+//!
+//! The reproduction builds the same topology on the simulated substrate: each device is a
+//! virtual sensor whose single stream source produces elements of the requested size at
+//! the requested interval, and the measured quantity is the wall-clock time spent inside
+//! the container's processing pipeline per produced element.
+
+use std::sync::Arc;
+
+use gsn_core::{ContainerConfig, GsnContainer};
+use gsn_types::{DataType, Duration, SimulatedClock};
+use gsn_xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+
+/// The device output intervals of the paper's x-axis, in milliseconds.
+pub const PAPER_INTERVALS_MS: &[u64] = &[10, 25, 50, 100, 250, 500, 1000];
+
+/// The stream element sizes of the paper's series, in bytes.
+pub const PAPER_ELEMENT_SIZES: &[usize] = &[15, 50, 100, 16 * 1024, 32 * 1024, 75 * 1024];
+
+/// Number of simulated motes (paper: 22).
+pub const MOTE_COUNT: usize = 22;
+/// Number of simulated cameras (paper: 15).
+pub const CAMERA_COUNT: usize = 15;
+/// Number of sensor networks the devices are spread over (paper: 4).
+pub const NETWORK_COUNT: usize = 4;
+
+/// Configuration of one Figure 3 measurement cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Config {
+    /// Device output interval in milliseconds.
+    pub interval_ms: u64,
+    /// Stream element payload size in bytes.
+    pub element_size: usize,
+    /// Number of motes to attach.
+    pub motes: usize,
+    /// Number of cameras to attach.
+    pub cameras: usize,
+    /// How many elements (per device) to produce for the measurement.
+    pub elements_per_device: usize,
+}
+
+impl Fig3Config {
+    /// The paper's device population for a given interval/size cell.
+    pub fn paper(interval_ms: u64, element_size: usize) -> Fig3Config {
+        Fig3Config {
+            interval_ms,
+            element_size,
+            motes: MOTE_COUNT,
+            cameras: CAMERA_COUNT,
+            elements_per_device: 50,
+        }
+    }
+
+    /// A scaled-down cell for quick Criterion regression runs.
+    pub fn small(interval_ms: u64, element_size: usize) -> Fig3Config {
+        Fig3Config {
+            interval_ms,
+            element_size,
+            motes: 4,
+            cameras: 2,
+            elements_per_device: 20,
+        }
+    }
+}
+
+/// One measured cell of Figure 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Point {
+    /// Device output interval in milliseconds.
+    pub interval_ms: u64,
+    /// Stream element payload size in bytes.
+    pub element_size: usize,
+    /// Elements processed during the measurement.
+    pub elements: u64,
+    /// Mean in-container processing time per element, in milliseconds.
+    pub mean_processing_ms: f64,
+    /// Total output elements produced by the node.
+    pub outputs: u64,
+}
+
+/// Builds the Figure 3 node: `motes + cameras` virtual sensors spread over
+/// [`NETWORK_COUNT`] logical sensor networks, every device producing elements of
+/// `element_size` bytes every `interval_ms` milliseconds.
+pub fn build_node(config: &Fig3Config) -> (GsnContainer, SimulatedClock) {
+    let clock = SimulatedClock::new();
+    let mut container = GsnContainer::new(
+        ContainerConfig::named(gsn_types::NodeId::LOCAL, "fig3-node"),
+        Arc::new(clock.clone()),
+    );
+    for device in 0..(config.motes + config.cameras) {
+        let is_mote = device < config.motes;
+        let network = device % NETWORK_COUNT;
+        let descriptor = device_descriptor(device, is_mote, network, config);
+        container
+            .deploy(descriptor)
+            .expect("fig3 device deployment");
+    }
+    (container, clock)
+}
+
+fn device_descriptor(
+    device: usize,
+    is_mote: bool,
+    network: usize,
+    config: &Fig3Config,
+) -> VirtualSensorDescriptor {
+    let kind = if is_mote { "mote" } else { "camera" };
+    let name = format!("{kind}-{device}-net{network}");
+    let address = if is_mote {
+        AddressSpec::new("mote")
+            .with_predicate("interval", &config.interval_ms.to_string())
+            .with_predicate("mote-id", &device.to_string())
+            .with_predicate("network", &format!("net-{network}"))
+            .with_predicate("padding", &config.element_size.to_string())
+            .with_predicate("seed", &(device as u64 + 1).to_string())
+    } else {
+        AddressSpec::new("camera")
+            .with_predicate("interval", &config.interval_ms.to_string())
+            .with_predicate("camera-id", &format!("cam-{device}"))
+            .with_predicate("location", &format!("net-{network}"))
+            .with_predicate("image-size", &config.element_size.to_string())
+            .with_predicate("seed", &(device as u64 + 1).to_string())
+    };
+    // The per-device virtual sensor forwards the latest reading (including the payload),
+    // which is the paper's configuration for the load test: the node ingests, stores and
+    // republishes every element.
+    let (source_query, output_field, field_type) = if is_mote {
+        (
+            "select temperature, padding from WRAPPER",
+            "temperature",
+            DataType::Double,
+        )
+    } else {
+        (
+            "select frame_number, image from WRAPPER",
+            "frame_number",
+            DataType::Integer,
+        )
+    };
+    let mut builder = VirtualSensorDescriptor::builder(&name)
+        .unwrap()
+        .metadata("network", &format!("net-{network}"))
+        .metadata("type", kind)
+        .output_field(output_field, field_type)
+        .unwrap();
+    builder = builder
+        .output_field("payload", DataType::Binary)
+        .unwrap()
+        .output_history(gsn_storage::WindowSpec::Count(4));
+    builder
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src").with_source(
+                StreamSourceSpec::new("src", address, source_query)
+                    .with_window(gsn_storage::WindowSpec::Count(2)),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+/// Runs one Figure 3 cell and returns its measurement.
+pub fn run_cell(config: &Fig3Config) -> Fig3Point {
+    let (mut container, clock) = build_node(config);
+    // Warm-up: one interval so prepared queries and tables are hot.
+    clock.advance(Duration::from_millis(config.interval_ms as i64));
+    container.step();
+
+    let ticks = config.elements_per_device as u64;
+    let mut processing_micros = 0u64;
+    let mut arrivals = 0u64;
+    let mut outputs = 0u64;
+    for _ in 0..ticks {
+        clock.advance(Duration::from_millis(config.interval_ms as i64));
+        let report = container.step();
+        processing_micros += report.processing_micros;
+        arrivals += report.local_arrivals;
+        outputs += report.outputs;
+    }
+    Fig3Point {
+        interval_ms: config.interval_ms,
+        element_size: config.element_size,
+        elements: arrivals,
+        mean_processing_ms: if arrivals == 0 {
+            0.0
+        } else {
+            processing_micros as f64 / arrivals as f64 / 1_000.0
+        },
+        outputs,
+    }
+}
+
+/// Runs the full Figure 3 sweep (all series over all intervals).
+pub fn run_sweep(
+    intervals: &[u64],
+    sizes: &[usize],
+    scale: impl Fn(u64, usize) -> Fig3Config,
+) -> Vec<Fig3Point> {
+    let mut points = Vec::new();
+    for &size in sizes {
+        for &interval in intervals {
+            points.push(run_cell(&scale(interval, size)));
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_node_deploys_all_devices() {
+        let config = Fig3Config {
+            interval_ms: 100,
+            element_size: 64,
+            motes: 3,
+            cameras: 2,
+            elements_per_device: 5,
+        };
+        let (container, _clock) = build_node(&config);
+        assert_eq!(container.sensor_names().len(), 5);
+    }
+
+    #[test]
+    fn run_cell_produces_elements_of_the_requested_size() {
+        let config = Fig3Config {
+            interval_ms: 50,
+            element_size: 1_024,
+            motes: 2,
+            cameras: 1,
+            elements_per_device: 10,
+        };
+        let point = run_cell(&config);
+        assert_eq!(point.interval_ms, 50);
+        assert_eq!(point.element_size, 1_024);
+        // 3 devices x 10 intervals of data.
+        assert_eq!(point.elements, 30);
+        assert_eq!(point.outputs, 30);
+        assert!(point.mean_processing_ms > 0.0);
+    }
+
+    #[test]
+    fn larger_elements_cost_at_least_as_much() {
+        let small = run_cell(&Fig3Config {
+            interval_ms: 100,
+            element_size: 15,
+            motes: 2,
+            cameras: 1,
+            elements_per_device: 30,
+        });
+        let large = run_cell(&Fig3Config {
+            interval_ms: 100,
+            element_size: 75 * 1024,
+            motes: 2,
+            cameras: 1,
+            elements_per_device: 30,
+        });
+        assert!(
+            large.mean_processing_ms >= small.mean_processing_ms * 0.8,
+            "75KB elements ({:.4} ms) should not be cheaper than 15B elements ({:.4} ms)",
+            large.mean_processing_ms,
+            small.mean_processing_ms
+        );
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let points = run_sweep(&[50, 100], &[15, 1_024], |i, s| Fig3Config {
+            interval_ms: i,
+            element_size: s,
+            motes: 1,
+            cameras: 1,
+            elements_per_device: 3,
+        });
+        assert_eq!(points.len(), 4);
+    }
+}

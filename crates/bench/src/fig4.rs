@@ -1,0 +1,368 @@
+//! Figure 4 workload: query processing latency versus the number of registered clients.
+//!
+//! Paper setup (Section 5): a single GSN node with a stream element size (SES) of 32 KB;
+//! 0–500 clients each register a random query with on average 3 filtering predicates in
+//! the WHERE clause, a random history size between 1 second and 30 minutes, uniformly
+//! distributed sampling rates, and bursts injected with a small probability.  The reported
+//! metric is the *total* processing time for evaluating the whole set of client queries
+//! when a new stream element arrives (the spikes in the figure are the bursts).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gsn_core::QueryManager;
+use gsn_storage::{Retention, StorageManager, WindowSpec};
+use gsn_types::{DataType, Duration, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's stream element size: 32 KB.
+pub const PAPER_SES_BYTES: usize = 32 * 1024;
+/// The client counts of the paper's x-axis.
+pub const PAPER_CLIENT_COUNTS: &[usize] = &[0, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500];
+/// Probability that an arriving element is a burst (several elements at once).
+pub const BURST_PROBABILITY: f64 = 0.05;
+/// Number of elements in a burst.
+pub const BURST_SIZE: usize = 5;
+
+/// Configuration of one Figure 4 measurement cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Config {
+    /// Number of registered client queries.
+    pub clients: usize,
+    /// Stream element size in bytes.
+    pub element_size: usize,
+    /// How many stream-element arrivals to measure over.
+    pub arrivals: usize,
+    /// Probability that an arrival is a burst.
+    pub burst_probability: f64,
+    /// Whether the prepared-query cache is enabled (the paper's MySQL backend re-compiles
+    /// per execution; toggling this is the corresponding ablation).
+    pub query_cache: bool,
+    /// RNG seed for the random query generator.
+    pub seed: u64,
+}
+
+impl Fig4Config {
+    /// The paper's configuration for a given client count.
+    pub fn paper(clients: usize) -> Fig4Config {
+        Fig4Config {
+            clients,
+            element_size: PAPER_SES_BYTES,
+            arrivals: 20,
+            burst_probability: BURST_PROBABILITY,
+            query_cache: true,
+            seed: 42,
+        }
+    }
+
+    /// A scaled-down configuration for Criterion regression runs.
+    pub fn small(clients: usize) -> Fig4Config {
+        Fig4Config {
+            clients,
+            element_size: 4 * 1024,
+            arrivals: 5,
+            burst_probability: 0.0,
+            query_cache: true,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured point of Figure 4.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Point {
+    /// Number of registered clients.
+    pub clients: usize,
+    /// Mean total processing time for the client set per arrival, in milliseconds.
+    pub mean_total_ms: f64,
+    /// Maximum observed total processing time (captures burst spikes), in milliseconds.
+    pub max_total_ms: f64,
+    /// Mean per-client processing time, in milliseconds.
+    pub mean_per_client_ms: f64,
+    /// Number of arrivals measured.
+    pub arrivals: usize,
+}
+
+/// The fields the Figure 4 stream exposes to the random queries.
+pub fn stream_schema() -> Arc<StreamSchema> {
+    Arc::new(
+        StreamSchema::from_pairs(&[
+            ("temperature", DataType::Double),
+            ("light", DataType::Double),
+            ("mote_id", DataType::Integer),
+            ("room", DataType::Varchar),
+            ("payload", DataType::Binary),
+        ])
+        .unwrap(),
+    )
+}
+
+/// Generates one random client query in the style of the paper's workload: on average
+/// three filtering predicates, over the `sensor_stream` output table.
+pub fn random_client_query(rng: &mut StdRng) -> String {
+    let predicates = [
+        "temperature > 15",
+        "temperature < 35",
+        "light > 100",
+        "light < 900",
+        "mote_id > 2",
+        "mote_id < 20",
+        "room like 'bc%'",
+        "temperature between 10 and 40",
+        "mote_id in (1, 2, 3, 4, 5, 6, 7, 8)",
+        "light is not null",
+    ];
+    // 2..=4 predicates, i.e. 3 on average.
+    let count = rng.gen_range(2..=4usize);
+    let mut chosen = Vec::with_capacity(count);
+    while chosen.len() < count {
+        let p = predicates[rng.gen_range(0..predicates.len())];
+        if !chosen.contains(&p) {
+            chosen.push(p);
+        }
+    }
+    let aggregate = match rng.gen_range(0..4) {
+        0 => "avg(temperature) as v",
+        1 => "count(*) as v",
+        2 => "max(light) as v",
+        _ => "min(temperature) as v",
+    };
+    format!(
+        "select {aggregate} from sensor_stream where {}",
+        chosen.join(" and ")
+    )
+}
+
+/// A random history window between 1 second and 30 minutes (paper's range).
+pub fn random_history(rng: &mut StdRng) -> WindowSpec {
+    WindowSpec::Time(Duration::from_secs(rng.gen_range(1..=1800)))
+}
+
+/// A uniformly distributed sampling rate in `(0.1, 1.0]`.
+pub fn random_sampling_rate(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.1..=1.0)
+}
+
+/// The built Figure 4 harness: storage with the 32 KB stream, a query manager with N
+/// registered random clients, and an element generator.
+pub struct Fig4Harness {
+    /// The storage manager holding the `sensor_stream` output table.
+    pub storage: StorageManager,
+    /// The query manager with the registered client queries.
+    pub query_manager: QueryManager,
+    config: Fig4Config,
+    schema: Arc<StreamSchema>,
+    rng: StdRng,
+    next_ts: i64,
+}
+
+impl Fig4Harness {
+    /// Builds the harness: creates the stream table, fills a seed history, and registers
+    /// the client queries.
+    pub fn build(config: Fig4Config) -> GsnResult<Fig4Harness> {
+        let storage = StorageManager::new();
+        let schema = stream_schema();
+        storage.create_table("sensor_stream", Arc::clone(&schema), Retention::Unbounded)?;
+        let mut query_manager = QueryManager::new(config.query_cache);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut harness = Fig4Harness {
+            storage,
+            query_manager,
+            schema,
+            rng,
+            next_ts: 0,
+            config,
+        };
+        // Seed 30 minutes of history at one element per second so that every random
+        // history window (1 s – 30 min) selects data.
+        for _ in 0..180 {
+            harness.next_ts += 10_000;
+            let e = harness.make_element(harness.next_ts);
+            harness
+                .storage
+                .insert("sensor_stream", e, Timestamp(harness.next_ts))?;
+        }
+
+        rng = StdRng::seed_from_u64(harness.config.seed.wrapping_mul(31).wrapping_add(7));
+        query_manager = QueryManager::new(harness.config.query_cache);
+        for i in 0..harness.config.clients {
+            let sql = random_client_query(&mut rng);
+            let history = random_history(&mut rng);
+            let sampling = random_sampling_rate(&mut rng);
+            query_manager.register(&format!("client-{i}"), &sql, history, Some(sampling))?;
+        }
+        harness.query_manager = query_manager;
+        harness.rng = rng;
+        Ok(harness)
+    }
+
+    fn make_element(&mut self, ts: i64) -> StreamElement {
+        let payload_size = self.config.element_size;
+        let temperature = 15.0 + (ts % 2_000) as f64 / 100.0;
+        let light = 100.0 + (ts % 8_000) as f64 / 10.0;
+        StreamElement::new(
+            Arc::clone(&self.schema),
+            vec![
+                Value::Double(temperature),
+                Value::Double(light),
+                Value::Integer((ts / 1000) % 22),
+                Value::varchar(format!("bc{}", 140 + (ts / 1000) % 8)),
+                Value::binary(vec![0x5Au8; payload_size]),
+            ],
+            Timestamp(ts),
+        )
+        .expect("schema-conformant element")
+    }
+
+    /// Injects one arrival (possibly a burst) and measures the total time to evaluate the
+    /// whole registered-client set.  Returns `(total milliseconds, elements injected)`.
+    pub fn measure_one_arrival(&mut self) -> GsnResult<(f64, usize)> {
+        let burst = self.rng.gen_bool(self.config.burst_probability);
+        let count = if burst { BURST_SIZE } else { 1 };
+        let mut total_ms = 0.0;
+        for _ in 0..count {
+            self.next_ts += 1_000;
+            let ts = Timestamp(self.next_ts);
+            let element = self.make_element(self.next_ts);
+            self.storage.insert("sensor_stream", element, ts)?;
+            let started = Instant::now();
+            let results = self
+                .query_manager
+                .evaluate_for_table("sensor_stream", &self.storage, ts);
+            total_ms += started.elapsed().as_secs_f64() * 1_000.0;
+            // The result count equals the registered client count (every query evaluates).
+            debug_assert_eq!(results.len(), self.config.clients);
+        }
+        Ok((total_ms, count))
+    }
+
+    /// Runs the configured number of arrivals and summarises the cell.
+    pub fn run(&mut self) -> GsnResult<Fig4Point> {
+        let mut totals = Vec::with_capacity(self.config.arrivals);
+        for _ in 0..self.config.arrivals {
+            let (total_ms, _) = self.measure_one_arrival()?;
+            totals.push(total_ms);
+        }
+        let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
+        let max = totals.iter().cloned().fold(0.0f64, f64::max);
+        Ok(Fig4Point {
+            clients: self.config.clients,
+            mean_total_ms: mean,
+            max_total_ms: max,
+            mean_per_client_ms: if self.config.clients == 0 {
+                0.0
+            } else {
+                mean / self.config.clients as f64
+            },
+            arrivals: self.config.arrivals,
+        })
+    }
+}
+
+/// Runs the full Figure 4 sweep over the given client counts.
+pub fn run_sweep(
+    client_counts: &[usize],
+    make_config: impl Fn(usize) -> Fig4Config,
+) -> GsnResult<Vec<Fig4Point>> {
+    let mut points = Vec::new();
+    for &clients in client_counts {
+        let mut harness = Fig4Harness::build(make_config(clients))?;
+        points.push(harness.run()?);
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_queries_parse_and_have_predicates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let sql = random_client_query(&mut rng);
+            let parsed = gsn_sql::parse_query(&sql).unwrap();
+            assert!(parsed.body.selection.is_some(), "{sql}");
+            assert!(sql.contains("sensor_stream"));
+        }
+    }
+
+    #[test]
+    fn random_history_and_sampling_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            match random_history(&mut rng) {
+                WindowSpec::Time(d) => {
+                    assert!(d.as_millis() >= 1_000 && d.as_millis() <= 1_800_000)
+                }
+                other => panic!("unexpected window {other:?}"),
+            }
+            let rate = random_sampling_rate(&mut rng);
+            assert!((0.1..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn harness_measures_clients() {
+        let mut harness = Fig4Harness::build(Fig4Config {
+            clients: 10,
+            element_size: 1_024,
+            arrivals: 3,
+            burst_probability: 0.0,
+            query_cache: true,
+            seed: 7,
+        })
+        .unwrap();
+        let point = harness.run().unwrap();
+        assert_eq!(point.clients, 10);
+        assert_eq!(point.arrivals, 3);
+        assert!(point.mean_total_ms > 0.0);
+        assert!(point.max_total_ms >= point.mean_total_ms);
+        assert!(point.mean_per_client_ms > 0.0);
+    }
+
+    #[test]
+    fn zero_clients_cost_nearly_nothing() {
+        let mut harness = Fig4Harness::build(Fig4Config {
+            clients: 0,
+            element_size: 1_024,
+            arrivals: 3,
+            burst_probability: 0.0,
+            query_cache: true,
+            seed: 7,
+        })
+        .unwrap();
+        let point = harness.run().unwrap();
+        assert_eq!(point.mean_per_client_ms, 0.0);
+        assert!(point.mean_total_ms < 5.0);
+    }
+
+    #[test]
+    fn more_clients_cost_more() {
+        let few = run_sweep(&[5], Fig4Config::small).unwrap()[0];
+        let many = run_sweep(&[100], Fig4Config::small).unwrap()[0];
+        assert!(
+            many.mean_total_ms > few.mean_total_ms,
+            "100 clients ({:.3} ms) should cost more than 5 ({:.3} ms)",
+            many.mean_total_ms,
+            few.mean_total_ms
+        );
+    }
+
+    #[test]
+    fn bursts_raise_the_maximum() {
+        let mut harness = Fig4Harness::build(Fig4Config {
+            clients: 20,
+            element_size: 1_024,
+            arrivals: 30,
+            burst_probability: 0.5,
+            query_cache: true,
+            seed: 3,
+        })
+        .unwrap();
+        let point = harness.run().unwrap();
+        assert!(point.max_total_ms > point.mean_total_ms);
+    }
+}

@@ -1,0 +1,27 @@
+//! # gsn-bench
+//!
+//! Workload builders and measurement harnesses reproducing the evaluation of
+//! "A Middleware for Fast and Flexible Sensor Network Deployment" (VLDB 2006).
+//!
+//! The paper's evaluation has two result figures:
+//!
+//! * **Figure 3** — internal processing time of a GSN node under time-triggered load,
+//!   as a function of the device output interval (10–1000 ms), one series per stream
+//!   element size (15 B … 75 KB), with 22 motes and 15 cameras in 4 sensor networks.
+//! * **Figure 4** — total query processing time for a set of 0–500 registered clients
+//!   issuing random filtering queries (≈3 predicates, history 1 s–30 min, uniform
+//!   sampling rates, occasional bursts) over a stream with 32 KB elements.
+//!
+//! [`fig3`] and [`fig4`] build exactly those workloads on the simulated substrate;
+//! the `fig3_time_triggered_load` / `fig4_query_latency` binaries print the paper-style
+//! series and write machine-readable JSON next to them, and the Criterion benches keep a
+//! per-commit regression check on the same code paths.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fig3;
+pub mod fig4;
+pub mod report;
+
+pub use report::{write_report, BenchReport};

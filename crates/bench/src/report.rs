@@ -1,0 +1,158 @@
+//! Result reporting: paper-style text tables plus machine-readable JSON files.
+//!
+//! Every harness binary prints the rows/series the paper reports and also writes a JSON
+//! file under `target/bench-reports/` so that EXPERIMENTS.md can be regenerated and the
+//! series can be plotted externally.
+
+use std::fs;
+use std::path::PathBuf;
+
+use gsn_types::json::Json;
+
+/// A named benchmark report (one per reproduced figure).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The experiment id, e.g. `fig3`.
+    pub id: String,
+    /// A one-line description.
+    pub description: String,
+    /// The column names of the data rows.
+    pub columns: Vec<String>,
+    /// The data rows.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, description: &str, columns: &[&str]) -> BenchReport {
+        BenchReport {
+            id: id.to_owned(),
+            description: description.to_owned(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "report row arity mismatch for {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders a fixed-width text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.id, self.description));
+        out.push_str(&self.columns.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| {
+                    if v.fract() == 0.0 && v.abs() < 1e12 {
+                        format!("{}", *v as i64)
+                    } else {
+                        format!("{v:.4}")
+                    }
+                })
+                .collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Converts to a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id", Json::string(self.id.clone())),
+            ("description", Json::string(self.description.clone())),
+            (
+                "columns",
+                Json::array(self.columns.iter().map(|c| Json::string(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::array(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::array(r.iter().map(|v| Json::number(*v)).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Writes a report to `target/bench-reports/<id>.json`, returning the path.
+pub fn write_report(report: &BenchReport) -> std::io::Result<PathBuf> {
+    let dir = report_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.json", report.id));
+    fs::write(&path, report.to_json().to_pretty_string())?;
+    Ok(path)
+}
+
+/// The directory reports are written to.
+pub fn report_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/bench; reports live in the workspace target directory.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|workspace| workspace.join("target").join("bench-reports"))
+        .unwrap_or_else(|| PathBuf::from("target/bench-reports"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new(
+            "fig_test",
+            "unit-test report",
+            &["interval_ms", "processing_ms"],
+        );
+        r.push_row(vec![10.0, 2.5]);
+        r.push_row(vec![1000.0, 0.75]);
+        r
+    }
+
+    #[test]
+    fn table_rendering() {
+        let text = sample().render_table();
+        assert!(text.contains("fig_test"));
+        assert!(text.contains("interval_ms\tprocessing_ms"));
+        assert!(text.contains("10\t2.5000"));
+        assert!(text.contains("1000\t0.7500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = BenchReport::new("x", "y", &["a", "b"]);
+        r.push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn json_round_trip_shape() {
+        let json = sample().to_json().to_compact_string();
+        assert!(json.contains("\"id\":\"fig_test\""));
+        assert!(json.contains("\"rows\":[[10,2.5],[1000,0.75]]"));
+    }
+
+    #[test]
+    fn write_report_creates_the_file() {
+        let path = write_report(&sample()).unwrap();
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("unit-test report"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,92 @@
+//! Container configuration.
+//!
+//! GSN aims at a "light-weight implementation (small memory foot-print, low hardware and
+//! bandwidth requirements)" (paper, Section 1): a container is configured with a handful
+//! of knobs rather than a heavyweight deployment descriptor of its own.
+
+use std::sync::Arc;
+
+use gsn_types::{Clock, NodeId, SystemClock};
+
+/// Configuration of one GSN container.
+#[derive(Debug, Clone)]
+pub struct ContainerConfig {
+    /// The node identity used in the peer-to-peer overlay.
+    pub node_id: NodeId,
+    /// Human-readable container name (used in status reports and directory metadata).
+    pub name: String,
+    /// Default worker pool size for virtual sensors whose descriptor omits
+    /// `<life-cycle pool-size="...">`.
+    pub default_pool_size: usize,
+    /// Maximum number of virtual sensors this container will host (resource guard).
+    pub max_virtual_sensors: usize,
+    /// Capacity of the per-remote-subscriber disconnect buffer: how many output elements
+    /// are retained for a subscriber that is temporarily unreachable.
+    pub disconnect_buffer_capacity: usize,
+    /// Whether queries submitted by clients are cached as prepared plans.
+    pub query_cache_enabled: bool,
+}
+
+impl Default for ContainerConfig {
+    fn default() -> Self {
+        ContainerConfig {
+            node_id: NodeId::LOCAL,
+            name: "gsn-node".to_owned(),
+            default_pool_size: 1,
+            max_virtual_sensors: 1_024,
+            disconnect_buffer_capacity: 64,
+            query_cache_enabled: true,
+        }
+    }
+}
+
+impl ContainerConfig {
+    /// A configuration for a named node.
+    pub fn named(node_id: NodeId, name: &str) -> ContainerConfig {
+        ContainerConfig {
+            node_id,
+            name: name.to_owned(),
+            ..Default::default()
+        }
+    }
+}
+
+/// The clock a container runs on: wall-clock for live deployments, simulated for tests
+/// and benchmark harnesses.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The default wall clock.
+pub fn system_clock() -> SharedClock {
+    Arc::new(SystemClock::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::SimulatedClock;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = ContainerConfig::default();
+        assert_eq!(c.node_id, NodeId::LOCAL);
+        assert_eq!(c.default_pool_size, 1);
+        assert!(c.max_virtual_sensors >= 1);
+        assert!(c.query_cache_enabled);
+        assert!(c.disconnect_buffer_capacity > 0);
+    }
+
+    #[test]
+    fn named_sets_identity() {
+        let c = ContainerConfig::named(NodeId::new(7), "camera-node");
+        assert_eq!(c.node_id, NodeId::new(7));
+        assert_eq!(c.name, "camera-node");
+    }
+
+    #[test]
+    fn clocks_are_pluggable() {
+        let wall = system_clock();
+        assert!(wall.now().as_millis() > 0);
+        let sim: SharedClock = Arc::new(SimulatedClock::new());
+        assert_eq!(sim.now(), gsn_types::Timestamp::EPOCH);
+    }
+}

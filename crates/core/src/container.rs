@@ -1,0 +1,953 @@
+//! The GSN container: the runtime hosting a pool of virtual sensors on one node.
+//!
+//! "GSN follows a container-based architecture and each container can host and manage one
+//! or more virtual sensors concurrently.  The container manages every aspect of the
+//! virtual sensors at runtime including remote access, interaction with the sensor
+//! network, security, persistence, data filtering, concurrency, and access to and pooling
+//! of resources" (paper, Section 4).
+//!
+//! The container is clock-driven: [`GsnContainer::step`] advances every hosted virtual
+//! sensor by polling its wrappers, draining network deliveries, running the processing
+//! pipeline for each arrival, evaluating registered client queries and delivering
+//! notifications.  Live deployments call `step` from a timer loop on the wall clock;
+//! tests and benchmark harnesses drive it from a [`gsn_types::SimulatedClock`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use gsn_network::{
+    AccessController, Directory, IntegrityService, Message, Operation, Principal,
+    SimulatedNetwork,
+};
+use gsn_sql::Relation;
+use gsn_storage::{StorageManager, StorageStats, WindowSpec};
+use gsn_types::{
+    Clock, GsnError, GsnResult, NodeId, StreamElement, Timestamp, VirtualSensorName,
+};
+use gsn_wrappers::WrapperRegistry;
+use gsn_xml::VirtualSensorDescriptor;
+
+use crate::config::ContainerConfig;
+use crate::notification::{Notification, NotificationManager, NotificationStats, SubscriptionId};
+use crate::query::{ClientQueryId, ClientQueryResult, QueryManager, QueryManagerStats};
+use crate::sensor::{SensorStats, SourceRef, VirtualSensor};
+
+/// What one call to [`GsnContainer::step`] did — the per-tick telemetry the benchmark
+/// harnesses aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Stream elements that arrived from local wrappers.
+    pub local_arrivals: u64,
+    /// Stream elements that arrived from remote deliveries.
+    pub remote_arrivals: u64,
+    /// Output stream elements produced by virtual sensors.
+    pub outputs: u64,
+    /// Registered client-query evaluations performed.
+    pub client_query_evaluations: u64,
+    /// Pipeline errors.
+    pub errors: u64,
+    /// Total wall-clock time spent inside sensor pipelines during this step, microseconds.
+    pub processing_micros: u64,
+}
+
+impl StepReport {
+    fn absorb(&mut self, other: StepReport) {
+        self.local_arrivals += other.local_arrivals;
+        self.remote_arrivals += other.remote_arrivals;
+        self.outputs += other.outputs;
+        self.client_query_evaluations += other.client_query_evaluations;
+        self.errors += other.errors;
+        self.processing_micros += other.processing_micros;
+    }
+}
+
+/// A point-in-time status snapshot of the container (the programmatic equivalent of the
+/// paper's monitoring web interface).
+#[derive(Debug, Clone)]
+pub struct ContainerStatus {
+    /// The container name.
+    pub name: String,
+    /// The node identity.
+    pub node: NodeId,
+    /// Per-sensor statistics.
+    pub sensors: Vec<(String, SensorStats)>,
+    /// Storage statistics.
+    pub storage: StorageStats,
+    /// Notification statistics.
+    pub notifications: NotificationStats,
+    /// Query manager statistics.
+    pub queries: QueryManagerStats,
+    /// Number of registered client queries.
+    pub registered_queries: usize,
+    /// Wrapper kinds available on this container.
+    pub wrapper_kinds: Vec<String>,
+}
+
+impl ContainerStatus {
+    /// Renders the status as a human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("GSN container `{}` on {}\n", self.name, self.node));
+        out.push_str(&format!(
+            "  wrappers: {}\n  storage: {}\n",
+            self.wrapper_kinds.join(", "),
+            self.storage
+        ));
+        out.push_str(&format!(
+            "  registered client queries: {} (evaluated {}, failed {})\n",
+            self.registered_queries, self.queries.registered_evaluated, self.queries.registered_failed
+        ));
+        out.push_str(&format!(
+            "  notifications: local {} delivered, remote {} delivered / {} buffered / {} dropped\n",
+            self.notifications.local_delivered,
+            self.notifications.remote_delivered,
+            self.notifications.remote_buffered,
+            self.notifications.remote_dropped
+        ));
+        out.push_str(&format!("  virtual sensors ({}):\n", self.sensors.len()));
+        for (name, stats) in &self.sensors {
+            out.push_str(&format!(
+                "    {name}: {} arrivals, {} outputs, {} errors, mean pipeline {:.3} ms\n",
+                stats.arrivals,
+                stats.outputs,
+                stats.errors,
+                stats.mean_processing_ms()
+            ));
+        }
+        out
+    }
+}
+
+/// The GSN container.
+pub struct GsnContainer {
+    config: ContainerConfig,
+    clock: Arc<dyn Clock>,
+    registry: Arc<WrapperRegistry>,
+    storage: Arc<StorageManager>,
+    sensors: BTreeMap<VirtualSensorName, VirtualSensor>,
+    query_manager: QueryManager,
+    notifications: NotificationManager,
+    access: AccessController,
+    integrity: IntegrityService,
+    network: Option<Arc<SimulatedNetwork>>,
+    directory: Option<Arc<Directory>>,
+    /// Routes incoming remote deliveries: remote sensor name -> local consumers.
+    remote_routes: HashMap<String, Vec<(VirtualSensorName, SourceRef)>>,
+    /// Remote subscriptions this container has requested but not yet seen acknowledged.
+    /// Un-acked subscriptions are re-sent on every step so that a lost Subscribe message
+    /// (lossy link, partition during deployment) does not silence the source forever.
+    pending_subscriptions: Vec<PendingSubscription>,
+    next_request_id: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingSubscription {
+    producer: NodeId,
+    sensor: String,
+    request: u64,
+    acked: bool,
+    refused: bool,
+}
+
+impl std::fmt::Debug for GsnContainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GsnContainer({}, {} sensors)",
+            self.config.name,
+            self.sensors.len()
+        )
+    }
+}
+
+impl GsnContainer {
+    /// Creates a standalone container (no peer-to-peer networking) on the given clock.
+    pub fn new(config: ContainerConfig, clock: Arc<dyn Clock>) -> GsnContainer {
+        Self::build(config, clock, None, None)
+    }
+
+    /// Creates a container attached to a simulated network and shared directory.
+    pub fn with_network(
+        config: ContainerConfig,
+        clock: Arc<dyn Clock>,
+        network: Arc<SimulatedNetwork>,
+        directory: Arc<Directory>,
+    ) -> GsnResult<GsnContainer> {
+        network.add_node(config.node_id)?;
+        Ok(Self::build(config, clock, Some(network), Some(directory)))
+    }
+
+    fn build(
+        config: ContainerConfig,
+        clock: Arc<dyn Clock>,
+        network: Option<Arc<SimulatedNetwork>>,
+        directory: Option<Arc<Directory>>,
+    ) -> GsnContainer {
+        GsnContainer {
+            notifications: NotificationManager::new(config.node_id, config.disconnect_buffer_capacity),
+            query_manager: QueryManager::new(config.query_cache_enabled),
+            registry: Arc::new(WrapperRegistry::with_builtins()),
+            storage: Arc::new(StorageManager::new()),
+            sensors: BTreeMap::new(),
+            access: AccessController::permissive(),
+            integrity: IntegrityService::new(),
+            remote_routes: HashMap::new(),
+            pending_subscriptions: Vec::new(),
+            next_request_id: 1,
+            clock,
+            network,
+            directory,
+            config,
+        }
+    }
+
+    /// The container configuration.
+    pub fn config(&self) -> &ContainerConfig {
+        &self.config
+    }
+
+    /// The node identity.
+    pub fn node_id(&self) -> NodeId {
+        self.config.node_id
+    }
+
+    /// The container clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The wrapper registry (register additional platforms here before deploying).
+    pub fn wrapper_registry(&self) -> &Arc<WrapperRegistry> {
+        &self.registry
+    }
+
+    /// The storage manager (read-only access for inspection; the container owns writes).
+    pub fn storage(&self) -> &Arc<StorageManager> {
+        &self.storage
+    }
+
+    /// The access-control layer.
+    pub fn access_control(&self) -> &AccessController {
+        &self.access
+    }
+
+    /// The data-integrity service.
+    pub fn integrity(&self) -> &IntegrityService {
+        &self.integrity
+    }
+
+    /// The names of all deployed virtual sensors, sorted.
+    pub fn sensor_names(&self) -> Vec<String> {
+        self.sensors.keys().map(|n| n.as_str().to_owned()).collect()
+    }
+
+    /// Per-sensor processing statistics.
+    pub fn sensor_stats(&self, name: &str) -> GsnResult<SensorStats> {
+        let key = VirtualSensorName::new(name)?;
+        self.sensors
+            .get(&key)
+            .map(|s| s.stats())
+            .ok_or_else(|| GsnError::not_found(format!("virtual sensor `{name}` is not deployed")))
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Deployment
+    // -----------------------------------------------------------------------------------
+
+    /// Deploys a virtual sensor from its XML descriptor text.
+    pub fn deploy_xml(&mut self, xml: &str) -> GsnResult<VirtualSensorName> {
+        let descriptor = VirtualSensorDescriptor::parse(xml)?;
+        self.deploy(descriptor)
+    }
+
+    /// Deploys a virtual sensor from a parsed descriptor.
+    ///
+    /// Deployment publishes the sensor's metadata to the directory (when networked) and,
+    /// for every `wrapper="remote"` stream source, resolves the predicates through the
+    /// directory and subscribes to the producing node.
+    pub fn deploy(&mut self, descriptor: VirtualSensorDescriptor) -> GsnResult<VirtualSensorName> {
+        if self.sensors.len() >= self.config.max_virtual_sensors {
+            return Err(GsnError::resource_exhausted(format!(
+                "container `{}` already hosts {} virtual sensors",
+                self.config.name, self.sensors.len()
+            )));
+        }
+        let name = descriptor.name.clone();
+        if self.sensors.contains_key(&name) {
+            return Err(GsnError::already_exists(format!(
+                "virtual sensor `{name}` is already deployed"
+            )));
+        }
+
+        let directory = self.directory.clone();
+        let node_id = self.config.node_id;
+        let deployed_at = self.clock.now();
+        let sensor = VirtualSensor::deploy(
+            descriptor,
+            &self.registry,
+            &self.storage,
+            |address| match &directory {
+                Some(directory) => {
+                    let entry = directory.resolve_one(&address.predicates)?;
+                    if entry.node == node_id {
+                        // Local loop-back: treat the local sensor as a remote producer on
+                        // the same node; deliveries short-circuit through notify().
+                        Ok((entry.node, entry.sensor.clone()))
+                    } else {
+                        Ok((entry.node, entry.sensor.clone()))
+                    }
+                }
+                None => Err(GsnError::config(
+                    "this container has no directory; `wrapper=\"remote\"` sources are unavailable",
+                )),
+            },
+            deployed_at,
+        )?;
+
+        // Publish to the directory.
+        if let Some(directory) = &self.directory {
+            let mut metadata = sensor.descriptor().metadata.clone();
+            metadata.push(("name".to_owned(), name.as_str().to_owned()));
+            metadata.push(("container".to_owned(), self.config.name.clone()));
+            directory.register(self.config.node_id, name.as_str(), metadata)?;
+        }
+
+        // Wire up remote sources: remember the routing and send Subscribe messages.
+        for (producer, remote_sensor, source_ref) in sensor.remote_sources() {
+            self.remote_routes
+                .entry(remote_sensor.to_ascii_lowercase())
+                .or_default()
+                .push((name.clone(), source_ref));
+            if producer != self.config.node_id {
+                if let Some(network) = &self.network {
+                    let request = self.next_request_id;
+                    self.next_request_id += 1;
+                    let _ = network.send(
+                        self.config.node_id,
+                        producer,
+                        Message::Subscribe {
+                            request,
+                            subscriber: self.config.node_id,
+                            sensor: remote_sensor.clone(),
+                        },
+                        self.clock.now(),
+                    );
+                    self.pending_subscriptions.push(PendingSubscription {
+                        producer,
+                        sensor: remote_sensor.clone(),
+                        request,
+                        acked: false,
+                        refused: false,
+                    });
+                }
+            } else {
+                // Producer is this very container: subscribe locally.
+                self.notifications
+                    .add_remote_subscriber(self.config.node_id, &remote_sensor);
+            }
+        }
+
+        self.sensors.insert(name.clone(), sensor);
+        Ok(name)
+    }
+
+    /// Undeploys a virtual sensor, dropping its storage and directory entry.
+    pub fn undeploy(&mut self, name: &str) -> GsnResult<()> {
+        let key = VirtualSensorName::new(name)?;
+        let mut sensor = self
+            .sensors
+            .remove(&key)
+            .ok_or_else(|| GsnError::not_found(format!("virtual sensor `{name}` is not deployed")))?;
+        sensor.teardown(&self.storage);
+        if let Some(directory) = &self.directory {
+            let _ = directory.deregister(self.config.node_id, key.as_str());
+        }
+        self.remote_routes.values_mut().for_each(|routes| {
+            routes.retain(|(owner, _)| owner != &key);
+        });
+        // Drop pending subscriptions (and send Unsubscribe) for remote sensors no local
+        // consumer references any more.
+        let orphaned: Vec<String> = self
+            .remote_routes
+            .iter()
+            .filter(|(_, routes)| routes.is_empty())
+            .map(|(sensor, _)| sensor.clone())
+            .collect();
+        for sensor in &orphaned {
+            if let Some(network) = &self.network {
+                if let Some(pending) = self
+                    .pending_subscriptions
+                    .iter()
+                    .find(|p| p.sensor.eq_ignore_ascii_case(sensor))
+                {
+                    let _ = network.send(
+                        self.config.node_id,
+                        pending.producer,
+                        Message::Unsubscribe {
+                            subscriber: self.config.node_id,
+                            sensor: sensor.clone(),
+                        },
+                        self.clock.now(),
+                    );
+                }
+            }
+            self.pending_subscriptions
+                .retain(|p| !p.sensor.eq_ignore_ascii_case(sensor));
+        }
+        self.remote_routes.retain(|_, routes| !routes.is_empty());
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Querying and subscriptions
+    // -----------------------------------------------------------------------------------
+
+    /// Executes an ad-hoc SQL query over the container's virtual sensor output tables.
+    pub fn query(&mut self, sql: &str) -> GsnResult<Relation> {
+        self.query_as(&Principal::Anonymous, sql)
+    }
+
+    /// Executes an ad-hoc SQL query on behalf of a principal, enforcing access control on
+    /// every referenced virtual sensor.
+    pub fn query_as(&mut self, principal: &Principal, sql: &str) -> GsnResult<Relation> {
+        let prepared = gsn_sql::SqlEngine::compile(sql, &gsn_sql::OptimizerConfig::default())?;
+        for table in prepared.referenced_tables() {
+            self.access.authorize(principal, Operation::Read, table)?;
+        }
+        self.query_manager
+            .execute_adhoc(sql, &self.storage, self.clock.now())
+    }
+
+    /// Renders the execution plan of a query (EXPLAIN).
+    pub fn explain(&mut self, sql: &str) -> GsnResult<String> {
+        self.query_manager.explain(sql)
+    }
+
+    /// Registers a continuous client query (see [`QueryManager::register`]).
+    pub fn register_query(
+        &mut self,
+        client: &str,
+        sql: &str,
+        history: WindowSpec,
+        sampling_rate: Option<f64>,
+    ) -> GsnResult<ClientQueryId> {
+        self.query_manager.register(client, sql, history, sampling_rate)
+    }
+
+    /// Removes a registered client query.
+    pub fn deregister_query(&mut self, id: ClientQueryId) -> GsnResult<()> {
+        self.query_manager.deregister(id)
+    }
+
+    /// Number of registered client queries.
+    pub fn registered_query_count(&self) -> usize {
+        self.query_manager.registered_count()
+    }
+
+    /// Subscribes to a virtual sensor's output stream; notifications arrive on the
+    /// returned channel.
+    pub fn subscribe(&mut self, sensor: &str) -> GsnResult<(SubscriptionId, crossbeam::channel::Receiver<Notification>)> {
+        self.require_sensor(sensor)?;
+        Ok(self.notifications.subscribe_channel(sensor))
+    }
+
+    /// Subscribes a callback to a virtual sensor's output stream.
+    pub fn subscribe_callback(
+        &mut self,
+        sensor: &str,
+        callback: impl Fn(&Notification) + Send + Sync + 'static,
+    ) -> GsnResult<SubscriptionId> {
+        self.require_sensor(sensor)?;
+        Ok(self.notifications.subscribe_callback(sensor, callback))
+    }
+
+    /// Cancels a local subscription.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> GsnResult<()> {
+        self.notifications.unsubscribe(id)
+    }
+
+    fn require_sensor(&self, sensor: &str) -> GsnResult<()> {
+        let key = VirtualSensorName::new(sensor)?;
+        let table = VirtualSensor::output_table_name(&key);
+        if self.sensors.contains_key(&key) || self.storage.has_table(&table) {
+            Ok(())
+        } else {
+            Err(GsnError::not_found(format!(
+                "virtual sensor `{sensor}` is not deployed on this container"
+            )))
+        }
+    }
+
+    // -----------------------------------------------------------------------------------
+    // The processing loop
+    // -----------------------------------------------------------------------------------
+
+    /// Advances the container to the clock's current time: drains the network, polls local
+    /// wrappers, runs pipelines, evaluates registered queries and delivers notifications.
+    pub fn step(&mut self) -> StepReport {
+        let now = self.clock.now();
+        let mut report = StepReport::default();
+
+        // 1. Network intake (remote deliveries, subscription management).
+        report.absorb(self.drain_network(now));
+
+        // 1b. Retry remote subscriptions that were never acknowledged (the Subscribe
+        // message may have been lost on a lossy link or during a partition).
+        self.retry_pending_subscriptions(now);
+
+        // 2. Local wrapper polling + pipeline execution.
+        let names: Vec<VirtualSensorName> = self.sensors.keys().cloned().collect();
+        for name in names {
+            let arrivals = {
+                let sensor = self.sensors.get_mut(&name).expect("sensor present");
+                sensor.poll_local_sources(now)
+            };
+            for (source_ref, element) in arrivals {
+                report.local_arrivals += 1;
+                report.absorb(self.process_one(&name, source_ref, element, now));
+            }
+            // Stream-quality: silence detection.
+            if let Some(sensor) = self.sensors.get_mut(&name) {
+                let _ = sensor.check_silence(now);
+            }
+        }
+
+        // 3. Storage housekeeping.
+        self.storage.prune_all(now);
+        report
+    }
+
+    /// Processes a single element arrival for one sensor/source and fans out the result.
+    fn process_one(
+        &mut self,
+        name: &VirtualSensorName,
+        source_ref: SourceRef,
+        element: StreamElement,
+        now: Timestamp,
+    ) -> StepReport {
+        let mut report = StepReport::default();
+        let Some(sensor) = self.sensors.get_mut(name) else {
+            return report;
+        };
+        let before = sensor.stats();
+        let outcome = sensor.process_arrival(source_ref, element, now, &self.storage);
+        let after = sensor.stats();
+        report.processing_micros += after.total_processing_micros - before.total_processing_micros;
+        let output_table = sensor.output_table().to_owned();
+        match outcome {
+            Ok(Some(output)) => {
+                report.outputs += 1;
+                // Registered client queries over this sensor's output.
+                let results =
+                    self.query_manager
+                        .evaluate_for_table(&output_table, &self.storage, now);
+                report.client_query_evaluations += results.len() as u64;
+                self.deliver_client_results(results, now);
+                // Local + remote notifications.
+                self.notifications
+                    .notify(name.as_str(), &output, now, self.network.as_deref());
+                // Local loop-back remote routes (a sensor on this node consuming another
+                // local sensor through the `remote` wrapper).
+                let local_routes = self
+                    .remote_routes
+                    .get(name.as_str())
+                    .cloned()
+                    .unwrap_or_default();
+                for (consumer, consumer_ref) in local_routes {
+                    if &consumer != name {
+                        report.remote_arrivals += 1;
+                        report.absorb(self.deliver_remote(&consumer, consumer_ref, output.clone(), now));
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(_) => report.errors += 1,
+        }
+        report
+    }
+
+    /// Routes client-query results to their subscribers (modelled as notifications on the
+    /// client's name; the extensible channel architecture of the notification manager lets
+    /// applications attach whatever transport they need).
+    fn deliver_client_results(&mut self, results: Vec<ClientQueryResult>, now: Timestamp) {
+        for result in results {
+            if result.relation.is_empty() {
+                continue;
+            }
+            if let Ok(Some(element)) = result.relation.to_stream_element(
+                &Arc::new(relation_schema(&result.relation)),
+                now,
+            ) {
+                self.notifications
+                    .notify(&format!("client:{}", result.client), &element, now, None);
+            }
+        }
+    }
+
+    /// Handles one element delivered for a remote route (a local consumer of a remote or
+    /// loop-back producer).
+    fn deliver_remote(
+        &mut self,
+        consumer: &VirtualSensorName,
+        source_ref: SourceRef,
+        element: StreamElement,
+        now: Timestamp,
+    ) -> StepReport {
+        let mut report = StepReport::default();
+        let Some(sensor) = self.sensors.get_mut(consumer) else {
+            return report;
+        };
+        if let Err(_e) = sensor.ensure_remote_schema(source_ref, &element, &self.storage) {
+            report.errors += 1;
+            return report;
+        }
+        report.absorb(self.process_one(consumer, source_ref, element, now));
+        report
+    }
+
+    /// Drains the simulated network inbox.
+    fn drain_network(&mut self, now: Timestamp) -> StepReport {
+        let mut report = StepReport::default();
+        let Some(network) = self.network.clone() else {
+            return report;
+        };
+        let envelopes = network.receive(self.config.node_id, now);
+        for envelope in envelopes {
+            match envelope.message {
+                Message::Subscribe {
+                    request,
+                    subscriber,
+                    sensor,
+                } => {
+                    let principal = Principal::named(&subscriber.to_string());
+                    let accepted = self.access.check(&principal, Operation::Subscribe, &sensor)
+                        && self.require_sensor(&sensor).is_ok();
+                    if accepted {
+                        self.notifications.add_remote_subscriber(subscriber, &sensor);
+                    }
+                    let _ = network.send(
+                        self.config.node_id,
+                        envelope.from,
+                        Message::SubscribeAck {
+                            request,
+                            accepted,
+                            reason: if accepted {
+                                String::new()
+                            } else {
+                                format!("subscription to `{sensor}` refused")
+                            },
+                        },
+                        now,
+                    );
+                }
+                Message::Unsubscribe { subscriber, sensor } => {
+                    self.notifications.remove_remote_subscriber(subscriber, &sensor);
+                }
+                Message::StreamDelivery { sensor, element } => {
+                    match element.into_element() {
+                        Ok(element) => {
+                            let routes = self
+                                .remote_routes
+                                .get(&sensor.to_ascii_lowercase())
+                                .cloned()
+                                .unwrap_or_default();
+                            for (consumer, source_ref) in routes {
+                                report.remote_arrivals += 1;
+                                report.absorb(self.deliver_remote(
+                                    &consumer,
+                                    source_ref,
+                                    element.clone(),
+                                    now,
+                                ));
+                            }
+                        }
+                        Err(_) => report.errors += 1,
+                    }
+                }
+                Message::Ping { request } => {
+                    let _ = network.send(
+                        self.config.node_id,
+                        envelope.from,
+                        Message::Pong { request },
+                        now,
+                    );
+                }
+                Message::SubscribeAck { request, accepted, .. } => {
+                    for pending in &mut self.pending_subscriptions {
+                        if pending.request == request {
+                            if accepted {
+                                pending.acked = true;
+                            } else {
+                                pending.refused = true;
+                            }
+                        }
+                    }
+                }
+                // Directory traffic and pongs are informational for the container.
+                Message::DirectoryRegister { .. }
+                | Message::DirectoryDeregister { .. }
+                | Message::DirectoryLookup { .. }
+                | Message::DirectoryResult { .. }
+                | Message::Pong { .. } => {}
+            }
+        }
+        report
+    }
+
+    /// Re-sends Subscribe messages for remote sources whose subscription has not been
+    /// acknowledged yet (and was not explicitly refused).
+    fn retry_pending_subscriptions(&mut self, now: Timestamp) {
+        let Some(network) = self.network.clone() else {
+            return;
+        };
+        let node = self.config.node_id;
+        for pending in &mut self.pending_subscriptions {
+            if pending.acked || pending.refused {
+                continue;
+            }
+            let _ = network.send(
+                node,
+                pending.producer,
+                Message::Subscribe {
+                    request: pending.request,
+                    subscriber: node,
+                    sensor: pending.sensor.clone(),
+                },
+                now,
+            );
+        }
+    }
+
+    /// A point-in-time status snapshot.
+    pub fn status(&self) -> ContainerStatus {
+        ContainerStatus {
+            name: self.config.name.clone(),
+            node: self.config.node_id,
+            sensors: self
+                .sensors
+                .iter()
+                .map(|(n, s)| (n.as_str().to_owned(), s.stats()))
+                .collect(),
+            storage: self.storage.stats(),
+            notifications: self.notifications.stats(),
+            queries: self.query_manager.stats().0,
+            registered_queries: self.query_manager.registered_count(),
+            wrapper_kinds: self.registry.kinds(),
+        }
+    }
+}
+
+/// Derives a schema from a relation's column names (for client-result notifications).
+fn relation_schema(relation: &Relation) -> gsn_types::StreamSchema {
+    let mut schema = gsn_types::StreamSchema::empty();
+    for (i, column) in relation.columns().iter().enumerate() {
+        let name = if column.name.eq_ignore_ascii_case("pk")
+            || column.name.eq_ignore_ascii_case("timed")
+        {
+            format!("{}_{}", column.name, i)
+        } else {
+            column.name.clone()
+        };
+        let field = gsn_types::FieldSpec::new(&name, column.data_type.unwrap_or(gsn_types::DataType::Varchar));
+        if let Ok(field) = field {
+            let _ = schema.push(field);
+        }
+    }
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::{DataType, SimulatedClock, Value};
+    use gsn_xml::{AddressSpec, InputStreamSpec, StreamSourceSpec};
+
+    fn mote_descriptor(name: &str, interval_ms: u32) -> VirtualSensorDescriptor {
+        VirtualSensorDescriptor::builder(name)
+            .unwrap()
+            .metadata("type", "temperature")
+            .output_field("avg_temp", DataType::Double)
+            .unwrap()
+            .permanent_storage(true)
+            .input_stream(
+                InputStreamSpec::new("main", "select * from src1").with_source(
+                    StreamSourceSpec::new(
+                        "src1",
+                        AddressSpec::new("mote")
+                            .with_predicate("interval", &interval_ms.to_string()),
+                        "select avg(temperature) as avg_temp from WRAPPER",
+                    )
+                    .with_window(gsn_storage::WindowSpec::Count(10)),
+                ),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn standalone() -> (GsnContainer, SimulatedClock) {
+        let clock = SimulatedClock::new();
+        let container = GsnContainer::new(ContainerConfig::default(), Arc::new(clock.clone()));
+        (container, clock)
+    }
+
+    #[test]
+    fn deploy_step_and_query() {
+        let (mut container, clock) = standalone();
+        container.deploy(mote_descriptor("room-temp", 100)).unwrap();
+        assert_eq!(container.sensor_names(), vec!["room-temp"]);
+
+        clock.advance(gsn_types::Duration::from_secs(1));
+        let report = container.step();
+        assert_eq!(report.local_arrivals, 10);
+        assert_eq!(report.outputs, 10);
+        assert_eq!(report.errors, 0);
+
+        let rel = container.query("select count(*) as n from room_temp").unwrap();
+        assert_eq!(rel.rows()[0][0], Value::Integer(10));
+        let stats = container.sensor_stats("room-temp").unwrap();
+        assert_eq!(stats.outputs, 10);
+        assert!(container.sensor_stats("nosuch").is_err());
+
+        let status = container.status();
+        assert_eq!(status.sensors.len(), 1);
+        assert!(status.render().contains("room-temp"));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_deployments() {
+        let (mut container, _clock) = standalone();
+        container.deploy(mote_descriptor("dup", 100)).unwrap();
+        assert!(container.deploy(mote_descriptor("dup", 100)).is_err());
+        assert!(container.undeploy("nosuch").is_err());
+        container.undeploy("dup").unwrap();
+        assert!(container.sensor_names().is_empty());
+        assert!(container.storage().table_names().is_empty());
+        // Redeployment after undeploy works.
+        container.deploy(mote_descriptor("dup", 100)).unwrap();
+    }
+
+    #[test]
+    fn deploy_from_xml_text() {
+        let (mut container, clock) = standalone();
+        let xml = r#"<virtual-sensor name="xml-sensor">
+          <output-structure><field name="light" type="double"/></output-structure>
+          <input-stream name="main">
+            <stream-source alias="s" storage-size="5">
+              <address wrapper="mote"><predicate key="interval" val="200"/></address>
+              <query>select avg(light) as light from WRAPPER</query>
+            </stream-source>
+            <query>select * from s</query>
+          </input-stream>
+        </virtual-sensor>"#;
+        container.deploy_xml(xml).unwrap();
+        clock.advance(gsn_types::Duration::from_secs(1));
+        let report = container.step();
+        assert_eq!(report.outputs, 5);
+        assert!(container.deploy_xml("<broken").is_err());
+    }
+
+    #[test]
+    fn subscriptions_receive_outputs() {
+        let (mut container, clock) = standalone();
+        container.deploy(mote_descriptor("room-temp", 250)).unwrap();
+        let (_id, rx) = container.subscribe("room-temp").unwrap();
+        assert!(container.subscribe("nosuch").is_err());
+        clock.advance(gsn_types::Duration::from_secs(1));
+        container.step();
+        let notifications: Vec<Notification> = rx.try_iter().collect();
+        assert_eq!(notifications.len(), 4);
+        assert!(notifications[0].element.value("AVG_TEMP").is_some());
+    }
+
+    #[test]
+    fn registered_queries_run_per_output() {
+        let (mut container, clock) = standalone();
+        container.deploy(mote_descriptor("room-temp", 500)).unwrap();
+        for i in 0..10 {
+            container
+                .register_query(
+                    &format!("client-{i}"),
+                    "select avg(avg_temp) from room_temp where avg_temp > 0",
+                    WindowSpec::Count(50),
+                    None,
+                )
+                .unwrap();
+        }
+        assert_eq!(container.registered_query_count(), 10);
+        clock.advance(gsn_types::Duration::from_secs(1));
+        let report = container.step();
+        assert_eq!(report.outputs, 2);
+        assert_eq!(report.client_query_evaluations, 20);
+        let id = container
+            .register_query("late", "select * from room_temp", WindowSpec::Count(1), None)
+            .unwrap();
+        container.deregister_query(id).unwrap();
+        assert_eq!(container.registered_query_count(), 10);
+    }
+
+    #[test]
+    fn access_control_gates_adhoc_queries() {
+        let (mut container, clock) = standalone();
+        container.deploy(mote_descriptor("private-temp", 100)).unwrap();
+        clock.advance(gsn_types::Duration::from_millis(500));
+        container.step();
+        container
+            .access_control()
+            .restrict_sensor("private_temp", vec![Principal::named("alice")]);
+        assert!(container.query("select * from private_temp").is_err());
+        assert!(container
+            .query_as(&Principal::named("alice"), "select * from private_temp")
+            .is_ok());
+        assert!(container
+            .query_as(&Principal::named("eve"), "select * from private_temp")
+            .is_err());
+    }
+
+    #[test]
+    fn explain_and_bad_queries() {
+        let (mut container, _clock) = standalone();
+        container.deploy(mote_descriptor("room-temp", 100)).unwrap();
+        let plan = container.explain("select avg(avg_temp) from room_temp").unwrap();
+        assert!(plan.contains("Aggregate"));
+        assert!(container.query("select * from missing_table").is_err());
+        assert!(container.query("not sql").is_err());
+    }
+
+    #[test]
+    fn max_virtual_sensors_is_enforced() {
+        let clock = SimulatedClock::new();
+        let config = ContainerConfig {
+            max_virtual_sensors: 1,
+            ..Default::default()
+        };
+        let mut container = GsnContainer::new(config, Arc::new(clock));
+        container.deploy(mote_descriptor("one", 100)).unwrap();
+        let err = container.deploy(mote_descriptor("two", 100)).unwrap_err();
+        assert_eq!(err.category(), "resource-exhausted");
+    }
+
+    #[test]
+    fn remote_sources_require_a_directory() {
+        let (mut container, _clock) = standalone();
+        let descriptor = VirtualSensorDescriptor::builder("follower")
+            .unwrap()
+            .output_field("v", DataType::Double)
+            .unwrap()
+            .input_stream(
+                InputStreamSpec::new("main", "select * from r").with_source(
+                    StreamSourceSpec::new(
+                        "r",
+                        AddressSpec::new("remote").with_predicate("type", "temperature"),
+                        "select avg(v) as v from WRAPPER",
+                    ),
+                ),
+            )
+            .build()
+            .unwrap();
+        let err = container.deploy(descriptor).unwrap_err();
+        assert_eq!(err.category(), "config");
+        // Failed deployment leaves nothing behind.
+        assert!(container.sensor_names().is_empty());
+        assert!(container.storage().table_names().is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! A federation of GSN containers: the multi-node harness.
+//!
+//! The paper's demo deploys four sensor networks across three GSN nodes connected in a
+//! peer-to-peer fashion (Section 6, Figure 5).  [`Federation`] reproduces that topology in
+//! one process: a shared simulated network and directory, a shared simulated clock, and
+//! any number of containers.  Stepping the federation advances the clock and steps every
+//! container twice per tick — once to produce and send, once to drain deliveries — so that
+//! messages sent in a tick are observed within the same tick when link latency allows.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gsn_network::{Directory, LinkSpec, SimulatedNetwork};
+use gsn_types::{Duration, GsnError, GsnResult, NodeId, SimulatedClock, Timestamp};
+
+use crate::config::ContainerConfig;
+use crate::container::{GsnContainer, StepReport};
+
+/// A set of GSN containers sharing a simulated network, directory and clock.
+pub struct Federation {
+    network: Arc<SimulatedNetwork>,
+    directory: Arc<Directory>,
+    clock: SimulatedClock,
+    nodes: BTreeMap<NodeId, GsnContainer>,
+    next_node: u64,
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Federation::new()
+    }
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Federation({} nodes)", self.nodes.len())
+    }
+}
+
+impl Federation {
+    /// Creates an empty federation starting at simulated time zero.
+    pub fn new() -> Federation {
+        Federation {
+            network: Arc::new(SimulatedNetwork::new()),
+            directory: Arc::new(Directory::new()),
+            clock: SimulatedClock::new(),
+            nodes: BTreeMap::new(),
+            next_node: 1,
+        }
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimulatedClock {
+        &self.clock
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Timestamp {
+        use gsn_types::Clock as _;
+        self.clock.now()
+    }
+
+    /// The shared network (for configuring links, partitions, inspecting statistics).
+    pub fn network(&self) -> &Arc<SimulatedNetwork> {
+        &self.network
+    }
+
+    /// The shared directory.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.directory
+    }
+
+    /// Adds a container with an auto-assigned node id.
+    pub fn add_node(&mut self, name: &str) -> GsnResult<NodeId> {
+        let node_id = NodeId::new(self.next_node);
+        self.next_node += 1;
+        let config = ContainerConfig::named(node_id, name);
+        self.add_node_with_config(config)
+    }
+
+    /// Adds a container with an explicit configuration.
+    pub fn add_node_with_config(&mut self, config: ContainerConfig) -> GsnResult<NodeId> {
+        let node_id = config.node_id;
+        if self.nodes.contains_key(&node_id) {
+            return Err(GsnError::already_exists(format!("{node_id} already exists")));
+        }
+        let container = GsnContainer::with_network(
+            config,
+            Arc::new(self.clock.clone()),
+            Arc::clone(&self.network),
+            Arc::clone(&self.directory),
+        )?;
+        self.nodes.insert(node_id, container);
+        Ok(node_id)
+    }
+
+    /// The node ids, in order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Mutable access to a container.
+    pub fn node_mut(&mut self, node: NodeId) -> GsnResult<&mut GsnContainer> {
+        self.nodes
+            .get_mut(&node)
+            .ok_or_else(|| GsnError::not_found(format!("{node} is not part of this federation")))
+    }
+
+    /// Shared access to a container.
+    pub fn node(&self, node: NodeId) -> GsnResult<&GsnContainer> {
+        self.nodes
+            .get(&node)
+            .ok_or_else(|| GsnError::not_found(format!("{node} is not part of this federation")))
+    }
+
+    /// Configures the link between two nodes.
+    pub fn set_link(&self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.network.set_link(a, b, spec);
+    }
+
+    /// Advances the simulated clock by `delta` and steps every container.
+    ///
+    /// Containers are stepped twice: the first pass polls wrappers and sends remote
+    /// deliveries; the second pass drains whatever arrived within the same tick.
+    pub fn step(&mut self, delta: Duration) -> StepReport {
+        self.clock.advance(delta);
+        let mut report = StepReport::default();
+        for container in self.nodes.values_mut() {
+            let r = container.step();
+            report_absorb(&mut report, r);
+        }
+        for container in self.nodes.values_mut() {
+            let r = container.step();
+            report_absorb(&mut report, r);
+        }
+        report
+    }
+
+    /// Runs the federation for `total` simulated time in `tick`-sized steps, returning the
+    /// aggregated report.
+    pub fn run_for(&mut self, total: Duration, tick: Duration) -> StepReport {
+        let mut report = StepReport::default();
+        let ticks = (total.as_millis() / tick.as_millis().max(1)).max(1);
+        for _ in 0..ticks {
+            let r = self.step(tick);
+            report_absorb(&mut report, r);
+        }
+        report
+    }
+
+    /// Renders the status of every container.
+    pub fn render_status(&self) -> String {
+        let mut out = String::new();
+        for container in self.nodes.values() {
+            out.push_str(&container.status().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn report_absorb(into: &mut StepReport, from: StepReport) {
+    into.local_arrivals += from.local_arrivals;
+    into.remote_arrivals += from.remote_arrivals;
+    into.outputs += from.outputs;
+    into.client_query_evaluations += from.client_query_evaluations;
+    into.errors += from.errors;
+    into.processing_micros += from.processing_micros;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::DataType;
+    use gsn_xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+
+    fn producer_descriptor() -> VirtualSensorDescriptor {
+        VirtualSensorDescriptor::builder("room-bc143-temperature")
+            .unwrap()
+            .metadata("type", "temperature")
+            .metadata("location", "bc143")
+            .output_field("temperature", DataType::Double)
+            .unwrap()
+            .permanent_storage(true)
+            .input_stream(
+                InputStreamSpec::new("main", "select * from src1").with_source(
+                    StreamSourceSpec::new(
+                        "src1",
+                        AddressSpec::new("mote").with_predicate("interval", "100"),
+                        "select avg(temperature) as temperature from WRAPPER",
+                    )
+                    .with_window(gsn_storage::WindowSpec::Count(5)),
+                ),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn consumer_descriptor() -> VirtualSensorDescriptor {
+        // The paper's Figure 1: a virtual sensor averaging a *remote* temperature stream
+        // addressed purely by predicates.
+        VirtualSensorDescriptor::builder("averaged-bc143")
+            .unwrap()
+            .output_field("temperature", DataType::Double)
+            .unwrap()
+            .permanent_storage(true)
+            .input_stream(
+                InputStreamSpec::new("dummy", "select * from src1").with_source(
+                    StreamSourceSpec::new(
+                        "src1",
+                        AddressSpec::new("remote")
+                            .with_predicate("type", "temperature")
+                            .with_predicate("location", "bc143"),
+                        "select avg(temperature) as temperature from WRAPPER",
+                    )
+                    .with_window(gsn_storage::WindowSpec::Time(Duration::from_secs(10))),
+                ),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn federation_setup_and_node_access() {
+        let mut fed = Federation::new();
+        let a = fed.add_node("node-a").unwrap();
+        let b = fed.add_node("node-b").unwrap();
+        assert_eq!(fed.node_ids(), vec![a, b]);
+        assert!(fed.node(a).is_ok());
+        assert!(fed.node_mut(b).is_ok());
+        assert!(fed.node(NodeId::new(99)).is_err());
+        assert!(fed
+            .add_node_with_config(ContainerConfig::named(a, "dup"))
+            .is_err());
+        assert_eq!(fed.now(), Timestamp::EPOCH);
+    }
+
+    #[test]
+    fn remote_virtual_sensor_flows_across_nodes() {
+        let mut fed = Federation::new();
+        let producer_node = fed.add_node("producer").unwrap();
+        let consumer_node = fed.add_node("consumer").unwrap();
+        fed.set_link(producer_node, consumer_node, LinkSpec::lan());
+
+        fed.node_mut(producer_node)
+            .unwrap()
+            .deploy(producer_descriptor())
+            .unwrap();
+        // The directory now knows the producer, so the consumer's remote source resolves.
+        fed.node_mut(consumer_node)
+            .unwrap()
+            .deploy(consumer_descriptor())
+            .unwrap();
+        assert_eq!(fed.directory().len(), 2);
+
+        let report = fed.run_for(Duration::from_secs(2), Duration::from_millis(100));
+        assert!(report.outputs > 0);
+        assert!(report.remote_arrivals > 0, "remote deliveries expected");
+
+        // The consumer's output table contains averaged remote temperatures.
+        let rel = fed
+            .node_mut(consumer_node)
+            .unwrap()
+            .query("select count(*) as n, avg(temperature) as t from averaged_bc143")
+            .unwrap();
+        let n = rel.rows()[0][0].as_integer().unwrap();
+        assert!(n > 0, "consumer produced no outputs");
+        let t = rel.rows()[0][1].as_double().unwrap();
+        assert!((10.0..=40.0).contains(&t), "implausible temperature {t}");
+
+        let status = fed.render_status();
+        assert!(status.contains("producer"));
+        assert!(status.contains("consumer"));
+        assert!(fed.network().stats().delivered > 0);
+    }
+
+    #[test]
+    fn consumer_without_matching_producer_fails_to_deploy() {
+        let mut fed = Federation::new();
+        let node = fed.add_node("lonely").unwrap();
+        let err = fed
+            .node_mut(node)
+            .unwrap()
+            .deploy(consumer_descriptor())
+            .unwrap_err();
+        assert_eq!(err.category(), "not-found");
+    }
+
+    #[test]
+    fn partition_buffers_then_recovers() {
+        let mut fed = Federation::new();
+        let producer_node = fed.add_node("producer").unwrap();
+        let consumer_node = fed.add_node("consumer").unwrap();
+        fed.node_mut(producer_node)
+            .unwrap()
+            .deploy(producer_descriptor())
+            .unwrap();
+        fed.node_mut(consumer_node)
+            .unwrap()
+            .deploy(consumer_descriptor())
+            .unwrap();
+        // Let the subscription get established.
+        fed.run_for(Duration::from_millis(300), Duration::from_millis(100));
+
+        fed.network().partition(producer_node, consumer_node);
+        fed.run_for(Duration::from_secs(1), Duration::from_millis(100));
+        let consumer_count_during = fed
+            .node_mut(consumer_node)
+            .unwrap()
+            .query("select count(*) from averaged_bc143")
+            .unwrap()
+            .rows()[0][0]
+            .as_integer()
+            .unwrap();
+
+        fed.network().heal_partition(producer_node, consumer_node);
+        fed.run_for(Duration::from_secs(1), Duration::from_millis(100));
+        let consumer_count_after = fed
+            .node_mut(consumer_node)
+            .unwrap()
+            .query("select count(*) from averaged_bc143")
+            .unwrap()
+            .rows()[0][0]
+            .as_integer()
+            .unwrap();
+        assert!(
+            consumer_count_after > consumer_count_during,
+            "delivery should resume after the partition heals ({consumer_count_during} -> {consumer_count_after})"
+        );
+        // The producer buffered (and possibly dropped) elements while partitioned.
+        let producer_status = fed.node(producer_node).unwrap().status();
+        assert!(
+            producer_status.notifications.remote_buffered > 0,
+            "disconnect buffer should have been used"
+        );
+    }
+
+    #[test]
+    fn multiple_producers_same_metadata_resolve_deterministically() {
+        let mut fed = Federation::new();
+        let a = fed.add_node("a").unwrap();
+        let b = fed.add_node("b").unwrap();
+        let c = fed.add_node("c").unwrap();
+        fed.node_mut(a).unwrap().deploy(producer_descriptor()).unwrap();
+        // Node b publishes a different sensor with the same metadata.
+        let mut alt = producer_descriptor();
+        alt.name = gsn_types::VirtualSensorName::new("room-bc143-temperature-backup").unwrap();
+        fed.node_mut(b).unwrap().deploy(alt).unwrap();
+        // The consumer resolves to the deterministic first match (lowest node id).
+        fed.node_mut(c).unwrap().deploy(consumer_descriptor()).unwrap();
+        let report = fed.run_for(Duration::from_secs(1), Duration::from_millis(100));
+        assert!(report.outputs > 0);
+        let rel = fed
+            .node_mut(c)
+            .unwrap()
+            .query("select count(*) from averaged_bc143")
+            .unwrap();
+        assert!(rel.rows()[0][0].as_integer().unwrap() > 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The input stream manager (ISM): stream-quality management.
+//!
+//! "the input stream manager (ISM) manages the input streams and ensures stream quality
+//! (disconnections, unexpected delays, missing values, etc.)" (paper, Section 4).  The ISM
+//! sits between the wrappers / remote deliveries and the storage layer: it timestamps
+//! arrivals that carry no timestamp (processing step 1 of Section 3), enforces the
+//! per-input-stream rate bound, detects silent sources and missing values, and keeps the
+//! per-source quality counters surfaced in the container status report.
+
+use gsn_types::{Duration, StreamElement, Timestamp, Value};
+
+/// Quality counters for one stream source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceQuality {
+    /// Elements accepted from this source.
+    pub accepted: u64,
+    /// Elements that arrived without a timestamp and were stamped with the local clock.
+    pub locally_timestamped: u64,
+    /// Elements rejected by the rate bound.
+    pub rate_limited: u64,
+    /// Elements containing at least one NULL field (missing values).
+    pub with_missing_values: u64,
+    /// Arrivals whose observation delay (reception − production) exceeded the threshold.
+    pub delayed: u64,
+    /// Times the source was detected silent (no arrival for more than the silence
+    /// threshold).
+    pub silence_episodes: u64,
+}
+
+/// Per-input-stream rate bounding: GSN supports "bounding the rate of a data stream in
+/// order to avoid overloads of the system" (Section 3).
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    /// Minimum spacing between accepted elements.
+    min_spacing: Duration,
+    last_accepted: Option<Timestamp>,
+}
+
+impl RateLimiter {
+    /// Creates a limiter from an elements-per-second bound; `None` disables limiting.
+    pub fn from_rate(per_second: Option<u32>) -> RateLimiter {
+        let min_spacing = match per_second {
+            None | Some(0) => Duration::ZERO,
+            Some(r) => Duration::from_millis((1_000 / r.max(1) as i64).max(1)),
+        };
+        RateLimiter {
+            min_spacing,
+            last_accepted: None,
+        }
+    }
+
+    /// True when an element arriving at `at` is admitted.
+    pub fn admit(&mut self, at: Timestamp) -> bool {
+        if self.min_spacing.is_zero() {
+            return true;
+        }
+        match self.last_accepted {
+            Some(last) if at - last < self.min_spacing => false,
+            _ => {
+                self.last_accepted = Some(at);
+                true
+            }
+        }
+    }
+
+    /// The configured minimum spacing (zero = unlimited).
+    pub fn min_spacing(&self) -> Duration {
+        self.min_spacing
+    }
+}
+
+/// Stream-quality policy for one source.
+#[derive(Debug, Clone)]
+pub struct QualityPolicy {
+    /// Arrivals with an observation delay above this are counted as delayed.
+    pub delay_threshold: Duration,
+    /// A source with no arrival for longer than this is counted as silent.
+    pub silence_threshold: Duration,
+}
+
+impl Default for QualityPolicy {
+    fn default() -> Self {
+        QualityPolicy {
+            delay_threshold: Duration::from_secs(5),
+            silence_threshold: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The ISM state for one stream source.
+#[derive(Debug)]
+pub struct SourceMonitor {
+    policy: QualityPolicy,
+    quality: SourceQuality,
+    last_arrival: Option<Timestamp>,
+    currently_silent: bool,
+}
+
+impl SourceMonitor {
+    /// Creates a monitor with the given policy.
+    pub fn new(policy: QualityPolicy) -> SourceMonitor {
+        SourceMonitor {
+            policy,
+            quality: SourceQuality::default(),
+            last_arrival: None,
+            currently_silent: false,
+        }
+    }
+
+    /// Pre-processes an arriving element (paper, Section 3, step 1): assigns the local
+    /// reception timestamp when the element has none (a timestamp equal to the epoch is
+    /// treated as "absent", matching wrappers that do not set one), and updates the
+    /// quality counters.
+    pub fn intake(&mut self, element: StreamElement, now: Timestamp) -> StreamElement {
+        let element = if element.timestamp() == Timestamp::EPOCH && now != Timestamp::EPOCH {
+            self.quality.locally_timestamped += 1;
+            element.with_timestamp(now)
+        } else {
+            element
+        };
+        if element.values().iter().any(Value::is_null) {
+            self.quality.with_missing_values += 1;
+        }
+        if let Some(delay) = element.observation_delay() {
+            if delay > self.policy.delay_threshold {
+                self.quality.delayed += 1;
+            }
+        }
+        self.quality.accepted += 1;
+        self.last_arrival = Some(now);
+        self.currently_silent = false;
+        element
+    }
+
+    /// Records that an element was dropped by the rate bound.
+    pub fn record_rate_limited(&mut self) {
+        self.quality.rate_limited += 1;
+    }
+
+    /// Checks for silence at `now`; returns true when the source has just transitioned to
+    /// silent (so the container can log / expose it once per episode).
+    pub fn check_silence(&mut self, now: Timestamp) -> bool {
+        let Some(last) = self.last_arrival else {
+            return false;
+        };
+        if now - last > self.policy.silence_threshold && !self.currently_silent {
+            self.currently_silent = true;
+            self.quality.silence_episodes += 1;
+            return true;
+        }
+        false
+    }
+
+    /// True when the source is currently considered silent.
+    pub fn is_silent(&self) -> bool {
+        self.currently_silent
+    }
+
+    /// The quality counters.
+    pub fn quality(&self) -> SourceQuality {
+        self.quality
+    }
+
+    /// The last arrival time, if any element has been seen.
+    pub fn last_arrival(&self) -> Option<Timestamp> {
+        self.last_arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::{DataType, StreamSchema};
+    use std::sync::Arc;
+
+    fn element(ts: i64, value: Value) -> StreamElement {
+        let schema = Arc::new(StreamSchema::from_pairs(&[("v", DataType::Double)]).unwrap());
+        StreamElement::new(schema, vec![value], Timestamp(ts)).unwrap()
+    }
+
+    #[test]
+    fn rate_limiter_spacing() {
+        let mut rl = RateLimiter::from_rate(Some(10)); // 100 ms spacing
+        assert_eq!(rl.min_spacing(), Duration::from_millis(100));
+        assert!(rl.admit(Timestamp(0)));
+        assert!(!rl.admit(Timestamp(50)));
+        assert!(!rl.admit(Timestamp(99)));
+        assert!(rl.admit(Timestamp(100)));
+        assert!(rl.admit(Timestamp(500)));
+    }
+
+    #[test]
+    fn rate_limiter_disabled() {
+        let mut rl = RateLimiter::from_rate(None);
+        for i in 0..100 {
+            assert!(rl.admit(Timestamp(i)));
+        }
+        let mut rl = RateLimiter::from_rate(Some(0));
+        assert!(rl.admit(Timestamp(0)));
+        assert!(rl.admit(Timestamp(0)));
+    }
+
+    #[test]
+    fn high_rates_round_to_one_millisecond() {
+        let rl = RateLimiter::from_rate(Some(5_000));
+        assert_eq!(rl.min_spacing(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn intake_stamps_missing_timestamps() {
+        let mut monitor = SourceMonitor::new(QualityPolicy::default());
+        let stamped = monitor.intake(element(0, Value::Double(1.0)), Timestamp(500));
+        assert_eq!(stamped.timestamp(), Timestamp(500));
+        let kept = monitor.intake(element(300, Value::Double(1.0)), Timestamp(600));
+        assert_eq!(kept.timestamp(), Timestamp(300));
+        let q = monitor.quality();
+        assert_eq!(q.accepted, 2);
+        assert_eq!(q.locally_timestamped, 1);
+        assert_eq!(monitor.last_arrival(), Some(Timestamp(600)));
+    }
+
+    #[test]
+    fn intake_counts_missing_values_and_delays() {
+        let mut monitor = SourceMonitor::new(QualityPolicy {
+            delay_threshold: Duration::from_millis(100),
+            ..Default::default()
+        });
+        monitor.intake(element(10, Value::Null), Timestamp(10));
+        let schema = Arc::new(StreamSchema::from_pairs(&[("v", DataType::Double)]).unwrap());
+        let delayed = StreamElement::new(schema, vec![Value::Double(1.0)], Timestamp(1_000))
+            .unwrap()
+            .with_produced_at(Timestamp(100));
+        monitor.intake(delayed, Timestamp(1_000));
+        let q = monitor.quality();
+        assert_eq!(q.with_missing_values, 1);
+        assert_eq!(q.delayed, 1);
+    }
+
+    #[test]
+    fn silence_detection_fires_once_per_episode() {
+        let mut monitor = SourceMonitor::new(QualityPolicy {
+            silence_threshold: Duration::from_secs(1),
+            ..Default::default()
+        });
+        // No arrivals yet: never silent.
+        assert!(!monitor.check_silence(Timestamp(10_000)));
+        monitor.intake(element(100, Value::Double(1.0)), Timestamp(100));
+        assert!(!monitor.check_silence(Timestamp(500)));
+        assert!(monitor.check_silence(Timestamp(2_000)));
+        assert!(monitor.is_silent());
+        // Still silent: not reported again.
+        assert!(!monitor.check_silence(Timestamp(3_000)));
+        assert_eq!(monitor.quality().silence_episodes, 1);
+        // An arrival clears the silence.
+        monitor.intake(element(3_500, Value::Double(1.0)), Timestamp(3_500));
+        assert!(!monitor.is_silent());
+        assert!(monitor.check_silence(Timestamp(10_000)));
+        assert_eq!(monitor.quality().silence_episodes, 2);
+    }
+
+    #[test]
+    fn rate_limited_counter() {
+        let mut monitor = SourceMonitor::new(QualityPolicy::default());
+        monitor.record_rate_limited();
+        monitor.record_rate_limited();
+        assert_eq!(monitor.quality().rate_limited, 2);
+    }
+}

@@ -1,0 +1,427 @@
+//! The notification manager.
+//!
+//! "The notification manager deals with the delivery of events and query results to the
+//! registered clients.  The notification manager has an extensible architecture which
+//! allows the user to customize it to any required notification channel" (paper,
+//! Section 4).
+//!
+//! GSN-RS ships four channel kinds: an in-process crossbeam channel (the common case for
+//! embedding applications), a callback, an in-memory log sink (examples, tests), and
+//! remote delivery to a subscribed GSN node through the simulated network — including the
+//! per-subscriber disconnect buffer used while a peer is unreachable.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gsn_network::{Message, SimulatedNetwork, WireElement};
+use gsn_types::{GsnError, GsnResult, NodeId, StreamElement, Timestamp};
+use parking_lot::Mutex;
+
+/// A delivered notification: a new output element (or client-query result summary) of a
+/// virtual sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The virtual sensor that produced the data.
+    pub sensor: String,
+    /// The new output element.
+    pub element: StreamElement,
+    /// When the notification was generated (container clock).
+    pub generated_at: Timestamp,
+}
+
+/// Identifies a local subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(pub u64);
+
+/// A local notification channel.
+pub enum NotificationChannel {
+    /// Deliver into a crossbeam channel.
+    Channel(Sender<Notification>),
+    /// Invoke a callback.
+    Callback(Box<dyn Fn(&Notification) + Send + Sync>),
+    /// Append to a shared in-memory log.
+    Log(Arc<Mutex<Vec<Notification>>>),
+}
+
+impl std::fmt::Debug for NotificationChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NotificationChannel::Channel(_) => f.write_str("Channel"),
+            NotificationChannel::Callback(_) => f.write_str("Callback"),
+            NotificationChannel::Log(_) => f.write_str("Log"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LocalSubscription {
+    sensor: String,
+    channel: NotificationChannel,
+}
+
+#[derive(Debug)]
+struct RemoteSubscriber {
+    node: NodeId,
+    sensor: String,
+    /// Elements buffered while the subscriber is unreachable (the descriptor's
+    /// `disconnect-buffer` behaviour, applied on the producing side).
+    buffer: VecDeque<StreamElement>,
+    buffer_capacity: usize,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// Delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NotificationStats {
+    /// Notifications delivered to local channels.
+    pub local_delivered: u64,
+    /// Local deliveries that failed (closed channel) and led to subscription removal.
+    pub local_failed: u64,
+    /// Stream elements delivered to remote subscribers.
+    pub remote_delivered: u64,
+    /// Stream elements buffered for disconnected remote subscribers.
+    pub remote_buffered: u64,
+    /// Stream elements dropped because a disconnect buffer overflowed.
+    pub remote_dropped: u64,
+}
+
+/// The notification manager of one container.
+#[derive(Debug)]
+pub struct NotificationManager {
+    node: NodeId,
+    next_id: u64,
+    local: HashMap<SubscriptionId, LocalSubscription>,
+    remote: Vec<RemoteSubscriber>,
+    default_buffer_capacity: usize,
+    stats: NotificationStats,
+}
+
+impl NotificationManager {
+    /// Creates a manager for a node.
+    pub fn new(node: NodeId, default_buffer_capacity: usize) -> NotificationManager {
+        NotificationManager {
+            node,
+            next_id: 1,
+            local: HashMap::new(),
+            remote: Vec::new(),
+            default_buffer_capacity: default_buffer_capacity.max(1),
+            stats: NotificationStats::default(),
+        }
+    }
+
+    /// Subscribes a local channel to a sensor's output, returning the subscription id and
+    /// the receiving end.
+    pub fn subscribe_channel(&mut self, sensor: &str) -> (SubscriptionId, Receiver<Notification>) {
+        let (tx, rx) = unbounded();
+        let id = self.add_local(sensor, NotificationChannel::Channel(tx));
+        (id, rx)
+    }
+
+    /// Subscribes a callback.
+    pub fn subscribe_callback(
+        &mut self,
+        sensor: &str,
+        callback: impl Fn(&Notification) + Send + Sync + 'static,
+    ) -> SubscriptionId {
+        self.add_local(sensor, NotificationChannel::Callback(Box::new(callback)))
+    }
+
+    /// Subscribes an in-memory log sink.
+    pub fn subscribe_log(&mut self, sensor: &str) -> (SubscriptionId, Arc<Mutex<Vec<Notification>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let id = self.add_local(sensor, NotificationChannel::Log(Arc::clone(&log)));
+        (id, log)
+    }
+
+    fn add_local(&mut self, sensor: &str, channel: NotificationChannel) -> SubscriptionId {
+        let id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        self.local.insert(
+            id,
+            LocalSubscription {
+                sensor: sensor.to_ascii_lowercase(),
+                channel,
+            },
+        );
+        id
+    }
+
+    /// Cancels a local subscription.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> GsnResult<()> {
+        self.local
+            .remove(&id)
+            .map(|_| ())
+            .ok_or_else(|| GsnError::not_found(format!("no subscription {id:?}")))
+    }
+
+    /// Registers a remote subscriber (another GSN node) for a sensor's output.
+    pub fn add_remote_subscriber(&mut self, node: NodeId, sensor: &str) {
+        let sensor = sensor.to_ascii_lowercase();
+        if self
+            .remote
+            .iter()
+            .any(|r| r.node == node && r.sensor == sensor)
+        {
+            return;
+        }
+        self.remote.push(RemoteSubscriber {
+            node,
+            sensor,
+            buffer: VecDeque::new(),
+            buffer_capacity: self.default_buffer_capacity,
+            delivered: 0,
+            dropped: 0,
+        });
+    }
+
+    /// Removes a remote subscriber.
+    pub fn remove_remote_subscriber(&mut self, node: NodeId, sensor: &str) {
+        let sensor = sensor.to_ascii_lowercase();
+        self.remote.retain(|r| !(r.node == node && r.sensor == sensor));
+    }
+
+    /// Number of local subscriptions for a sensor (all sensors when `None`).
+    pub fn local_subscriber_count(&self, sensor: Option<&str>) -> usize {
+        match sensor {
+            None => self.local.len(),
+            Some(s) => self
+                .local
+                .values()
+                .filter(|sub| sub.sensor.eq_ignore_ascii_case(s))
+                .count(),
+        }
+    }
+
+    /// Number of remote subscribers across all sensors.
+    pub fn remote_subscriber_count(&self) -> usize {
+        self.remote.len()
+    }
+
+    /// Delivers a new output element of `sensor` to every local and remote subscriber.
+    pub fn notify(
+        &mut self,
+        sensor: &str,
+        element: &StreamElement,
+        now: Timestamp,
+        network: Option<&SimulatedNetwork>,
+    ) {
+        let notification = Notification {
+            sensor: sensor.to_ascii_lowercase(),
+            element: element.clone(),
+            generated_at: now,
+        };
+
+        // Local channels.
+        let mut dead = Vec::new();
+        for (id, sub) in &self.local {
+            if !sub.sensor.eq_ignore_ascii_case(sensor) {
+                continue;
+            }
+            let ok = match &sub.channel {
+                NotificationChannel::Channel(tx) => tx.send(notification.clone()).is_ok(),
+                NotificationChannel::Callback(cb) => {
+                    cb(&notification);
+                    true
+                }
+                NotificationChannel::Log(log) => {
+                    log.lock().push(notification.clone());
+                    true
+                }
+            };
+            if ok {
+                self.stats.local_delivered += 1;
+            } else {
+                self.stats.local_failed += 1;
+                dead.push(*id);
+            }
+        }
+        for id in dead {
+            self.local.remove(&id);
+        }
+
+        // Remote subscribers.
+        if let Some(network) = network {
+            let node = self.node;
+            for remote in &mut self.remote {
+                if !remote.sensor.eq_ignore_ascii_case(sensor) {
+                    continue;
+                }
+                // Flush anything buffered from an earlier disconnection first, so the
+                // subscriber observes elements in order.
+                let mut pending: Vec<StreamElement> = remote.buffer.drain(..).collect();
+                pending.push(element.clone());
+                let mut delivered_up_to = 0;
+                for (i, e) in pending.iter().enumerate() {
+                    let message = Message::StreamDelivery {
+                        sensor: sensor.to_ascii_lowercase(),
+                        element: WireElement::from_element(e),
+                    };
+                    match network.send(node, remote.node, message, now) {
+                        Ok(_) => {
+                            remote.delivered += 1;
+                            self.stats.remote_delivered += 1;
+                            delivered_up_to = i + 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Whatever was not delivered goes (back) into the disconnect buffer.
+                for e in pending.into_iter().skip(delivered_up_to) {
+                    if remote.buffer.len() >= remote.buffer_capacity {
+                        remote.buffer.pop_front();
+                        remote.dropped += 1;
+                        self.stats.remote_dropped += 1;
+                    }
+                    remote.buffer.push_back(e);
+                    self.stats.remote_buffered += 1;
+                }
+            }
+        }
+    }
+
+    /// Per-remote-subscriber status: `(node, sensor, buffered, delivered, dropped)`.
+    pub fn remote_status(&self) -> Vec<(NodeId, String, usize, u64, u64)> {
+        self.remote
+            .iter()
+            .map(|r| (r.node, r.sensor.clone(), r.buffer.len(), r.delivered, r.dropped))
+            .collect()
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> NotificationStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::{DataType, StreamSchema, Value};
+
+    fn element(v: i64) -> StreamElement {
+        let schema = Arc::new(StreamSchema::from_pairs(&[("v", DataType::Integer)]).unwrap());
+        StreamElement::new(schema, vec![Value::Integer(v)], Timestamp(v)).unwrap()
+    }
+
+    #[test]
+    fn channel_subscription_receives_matching_sensors_only() {
+        let mut nm = NotificationManager::new(NodeId::LOCAL, 8);
+        let (_id, rx) = nm.subscribe_channel("room-temp");
+        nm.notify("room-temp", &element(1), Timestamp(1), None);
+        nm.notify("other", &element(2), Timestamp(2), None);
+        nm.notify("ROOM-TEMP", &element(3), Timestamp(3), None);
+        let received: Vec<Notification> = rx.try_iter().collect();
+        assert_eq!(received.len(), 2);
+        assert_eq!(received[0].element.value("V"), Some(Value::Integer(1)));
+        assert_eq!(received[1].generated_at, Timestamp(3));
+        assert_eq!(nm.stats().local_delivered, 2);
+    }
+
+    #[test]
+    fn callback_and_log_subscriptions() {
+        let mut nm = NotificationManager::new(NodeId::LOCAL, 8);
+        let hits = Arc::new(Mutex::new(0u32));
+        let hits_clone = Arc::clone(&hits);
+        nm.subscribe_callback("cam", move |_| {
+            *hits_clone.lock() += 1;
+        });
+        let (_, log) = nm.subscribe_log("cam");
+        nm.notify("cam", &element(1), Timestamp(1), None);
+        nm.notify("cam", &element(2), Timestamp(2), None);
+        assert_eq!(*hits.lock(), 2);
+        assert_eq!(log.lock().len(), 2);
+        assert_eq!(nm.local_subscriber_count(Some("cam")), 2);
+        assert_eq!(nm.local_subscriber_count(None), 2);
+    }
+
+    #[test]
+    fn unsubscribe_and_dead_channel_cleanup() {
+        let mut nm = NotificationManager::new(NodeId::LOCAL, 8);
+        let (id, rx) = nm.subscribe_channel("s");
+        assert_eq!(nm.local_subscriber_count(None), 1);
+        nm.unsubscribe(id).unwrap();
+        assert!(nm.unsubscribe(id).is_err());
+        assert_eq!(nm.local_subscriber_count(None), 0);
+
+        // A dropped receiver causes the subscription to be garbage-collected on the next
+        // notification.
+        let (_id2, rx2) = nm.subscribe_channel("s");
+        drop(rx2);
+        drop(rx);
+        nm.notify("s", &element(1), Timestamp(1), None);
+        assert_eq!(nm.local_subscriber_count(None), 0);
+        assert_eq!(nm.stats().local_failed, 1);
+    }
+
+    #[test]
+    fn remote_delivery_goes_through_the_network() {
+        let mut nm = NotificationManager::new(NodeId::new(1), 8);
+        let network = SimulatedNetwork::new();
+        network.add_node(NodeId::new(1)).unwrap();
+        network.add_node(NodeId::new(2)).unwrap();
+        nm.add_remote_subscriber(NodeId::new(2), "motes");
+        nm.add_remote_subscriber(NodeId::new(2), "motes"); // duplicate is ignored
+        assert_eq!(nm.remote_subscriber_count(), 1);
+        nm.notify("motes", &element(5), Timestamp(10), Some(&network));
+        let delivered = network.receive(NodeId::new(2), Timestamp(1_000));
+        assert_eq!(delivered.len(), 1);
+        match &delivered[0].message {
+            Message::StreamDelivery { sensor, element } => {
+                assert_eq!(sensor, "motes");
+                assert_eq!(element.values[0], Value::Integer(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(nm.stats().remote_delivered, 1);
+    }
+
+    #[test]
+    fn disconnect_buffer_holds_and_flushes_in_order() {
+        let mut nm = NotificationManager::new(NodeId::new(1), 3);
+        let network = SimulatedNetwork::new();
+        network.add_node(NodeId::new(1)).unwrap();
+        network.add_node(NodeId::new(2)).unwrap();
+        nm.add_remote_subscriber(NodeId::new(2), "motes");
+
+        network.partition(NodeId::new(1), NodeId::new(2));
+        for i in 0..5 {
+            nm.notify("motes", &element(i), Timestamp(i), Some(&network));
+        }
+        // Capacity 3: elements 0 and 1 were dropped, 2..4 buffered.
+        let status = nm.remote_status();
+        assert_eq!(status[0].2, 3);
+        assert_eq!(nm.stats().remote_dropped, 2);
+
+        network.heal_partition(NodeId::new(1), NodeId::new(2));
+        nm.notify("motes", &element(5), Timestamp(5), Some(&network));
+        let received = network.receive(NodeId::new(2), Timestamp(1_000));
+        let values: Vec<Value> = received
+            .iter()
+            .map(|e| match &e.message {
+                Message::StreamDelivery { element, .. } => element.values[0].clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(
+            values,
+            vec![Value::Integer(2), Value::Integer(3), Value::Integer(4), Value::Integer(5)]
+        );
+        assert_eq!(nm.remote_status()[0].2, 0);
+    }
+
+    #[test]
+    fn remove_remote_subscriber_stops_delivery() {
+        let mut nm = NotificationManager::new(NodeId::new(1), 8);
+        let network = SimulatedNetwork::new();
+        network.add_node(NodeId::new(1)).unwrap();
+        network.add_node(NodeId::new(2)).unwrap();
+        nm.add_remote_subscriber(NodeId::new(2), "motes");
+        nm.remove_remote_subscriber(NodeId::new(2), "motes");
+        nm.notify("motes", &element(1), Timestamp(1), Some(&network));
+        assert!(network.receive(NodeId::new(2), Timestamp(100)).is_empty());
+        assert_eq!(nm.remote_subscriber_count(), 0);
+    }
+}

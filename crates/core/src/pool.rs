@@ -1,0 +1,203 @@
+//! The life-cycle manager's worker pool.
+//!
+//! Descriptors grant each virtual sensor a `<life-cycle pool-size="N">` (paper, Figure 1):
+//! the number of threads available for its processing.  In GSN-RS the deterministic
+//! benchmark path drives processing synchronously under a simulated clock, while live
+//! deployments hand pipeline work to this pool so that slow sensors (large camera frames)
+//! do not stall fast ones.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gsn_types::{GsnError, GsnResult};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool.
+#[derive(Debug)]
+pub struct WorkerPool {
+    name: String,
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `size` worker threads (at least one).
+    pub fn new(name: &str, size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let completed = Arc::new(AtomicU64::new(0));
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let receiver = receiver.clone();
+            let completed = Arc::clone(&completed);
+            let thread_name = format!("{name}-worker-{i}");
+            let handle = std::thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || {
+                    while let Ok(job) = receiver.recv() {
+                        job();
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            workers.push(handle);
+        }
+        WorkerPool {
+            name: name.to_owned(),
+            sender: Some(sender),
+            workers,
+            submitted: Arc::new(AtomicU64::new(0)),
+            completed,
+            shutting_down,
+        }
+    }
+
+    /// The pool name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for asynchronous execution.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> GsnResult<()> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(GsnError::shutting_down(format!(
+                "worker pool `{}` is shutting down",
+                self.name
+            )));
+        }
+        let sender = self
+            .sender
+            .as_ref()
+            .ok_or_else(|| GsnError::shutting_down("worker pool has been shut down"))?;
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+        sender
+            .send(Box::new(job))
+            .map_err(|_| GsnError::shutting_down("worker pool channel is closed"))
+    }
+
+    /// `(submitted, completed)` job counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.submitted.load(Ordering::SeqCst),
+            self.completed.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Number of jobs submitted but not yet completed.
+    pub fn backlog(&self) -> u64 {
+        let (submitted, completed) = self.stats();
+        submitted.saturating_sub(completed)
+    }
+
+    /// Blocks until every submitted job has completed (spin + yield; the pool is used for
+    /// short pipeline jobs, not long-running work).
+    pub fn wait_idle(&self) {
+        while self.backlog() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Stops accepting work, waits for queued jobs and joins the workers.
+    pub fn shutdown(&mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Dropping the sender closes the channel; workers exit after draining it.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new("test", 4);
+        assert_eq!(pool.size(), 4);
+        assert_eq!(pool.name(), "test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        let (submitted, completed) = pool.stats();
+        assert_eq!(submitted, 100);
+        assert_eq!(completed, 100);
+        assert_eq!(pool.backlog(), 0);
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one() {
+        let pool = WorkerPool::new("tiny", 0);
+        assert_eq!(pool.size(), 1);
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&flag);
+        pool.submit(move || f.store(true, Ordering::SeqCst)).unwrap();
+        pool.wait_idle();
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn shutdown_drains_and_rejects_new_work() {
+        let mut pool = WorkerPool::new("drain", 2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        let err = pool.submit(|| {}).unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = WorkerPool::new("parallel", 4);
+        let (tx, rx) = unbounded();
+        // Four jobs that each wait until all four have started would deadlock on a
+        // single-threaded pool; with four workers they all rendezvous.
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        for _ in 0..4 {
+            let barrier = Arc::clone(&barrier);
+            let tx = tx.clone();
+            pool.submit(move || {
+                barrier.wait();
+                tx.send(()).unwrap();
+            })
+            .unwrap();
+        }
+        for _ in 0..4 {
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The query manager: ad-hoc queries, the query repository of registered client queries,
+//! and their evaluation against the live storage.
+//!
+//! "Query processing is done by the query manager (QM) which includes the query processor
+//! being in charge of SQL parsing, query planning, and execution of queries [...].  The
+//! query repository manages all registered queries (subscriptions) and defines and
+//! maintains the set of currently active queries for the query processor" (paper,
+//! Section 4).
+//!
+//! Registered client queries are the workload of the paper's Figure 4 experiment: N
+//! clients each register a filtering query over a virtual sensor's output; every new
+//! output element causes all affected queries to be (re-)executed and their results
+//! delivered.
+
+use std::collections::HashMap;
+
+use gsn_sql::{OptimizerConfig, PreparedQuery, Relation, SqlEngine};
+use gsn_storage::{CatalogView, LiveCatalog, StorageManager, WindowSpec};
+use gsn_types::{GsnError, GsnResult, Timestamp};
+
+/// Identifies a registered client query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientQueryId(pub u64);
+
+/// A query registered by a client (subscription-style continuous query).
+#[derive(Debug, Clone)]
+pub struct ClientQuery {
+    /// The query id.
+    pub id: ClientQueryId,
+    /// The registering client's name (used for notification routing and status).
+    pub client: String,
+    /// The SQL text.
+    pub sql: String,
+    /// The compiled plan.
+    prepared: PreparedQuery,
+    /// The history window applied to each virtual sensor output table the query reads.
+    pub history: WindowSpec,
+    /// Optional uniform sampling applied to the history before evaluation.
+    pub sampling_rate: Option<f64>,
+}
+
+impl ClientQuery {
+    /// The virtual sensor output tables the query reads.
+    pub fn referenced_tables(&self) -> &[String] {
+        self.prepared.referenced_tables()
+    }
+}
+
+/// One result of evaluating a registered query.
+#[derive(Debug, Clone)]
+pub struct ClientQueryResult {
+    /// The query that produced the result.
+    pub query_id: ClientQueryId,
+    /// The registering client.
+    pub client: String,
+    /// The result relation.
+    pub relation: Relation,
+    /// When the evaluation happened.
+    pub evaluated_at: Timestamp,
+}
+
+/// Statistics of the query manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryManagerStats {
+    /// Ad-hoc queries executed.
+    pub adhoc_executed: u64,
+    /// Registered-query evaluations performed.
+    pub registered_evaluated: u64,
+    /// Registered-query evaluations that failed.
+    pub registered_failed: u64,
+}
+
+/// The query manager of one container.
+#[derive(Debug)]
+pub struct QueryManager {
+    engine: SqlEngine,
+    repository: HashMap<ClientQueryId, ClientQuery>,
+    /// Index from output-table name to the queries that read it.
+    by_table: HashMap<String, Vec<ClientQueryId>>,
+    next_id: u64,
+    stats: QueryManagerStats,
+}
+
+impl QueryManager {
+    /// Creates a query manager.
+    pub fn new(cache_enabled: bool) -> QueryManager {
+        let mut engine = SqlEngine::with_optimizer(OptimizerConfig::default());
+        engine.set_cache_enabled(cache_enabled);
+        QueryManager {
+            engine,
+            repository: HashMap::new(),
+            by_table: HashMap::new(),
+            next_id: 1,
+            stats: QueryManagerStats::default(),
+        }
+    }
+
+    /// Executes an ad-hoc (one-shot) query against the live storage, seeing the full
+    /// retained history of every table.
+    pub fn execute_adhoc(
+        &mut self,
+        sql: &str,
+        storage: &StorageManager,
+        now: Timestamp,
+    ) -> GsnResult<Relation> {
+        self.stats.adhoc_executed += 1;
+        let catalog = LiveCatalog::new(storage, Vec::new(), now);
+        self.engine.execute(sql, &catalog)
+    }
+
+    /// Registers a continuous client query.
+    ///
+    /// `history` bounds how much of each referenced table the query sees on every
+    /// evaluation; `sampling_rate` optionally thins that history (both map directly to the
+    /// random-query workload of the paper's Figure 4 experiment).
+    pub fn register(
+        &mut self,
+        client: &str,
+        sql: &str,
+        history: WindowSpec,
+        sampling_rate: Option<f64>,
+    ) -> GsnResult<ClientQueryId> {
+        let prepared = self.engine.prepare(sql)?;
+        if prepared.referenced_tables().is_empty() {
+            return Err(GsnError::sql_parse(
+                "a registered query must read from at least one virtual sensor",
+            ));
+        }
+        if let Some(rate) = sampling_rate {
+            if !(rate > 0.0 && rate <= 1.0) {
+                return Err(GsnError::config(format!(
+                    "sampling rate must be in (0, 1], got {rate}"
+                )));
+            }
+        }
+        let id = ClientQueryId(self.next_id);
+        self.next_id += 1;
+        for table in prepared.referenced_tables() {
+            self.by_table.entry(table.clone()).or_default().push(id);
+        }
+        self.repository.insert(
+            id,
+            ClientQuery {
+                id,
+                client: client.to_owned(),
+                sql: sql.to_owned(),
+                prepared,
+                history,
+                sampling_rate,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a registered query.
+    pub fn deregister(&mut self, id: ClientQueryId) -> GsnResult<()> {
+        let removed = self
+            .repository
+            .remove(&id)
+            .ok_or_else(|| GsnError::not_found(format!("no registered query {id:?}")))?;
+        for table in removed.referenced_tables() {
+            if let Some(ids) = self.by_table.get_mut(table) {
+                ids.retain(|q| *q != id);
+                if ids.is_empty() {
+                    self.by_table.remove(table);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The registered queries, ordered by id.
+    pub fn registered(&self) -> Vec<&ClientQuery> {
+        let mut all: Vec<&ClientQuery> = self.repository.values().collect();
+        all.sort_by_key(|q| q.id);
+        all
+    }
+
+    /// Number of registered queries.
+    pub fn registered_count(&self) -> usize {
+        self.repository.len()
+    }
+
+    /// The registered queries that read `table`.
+    pub fn queries_for_table(&self, table: &str) -> Vec<ClientQueryId> {
+        self.by_table
+            .get(&table.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Evaluates every registered query affected by a new element in `table`, returning
+    /// the per-query results (failed evaluations are skipped and counted).
+    ///
+    /// This is the inner loop of the Figure 4 experiment: its cost for N registered
+    /// clients is what the paper reports as "total processing time for the set of clients".
+    pub fn evaluate_for_table(
+        &mut self,
+        table: &str,
+        storage: &StorageManager,
+        now: Timestamp,
+    ) -> Vec<ClientQueryResult> {
+        let ids = self.queries_for_table(table);
+        let mut results = Vec::with_capacity(ids.len());
+        for id in ids {
+            let Some(query) = self.repository.get(&id) else {
+                continue;
+            };
+            // Build a catalog exposing each referenced table through the query's history
+            // window and sampling rate.
+            let views: Vec<CatalogView> = query
+                .referenced_tables()
+                .iter()
+                .map(|t| {
+                    let mut view = CatalogView::new(t, t, query.history);
+                    if let Some(rate) = query.sampling_rate {
+                        view = view.with_sampling(rate);
+                    }
+                    view
+                })
+                .collect();
+            let catalog = LiveCatalog::new(storage, views, now);
+            let prepared = query.prepared.clone();
+            let client = query.client.clone();
+            match self.engine.execute_prepared(&prepared, &catalog) {
+                Ok(relation) => {
+                    self.stats.registered_evaluated += 1;
+                    results.push(ClientQueryResult {
+                        query_id: id,
+                        client,
+                        relation,
+                        evaluated_at: now,
+                    });
+                }
+                Err(_) => {
+                    self.stats.registered_failed += 1;
+                }
+            }
+        }
+        results
+    }
+
+    /// Compiles a query without registering or executing it (used for EXPLAIN-style
+    /// inspection through the container API).
+    pub fn explain(&mut self, sql: &str) -> GsnResult<String> {
+        Ok(self.engine.prepare(sql)?.explain())
+    }
+
+    /// Query manager statistics (including the SQL engine's compile/cache counters).
+    pub fn stats(&self) -> (QueryManagerStats, gsn_sql::EngineStats) {
+        (self.stats, self.engine.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_storage::Retention;
+    use gsn_types::{DataType, StreamElement, StreamSchema, Value};
+    use std::sync::Arc;
+
+    fn storage_with_output() -> StorageManager {
+        let storage = StorageManager::new();
+        let schema = Arc::new(
+            StreamSchema::from_pairs(&[
+                ("temperature", DataType::Integer),
+                ("room", DataType::Varchar),
+            ])
+            .unwrap(),
+        );
+        storage
+            .create_table("room_temp", schema.clone(), Retention::Unbounded)
+            .unwrap();
+        for i in 0..20 {
+            let e = StreamElement::new(
+                schema.clone(),
+                vec![Value::Integer(15 + i), Value::varchar(if i % 2 == 0 { "bc143" } else { "bc144" })],
+                Timestamp(i * 100),
+            )
+            .unwrap();
+            storage.insert("room_temp", e, Timestamp(i * 100)).unwrap();
+        }
+        storage
+    }
+
+    #[test]
+    fn adhoc_queries_see_full_history() {
+        let storage = storage_with_output();
+        let mut qm = QueryManager::new(true);
+        let rel = qm
+            .execute_adhoc("select count(*) from room_temp", &storage, Timestamp(2_000))
+            .unwrap();
+        assert_eq!(rel.rows()[0][0], Value::Integer(20));
+        assert_eq!(qm.stats().0.adhoc_executed, 1);
+    }
+
+    #[test]
+    fn register_evaluate_and_deregister() {
+        let storage = storage_with_output();
+        let mut qm = QueryManager::new(true);
+        let hot = qm
+            .register(
+                "client-1",
+                "select temperature from room_temp where temperature > 30",
+                WindowSpec::Count(100),
+                None,
+            )
+            .unwrap();
+        let avg = qm
+            .register(
+                "client-2",
+                "select avg(temperature) from room_temp",
+                WindowSpec::Time(gsn_types::Duration::from_secs(1)),
+                None,
+            )
+            .unwrap();
+        assert_eq!(qm.registered_count(), 2);
+        assert_eq!(qm.queries_for_table("room_temp").len(), 2);
+        assert_eq!(qm.queries_for_table("other").len(), 0);
+
+        let results = qm.evaluate_for_table("room_temp", &storage, Timestamp(1_900));
+        assert_eq!(results.len(), 2);
+        let hot_result = results.iter().find(|r| r.query_id == hot).unwrap();
+        assert_eq!(hot_result.client, "client-1");
+        assert_eq!(hot_result.relation.row_count(), 4); // 31..34
+        let avg_result = results.iter().find(|r| r.query_id == avg).unwrap();
+        // Time window of 1s at t=1900 covers timestamps 900..1900 => temperatures 24..34.
+        assert_eq!(avg_result.relation.rows()[0][0], Value::Double(29.0));
+
+        qm.deregister(hot).unwrap();
+        assert!(qm.deregister(hot).is_err());
+        assert_eq!(qm.registered_count(), 1);
+        assert_eq!(qm.queries_for_table("room_temp").len(), 1);
+        assert_eq!(qm.registered()[0].id, avg);
+    }
+
+    #[test]
+    fn sampling_thins_the_history() {
+        let storage = storage_with_output();
+        let mut qm = QueryManager::new(true);
+        qm.register(
+            "sampler",
+            "select count(*) as n from room_temp",
+            WindowSpec::Count(20),
+            Some(0.5),
+        )
+        .unwrap();
+        let results = qm.evaluate_for_table("room_temp", &storage, Timestamp(2_000));
+        assert_eq!(results[0].relation.rows()[0][0], Value::Integer(10));
+    }
+
+    #[test]
+    fn invalid_registrations_are_rejected() {
+        let mut qm = QueryManager::new(true);
+        assert!(qm
+            .register("c", "select 1", WindowSpec::Count(1), None)
+            .is_err());
+        assert!(qm
+            .register("c", "not sql at all", WindowSpec::Count(1), None)
+            .is_err());
+        assert!(qm
+            .register("c", "select * from t", WindowSpec::Count(1), Some(0.0))
+            .is_err());
+        assert!(qm
+            .register("c", "select * from t", WindowSpec::Count(1), Some(1.5))
+            .is_err());
+        assert_eq!(qm.registered_count(), 0);
+    }
+
+    #[test]
+    fn failing_registered_queries_are_counted_not_fatal() {
+        let storage = storage_with_output();
+        let mut qm = QueryManager::new(true);
+        // References a column that does not exist: registration succeeds (the table is
+        // known only at run time) but evaluation fails.
+        qm.register(
+            "broken-client",
+            "select nonexistent_column from room_temp",
+            WindowSpec::Count(10),
+            None,
+        )
+        .unwrap();
+        qm.register(
+            "ok-client",
+            "select count(*) from room_temp",
+            WindowSpec::Count(10),
+            None,
+        )
+        .unwrap();
+        let results = qm.evaluate_for_table("room_temp", &storage, Timestamp(2_000));
+        assert_eq!(results.len(), 1);
+        let (stats, _) = qm.stats();
+        assert_eq!(stats.registered_evaluated, 1);
+        assert_eq!(stats.registered_failed, 1);
+    }
+
+    #[test]
+    fn prepared_query_cache_is_shared_across_clients() {
+        let mut qm = QueryManager::new(true);
+        let sql = "select avg(temperature) from room_temp";
+        for i in 0..50 {
+            qm.register(&format!("client-{i}"), sql, WindowSpec::Count(10), None)
+                .unwrap();
+        }
+        let (_, engine_stats) = qm.stats();
+        assert_eq!(engine_stats.compiled, 1);
+        assert_eq!(engine_stats.cache_hits, 49);
+
+        let mut uncached = QueryManager::new(false);
+        for i in 0..10 {
+            uncached
+                .register(&format!("client-{i}"), sql, WindowSpec::Count(10), None)
+                .unwrap();
+        }
+        assert_eq!(uncached.stats().1.compiled, 10);
+    }
+
+    #[test]
+    fn explain_renders_plans() {
+        let mut qm = QueryManager::new(true);
+        let plan = qm
+            .explain("select avg(temperature) from room_temp where room = 'bc143'")
+            .unwrap();
+        assert!(plan.contains("Aggregate"));
+        assert!(plan.contains("Scan room_temp"));
+        assert!(qm.explain("garbage").is_err());
+    }
+}

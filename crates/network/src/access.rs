@@ -1,0 +1,264 @@
+//! Access control.
+//!
+//! "the access control layer ensures that access is provided only to entitled parties"
+//! (paper, Section 4).  The reproduction models the common GSN deployment policy: each
+//! virtual sensor is either public or restricted to an explicit list of principals, with a
+//! container-wide default policy and per-sensor overrides.  Principals are simple named
+//! identities (a remote node, a web client); authentication itself is out of scope and is
+//! represented by the caller presenting its principal name.
+
+use std::collections::{HashMap, HashSet};
+
+use gsn_types::{GsnError, GsnResult};
+use parking_lot::RwLock;
+
+/// Who is asking for access.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Principal {
+    /// An anonymous (unauthenticated) client.
+    Anonymous,
+    /// A named identity (remote node name, API key owner, ...).
+    Named(String),
+}
+
+impl Principal {
+    /// Builds a named principal.
+    pub fn named(name: &str) -> Principal {
+        Principal::Named(name.to_ascii_lowercase())
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Principal::Anonymous => "<anonymous>",
+            Principal::Named(n) => n,
+        }
+    }
+}
+
+/// The operation being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Read the output stream / query the virtual sensor.
+    Read,
+    /// Subscribe to notifications.
+    Subscribe,
+    /// Deploy, reconfigure or undeploy virtual sensors.
+    Manage,
+}
+
+/// The container-wide default when no per-sensor rule applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefaultPolicy {
+    /// Everything is allowed unless explicitly restricted (the demo configuration).
+    AllowAll,
+    /// Reads/subscriptions allowed, management restricted to listed administrators.
+    AllowReadOnly,
+    /// Nothing is allowed unless explicitly granted.
+    DenyAll,
+}
+
+/// Per-sensor access rule.
+#[derive(Debug, Clone, Default)]
+struct SensorRule {
+    /// Principals allowed to read/subscribe; empty = follow the default policy.
+    readers: HashSet<Principal>,
+    /// Whether the sensor is explicitly public for reads.
+    public_read: bool,
+}
+
+/// The access-control layer of one container.
+#[derive(Debug)]
+pub struct AccessController {
+    inner: RwLock<AccessInner>,
+}
+
+#[derive(Debug)]
+struct AccessInner {
+    default_policy: DefaultPolicy,
+    administrators: HashSet<Principal>,
+    rules: HashMap<String, SensorRule>,
+    denied: u64,
+    granted: u64,
+}
+
+impl AccessController {
+    /// Creates a controller with the given default policy.
+    pub fn new(default_policy: DefaultPolicy) -> AccessController {
+        AccessController {
+            inner: RwLock::new(AccessInner {
+                default_policy,
+                administrators: HashSet::new(),
+                rules: HashMap::new(),
+                denied: 0,
+                granted: 0,
+            }),
+        }
+    }
+
+    /// A controller that allows everything (the paper's demo setup).
+    pub fn permissive() -> AccessController {
+        AccessController::new(DefaultPolicy::AllowAll)
+    }
+
+    /// Grants administrator (Manage) rights to a principal.
+    pub fn add_administrator(&self, principal: Principal) {
+        self.inner.write().administrators.insert(principal);
+    }
+
+    /// Restricts a sensor so that only the listed principals may read or subscribe.
+    pub fn restrict_sensor(&self, sensor: &str, readers: Vec<Principal>) {
+        let mut inner = self.inner.write();
+        let rule = inner.rules.entry(sensor.to_ascii_lowercase()).or_default();
+        rule.public_read = false;
+        rule.readers = readers.into_iter().collect();
+    }
+
+    /// Marks a sensor as publicly readable regardless of the default policy.
+    pub fn publish_sensor(&self, sensor: &str) {
+        let mut inner = self.inner.write();
+        let rule = inner.rules.entry(sensor.to_ascii_lowercase()).or_default();
+        rule.public_read = true;
+        rule.readers.clear();
+    }
+
+    /// Removes any per-sensor rule (sensor falls back to the default policy).
+    pub fn clear_sensor(&self, sensor: &str) {
+        self.inner.write().rules.remove(&sensor.to_ascii_lowercase());
+    }
+
+    /// Checks whether `principal` may perform `operation` on `sensor`, recording the
+    /// decision in the statistics.
+    pub fn check(&self, principal: &Principal, operation: Operation, sensor: &str) -> bool {
+        let mut inner = self.inner.write();
+        let allowed = Self::decide(&inner, principal, operation, sensor);
+        if allowed {
+            inner.granted += 1;
+        } else {
+            inner.denied += 1;
+        }
+        allowed
+    }
+
+    /// Like [`AccessController::check`] but returns an error suitable for propagation.
+    pub fn authorize(
+        &self,
+        principal: &Principal,
+        operation: Operation,
+        sensor: &str,
+    ) -> GsnResult<()> {
+        if self.check(principal, operation, sensor) {
+            Ok(())
+        } else {
+            Err(GsnError::access_denied(format!(
+                "{} may not {:?} `{sensor}`",
+                principal.name(),
+                operation
+            )))
+        }
+    }
+
+    fn decide(
+        inner: &AccessInner,
+        principal: &Principal,
+        operation: Operation,
+        sensor: &str,
+    ) -> bool {
+        // Administrators can do anything.
+        if inner.administrators.contains(principal) {
+            return true;
+        }
+        if operation == Operation::Manage {
+            // Only administrators manage, unless the container is fully permissive.
+            return inner.default_policy == DefaultPolicy::AllowAll;
+        }
+        if let Some(rule) = inner.rules.get(&sensor.to_ascii_lowercase()) {
+            if rule.public_read {
+                return true;
+            }
+            if !rule.readers.is_empty() {
+                return rule.readers.contains(principal);
+            }
+        }
+        match inner.default_policy {
+            DefaultPolicy::AllowAll | DefaultPolicy::AllowReadOnly => true,
+            DefaultPolicy::DenyAll => false,
+        }
+    }
+
+    /// `(granted, denied)` decision counts.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.read();
+        (inner.granted, inner.denied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissive_allows_everything() {
+        let ac = AccessController::permissive();
+        assert!(ac.check(&Principal::Anonymous, Operation::Read, "any"));
+        assert!(ac.check(&Principal::named("x"), Operation::Subscribe, "any"));
+        assert!(ac.check(&Principal::Anonymous, Operation::Manage, "any"));
+        assert_eq!(ac.stats(), (3, 0));
+    }
+
+    #[test]
+    fn deny_all_requires_explicit_grants() {
+        let ac = AccessController::new(DefaultPolicy::DenyAll);
+        let alice = Principal::named("alice");
+        assert!(!ac.check(&alice, Operation::Read, "motes"));
+        ac.restrict_sensor("motes", vec![alice.clone()]);
+        assert!(ac.check(&alice, Operation::Read, "MOTES"));
+        assert!(!ac.check(&Principal::named("bob"), Operation::Read, "motes"));
+        assert!(!ac.check(&Principal::Anonymous, Operation::Read, "motes"));
+        assert!(ac.authorize(&alice, Operation::Read, "motes").is_ok());
+        let err = ac
+            .authorize(&Principal::Anonymous, Operation::Read, "motes")
+            .unwrap_err();
+        assert_eq!(err.category(), "access-denied");
+    }
+
+    #[test]
+    fn read_only_policy_restricts_management() {
+        let ac = AccessController::new(DefaultPolicy::AllowReadOnly);
+        let admin = Principal::named("operator");
+        assert!(ac.check(&Principal::Anonymous, Operation::Read, "motes"));
+        assert!(!ac.check(&Principal::Anonymous, Operation::Manage, "motes"));
+        assert!(!ac.check(&admin, Operation::Manage, "motes"));
+        ac.add_administrator(admin.clone());
+        assert!(ac.check(&admin, Operation::Manage, "motes"));
+        assert!(ac.check(&admin, Operation::Read, "anything"));
+    }
+
+    #[test]
+    fn public_sensors_override_deny_all() {
+        let ac = AccessController::new(DefaultPolicy::DenyAll);
+        ac.publish_sensor("public-weather");
+        assert!(ac.check(&Principal::Anonymous, Operation::Read, "public-weather"));
+        assert!(!ac.check(&Principal::Anonymous, Operation::Read, "private"));
+        ac.clear_sensor("public-weather");
+        assert!(!ac.check(&Principal::Anonymous, Operation::Read, "public-weather"));
+    }
+
+    #[test]
+    fn restriction_replaces_public_flag() {
+        let ac = AccessController::new(DefaultPolicy::AllowAll);
+        ac.publish_sensor("cam");
+        ac.restrict_sensor("cam", vec![Principal::named("alice")]);
+        assert!(ac.check(&Principal::named("ALICE"), Operation::Subscribe, "cam"));
+        assert!(!ac.check(&Principal::named("eve"), Operation::Read, "cam"));
+        let (granted, denied) = ac.stats();
+        assert_eq!(granted + denied, 2);
+    }
+
+    #[test]
+    fn principal_names() {
+        assert_eq!(Principal::Anonymous.name(), "<anonymous>");
+        assert_eq!(Principal::named("Node-1").name(), "node-1");
+        assert_eq!(Principal::named("A"), Principal::named("a"));
+    }
+}

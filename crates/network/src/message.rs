@@ -1,0 +1,655 @@
+//! Inter-container messages and their wire encoding.
+//!
+//! GSN nodes "communicate among each other in a peer-to-peer fashion" (paper, Section 4):
+//! they publish virtual sensors to a directory, subscribe to remote virtual sensors
+//! (logical addressing through `wrapper="remote"`), and deliver stream elements to remote
+//! subscribers.  The message set below covers that protocol.  Although the reproduction's
+//! network is simulated in-process, messages are genuinely serialised to bytes and parsed
+//! back so that the per-element cost of remote delivery (encoding + copying + decoding) is
+//! exercised, as it would be over TCP.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gsn_types::{GsnError, GsnResult, NodeId, StreamElement, StreamSchema, Timestamp, Value};
+use std::sync::Arc;
+
+/// A monotonically increasing identifier for request/response correlation.
+pub type RequestId = u64;
+
+/// One message exchanged between GSN containers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Register a virtual sensor with the directory.
+    DirectoryRegister {
+        /// The publishing node.
+        node: NodeId,
+        /// The virtual sensor name.
+        sensor: String,
+        /// Discovery metadata (key–value predicates).
+        metadata: Vec<(String, String)>,
+    },
+    /// Remove a virtual sensor from the directory.
+    DirectoryDeregister {
+        /// The publishing node.
+        node: NodeId,
+        /// The virtual sensor name.
+        sensor: String,
+    },
+    /// Look up virtual sensors matching all the given predicates.
+    DirectoryLookup {
+        /// Correlation id.
+        request: RequestId,
+        /// The predicates that must all match.
+        predicates: Vec<(String, String)>,
+    },
+    /// The response to a lookup: matching (node, sensor) pairs.
+    DirectoryResult {
+        /// Correlation id of the lookup.
+        request: RequestId,
+        /// The matches.
+        matches: Vec<(NodeId, String)>,
+    },
+    /// Subscribe to a remote virtual sensor's output stream.
+    Subscribe {
+        /// Correlation id.
+        request: RequestId,
+        /// The subscribing node.
+        subscriber: NodeId,
+        /// The remote virtual sensor name.
+        sensor: String,
+    },
+    /// Acknowledge (or refuse) a subscription.
+    SubscribeAck {
+        /// Correlation id of the subscription.
+        request: RequestId,
+        /// Whether the subscription was accepted.
+        accepted: bool,
+        /// Reason when refused.
+        reason: String,
+    },
+    /// Cancel a subscription.
+    Unsubscribe {
+        /// The subscribing node.
+        subscriber: NodeId,
+        /// The remote virtual sensor name.
+        sensor: String,
+    },
+    /// Deliver one output stream element of a virtual sensor to a subscriber.
+    StreamDelivery {
+        /// The producing virtual sensor.
+        sensor: String,
+        /// The element payload.
+        element: WireElement,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id.
+        request: RequestId,
+    },
+    /// Liveness answer.
+    Pong {
+        /// Correlation id of the ping.
+        request: RequestId,
+    },
+}
+
+impl Message {
+    /// A short tag naming the message type (for logs and statistics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::DirectoryRegister { .. } => "directory-register",
+            Message::DirectoryDeregister { .. } => "directory-deregister",
+            Message::DirectoryLookup { .. } => "directory-lookup",
+            Message::DirectoryResult { .. } => "directory-result",
+            Message::Subscribe { .. } => "subscribe",
+            Message::SubscribeAck { .. } => "subscribe-ack",
+            Message::Unsubscribe { .. } => "unsubscribe",
+            Message::StreamDelivery { .. } => "stream-delivery",
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
+        }
+    }
+}
+
+/// A stream element flattened for the wire: field names, types and values travel together
+/// so the receiver can reconstruct the schema without an out-of-band exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireElement {
+    /// Field names in order.
+    pub fields: Vec<(String, gsn_types::DataType)>,
+    /// Field values in order.
+    pub values: Vec<Value>,
+    /// The element timestamp.
+    pub timestamp: Timestamp,
+    /// The producer-side timestamp, if known.
+    pub produced_at: Option<Timestamp>,
+}
+
+impl WireElement {
+    /// Flattens a stream element.
+    pub fn from_element(element: &StreamElement) -> WireElement {
+        WireElement {
+            fields: element
+                .schema()
+                .fields()
+                .map(|f| (f.name.as_str().to_owned(), f.data_type))
+                .collect(),
+            values: element.values().to_vec(),
+            timestamp: element.timestamp(),
+            produced_at: element.produced_at(),
+        }
+    }
+
+    /// Reconstructs a stream element (rebuilding the schema).
+    pub fn into_element(self) -> GsnResult<StreamElement> {
+        let schema = StreamSchema::from_pairs(
+            &self
+                .fields
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect::<Vec<_>>(),
+        )?;
+        let mut element = StreamElement::new(Arc::new(schema), self.values, self.timestamp)?;
+        if let Some(p) = self.produced_at {
+            element = element.with_produced_at(p);
+        }
+        Ok(element)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------------------
+
+const TAG_DIR_REGISTER: u8 = 1;
+const TAG_DIR_DEREGISTER: u8 = 2;
+const TAG_DIR_LOOKUP: u8 = 3;
+const TAG_DIR_RESULT: u8 = 4;
+const TAG_SUBSCRIBE: u8 = 5;
+const TAG_SUBSCRIBE_ACK: u8 = 6;
+const TAG_UNSUBSCRIBE: u8 = 7;
+const TAG_STREAM_DELIVERY: u8 = 8;
+const TAG_PING: u8 = 9;
+const TAG_PONG: u8 = 10;
+
+const VAL_NULL: u8 = 0;
+const VAL_INTEGER: u8 = 1;
+const VAL_DOUBLE: u8 = 2;
+const VAL_VARCHAR: u8 = 3;
+const VAL_BOOLEAN: u8 = 4;
+const VAL_BINARY: u8 = 5;
+const VAL_TIMESTAMP: u8 = 6;
+
+/// Encodes a message to bytes.
+pub fn encode(message: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match message {
+        Message::DirectoryRegister {
+            node,
+            sensor,
+            metadata,
+        } => {
+            buf.put_u8(TAG_DIR_REGISTER);
+            buf.put_u64(node.as_u64());
+            put_string(&mut buf, sensor);
+            put_pairs(&mut buf, metadata);
+        }
+        Message::DirectoryDeregister { node, sensor } => {
+            buf.put_u8(TAG_DIR_DEREGISTER);
+            buf.put_u64(node.as_u64());
+            put_string(&mut buf, sensor);
+        }
+        Message::DirectoryLookup {
+            request,
+            predicates,
+        } => {
+            buf.put_u8(TAG_DIR_LOOKUP);
+            buf.put_u64(*request);
+            put_pairs(&mut buf, predicates);
+        }
+        Message::DirectoryResult { request, matches } => {
+            buf.put_u8(TAG_DIR_RESULT);
+            buf.put_u64(*request);
+            buf.put_u32(matches.len() as u32);
+            for (node, sensor) in matches {
+                buf.put_u64(node.as_u64());
+                put_string(&mut buf, sensor);
+            }
+        }
+        Message::Subscribe {
+            request,
+            subscriber,
+            sensor,
+        } => {
+            buf.put_u8(TAG_SUBSCRIBE);
+            buf.put_u64(*request);
+            buf.put_u64(subscriber.as_u64());
+            put_string(&mut buf, sensor);
+        }
+        Message::SubscribeAck {
+            request,
+            accepted,
+            reason,
+        } => {
+            buf.put_u8(TAG_SUBSCRIBE_ACK);
+            buf.put_u64(*request);
+            buf.put_u8(u8::from(*accepted));
+            put_string(&mut buf, reason);
+        }
+        Message::Unsubscribe { subscriber, sensor } => {
+            buf.put_u8(TAG_UNSUBSCRIBE);
+            buf.put_u64(subscriber.as_u64());
+            put_string(&mut buf, sensor);
+        }
+        Message::StreamDelivery { sensor, element } => {
+            buf.put_u8(TAG_STREAM_DELIVERY);
+            put_string(&mut buf, sensor);
+            put_element(&mut buf, element);
+        }
+        Message::Ping { request } => {
+            buf.put_u8(TAG_PING);
+            buf.put_u64(*request);
+        }
+        Message::Pong { request } => {
+            buf.put_u8(TAG_PONG);
+            buf.put_u64(*request);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a message from bytes.
+pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
+    let err = |what: &str| GsnError::internal(format!("malformed message: {what}"));
+    if buf.is_empty() {
+        return Err(err("empty buffer"));
+    }
+    let tag = buf.get_u8();
+    let message = match tag {
+        TAG_DIR_REGISTER => Message::DirectoryRegister {
+            node: NodeId::new(get_u64(&mut buf)?),
+            sensor: get_string(&mut buf)?,
+            metadata: get_pairs(&mut buf)?,
+        },
+        TAG_DIR_DEREGISTER => Message::DirectoryDeregister {
+            node: NodeId::new(get_u64(&mut buf)?),
+            sensor: get_string(&mut buf)?,
+        },
+        TAG_DIR_LOOKUP => Message::DirectoryLookup {
+            request: get_u64(&mut buf)?,
+            predicates: get_pairs(&mut buf)?,
+        },
+        TAG_DIR_RESULT => {
+            let request = get_u64(&mut buf)?;
+            let n = get_u32(&mut buf)? as usize;
+            let mut matches = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let node = NodeId::new(get_u64(&mut buf)?);
+                let sensor = get_string(&mut buf)?;
+                matches.push((node, sensor));
+            }
+            Message::DirectoryResult { request, matches }
+        }
+        TAG_SUBSCRIBE => Message::Subscribe {
+            request: get_u64(&mut buf)?,
+            subscriber: NodeId::new(get_u64(&mut buf)?),
+            sensor: get_string(&mut buf)?,
+        },
+        TAG_SUBSCRIBE_ACK => Message::SubscribeAck {
+            request: get_u64(&mut buf)?,
+            accepted: get_u8(&mut buf)? != 0,
+            reason: get_string(&mut buf)?,
+        },
+        TAG_UNSUBSCRIBE => Message::Unsubscribe {
+            subscriber: NodeId::new(get_u64(&mut buf)?),
+            sensor: get_string(&mut buf)?,
+        },
+        TAG_STREAM_DELIVERY => Message::StreamDelivery {
+            sensor: get_string(&mut buf)?,
+            element: get_element(&mut buf)?,
+        },
+        TAG_PING => Message::Ping {
+            request: get_u64(&mut buf)?,
+        },
+        TAG_PONG => Message::Pong {
+            request: get_u64(&mut buf)?,
+        },
+        other => return Err(err(&format!("unknown tag {other}"))),
+    };
+    if !buf.is_empty() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(message)
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_pairs(buf: &mut BytesMut, pairs: &[(String, String)]) {
+    buf.put_u32(pairs.len() as u32);
+    for (k, v) in pairs {
+        put_string(buf, k);
+        put_string(buf, v);
+    }
+}
+
+fn put_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Null => buf.put_u8(VAL_NULL),
+        Value::Integer(i) => {
+            buf.put_u8(VAL_INTEGER);
+            buf.put_i64(*i);
+        }
+        Value::Double(d) => {
+            buf.put_u8(VAL_DOUBLE);
+            buf.put_f64(*d);
+        }
+        Value::Varchar(s) => {
+            buf.put_u8(VAL_VARCHAR);
+            put_string(buf, s);
+        }
+        Value::Boolean(b) => {
+            buf.put_u8(VAL_BOOLEAN);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Binary(bytes) => {
+            buf.put_u8(VAL_BINARY);
+            buf.put_u32(bytes.len() as u32);
+            buf.put_slice(bytes);
+        }
+        Value::Timestamp(t) => {
+            buf.put_u8(VAL_TIMESTAMP);
+            buf.put_i64(t.as_millis());
+        }
+    }
+}
+
+fn put_element(buf: &mut BytesMut, element: &WireElement) {
+    buf.put_u32(element.fields.len() as u32);
+    for (name, ty) in &element.fields {
+        put_string(buf, name);
+        put_string(buf, ty.canonical_name());
+    }
+    buf.put_u32(element.values.len() as u32);
+    for v in &element.values {
+        put_value(buf, v);
+    }
+    buf.put_i64(element.timestamp.as_millis());
+    match element.produced_at {
+        Some(t) => {
+            buf.put_u8(1);
+            buf.put_i64(t.as_millis());
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_u8(buf: &mut &[u8]) -> GsnResult<u8> {
+    if buf.remaining() < 1 {
+        return Err(GsnError::internal("malformed message: truncated u8"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut &[u8]) -> GsnResult<u32> {
+    if buf.remaining() < 4 {
+        return Err(GsnError::internal("malformed message: truncated u32"));
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_u64(buf: &mut &[u8]) -> GsnResult<u64> {
+    if buf.remaining() < 8 {
+        return Err(GsnError::internal("malformed message: truncated u64"));
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_i64(buf: &mut &[u8]) -> GsnResult<i64> {
+    if buf.remaining() < 8 {
+        return Err(GsnError::internal("malformed message: truncated i64"));
+    }
+    Ok(buf.get_i64())
+}
+
+fn get_f64(buf: &mut &[u8]) -> GsnResult<f64> {
+    if buf.remaining() < 8 {
+        return Err(GsnError::internal("malformed message: truncated f64"));
+    }
+    Ok(buf.get_f64())
+}
+
+fn get_string(buf: &mut &[u8]) -> GsnResult<String> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(GsnError::internal("malformed message: truncated string"));
+    }
+    let bytes = buf[..len].to_vec();
+    buf.advance(len);
+    String::from_utf8(bytes).map_err(|_| GsnError::internal("malformed message: invalid UTF-8"))
+}
+
+fn get_pairs(buf: &mut &[u8]) -> GsnResult<Vec<(String, String)>> {
+    let n = get_u32(buf)? as usize;
+    let mut pairs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let k = get_string(buf)?;
+        let v = get_string(buf)?;
+        pairs.push((k, v));
+    }
+    Ok(pairs)
+}
+
+fn get_value(buf: &mut &[u8]) -> GsnResult<Value> {
+    let tag = get_u8(buf)?;
+    Ok(match tag {
+        VAL_NULL => Value::Null,
+        VAL_INTEGER => Value::Integer(get_i64(buf)?),
+        VAL_DOUBLE => Value::Double(get_f64(buf)?),
+        VAL_VARCHAR => Value::Varchar(get_string(buf)?),
+        VAL_BOOLEAN => Value::Boolean(get_u8(buf)? != 0),
+        VAL_BINARY => {
+            let len = get_u32(buf)? as usize;
+            if buf.remaining() < len {
+                return Err(GsnError::internal("malformed message: truncated binary"));
+            }
+            let bytes = buf[..len].to_vec();
+            buf.advance(len);
+            Value::binary(bytes)
+        }
+        VAL_TIMESTAMP => Value::Timestamp(Timestamp::from_millis(get_i64(buf)?)),
+        other => {
+            return Err(GsnError::internal(format!(
+                "malformed message: unknown value tag {other}"
+            )))
+        }
+    })
+}
+
+fn get_element(buf: &mut &[u8]) -> GsnResult<WireElement> {
+    let n_fields = get_u32(buf)? as usize;
+    let mut fields = Vec::with_capacity(n_fields.min(1024));
+    for _ in 0..n_fields {
+        let name = get_string(buf)?;
+        let ty = gsn_types::DataType::parse(&get_string(buf)?)?;
+        fields.push((name, ty));
+    }
+    let n_values = get_u32(buf)? as usize;
+    let mut values = Vec::with_capacity(n_values.min(1024));
+    for _ in 0..n_values {
+        values.push(get_value(buf)?);
+    }
+    let timestamp = Timestamp::from_millis(get_i64(buf)?);
+    let produced_at = if get_u8(buf)? == 1 {
+        Some(Timestamp::from_millis(get_i64(buf)?))
+    } else {
+        None
+    };
+    Ok(WireElement {
+        fields,
+        values,
+        timestamp,
+        produced_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::DataType;
+
+    fn sample_element() -> StreamElement {
+        let schema = Arc::new(
+            StreamSchema::from_pairs(&[
+                ("temperature", DataType::Integer),
+                ("room", DataType::Varchar),
+                ("image", DataType::Binary),
+                ("ok", DataType::Boolean),
+                ("light", DataType::Double),
+                ("seen", DataType::Timestamp),
+                ("missing", DataType::Varchar),
+            ])
+            .unwrap(),
+        );
+        StreamElement::new(
+            schema,
+            vec![
+                Value::Integer(21),
+                Value::varchar("bc143"),
+                Value::binary(vec![1, 2, 3, 4]),
+                Value::Boolean(true),
+                Value::Double(444.5),
+                Value::Timestamp(Timestamp(99)),
+                Value::Null,
+            ],
+            Timestamp(1_234),
+        )
+        .unwrap()
+        .with_produced_at(Timestamp(1_200))
+    }
+
+    fn roundtrip(message: Message) {
+        let bytes = encode(&message);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        roundtrip(Message::DirectoryRegister {
+            node: NodeId::new(3),
+            sensor: "room-temp".into(),
+            metadata: vec![("type".into(), "temperature".into()), ("location".into(), "bc143".into())],
+        });
+        roundtrip(Message::DirectoryDeregister {
+            node: NodeId::new(3),
+            sensor: "room-temp".into(),
+        });
+        roundtrip(Message::DirectoryLookup {
+            request: 77,
+            predicates: vec![("type".into(), "temperature".into())],
+        });
+        roundtrip(Message::DirectoryResult {
+            request: 77,
+            matches: vec![(NodeId::new(1), "a".into()), (NodeId::new(2), "b".into())],
+        });
+        roundtrip(Message::Subscribe {
+            request: 5,
+            subscriber: NodeId::new(9),
+            sensor: "cam".into(),
+        });
+        roundtrip(Message::SubscribeAck {
+            request: 5,
+            accepted: false,
+            reason: "access denied".into(),
+        });
+        roundtrip(Message::Unsubscribe {
+            subscriber: NodeId::new(9),
+            sensor: "cam".into(),
+        });
+        roundtrip(Message::Ping { request: 1 });
+        roundtrip(Message::Pong { request: 1 });
+        roundtrip(Message::StreamDelivery {
+            sensor: "motes".into(),
+            element: WireElement::from_element(&sample_element()),
+        });
+    }
+
+    #[test]
+    fn wire_element_reconstructs_stream_element() {
+        let original = sample_element();
+        let wire = WireElement::from_element(&original);
+        let bytes = encode(&Message::StreamDelivery {
+            sensor: "s".into(),
+            element: wire,
+        });
+        let decoded = decode(&bytes).unwrap();
+        match decoded {
+            Message::StreamDelivery { element, .. } => {
+                let rebuilt = element.into_element().unwrap();
+                assert_eq!(rebuilt.values(), original.values());
+                assert_eq!(rebuilt.timestamp(), original.timestamp());
+                assert_eq!(rebuilt.produced_at(), original.produced_at());
+                assert_eq!(rebuilt.schema().names(), original.schema().names());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[255]).is_err());
+        assert!(decode(&[TAG_PING]).is_err()); // truncated request id
+        // Trailing garbage after a valid message.
+        let mut bytes = encode(&Message::Ping { request: 1 }).to_vec();
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+        // Corrupted string length.
+        let mut bytes = encode(&Message::DirectoryDeregister {
+            node: NodeId::new(1),
+            sensor: "x".into(),
+        })
+        .to_vec();
+        let len = bytes.len();
+        bytes[len - 3] = 0xFF; // inflate the sensor-name length prefix
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Message::Ping { request: 0 }.kind(), "ping");
+        assert_eq!(
+            Message::StreamDelivery {
+                sensor: "s".into(),
+                element: WireElement::from_element(&sample_element())
+            }
+            .kind(),
+            "stream-delivery"
+        );
+    }
+
+    #[test]
+    fn encoded_size_scales_with_payload() {
+        let small = encode(&Message::StreamDelivery {
+            sensor: "s".into(),
+            element: WireElement {
+                fields: vec![("image".into(), DataType::Binary)],
+                values: vec![Value::binary(vec![0; 15])],
+                timestamp: Timestamp(0),
+                produced_at: None,
+            },
+        });
+        let large = encode(&Message::StreamDelivery {
+            sensor: "s".into(),
+            element: WireElement {
+                fields: vec![("image".into(), DataType::Binary)],
+                values: vec![Value::binary(vec![0; 32 * 1024])],
+                timestamp: Timestamp(0),
+                produced_at: None,
+            },
+        });
+        assert!(large.len() - small.len() >= 32 * 1024 - 15);
+    }
+}

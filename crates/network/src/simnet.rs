@@ -1,0 +1,398 @@
+//! The simulated peer-to-peer network.
+//!
+//! The paper's GSN nodes talk over campus TCP/HTTP links; the reproduction substitutes an
+//! in-process network whose links have configurable latency, bandwidth and loss (DESIGN.md
+//! documents the substitution).  Delivery is clock-driven: a message sent at `t` over a
+//! link with latency `L` and bandwidth `B` becomes visible to the destination's inbox at
+//! `t + L + size/B`, which preserves the ordering and delay behaviour that matter to the
+//! middleware (disconnect buffers, observation delays, notification latency ablation).
+
+use std::collections::HashMap;
+
+use gsn_types::{Duration, GsnError, GsnResult, NodeId, Timestamp};
+use parking_lot::Mutex;
+
+use crate::message::{encode, Message};
+
+/// Link quality parameters between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Bandwidth in bytes per millisecond (0 = infinite).
+    pub bytes_per_ms: u64,
+    /// Probability that a message is silently dropped.
+    pub loss_probability: f64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            latency: Duration::from_millis(1),
+            bytes_per_ms: 0,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// A perfect local link: no latency, no loss, infinite bandwidth.
+    pub fn perfect() -> LinkSpec {
+        LinkSpec {
+            latency: Duration::ZERO,
+            bytes_per_ms: 0,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A typical wired LAN link (1 ms latency, ~100 MB/s).
+    pub fn lan() -> LinkSpec {
+        LinkSpec {
+            latency: Duration::from_millis(1),
+            bytes_per_ms: 100_000,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A lossy wireless link.
+    pub fn wireless(latency_ms: i64, loss_probability: f64) -> LinkSpec {
+        LinkSpec {
+            latency: Duration::from_millis(latency_ms),
+            bytes_per_ms: 2_000,
+            loss_probability,
+        }
+    }
+
+    /// The transmission delay for a message of `size` bytes.
+    pub fn transfer_delay(&self, size: usize) -> Duration {
+        if self.bytes_per_ms == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_millis((size as u64).div_ceil(self.bytes_per_ms) as i64)
+        }
+    }
+}
+
+/// A message waiting in (or delivered from) a node's inbox.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The sending node.
+    pub from: NodeId,
+    /// The destination node.
+    pub to: NodeId,
+    /// When the message becomes visible at the destination.
+    pub deliver_at: Timestamp,
+    /// The message.
+    pub message: Message,
+    /// The encoded size in bytes (what would travel on a real wire).
+    pub wire_size: usize,
+}
+
+/// Per-network delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages accepted for delivery.
+    pub sent: u64,
+    /// Messages dropped by lossy links.
+    pub dropped: u64,
+    /// Messages handed to receivers.
+    pub delivered: u64,
+    /// Total bytes accepted for delivery.
+    pub bytes_sent: u64,
+}
+
+/// The in-process network connecting simulated GSN nodes.
+#[derive(Debug, Default)]
+pub struct SimulatedNetwork {
+    inner: Mutex<NetworkInner>,
+}
+
+#[derive(Debug, Default)]
+struct NetworkInner {
+    nodes: Vec<NodeId>,
+    links: HashMap<(NodeId, NodeId), LinkSpec>,
+    default_link: LinkSpec,
+    inboxes: HashMap<NodeId, Vec<Envelope>>,
+    stats: NetworkStats,
+    /// Deterministic loss decisions: a simple counter-based hash keeps runs reproducible
+    /// without threading an RNG through every send call.
+    loss_counter: u64,
+    partitions: Vec<(NodeId, NodeId)>,
+}
+
+impl SimulatedNetwork {
+    /// Creates an empty network whose default link is [`LinkSpec::default`].
+    pub fn new() -> SimulatedNetwork {
+        SimulatedNetwork::default()
+    }
+
+    /// Registers a node, creating its inbox.
+    pub fn add_node(&self, node: NodeId) -> GsnResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.contains(&node) {
+            return Err(GsnError::already_exists(format!("{node} already joined the network")));
+        }
+        inner.nodes.push(node);
+        inner.inboxes.insert(node, Vec::new());
+        Ok(())
+    }
+
+    /// The registered nodes.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.inner.lock().nodes.clone()
+    }
+
+    /// Sets the default link used between nodes with no explicit link.
+    pub fn set_default_link(&self, spec: LinkSpec) {
+        self.inner.lock().default_link = spec;
+    }
+
+    /// Sets the link between two nodes (both directions).
+    pub fn set_link(&self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        let mut inner = self.inner.lock();
+        inner.links.insert((a, b), spec);
+        inner.links.insert((b, a), spec);
+    }
+
+    /// Severs connectivity between two nodes (both directions) until
+    /// [`SimulatedNetwork::heal_partition`] is called.  Used to test disconnect buffers.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut inner = self.inner.lock();
+        if !inner.partitions.contains(&(a, b)) {
+            inner.partitions.push((a, b));
+            inner.partitions.push((b, a));
+        }
+    }
+
+    /// Restores connectivity between two nodes.
+    pub fn heal_partition(&self, a: NodeId, b: NodeId) {
+        let mut inner = self.inner.lock();
+        inner.partitions.retain(|p| *p != (a, b) && *p != (b, a));
+    }
+
+    /// True when traffic from `a` to `b` is currently blocked.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.inner.lock().partitions.contains(&(a, b))
+    }
+
+    /// Sends a message, returning its wire size, or an error when the destination is
+    /// unknown or currently partitioned from the sender.
+    pub fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        message: Message,
+        now: Timestamp,
+    ) -> GsnResult<usize> {
+        let mut inner = self.inner.lock();
+        if !inner.inboxes.contains_key(&to) {
+            return Err(GsnError::not_found(format!("{to} is not part of the network")));
+        }
+        if inner.partitions.contains(&(from, to)) {
+            return Err(GsnError::disconnected(format!("{from} cannot reach {to} (partitioned)")));
+        }
+        let wire = encode(&message);
+        let wire_size = wire.len();
+        let spec = inner
+            .links
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(inner.default_link);
+
+        inner.stats.sent += 1;
+        inner.stats.bytes_sent += wire_size as u64;
+
+        // Deterministic pseudo-random loss.
+        if spec.loss_probability > 0.0 {
+            inner.loss_counter = inner.loss_counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let draw = (inner.loss_counter >> 33) as f64 / (u32::MAX as f64 / 2.0).max(1.0);
+            if draw.fract() < spec.loss_probability {
+                inner.stats.dropped += 1;
+                return Ok(wire_size);
+            }
+        }
+
+        let deliver_at = now + spec.latency + spec.transfer_delay(wire_size);
+        // Decode from the wire bytes so the receiver sees exactly what was serialised —
+        // this keeps the codec on the hot path, as it would be on a real socket.
+        let message = crate::message::decode(&wire)?;
+        inner
+            .inboxes
+            .get_mut(&to)
+            .expect("checked above")
+            .push(Envelope {
+                from,
+                to,
+                deliver_at,
+                message,
+                wire_size,
+            });
+        Ok(wire_size)
+    }
+
+    /// Drains every message addressed to `node` whose delivery time has arrived.
+    pub fn receive(&self, node: NodeId, now: Timestamp) -> Vec<Envelope> {
+        let mut inner = self.inner.lock();
+        let Some(inbox) = inner.inboxes.get_mut(&node) else {
+            return Vec::new();
+        };
+        let mut due: Vec<Envelope> = Vec::new();
+        let mut remaining: Vec<Envelope> = Vec::new();
+        for envelope in inbox.drain(..) {
+            if envelope.deliver_at <= now {
+                due.push(envelope);
+            } else {
+                remaining.push(envelope);
+            }
+        }
+        *inbox = remaining;
+        due.sort_by_key(|e| e.deliver_at);
+        inner.stats.delivered += due.len() as u64;
+        due
+    }
+
+    /// Number of messages queued for `node` (delivered or not).
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.inner
+            .lock()
+            .inboxes
+            .get(&node)
+            .map(|i| i.len())
+            .unwrap_or(0)
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> NetworkStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ping(request: u64) -> Message {
+        Message::Ping { request }
+    }
+
+    #[test]
+    fn add_nodes_and_reject_duplicates() {
+        let net = SimulatedNetwork::new();
+        net.add_node(NodeId::new(1)).unwrap();
+        net.add_node(NodeId::new(2)).unwrap();
+        assert!(net.add_node(NodeId::new(1)).is_err());
+        assert_eq!(net.nodes().len(), 2);
+    }
+
+    #[test]
+    fn messages_arrive_after_latency() {
+        let net = SimulatedNetwork::new();
+        let (a, b) = (NodeId::new(1), NodeId::new(2));
+        net.add_node(a).unwrap();
+        net.add_node(b).unwrap();
+        net.set_link(a, b, LinkSpec {
+            latency: Duration::from_millis(50),
+            bytes_per_ms: 0,
+            loss_probability: 0.0,
+        });
+        net.send(a, b, ping(1), Timestamp(100)).unwrap();
+        assert!(net.receive(b, Timestamp(149)).is_empty());
+        assert_eq!(net.pending(b), 1);
+        let got = net.receive(b, Timestamp(150));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].from, a);
+        assert_eq!(got[0].deliver_at, Timestamp(150));
+        assert_eq!(net.pending(b), 0);
+    }
+
+    #[test]
+    fn bandwidth_adds_transfer_delay() {
+        let spec = LinkSpec {
+            latency: Duration::from_millis(1),
+            bytes_per_ms: 1_000,
+            loss_probability: 0.0,
+        };
+        assert_eq!(spec.transfer_delay(10_000), Duration::from_millis(10));
+        assert_eq!(spec.transfer_delay(1), Duration::from_millis(1));
+        assert_eq!(LinkSpec::perfect().transfer_delay(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = SimulatedNetwork::new();
+        net.add_node(NodeId::new(1)).unwrap();
+        assert!(net
+            .send(NodeId::new(1), NodeId::new(9), ping(1), Timestamp(0))
+            .is_err());
+        assert!(net.receive(NodeId::new(9), Timestamp(0)).is_empty());
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let net = SimulatedNetwork::new();
+        let (a, b) = (NodeId::new(1), NodeId::new(2));
+        net.add_node(a).unwrap();
+        net.add_node(b).unwrap();
+        net.partition(a, b);
+        assert!(net.is_partitioned(a, b));
+        assert!(net.is_partitioned(b, a));
+        let err = net.send(a, b, ping(1), Timestamp(0)).unwrap_err();
+        assert!(err.is_transient());
+        net.heal_partition(a, b);
+        assert!(!net.is_partitioned(a, b));
+        net.send(a, b, ping(2), Timestamp(0)).unwrap();
+        assert_eq!(net.receive(b, Timestamp(10)).len(), 1);
+    }
+
+    #[test]
+    fn lossy_links_drop_some_messages() {
+        let net = SimulatedNetwork::new();
+        let (a, b) = (NodeId::new(1), NodeId::new(2));
+        net.add_node(a).unwrap();
+        net.add_node(b).unwrap();
+        net.set_link(a, b, LinkSpec::wireless(5, 0.5));
+        for i in 0..200 {
+            net.send(a, b, ping(i), Timestamp(i as i64)).unwrap();
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 200);
+        assert!(stats.dropped > 20 && stats.dropped < 180, "dropped {}", stats.dropped);
+        let delivered = net.receive(b, Timestamp(10_000)).len() as u64;
+        assert_eq!(delivered + stats.dropped, 200);
+    }
+
+    #[test]
+    fn delivery_is_ordered_by_arrival_time() {
+        let net = SimulatedNetwork::new();
+        let (a, b, c) = (NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        net.add_node(a).unwrap();
+        net.add_node(b).unwrap();
+        net.add_node(c).unwrap();
+        net.set_link(a, c, LinkSpec {
+            latency: Duration::from_millis(100),
+            ..LinkSpec::perfect()
+        });
+        net.set_link(b, c, LinkSpec::perfect());
+        net.send(a, c, ping(1), Timestamp(0)).unwrap();
+        net.send(b, c, ping(2), Timestamp(50)).unwrap();
+        let got = net.receive(c, Timestamp(200));
+        assert_eq!(got.len(), 2);
+        // b's message arrives at 50, a's at 100.
+        assert!(matches!(got[0].message, Message::Ping { request: 2 }));
+        assert!(matches!(got[1].message, Message::Ping { request: 1 }));
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let net = SimulatedNetwork::new();
+        let (a, b) = (NodeId::new(1), NodeId::new(2));
+        net.add_node(a).unwrap();
+        net.add_node(b).unwrap();
+        let size = net.send(a, b, ping(1), Timestamp(0)).unwrap();
+        assert!(size > 0);
+        assert_eq!(net.stats().bytes_sent, size as u64);
+        assert_eq!(net.stats().sent, 1);
+        net.receive(b, Timestamp(100));
+        assert_eq!(net.stats().delivered, 1);
+    }
+}

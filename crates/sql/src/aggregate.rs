@@ -1,0 +1,339 @@
+//! Aggregate functions.
+//!
+//! GSN's canonical virtual sensor computes `avg(temperature)` over a time window
+//! (paper, Figure 1).  The accumulator design follows the usual streaming pattern: each
+//! aggregate is an object with `update` / `finish`, so the executor can drive the same
+//! code for plain aggregation, GROUP BY and (in the storage layer) incremental window
+//! maintenance.
+
+use std::collections::HashSet;
+
+use gsn_types::{GsnError, GsnResult, Value};
+
+/// True when `name` (case-insensitive) is an aggregate function.
+pub fn is_aggregate_function(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "AVG" | "SUM" | "COUNT" | "MIN" | "MAX" | "STDDEV" | "STDDEV_POP" | "VAR" | "VARIANCE" | "FIRST" | "LAST"
+    )
+}
+
+/// Identifies an aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Arithmetic mean of non-NULL numeric inputs.
+    Avg,
+    /// Sum of non-NULL numeric inputs.
+    Sum,
+    /// Count of non-NULL inputs (or of rows, for `COUNT(*)`).
+    Count,
+    /// Minimum of non-NULL inputs.
+    Min,
+    /// Maximum of non-NULL inputs.
+    Max,
+    /// Population standard deviation of non-NULL numeric inputs.
+    StdDev,
+    /// Population variance of non-NULL numeric inputs.
+    Variance,
+    /// First non-NULL input in arrival order.
+    First,
+    /// Last non-NULL input in arrival order.
+    Last,
+}
+
+impl AggregateKind {
+    /// Parses an aggregate function name.
+    pub fn parse(name: &str) -> GsnResult<AggregateKind> {
+        match name.to_ascii_uppercase().as_str() {
+            "AVG" => Ok(AggregateKind::Avg),
+            "SUM" => Ok(AggregateKind::Sum),
+            "COUNT" => Ok(AggregateKind::Count),
+            "MIN" => Ok(AggregateKind::Min),
+            "MAX" => Ok(AggregateKind::Max),
+            "STDDEV" | "STDDEV_POP" => Ok(AggregateKind::StdDev),
+            "VAR" | "VARIANCE" => Ok(AggregateKind::Variance),
+            "FIRST" => Ok(AggregateKind::First),
+            "LAST" => Ok(AggregateKind::Last),
+            other => Err(GsnError::sql_parse(format!(
+                "unknown aggregate function `{other}`"
+            ))),
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregateKind::Avg => "AVG",
+            AggregateKind::Sum => "SUM",
+            AggregateKind::Count => "COUNT",
+            AggregateKind::Min => "MIN",
+            AggregateKind::Max => "MAX",
+            AggregateKind::StdDev => "STDDEV",
+            AggregateKind::Variance => "VARIANCE",
+            AggregateKind::First => "FIRST",
+            AggregateKind::Last => "LAST",
+        }
+    }
+}
+
+/// A running accumulator for one aggregate expression.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    kind: AggregateKind,
+    distinct: bool,
+    seen: HashSet<String>,
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    all_integers: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    first: Option<Value>,
+    last: Option<Value>,
+}
+
+impl Accumulator {
+    /// Creates an accumulator for an aggregate kind.
+    pub fn new(kind: AggregateKind, distinct: bool) -> Accumulator {
+        Accumulator {
+            kind,
+            distinct,
+            seen: HashSet::new(),
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            all_integers: true,
+            min: None,
+            max: None,
+            first: None,
+            last: None,
+        }
+    }
+
+    /// Feeds one input value into the accumulator.
+    ///
+    /// For `COUNT(*)` the caller passes [`Value::Integer`]`(1)` (or any non-NULL value)
+    /// per row.  NULLs are ignored by every aggregate, per SQL semantics.
+    pub fn update(&mut self, value: &Value) -> GsnResult<()> {
+        if value.is_null() {
+            return Ok(());
+        }
+        if self.distinct {
+            // Distinct tracking keys on the display representation, which is unambiguous
+            // for the scalar types the engine supports.
+            let key = format!("{:?}", value);
+            if !self.seen.insert(key) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        match self.kind {
+            AggregateKind::Count => {}
+            AggregateKind::Avg
+            | AggregateKind::Sum
+            | AggregateKind::StdDev
+            | AggregateKind::Variance => {
+                let x = value.as_double().ok_or_else(|| {
+                    GsnError::sql_exec(format!(
+                        "{} expects numeric input, got `{value}`",
+                        self.kind.name()
+                    ))
+                })?;
+                if !matches!(value, Value::Integer(_)) {
+                    self.all_integers = false;
+                }
+                self.sum += x;
+                self.sum_sq += x * x;
+            }
+            AggregateKind::Min => {
+                let replace = match &self.min {
+                    None => true,
+                    Some(current) => matches!(
+                        value.sql_cmp(current),
+                        Some(std::cmp::Ordering::Less)
+                    ),
+                };
+                if replace {
+                    self.min = Some(value.clone());
+                }
+            }
+            AggregateKind::Max => {
+                let replace = match &self.max {
+                    None => true,
+                    Some(current) => matches!(
+                        value.sql_cmp(current),
+                        Some(std::cmp::Ordering::Greater)
+                    ),
+                };
+                if replace {
+                    self.max = Some(value.clone());
+                }
+            }
+            AggregateKind::First => {
+                if self.first.is_none() {
+                    self.first = Some(value.clone());
+                }
+            }
+            AggregateKind::Last => {
+                self.last = Some(value.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the aggregate result.
+    pub fn finish(&self) -> Value {
+        match self.kind {
+            AggregateKind::Count => Value::Integer(self.count as i64),
+            AggregateKind::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.all_integers {
+                    Value::Integer(self.sum as i64)
+                } else {
+                    Value::Double(self.sum)
+                }
+            }
+            AggregateKind::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum / self.count as f64)
+                }
+            }
+            AggregateKind::Variance | AggregateKind::StdDev => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    let n = self.count as f64;
+                    let mean = self.sum / n;
+                    let var = (self.sum_sq / n - mean * mean).max(0.0);
+                    if self.kind == AggregateKind::Variance {
+                        Value::Double(var)
+                    } else {
+                        Value::Double(var.sqrt())
+                    }
+                }
+            }
+            AggregateKind::Min => self.min.clone().unwrap_or(Value::Null),
+            AggregateKind::Max => self.max.clone().unwrap_or(Value::Null),
+            AggregateKind::First => self.first.clone().unwrap_or(Value::Null),
+            AggregateKind::Last => self.last.clone().unwrap_or(Value::Null),
+        }
+    }
+
+    /// The number of non-NULL (and, if distinct, unique) values folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AggregateKind, distinct: bool, values: &[Value]) -> Value {
+        let mut acc = Accumulator::new(kind, distinct);
+        for v in values {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    fn ints(values: &[i64]) -> Vec<Value> {
+        values.iter().map(|v| Value::Integer(*v)).collect()
+    }
+
+    #[test]
+    fn parse_and_lookup() {
+        assert!(is_aggregate_function("avg"));
+        assert!(is_aggregate_function("CoUnT"));
+        assert!(!is_aggregate_function("abs"));
+        assert_eq!(AggregateKind::parse("stddev_pop").unwrap(), AggregateKind::StdDev);
+        assert_eq!(AggregateKind::parse("variance").unwrap(), AggregateKind::Variance);
+        assert!(AggregateKind::parse("median").is_err());
+        assert_eq!(AggregateKind::Avg.name(), "AVG");
+    }
+
+    #[test]
+    fn avg_sum_count_over_integers() {
+        let vals = ints(&[10, 20, 30]);
+        assert_eq!(run(AggregateKind::Avg, false, &vals), Value::Double(20.0));
+        assert_eq!(run(AggregateKind::Sum, false, &vals), Value::Integer(60));
+        assert_eq!(run(AggregateKind::Count, false, &vals), Value::Integer(3));
+        assert_eq!(run(AggregateKind::Min, false, &vals), Value::Integer(10));
+        assert_eq!(run(AggregateKind::Max, false, &vals), Value::Integer(30));
+    }
+
+    #[test]
+    fn sum_with_doubles_stays_double() {
+        let vals = vec![Value::Integer(1), Value::Double(2.5)];
+        assert_eq!(run(AggregateKind::Sum, false, &vals), Value::Double(3.5));
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let vals = vec![Value::Null, Value::Integer(4), Value::Null, Value::Integer(6)];
+        assert_eq!(run(AggregateKind::Avg, false, &vals), Value::Double(5.0));
+        assert_eq!(run(AggregateKind::Count, false, &vals), Value::Integer(2));
+    }
+
+    #[test]
+    fn empty_input_semantics() {
+        assert_eq!(run(AggregateKind::Count, false, &[]), Value::Integer(0));
+        assert_eq!(run(AggregateKind::Sum, false, &[]), Value::Null);
+        assert_eq!(run(AggregateKind::Avg, false, &[]), Value::Null);
+        assert_eq!(run(AggregateKind::Min, false, &[]), Value::Null);
+        assert_eq!(run(AggregateKind::Max, false, &[]), Value::Null);
+        assert_eq!(run(AggregateKind::StdDev, false, &[]), Value::Null);
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let vals = ints(&[5, 5, 5, 7]);
+        assert_eq!(run(AggregateKind::Count, true, &vals), Value::Integer(2));
+        assert_eq!(run(AggregateKind::Sum, true, &vals), Value::Integer(12));
+        assert_eq!(run(AggregateKind::Avg, true, &vals), Value::Double(6.0));
+    }
+
+    #[test]
+    fn stddev_and_variance() {
+        let vals = ints(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(run(AggregateKind::Variance, false, &vals), Value::Double(4.0));
+        assert_eq!(run(AggregateKind::StdDev, false, &vals), Value::Double(2.0));
+        // A single value has zero variance.
+        assert_eq!(run(AggregateKind::StdDev, false, &ints(&[3])), Value::Double(0.0));
+    }
+
+    #[test]
+    fn min_max_over_strings() {
+        let vals = vec![Value::varchar("bc143"), Value::varchar("aa001"), Value::varchar("zz")];
+        assert_eq!(run(AggregateKind::Min, false, &vals), Value::varchar("aa001"));
+        assert_eq!(run(AggregateKind::Max, false, &vals), Value::varchar("zz"));
+    }
+
+    #[test]
+    fn first_and_last() {
+        let vals = vec![Value::Null, Value::Integer(7), Value::Integer(9)];
+        assert_eq!(run(AggregateKind::First, false, &vals), Value::Integer(7));
+        assert_eq!(run(AggregateKind::Last, false, &vals), Value::Integer(9));
+        assert_eq!(run(AggregateKind::First, false, &[]), Value::Null);
+    }
+
+    #[test]
+    fn numeric_aggregates_reject_strings() {
+        let mut acc = Accumulator::new(AggregateKind::Avg, false);
+        assert!(acc.update(&Value::varchar("warm")).is_err());
+        let mut acc = Accumulator::new(AggregateKind::Sum, false);
+        assert!(acc.update(&Value::binary(vec![1])).is_err());
+    }
+
+    #[test]
+    fn count_reports_progress() {
+        let mut acc = Accumulator::new(AggregateKind::Count, false);
+        acc.update(&Value::Integer(1)).unwrap();
+        acc.update(&Value::Null).unwrap();
+        acc.update(&Value::Integer(2)).unwrap();
+        assert_eq!(acc.count(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! The SQL engine facade: parse → plan → optimize → execute, with a prepared-query cache.
+//!
+//! The paper observes that with many registered clients "the cost of query compiling
+//! increases" (Section 5, Figure 4 discussion).  [`SqlEngine`] therefore supports
+//! *prepared* queries: the query repository compiles each registered client query once and
+//! re-executes the cached plan per stream element.  The benchmark harness exercises both
+//! the cached and the parse-per-execution paths.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gsn_types::{GsnResult, Value};
+
+use crate::exec::{execute_plan, Catalog};
+use crate::optimizer::{optimize, OptimizerConfig};
+use crate::parser::parse_query;
+use crate::plan::{plan_query, LogicalPlan};
+use crate::relation::Relation;
+
+/// A compiled (parsed, planned, optimised) query ready for repeated execution.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    sql: String,
+    plan: Arc<LogicalPlan>,
+    tables: Vec<String>,
+}
+
+impl PreparedQuery {
+    /// The original SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The optimised logical plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// The base tables (stream sources / virtual sensors) the query reads.
+    pub fn referenced_tables(&self) -> &[String] {
+        &self.tables
+    }
+
+    /// Executes the prepared plan against a catalog.
+    pub fn execute(&self, catalog: &dyn Catalog) -> GsnResult<Relation> {
+        execute_plan(&self.plan, catalog)
+    }
+
+    /// Renders the plan as an indented EXPLAIN string.
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+}
+
+/// Execution statistics maintained by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries compiled (parse + plan + optimize).
+    pub compiled: u64,
+    /// Compilations avoided thanks to the prepared-query cache.
+    pub cache_hits: u64,
+    /// Plan executions.
+    pub executions: u64,
+}
+
+/// The embedded SQL engine used by every GSN container.
+#[derive(Debug)]
+pub struct SqlEngine {
+    optimizer: OptimizerConfig,
+    cache: HashMap<String, PreparedQuery>,
+    cache_enabled: bool,
+    stats: EngineStats,
+}
+
+impl Default for SqlEngine {
+    fn default() -> Self {
+        SqlEngine::new()
+    }
+}
+
+impl SqlEngine {
+    /// Creates an engine with default optimizer settings and the prepared-query cache on.
+    pub fn new() -> SqlEngine {
+        SqlEngine {
+            optimizer: OptimizerConfig::default(),
+            cache: HashMap::new(),
+            cache_enabled: true,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Creates an engine with explicit optimizer settings.
+    pub fn with_optimizer(optimizer: OptimizerConfig) -> SqlEngine {
+        SqlEngine {
+            optimizer,
+            ..SqlEngine::new()
+        }
+    }
+
+    /// Enables or disables the prepared-query cache (ablation knob).
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+
+    /// Compiles a query without executing it.
+    pub fn prepare(&mut self, sql: &str) -> GsnResult<PreparedQuery> {
+        if self.cache_enabled {
+            if let Some(prepared) = self.cache.get(sql) {
+                self.stats.cache_hits += 1;
+                return Ok(prepared.clone());
+            }
+        }
+        let prepared = Self::compile(sql, &self.optimizer)?;
+        self.stats.compiled += 1;
+        if self.cache_enabled {
+            self.cache.insert(sql.to_owned(), prepared.clone());
+        }
+        Ok(prepared)
+    }
+
+    /// Compiles a query without touching the cache or statistics (usable from `&self`
+    /// contexts such as read-only validation).
+    pub fn compile(sql: &str, optimizer: &OptimizerConfig) -> GsnResult<PreparedQuery> {
+        let ast = parse_query(sql)?;
+        let plan = plan_query(&ast)?;
+        let plan = optimize(plan, optimizer)?;
+        let tables = plan.referenced_tables();
+        Ok(PreparedQuery {
+            sql: sql.to_owned(),
+            plan: Arc::new(plan),
+            tables,
+        })
+    }
+
+    /// Parses, plans, optimises and executes `sql` against `catalog`.
+    pub fn execute(&mut self, sql: &str, catalog: &dyn Catalog) -> GsnResult<Relation> {
+        let prepared = self.prepare(sql)?;
+        self.stats.executions += 1;
+        prepared.execute(catalog)
+    }
+
+    /// Executes a previously prepared query (counts towards execution statistics).
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &PreparedQuery,
+        catalog: &dyn Catalog,
+    ) -> GsnResult<Relation> {
+        self.stats.executions += 1;
+        prepared.execute(catalog)
+    }
+
+    /// Convenience helper: executes a query expected to produce a single scalar value.
+    pub fn execute_scalar(&mut self, sql: &str, catalog: &dyn Catalog) -> GsnResult<Value> {
+        let rel = self.execute(sql, catalog)?;
+        Ok(rel
+            .rows()
+            .first()
+            .and_then(|r| r.first())
+            .cloned()
+            .unwrap_or(Value::Null))
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of cached prepared queries.
+    pub fn cache_size(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all cached prepared queries.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::MemoryCatalog;
+    use crate::relation::ColumnInfo;
+    use gsn_types::DataType;
+
+    fn catalog() -> MemoryCatalog {
+        let mut c = MemoryCatalog::new();
+        c.register(
+            "readings",
+            Relation::with_rows(
+                vec![
+                    ColumnInfo::new(None, "temperature", Some(DataType::Integer)),
+                    ColumnInfo::new(None, "room", Some(DataType::Varchar)),
+                ],
+                vec![
+                    vec![Value::Integer(20), Value::varchar("a")],
+                    vec![Value::Integer(30), Value::varchar("b")],
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn execute_and_scalar() {
+        let mut engine = SqlEngine::new();
+        let cat = catalog();
+        let rel = engine.execute("select * from readings", &cat).unwrap();
+        assert_eq!(rel.row_count(), 2);
+        let avg = engine
+            .execute_scalar("select avg(temperature) from readings", &cat)
+            .unwrap();
+        assert_eq!(avg, Value::Double(25.0));
+        let empty = engine
+            .execute_scalar("select temperature from readings where room = 'zzz'", &cat)
+            .unwrap();
+        assert_eq!(empty, Value::Null);
+    }
+
+    #[test]
+    fn prepared_queries_hit_the_cache() {
+        let mut engine = SqlEngine::new();
+        let cat = catalog();
+        let sql = "select avg(temperature) from readings where room like 'a%'";
+        engine.execute(sql, &cat).unwrap();
+        engine.execute(sql, &cat).unwrap();
+        engine.execute(sql, &cat).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.compiled, 1);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.executions, 3);
+        assert_eq!(engine.cache_size(), 1);
+        engine.clear_cache();
+        assert_eq!(engine.cache_size(), 0);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let mut engine = SqlEngine::new();
+        engine.set_cache_enabled(false);
+        let cat = catalog();
+        let sql = "select count(*) from readings";
+        engine.execute(sql, &cat).unwrap();
+        engine.execute(sql, &cat).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.compiled, 2);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(engine.cache_size(), 0);
+    }
+
+    #[test]
+    fn prepared_query_exposes_metadata() {
+        let mut engine = SqlEngine::new();
+        let p = engine
+            .prepare("select r.temperature from readings r where r.temperature > 10")
+            .unwrap();
+        assert_eq!(p.referenced_tables(), &["readings".to_owned()]);
+        assert!(p.sql().contains("select"));
+        assert!(p.explain().contains("Scan readings"));
+        let cat = catalog();
+        let rel = engine.execute_prepared(&p, &cat).unwrap();
+        assert_eq!(rel.row_count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_cached() {
+        let mut engine = SqlEngine::new();
+        let cat = catalog();
+        assert!(engine.execute("selekt * from readings", &cat).is_err());
+        assert_eq!(engine.cache_size(), 0);
+        assert_eq!(engine.stats().compiled, 0);
+    }
+
+    #[test]
+    fn with_optimizer_disables_passes() {
+        let mut engine = SqlEngine::with_optimizer(OptimizerConfig {
+            constant_folding: false,
+            predicate_pushdown: false,
+        });
+        let p = engine.prepare("select * from readings where 1 = 1").unwrap();
+        assert!(p.explain().contains("Filter"));
+    }
+}

@@ -1,0 +1,573 @@
+//! Row-wise expression evaluation.
+//!
+//! The evaluator is deliberately pure: subqueries are resolved by the executor *before*
+//! evaluation (GSN queries only need uncorrelated subqueries), so an [`Expr`] can be
+//! evaluated against a `(columns, row)` pair with no access to the catalog.  NULL handling
+//! follows SQL three-valued logic.
+
+use std::cmp::Ordering;
+
+use gsn_types::{GsnError, GsnResult, Value};
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::functions::{eval_scalar_function, sql_like};
+use crate::relation::ColumnInfo;
+
+/// The evaluation context for one row: the column layout plus the row's values.
+#[derive(Debug, Clone, Copy)]
+pub struct RowContext<'a> {
+    columns: &'a [ColumnInfo],
+    row: &'a [Value],
+}
+
+impl<'a> RowContext<'a> {
+    /// Creates a context over a column layout and one row.
+    pub fn new(columns: &'a [ColumnInfo], row: &'a [Value]) -> RowContext<'a> {
+        RowContext { columns, row }
+    }
+
+    /// Resolves a column reference to its value.
+    pub fn column_value(&self, qualifier: Option<&str>, name: &str) -> GsnResult<Value> {
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(qualifier, name))
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Ok(self.row[matches[0]].clone()),
+            0 => Err(GsnError::sql_exec(format!(
+                "unknown column `{}{}`",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+                name
+            ))),
+            _ => Err(GsnError::sql_exec(format!(
+                "ambiguous column reference `{name}`"
+            ))),
+        }
+    }
+}
+
+/// Evaluates an expression against one row.
+///
+/// Subquery expression nodes must already have been rewritten away by the executor;
+/// encountering one here is an internal error.
+pub fn evaluate(expr: &Expr, ctx: &RowContext<'_>) -> GsnResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => ctx.column_value(qualifier.as_deref(), name),
+        Expr::Unary { op, operand } => {
+            let v = evaluate(operand, ctx)?;
+            eval_unary(*op, v)
+        }
+        Expr::Binary { left, op, right } => {
+            // Short-circuit three-valued logic for AND/OR.
+            if matches!(op, BinaryOp::And | BinaryOp::Or) {
+                return eval_logical(*op, left, right, ctx);
+            }
+            let l = evaluate(left, ctx)?;
+            let r = evaluate(right, ctx)?;
+            eval_binary(*op, l, r)
+        }
+        Expr::Function { name, distinct, args } => {
+            if crate::aggregate::is_aggregate_function(name) {
+                return Err(GsnError::sql_exec(format!(
+                    "aggregate function {name} is not allowed in this context"
+                )));
+            }
+            if *distinct {
+                return Err(GsnError::sql_exec(format!(
+                    "DISTINCT is only valid inside aggregate functions, not {name}"
+                )));
+            }
+            let values: Vec<Value> = args
+                .iter()
+                .map(|a| evaluate(a, ctx))
+                .collect::<GsnResult<_>>()?;
+            eval_scalar_function(name, &values)
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = evaluate(expr, ctx)?;
+            let is_null = v.is_null();
+            Ok(Value::Boolean(if *negated { !is_null } else { is_null }))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = evaluate(expr, ctx)?;
+            let p = evaluate(pattern, ctx)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            let text = match &v {
+                Value::Varchar(s) => s.clone(),
+                other => other.to_string(),
+            };
+            let pattern = p
+                .as_str()
+                .ok_or_else(|| GsnError::sql_exec("LIKE pattern must be a string"))?
+                .to_owned();
+            let matched = sql_like(&text, &pattern);
+            Ok(Value::Boolean(if *negated { !matched } else { matched }))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = evaluate(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for candidate in list {
+                let c = evaluate(candidate, ctx)?;
+                match v.sql_eq(&c) {
+                    Some(true) => {
+                        return Ok(Value::Boolean(!*negated));
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                // `x IN (..., NULL)` is UNKNOWN when no match was found.
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Boolean(*negated))
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = evaluate(expr, ctx)?;
+            let lo = evaluate(low, ctx)?;
+            let hi = evaluate(high, ctx)?;
+            let ge_low = compare(&v, &lo)?.map(|o| o != Ordering::Less);
+            let le_high = compare(&v, &hi)?.map(|o| o != Ordering::Greater);
+            let result = match (ge_low, le_high) {
+                (Some(a), Some(b)) => Some(a && b),
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                _ => None,
+            };
+            Ok(match result {
+                Some(b) => Value::Boolean(if *negated { !b } else { b }),
+                None => Value::Null,
+            })
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let operand_value = operand
+                .as_ref()
+                .map(|o| evaluate(o, ctx))
+                .transpose()?;
+            for (when, then) in branches {
+                let hit = match &operand_value {
+                    Some(op_val) => {
+                        let w = evaluate(when, ctx)?;
+                        op_val.sql_eq(&w) == Some(true)
+                    }
+                    None => {
+                        let w = evaluate(when, ctx)?;
+                        truthy(&w)
+                    }
+                };
+                if hit {
+                    return evaluate(then, ctx);
+                }
+            }
+            match else_expr {
+                Some(e) => evaluate(e, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Cast { expr, data_type } => {
+            let v = evaluate(expr, ctx)?;
+            // CAST of a string to a numeric type parses the string.
+            if let (Value::Varchar(s), true) = (&v, data_type.is_numeric()) {
+                let trimmed = s.trim();
+                if let Ok(i) = trimmed.parse::<i64>() {
+                    return Value::Integer(i).coerce_to(*data_type);
+                }
+                if let Ok(d) = trimmed.parse::<f64>() {
+                    return Value::Double(d).coerce_to(*data_type);
+                }
+                return Err(GsnError::type_error(format!(
+                    "cannot cast `{s}` to {data_type}"
+                )));
+            }
+            v.coerce_to(*data_type)
+        }
+        Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => {
+            Err(GsnError::internal(
+                "subquery expression reached the row evaluator; the executor should have resolved it",
+            ))
+        }
+    }
+}
+
+/// Evaluates a predicate for filtering: NULL (UNKNOWN) is treated as `false`.
+pub fn evaluate_predicate(expr: &Expr, ctx: &RowContext<'_>) -> GsnResult<bool> {
+    let v = evaluate(expr, ctx)?;
+    Ok(truthy(&v))
+}
+
+/// SQL truthiness: only TRUE passes a filter; NULL and FALSE do not.
+pub fn truthy(v: &Value) -> bool {
+    v.as_boolean().unwrap_or(false)
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> GsnResult<Value> {
+    match op {
+        UnaryOp::Neg => {
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            match v {
+                Value::Integer(i) => Ok(Value::Integer(-i)),
+                Value::Double(d) => Ok(Value::Double(-d)),
+                other => Err(GsnError::sql_exec(format!("cannot negate `{other}`"))),
+            }
+        }
+        UnaryOp::Not => {
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            match v.as_boolean() {
+                Some(b) => Ok(Value::Boolean(!b)),
+                None => Err(GsnError::sql_exec(format!("NOT expects a boolean, got `{v}`"))),
+            }
+        }
+    }
+}
+
+fn eval_logical(
+    op: BinaryOp,
+    left: &Expr,
+    right: &Expr,
+    ctx: &RowContext<'_>,
+) -> GsnResult<Value> {
+    let l = evaluate(left, ctx)?;
+    let l_bool = if l.is_null() { None } else { l.as_boolean() };
+    match op {
+        BinaryOp::And => {
+            if l_bool == Some(false) {
+                return Ok(Value::Boolean(false));
+            }
+            let r = evaluate(right, ctx)?;
+            let r_bool = if r.is_null() { None } else { r.as_boolean() };
+            Ok(match (l_bool, r_bool) {
+                (Some(true), Some(true)) => Value::Boolean(true),
+                (Some(false), _) | (_, Some(false)) => Value::Boolean(false),
+                _ => Value::Null,
+            })
+        }
+        BinaryOp::Or => {
+            if l_bool == Some(true) {
+                return Ok(Value::Boolean(true));
+            }
+            let r = evaluate(right, ctx)?;
+            let r_bool = if r.is_null() { None } else { r.as_boolean() };
+            Ok(match (l_bool, r_bool) {
+                (Some(true), _) | (_, Some(true)) => Value::Boolean(true),
+                (Some(false), Some(false)) => Value::Boolean(false),
+                _ => Value::Null,
+            })
+        }
+        _ => unreachable!("eval_logical called with non-logical operator"),
+    }
+}
+
+fn compare(l: &Value, r: &Value) -> GsnResult<Option<Ordering>> {
+    if l.is_null() || r.is_null() {
+        return Ok(None);
+    }
+    match l.sql_cmp(r) {
+        Some(ord) => Ok(Some(ord)),
+        None => Err(GsnError::sql_exec(format!(
+            "cannot compare `{l}` with `{r}`"
+        ))),
+    }
+}
+
+/// Evaluates a binary (non-logical) operator over two values.
+pub fn eval_binary(op: BinaryOp, l: Value, r: Value) -> GsnResult<Value> {
+    match op {
+        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide | BinaryOp::Modulo => {
+            eval_arithmetic(op, l, r)
+        }
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+            let Some(ord) = compare(&l, &r)? else {
+                return Ok(Value::Null);
+            };
+            let result = match op {
+                BinaryOp::Eq => ord == Ordering::Equal,
+                BinaryOp::NotEq => ord != Ordering::Equal,
+                BinaryOp::Lt => ord == Ordering::Less,
+                BinaryOp::LtEq => ord != Ordering::Greater,
+                BinaryOp::Gt => ord == Ordering::Greater,
+                BinaryOp::GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Boolean(result))
+        }
+        BinaryOp::And | BinaryOp::Or => {
+            // Only reachable when called directly (not via `evaluate`).
+            let lb = if l.is_null() { None } else { l.as_boolean() };
+            let rb = if r.is_null() { None } else { r.as_boolean() };
+            Ok(match (op, lb, rb) {
+                (BinaryOp::And, Some(true), Some(true)) => Value::Boolean(true),
+                (BinaryOp::And, Some(false), _) | (BinaryOp::And, _, Some(false)) => {
+                    Value::Boolean(false)
+                }
+                (BinaryOp::Or, Some(true), _) | (BinaryOp::Or, _, Some(true)) => {
+                    Value::Boolean(true)
+                }
+                (BinaryOp::Or, Some(false), Some(false)) => Value::Boolean(false),
+                _ => Value::Null,
+            })
+        }
+    }
+}
+
+/// String concatenation via `+` is intentionally *not* supported (use `CONCAT`), matching
+/// strict SQL arithmetic.
+fn eval_arithmetic(op: BinaryOp, l: Value, r: Value) -> GsnResult<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    let both_integers = matches!(
+        (&l, &r),
+        (
+            Value::Integer(_) | Value::Timestamp(_) | Value::Boolean(_),
+            Value::Integer(_) | Value::Timestamp(_) | Value::Boolean(_)
+        )
+    );
+    let (Some(a), Some(b)) = (l.as_double(), r.as_double()) else {
+        return Err(GsnError::sql_exec(format!(
+            "arithmetic operator {op} expects numeric operands, got `{l}` and `{r}`"
+        )));
+    };
+    if both_integers && op != BinaryOp::Divide {
+        let (ai, bi) = (l.as_integer().unwrap(), r.as_integer().unwrap());
+        let result = match op {
+            BinaryOp::Plus => ai.checked_add(bi),
+            BinaryOp::Minus => ai.checked_sub(bi),
+            BinaryOp::Multiply => ai.checked_mul(bi),
+            BinaryOp::Modulo => {
+                if bi == 0 {
+                    return Err(GsnError::sql_exec("modulo by zero"));
+                }
+                ai.checked_rem(bi)
+            }
+            _ => unreachable!(),
+        };
+        return result
+            .map(Value::Integer)
+            .ok_or_else(|| GsnError::sql_exec("integer overflow in arithmetic"));
+    }
+    let result = match op {
+        BinaryOp::Plus => a + b,
+        BinaryOp::Minus => a - b,
+        BinaryOp::Multiply => a * b,
+        BinaryOp::Divide => {
+            if b == 0.0 {
+                return Err(GsnError::sql_exec("division by zero"));
+            }
+            a / b
+        }
+        BinaryOp::Modulo => {
+            if b == 0.0 {
+                return Err(GsnError::sql_exec("modulo by zero"));
+            }
+            a % b
+        }
+        _ => unreachable!(),
+    };
+    Ok(Value::Double(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use gsn_types::DataType;
+
+    fn ctx_columns() -> Vec<ColumnInfo> {
+        vec![
+            ColumnInfo::new(Some("src1"), "temperature", Some(DataType::Integer)),
+            ColumnInfo::new(Some("src1"), "room", Some(DataType::Varchar)),
+            ColumnInfo::new(Some("src1"), "light", Some(DataType::Double)),
+            ColumnInfo::new(Some("src1"), "fault", Some(DataType::Integer)),
+        ]
+    }
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Integer(22),
+            Value::varchar("bc143"),
+            Value::Double(480.5),
+            Value::Null,
+        ]
+    }
+
+    fn eval_str(expr: &str) -> Value {
+        let cols = ctx_columns();
+        let r = row();
+        let ctx = RowContext::new(&cols, &r);
+        evaluate(&parse_expression(expr).unwrap(), &ctx).unwrap()
+    }
+
+    fn eval_err(expr: &str) -> GsnError {
+        let cols = ctx_columns();
+        let r = row();
+        let ctx = RowContext::new(&cols, &r);
+        evaluate(&parse_expression(expr).unwrap(), &ctx).unwrap_err()
+    }
+
+    #[test]
+    fn column_resolution() {
+        assert_eq!(eval_str("temperature"), Value::Integer(22));
+        assert_eq!(eval_str("src1.temperature"), Value::Integer(22));
+        assert_eq!(eval_str("ROOM"), Value::varchar("bc143"));
+        assert!(eval_err("nosuch").to_string().contains("unknown column"));
+        assert!(eval_err("other.temperature")
+            .to_string()
+            .contains("unknown column"));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_str("temperature + 3"), Value::Integer(25));
+        assert_eq!(eval_str("temperature - 2"), Value::Integer(20));
+        assert_eq!(eval_str("temperature * 2"), Value::Integer(44));
+        assert_eq!(eval_str("temperature / 4"), Value::Double(5.5));
+        assert_eq!(eval_str("temperature % 5"), Value::Integer(2));
+        assert_eq!(eval_str("light * 2"), Value::Double(961.0));
+        assert_eq!(eval_str("-temperature"), Value::Integer(-22));
+        assert_eq!(eval_str("fault + 1"), Value::Null);
+        assert!(eval_err("temperature / 0").to_string().contains("division by zero"));
+        assert!(eval_err("temperature % 0").to_string().contains("modulo"));
+        assert!(eval_err("room + 1").to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn comparisons_and_three_valued_logic() {
+        assert_eq!(eval_str("temperature > 20"), Value::Boolean(true));
+        assert_eq!(eval_str("temperature >= 22"), Value::Boolean(true));
+        assert_eq!(eval_str("temperature < 22"), Value::Boolean(false));
+        assert_eq!(eval_str("temperature <> 21"), Value::Boolean(true));
+        assert_eq!(eval_str("room = 'bc143'"), Value::Boolean(true));
+        assert_eq!(eval_str("fault = 1"), Value::Null);
+        assert_eq!(eval_str("fault = 1 and temperature > 0"), Value::Null);
+        assert_eq!(eval_str("fault = 1 and temperature > 100"), Value::Boolean(false));
+        assert_eq!(eval_str("fault = 1 or temperature > 0"), Value::Boolean(true));
+        assert_eq!(eval_str("fault = 1 or temperature > 100"), Value::Null);
+        assert_eq!(eval_str("not temperature > 100"), Value::Boolean(true));
+        assert_eq!(eval_str("not fault = 1"), Value::Null);
+    }
+
+    #[test]
+    fn comparing_incompatible_types_errors() {
+        assert!(eval_err("room > 5").to_string().contains("cannot compare"));
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(eval_str("fault is null"), Value::Boolean(true));
+        assert_eq!(eval_str("fault is not null"), Value::Boolean(false));
+        assert_eq!(eval_str("room like 'bc%'"), Value::Boolean(true));
+        assert_eq!(eval_str("room not like '%9'"), Value::Boolean(true));
+        assert_eq!(eval_str("temperature between 20 and 25"), Value::Boolean(true));
+        assert_eq!(eval_str("temperature not between 20 and 25"), Value::Boolean(false));
+        assert_eq!(eval_str("fault between 1 and 2"), Value::Null);
+        assert_eq!(eval_str("temperature in (21, 22, 23)"), Value::Boolean(true));
+        assert_eq!(eval_str("temperature not in (21, 23)"), Value::Boolean(true));
+        assert_eq!(eval_str("temperature in (1, null)"), Value::Null);
+        assert_eq!(eval_str("temperature in (22, null)"), Value::Boolean(true));
+        assert_eq!(eval_str("fault in (1, 2)"), Value::Null);
+        assert_eq!(eval_str("room like null"), Value::Null);
+    }
+
+    #[test]
+    fn case_expressions() {
+        assert_eq!(
+            eval_str("case when temperature > 30 then 'hot' when temperature > 15 then 'warm' else 'cold' end"),
+            Value::varchar("warm")
+        );
+        assert_eq!(
+            eval_str("case when temperature > 30 then 'hot' end"),
+            Value::Null
+        );
+        assert_eq!(
+            eval_str("case room when 'bc143' then 1 else 0 end"),
+            Value::Integer(1)
+        );
+        assert_eq!(
+            eval_str("case fault when 1 then 'f' else 'ok' end"),
+            Value::varchar("ok")
+        );
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_str("cast(temperature as double)"), Value::Double(22.0));
+        // 480.5 does not round-trip to an integer, so the cast is rejected.
+        assert!(eval_err("cast(light as integer)").to_string().contains("coerce"));
+        assert_eq!(eval_str("cast('42' as integer)"), Value::Integer(42));
+        assert_eq!(eval_str("cast('2.5' as double)"), Value::Double(2.5));
+        assert_eq!(eval_str("cast(temperature as varchar)"), Value::varchar("22"));
+        assert!(eval_err("cast('abc' as integer)").to_string().contains("cast"));
+    }
+
+    #[test]
+    fn scalar_functions_in_expressions() {
+        assert_eq!(eval_str("abs(-temperature)"), Value::Integer(22));
+        assert_eq!(eval_str("round(light)"), Value::Double(481.0));
+        assert_eq!(eval_str("upper(room)"), Value::varchar("BC143"));
+        assert_eq!(eval_str("coalesce(fault, temperature)"), Value::Integer(22));
+        assert_eq!(
+            eval_str("concat(room, '-', temperature)"),
+            Value::varchar("bc143-22")
+        );
+    }
+
+    #[test]
+    fn aggregates_rejected_in_row_context() {
+        assert!(eval_err("avg(temperature)").to_string().contains("aggregate"));
+    }
+
+    #[test]
+    fn predicate_helper_treats_null_as_false() {
+        let cols = ctx_columns();
+        let r = row();
+        let ctx = RowContext::new(&cols, &r);
+        assert!(evaluate_predicate(&parse_expression("temperature > 0").unwrap(), &ctx).unwrap());
+        assert!(!evaluate_predicate(&parse_expression("fault = 1").unwrap(), &ctx).unwrap());
+        assert!(!evaluate_predicate(&parse_expression("temperature > 100").unwrap(), &ctx).unwrap());
+    }
+
+    #[test]
+    fn cast_of_null_stays_null() {
+        assert_eq!(eval_str("cast(fault as integer)"), Value::Null);
+    }
+
+    #[test]
+    fn division_of_doubles_by_zero_errors() {
+        assert!(eval_err("light / 0").to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn not_requires_boolean() {
+        assert!(eval_err("not room").to_string().contains("boolean"));
+    }
+}

@@ -1,0 +1,1159 @@
+//! The plan executor.
+//!
+//! Executes a [`LogicalPlan`] against a [`Catalog`] of named relations and produces a
+//! materialised [`Relation`].  In the GSN pipeline the catalog is the storage layer: the
+//! windowed stream tables of each source plus the temporary relations produced by the
+//! per-source queries.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use gsn_types::{GsnError, GsnResult, Value};
+
+use crate::aggregate::{is_aggregate_function, Accumulator, AggregateKind};
+use crate::ast::{Expr, Query, SetOperator};
+use crate::eval::{evaluate, evaluate_predicate, RowContext};
+use crate::plan::{plan_query, JoinKind, LogicalPlan, ProjectionItem, SortKey};
+use crate::relation::{ColumnInfo, Relation};
+
+/// Resolves table names to materialised relations.
+///
+/// In GSN the names visible to a virtual sensor query are its stream-source aliases
+/// (windowed views of the source's recent elements) and, in the output query, the
+/// temporary relations produced by the per-source input queries.
+pub trait Catalog {
+    /// Returns the relation bound to `name`, or an error when the name is unknown.
+    fn relation(&self, name: &str) -> GsnResult<Relation>;
+}
+
+/// A simple in-memory [`Catalog`] backed by a hash map; used in tests, by the query
+/// processor's temporary relations, and by the benchmark harnesses.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryCatalog {
+    tables: HashMap<String, Relation>,
+}
+
+impl MemoryCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> MemoryCatalog {
+        MemoryCatalog::default()
+    }
+
+    /// Registers (or replaces) a relation under a case-insensitive name.
+    pub fn register(&mut self, name: &str, relation: Relation) {
+        self.tables.insert(name.to_ascii_lowercase(), relation);
+    }
+
+    /// Removes a relation.
+    pub fn deregister(&mut self, name: &str) -> Option<Relation> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// The registered names.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+impl Catalog for MemoryCatalog {
+    fn relation(&self, name: &str) -> GsnResult<Relation> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| GsnError::not_found(format!("unknown table `{name}`")))
+    }
+}
+
+/// Executes a logical plan against a catalog.
+pub fn execute_plan(plan: &LogicalPlan, catalog: &dyn Catalog) -> GsnResult<Relation> {
+    match plan {
+        LogicalPlan::Scan { table, alias } => {
+            let rel = catalog.relation(table)?;
+            // Re-qualify every column with the alias used in this query so that
+            // `alias.column` references resolve.
+            let columns = rel
+                .columns()
+                .iter()
+                .map(|c| ColumnInfo::new(Some(alias), &c.name, c.data_type))
+                .collect();
+            Relation::with_rows(columns, rel.rows().to_vec())
+        }
+        LogicalPlan::Empty => Ok(Relation::single_empty_row()),
+        LogicalPlan::Derived { input, alias } => {
+            let rel = execute_plan(input, catalog)?;
+            let columns = rel
+                .columns()
+                .iter()
+                .map(|c| ColumnInfo::new(Some(alias), &c.name, c.data_type))
+                .collect();
+            Relation::with_rows(columns, rel.rows().to_vec())
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let rel = execute_plan(input, catalog)?;
+            let predicate = resolve_subqueries(predicate.clone(), catalog)?;
+            let mut out = Relation::new(rel.columns().to_vec());
+            for row in rel.rows() {
+                let ctx = RowContext::new(rel.columns(), row);
+                if evaluate_predicate(&predicate, &ctx)? {
+                    out.push_row(row.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => execute_join(left, right, *kind, on.as_ref(), catalog),
+        LogicalPlan::Project {
+            input,
+            items,
+            wildcards,
+        } => execute_project(input, items, wildcards, catalog),
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            items,
+            having,
+        } => execute_aggregate(input, group_by, items, having.as_ref(), catalog),
+        LogicalPlan::Distinct { input } => {
+            let rel = execute_plan(input, catalog)?;
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Relation::new(rel.columns().to_vec());
+            for row in rel.rows() {
+                let key = row_key(row);
+                if seen.insert(key) {
+                    out.push_row(row.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let rel = execute_plan(input, catalog)?;
+            execute_sort(rel, keys)
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let rel = execute_plan(input, catalog)?;
+            let rows: Vec<Vec<Value>> = rel
+                .rows()
+                .iter()
+                .skip(*offset as usize)
+                .take(limit.map(|l| l as usize).unwrap_or(usize::MAX))
+                .cloned()
+                .collect();
+            Relation::with_rows(rel.columns().to_vec(), rows)
+        }
+        LogicalPlan::SetOp {
+            left,
+            right,
+            op,
+            all,
+        } => execute_set_op(left, right, *op, *all, catalog),
+    }
+}
+
+/// Parses, plans and executes a query AST directly (used for subqueries).
+pub fn execute_query(query: &Query, catalog: &dyn Catalog) -> GsnResult<Relation> {
+    let plan = plan_query(query)?;
+    let plan = crate::optimizer::optimize_default(plan)?;
+    execute_plan(&plan, catalog)
+}
+
+// ---------------------------------------------------------------------------------------
+// Subquery resolution
+// ---------------------------------------------------------------------------------------
+
+/// Rewrites uncorrelated subquery expressions into literal forms by executing them once.
+fn resolve_subqueries(expr: Expr, catalog: &dyn Catalog) -> GsnResult<Expr> {
+    Ok(match expr {
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            let rel = execute_query(&subquery, catalog)?;
+            if rel.column_count() != 1 {
+                return Err(GsnError::sql_exec(
+                    "IN (subquery) must produce exactly one column",
+                ));
+            }
+            let list = rel
+                .rows()
+                .iter()
+                .map(|r| Expr::Literal(r[0].clone()))
+                .collect();
+            Expr::InList {
+                expr: Box::new(resolve_subqueries(*expr, catalog)?),
+                list,
+                negated,
+            }
+        }
+        Expr::Exists { subquery, negated } => {
+            let rel = execute_query(&subquery, catalog)?;
+            let exists = !rel.is_empty();
+            Expr::Literal(Value::Boolean(if negated { !exists } else { exists }))
+        }
+        Expr::ScalarSubquery(subquery) => {
+            let rel = execute_query(&subquery, catalog)?;
+            if rel.column_count() != 1 {
+                return Err(GsnError::sql_exec(
+                    "scalar subquery must produce exactly one column",
+                ));
+            }
+            match rel.row_count() {
+                0 => Expr::Literal(Value::Null),
+                1 => Expr::Literal(rel.rows()[0][0].clone()),
+                n => {
+                    return Err(GsnError::sql_exec(format!(
+                        "scalar subquery produced {n} rows"
+                    )))
+                }
+            }
+        }
+        Expr::Unary { op, operand } => Expr::Unary {
+            op,
+            operand: Box::new(resolve_subqueries(*operand, catalog)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(resolve_subqueries(*left, catalog)?),
+            op,
+            right: Box::new(resolve_subqueries(*right, catalog)?),
+        },
+        Expr::Function {
+            name,
+            distinct,
+            args,
+        } => Expr::Function {
+            name,
+            distinct,
+            args: args
+                .into_iter()
+                .map(|a| resolve_subqueries(a, catalog))
+                .collect::<GsnResult<_>>()?,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(resolve_subqueries(*expr, catalog)?),
+            negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(resolve_subqueries(*expr, catalog)?),
+            pattern: Box::new(resolve_subqueries(*pattern, catalog)?),
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(resolve_subqueries(*expr, catalog)?),
+            list: list
+                .into_iter()
+                .map(|e| resolve_subqueries(e, catalog))
+                .collect::<GsnResult<_>>()?,
+            negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(resolve_subqueries(*expr, catalog)?),
+            low: Box::new(resolve_subqueries(*low, catalog)?),
+            high: Box::new(resolve_subqueries(*high, catalog)?),
+            negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
+            operand: operand
+                .map(|o| resolve_subqueries(*o, catalog).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| {
+                    Ok((
+                        resolve_subqueries(w, catalog)?,
+                        resolve_subqueries(t, catalog)?,
+                    ))
+                })
+                .collect::<GsnResult<_>>()?,
+            else_expr: else_expr
+                .map(|e| resolve_subqueries(*e, catalog).map(Box::new))
+                .transpose()?,
+        },
+        Expr::Cast { expr, data_type } => Expr::Cast {
+            expr: Box::new(resolve_subqueries(*expr, catalog)?),
+            data_type,
+        },
+        leaf @ (Expr::Literal(_) | Expr::Column { .. }) => leaf,
+    })
+}
+
+// ---------------------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------------------
+
+fn execute_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    kind: JoinKind,
+    on: Option<&Expr>,
+    catalog: &dyn Catalog,
+) -> GsnResult<Relation> {
+    let left_rel = execute_plan(left, catalog)?;
+    let right_rel = execute_plan(right, catalog)?;
+    let columns = Relation::joined_columns(&left_rel, &right_rel);
+    let on = on
+        .map(|e| resolve_subqueries(e.clone(), catalog))
+        .transpose()?;
+
+    // Equi-join detection: use a hash join when the ON condition is a simple equality
+    // between one column of each side (the common case for GSN queries joining sensor
+    // streams on room / tag ids).
+    if matches!(kind, JoinKind::Inner) {
+        if let Some(on_expr) = &on {
+            if let Some((l_idx, r_idx)) = equi_join_columns(on_expr, &left_rel, &right_rel) {
+                return hash_join(&left_rel, &right_rel, l_idx, r_idx, columns);
+            }
+        }
+    }
+
+    let mut out = Relation::new(columns.clone());
+    for l_row in left_rel.rows() {
+        let mut matched = false;
+        for r_row in right_rel.rows() {
+            let mut combined = l_row.clone();
+            combined.extend_from_slice(r_row);
+            let keep = match &on {
+                None => true,
+                Some(cond) => {
+                    let ctx = RowContext::new(&columns, &combined);
+                    evaluate_predicate(cond, &ctx)?
+                }
+            };
+            if keep {
+                matched = true;
+                out.push_row(combined)?;
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            let mut combined = l_row.clone();
+            combined.extend(std::iter::repeat(Value::Null).take(right_rel.column_count()));
+            out.push_row(combined)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Identifies `l.col = r.col` equality conditions.
+fn equi_join_columns(
+    on: &Expr,
+    left: &Relation,
+    right: &Relation,
+) -> Option<(usize, usize)> {
+    if let Expr::Binary {
+        left: a,
+        op: crate::ast::BinaryOp::Eq,
+        right: b,
+    } = on
+    {
+        let col_of = |e: &Expr, rel: &Relation| -> Option<usize> {
+            if let Expr::Column { qualifier, name } = e {
+                rel.resolve_column(qualifier.as_deref(), name).ok()
+            } else {
+                None
+            }
+        };
+        if let (Some(l), Some(r)) = (col_of(a, left), col_of(b, right)) {
+            return Some((l, r));
+        }
+        if let (Some(l), Some(r)) = (col_of(b, left), col_of(a, right)) {
+            return Some((l, r));
+        }
+    }
+    None
+}
+
+fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    l_idx: usize,
+    r_idx: usize,
+    columns: Vec<ColumnInfo>,
+) -> GsnResult<Relation> {
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().iter().enumerate() {
+        let key = &row[r_idx];
+        if key.is_null() {
+            continue;
+        }
+        index.entry(format!("{key:?}")).or_default().push(i);
+    }
+    let mut out = Relation::new(columns);
+    for l_row in left.rows() {
+        let key = &l_row[l_idx];
+        if key.is_null() {
+            continue;
+        }
+        if let Some(matches) = index.get(&format!("{key:?}")) {
+            for &ri in matches {
+                let mut combined = l_row.clone();
+                combined.extend_from_slice(&right.rows()[ri]);
+                out.push_row(combined)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn execute_project(
+    input: &LogicalPlan,
+    items: &[ProjectionItem],
+    wildcards: &[Option<String>],
+    catalog: &dyn Catalog,
+) -> GsnResult<Relation> {
+    let rel = execute_plan(input, catalog)?;
+
+    // Expand wildcards into column positions.
+    let mut wildcard_columns: Vec<usize> = Vec::new();
+    for w in wildcards {
+        match w {
+            None => wildcard_columns.extend(0..rel.column_count()),
+            Some(q) => {
+                let before = wildcard_columns.len();
+                for (i, c) in rel.columns().iter().enumerate() {
+                    if c.qualifier
+                        .as_deref()
+                        .map(|own| own.eq_ignore_ascii_case(q))
+                        .unwrap_or(false)
+                    {
+                        wildcard_columns.push(i);
+                    }
+                }
+                if wildcard_columns.len() == before {
+                    return Err(GsnError::sql_exec(format!(
+                        "wildcard `{q}.*` matches no columns"
+                    )));
+                }
+            }
+        }
+    }
+
+    let items: Vec<ProjectionItem> = items
+        .iter()
+        .map(|i| {
+            Ok(ProjectionItem {
+                expr: resolve_subqueries(i.expr.clone(), catalog)?,
+                name: i.name.clone(),
+            })
+        })
+        .collect::<GsnResult<_>>()?;
+
+    let mut columns: Vec<ColumnInfo> = wildcard_columns
+        .iter()
+        .map(|&i| rel.columns()[i].clone())
+        .collect();
+    for item in &items {
+        columns.push(ColumnInfo::new(None, &item.name, None));
+    }
+
+    let mut out = Relation::new(columns);
+    for row in rel.rows() {
+        let ctx = RowContext::new(rel.columns(), row);
+        let mut new_row: Vec<Value> = wildcard_columns.iter().map(|&i| row[i].clone()).collect();
+        for item in &items {
+            new_row.push(evaluate(&item.expr, &ctx)?);
+        }
+        out.push_row(new_row)?;
+    }
+    Ok(out)
+}
+
+/// One aggregate call extracted from a projection/HAVING expression.
+struct ExtractedAggregate {
+    kind: AggregateKind,
+    distinct: bool,
+    /// The argument expression (None for `COUNT(*)`).
+    arg: Option<Expr>,
+    /// The placeholder column name the rewritten expression refers to.
+    placeholder: String,
+}
+
+fn execute_aggregate(
+    input: &LogicalPlan,
+    group_by: &[Expr],
+    items: &[ProjectionItem],
+    having: Option<&Expr>,
+    catalog: &dyn Catalog,
+) -> GsnResult<Relation> {
+    let rel = execute_plan(input, catalog)?;
+
+    // Extract every aggregate call from the output items and the HAVING clause, replacing
+    // each with a reference to a placeholder column computed per group.
+    let mut aggregates: Vec<ExtractedAggregate> = Vec::new();
+    let rewritten_items: Vec<ProjectionItem> = items
+        .iter()
+        .map(|item| {
+            Ok(ProjectionItem {
+                expr: extract_aggregates(
+                    resolve_subqueries(item.expr.clone(), catalog)?,
+                    &mut aggregates,
+                )?,
+                name: item.name.clone(),
+            })
+        })
+        .collect::<GsnResult<_>>()?;
+    let rewritten_having = having
+        .map(|h| {
+            extract_aggregates(resolve_subqueries(h.clone(), catalog)?, &mut aggregates)
+        })
+        .transpose()?;
+
+    // Group rows by the GROUP BY key.
+    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    let mut group_index: HashMap<String, usize> = HashMap::new();
+
+    for row in rel.rows() {
+        let ctx = RowContext::new(rel.columns(), row);
+        let key_values: Vec<Value> = group_by
+            .iter()
+            .map(|g| evaluate(g, &ctx))
+            .collect::<GsnResult<_>>()?;
+        let key = row_key(&key_values);
+        let group_idx = match group_index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let accs = aggregates
+                    .iter()
+                    .map(|a| Accumulator::new(a.kind, a.distinct))
+                    .collect();
+                groups.push((key_values.clone(), accs));
+                group_index.insert(key, groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        let (_, accs) = &mut groups[group_idx];
+        for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
+            let value = match &agg.arg {
+                Some(expr) => evaluate(expr, &ctx)?,
+                None => Value::Integer(1), // COUNT(*)
+            };
+            acc.update(&value)?;
+        }
+    }
+
+    // A global aggregate over an empty input still produces one row.
+    if groups.is_empty() && group_by.is_empty() {
+        let accs = aggregates
+            .iter()
+            .map(|a| Accumulator::new(a.kind, a.distinct))
+            .collect();
+        groups.push((Vec::new(), accs));
+    }
+
+    // Build the per-group evaluation context: group-by expressions are addressable both by
+    // their textual form and by position; aggregate placeholders by their generated name.
+    let mut ctx_columns: Vec<ColumnInfo> = Vec::new();
+    for (i, g) in group_by.iter().enumerate() {
+        let name = match g {
+            Expr::Column { name, .. } => name.clone(),
+            other => format!("GROUP_{}", { let _ = other; i + 1 }),
+        };
+        ctx_columns.push(ColumnInfo::new(None, &name, None));
+    }
+    for agg in &aggregates {
+        ctx_columns.push(ColumnInfo::new(None, &agg.placeholder, None));
+    }
+
+    let out_columns: Vec<ColumnInfo> = rewritten_items
+        .iter()
+        .map(|i| ColumnInfo::new(None, &i.name, None))
+        .collect();
+    let mut out = Relation::new(out_columns);
+
+    for (key_values, accs) in &groups {
+        let mut ctx_row: Vec<Value> = key_values.clone();
+        ctx_row.extend(accs.iter().map(|a| a.finish()));
+        let ctx = RowContext::new(&ctx_columns, &ctx_row);
+
+        if let Some(h) = &rewritten_having {
+            if !evaluate_predicate(h, &ctx)? {
+                continue;
+            }
+        }
+        let out_row: Vec<Value> = rewritten_items
+            .iter()
+            .map(|item| eval_group_item(&item.expr, &ctx, group_by, key_values))
+            .collect::<GsnResult<_>>()?;
+        out.push_row(out_row)?;
+    }
+    Ok(out)
+}
+
+/// Evaluates an output item in group context.  Group-by expressions that are not plain
+/// columns (e.g. `temp / 10`) are matched structurally against the GROUP BY list and
+/// replaced by the group key value.
+fn eval_group_item(
+    expr: &Expr,
+    ctx: &RowContext<'_>,
+    group_by: &[Expr],
+    key_values: &[Value],
+) -> GsnResult<Value> {
+    for (g, v) in group_by.iter().zip(key_values) {
+        if expr == g {
+            return Ok(v.clone());
+        }
+    }
+    evaluate(expr, ctx)
+}
+
+/// Replaces aggregate calls in `expr` with placeholder column references, recording each
+/// extracted aggregate.
+fn extract_aggregates(
+    expr: Expr,
+    aggregates: &mut Vec<ExtractedAggregate>,
+) -> GsnResult<Expr> {
+    Ok(match expr {
+        Expr::Function {
+            name,
+            distinct,
+            args,
+        } if is_aggregate_function(&name) => {
+            let kind = AggregateKind::parse(&name)?;
+            if args.len() > 1 {
+                return Err(GsnError::sql_exec(format!(
+                    "{name} takes at most one argument"
+                )));
+            }
+            let arg = args.into_iter().next();
+            if arg.as_ref().map(|a| a.contains_aggregate()).unwrap_or(false) {
+                return Err(GsnError::sql_exec("nested aggregate functions are not allowed"));
+            }
+            let placeholder = format!("__AGG_{}", aggregates.len());
+            aggregates.push(ExtractedAggregate {
+                kind,
+                distinct,
+                arg,
+                placeholder: placeholder.clone(),
+            });
+            Expr::col(&placeholder)
+        }
+        Expr::Unary { op, operand } => Expr::Unary {
+            op,
+            operand: Box::new(extract_aggregates(*operand, aggregates)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(extract_aggregates(*left, aggregates)?),
+            op,
+            right: Box::new(extract_aggregates(*right, aggregates)?),
+        },
+        Expr::Function {
+            name,
+            distinct,
+            args,
+        } => Expr::Function {
+            name,
+            distinct,
+            args: args
+                .into_iter()
+                .map(|a| extract_aggregates(a, aggregates))
+                .collect::<GsnResult<_>>()?,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(extract_aggregates(*expr, aggregates)?),
+            negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(extract_aggregates(*expr, aggregates)?),
+            pattern: Box::new(extract_aggregates(*pattern, aggregates)?),
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(extract_aggregates(*expr, aggregates)?),
+            list: list
+                .into_iter()
+                .map(|e| extract_aggregates(e, aggregates))
+                .collect::<GsnResult<_>>()?,
+            negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(extract_aggregates(*expr, aggregates)?),
+            low: Box::new(extract_aggregates(*low, aggregates)?),
+            high: Box::new(extract_aggregates(*high, aggregates)?),
+            negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
+            operand: operand
+                .map(|o| extract_aggregates(*o, aggregates).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| {
+                    Ok((
+                        extract_aggregates(w, aggregates)?,
+                        extract_aggregates(t, aggregates)?,
+                    ))
+                })
+                .collect::<GsnResult<_>>()?,
+            else_expr: else_expr
+                .map(|e| extract_aggregates(*e, aggregates).map(Box::new))
+                .transpose()?,
+        },
+        Expr::Cast { expr, data_type } => Expr::Cast {
+            expr: Box::new(extract_aggregates(*expr, aggregates)?),
+            data_type,
+        },
+        leaf => leaf,
+    })
+}
+
+fn execute_sort(rel: Relation, keys: &[SortKey]) -> GsnResult<Relation> {
+    let columns = rel.columns().to_vec();
+    let mut rows = rel.into_rows();
+
+    // Pre-compute sort keys to keep comparator failures out of the sort closure.
+    //
+    // ORDER BY may reference either output columns or the underlying base-table columns.
+    // After projection the output columns lose their table qualifiers, so a qualified
+    // reference (`order by m.temperature` above a `select m.temperature ...`) is retried
+    // without its qualifier before giving up.
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for row in rows.drain(..) {
+        let ctx = RowContext::new(&columns, &row);
+        let key: Vec<Value> = keys
+            .iter()
+            .map(|k| {
+                evaluate(&k.expr, &ctx).or_else(|err| {
+                    let stripped = strip_qualifiers(k.expr.clone());
+                    if stripped != k.expr {
+                        evaluate(&stripped, &ctx)
+                    } else {
+                        Err(err)
+                    }
+                })
+            })
+            .collect::<GsnResult<_>>()?;
+        keyed.push((key, row));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let ord = compare_for_sort(&ka[i], &kb[i]);
+            let ord = if key.ascending { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    let rows: Vec<Vec<Value>> = keyed.into_iter().map(|(_, r)| r).collect();
+    Relation::with_rows(columns, rows)
+}
+
+/// Removes table qualifiers from every column reference in an expression.
+fn strip_qualifiers(expr: Expr) -> Expr {
+    match expr {
+        Expr::Column { name, .. } => Expr::Column {
+            qualifier: None,
+            name,
+        },
+        Expr::Unary { op, operand } => Expr::Unary {
+            op,
+            operand: Box::new(strip_qualifiers(*operand)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(strip_qualifiers(*left)),
+            op,
+            right: Box::new(strip_qualifiers(*right)),
+        },
+        Expr::Function {
+            name,
+            distinct,
+            args,
+        } => Expr::Function {
+            name,
+            distinct,
+            args: args.into_iter().map(strip_qualifiers).collect(),
+        },
+        other => other,
+    }
+}
+
+/// Sorting treats NULL as smaller than every value and falls back to the textual form for
+/// incomparable values so that sorting never fails.
+fn compare_for_sort(a: &Value, b: &Value) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a
+            .sql_cmp(b)
+            .unwrap_or_else(|| a.to_string().cmp(&b.to_string())),
+    }
+}
+
+fn execute_set_op(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    op: SetOperator,
+    all: bool,
+    catalog: &dyn Catalog,
+) -> GsnResult<Relation> {
+    let l = execute_plan(left, catalog)?;
+    let r = execute_plan(right, catalog)?;
+    if l.column_count() != r.column_count() {
+        return Err(GsnError::sql_exec(format!(
+            "set operation requires equal column counts ({} vs {})",
+            l.column_count(),
+            r.column_count()
+        )));
+    }
+    let columns = l.columns().to_vec();
+    let mut out = Relation::new(columns);
+    match op {
+        SetOperator::Union => {
+            let mut seen = std::collections::HashSet::new();
+            for row in l.rows().iter().chain(r.rows()) {
+                if all || seen.insert(row_key(row)) {
+                    out.push_row(row.clone())?;
+                }
+            }
+        }
+        SetOperator::Intersect => {
+            let right_keys: std::collections::HashSet<String> =
+                r.rows().iter().map(|r| row_key(r)).collect();
+            let mut seen = std::collections::HashSet::new();
+            for row in l.rows() {
+                let key = row_key(row);
+                if right_keys.contains(&key) && (all || seen.insert(key)) {
+                    out.push_row(row.clone())?;
+                }
+            }
+        }
+        SetOperator::Except => {
+            let right_keys: std::collections::HashSet<String> =
+                r.rows().iter().map(|r| row_key(r)).collect();
+            let mut seen = std::collections::HashSet::new();
+            for row in l.rows() {
+                let key = row_key(row);
+                if !right_keys.contains(&key) && (all || seen.insert(key)) {
+                    out.push_row(row.clone())?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A hashable textual key for a row (used by DISTINCT, GROUP BY and set operations).
+fn row_key(row: &[Value]) -> String {
+    let mut s = String::new();
+    for v in row {
+        s.push_str(&format!("{v:?}|"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use gsn_types::DataType;
+
+    fn motes_relation() -> Relation {
+        Relation::with_rows(
+            vec![
+                ColumnInfo::new(None, "room", Some(DataType::Varchar)),
+                ColumnInfo::new(None, "temperature", Some(DataType::Integer)),
+                ColumnInfo::new(None, "light", Some(DataType::Double)),
+            ],
+            vec![
+                vec![Value::varchar("bc143"), Value::Integer(21), Value::Double(400.0)],
+                vec![Value::varchar("bc143"), Value::Integer(23), Value::Double(420.0)],
+                vec![Value::varchar("bc144"), Value::Integer(30), Value::Double(100.0)],
+                vec![Value::varchar("bc145"), Value::Null, Value::Double(0.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn cameras_relation() -> Relation {
+        Relation::with_rows(
+            vec![
+                ColumnInfo::new(None, "room", Some(DataType::Varchar)),
+                ColumnInfo::new(None, "image_size", Some(DataType::Integer)),
+            ],
+            vec![
+                vec![Value::varchar("bc143"), Value::Integer(32_000)],
+                vec![Value::varchar("bc144"), Value::Integer(16_000)],
+                vec![Value::varchar("bc999"), Value::Integer(75_000)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn catalog() -> MemoryCatalog {
+        let mut c = MemoryCatalog::new();
+        c.register("motes", motes_relation());
+        c.register("cameras", cameras_relation());
+        c
+    }
+
+    fn run(sql: &str) -> Relation {
+        execute_query(&parse_query(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    fn run_err(sql: &str) -> GsnError {
+        execute_query(&parse_query(sql).unwrap(), &catalog()).unwrap_err()
+    }
+
+    #[test]
+    fn select_star() {
+        let r = run("select * from motes");
+        assert_eq!(r.row_count(), 4);
+        assert_eq!(r.column_count(), 3);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let r = run("select room, temperature + 1 as t from motes where temperature > 21");
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.columns()[1].name, "T");
+        assert_eq!(r.rows()[0][1], Value::Integer(24));
+    }
+
+    #[test]
+    fn null_rows_do_not_pass_filters() {
+        let r = run("select * from motes where temperature > 0");
+        assert_eq!(r.row_count(), 3);
+        let r = run("select * from motes where temperature is null");
+        assert_eq!(r.row_count(), 1);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let r = run("select avg(temperature), count(*), count(temperature), min(light), max(light) from motes");
+        assert_eq!(r.row_count(), 1);
+        let row = &r.rows()[0];
+        assert_eq!(row[0], Value::Double((21.0 + 23.0 + 30.0) / 3.0));
+        assert_eq!(row[1], Value::Integer(4));
+        assert_eq!(row[2], Value::Integer(3));
+        assert_eq!(row[3], Value::Double(0.0));
+        assert_eq!(row[4], Value::Double(420.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_one_row() {
+        let r = run("select count(*), avg(temperature) from motes where room = 'nowhere'");
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows()[0][0], Value::Integer(0));
+        assert_eq!(r.rows()[0][1], Value::Null);
+    }
+
+    #[test]
+    fn group_by_with_having_and_order() {
+        let r = run(
+            "select room, avg(temperature) as t, count(*) as n from motes \
+             group by room having count(*) >= 1 order by room",
+        );
+        assert_eq!(r.row_count(), 3);
+        assert_eq!(r.rows()[0][0], Value::varchar("bc143"));
+        assert_eq!(r.rows()[0][1], Value::Double(22.0));
+        assert_eq!(r.rows()[0][2], Value::Integer(2));
+        assert_eq!(r.rows()[2][0], Value::varchar("bc145"));
+        assert_eq!(r.rows()[2][1], Value::Null);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let r = run("select room from motes group by room having avg(temperature) > 25");
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows()[0][0], Value::varchar("bc144"));
+    }
+
+    #[test]
+    fn aggregate_expression_arithmetic() {
+        let r = run("select max(temperature) - min(temperature) from motes");
+        assert_eq!(r.rows()[0][0], Value::Integer(9));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let r = run("select count(distinct room) from motes");
+        assert_eq!(r.rows()[0][0], Value::Integer(3));
+    }
+
+    #[test]
+    fn inner_join_hash_path() {
+        let r = run(
+            "select m.room, m.temperature, c.image_size from motes m \
+             join cameras c on m.room = c.room order by m.temperature",
+        );
+        assert_eq!(r.row_count(), 3);
+        assert_eq!(r.rows()[0][2], Value::Integer(32_000));
+        assert_eq!(r.rows()[2][0], Value::varchar("bc144"));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_rows() {
+        let r = run(
+            "select m.room, c.image_size from motes m left join cameras c on m.room = c.room \
+             order by m.room",
+        );
+        assert_eq!(r.row_count(), 4);
+        // bc145 has no camera.
+        assert_eq!(r.rows()[3][0], Value::varchar("bc145"));
+        assert_eq!(r.rows()[3][1], Value::Null);
+    }
+
+    #[test]
+    fn cross_join_and_comma_from() {
+        let r = run("select * from motes, cameras");
+        assert_eq!(r.row_count(), 12);
+        let r = run("select * from motes cross join cameras");
+        assert_eq!(r.row_count(), 12);
+    }
+
+    #[test]
+    fn non_equi_join_condition() {
+        let r = run(
+            "select m.room from motes m join cameras c on m.temperature < c.image_size where m.temperature is not null",
+        );
+        assert_eq!(r.row_count(), 9);
+    }
+
+    #[test]
+    fn distinct_limit_offset() {
+        let r = run("select distinct room from motes order by room");
+        assert_eq!(r.row_count(), 3);
+        let r = run("select distinct room from motes order by room limit 2");
+        assert_eq!(r.row_count(), 2);
+        let r = run("select distinct room from motes order by room limit 2 offset 2");
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows()[0][0], Value::varchar("bc145"));
+    }
+
+    #[test]
+    fn order_by_desc_and_nulls() {
+        let r = run("select room, temperature from motes order by temperature desc");
+        assert_eq!(r.rows()[0][1], Value::Integer(30));
+        // NULL sorts smallest, so with DESC it comes last.
+        assert_eq!(r.rows()[3][1], Value::Null);
+        let r = run("select room, temperature from motes order by temperature");
+        assert_eq!(r.rows()[0][1], Value::Null);
+    }
+
+    #[test]
+    fn set_operations() {
+        let r = run("select room from motes union select room from cameras order by room");
+        assert_eq!(r.row_count(), 4); // bc143, bc144, bc145, bc999
+        let r = run("select room from motes union all select room from cameras");
+        assert_eq!(r.row_count(), 7);
+        let r = run("select room from motes intersect select room from cameras order by room");
+        assert_eq!(r.row_count(), 2);
+        let r = run("select room from motes except select room from cameras");
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows()[0][0], Value::varchar("bc145"));
+    }
+
+    #[test]
+    fn set_operation_arity_mismatch() {
+        assert!(run_err("select room, temperature from motes union select room from cameras")
+            .to_string()
+            .contains("equal column counts"));
+    }
+
+    #[test]
+    fn subqueries() {
+        let r = run("select room from cameras where room in (select room from motes)");
+        assert_eq!(r.row_count(), 2);
+        let r = run("select room from cameras where room not in (select room from motes)");
+        assert_eq!(r.row_count(), 1);
+        let r = run("select room from motes where exists (select 1 from cameras where image_size > 50000)");
+        assert_eq!(r.row_count(), 4);
+        let r = run("select room from motes where temperature > (select avg(temperature) from motes)");
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows()[0][0], Value::varchar("bc144"));
+    }
+
+    #[test]
+    fn derived_tables() {
+        let r = run(
+            "select room, t from (select room, avg(temperature) as t from motes group by room) s \
+             where t > 20 order by t desc",
+        );
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.rows()[0][1], Value::Double(30.0));
+    }
+
+    #[test]
+    fn from_less_select() {
+        let r = run("select 1 + 1 as two, 'x' as label");
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows()[0][0], Value::Integer(2));
+        assert_eq!(r.rows()[0][1], Value::varchar("x"));
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let r = run("select m.* from motes m join cameras c on m.room = c.room");
+        assert_eq!(r.column_count(), 3);
+        assert_eq!(r.row_count(), 3);
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(run_err("select * from nosuchtable").to_string().contains("unknown table"));
+        assert!(run_err("select nosuchcolumn from motes").to_string().contains("unknown column"));
+        assert!(run_err("select avg(avg(temperature)) from motes")
+            .to_string()
+            .contains("nested aggregate"));
+        assert!(run_err("select avg(temperature, light) from motes")
+            .to_string()
+            .contains("at most one argument"));
+        assert!(run_err("select room from motes where room in (select * from cameras)")
+            .to_string()
+            .contains("exactly one column"));
+        assert!(run_err("select (select room from cameras) from motes")
+            .to_string()
+            .contains("rows"));
+    }
+
+    #[test]
+    fn memory_catalog_management() {
+        let mut c = catalog();
+        assert_eq!(c.names().len(), 2);
+        assert!(c.relation("MOTES").is_ok());
+        assert!(c.deregister("motes").is_some());
+        assert!(c.relation("motes").is_err());
+        assert!(c.deregister("motes").is_none());
+    }
+}

@@ -1,0 +1,485 @@
+//! Scalar SQL functions.
+//!
+//! The function set covers what GSN virtual sensor queries need in practice: numeric
+//! helpers for sensor calibration (`ABS`, `ROUND`, `SQRT`, `POWER`, ...), string helpers
+//! for metadata handling (`UPPER`, `LOWER`, `SUBSTR`, ...), NULL handling (`COALESCE`,
+//! `NULLIF`, `IFNULL`) and a few GSN-specific helpers (`OCTET_LENGTH` for payload sizes,
+//! `GREATEST`/`LEAST` across readings).
+
+use gsn_types::{GsnError, GsnResult, Value};
+
+/// True when `name` (upper-case) names a known scalar function.
+pub fn is_scalar_function(name: &str) -> bool {
+    SCALAR_FUNCTIONS
+        .iter()
+        .any(|f| f.eq_ignore_ascii_case(name))
+}
+
+/// The list of scalar functions known to the engine.
+pub const SCALAR_FUNCTIONS: &[&str] = &[
+    "ABS",
+    "CEIL",
+    "CEILING",
+    "FLOOR",
+    "ROUND",
+    "SQRT",
+    "POWER",
+    "POW",
+    "MOD",
+    "SIGN",
+    "EXP",
+    "LN",
+    "LOG10",
+    "UPPER",
+    "LOWER",
+    "LENGTH",
+    "CHAR_LENGTH",
+    "OCTET_LENGTH",
+    "TRIM",
+    "LTRIM",
+    "RTRIM",
+    "SUBSTR",
+    "SUBSTRING",
+    "CONCAT",
+    "REPLACE",
+    "COALESCE",
+    "NULLIF",
+    "IFNULL",
+    "GREATEST",
+    "LEAST",
+];
+
+fn check_arity(name: &str, args: &[Value], expected: std::ops::RangeInclusive<usize>) -> GsnResult<()> {
+    if expected.contains(&args.len()) {
+        Ok(())
+    } else {
+        Err(GsnError::sql_exec(format!(
+            "{name} expects {}..={} arguments, got {}",
+            expected.start(),
+            expected.end(),
+            args.len()
+        )))
+    }
+}
+
+fn numeric_arg(name: &str, v: &Value) -> GsnResult<Option<f64>> {
+    if v.is_null() {
+        return Ok(None);
+    }
+    v.as_double().map(Some).ok_or_else(|| {
+        GsnError::sql_exec(format!("{name} expects a numeric argument, got `{v}`"))
+    })
+}
+
+fn string_arg(_name: &str, v: &Value) -> GsnResult<Option<String>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Varchar(s) => Ok(Some(s.clone())),
+        other => Ok(Some(other.to_string())),
+    }
+}
+
+/// Evaluates a scalar function over already-evaluated arguments.
+pub fn eval_scalar_function(name: &str, args: &[Value]) -> GsnResult<Value> {
+    let upper = name.to_ascii_uppercase();
+    match upper.as_str() {
+        "ABS" => unary_numeric(&upper, args, f64::abs),
+        "CEIL" | "CEILING" => unary_numeric(&upper, args, f64::ceil),
+        "FLOOR" => unary_numeric(&upper, args, f64::floor),
+        "SQRT" => unary_numeric(&upper, args, f64::sqrt),
+        "EXP" => unary_numeric(&upper, args, f64::exp),
+        "LN" => unary_numeric(&upper, args, f64::ln),
+        "LOG10" => unary_numeric(&upper, args, f64::log10),
+        "SIGN" => {
+            check_arity(&upper, args, 1..=1)?;
+            match numeric_arg(&upper, &args[0])? {
+                None => Ok(Value::Null),
+                Some(x) => Ok(Value::Integer(if x > 0.0 {
+                    1
+                } else if x < 0.0 {
+                    -1
+                } else {
+                    0
+                })),
+            }
+        }
+        "ROUND" => {
+            check_arity(&upper, args, 1..=2)?;
+            let Some(x) = numeric_arg(&upper, &args[0])? else {
+                return Ok(Value::Null);
+            };
+            let digits = if args.len() == 2 {
+                match numeric_arg(&upper, &args[1])? {
+                    None => return Ok(Value::Null),
+                    Some(d) => d as i32,
+                }
+            } else {
+                0
+            };
+            let factor = 10f64.powi(digits);
+            let rounded = (x * factor).round() / factor;
+            if digits <= 0 && matches!(args[0], Value::Integer(_)) {
+                Ok(Value::Integer(rounded as i64))
+            } else {
+                Ok(Value::Double(rounded))
+            }
+        }
+        "POWER" | "POW" => {
+            check_arity(&upper, args, 2..=2)?;
+            match (numeric_arg(&upper, &args[0])?, numeric_arg(&upper, &args[1])?) {
+                (Some(a), Some(b)) => Ok(Value::Double(a.powf(b))),
+                _ => Ok(Value::Null),
+            }
+        }
+        "MOD" => {
+            check_arity(&upper, args, 2..=2)?;
+            match (args[0].as_integer(), args[1].as_integer()) {
+                (Some(_), Some(0)) => Err(GsnError::sql_exec("MOD by zero")),
+                (Some(a), Some(b)) => Ok(Value::Integer(a % b)),
+                _ if args[0].is_null() || args[1].is_null() => Ok(Value::Null),
+                _ => Err(GsnError::sql_exec("MOD expects integer arguments")),
+            }
+        }
+        "UPPER" => unary_string(&upper, args, |s| s.to_uppercase()),
+        "LOWER" => unary_string(&upper, args, |s| s.to_lowercase()),
+        "TRIM" => unary_string(&upper, args, |s| s.trim().to_owned()),
+        "LTRIM" => unary_string(&upper, args, |s| s.trim_start().to_owned()),
+        "RTRIM" => unary_string(&upper, args, |s| s.trim_end().to_owned()),
+        "LENGTH" | "CHAR_LENGTH" => {
+            check_arity(&upper, args, 1..=1)?;
+            match string_arg(&upper, &args[0])? {
+                None => Ok(Value::Null),
+                Some(s) => Ok(Value::Integer(s.chars().count() as i64)),
+            }
+        }
+        "OCTET_LENGTH" => {
+            check_arity(&upper, args, 1..=1)?;
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Integer(args[0].size_bytes() as i64))
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            check_arity(&upper, args, 2..=3)?;
+            let Some(s) = string_arg(&upper, &args[0])? else {
+                return Ok(Value::Null);
+            };
+            let Some(start) = args[1].as_integer() else {
+                return Ok(Value::Null);
+            };
+            let chars: Vec<char> = s.chars().collect();
+            // SQL substring is 1-based.
+            let begin = (start.max(1) as usize).saturating_sub(1);
+            let len = if args.len() == 3 {
+                match args[2].as_integer() {
+                    Some(l) if l >= 0 => l as usize,
+                    Some(_) => 0,
+                    None => return Ok(Value::Null),
+                }
+            } else {
+                usize::MAX
+            };
+            let result: String = chars.iter().skip(begin).take(len).collect();
+            Ok(Value::Varchar(result))
+        }
+        "CONCAT" => {
+            check_arity(&upper, args, 1..=16)?;
+            let mut out = String::new();
+            for a in args {
+                if let Some(s) = string_arg(&upper, a)? {
+                    out.push_str(&s);
+                }
+            }
+            Ok(Value::Varchar(out))
+        }
+        "REPLACE" => {
+            check_arity(&upper, args, 3..=3)?;
+            match (
+                string_arg(&upper, &args[0])?,
+                string_arg(&upper, &args[1])?,
+                string_arg(&upper, &args[2])?,
+            ) {
+                (Some(s), Some(from), Some(to)) => Ok(Value::Varchar(s.replace(&from, &to))),
+                _ => Ok(Value::Null),
+            }
+        }
+        "COALESCE" => {
+            check_arity(&upper, args, 1..=16)?;
+            Ok(args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(Value::Null))
+        }
+        "NULLIF" => {
+            check_arity(&upper, args, 2..=2)?;
+            if args[0].sql_eq(&args[1]) == Some(true) {
+                Ok(Value::Null)
+            } else {
+                Ok(args[0].clone())
+            }
+        }
+        "IFNULL" => {
+            check_arity(&upper, args, 2..=2)?;
+            if args[0].is_null() {
+                Ok(args[1].clone())
+            } else {
+                Ok(args[0].clone())
+            }
+        }
+        "GREATEST" => extremum(&upper, args, std::cmp::Ordering::Greater),
+        "LEAST" => extremum(&upper, args, std::cmp::Ordering::Less),
+        other => Err(GsnError::sql_exec(format!("unknown function `{other}`"))),
+    }
+}
+
+fn unary_numeric(name: &str, args: &[Value], f: impl Fn(f64) -> f64) -> GsnResult<Value> {
+    check_arity(name, args, 1..=1)?;
+    match numeric_arg(name, &args[0])? {
+        None => Ok(Value::Null),
+        Some(x) => {
+            let y = f(x);
+            // Preserve integer-ness for functions that keep integrality.
+            if matches!(args[0], Value::Integer(_)) && y.fract() == 0.0 && y.is_finite() {
+                Ok(Value::Integer(y as i64))
+            } else {
+                Ok(Value::Double(y))
+            }
+        }
+    }
+}
+
+fn unary_string(name: &str, args: &[Value], f: impl Fn(&str) -> String) -> GsnResult<Value> {
+    check_arity(name, args, 1..=1)?;
+    match string_arg(name, &args[0])? {
+        None => Ok(Value::Null),
+        Some(s) => Ok(Value::Varchar(f(&s))),
+    }
+}
+
+fn extremum(name: &str, args: &[Value], want: std::cmp::Ordering) -> GsnResult<Value> {
+    check_arity(name, args, 1..=16)?;
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    let mut best = args[0].clone();
+    for candidate in &args[1..] {
+        match candidate.sql_cmp(&best) {
+            Some(ord) if ord == want => best = candidate.clone(),
+            Some(_) => {}
+            None => {
+                return Err(GsnError::sql_exec(format!(
+                    "{name}: arguments are not mutually comparable"
+                )))
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Evaluates the SQL `LIKE` operator with `%` and `_` wildcards.
+pub fn sql_like(text: &str, pattern: &str) -> bool {
+    fn matches(t: &[char], p: &[char]) -> bool {
+        match (t.first(), p.first()) {
+            (_, None) => t.is_empty(),
+            (_, Some('%')) => {
+                // `%` matches zero or more characters.
+                if matches(t, &p[1..]) {
+                    return true;
+                }
+                if t.is_empty() {
+                    return false;
+                }
+                matches(&t[1..], p)
+            }
+            (None, Some(_)) => false,
+            (Some(tc), Some('_')) => {
+                let _ = tc;
+                matches(&t[1..], &p[1..])
+            }
+            (Some(tc), Some(pc)) => {
+                if tc.eq_ignore_ascii_case(pc) {
+                    matches(&t[1..], &p[1..])
+                } else {
+                    false
+                }
+            }
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    matches(&t, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: Vec<Value>) -> Value {
+        eval_scalar_function(name, &args).unwrap()
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(call("abs", vec![Value::Integer(-3)]), Value::Integer(3));
+        assert_eq!(call("ABS", vec![Value::Double(-2.5)]), Value::Double(2.5));
+        assert_eq!(call("CEIL", vec![Value::Double(1.2)]), Value::Double(2.0));
+        assert_eq!(call("FLOOR", vec![Value::Double(1.8)]), Value::Double(1.0));
+        assert_eq!(call("SQRT", vec![Value::Integer(9)]), Value::Integer(3));
+        assert_eq!(call("SIGN", vec![Value::Integer(-9)]), Value::Integer(-1));
+        assert_eq!(call("SIGN", vec![Value::Integer(0)]), Value::Integer(0));
+        assert_eq!(
+            call("POWER", vec![Value::Integer(2), Value::Integer(10)]),
+            Value::Double(1024.0)
+        );
+        assert_eq!(
+            call("MOD", vec![Value::Integer(7), Value::Integer(3)]),
+            Value::Integer(1)
+        );
+        assert!(eval_scalar_function("MOD", &[Value::Integer(7), Value::Integer(0)]).is_err());
+        assert_eq!(call("ROUND", vec![Value::Double(2.567)]), Value::Double(3.0));
+        assert_eq!(
+            call("ROUND", vec![Value::Double(2.567), Value::Integer(2)]),
+            Value::Double(2.57)
+        );
+        assert_eq!(call("ROUND", vec![Value::Integer(5)]), Value::Integer(5));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(call("ABS", vec![Value::Null]), Value::Null);
+        assert_eq!(call("UPPER", vec![Value::Null]), Value::Null);
+        assert_eq!(
+            call("POWER", vec![Value::Null, Value::Integer(2)]),
+            Value::Null
+        );
+        assert_eq!(call("LENGTH", vec![Value::Null]), Value::Null);
+        assert_eq!(
+            call("MOD", vec![Value::Null, Value::Integer(2)]),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call("UPPER", vec![Value::varchar("abc")]), Value::varchar("ABC"));
+        assert_eq!(call("LOWER", vec![Value::varchar("ABC")]), Value::varchar("abc"));
+        assert_eq!(call("TRIM", vec![Value::varchar("  x ")]), Value::varchar("x"));
+        assert_eq!(call("LTRIM", vec![Value::varchar("  x ")]), Value::varchar("x "));
+        assert_eq!(call("RTRIM", vec![Value::varchar("  x ")]), Value::varchar("  x"));
+        assert_eq!(call("LENGTH", vec![Value::varchar("héllo")]), Value::Integer(5));
+        assert_eq!(
+            call("SUBSTR", vec![Value::varchar("temperature"), Value::Integer(1), Value::Integer(4)]),
+            Value::varchar("temp")
+        );
+        assert_eq!(
+            call("SUBSTR", vec![Value::varchar("temperature"), Value::Integer(5)]),
+            Value::varchar("erature")
+        );
+        assert_eq!(
+            call("CONCAT", vec![Value::varchar("a"), Value::Integer(1), Value::varchar("b")]),
+            Value::varchar("a1b")
+        );
+        assert_eq!(
+            call(
+                "REPLACE",
+                vec![Value::varchar("a-b-c"), Value::varchar("-"), Value::varchar("+")]
+            ),
+            Value::varchar("a+b+c")
+        );
+        // Non-string scalars are stringified.
+        assert_eq!(call("UPPER", vec![Value::Integer(5)]), Value::varchar("5"));
+    }
+
+    #[test]
+    fn octet_length_reports_payload_sizes() {
+        assert_eq!(
+            call("OCTET_LENGTH", vec![Value::binary(vec![0u8; 1024])]),
+            Value::Integer(1024)
+        );
+        assert_eq!(
+            call("OCTET_LENGTH", vec![Value::varchar("abc")]),
+            Value::Integer(3)
+        );
+        assert_eq!(call("OCTET_LENGTH", vec![Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn conditional_functions() {
+        assert_eq!(
+            call("COALESCE", vec![Value::Null, Value::Null, Value::Integer(3)]),
+            Value::Integer(3)
+        );
+        assert_eq!(call("COALESCE", vec![Value::Null]), Value::Null);
+        assert_eq!(
+            call("NULLIF", vec![Value::Integer(1), Value::Integer(1)]),
+            Value::Null
+        );
+        assert_eq!(
+            call("NULLIF", vec![Value::Integer(1), Value::Integer(2)]),
+            Value::Integer(1)
+        );
+        assert_eq!(
+            call("IFNULL", vec![Value::Null, Value::Integer(9)]),
+            Value::Integer(9)
+        );
+        assert_eq!(
+            call("IFNULL", vec![Value::Integer(1), Value::Integer(9)]),
+            Value::Integer(1)
+        );
+    }
+
+    #[test]
+    fn greatest_and_least() {
+        assert_eq!(
+            call("GREATEST", vec![Value::Integer(1), Value::Double(2.5), Value::Integer(2)]),
+            Value::Double(2.5)
+        );
+        assert_eq!(
+            call("LEAST", vec![Value::Integer(1), Value::Double(2.5)]),
+            Value::Integer(1)
+        );
+        assert_eq!(
+            call("GREATEST", vec![Value::Integer(1), Value::Null]),
+            Value::Null
+        );
+        assert!(eval_scalar_function(
+            "GREATEST",
+            &[Value::Integer(1), Value::varchar("x")]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn arity_and_unknown_functions_error() {
+        assert!(eval_scalar_function("ABS", &[]).is_err());
+        assert!(eval_scalar_function("ABS", &[Value::Integer(1), Value::Integer(2)]).is_err());
+        assert!(eval_scalar_function("NO_SUCH_FN", &[Value::Integer(1)]).is_err());
+        assert!(eval_scalar_function("ABS", &[Value::varchar("x")]).is_err());
+    }
+
+    #[test]
+    fn is_scalar_function_lookup() {
+        assert!(is_scalar_function("abs"));
+        assert!(is_scalar_function("COALESCE"));
+        assert!(!is_scalar_function("AVG"));
+        assert!(!is_scalar_function("nosuch"));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(sql_like("temperature", "temp%"));
+        assert!(sql_like("temperature", "%ature"));
+        assert!(sql_like("temperature", "%era%"));
+        assert!(sql_like("temperature", "t_mperature"));
+        assert!(sql_like("abc", "abc"));
+        assert!(sql_like("ABC", "abc"));
+        assert!(!sql_like("abc", "abcd"));
+        assert!(!sql_like("abc", "a_"));
+        assert!(sql_like("", "%"));
+        assert!(!sql_like("", "_"));
+        assert!(sql_like("a%b", "a%b"));
+        assert!(sql_like("anything at all", "%"));
+        assert!(sql_like("bc143", "bc1__"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # gsn-sql
+//!
+//! The embedded SQL engine used by GSN-RS containers.
+//!
+//! The original GSN delegated stream-query evaluation to an external RDBMS (MySQL in the
+//! paper's experiments).  GSN-RS embeds a small engine instead so that the whole pipeline —
+//! parse, plan, optimize, execute over windowed stream relations — runs in-process and can
+//! be measured by the reproduction benchmarks (Figures 3 and 4 of the paper).
+//!
+//! The dialect covers what GSN virtual sensor descriptors and client queries use:
+//!
+//! * `SELECT [DISTINCT] ... FROM ... [JOIN ... ON ...] [WHERE ...]`
+//! * `GROUP BY` / `HAVING` with `AVG`, `SUM`, `COUNT`, `MIN`, `MAX`, `STDDEV`, `VARIANCE`
+//! * `ORDER BY`, `LIMIT` / `OFFSET`
+//! * `UNION [ALL]`, `INTERSECT`, `EXCEPT`
+//! * uncorrelated subqueries (`IN (SELECT ...)`, `EXISTS`, scalar subqueries, derived tables)
+//! * scalar functions, `CASE`, `CAST`, `LIKE`, `BETWEEN`, `IN`, `IS NULL`
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gsn_sql::{MemoryCatalog, Relation, ColumnInfo, SqlEngine};
+//! use gsn_types::{DataType, Value};
+//!
+//! let mut catalog = MemoryCatalog::new();
+//! catalog.register(
+//!     "wrapper",
+//!     Relation::with_rows(
+//!         vec![ColumnInfo::new(None, "temperature", Some(DataType::Integer))],
+//!         vec![vec![Value::Integer(21)], vec![Value::Integer(25)]],
+//!     )
+//!     .unwrap(),
+//! );
+//! let mut engine = SqlEngine::new();
+//! let avg = engine
+//!     .execute_scalar("select avg(temperature) from wrapper", &catalog)
+//!     .unwrap();
+//! assert_eq!(avg, Value::Double(23.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod ast;
+pub mod engine;
+pub mod eval;
+pub mod exec;
+pub mod functions;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod relation;
+pub mod token;
+
+pub use aggregate::{Accumulator, AggregateKind};
+pub use ast::{Expr, Query};
+pub use engine::{EngineStats, PreparedQuery, SqlEngine};
+pub use exec::{execute_plan, execute_query, Catalog, MemoryCatalog};
+pub use optimizer::OptimizerConfig;
+pub use parser::{parse_expression, parse_query};
+pub use plan::{plan_query, LogicalPlan};
+pub use relation::{ColumnInfo, Relation};

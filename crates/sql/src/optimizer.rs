@@ -1,0 +1,616 @@
+//! Logical plan rewrites.
+//!
+//! The paper notes that using SQL lets GSN "directly apply SQL query optimization and
+//! planning techniques" (Section 3).  The optimizer implements the rewrites that matter
+//! for the stream workload: constant folding (descriptor queries are templated and often
+//! contain constant arithmetic), predicate decomposition + pushdown below joins (client
+//! queries in the Figure 4 experiment carry ~3 filtering predicates each), and removal of
+//! trivially-true filters.
+
+use gsn_types::{GsnResult, Value};
+
+use crate::ast::{BinaryOp, Expr};
+use crate::eval::{evaluate, RowContext};
+use crate::plan::{JoinKind, LogicalPlan};
+
+/// Optimizer configuration, exposed so ablation benchmarks can toggle passes.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    /// Fold constant sub-expressions.
+    pub constant_folding: bool,
+    /// Split conjunctive predicates and push them below joins / into scans.
+    pub predicate_pushdown: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            constant_folding: true,
+            predicate_pushdown: true,
+        }
+    }
+}
+
+/// Applies all enabled rewrites to a plan.
+pub fn optimize(plan: LogicalPlan, config: &OptimizerConfig) -> GsnResult<LogicalPlan> {
+    let mut plan = plan;
+    if config.constant_folding {
+        plan = fold_plan_constants(plan)?;
+    }
+    if config.predicate_pushdown {
+        plan = pushdown_predicates(plan)?;
+    }
+    Ok(plan)
+}
+
+/// Applies the default optimisation pipeline.
+pub fn optimize_default(plan: LogicalPlan) -> GsnResult<LogicalPlan> {
+    optimize(plan, &OptimizerConfig::default())
+}
+
+// ---------------------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------------------
+
+/// Folds constant sub-expressions in every expression position of the plan.
+fn fold_plan_constants(plan: LogicalPlan) -> GsnResult<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(fold_plan_constants(*input)?),
+            predicate: fold_expr(predicate),
+        },
+        LogicalPlan::Project {
+            input,
+            items,
+            wildcards,
+        } => LogicalPlan::Project {
+            input: Box::new(fold_plan_constants(*input)?),
+            items: items
+                .into_iter()
+                .map(|mut i| {
+                    i.expr = fold_expr(i.expr);
+                    i
+                })
+                .collect(),
+            wildcards,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            items,
+            having,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(fold_plan_constants(*input)?),
+            group_by: group_by.into_iter().map(fold_expr).collect(),
+            items: items
+                .into_iter()
+                .map(|mut i| {
+                    i.expr = fold_expr(i.expr);
+                    i
+                })
+                .collect(),
+            having: having.map(fold_expr),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(fold_plan_constants(*left)?),
+            right: Box::new(fold_plan_constants(*right)?),
+            kind,
+            on: on.map(fold_expr),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_plan_constants(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(fold_plan_constants(*input)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(fold_plan_constants(*input)?),
+        },
+        LogicalPlan::Derived { input, alias } => LogicalPlan::Derived {
+            input: Box::new(fold_plan_constants(*input)?),
+            alias,
+        },
+        LogicalPlan::SetOp {
+            left,
+            right,
+            op,
+            all,
+        } => LogicalPlan::SetOp {
+            left: Box::new(fold_plan_constants(*left)?),
+            right: Box::new(fold_plan_constants(*right)?),
+            op,
+            all,
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Empty) => leaf,
+    })
+}
+
+/// Recursively folds constant sub-expressions of `expr`.
+///
+/// Folding is conservative: an expression is folded only when all of its inputs are
+/// literals and evaluation succeeds; any error (division by zero, type mismatch) leaves
+/// the expression unchanged so that runtime semantics — including errors — are preserved.
+pub fn fold_expr(expr: Expr) -> Expr {
+    // First fold children.
+    let expr = match expr {
+        Expr::Unary { op, operand } => Expr::Unary {
+            op,
+            operand: Box::new(fold_expr(*operand)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(fold_expr(*left)),
+            op,
+            right: Box::new(fold_expr(*right)),
+        },
+        Expr::Function {
+            name,
+            distinct,
+            args,
+        } => Expr::Function {
+            name,
+            distinct,
+            args: args.into_iter().map(fold_expr).collect(),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(fold_expr(*expr)),
+            negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(fold_expr(*expr)),
+            pattern: Box::new(fold_expr(*pattern)),
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(fold_expr(*expr)),
+            list: list.into_iter().map(fold_expr).collect(),
+            negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(fold_expr(*expr)),
+            low: Box::new(fold_expr(*low)),
+            high: Box::new(fold_expr(*high)),
+            negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
+            operand: operand.map(|o| Box::new(fold_expr(*o))),
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (fold_expr(w), fold_expr(t)))
+                .collect(),
+            else_expr: else_expr.map(|e| Box::new(fold_expr(*e))),
+        },
+        Expr::Cast { expr, data_type } => Expr::Cast {
+            expr: Box::new(fold_expr(*expr)),
+            data_type,
+        },
+        other => other,
+    };
+
+    // Then try to evaluate this node if it is constant (and not a subquery/aggregate).
+    if is_foldable_constant(&expr) {
+        let ctx = RowContext::new(&[], &[]);
+        if let Ok(v) = evaluate(&expr, &ctx) {
+            return Expr::Literal(v);
+        }
+    }
+
+    // Algebraic simplifications on boolean operators with one constant side.
+    if let Expr::Binary { left, op, right } = &expr {
+        match (op, left.as_ref(), right.as_ref()) {
+            (BinaryOp::And, Expr::Literal(Value::Boolean(true)), other)
+            | (BinaryOp::And, other, Expr::Literal(Value::Boolean(true)))
+            | (BinaryOp::Or, Expr::Literal(Value::Boolean(false)), other)
+            | (BinaryOp::Or, other, Expr::Literal(Value::Boolean(false))) => {
+                return other.clone();
+            }
+            (BinaryOp::And, Expr::Literal(Value::Boolean(false)), _)
+            | (BinaryOp::And, _, Expr::Literal(Value::Boolean(false))) => {
+                return Expr::Literal(Value::Boolean(false));
+            }
+            (BinaryOp::Or, Expr::Literal(Value::Boolean(true)), _)
+            | (BinaryOp::Or, _, Expr::Literal(Value::Boolean(true))) => {
+                return Expr::Literal(Value::Boolean(true));
+            }
+            _ => {}
+        }
+    }
+    expr
+}
+
+/// True when the expression consists solely of literals and deterministic operators.
+fn is_foldable_constant(expr: &Expr) -> bool {
+    match expr {
+        Expr::Literal(_) => true,
+        Expr::Column { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::ScalarSubquery(_) => false,
+        Expr::Function { name, args, .. } => {
+            crate::functions::is_scalar_function(name) && args.iter().all(is_foldable_constant)
+        }
+        Expr::Unary { operand, .. } => is_foldable_constant(operand),
+        Expr::Binary { left, right, .. } => {
+            is_foldable_constant(left) && is_foldable_constant(right)
+        }
+        Expr::IsNull { expr, .. } => is_foldable_constant(expr),
+        Expr::Like { expr, pattern, .. } => {
+            is_foldable_constant(expr) && is_foldable_constant(pattern)
+        }
+        Expr::InList { expr, list, .. } => {
+            is_foldable_constant(expr) && list.iter().all(is_foldable_constant)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => is_foldable_constant(expr) && is_foldable_constant(low) && is_foldable_constant(high),
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            operand.as_deref().map(is_foldable_constant).unwrap_or(true)
+                && branches
+                    .iter()
+                    .all(|(w, t)| is_foldable_constant(w) && is_foldable_constant(t))
+                && else_expr.as_deref().map(is_foldable_constant).unwrap_or(true)
+        }
+        Expr::Cast { expr, .. } => is_foldable_constant(expr),
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Predicate pushdown
+// ---------------------------------------------------------------------------------------
+
+/// Splits a predicate into its top-level conjuncts.
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Re-joins conjuncts into a single predicate.
+pub fn join_conjuncts(mut conjuncts: Vec<Expr>) -> Option<Expr> {
+    let first = if conjuncts.is_empty() {
+        return None;
+    } else {
+        conjuncts.remove(0)
+    };
+    Some(
+        conjuncts
+            .into_iter()
+            .fold(first, |acc, c| Expr::binary(acc, BinaryOp::And, c)),
+    )
+}
+
+/// The set of relation aliases produced by a plan subtree.
+fn produced_aliases(plan: &LogicalPlan, out: &mut Vec<String>) {
+    match plan {
+        LogicalPlan::Scan { alias, .. } | LogicalPlan::Derived { alias, .. } => {
+            out.push(alias.to_ascii_lowercase());
+        }
+        _ => {
+            for child in plan.children() {
+                produced_aliases(child, out);
+            }
+        }
+    }
+}
+
+/// True when every column referenced by `expr` can be resolved using only `aliases`.
+///
+/// Unqualified column references are conservatively treated as *not* pushable below a
+/// join (they might refer to either side); inside a single-input subtree they are pushable.
+fn references_only(expr: &Expr, aliases: &[String], allow_unqualified: bool) -> bool {
+    expr.referenced_columns().iter().all(|(q, _)| match q {
+        Some(q) => aliases.contains(&q.to_ascii_lowercase()),
+        None => allow_unqualified,
+    })
+}
+
+/// Pushes filter conjuncts as close to the scans as possible.
+fn pushdown_predicates(plan: LogicalPlan) -> GsnResult<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = pushdown_predicates(*input)?;
+            let conjuncts = split_conjuncts(&predicate);
+            push_conjuncts_into(input, conjuncts)
+        }
+        LogicalPlan::Project {
+            input,
+            items,
+            wildcards,
+        } => LogicalPlan::Project {
+            input: Box::new(pushdown_predicates(*input)?),
+            items,
+            wildcards,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            items,
+            having,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(pushdown_predicates(*input)?),
+            group_by,
+            items,
+            having,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(pushdown_predicates(*left)?),
+            right: Box::new(pushdown_predicates(*right)?),
+            kind,
+            on,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(pushdown_predicates(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(pushdown_predicates(*input)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(pushdown_predicates(*input)?),
+        },
+        LogicalPlan::Derived { input, alias } => LogicalPlan::Derived {
+            input: Box::new(pushdown_predicates(*input)?),
+            alias,
+        },
+        LogicalPlan::SetOp {
+            left,
+            right,
+            op,
+            all,
+        } => LogicalPlan::SetOp {
+            left: Box::new(pushdown_predicates(*left)?),
+            right: Box::new(pushdown_predicates(*right)?),
+            op,
+            all,
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Empty) => leaf,
+    })
+}
+
+/// Pushes a set of conjuncts into `plan`, returning the rewritten plan (with any conjuncts
+/// that could not be pushed re-attached as a Filter on top).
+fn push_conjuncts_into(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
+    // Drop literally-true conjuncts.
+    let conjuncts: Vec<Expr> = conjuncts
+        .into_iter()
+        .filter(|c| !matches!(c, Expr::Literal(Value::Boolean(true))))
+        .collect();
+    if conjuncts.is_empty() {
+        return plan;
+    }
+    match plan {
+        // Only inner and cross joins admit pushdown of filter predicates; pushing below
+        // the nullable side of an outer join would change semantics.
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } if kind != JoinKind::LeftOuter => {
+            let mut left_aliases = Vec::new();
+            let mut right_aliases = Vec::new();
+            produced_aliases(&left, &mut left_aliases);
+            produced_aliases(&right, &mut right_aliases);
+
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut keep = Vec::new();
+            for c in conjuncts {
+                if references_only(&c, &left_aliases, false) {
+                    to_left.push(c);
+                } else if references_only(&c, &right_aliases, false) {
+                    to_right.push(c);
+                } else {
+                    keep.push(c);
+                }
+            }
+            let new_left = push_conjuncts_into(*left, to_left);
+            let new_right = push_conjuncts_into(*right, to_right);
+            let joined = LogicalPlan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                kind,
+                on,
+            };
+            wrap_filter(joined, keep)
+        }
+        other => wrap_filter(other, conjuncts),
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
+    match join_conjuncts(conjuncts) {
+        Some(predicate) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        },
+        None => plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expression, parse_query};
+    use crate::plan::plan_query;
+
+    fn optimized(sql: &str) -> LogicalPlan {
+        optimize_default(plan_query(&parse_query(sql).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let e = fold_expr(parse_expression("1 + 2 * 3").unwrap());
+        assert_eq!(e, Expr::Literal(Value::Integer(7)));
+        let e = fold_expr(parse_expression("abs(-4) + 1").unwrap());
+        assert_eq!(e, Expr::Literal(Value::Integer(5)));
+        let e = fold_expr(parse_expression("upper('bc') like 'BC%'").unwrap());
+        assert_eq!(e, Expr::Literal(Value::Boolean(true)));
+    }
+
+    #[test]
+    fn folds_inside_non_constant_expressions() {
+        let e = fold_expr(parse_expression("temperature > 10 * 2").unwrap());
+        assert_eq!(e.to_string(), "(temperature > 20)");
+        let e = fold_expr(parse_expression("temperature between 5 + 5 and 3 * 10").unwrap());
+        assert_eq!(e.to_string(), "temperature BETWEEN 10 AND 30");
+    }
+
+    #[test]
+    fn simplifies_boolean_identities() {
+        let e = fold_expr(parse_expression("true and temperature > 1").unwrap());
+        assert_eq!(e.to_string(), "(temperature > 1)");
+        let e = fold_expr(parse_expression("temperature > 1 or false").unwrap());
+        assert_eq!(e.to_string(), "(temperature > 1)");
+        let e = fold_expr(parse_expression("temperature > 1 and false").unwrap());
+        assert_eq!(e, Expr::Literal(Value::Boolean(false)));
+        let e = fold_expr(parse_expression("temperature > 1 or true").unwrap());
+        assert_eq!(e, Expr::Literal(Value::Boolean(true)));
+    }
+
+    #[test]
+    fn folding_preserves_runtime_errors() {
+        // 1/0 must stay unfolded so execution reports division by zero.
+        let e = fold_expr(parse_expression("1 / 0").unwrap());
+        assert_eq!(e.to_string(), "(1 / 0)");
+    }
+
+    #[test]
+    fn does_not_fold_columns_or_aggregates() {
+        let e = fold_expr(parse_expression("avg(temperature)").unwrap());
+        assert!(matches!(e, Expr::Function { .. }));
+        let e = fold_expr(parse_expression("temperature").unwrap());
+        assert!(matches!(e, Expr::Column { .. }));
+    }
+
+    #[test]
+    fn splits_and_rejoins_conjuncts() {
+        let e = parse_expression("a = 1 and b = 2 and c like 'x%'").unwrap();
+        let parts = split_conjuncts(&e);
+        assert_eq!(parts.len(), 3);
+        let rejoined = join_conjuncts(parts).unwrap();
+        assert_eq!(rejoined.to_string(), "(((a = 1) AND (b = 2)) AND c LIKE 'x%')");
+        assert!(join_conjuncts(vec![]).is_none());
+    }
+
+    #[test]
+    fn pushes_predicates_below_inner_join() {
+        let p = optimized(
+            "select * from motes m join cameras c on m.room = c.room \
+             where m.temp > 20 and c.size > 1000 and m.id = c.id",
+        );
+        let explain = p.explain();
+        // The single-side conjuncts must appear below the join; the cross-side conjunct
+        // stays above it.
+        let join_line = explain.lines().position(|l| l.contains("Join")).unwrap();
+        let m_filter = explain
+            .lines()
+            .position(|l| l.contains("Filter (m.temp > 20)"))
+            .expect("left filter pushed");
+        let c_filter = explain
+            .lines()
+            .position(|l| l.contains("Filter (c.size > 1000)"))
+            .expect("right filter pushed");
+        let cross_filter = explain
+            .lines()
+            .position(|l| l.contains("(m.id = c.id)"))
+            .expect("cross filter kept");
+        assert!(m_filter > join_line);
+        assert!(c_filter > join_line);
+        assert!(cross_filter < join_line);
+    }
+
+    #[test]
+    fn does_not_push_below_left_outer_join() {
+        let p = optimized(
+            "select * from motes m left join cameras c on m.room = c.room where c.size > 10",
+        );
+        let explain = p.explain();
+        let join_line = explain.lines().position(|l| l.contains("Join")).unwrap();
+        let filter_line = explain
+            .lines()
+            .position(|l| l.contains("Filter"))
+            .unwrap();
+        assert!(filter_line < join_line, "filter must stay above the outer join:\n{explain}");
+    }
+
+    #[test]
+    fn single_table_filters_are_untouched() {
+        let p = optimized("select * from t where a > 1 and b > 2");
+        let explain = p.explain();
+        assert!(explain.contains("Filter"));
+        assert!(explain.contains("Scan t"));
+    }
+
+    #[test]
+    fn trivially_true_filters_are_dropped() {
+        let p = optimized("select * from t where 1 = 1");
+        let explain = p.explain();
+        assert!(!explain.contains("Filter"), "{explain}");
+    }
+
+    #[test]
+    fn config_can_disable_passes() {
+        let plan = plan_query(&parse_query("select * from t where 1 + 1 = 2").unwrap()).unwrap();
+        let config = OptimizerConfig {
+            constant_folding: false,
+            predicate_pushdown: false,
+        };
+        let unopt = optimize(plan.clone(), &config).unwrap();
+        assert_eq!(unopt, plan);
+        let opt = optimize_default(plan).unwrap();
+        assert!(!opt.explain().contains("Filter"));
+    }
+}

@@ -1,0 +1,915 @@
+//! A recursive-descent SQL parser producing [`crate::ast`] trees.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query      := select_body (set_op [ALL] select_body)* [ORDER BY order_items] [LIMIT n [OFFSET m]] [;]
+//! select_body:= SELECT [DISTINCT|ALL] items FROM from_list [WHERE expr]
+//!               [GROUP BY exprs] [HAVING expr]
+//! from_list  := table_with_joins ("," table_with_joins)*
+//! table_with_joins := factor (join_clause)*
+//! factor     := ident [AS] [alias] | "(" query ")" [AS] alias
+//! expr       := or_expr, with precedence OR < AND < NOT < comparison < add < mul < unary
+//! ```
+
+use gsn_types::{DataType, GsnError, GsnResult, Value};
+
+use crate::ast::*;
+use crate::token::{tokenize, Keyword, Token, TokenKind};
+
+/// Parses one SQL query.
+pub fn parse_query(sql: &str) -> GsnResult<Query> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser::new(sql, tokens);
+    let query = parser.parse_query()?;
+    parser.expect_end()?;
+    Ok(query)
+}
+
+/// Parses a standalone expression (used by descriptor validation and tests).
+pub fn parse_expression(sql: &str) -> GsnResult<Expr> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser::new(sql, tokens);
+    let expr = parser.parse_expr()?;
+    parser.expect_end()?;
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    sql: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(sql: &'a str, tokens: Vec<Token>) -> Parser<'a> {
+        Parser { sql, tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, msg: impl Into<String>) -> GsnError {
+        let offset = self.tokens[self.pos.min(self.tokens.len() - 1)].offset;
+        GsnError::sql_parse(format!(
+            "{} at `{}` (offset {offset}) in query `{}`",
+            msg.into(),
+            self.peek(),
+            self.sql
+        ))
+    }
+
+    fn consume_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> GsnResult<()> {
+        if self.consume_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}")))
+        }
+    }
+
+    fn consume(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> GsnResult<()> {
+        if self.consume(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kind}`")))
+        }
+    }
+
+    fn expect_end(&mut self) -> GsnResult<()> {
+        self.consume(&TokenKind::Semicolon);
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn expect_identifier(&mut self) -> GsnResult<String> {
+        match self.peek().clone() {
+            TokenKind::Identifier(name) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    // ---- query level -------------------------------------------------------------
+
+    fn parse_query(&mut self) -> GsnResult<Query> {
+        let body = self.parse_select_body()?;
+        let mut set_ops = Vec::new();
+        loop {
+            let op = match self.peek() {
+                TokenKind::Keyword(Keyword::Union) => SetOperator::Union,
+                TokenKind::Keyword(Keyword::Intersect) => SetOperator::Intersect,
+                TokenKind::Keyword(Keyword::Except) => SetOperator::Except,
+                _ => break,
+            };
+            self.advance();
+            let all = self.consume_keyword(Keyword::All);
+            let rhs = self.parse_select_body()?;
+            set_ops.push((op, all, rhs));
+        }
+
+        let mut order_by = Vec::new();
+        if self.consume_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let ascending = if self.consume_keyword(Keyword::Desc) {
+                    false
+                } else {
+                    self.consume_keyword(Keyword::Asc);
+                    true
+                };
+                order_by.push(OrderByItem { expr, ascending });
+                if !self.consume(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut limit = None;
+        let mut offset = None;
+        if self.consume_keyword(Keyword::Limit) {
+            limit = Some(self.parse_unsigned("LIMIT")?);
+            if self.consume_keyword(Keyword::Offset) {
+                offset = Some(self.parse_unsigned("OFFSET")?);
+            }
+        } else if self.consume_keyword(Keyword::Offset) {
+            offset = Some(self.parse_unsigned("OFFSET")?);
+        }
+
+        Ok(Query {
+            body,
+            set_ops,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_unsigned(&mut self, what: &str) -> GsnResult<u64> {
+        match self.peek().clone() {
+            TokenKind::Integer(n) if n >= 0 => {
+                self.advance();
+                Ok(n as u64)
+            }
+            _ => Err(self.error(format!("{what} expects a non-negative integer"))),
+        }
+    }
+
+    fn parse_select_body(&mut self) -> GsnResult<SelectBody> {
+        self.expect_keyword(Keyword::Select)?;
+        let distinct = if self.consume_keyword(Keyword::Distinct) {
+            true
+        } else {
+            self.consume_keyword(Keyword::All);
+            false
+        };
+
+        let mut projection = vec![self.parse_select_item()?];
+        while self.consume(&TokenKind::Comma) {
+            projection.push(self.parse_select_item()?);
+        }
+
+        let mut from = Vec::new();
+        if self.consume_keyword(Keyword::From) {
+            from.push(self.parse_table_with_joins()?);
+            while self.consume(&TokenKind::Comma) {
+                from.push(self.parse_table_with_joins()?);
+            }
+        }
+
+        let selection = if self.consume_keyword(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.consume_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            group_by.push(self.parse_expr()?);
+            while self.consume(&TokenKind::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+
+        let having = if self.consume_keyword(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        Ok(SelectBody {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> GsnResult<SelectItem> {
+        if self.consume(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let TokenKind::Identifier(name) = self.peek().clone() {
+            if self.peek_ahead(1) == &TokenKind::Dot && self.peek_ahead(2) == &TokenKind::Star {
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.consume_keyword(Keyword::As) {
+            Some(self.expect_identifier()?)
+        } else if let TokenKind::Identifier(name) = self.peek().clone() {
+            // Implicit alias (`select avg(t) temperature`).
+            self.advance();
+            Some(name)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_with_joins(&mut self) -> GsnResult<TableWithJoins> {
+        let relation = self.parse_table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            let join_operator = if self.consume_keyword(Keyword::Cross) {
+                self.expect_keyword(Keyword::Join)?;
+                let relation = self.parse_table_factor()?;
+                joins.push(Join {
+                    relation,
+                    join_operator: JoinOperator::Cross,
+                });
+                continue;
+            } else if self.consume_keyword(Keyword::Inner) {
+                self.expect_keyword(Keyword::Join)?;
+                let relation = self.parse_table_factor()?;
+                self.expect_keyword(Keyword::On)?;
+                let on = self.parse_expr()?;
+                joins.push(Join {
+                    relation,
+                    join_operator: JoinOperator::Inner(on),
+                });
+                continue;
+            } else if self.consume_keyword(Keyword::Left) {
+                self.consume_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                let relation = self.parse_table_factor()?;
+                self.expect_keyword(Keyword::On)?;
+                let on = self.parse_expr()?;
+                joins.push(Join {
+                    relation,
+                    join_operator: JoinOperator::LeftOuter(on),
+                });
+                continue;
+            } else if self.consume_keyword(Keyword::Join) {
+                let relation = self.parse_table_factor()?;
+                self.expect_keyword(Keyword::On)?;
+                let on = self.parse_expr()?;
+                joins.push(Join {
+                    relation,
+                    join_operator: JoinOperator::Inner(on),
+                });
+                continue;
+            } else {
+                None::<JoinOperator>
+            };
+            let _ = join_operator;
+            break;
+        }
+        Ok(TableWithJoins { relation, joins })
+    }
+
+    fn parse_table_factor(&mut self) -> GsnResult<TableFactor> {
+        if self.consume(&TokenKind::LeftParen) {
+            let subquery = self.parse_query()?;
+            self.expect(&TokenKind::RightParen)?;
+            self.consume_keyword(Keyword::As);
+            let alias = self.expect_identifier().map_err(|_| {
+                self.error("derived table (subquery in FROM) requires an alias")
+            })?;
+            return Ok(TableFactor::Derived {
+                subquery: Box::new(subquery),
+                alias,
+            });
+        }
+        let name = self.expect_identifier()?;
+        let alias = if self.consume_keyword(Keyword::As) {
+            Some(self.expect_identifier()?)
+        } else if let TokenKind::Identifier(a) = self.peek().clone() {
+            self.advance();
+            Some(a)
+        } else {
+            None
+        };
+        Ok(TableFactor::Table { name, alias })
+    }
+
+    // ---- expressions -------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> GsnResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> GsnResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.consume_keyword(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinaryOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> GsnResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.consume_keyword(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::binary(left, BinaryOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> GsnResult<Expr> {
+        if self.consume_keyword(Keyword::Not) {
+            let operand = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> GsnResult<Expr> {
+        let left = self.parse_additive()?;
+
+        // IS [NOT] NULL
+        if self.consume_keyword(Keyword::Is) {
+            let negated = self.consume_keyword(Keyword::Not);
+            self.expect_keyword(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        // [NOT] BETWEEN / LIKE / IN
+        let negated = if self.peek() == &TokenKind::Keyword(Keyword::Not)
+            && matches!(
+                self.peek_ahead(1),
+                TokenKind::Keyword(Keyword::Between)
+                    | TokenKind::Keyword(Keyword::Like)
+                    | TokenKind::Keyword(Keyword::In)
+            ) {
+            self.advance();
+            true
+        } else {
+            false
+        };
+
+        if self.consume_keyword(Keyword::Between) {
+            let low = self.parse_additive()?;
+            self.expect_keyword(Keyword::And)?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.consume_keyword(Keyword::Like) {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.consume_keyword(Keyword::In) {
+            self.expect(&TokenKind::LeftParen)?;
+            if self.peek() == &TokenKind::Keyword(Keyword::Select) {
+                let subquery = self.parse_query()?;
+                self.expect(&TokenKind::RightParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(subquery),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.consume(&TokenKind::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect(&TokenKind::RightParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN, LIKE or IN after NOT"));
+        }
+
+        let op = match self.peek() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn parse_additive(&mut self) -> GsnResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Plus,
+                TokenKind::Minus => BinaryOp::Minus,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> GsnResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Multiply,
+                TokenKind::Slash => BinaryOp::Divide,
+                TokenKind::Percent => BinaryOp::Modulo,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> GsnResult<Expr> {
+        if self.consume(&TokenKind::Minus) {
+            let operand = self.parse_unary()?;
+            // Fold a negated numeric literal directly.
+            return Ok(match operand {
+                Expr::Literal(Value::Integer(i)) => Expr::Literal(Value::Integer(-i)),
+                Expr::Literal(Value::Double(d)) => Expr::Literal(Value::Double(-d)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(other),
+                },
+            });
+        }
+        if self.consume(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> GsnResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Integer(i) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Integer(i)))
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Double(x)))
+            }
+            TokenKind::StringLit(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Varchar(s)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Boolean(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Boolean(false)))
+            }
+            TokenKind::Keyword(Keyword::Case) => self.parse_case(),
+            TokenKind::Keyword(Keyword::Cast) => self.parse_cast(),
+            TokenKind::Keyword(Keyword::Exists) => {
+                self.advance();
+                self.expect(&TokenKind::LeftParen)?;
+                let subquery = self.parse_query()?;
+                self.expect(&TokenKind::RightParen)?;
+                Ok(Expr::Exists {
+                    subquery: Box::new(subquery),
+                    negated: false,
+                })
+            }
+            TokenKind::LeftParen => {
+                self.advance();
+                if self.peek() == &TokenKind::Keyword(Keyword::Select) {
+                    let subquery = self.parse_query()?;
+                    self.expect(&TokenKind::RightParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(subquery)));
+                }
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RightParen)?;
+                Ok(e)
+            }
+            TokenKind::Identifier(name) => {
+                self.advance();
+                // Function call.
+                if self.peek() == &TokenKind::LeftParen {
+                    self.advance();
+                    let distinct = self.consume_keyword(Keyword::Distinct);
+                    let mut args = Vec::new();
+                    if self.consume(&TokenKind::Star) {
+                        // COUNT(*) — empty argument list by convention.
+                        self.expect(&TokenKind::RightParen)?;
+                        return Ok(Expr::Function {
+                            name: name.to_ascii_uppercase(),
+                            distinct,
+                            args,
+                        });
+                    }
+                    if !self.consume(&TokenKind::RightParen) {
+                        args.push(self.parse_expr()?);
+                        while self.consume(&TokenKind::Comma) {
+                            args.push(self.parse_expr()?);
+                        }
+                        self.expect(&TokenKind::RightParen)?;
+                    }
+                    return Ok(Expr::Function {
+                        name: name.to_ascii_uppercase(),
+                        distinct,
+                        args,
+                    });
+                }
+                // Qualified column.
+                if self.consume(&TokenKind::Dot) {
+                    let col = match self.peek().clone() {
+                        TokenKind::Identifier(c) => {
+                            self.advance();
+                            c
+                        }
+                        _ => return Err(self.error("expected column name after `.`")),
+                    };
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::col(&name))
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+
+    fn parse_case(&mut self) -> GsnResult<Expr> {
+        self.expect_keyword(Keyword::Case)?;
+        let operand = if self.peek() != &TokenKind::Keyword(Keyword::When) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.consume_keyword(Keyword::When) {
+            let when = self.parse_expr()?;
+            self.expect_keyword(Keyword::Then)?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(self.error("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.consume_keyword(Keyword::Else) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword(Keyword::End)?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
+    }
+
+    fn parse_cast(&mut self) -> GsnResult<Expr> {
+        self.expect_keyword(Keyword::Cast)?;
+        self.expect(&TokenKind::LeftParen)?;
+        let expr = self.parse_expr()?;
+        self.expect_keyword(Keyword::As)?;
+        let ty_name = self.expect_identifier()?;
+        let data_type = DataType::parse(&ty_name)
+            .map_err(|e| self.error(format!("invalid CAST target: {e}")))?;
+        self.expect(&TokenKind::RightParen)?;
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            data_type,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_descriptor_queries() {
+        // From Figure 1 of the paper.
+        let q = parse_query("select avg(temperature) from WRAPPER").unwrap();
+        assert_eq!(q.body.from.len(), 1);
+        assert_eq!(q.body.projection.len(), 1);
+        match &q.body.projection[0] {
+            SelectItem::Expr { expr, alias } => {
+                assert!(alias.is_none());
+                assert!(matches!(expr, Expr::Function { name, .. } if name == "AVG"));
+            }
+            other => panic!("unexpected projection {other:?}"),
+        }
+
+        let q = parse_query("select * from src1").unwrap();
+        assert_eq!(q.body.projection, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn parses_where_and_precedence() {
+        let q = parse_query("select * from t where a = 1 and b > 2 or c < 3").unwrap();
+        let w = q.body.selection.unwrap();
+        // OR binds loosest: ((a=1 AND b>2) OR c<3)
+        match w {
+            Expr::Binary { op: BinaryOp::Or, left, .. } => match *left {
+                Expr::Binary { op: BinaryOp::And, .. } => {}
+                other => panic!("expected AND on the left, got {other}"),
+            },
+            other => panic!("expected OR at the top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + (2 * 3))");
+        let e = parse_expression("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "((1 + 2) * 3)");
+        let e = parse_expression("-x + 4").unwrap();
+        assert_eq!(e.to_string(), "(-x + 4)");
+        let e = parse_expression("-5").unwrap();
+        assert_eq!(e, Expr::Literal(Value::Integer(-5)));
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let q = parse_query("select avg(temp) as t, light l from wrapper w").unwrap();
+        match &q.body.projection[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("t")),
+            _ => panic!(),
+        }
+        match &q.body.projection[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("l")),
+            _ => panic!(),
+        }
+        match &q.body.from[0].relation {
+            TableFactor::Table { name, alias } => {
+                assert_eq!(name, "wrapper");
+                assert_eq!(alias.as_deref(), Some("w"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_joins() {
+        let q = parse_query(
+            "select m.temp, c.image from motes m join cameras c on m.room = c.room \
+             left join rfid r on r.room = m.room cross join extra",
+        )
+        .unwrap();
+        let joins = &q.body.from[0].joins;
+        assert_eq!(joins.len(), 3);
+        assert!(matches!(joins[0].join_operator, JoinOperator::Inner(_)));
+        assert!(matches!(joins[1].join_operator, JoinOperator::LeftOuter(_)));
+        assert!(matches!(joins[2].join_operator, JoinOperator::Cross));
+    }
+
+    #[test]
+    fn parses_comma_separated_from() {
+        let q = parse_query("select * from a, b, c where a.x = b.x").unwrap();
+        assert_eq!(q.body.from.len(), 3);
+    }
+
+    #[test]
+    fn parses_group_by_having_order_limit() {
+        let q = parse_query(
+            "select room, avg(temp) from motes group by room having avg(temp) > 20 \
+             order by room desc, avg(temp) limit 10 offset 5",
+        )
+        .unwrap();
+        assert_eq!(q.body.group_by.len(), 1);
+        assert!(q.body.having.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert!(q.order_by[1].ascending);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn parses_set_operations() {
+        let q = parse_query("select a from t union all select a from u intersect select a from v")
+            .unwrap();
+        assert_eq!(q.set_ops.len(), 2);
+        assert_eq!(q.set_ops[0].0, SetOperator::Union);
+        assert!(q.set_ops[0].1);
+        assert_eq!(q.set_ops[1].0, SetOperator::Intersect);
+        assert!(!q.set_ops[1].1);
+    }
+
+    #[test]
+    fn parses_subqueries() {
+        let q = parse_query("select * from (select a from t) s where a in (select a from u)")
+            .unwrap();
+        assert!(matches!(q.body.from[0].relation, TableFactor::Derived { .. }));
+        assert!(matches!(q.body.selection, Some(Expr::InSubquery { .. })));
+
+        let q = parse_query("select * from t where exists (select 1 from u)").unwrap();
+        assert!(matches!(q.body.selection, Some(Expr::Exists { .. })));
+
+        let q = parse_query("select (select max(a) from u) from t").unwrap();
+        match &q.body.projection[0] {
+            SelectItem::Expr { expr, .. } => assert!(matches!(expr, Expr::ScalarSubquery(_))),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn derived_table_requires_alias() {
+        assert!(parse_query("select * from (select a from t)").is_err());
+    }
+
+    #[test]
+    fn parses_predicates() {
+        let e = parse_expression("temp between 10 and 30").unwrap();
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = parse_expression("temp not between 10 and 30").unwrap();
+        assert!(matches!(e, Expr::Between { negated: true, .. }));
+        let e = parse_expression("name like 'bc%'").unwrap();
+        assert!(matches!(e, Expr::Like { negated: false, .. }));
+        let e = parse_expression("name not like 'bc%'").unwrap();
+        assert!(matches!(e, Expr::Like { negated: true, .. }));
+        let e = parse_expression("room in ('a', 'b', 'c')").unwrap();
+        assert!(matches!(e, Expr::InList { negated: false, .. }));
+        let e = parse_expression("room not in (1, 2)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+        let e = parse_expression("x is null").unwrap();
+        assert!(matches!(e, Expr::IsNull { negated: false, .. }));
+        let e = parse_expression("x is not null").unwrap();
+        assert!(matches!(e, Expr::IsNull { negated: true, .. }));
+        let e = parse_expression("not x = 1").unwrap();
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+    }
+
+    #[test]
+    fn parses_case_and_cast() {
+        let e = parse_expression(
+            "case when temp > 30 then 'hot' when temp > 15 then 'warm' else 'cold' end",
+        )
+        .unwrap();
+        match e {
+            Expr::Case { operand, branches, else_expr } => {
+                assert!(operand.is_none());
+                assert_eq!(branches.len(), 2);
+                assert!(else_expr.is_some());
+            }
+            _ => panic!(),
+        }
+        let e = parse_expression("case status when 1 then 'on' end").unwrap();
+        assert!(matches!(e, Expr::Case { operand: Some(_), .. }));
+        let e = parse_expression("cast(temp as double)").unwrap();
+        assert!(matches!(e, Expr::Cast { data_type: DataType::Double, .. }));
+        assert!(parse_expression("cast(temp as nosuchtype)").is_err());
+        assert!(parse_expression("case end").is_err());
+    }
+
+    #[test]
+    fn parses_count_star_and_distinct() {
+        let q = parse_query("select count(*), count(distinct room) from t").unwrap();
+        match &q.body.projection[0] {
+            SelectItem::Expr { expr: Expr::Function { name, args, distinct }, .. } => {
+                assert_eq!(name, "COUNT");
+                assert!(args.is_empty());
+                assert!(!distinct);
+            }
+            _ => panic!(),
+        }
+        match &q.body.projection[1] {
+            SelectItem::Expr { expr: Expr::Function { distinct, args, .. }, .. } => {
+                assert!(*distinct);
+                assert_eq!(args.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_qualified_wildcard() {
+        let q = parse_query("select s.*, t.a from s, t").unwrap();
+        assert!(matches!(&q.body.projection[0], SelectItem::QualifiedWildcard(a) if a == "s"));
+    }
+
+    #[test]
+    fn parses_select_without_from() {
+        let q = parse_query("select 1, 'x', true").unwrap();
+        assert!(q.body.from.is_empty());
+        assert_eq!(q.body.projection.len(), 3);
+    }
+
+    #[test]
+    fn parses_boolean_and_null_literals() {
+        assert_eq!(parse_expression("null").unwrap(), Expr::Literal(Value::Null));
+        assert_eq!(
+            parse_expression("true").unwrap(),
+            Expr::Literal(Value::Boolean(true))
+        );
+        assert_eq!(
+            parse_expression("false").unwrap(),
+            Expr::Literal(Value::Boolean(false))
+        );
+    }
+
+    #[test]
+    fn trailing_semicolon_is_accepted() {
+        assert!(parse_query("select * from t;").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("select").is_err());
+        assert!(parse_query("select * from").is_err());
+        assert!(parse_query("select * from t where").is_err());
+        assert!(parse_query("select * from t group by").is_err());
+        assert!(parse_query("select * from t order by a limit -1").is_err());
+        assert!(parse_query("select * from t extra garbage").is_err());
+        assert!(parse_query("select a,, b from t").is_err());
+        assert!(parse_query("select * from t join u").is_err());
+        assert!(parse_expression("a not 5").is_err());
+    }
+
+    #[test]
+    fn error_messages_mention_query() {
+        let err = parse_query("select * frm t").unwrap_err();
+        assert!(err.to_string().contains("frm") || err.to_string().contains("select * frm t"));
+    }
+}

@@ -1,0 +1,586 @@
+//! SQL tokens and the lexer.
+//!
+//! GSN specifies all stream processing declaratively in SQL (paper, Sections 2–3): the
+//! per-source query (`select avg(temperature) from WRAPPER`) and the output query
+//! (`select * from src1`).  The lexer is a straightforward hand-written scanner producing
+//! a token stream with source offsets for error reporting.
+
+use std::fmt;
+
+use gsn_types::{GsnError, GsnResult};
+
+/// A single lexical token together with its byte offset in the query text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token in the original query.
+    pub offset: usize,
+}
+
+/// The kinds of tokens produced by [`Lexer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword (always stored upper-case).
+    Keyword(Keyword),
+    /// An identifier (table, column, alias or function name).
+    Identifier(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A single-quoted string literal with escapes resolved.
+    StringLit(String),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Identifier(s) => write!(f, "{s}"),
+            TokenKind::Integer(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::LeftParen => f.write_str("("),
+            TokenKind::RightParen => f.write_str(")"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::NotEq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::LtEq => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::GtEq => f.write_str(">="),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),* $(,)?) => {
+        /// Reserved SQL keywords recognised by the parser.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Keyword {
+            $(
+                #[allow(missing_docs)]
+                $variant,
+            )*
+        }
+
+        impl Keyword {
+            /// Looks up a keyword from an identifier-like word, case-insensitively.
+            pub fn from_word(word: &str) -> Option<Keyword> {
+                let upper = word.to_ascii_uppercase();
+                match upper.as_str() {
+                    $($text => Some(Keyword::$variant),)*
+                    _ => None,
+                }
+            }
+
+            /// The canonical upper-case spelling.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text,)*
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    Select => "SELECT",
+    From => "FROM",
+    Where => "WHERE",
+    Group => "GROUP",
+    By => "BY",
+    Having => "HAVING",
+    Order => "ORDER",
+    Asc => "ASC",
+    Desc => "DESC",
+    Limit => "LIMIT",
+    Offset => "OFFSET",
+    As => "AS",
+    And => "AND",
+    Or => "OR",
+    Not => "NOT",
+    Null => "NULL",
+    True => "TRUE",
+    False => "FALSE",
+    Like => "LIKE",
+    In => "IN",
+    Between => "BETWEEN",
+    Is => "IS",
+    Distinct => "DISTINCT",
+    All => "ALL",
+    Union => "UNION",
+    Intersect => "INTERSECT",
+    Except => "EXCEPT",
+    Join => "JOIN",
+    Inner => "INNER",
+    Left => "LEFT",
+    Outer => "OUTER",
+    Cross => "CROSS",
+    On => "ON",
+    Case => "CASE",
+    When => "WHEN",
+    Then => "THEN",
+    Else => "ELSE",
+    End => "END",
+    Exists => "EXISTS",
+    Cast => "CAST",
+}
+
+/// A hand-written SQL lexer.
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over the query text.
+    pub fn new(input: &'a str) -> Lexer<'a> {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenises the whole input, appending a trailing [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> GsnResult<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            tokens.push(tok);
+            if is_eof {
+                break;
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> GsnError {
+        GsnError::sql_parse(format!("{} (at byte {})", msg.into(), self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_next(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> GsnResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `-- line comment`
+                Some(b'-') if self.peek_next() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // `/* block comment */`
+                Some(b'/') if self.peek_next() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_next() == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                self.pos = start;
+                                return Err(self.error("unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> GsnResult<Token> {
+        self.skip_whitespace_and_comments()?;
+        let offset = self.pos;
+        let kind = match self.peek() {
+            None => TokenKind::Eof,
+            Some(c) => match c {
+                b'*' => {
+                    self.bump();
+                    TokenKind::Star
+                }
+                b',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                b'(' => {
+                    self.bump();
+                    TokenKind::LeftParen
+                }
+                b')' => {
+                    self.bump();
+                    TokenKind::RightParen
+                }
+                b'.' => {
+                    self.bump();
+                    TokenKind::Dot
+                }
+                b'+' => {
+                    self.bump();
+                    TokenKind::Plus
+                }
+                b'-' => {
+                    self.bump();
+                    TokenKind::Minus
+                }
+                b'/' => {
+                    self.bump();
+                    TokenKind::Slash
+                }
+                b'%' => {
+                    self.bump();
+                    TokenKind::Percent
+                }
+                b';' => {
+                    self.bump();
+                    TokenKind::Semicolon
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::Eq
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::NotEq
+                    } else {
+                        return Err(self.error("unexpected `!`"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::LtEq
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::NotEq
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::GtEq
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'\'' => self.lex_string()?,
+                b'"' => self.lex_quoted_identifier()?,
+                c if c.is_ascii_digit() => self.lex_number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.lex_word(),
+                other => {
+                    return Err(self.error(format!("unexpected character `{}`", other as char)))
+                }
+            },
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_string(&mut self) -> GsnResult<TokenKind> {
+        debug_assert_eq!(self.peek(), Some(b'\''));
+        self.bump();
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(b'\'') => {
+                    // `''` is an escaped quote inside a string literal.
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        value.push('\'');
+                    } else {
+                        break;
+                    }
+                }
+                Some(c) => value.push(c as char),
+            }
+        }
+        Ok(TokenKind::StringLit(value))
+    }
+
+    fn lex_quoted_identifier(&mut self) -> GsnResult<TokenKind> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let ident = self.input[start..self.pos].to_owned();
+                self.bump();
+                if ident.is_empty() {
+                    return Err(self.error("empty quoted identifier"));
+                }
+                return Ok(TokenKind::Identifier(ident));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated quoted identifier"))
+    }
+
+    fn lex_number(&mut self) -> GsnResult<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek_next(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut lookahead = self.pos + 1;
+            if matches!(self.bytes.get(lookahead), Some(b'+') | Some(b'-')) {
+                lookahead += 1;
+            }
+            if matches!(self.bytes.get(lookahead), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.pos = lookahead;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| self.error(format!("invalid float literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Integer)
+                .map_err(|_| self.error(format!("integer literal `{text}` out of range")))
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        let word = &self.input[start..self.pos];
+        match Keyword::from_word(word) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Identifier(word.to_owned()),
+        }
+    }
+}
+
+/// Convenience helper: tokenises a query.
+pub fn tokenize(input: &str) -> GsnResult<Vec<Token>> {
+    Lexer::new(input).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let toks = kinds("select avg(temperature) from WRAPPER");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Identifier("avg".into()),
+                TokenKind::LeftParen,
+                TokenKind::Identifier("temperature".into()),
+                TokenKind::RightParen,
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Identifier("WRAPPER".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("a <= 1 and b >= 2 or c <> 3 and d != 4 and e < 5 and f > 6 and g = 7");
+        assert!(toks.contains(&TokenKind::LtEq));
+        assert!(toks.contains(&TokenKind::GtEq));
+        assert!(toks.iter().filter(|t| **t == TokenKind::NotEq).count() == 2);
+        assert!(toks.contains(&TokenKind::Lt));
+        assert!(toks.contains(&TokenKind::Gt));
+        assert!(toks.contains(&TokenKind::Eq));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Integer(42));
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5E-2")[0], TokenKind::Float(0.025));
+        // A dot not followed by a digit is a separate token (qualified name).
+        assert_eq!(
+            kinds("3.x")[..3],
+            [
+                TokenKind::Integer(3),
+                TokenKind::Dot,
+                TokenKind::Identifier("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds("'hello'")[0],
+            TokenKind::StringLit("hello".into())
+        );
+        assert_eq!(
+            kinds("'it''s'")[0],
+            TokenKind::StringLit("it's".into())
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn lexes_quoted_identifiers() {
+        assert_eq!(
+            kinds("\"Weird Name\"")[0],
+            TokenKind::Identifier("Weird Name".into())
+        );
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("\"\"").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(kinds("WHERE")[0], TokenKind::Keyword(Keyword::Where));
+        assert_eq!(Keyword::from_word("nosuch"), None);
+        assert_eq!(Keyword::Select.as_str(), "SELECT");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("select -- this is a comment\n 1 /* block\ncomment */ , 2");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Integer(1),
+                TokenKind::Comma,
+                TokenKind::Integer(2),
+                TokenKind::Eof,
+            ]
+        );
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let toks = tokenize("select  foo").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 8);
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        assert!(tokenize("select #").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("select ?").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn display_of_tokens() {
+        assert_eq!(TokenKind::Keyword(Keyword::Select).to_string(), "SELECT");
+        assert_eq!(TokenKind::StringLit("x".into()).to_string(), "'x'");
+        assert_eq!(TokenKind::NotEq.to_string(), "<>");
+        assert_eq!(TokenKind::Eof.to_string(), "<eof>");
+    }
+}

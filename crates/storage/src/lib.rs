@@ -1,0 +1,49 @@
+//! # gsn-storage
+//!
+//! The storage layer of a GSN-RS container: windowed stream tables, retention management
+//! and the bridge from stored stream history to the SQL engine's relations.
+//!
+//! In the paper's architecture (Section 4) the storage layer sits between the Virtual
+//! Sensor Manager and the Query Manager: wrappers post stream elements, the storage layer
+//! keeps exactly as much history as the declared windows require, and query evaluation
+//! reads windowed views.  The original GSN delegated this to MySQL tables; GSN-RS keeps the
+//! tables in memory (see DESIGN.md for the substitution rationale) with identical
+//! visibility semantics:
+//!
+//! * time- and count-based windows ([`WindowSpec`]),
+//! * retention derived from the union of all windows over a source ([`Retention`]),
+//! * `permanent-storage="true"` mapping to [`Retention::Unbounded`],
+//! * implicit `PK` / `TIMED` columns exposed to SQL.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gsn_storage::{StorageManager, Retention, WindowSpec, CatalogView};
+//! use gsn_types::{DataType, StreamElement, StreamSchema, Timestamp, Value};
+//!
+//! let storage = StorageManager::new();
+//! let schema = Arc::new(StreamSchema::from_pairs(&[("temperature", DataType::Integer)]).unwrap());
+//! storage.create_table("motes", schema.clone(), Retention::Elements(100)).unwrap();
+//! for i in 0..5 {
+//!     let e = StreamElement::new(schema.clone(), vec![Value::Integer(20 + i)], Timestamp(i * 100)).unwrap();
+//!     storage.insert("motes", e, Timestamp(i * 100)).unwrap();
+//! }
+//! let catalog = storage
+//!     .windowed_catalog(&[CatalogView::new("src1", "motes", WindowSpec::Count(3))], Timestamp(400))
+//!     .unwrap();
+//! let mut engine = gsn_sql::SqlEngine::new();
+//! let avg = engine.execute_scalar("select avg(temperature) from src1", &catalog).unwrap();
+//! assert_eq!(avg, Value::Double(23.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod manager;
+pub mod stats;
+pub mod table;
+pub mod window;
+
+pub use manager::{CatalogView, LiveCatalog, StorageManager};
+pub use stats::{StorageStats, TableStats};
+pub use table::StreamTable;
+pub use window::{Retention, WindowSpec};

@@ -1,0 +1,125 @@
+//! Storage statistics.
+//!
+//! The GSN web interface lets operators "monitor the effective status of all parts of the
+//! system" (paper, Section 6).  The storage layer contributes per-table and aggregate
+//! counters to that status view; the benchmark harnesses also read them to report
+//! workload composition.
+
+use std::fmt;
+
+/// Counters kept by one [`crate::StreamTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Elements inserted over the table's lifetime.
+    pub inserted: u64,
+    /// Elements removed by retention pruning.
+    pub pruned: u64,
+    /// Elements that arrived with a timestamp older than the previous element.
+    pub out_of_order: u64,
+    /// Total payload bytes inserted over the table's lifetime.
+    pub bytes_inserted: u64,
+}
+
+impl TableStats {
+    /// Merges another stats block into this one (used for node-level aggregation).
+    pub fn merge(&mut self, other: &TableStats) {
+        self.inserted += other.inserted;
+        self.pruned += other.pruned;
+        self.out_of_order += other.out_of_order;
+        self.bytes_inserted += other.bytes_inserted;
+    }
+
+    /// Elements still logically live (inserted minus pruned).
+    pub fn live(&self) -> u64 {
+        self.inserted.saturating_sub(self.pruned)
+    }
+}
+
+impl fmt::Display for TableStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inserted={} pruned={} out_of_order={} bytes={}",
+            self.inserted, self.pruned, self.out_of_order, self.bytes_inserted
+        )
+    }
+}
+
+/// Node-level storage statistics aggregated across every table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Number of tables currently managed.
+    pub tables: usize,
+    /// Elements currently retained across all tables.
+    pub retained_elements: usize,
+    /// Bytes currently retained across all tables.
+    pub retained_bytes: usize,
+    /// Sum of per-table lifetime counters.
+    pub totals: TableStats,
+}
+
+impl fmt::Display for StorageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tables, {} elements ({} bytes) retained; {}",
+            self.tables, self.retained_elements, self.retained_bytes, self.totals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TableStats {
+            inserted: 10,
+            pruned: 2,
+            out_of_order: 1,
+            bytes_inserted: 100,
+        };
+        let b = TableStats {
+            inserted: 5,
+            pruned: 5,
+            out_of_order: 0,
+            bytes_inserted: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.inserted, 15);
+        assert_eq!(a.pruned, 7);
+        assert_eq!(a.out_of_order, 1);
+        assert_eq!(a.bytes_inserted, 150);
+        assert_eq!(a.live(), 8);
+    }
+
+    #[test]
+    fn live_saturates() {
+        let s = TableStats {
+            inserted: 1,
+            pruned: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = TableStats {
+            inserted: 3,
+            pruned: 1,
+            out_of_order: 0,
+            bytes_inserted: 42,
+        };
+        assert!(t.to_string().contains("inserted=3"));
+        let s = StorageStats {
+            tables: 2,
+            retained_elements: 7,
+            retained_bytes: 1024,
+            totals: t,
+        };
+        assert!(s.to_string().contains("2 tables"));
+        assert!(s.to_string().contains("1024"));
+    }
+}

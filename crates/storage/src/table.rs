@@ -1,0 +1,406 @@
+//! Per-stream storage: the append-only table behind one stream source or virtual sensor.
+//!
+//! GSN's storage layer "is in charge of providing and managing persistent storage for data
+//! streams" (paper, Section 4).  Every stream source of a virtual sensor has a backing
+//! table that keeps exactly as much history as its windows require (or everything, when
+//! `permanent-storage="true"`), hands out windowed views for query evaluation, and prunes
+//! expired elements.
+
+use std::sync::Arc;
+
+use gsn_types::{Duration, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
+
+use crate::stats::TableStats;
+use crate::window::{Retention, WindowSpec};
+
+/// An append-only, retention-bounded table of stream elements.
+#[derive(Debug)]
+pub struct StreamTable {
+    name: String,
+    schema: Arc<StreamSchema>,
+    retention: Retention,
+    /// Minimum number of most-recent elements always kept, regardless of time horizon.
+    min_elements: usize,
+    elements: Vec<StreamElement>,
+    next_sequence: u64,
+    stats: TableStats,
+}
+
+impl StreamTable {
+    /// Creates a table with the given retention policy.
+    pub fn new(name: &str, schema: Arc<StreamSchema>, retention: Retention) -> StreamTable {
+        StreamTable {
+            name: name.to_owned(),
+            schema,
+            retention,
+            min_elements: 1,
+            elements: Vec::new(),
+            next_sequence: 1,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Creates a table sized for a single window specification.
+    pub fn for_window(name: &str, schema: Arc<StreamSchema>, window: WindowSpec) -> StreamTable {
+        StreamTable::new(name, schema, window.retention())
+    }
+
+    /// Creates an unbounded (permanent-storage) table.
+    pub fn permanent(name: &str, schema: Arc<StreamSchema>) -> StreamTable {
+        StreamTable::new(name, schema, Retention::Unbounded)
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &Arc<StreamSchema> {
+        &self.schema
+    }
+
+    /// The retention policy.
+    pub fn retention(&self) -> Retention {
+        self.retention
+    }
+
+    /// Widens the retention policy to also satisfy `additional` (e.g. when a second client
+    /// registers a query with a larger history over the same source).
+    pub fn widen_retention(&mut self, additional: Retention) {
+        self.retention = self.retention.merge(additional);
+        if let Retention::Elements(n) = additional {
+            self.min_elements = self.min_elements.max(n);
+        }
+    }
+
+    /// Number of currently retained elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when no element is retained.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Statistics accumulated by this table.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Appends an element, assigning it the next sequence number (`PK`), validating its
+    /// schema and pruning expired history.
+    ///
+    /// Elements are expected in non-decreasing timestamp order (the ISM timestamps
+    /// arrivals with the local clock); an out-of-order element is still stored but the
+    /// table records the anomaly in its statistics so stream-quality monitoring can see it.
+    pub fn insert(&mut self, element: StreamElement, now: Timestamp) -> GsnResult<StreamElement> {
+        if !self
+            .schema
+            .is_compatible_with(element.schema())
+        {
+            return Err(GsnError::storage(format!(
+                "element schema {} does not match table `{}` schema {}",
+                element.schema(),
+                self.name,
+                self.schema
+            )));
+        }
+        if let Some(last) = self.elements.last() {
+            if element.timestamp() < last.timestamp() {
+                self.stats.out_of_order += 1;
+            }
+        }
+        let element = element.with_sequence(self.next_sequence);
+        self.next_sequence += 1;
+        self.stats.inserted += 1;
+        self.stats.bytes_inserted += element.size_bytes() as u64;
+        self.elements.push(element.clone());
+        self.prune(now);
+        Ok(element)
+    }
+
+    /// Removes elements that no retention requirement can ever select again.
+    pub fn prune(&mut self, now: Timestamp) {
+        let keep_from = match self.retention {
+            Retention::Unbounded => 0,
+            Retention::Elements(n) => self.elements.len().saturating_sub(n.max(self.min_elements)),
+            Retention::Horizon(d) => {
+                let cutoff = now.saturating_sub(d);
+                let by_time = self
+                    .elements
+                    .partition_point(|e| e.timestamp() < cutoff);
+                // Keep at least `min_elements` so count-style consumers still see data.
+                by_time.min(self.elements.len().saturating_sub(self.min_elements))
+            }
+        };
+        if keep_from > 0 {
+            self.stats.pruned += keep_from as u64;
+            self.elements.drain(..keep_from);
+        }
+    }
+
+    /// Returns the elements selected by `window` when evaluated at `now`.
+    pub fn window_view(&self, window: WindowSpec, now: Timestamp) -> &[StreamElement] {
+        window.select(&self.elements, now)
+    }
+
+    /// Returns every retained element (oldest first).
+    pub fn all(&self) -> &[StreamElement] {
+        &self.elements
+    }
+
+    /// The most recently inserted element, if any.
+    pub fn latest(&self) -> Option<&StreamElement> {
+        self.elements.last()
+    }
+
+    /// Total payload bytes currently retained.
+    pub fn retained_bytes(&self) -> usize {
+        self.elements.iter().map(StreamElement::size_bytes).sum()
+    }
+
+    /// Materialises a windowed view as a SQL relation named `alias`, exposing the implicit
+    /// `PK` and `TIMED` columns (step 2 of the paper's processing pipeline).
+    pub fn window_relation(
+        &self,
+        alias: &str,
+        window: WindowSpec,
+        now: Timestamp,
+    ) -> gsn_sql::Relation {
+        let elements = self.window_view(window, now);
+        gsn_sql::Relation::from_stream_elements(alias, &self.schema, elements)
+    }
+
+    /// Applies a uniform sampling rate in `[0, 1]`: builds the windowed view and then keeps
+    /// approximately `rate` of its elements, deterministically by sequence number so that
+    /// repeated evaluations agree.  GSN supports "sampling of data streams in order to
+    /// reduce the data rate" (Section 3).
+    pub fn sampled_window_relation(
+        &self,
+        alias: &str,
+        window: WindowSpec,
+        now: Timestamp,
+        rate: f64,
+    ) -> gsn_sql::Relation {
+        let elements = self.window_view(window, now);
+        if rate >= 1.0 {
+            return gsn_sql::Relation::from_stream_elements(alias, &self.schema, elements);
+        }
+        let keep_every = if rate <= 0.0 {
+            usize::MAX
+        } else {
+            (1.0 / rate).round().max(1.0) as usize
+        };
+        let sampled: Vec<StreamElement> = elements
+            .iter()
+            .filter(|e| keep_every != usize::MAX && e.sequence() as usize % keep_every == 0)
+            .cloned()
+            .collect();
+        gsn_sql::Relation::from_stream_elements(alias, &self.schema, &sampled)
+    }
+
+    /// Convenience helper used heavily by tests and benchmarks: builds and inserts an
+    /// element from raw values.
+    pub fn insert_values(
+        &mut self,
+        values: Vec<Value>,
+        timestamp: Timestamp,
+    ) -> GsnResult<StreamElement> {
+        let element = StreamElement::new(Arc::clone(&self.schema), values, timestamp)?;
+        self.insert(element, timestamp)
+    }
+
+    /// Oldest retained timestamp, if any.
+    pub fn oldest_timestamp(&self) -> Option<Timestamp> {
+        self.elements.first().map(StreamElement::timestamp)
+    }
+
+    /// The time span currently covered by the retained elements.
+    pub fn covered_span(&self) -> Duration {
+        match (self.elements.first(), self.elements.last()) {
+            (Some(first), Some(last)) => last.timestamp() - first.timestamp(),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::DataType;
+
+    fn schema() -> Arc<StreamSchema> {
+        Arc::new(
+            StreamSchema::from_pairs(&[
+                ("temperature", DataType::Integer),
+                ("room", DataType::Varchar),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn fill(table: &mut StreamTable, n: usize, step_ms: i64) {
+        for i in 0..n {
+            let ts = Timestamp((i as i64 + 1) * step_ms);
+            table
+                .insert_values(
+                    vec![Value::Integer(20 + i as i64), Value::varchar("bc143")],
+                    ts,
+                )
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn insert_assigns_sequence_numbers() {
+        let mut t = StreamTable::permanent("motes", schema());
+        let e1 = t
+            .insert_values(vec![Value::Integer(20), Value::varchar("a")], Timestamp(10))
+            .unwrap();
+        let e2 = t
+            .insert_values(vec![Value::Integer(21), Value::varchar("a")], Timestamp(20))
+            .unwrap();
+        assert_eq!(e1.sequence(), 1);
+        assert_eq!(e2.sequence(), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.latest().unwrap().sequence(), 2);
+        assert_eq!(t.oldest_timestamp(), Some(Timestamp(10)));
+        assert_eq!(t.covered_span(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_schema() {
+        let mut t = StreamTable::permanent("motes", schema());
+        let wrong = Arc::new(StreamSchema::from_pairs(&[("x", DataType::Integer)]).unwrap());
+        let e = StreamElement::new(wrong, vec![Value::Integer(1)], Timestamp(0)).unwrap();
+        assert!(t.insert(e, Timestamp(0)).is_err());
+    }
+
+    #[test]
+    fn element_retention_prunes_oldest() {
+        let mut t = StreamTable::new("motes", schema(), Retention::Elements(3));
+        fill(&mut t, 10, 100);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.all()[0].value("TEMPERATURE"), Some(Value::Integer(27)));
+        assert_eq!(t.stats().inserted, 10);
+        assert_eq!(t.stats().pruned, 7);
+    }
+
+    #[test]
+    fn horizon_retention_prunes_by_time() {
+        let mut t = StreamTable::new(
+            "motes",
+            schema(),
+            Retention::Horizon(Duration::from_millis(250)),
+        );
+        fill(&mut t, 10, 100); // timestamps 100..1000
+        // now = 1000; cutoff = 750; keeps 800, 900, 1000
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.oldest_timestamp(), Some(Timestamp(800)));
+    }
+
+    #[test]
+    fn horizon_retention_keeps_min_elements() {
+        let mut t = StreamTable::new(
+            "motes",
+            schema(),
+            Retention::Horizon(Duration::from_millis(10)),
+        );
+        fill(&mut t, 5, 1_000);
+        // All but the newest are outside the 10 ms horizon, but at least one stays.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.latest().unwrap().timestamp(), Timestamp(5_000));
+    }
+
+    #[test]
+    fn unbounded_retention_keeps_everything() {
+        let mut t = StreamTable::permanent("motes", schema());
+        fill(&mut t, 100, 10);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.stats().pruned, 0);
+    }
+
+    #[test]
+    fn widen_retention_enlarges_history() {
+        let mut t = StreamTable::new("motes", schema(), Retention::Elements(2));
+        t.widen_retention(Retention::Elements(5));
+        fill(&mut t, 10, 100);
+        assert_eq!(t.len(), 5);
+        t.widen_retention(Retention::Unbounded);
+        fill(&mut t, 10, 100);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.retention(), Retention::Unbounded);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_counted() {
+        let mut t = StreamTable::permanent("motes", schema());
+        t.insert_values(vec![Value::Integer(1), Value::varchar("a")], Timestamp(100))
+            .unwrap();
+        t.insert_values(vec![Value::Integer(2), Value::varchar("a")], Timestamp(50))
+            .unwrap();
+        assert_eq!(t.stats().out_of_order, 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn window_views() {
+        let mut t = StreamTable::permanent("motes", schema());
+        fill(&mut t, 10, 100);
+        let now = Timestamp(1_000);
+        assert_eq!(t.window_view(WindowSpec::Count(4), now).len(), 4);
+        assert_eq!(
+            t.window_view(WindowSpec::Time(Duration::from_millis(299)), now).len(),
+            3
+        );
+        assert_eq!(t.window_view(WindowSpec::LatestOnly, now).len(), 1);
+    }
+
+    #[test]
+    fn window_relation_is_queryable() {
+        let mut t = StreamTable::permanent("motes", schema());
+        fill(&mut t, 5, 100);
+        let rel = t.window_relation("src1", WindowSpec::Count(3), Timestamp(500));
+        assert_eq!(rel.row_count(), 3);
+        assert_eq!(rel.column_count(), 4); // PK, TIMED, TEMPERATURE, ROOM
+        let mut catalog = gsn_sql::MemoryCatalog::new();
+        catalog.register("src1", rel);
+        let mut engine = gsn_sql::SqlEngine::new();
+        let avg = engine
+            .execute_scalar("select avg(temperature) from src1", &catalog)
+            .unwrap();
+        assert_eq!(avg, Value::Double(23.0)); // 22, 23, 24
+    }
+
+    #[test]
+    fn sampled_window_relation_reduces_rows() {
+        let mut t = StreamTable::permanent("motes", schema());
+        fill(&mut t, 100, 10);
+        let full = t.sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 1.0);
+        assert_eq!(full.row_count(), 100);
+        let half = t.sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.5);
+        assert_eq!(half.row_count(), 50);
+        let tenth = t.sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.1);
+        assert_eq!(tenth.row_count(), 10);
+        let none = t.sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.0);
+        assert_eq!(none.row_count(), 0);
+    }
+
+    #[test]
+    fn retained_bytes_tracks_payloads() {
+        let mut t = StreamTable::permanent("motes", schema());
+        fill(&mut t, 3, 100);
+        assert_eq!(t.retained_bytes(), 3 * (8 + 8 + 5));
+        assert!(t.stats().bytes_inserted >= t.retained_bytes() as u64);
+    }
+
+    #[test]
+    fn for_window_constructor_matches_retention() {
+        let t = StreamTable::for_window("x", schema(), WindowSpec::Count(7));
+        assert_eq!(t.retention(), Retention::Elements(7));
+        let t = StreamTable::for_window("x", schema(), WindowSpec::Time(Duration::from_secs(1)));
+        assert_eq!(t.retention(), Retention::Horizon(Duration::from_secs(1)));
+    }
+}

@@ -1,0 +1,240 @@
+//! A minimal JSON writer.
+//!
+//! The benchmark harnesses write machine-readable result files (one per reproduced figure)
+//! so that EXPERIMENTS.md can be regenerated and results can be plotted externally.  Only
+//! serialisation is needed and the value tree is small, so a dependency-free writer keeps
+//! the workspace within the approved offline crate set.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value tree (serialisation only).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number.  Non-finite floats serialise as `null` per RFC 8259.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with deterministically ordered (sorted) keys.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Builds an array.
+    pub fn array(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+
+    /// Builds a string value.
+    pub fn string(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// Builds a number value.
+    pub fn number(n: impl Into<f64>) -> Json {
+        Json::Number(n.into())
+    }
+
+    /// Serialises the value compactly.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialises the value with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Json::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * level) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Number(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Number(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Number(v as f64)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::String(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::String(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialise() {
+        assert_eq!(Json::Null.to_compact_string(), "null");
+        assert_eq!(Json::Bool(true).to_compact_string(), "true");
+        assert_eq!(Json::Number(3.0).to_compact_string(), "3");
+        assert_eq!(Json::Number(3.25).to_compact_string(), "3.25");
+        assert_eq!(Json::Number(f64::NAN).to_compact_string(), "null");
+        assert_eq!(Json::string("hi").to_compact_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::string("a\"b\\c\nd\te\r").to_compact_string(),
+            "\"a\\\"b\\\\c\\nd\\te\\r\""
+        );
+        assert_eq!(Json::string("\u{1}").to_compact_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let v = Json::object(vec![
+            ("series", Json::array(vec![1i64.into(), 2i64.into()])),
+            ("name", "fig3".into()),
+            ("empty_arr", Json::array(vec![])),
+            ("empty_obj", Json::Object(BTreeMap::new())),
+        ]);
+        let s = v.to_compact_string();
+        // Keys are sorted by BTreeMap.
+        assert_eq!(
+            s,
+            "{\"empty_arr\":[],\"empty_obj\":{},\"name\":\"fig3\",\"series\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_ends_with_newline() {
+        let v = Json::object(vec![("a", Json::array(vec![1i64.into()]))]);
+        let s = v.to_pretty_string();
+        assert!(s.contains("\n  \"a\": [\n    1\n  ]\n"));
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Json::from(2i64), Json::Number(2.0));
+        assert_eq!(Json::from(2usize), Json::Number(2.0));
+        assert_eq!(Json::from(true), Json::Bool(true));
+        assert_eq!(Json::from("x"), Json::String("x".into()));
+        assert_eq!(Json::from(String::from("y")), Json::String("y".into()));
+        assert_eq!(Json::from(1.5), Json::Number(1.5));
+    }
+}

@@ -1,0 +1,313 @@
+//! Simulated TinyOS mote wrapper (MICA2-class devices).
+//!
+//! The paper's demo deploys "MICA2 motes equipped with light, temperature, and 2D
+//! acceleration sensors" (Section 6) and its scalability experiment uses 22 motes across
+//! 4 networks (Section 5).  The simulated mote produces exactly that output structure at a
+//! configurable interval, with an optional fixed padding field so the Figure 3 benchmark
+//! can sweep stream-element sizes (15 B, 50 B, 100 B).
+//!
+//! Address predicates:
+//!
+//! | predicate | default | meaning |
+//! |---|---|---|
+//! | `interval` | `1000` | production interval in milliseconds |
+//! | `mote-id` | `1` | reported mote id |
+//! | `network` | `net-1` | reported sensor network name |
+//! | `padding` | `0` | extra payload bytes per element |
+//! | `seed` | `mote-id` | RNG seed |
+//! | `drop-probability` | `0` | probability a reading is lost |
+//! | `disconnect-probability` | `0` | probability a disconnection starts |
+//! | `disconnect-duration` | `5000` | disconnection length in milliseconds |
+
+use std::sync::Arc;
+
+use gsn_types::{DataType, Duration, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
+use gsn_xml::AddressSpec;
+
+use crate::sim::{DeviceRng, FailureModel, RandomWalk, Schedule};
+use crate::wrapper::{predicate_parse, Wrapper, WrapperFactory};
+
+/// Configuration of a simulated mote.
+#[derive(Debug, Clone)]
+pub struct MoteConfig {
+    /// Production interval.
+    pub interval: Duration,
+    /// Mote identifier reported in the `MOTE_ID` field.
+    pub mote_id: i64,
+    /// Sensor network name reported in the `NETWORK` field.
+    pub network: String,
+    /// Extra payload bytes appended per element (stream-element-size sweeps).
+    pub padding: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Failure behaviour.
+    pub failures: FailureModel,
+}
+
+impl Default for MoteConfig {
+    fn default() -> Self {
+        MoteConfig {
+            interval: Duration::from_secs(1),
+            mote_id: 1,
+            network: "net-1".to_owned(),
+            padding: 0,
+            seed: 1,
+            failures: FailureModel::none(),
+        }
+    }
+}
+
+impl MoteConfig {
+    /// Builds a configuration from address predicates.
+    pub fn from_address(address: &AddressSpec) -> GsnResult<MoteConfig> {
+        let mote_id: i64 = predicate_parse(address, "mote-id", 1)?;
+        let interval_ms: i64 = predicate_parse(address, "interval", 1_000)?;
+        let padding: usize = predicate_parse(address, "padding", 0)?;
+        let seed: u64 = predicate_parse(address, "seed", mote_id as u64)?;
+        let drop: f64 = predicate_parse(address, "drop-probability", 0.0)?;
+        let disc: f64 = predicate_parse(address, "disconnect-probability", 0.0)?;
+        let disc_ms: i64 = predicate_parse(address, "disconnect-duration", 5_000)?;
+        Ok(MoteConfig {
+            interval: Duration::from_millis(interval_ms.max(1)),
+            mote_id,
+            network: address.predicate("network").unwrap_or("net-1").to_owned(),
+            padding,
+            seed,
+            failures: FailureModel::new(drop, disc, Duration::from_millis(disc_ms.max(0))),
+        })
+    }
+}
+
+/// The simulated mote wrapper.
+#[derive(Debug)]
+pub struct MoteWrapper {
+    config: MoteConfig,
+    schema: Arc<StreamSchema>,
+    schedule: Schedule,
+    rng: DeviceRng,
+    temperature: RandomWalk,
+    light: RandomWalk,
+    accel_x: RandomWalk,
+    accel_y: RandomWalk,
+    produced: u64,
+}
+
+impl MoteWrapper {
+    /// The output structure shared by every mote wrapper.
+    pub fn schema() -> Arc<StreamSchema> {
+        Arc::new(
+            StreamSchema::from_pairs(&[
+                ("mote_id", DataType::Integer),
+                ("network", DataType::Varchar),
+                ("temperature", DataType::Double),
+                ("light", DataType::Double),
+                ("accel_x", DataType::Double),
+                ("accel_y", DataType::Double),
+                ("padding", DataType::Binary),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Creates a mote wrapper from a configuration, starting its schedule at time zero.
+    pub fn new(config: MoteConfig) -> MoteWrapper {
+        Self::starting_at(config, Timestamp::EPOCH)
+    }
+
+    /// Creates a mote wrapper whose first element is due one interval after `start`.
+    pub fn starting_at(config: MoteConfig, start: Timestamp) -> MoteWrapper {
+        let mut rng = DeviceRng::new(config.seed);
+        let temperature = RandomWalk::new(rng.range_f64(18.0, 26.0), 10.0, 40.0, 0.3);
+        let light = RandomWalk::new(rng.range_f64(200.0, 800.0), 0.0, 1_000.0, 25.0);
+        let accel_x = RandomWalk::new(0.0, -2.0, 2.0, 0.2);
+        let accel_y = RandomWalk::new(0.0, -2.0, 2.0, 0.2);
+        MoteWrapper {
+            schedule: Schedule::new(start, config.interval),
+            schema: Self::schema(),
+            rng,
+            temperature,
+            light,
+            accel_x,
+            accel_y,
+            produced: 0,
+            config,
+        }
+    }
+
+    /// Total number of elements produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl Wrapper for MoteWrapper {
+    fn kind(&self) -> &str {
+        "mote"
+    }
+
+    fn output_schema(&self) -> Arc<StreamSchema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn nominal_interval(&self) -> Duration {
+        self.config.interval
+    }
+
+    fn start(&mut self, at: Timestamp) {
+        self.schedule = crate::sim::Schedule::new(at, self.config.interval);
+    }
+
+    fn poll(&mut self, now: Timestamp) -> GsnResult<Vec<StreamElement>> {
+        let mut out = Vec::new();
+        for due in self.schedule.due_times(now) {
+            if !self.config.failures.produces(due, &mut self.rng) {
+                continue;
+            }
+            let padding = if self.config.padding > 0 {
+                Value::binary(self.rng.payload(self.config.padding))
+            } else {
+                Value::binary(Vec::new())
+            };
+            let values = vec![
+                Value::Integer(self.config.mote_id),
+                Value::varchar(self.config.network.clone()),
+                Value::Double(round2(self.temperature.step(&mut self.rng))),
+                Value::Double(round2(self.light.step(&mut self.rng))),
+                Value::Double(round2(self.accel_x.step(&mut self.rng))),
+                Value::Double(round2(self.accel_y.step(&mut self.rng))),
+                padding,
+            ];
+            let element = StreamElement::new(Arc::clone(&self.schema), values, due)?
+                .with_produced_at(due);
+            self.produced += 1;
+            out.push(element);
+        }
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "mote {} in {} every {}",
+            self.config.mote_id, self.config.network, self.config.interval
+        )
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// Factory for [`MoteWrapper`].
+#[derive(Debug, Default)]
+pub struct MoteWrapperFactory;
+
+impl WrapperFactory for MoteWrapperFactory {
+    fn kind(&self) -> &str {
+        "mote"
+    }
+
+    fn create(&self, address: &AddressSpec) -> GsnResult<Box<dyn Wrapper>> {
+        Ok(Box::new(MoteWrapper::new(MoteConfig::from_address(address)?)))
+    }
+
+    fn description(&self) -> String {
+        "simulated MICA2-class mote (temperature, light, 2D acceleration)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_element_per_interval() {
+        let mut mote = MoteWrapper::new(MoteConfig {
+            interval: Duration::from_millis(100),
+            ..Default::default()
+        });
+        assert!(mote.poll(Timestamp(99)).unwrap().is_empty());
+        assert_eq!(mote.poll(Timestamp(100)).unwrap().len(), 1);
+        assert_eq!(mote.poll(Timestamp(1_000)).unwrap().len(), 9);
+        assert_eq!(mote.produced(), 10);
+    }
+
+    #[test]
+    fn elements_match_the_schema_and_ranges() {
+        let mut mote = MoteWrapper::new(MoteConfig {
+            interval: Duration::from_millis(10),
+            mote_id: 7,
+            network: "net-3".to_owned(),
+            ..Default::default()
+        });
+        let elements = mote.poll(Timestamp(1_000)).unwrap();
+        assert_eq!(elements.len(), 100);
+        for e in &elements {
+            assert_eq!(e.value("MOTE_ID"), Some(Value::Integer(7)));
+            assert_eq!(e.value("NETWORK"), Some(Value::varchar("net-3")));
+            let t = e.value("TEMPERATURE").unwrap().as_double().unwrap();
+            assert!((10.0..=40.0).contains(&t));
+            let l = e.value("LIGHT").unwrap().as_double().unwrap();
+            assert!((0.0..=1000.0).contains(&l));
+            assert!(e.produced_at().is_some());
+        }
+    }
+
+    #[test]
+    fn padding_controls_element_size() {
+        let mut small = MoteWrapper::new(MoteConfig {
+            interval: Duration::from_millis(100),
+            padding: 0,
+            ..Default::default()
+        });
+        let mut big = MoteWrapper::new(MoteConfig {
+            interval: Duration::from_millis(100),
+            padding: 1_000,
+            ..Default::default()
+        });
+        let e_small = small.poll(Timestamp(100)).unwrap().remove(0);
+        let e_big = big.poll(Timestamp(100)).unwrap().remove(0);
+        assert_eq!(e_big.size_bytes() - e_small.size_bytes(), 1_000);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let config = MoteConfig {
+            interval: Duration::from_millis(50),
+            seed: 99,
+            ..Default::default()
+        };
+        let mut a = MoteWrapper::new(config.clone());
+        let mut b = MoteWrapper::new(config);
+        assert_eq!(a.poll(Timestamp(500)).unwrap(), b.poll(Timestamp(500)).unwrap());
+    }
+
+    #[test]
+    fn failures_reduce_output() {
+        let mut flaky = MoteWrapper::new(MoteConfig {
+            interval: Duration::from_millis(10),
+            failures: FailureModel::new(0.5, 0.0, Duration::ZERO),
+            ..Default::default()
+        });
+        let produced = flaky.poll(Timestamp(10_000)).unwrap().len();
+        assert!(produced > 300 && produced < 700, "produced {produced}");
+    }
+
+    #[test]
+    fn factory_reads_predicates() {
+        let addr = AddressSpec::new("mote")
+            .with_predicate("interval", "25")
+            .with_predicate("mote-id", "12")
+            .with_predicate("network", "net-2")
+            .with_predicate("padding", "35");
+        let mut w = MoteWrapperFactory.create(&addr).unwrap();
+        assert_eq!(w.nominal_interval(), Duration::from_millis(25));
+        let e = w.poll(Timestamp(25)).unwrap().remove(0);
+        assert_eq!(e.value("MOTE_ID"), Some(Value::Integer(12)));
+        assert_eq!(e.value("NETWORK"), Some(Value::varchar("net-2")));
+        assert_eq!(e.value("PADDING").unwrap().size_bytes(), 35);
+        assert!(MoteWrapperFactory
+            .create(&AddressSpec::new("mote").with_predicate("interval", "soon"))
+            .is_err());
+        assert!(MoteWrapperFactory.description().contains("MICA2"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Simulated RFID reader wrapper.
+//!
+//! The paper's demo includes "one sensor network with RFID readers and tags" (Section 6)
+//! and uses tag detections to trigger notifications ("when the RFID reader recognizes an
+//! RFID tag, a picture ... would be returned").  The simulated reader draws tag sightings
+//! from a configurable tag population: on each reading interval it detects a tag with the
+//! configured probability.
+//!
+//! Address predicates:
+//!
+//! | predicate | default | meaning |
+//! |---|---|---|
+//! | `interval` | `500` | polling interval in milliseconds |
+//! | `reader-id` | `reader-1` | reported reader id |
+//! | `tags` | `tag-1,tag-2,tag-3` | comma-separated tag population |
+//! | `detection-probability` | `0.3` | probability a poll sees a tag |
+//! | `seed` | `1` | RNG seed |
+
+use std::sync::Arc;
+
+use gsn_types::{DataType, Duration, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
+use gsn_xml::AddressSpec;
+
+use crate::sim::{DeviceRng, Schedule};
+use crate::wrapper::{predicate_parse, Wrapper, WrapperFactory};
+
+/// Configuration of a simulated RFID reader.
+#[derive(Debug, Clone)]
+pub struct RfidConfig {
+    /// Polling interval.
+    pub interval: Duration,
+    /// Reader identifier.
+    pub reader_id: String,
+    /// The tags that can be seen by this reader.
+    pub tags: Vec<String>,
+    /// Probability that a poll detects a tag.
+    pub detection_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RfidConfig {
+    fn default() -> Self {
+        RfidConfig {
+            interval: Duration::from_millis(500),
+            reader_id: "reader-1".to_owned(),
+            tags: vec!["tag-1".to_owned(), "tag-2".to_owned(), "tag-3".to_owned()],
+            detection_probability: 0.3,
+            seed: 1,
+        }
+    }
+}
+
+impl RfidConfig {
+    /// Builds a configuration from address predicates.
+    pub fn from_address(address: &AddressSpec) -> GsnResult<RfidConfig> {
+        let interval_ms: i64 = predicate_parse(address, "interval", 500)?;
+        let detection_probability: f64 = predicate_parse(address, "detection-probability", 0.3)?;
+        let seed: u64 = predicate_parse(address, "seed", 1)?;
+        let tags = address
+            .predicate("tags")
+            .map(|t| {
+                t.split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_else(|| RfidConfig::default().tags);
+        if tags.is_empty() {
+            return Err(gsn_types::GsnError::descriptor(
+                "rfid wrapper requires a non-empty tag population",
+            ));
+        }
+        Ok(RfidConfig {
+            interval: Duration::from_millis(interval_ms.max(1)),
+            reader_id: address.predicate("reader-id").unwrap_or("reader-1").to_owned(),
+            tags,
+            detection_probability,
+            seed,
+        })
+    }
+}
+
+/// The simulated RFID reader wrapper.
+#[derive(Debug)]
+pub struct RfidWrapper {
+    config: RfidConfig,
+    schema: Arc<StreamSchema>,
+    schedule: Schedule,
+    rng: DeviceRng,
+    detections: u64,
+}
+
+impl RfidWrapper {
+    /// The output structure of every RFID wrapper.
+    pub fn schema() -> Arc<StreamSchema> {
+        Arc::new(
+            StreamSchema::from_pairs(&[
+                ("reader_id", DataType::Varchar),
+                ("tag", DataType::Varchar),
+                ("signal_strength", DataType::Double),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Creates an RFID wrapper with its schedule starting at time zero.
+    pub fn new(config: RfidConfig) -> RfidWrapper {
+        RfidWrapper {
+            schedule: Schedule::new(Timestamp::EPOCH, config.interval),
+            schema: Self::schema(),
+            rng: DeviceRng::new(config.seed),
+            detections: 0,
+            config,
+        }
+    }
+
+    /// Number of tag detections produced so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Forces a detection of a specific tag at a specific time (used by examples to
+    /// emulate an audience member swiping a badge, as in the paper's demo script).
+    pub fn force_detection(&mut self, tag: &str, at: Timestamp) -> GsnResult<StreamElement> {
+        self.detections += 1;
+        StreamElement::new(
+            Arc::clone(&self.schema),
+            vec![
+                Value::varchar(self.config.reader_id.clone()),
+                Value::varchar(tag),
+                Value::Double(1.0),
+            ],
+            at,
+        )
+    }
+}
+
+impl Wrapper for RfidWrapper {
+    fn kind(&self) -> &str {
+        "rfid"
+    }
+
+    fn output_schema(&self) -> Arc<StreamSchema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn nominal_interval(&self) -> Duration {
+        self.config.interval
+    }
+
+    fn start(&mut self, at: Timestamp) {
+        self.schedule = crate::sim::Schedule::new(at, self.config.interval);
+    }
+
+    fn poll(&mut self, now: Timestamp) -> GsnResult<Vec<StreamElement>> {
+        let mut out = Vec::new();
+        for due in self.schedule.due_times(now) {
+            if !self.rng.chance(self.config.detection_probability) {
+                continue;
+            }
+            let tag_index = self.rng.range_i64(0, self.config.tags.len() as i64 - 1) as usize;
+            let signal = self.rng.range_f64(0.2, 1.0);
+            let values = vec![
+                Value::varchar(self.config.reader_id.clone()),
+                Value::varchar(self.config.tags[tag_index].clone()),
+                Value::Double((signal * 100.0).round() / 100.0),
+            ];
+            self.detections += 1;
+            out.push(
+                StreamElement::new(Arc::clone(&self.schema), values, due)?.with_produced_at(due),
+            );
+        }
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "rfid reader {} ({} tags, p={})",
+            self.config.reader_id,
+            self.config.tags.len(),
+            self.config.detection_probability
+        )
+    }
+}
+
+/// Factory for [`RfidWrapper`].
+#[derive(Debug, Default)]
+pub struct RfidWrapperFactory;
+
+impl WrapperFactory for RfidWrapperFactory {
+    fn kind(&self) -> &str {
+        "rfid"
+    }
+
+    fn create(&self, address: &AddressSpec) -> GsnResult<Box<dyn Wrapper>> {
+        Ok(Box::new(RfidWrapper::new(RfidConfig::from_address(address)?)))
+    }
+
+    fn description(&self) -> String {
+        "simulated RFID reader (Texas Instruments-class)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detections_come_from_the_tag_population() {
+        let mut reader = RfidWrapper::new(RfidConfig {
+            interval: Duration::from_millis(10),
+            detection_probability: 1.0,
+            tags: vec!["badge-a".into(), "badge-b".into()],
+            ..Default::default()
+        });
+        let detections = reader.poll(Timestamp(1_000)).unwrap();
+        assert_eq!(detections.len(), 100);
+        for d in &detections {
+            let tag = d.value("TAG").unwrap();
+            let tag = tag.as_str().unwrap();
+            assert!(tag == "badge-a" || tag == "badge-b");
+            let s = d.value("SIGNAL_STRENGTH").unwrap().as_double().unwrap();
+            assert!((0.2..=1.0).contains(&s));
+        }
+        assert_eq!(reader.detections(), 100);
+    }
+
+    #[test]
+    fn detection_probability_thins_the_stream() {
+        let mut reader = RfidWrapper::new(RfidConfig {
+            interval: Duration::from_millis(10),
+            detection_probability: 0.2,
+            ..Default::default()
+        });
+        let n = reader.poll(Timestamp(100_000)).unwrap().len();
+        assert!(n > 1_500 && n < 2_500, "detections {n}");
+    }
+
+    #[test]
+    fn force_detection_emits_the_requested_tag() {
+        let mut reader = RfidWrapper::new(RfidConfig::default());
+        let e = reader.force_detection("visitor-badge-42", Timestamp(123)).unwrap();
+        assert_eq!(e.value("TAG"), Some(Value::varchar("visitor-badge-42")));
+        assert_eq!(e.timestamp(), Timestamp(123));
+        assert_eq!(reader.detections(), 1);
+    }
+
+    #[test]
+    fn factory_reads_predicates_and_validates() {
+        let addr = AddressSpec::new("rfid")
+            .with_predicate("reader-id", "ti-reader")
+            .with_predicate("tags", "a, b, c, d")
+            .with_predicate("detection-probability", "1.0")
+            .with_predicate("interval", "100");
+        let mut reader = RfidWrapperFactory.create(&addr).unwrap();
+        assert_eq!(reader.kind(), "rfid");
+        let detections = reader.poll(Timestamp(500)).unwrap();
+        assert_eq!(detections.len(), 5);
+        assert_eq!(
+            detections[0].value("READER_ID"),
+            Some(Value::varchar("ti-reader"))
+        );
+        assert!(RfidWrapperFactory
+            .create(&AddressSpec::new("rfid").with_predicate("tags", " , "))
+            .is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! The wrapper abstraction and the wrapper registry.
+//!
+//! "Adding a new type of sensor or sensor network can be done by supplying a [...] wrapper
+//! conforming to the GSN API" (paper, Section 5).  In GSN-RS a wrapper is a trait object
+//! produced by a registered factory; the container looks the factory up by the
+//! `wrapper="..."` attribute of a stream source's `<address>` element and configures it
+//! with the address predicates.
+//!
+//! Wrappers are *polled*: the container (or a benchmark harness) advances the clock and
+//! asks each wrapper for the elements produced since the previous poll.  This keeps the
+//! data-production model deterministic under the simulated clock — essential for
+//! reproducing the paper's time-triggered-load experiment — while the container's
+//! life-cycle manager provides the real-time driving loop in live deployments.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use gsn_types::{Duration, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp};
+use gsn_xml::AddressSpec;
+use parking_lot::RwLock;
+
+/// A data source adapter: one instance per `<stream-source>` using a local wrapper.
+pub trait Wrapper: Send {
+    /// The wrapper type name (matches the registry key).
+    fn kind(&self) -> &str;
+
+    /// The structure of the elements this wrapper produces.
+    fn output_schema(&self) -> Arc<StreamSchema>;
+
+    /// The nominal production interval.  The container uses this to schedule polls; a
+    /// wrapper may still produce zero or several elements per poll.
+    fn nominal_interval(&self) -> Duration;
+
+    /// Anchors the wrapper's production schedule at `at` (the deployment time).
+    ///
+    /// Without this, a wrapper deployed while the container clock is already at `t`
+    /// would "catch up" and emit every element nominally due since time zero on its first
+    /// poll.  The default implementation does nothing (push-style wrappers have no
+    /// schedule to anchor).
+    fn start(&mut self, at: Timestamp) {
+        let _ = at;
+    }
+
+    /// Produces every element due in the interval `(last_poll, now]`.
+    ///
+    /// Implementations must be deterministic given their configuration and the poll
+    /// times, so that simulated-clock benchmark runs are reproducible.
+    fn poll(&mut self, now: Timestamp) -> GsnResult<Vec<StreamElement>>;
+
+    /// Releases any resources held by the wrapper (serial ports, sockets, ...).  Simulated
+    /// wrappers have nothing to release; the default implementation does nothing.
+    fn shutdown(&mut self) {}
+
+    /// A short human-readable description for status reports.
+    fn describe(&self) -> String {
+        format!("{} wrapper ({} interval)", self.kind(), self.nominal_interval())
+    }
+}
+
+impl fmt::Debug for dyn Wrapper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Wrapper({})", self.describe())
+    }
+}
+
+/// Creates wrapper instances from `<address>` specifications.
+pub trait WrapperFactory: Send + Sync {
+    /// The registry key (`wrapper="..."` value) this factory serves.
+    fn kind(&self) -> &str;
+
+    /// Instantiates a wrapper configured by the address predicates.
+    fn create(&self, address: &AddressSpec) -> GsnResult<Box<dyn Wrapper>>;
+
+    /// One-line description used by the container status report.
+    fn description(&self) -> String {
+        format!("factory for `{}` wrappers", self.kind())
+    }
+}
+
+/// The per-container registry of wrapper factories.
+///
+/// The registry is shared (`Arc`) between the container and its virtual sensors;
+/// registering a new platform at runtime immediately makes it deployable, which is the
+/// plug-and-play behaviour demonstrated in the paper's Section 6.
+pub struct WrapperRegistry {
+    factories: RwLock<HashMap<String, Arc<dyn WrapperFactory>>>,
+}
+
+impl Default for WrapperRegistry {
+    fn default() -> Self {
+        WrapperRegistry::new()
+    }
+}
+
+impl WrapperRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> WrapperRegistry {
+        WrapperRegistry {
+            factories: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a registry pre-populated with every built-in simulated platform
+    /// (mote, camera, rfid, system-time, push, replay, scripted).
+    pub fn with_builtins() -> WrapperRegistry {
+        let registry = WrapperRegistry::new();
+        registry
+            .register(Arc::new(crate::mote::MoteWrapperFactory))
+            .expect("fresh registry");
+        registry
+            .register(Arc::new(crate::camera::CameraWrapperFactory))
+            .expect("fresh registry");
+        registry
+            .register(Arc::new(crate::rfid::RfidWrapperFactory))
+            .expect("fresh registry");
+        registry
+            .register(Arc::new(crate::generic::SystemTimeWrapperFactory))
+            .expect("fresh registry");
+        registry
+            .register(Arc::new(crate::generic::PushWrapperFactory::new()))
+            .expect("fresh registry");
+        registry
+            .register(Arc::new(crate::generic::ReplayWrapperFactory::new()))
+            .expect("fresh registry");
+        registry
+            .register(Arc::new(crate::generic::ScriptedWrapperFactory::default()))
+            .expect("fresh registry");
+        registry
+    }
+
+    /// Registers a factory.  Re-registering an existing kind is an error — GSN requires
+    /// explicit undeployment first so running sensors keep a consistent view.
+    pub fn register(&self, factory: Arc<dyn WrapperFactory>) -> GsnResult<()> {
+        let key = factory.kind().to_ascii_lowercase();
+        let mut factories = self.factories.write();
+        if factories.contains_key(&key) {
+            return Err(GsnError::already_exists(format!(
+                "wrapper factory `{key}` is already registered"
+            )));
+        }
+        factories.insert(key, factory);
+        Ok(())
+    }
+
+    /// Removes a factory.
+    pub fn deregister(&self, kind: &str) -> GsnResult<()> {
+        match self.factories.write().remove(&kind.to_ascii_lowercase()) {
+            Some(_) => Ok(()),
+            None => Err(GsnError::not_found(format!(
+                "wrapper factory `{kind}` is not registered"
+            ))),
+        }
+    }
+
+    /// True when a factory for `kind` exists.
+    pub fn supports(&self, kind: &str) -> bool {
+        self.factories
+            .read()
+            .contains_key(&kind.to_ascii_lowercase())
+    }
+
+    /// The registered wrapper kinds, sorted.
+    pub fn kinds(&self) -> Vec<String> {
+        let mut kinds: Vec<String> = self.factories.read().keys().cloned().collect();
+        kinds.sort();
+        kinds
+    }
+
+    /// Instantiates a wrapper for an address.
+    pub fn create(&self, address: &AddressSpec) -> GsnResult<Box<dyn Wrapper>> {
+        let key = address.wrapper.to_ascii_lowercase();
+        let factory = self
+            .factories
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| {
+                GsnError::not_found(format!(
+                    "no wrapper factory registered for `{key}` (available: {})",
+                    self.kinds().join(", ")
+                ))
+            })?;
+        factory.create(address)
+    }
+}
+
+impl fmt::Debug for WrapperRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WrapperRegistry({})", self.kinds().join(", "))
+    }
+}
+
+/// Parses a numeric predicate with a default, producing a descriptor error on bad input.
+pub(crate) fn predicate_parse<T: std::str::FromStr>(
+    address: &AddressSpec,
+    key: &str,
+    default: T,
+) -> GsnResult<T> {
+    match address.predicate(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            GsnError::descriptor(format!(
+                "wrapper `{}`: invalid value `{raw}` for predicate `{key}`",
+                address.wrapper
+            ))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_all_platforms() {
+        let registry = WrapperRegistry::with_builtins();
+        for kind in ["mote", "camera", "rfid", "system-time", "push", "replay", "scripted"] {
+            assert!(registry.supports(kind), "missing builtin {kind}");
+        }
+        assert!(!registry.supports("remote")); // remote is provided by the network layer
+        assert_eq!(registry.kinds().len(), 7);
+    }
+
+    #[test]
+    fn create_unknown_wrapper_reports_available_kinds() {
+        let registry = WrapperRegistry::with_builtins();
+        let err = registry
+            .create(&AddressSpec::new("quantum-sensor"))
+            .unwrap_err();
+        assert!(err.to_string().contains("quantum-sensor"));
+        assert!(err.to_string().contains("mote"));
+    }
+
+    #[test]
+    fn register_and_deregister() {
+        let registry = WrapperRegistry::new();
+        assert!(registry.kinds().is_empty());
+        registry
+            .register(Arc::new(crate::mote::MoteWrapperFactory))
+            .unwrap();
+        assert!(registry.supports("MOTE"));
+        assert!(registry
+            .register(Arc::new(crate::mote::MoteWrapperFactory))
+            .is_err());
+        registry.deregister("mote").unwrap();
+        assert!(!registry.supports("mote"));
+        assert!(registry.deregister("mote").is_err());
+    }
+
+    #[test]
+    fn created_wrappers_produce_data() {
+        let registry = WrapperRegistry::with_builtins();
+        let mut wrapper = registry
+            .create(
+                &AddressSpec::new("mote")
+                    .with_predicate("interval", "100")
+                    .with_predicate("seed", "7"),
+            )
+            .unwrap();
+        assert_eq!(wrapper.kind(), "mote");
+        let produced = wrapper.poll(Timestamp(1_000)).unwrap();
+        assert!(!produced.is_empty());
+        assert!(wrapper.describe().contains("mote"));
+        wrapper.shutdown();
+    }
+
+    #[test]
+    fn predicate_parse_defaults_and_errors() {
+        let addr = AddressSpec::new("mote").with_predicate("interval", "250");
+        assert_eq!(predicate_parse(&addr, "interval", 100i64).unwrap(), 250);
+        assert_eq!(predicate_parse(&addr, "missing", 100i64).unwrap(), 100);
+        let bad = AddressSpec::new("mote").with_predicate("interval", "fast");
+        assert!(predicate_parse(&bad, "interval", 100i64).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! A small XML document object model.
+//!
+//! GSN deployment descriptors are plain XML files (paper, Figure 1).  The DOM here covers
+//! the subset those descriptors use: elements, attributes, text content and comments.
+//! Namespaces, DTDs and processing instructions beyond the XML declaration are out of
+//! scope.
+
+use std::fmt;
+
+/// A node in an XML tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlNode {
+    /// A child element.
+    Element(XmlElement),
+    /// A text run (entity references already resolved).
+    Text(String),
+    /// A comment (kept so descriptors can be round-tripped).
+    Comment(String),
+}
+
+/// An XML element: a name, ordered attributes and child nodes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct XmlElement {
+    /// The element name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+impl XmlElement {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: &str) -> XmlElement {
+        XmlElement {
+            name: name.to_owned(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, key: &str, value: impl Into<String>) -> XmlElement {
+        self.attributes.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn with_child(mut self, child: XmlElement) -> XmlElement {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Adds a text child (builder style).
+    pub fn with_text(mut self, text: impl Into<String>) -> XmlElement {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// Looks an attribute up by case-insensitive name.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks an attribute up, returning `default` when absent.
+    pub fn attr_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.attr(key).unwrap_or(default)
+    }
+
+    /// Child elements (ignoring text/comments).
+    pub fn elements(&self) -> impl Iterator<Item = &XmlElement> {
+        self.children.iter().filter_map(|n| match n {
+            XmlNode::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Child elements with a given case-insensitive name.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.elements()
+            .filter(move |e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The first child element with a given name.
+    pub fn first_element(&self, name: &str) -> Option<&XmlElement> {
+        self.elements().find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The concatenated, trimmed text content of this element (direct text children only).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for child in &self.children {
+            if let XmlNode::Text(t) = child {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_owned()
+    }
+
+    /// Total number of elements in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.elements().map(XmlElement::subtree_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for XmlElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::writer::write_element(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XmlElement {
+        XmlElement::new("virtual-sensor")
+            .with_attr("name", "room-temp")
+            .with_attr("priority", "10")
+            .with_child(XmlElement::new("life-cycle").with_attr("pool-size", "10"))
+            .with_child(
+                XmlElement::new("output-structure")
+                    .with_child(
+                        XmlElement::new("field")
+                            .with_attr("name", "TEMPERATURE")
+                            .with_attr("type", "integer"),
+                    )
+                    .with_child(
+                        XmlElement::new("field")
+                            .with_attr("name", "LIGHT")
+                            .with_attr("type", "double"),
+                    ),
+            )
+            .with_child(XmlElement::new("query").with_text("select * from src1"))
+    }
+
+    #[test]
+    fn attribute_lookup_is_case_insensitive() {
+        let e = sample();
+        assert_eq!(e.attr("name"), Some("room-temp"));
+        assert_eq!(e.attr("NAME"), Some("room-temp"));
+        assert_eq!(e.attr("missing"), None);
+        assert_eq!(e.attr_or("missing", "x"), "x");
+        assert_eq!(e.attr_or("priority", "1"), "10");
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert_eq!(e.elements().count(), 3);
+        assert_eq!(e.elements_named("field").count(), 0); // fields are grandchildren
+        let os = e.first_element("output-structure").unwrap();
+        assert_eq!(os.elements_named("field").count(), 2);
+        assert!(e.first_element("nosuch").is_none());
+        assert_eq!(e.first_element("QUERY").unwrap().text(), "select * from src1");
+    }
+
+    #[test]
+    fn text_concatenates_and_trims() {
+        let e = XmlElement::new("q")
+            .with_text("  select * ")
+            .with_child(XmlElement::new("ignored"))
+            .with_text("from src1  ");
+        assert_eq!(e.text(), "select * from src1");
+        assert_eq!(XmlElement::new("empty").text(), "");
+    }
+
+    #[test]
+    fn subtree_size_counts_elements() {
+        assert_eq!(sample().subtree_size(), 6);
+        assert_eq!(XmlElement::new("x").subtree_size(), 1);
+    }
+}

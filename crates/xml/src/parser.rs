@@ -1,0 +1,401 @@
+//! A hand-written, dependency-free XML parser for deployment descriptors.
+//!
+//! Supported: elements, attributes (single- or double-quoted), text content, the five
+//! predefined entities plus decimal/hex character references, comments, CDATA sections and
+//! a leading XML declaration.  Not supported (not needed by GSN descriptors): DTDs,
+//! namespaces, processing instructions.
+
+use gsn_types::{GsnError, GsnResult};
+
+use crate::dom::{XmlElement, XmlNode};
+
+/// Parses an XML document and returns its root element.
+pub fn parse_document(input: &str) -> GsnResult<XmlElement> {
+    let mut parser = XmlParser::new(input);
+    parser.skip_prolog()?;
+    let root = parser.parse_element()?;
+    parser.skip_misc()?;
+    if !parser.at_end() {
+        return Err(parser.error("unexpected content after the root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn new(input: &'a str) -> XmlParser<'a> {
+        XmlParser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> GsnError {
+        let line = self.input[..self.pos.min(self.input.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1;
+        GsnError::xml(format!("{} (line {line})", msg.into()))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) -> GsnResult<()> {
+        self.skip_whitespace();
+        if self.starts_with("<?xml") {
+            match self.input[self.pos..].find("?>") {
+                Some(end) => self.pos += end + 2,
+                None => return Err(self.error("unterminated XML declaration")),
+            }
+        }
+        self.skip_misc()
+    }
+
+    /// Skips whitespace and comments between markup.
+    fn skip_misc(&mut self) -> GsnResult<()> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> GsnResult<String> {
+        debug_assert!(self.starts_with("<!--"));
+        self.pos += 4;
+        match self.input[self.pos..].find("-->") {
+            Some(end) => {
+                let text = self.input[self.pos..self.pos + end].to_owned();
+                self.pos += end + 3;
+                Ok(text)
+            }
+            None => Err(self.error("unterminated comment")),
+        }
+    }
+
+    fn parse_name(&mut self) -> GsnResult<String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'-' | b'_' | b'.' | b':')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn parse_element(&mut self) -> GsnResult<XmlElement> {
+        if self.peek() != Some(b'<') {
+            return Err(self.error("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = XmlElement::new(&name);
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.error("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.error(format!("attribute `{key}` is missing `=`")));
+                    }
+                    self.pos += 1;
+                    self.skip_whitespace();
+                    let value = self.parse_attribute_value()?;
+                    if element
+                        .attributes
+                        .iter()
+                        .any(|(k, _)| k.eq_ignore_ascii_case(&key))
+                    {
+                        return Err(self.error(format!("duplicate attribute `{key}`")));
+                    }
+                    element.attributes.push((key, value));
+                }
+                None => return Err(self.error("unexpected end of input inside a tag")),
+            }
+        }
+
+        // Children until the matching end tag.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end_name = self.parse_name()?;
+                if !end_name.eq_ignore_ascii_case(&name) {
+                    return Err(self.error(format!(
+                        "mismatched end tag: expected `</{name}>`, found `</{end_name}>`"
+                    )));
+                }
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(self.error("expected `>` in end tag"));
+                }
+                self.pos += 1;
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                let text = self.skip_comment()?;
+                element.children.push(XmlNode::Comment(text));
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += 9;
+                match self.input[self.pos..].find("]]>") {
+                    Some(end) => {
+                        element
+                            .children
+                            .push(XmlNode::Text(self.input[self.pos..self.pos + end].to_owned()));
+                        self.pos += end + 3;
+                    }
+                    None => return Err(self.error("unterminated CDATA section")),
+                }
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.children.push(XmlNode::Element(child));
+            } else if self.at_end() {
+                return Err(self.error(format!("unexpected end of input; `<{name}>` is not closed")));
+            } else {
+                let text = self.parse_text()?;
+                if !text.trim().is_empty() {
+                    element.children.push(XmlNode::Text(text));
+                }
+            }
+        }
+    }
+
+    fn parse_attribute_value(&mut self) -> GsnResult<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.error("attribute value must be quoted")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = &self.input[start..self.pos];
+                self.pos += 1;
+                return decode_entities(raw).map_err(|e| self.error(e));
+            }
+            if c == b'<' {
+                return Err(self.error("`<` is not allowed inside an attribute value"));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated attribute value"))
+    }
+
+    fn parse_text(&mut self) -> GsnResult<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        decode_entities(&self.input[start..self.pos]).map_err(|e| self.error(e))
+    }
+}
+
+/// Resolves `&...;` entity and character references.
+fn decode_entities(raw: &str) -> Result<String, String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity reference in `{raw}`"))?;
+        let entity = &rest[1..end];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| format!("invalid character reference `&{entity};`"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid character reference `&{entity};`"))?,
+                );
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| format!("invalid character reference `&{entity};`"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid character reference `&{entity};`"))?,
+                );
+            }
+            other => return Err(format!("unknown entity `&{other};`")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_descriptor_fragment() {
+        // A completed version of the paper's Figure 1 fragment.
+        let xml = r#"<?xml version="1.0" encoding="UTF-8"?>
+<virtual-sensor name="room-bc143-temperature" priority="10">
+  <life-cycle pool-size="10" />
+  <output-structure>
+    <field name="TEMPERATURE" type="integer"/>
+  </output-structure>
+  <storage permanent-storage="true" size="10s" />
+  <input-stream name="dummy" rate="100">
+    <stream-source alias="src1" sampling-rate="1"
+                   storage-size="1h" disconnect-buffer="10">
+      <address wrapper="remote">
+        <predicate key="type" val="temperature" />
+        <predicate key="location" val="bc143" />
+      </address>
+      <query>select avg(temperature) from WRAPPER</query>
+    </stream-source>
+    <query>select * from src1</query>
+  </input-stream>
+</virtual-sensor>"#;
+        let root = parse_document(xml).unwrap();
+        assert_eq!(root.name, "virtual-sensor");
+        assert_eq!(root.attr("name"), Some("room-bc143-temperature"));
+        assert_eq!(
+            root.first_element("life-cycle").unwrap().attr("pool-size"),
+            Some("10")
+        );
+        let input = root.first_element("input-stream").unwrap();
+        let source = input.first_element("stream-source").unwrap();
+        assert_eq!(source.attr("alias"), Some("src1"));
+        assert_eq!(source.attr("storage-size"), Some("1h"));
+        let address = source.first_element("address").unwrap();
+        assert_eq!(address.elements_named("predicate").count(), 2);
+        assert_eq!(
+            source.first_element("query").unwrap().text(),
+            "select avg(temperature) from WRAPPER"
+        );
+        assert_eq!(input.first_element("query").unwrap().text(), "select * from src1");
+    }
+
+    #[test]
+    fn parses_self_closing_and_nested_elements() {
+        let root = parse_document("<a><b/><c><d x='1'/></c></a>").unwrap();
+        assert_eq!(root.elements().count(), 2);
+        assert_eq!(
+            root.first_element("c").unwrap().first_element("d").unwrap().attr("x"),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn entity_and_character_references() {
+        let root = parse_document("<q a=\"&lt;x&gt;\">5 &amp; 6 &#65;&#x42; &apos;&quot;</q>").unwrap();
+        assert_eq!(root.attr("a"), Some("<x>"));
+        assert_eq!(root.text(), "5 & 6 AB '\"");
+    }
+
+    #[test]
+    fn comments_and_cdata() {
+        let root = parse_document(
+            "<q><!-- a comment --><![CDATA[select * from t where a < 5 & b > 1]]></q>",
+        )
+        .unwrap();
+        assert_eq!(root.text(), "select * from t where a < 5 & b > 1");
+        assert!(root
+            .children
+            .iter()
+            .any(|n| matches!(n, XmlNode::Comment(c) if c.contains("a comment"))));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let root = parse_document("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(root.children.len(), 2);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let root = parse_document("<a x='hello world' y=\"2\"/>").unwrap();
+        assert_eq!(root.attr("x"), Some("hello world"));
+        assert_eq!(root.attr("y"), Some("2"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_document("").is_err());
+        assert!(parse_document("just text").is_err());
+        assert!(parse_document("<a>").is_err());
+        assert!(parse_document("<a></b>").is_err());
+        assert!(parse_document("<a x></a>").is_err());
+        assert!(parse_document("<a x=1></a>").is_err());
+        assert!(parse_document("<a x='1' x='2'></a>").is_err());
+        assert!(parse_document("<a>&nosuch;</a>").is_err());
+        assert!(parse_document("<a>&#xZZ;</a>").is_err());
+        assert!(parse_document("<a><!-- unterminated </a>").is_err());
+        assert!(parse_document("<a></a><b></b>").is_err());
+        assert!(parse_document("<a b='<'></a>").is_err());
+        assert!(parse_document("<?xml version='1.0'").is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = parse_document("<a>\n<b>\n</c>\n</a>").unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn trailing_comments_after_root_are_allowed() {
+        let root = parse_document("<a/><!-- trailing -->").unwrap();
+        assert_eq!(root.name, "a");
+    }
+}

@@ -1,0 +1,176 @@
+//! XML serialisation.
+//!
+//! The container's status interface and the dynamic-reconfiguration examples write
+//! descriptors back out (GSN's web interface lets operators download and edit the running
+//! configuration), so the writer must round-trip everything the parser accepts.
+
+use crate::dom::{XmlElement, XmlNode};
+
+/// Serialises an element compactly (no added whitespace).
+pub fn write_element(element: &XmlElement) -> String {
+    let mut out = String::new();
+    write_into(element, &mut out, None, 0);
+    out
+}
+
+/// Serialises an element with two-space indentation and a leading XML declaration.
+pub fn write_document(element: &XmlElement) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_into(element, &mut out, Some(2), 0);
+    out.push('\n');
+    out
+}
+
+fn write_into(element: &XmlElement, out: &mut String, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(width) = indent {
+            for _ in 0..(width * depth) {
+                out.push(' ');
+            }
+        }
+    };
+    pad(out, depth);
+    out.push('<');
+    out.push_str(&element.name);
+    for (k, v) in &element.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if element.children.is_empty() {
+        out.push_str(" />");
+        return;
+    }
+    out.push('>');
+
+    // Elements whose only children are text are written inline so that
+    // `<query>select …</query>` round-trips compactly.
+    let only_text = element
+        .children
+        .iter()
+        .all(|c| matches!(c, XmlNode::Text(_)));
+    if only_text {
+        for child in &element.children {
+            if let XmlNode::Text(t) = child {
+                out.push_str(&escape_text(t));
+            }
+        }
+    } else {
+        for child in &element.children {
+            if indent.is_some() {
+                out.push('\n');
+            }
+            match child {
+                XmlNode::Element(e) => write_into(e, out, indent, depth + 1),
+                XmlNode::Text(t) => {
+                    pad(out, depth + 1);
+                    out.push_str(&escape_text(t.trim()));
+                }
+                XmlNode::Comment(c) => {
+                    pad(out, depth + 1);
+                    out.push_str("<!--");
+                    out.push_str(c);
+                    out.push_str("-->");
+                }
+            }
+        }
+        if indent.is_some() {
+            out.push('\n');
+            pad(out, depth);
+        }
+    }
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push('>');
+}
+
+/// Escapes text content.
+pub fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Escapes an attribute value.
+pub fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn sample() -> XmlElement {
+        XmlElement::new("stream-source")
+            .with_attr("alias", "src1")
+            .with_attr("storage-size", "1h")
+            .with_child(
+                XmlElement::new("address")
+                    .with_attr("wrapper", "remote")
+                    .with_child(
+                        XmlElement::new("predicate")
+                            .with_attr("key", "type")
+                            .with_attr("val", "temperature"),
+                    ),
+            )
+            .with_child(XmlElement::new("query").with_text("select avg(t) from WRAPPER where t < 30"))
+    }
+
+    #[test]
+    fn compact_output_round_trips() {
+        let e = sample();
+        let text = write_element(&e);
+        let parsed = parse_document(&text).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn pretty_output_round_trips() {
+        let e = sample();
+        let text = write_document(&e);
+        assert!(text.starts_with("<?xml"));
+        assert!(text.contains("\n  <address"));
+        let parsed = parse_document(&text).unwrap();
+        assert_eq!(parsed.name, e.name);
+        assert_eq!(parsed.attr("alias"), Some("src1"));
+        assert_eq!(
+            parsed.first_element("query").unwrap().text(),
+            "select avg(t) from WRAPPER where t < 30"
+        );
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let e = XmlElement::new("q")
+            .with_attr("expr", "a < \"b\" & c")
+            .with_text("x < y & z > w");
+        let text = write_element(&e);
+        assert!(text.contains("a &lt; &quot;b&quot; &amp; c"));
+        assert!(text.contains("x &lt; y &amp; z &gt; w"));
+        let parsed = parse_document(&text).unwrap();
+        assert_eq!(parsed.attr("expr"), Some("a < \"b\" & c"));
+        assert_eq!(parsed.text(), "x < y & z > w");
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let e = XmlElement::new("life-cycle").with_attr("pool-size", "10");
+        assert_eq!(write_element(&e), "<life-cycle pool-size=\"10\" />");
+    }
+
+    #[test]
+    fn comments_are_preserved() {
+        let parsed = parse_document("<a><!-- keep me --><b/></a>").unwrap();
+        let out = write_element(&parsed);
+        assert!(out.contains("<!-- keep me -->"));
+        let reparsed = parse_document(&out).unwrap();
+        assert_eq!(reparsed, parsed);
+    }
+
+    #[test]
+    fn display_impl_uses_writer() {
+        let e = XmlElement::new("x").with_attr("a", "1");
+        assert_eq!(e.to_string(), "<x a=\"1\" />");
+    }
+}

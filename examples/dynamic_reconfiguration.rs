@@ -1,0 +1,158 @@
+//! Dynamic reconfiguration: add, remove and reconfigure virtual sensors *while the system
+//! is running and processing queries* — the plug-and-play capability the paper's
+//! demonstration centres on (Section 6).
+//!
+//! The script mirrors the demo choreography:
+//! 1. start with a pre-configured container and a running client query,
+//! 2. hot-add a new sensor network (a camera) without stopping anything,
+//! 3. define a new *derived* virtual sensor that filters an existing one — "a new sensor
+//!    network which is based on the data produced by other sensor networks ... without any
+//!    software programming efforts",
+//! 4. reconfigure a sensor (larger window, slower rate) by undeploying and redeploying its
+//!    descriptor,
+//! 5. remove a sensor entirely and show the rest keeps running.
+//!
+//! ```text
+//! cargo run --example dynamic_reconfiguration
+//! ```
+
+use std::sync::Arc;
+
+use gsn::types::{DataType, Duration, SimulatedClock};
+use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+use gsn::{ContainerConfig, GsnContainer, WindowSpec};
+
+fn mote_sensor(name: &str, interval_ms: u64, window: WindowSpec) -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder(name)
+        .unwrap()
+        .metadata("type", "temperature")
+        .output_field("temperature", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src").with_source(
+                StreamSourceSpec::new(
+                    "src",
+                    AddressSpec::new("mote").with_predicate("interval", &interval_ms.to_string()),
+                    "select avg(temperature) as temperature from WRAPPER",
+                )
+                .with_window(window),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+fn run_for(node: &mut GsnContainer, clock: &SimulatedClock, seconds: u64) {
+    for _ in 0..(seconds * 4) {
+        clock.advance(Duration::from_millis(250));
+        node.step();
+    }
+}
+
+fn main() {
+    let clock = SimulatedClock::new();
+    let mut node = GsnContainer::new(
+        ContainerConfig::named(gsn::types::NodeId::LOCAL, "reconfigurable-node"),
+        Arc::new(clock.clone()),
+    );
+
+    // -- 1. The pre-configured system: one mote sensor and one registered client query.
+    node.deploy(mote_sensor("lobby-temperature", 500, WindowSpec::Count(5)))
+        .unwrap();
+    node.register_query(
+        "dashboard",
+        "select avg(temperature) from lobby_temperature",
+        WindowSpec::Time(Duration::from_secs(30)),
+        None,
+    )
+    .unwrap();
+    run_for(&mut node, &clock, 10);
+    println!("phase 1 — initial system: sensors = {:?}", node.sensor_names());
+    println!(
+        "  lobby readings so far: {}",
+        node.query("select count(*) from lobby_temperature").unwrap().rows()[0][0]
+    );
+
+    // -- 2. Hot-add a camera network while the system keeps running.
+    let camera = VirtualSensorDescriptor::builder("lobby-camera")
+        .unwrap()
+        .metadata("type", "camera")
+        .output_field("frame_number", DataType::Integer)
+        .unwrap()
+        .output_field("image", DataType::Binary)
+        .unwrap()
+        .output_history(WindowSpec::Count(2))
+        .input_stream(
+            InputStreamSpec::new("main", "select * from cam").with_source(
+                StreamSourceSpec::new(
+                    "cam",
+                    AddressSpec::new("camera")
+                        .with_predicate("interval", "1000")
+                        .with_predicate("image-size", "32768"),
+                    "select frame_number, image from WRAPPER",
+                ),
+            ),
+        )
+        .build()
+        .unwrap();
+    node.deploy(camera).unwrap();
+    run_for(&mut node, &clock, 5);
+    println!("\nphase 2 — camera hot-added: sensors = {:?}", node.sensor_names());
+
+    // -- 3. Define a derived virtual sensor over the existing one: a "hot rooms" alarm
+    //       computed by SQL over the lobby sensor's own output table.
+    let alarm = VirtualSensorDescriptor::builder("lobby-heat-alarm")
+        .unwrap()
+        .metadata("type", "alarm")
+        .output_field("temperature", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from hot").with_source(
+                StreamSourceSpec::new(
+                    "hot",
+                    AddressSpec::new("mote").with_predicate("interval", "500"),
+                    "select avg(temperature) as temperature from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(3)),
+            ),
+        )
+        .build()
+        .unwrap();
+    node.deploy(alarm).unwrap();
+    let (_, alarm_notifications) = node.subscribe("lobby-heat-alarm").unwrap();
+    run_for(&mut node, &clock, 5);
+    println!(
+        "phase 3 — derived alarm sensor added; it has produced {} notifications",
+        alarm_notifications.try_iter().count()
+    );
+
+    // -- 4. Reconfigure the lobby sensor: larger averaging window, slower sampling.
+    //       Reconfiguration is undeploy + redeploy of the edited descriptor, which is what
+    //       the GSN web interface does under the hood.
+    node.undeploy("lobby-temperature").unwrap();
+    node.deploy(mote_sensor(
+        "lobby-temperature",
+        1_000,
+        WindowSpec::Time(Duration::from_secs(20)),
+    ))
+    .unwrap();
+    run_for(&mut node, &clock, 10);
+    println!("\nphase 4 — lobby sensor reconfigured (1s interval, 20s window)");
+    println!(
+        "  lobby readings since reconfiguration: {}",
+        node.query("select count(*) from lobby_temperature").unwrap().rows()[0][0]
+    );
+
+    // -- 5. Remove the camera; everything else keeps running.
+    node.undeploy("lobby-camera").unwrap();
+    run_for(&mut node, &clock, 5);
+    println!("\nphase 5 — camera removed: sensors = {:?}", node.sensor_names());
+    println!(
+        "  dashboard query still registered: {} registered queries",
+        node.registered_query_count()
+    );
+
+    println!("\nfinal status:\n{}", node.status().render());
+}

@@ -1,0 +1,238 @@
+//! Integration tests for the peer-to-peer federation: discovery through the directory,
+//! remote virtual sensors across nodes, link quality, partitions and access control.
+
+use gsn::network::{LinkSpec, Operation, Principal};
+use gsn::types::{DataType, Duration};
+use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+use gsn::{Federation, WindowSpec};
+
+fn temperature_producer(name: &str, location: &str, interval_ms: u64) -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder(name)
+        .unwrap()
+        .metadata("type", "temperature")
+        .metadata("location", location)
+        .output_field("temperature", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src").with_source(
+                StreamSourceSpec::new(
+                    "src",
+                    AddressSpec::new("mote").with_predicate("interval", &interval_ms.to_string()),
+                    "select avg(temperature) as temperature from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(5)),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+fn remote_consumer(name: &str, location: &str) -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder(name)
+        .unwrap()
+        .output_field("temperature", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from r").with_source(
+                StreamSourceSpec::new(
+                    "r",
+                    AddressSpec::new("remote")
+                        .with_predicate("type", "temperature")
+                        .with_predicate("location", location),
+                    "select avg(temperature) as temperature from WRAPPER",
+                )
+                .with_window(WindowSpec::Time(Duration::from_secs(10))),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn discovery_and_remote_streaming_between_nodes() {
+    let mut fed = Federation::new();
+    let producer = fed.add_node("producer").unwrap();
+    let consumer = fed.add_node("consumer").unwrap();
+    fed.set_link(producer, consumer, LinkSpec::lan());
+
+    fed.node_mut(producer)
+        .unwrap()
+        .deploy(temperature_producer("bc143-temp", "bc143", 200))
+        .unwrap();
+    fed.node_mut(consumer)
+        .unwrap()
+        .deploy(remote_consumer("bc143-follower", "bc143"))
+        .unwrap();
+
+    // Directory-level discovery by arbitrary property combinations.
+    let by_type = fed.directory().lookup(&[("type".into(), "temperature".into())]);
+    assert_eq!(by_type.len(), 1);
+    let by_both = fed.directory().lookup(&[
+        ("type".into(), "temperature".into()),
+        ("location".into(), "bc143".into()),
+    ]);
+    assert_eq!(by_both.len(), 1);
+    assert!(fed
+        .directory()
+        .lookup(&[("location".into(), "elsewhere".into())])
+        .is_empty());
+
+    let report = fed.run_for(Duration::from_secs(5), Duration::from_millis(200));
+    assert!(report.remote_arrivals > 0);
+    assert_eq!(report.errors, 0);
+
+    let produced = fed
+        .node_mut(producer)
+        .unwrap()
+        .query("select count(*) from bc143_temp")
+        .unwrap()
+        .rows()[0][0]
+        .as_integer()
+        .unwrap();
+    let consumed = fed
+        .node_mut(consumer)
+        .unwrap()
+        .query("select count(*) from bc143_follower")
+        .unwrap()
+        .rows()[0][0]
+        .as_integer()
+        .unwrap();
+    assert!(produced >= 20);
+    assert!(consumed > 0);
+    // The consumer can lose a little to subscription latency but must track the producer.
+    assert!(
+        consumed as f64 >= produced as f64 * 0.5,
+        "consumer saw only {consumed} of {produced} elements"
+    );
+
+    // Undeploying the producer removes it from the directory.
+    fed.node_mut(producer).unwrap().undeploy("bc143-temp").unwrap();
+    assert!(fed
+        .directory()
+        .lookup(&[("type".into(), "temperature".into())])
+        .is_empty());
+}
+
+#[test]
+fn three_node_chain_of_remote_sensors() {
+    // node A produces; node B averages A remotely; node C averages B remotely.
+    let mut fed = Federation::new();
+    let a = fed.add_node("a").unwrap();
+    let b = fed.add_node("b").unwrap();
+    let c = fed.add_node("c").unwrap();
+
+    fed.node_mut(a)
+        .unwrap()
+        .deploy(temperature_producer("origin", "floor-a", 200))
+        .unwrap();
+    // B's sensor both consumes remotely and is itself published with new metadata.
+    let mut b_sensor = remote_consumer("floor-a-average", "floor-a");
+    b_sensor.metadata = vec![
+        ("type".to_owned(), "temperature-aggregate".to_owned()),
+        ("location".to_owned(), "floor-a".to_owned()),
+    ];
+    fed.node_mut(b).unwrap().deploy(b_sensor).unwrap();
+
+    let c_sensor = VirtualSensorDescriptor::builder("campus-view")
+        .unwrap()
+        .output_field("temperature", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from agg").with_source(
+                StreamSourceSpec::new(
+                    "agg",
+                    AddressSpec::new("remote").with_predicate("type", "temperature-aggregate"),
+                    "select avg(temperature) as temperature from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(10)),
+            ),
+        )
+        .build()
+        .unwrap();
+    fed.node_mut(c).unwrap().deploy(c_sensor).unwrap();
+
+    fed.run_for(Duration::from_secs(10), Duration::from_millis(200));
+    let end_of_chain = fed
+        .node_mut(c)
+        .unwrap()
+        .query("select count(*), avg(temperature) from campus_view")
+        .unwrap();
+    let n = end_of_chain.rows()[0][0].as_integer().unwrap();
+    assert!(n > 0, "data did not flow across the two-hop chain");
+    let t = end_of_chain.rows()[0][1].as_double().unwrap();
+    assert!((10.0..=40.0).contains(&t));
+}
+
+#[test]
+fn lossy_links_still_deliver_a_usable_stream() {
+    let mut fed = Federation::new();
+    let producer = fed.add_node("producer").unwrap();
+    let consumer = fed.add_node("consumer").unwrap();
+    fed.set_link(producer, consumer, LinkSpec::wireless(20, 0.3));
+
+    fed.node_mut(producer)
+        .unwrap()
+        .deploy(temperature_producer("lossy-origin", "roof", 100))
+        .unwrap();
+    fed.node_mut(consumer)
+        .unwrap()
+        .deploy(remote_consumer("roof-follower", "roof"))
+        .unwrap();
+    fed.run_for(Duration::from_secs(10), Duration::from_millis(100));
+
+    let stats = fed.network().stats();
+    assert!(stats.dropped > 0, "the lossy link should drop something");
+    let consumed = fed
+        .node_mut(consumer)
+        .unwrap()
+        .query("select count(*) from roof_follower")
+        .unwrap()
+        .rows()[0][0]
+        .as_integer()
+        .unwrap();
+    assert!(consumed > 10, "only {consumed} elements made it through the lossy link");
+}
+
+#[test]
+fn subscription_refused_by_access_control() {
+    let mut fed = Federation::new();
+    let producer = fed.add_node("producer").unwrap();
+    let consumer = fed.add_node("consumer").unwrap();
+
+    fed.node_mut(producer)
+        .unwrap()
+        .deploy(temperature_producer("vault-temp", "vault", 100))
+        .unwrap();
+    // Only a specific operator may subscribe; the consumer node is not it.
+    fed.node(producer)
+        .unwrap()
+        .access_control()
+        .restrict_sensor("vault-temp", vec![Principal::named("operator")]);
+    assert!(!fed.node(producer).unwrap().access_control().check(
+        &Principal::named(&consumer.to_string()),
+        Operation::Subscribe,
+        "vault-temp"
+    ));
+
+    fed.node_mut(consumer)
+        .unwrap()
+        .deploy(remote_consumer("vault-follower", "vault"))
+        .unwrap();
+    fed.run_for(Duration::from_secs(3), Duration::from_millis(100));
+
+    // The producer keeps producing, but nothing reaches the refused subscriber.
+    let consumed = fed
+        .node_mut(consumer)
+        .unwrap()
+        .query("select count(*) from vault_follower")
+        .unwrap()
+        .rows()[0][0]
+        .as_integer()
+        .unwrap();
+    assert_eq!(consumed, 0);
+    let producer_status = fed.node(producer).unwrap().status();
+    assert_eq!(producer_status.notifications.remote_delivered, 0);
+}

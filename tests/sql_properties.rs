@@ -1,0 +1,179 @@
+//! Property-based tests for the SQL engine: invariants that must hold for every randomly
+//! generated relation and predicate parameterisation.
+
+use gsn::sql::{ColumnInfo, MemoryCatalog, Relation, SqlEngine};
+use gsn::types::{DataType, Value};
+use proptest::prelude::*;
+
+/// A randomly generated readings table with integers, doubles, strings and NULLs.
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, f64, String, bool)>> {
+    prop::collection::vec(
+        (
+            -1000i64..1000,
+            -100.0f64..100.0,
+            "[a-z]{1,6}",
+            prop::bool::ANY,
+        ),
+        0..60,
+    )
+}
+
+fn build_catalog(rows: &[(i64, f64, String, bool)]) -> MemoryCatalog {
+    let columns = vec![
+        ColumnInfo::new(None, "id", Some(DataType::Integer)),
+        ColumnInfo::new(None, "reading", Some(DataType::Double)),
+        ColumnInfo::new(None, "room", Some(DataType::Varchar)),
+        ColumnInfo::new(None, "flagged", Some(DataType::Boolean)),
+    ];
+    let data: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|(id, reading, room, flagged)| {
+            vec![
+                Value::Integer(*id),
+                // One in eight readings is NULL to exercise three-valued logic.
+                if id % 8 == 0 { Value::Null } else { Value::Double(*reading) },
+                Value::varchar(room.clone()),
+                Value::Boolean(*flagged),
+            ]
+        })
+        .collect();
+    let mut catalog = MemoryCatalog::new();
+    catalog.register("readings", Relation::with_rows(columns, data).unwrap());
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_star_equals_row_count(rows in arb_rows()) {
+        let catalog = build_catalog(&rows);
+        let mut engine = SqlEngine::new();
+        let n = engine.execute_scalar("select count(*) from readings", &catalog).unwrap();
+        prop_assert_eq!(n, Value::Integer(rows.len() as i64));
+    }
+
+    #[test]
+    fn filters_return_subsets_and_complement_partitions(rows in arb_rows(), threshold in -1000i64..1000) {
+        let catalog = build_catalog(&rows);
+        let mut engine = SqlEngine::new();
+        let total = rows.len() as i64;
+        let matching = engine
+            .execute_scalar(&format!("select count(*) from readings where id > {threshold}"), &catalog)
+            .unwrap()
+            .as_integer()
+            .unwrap();
+        let complement = engine
+            .execute_scalar(&format!("select count(*) from readings where not (id > {threshold})"), &catalog)
+            .unwrap()
+            .as_integer()
+            .unwrap();
+        prop_assert!(matching >= 0 && matching <= total);
+        // `id` is never NULL, so the predicate and its negation partition the table.
+        prop_assert_eq!(matching + complement, total);
+    }
+
+    #[test]
+    fn limit_caps_the_result_size(rows in arb_rows(), limit in 0u64..100) {
+        let catalog = build_catalog(&rows);
+        let mut engine = SqlEngine::new();
+        let rel = engine
+            .execute(&format!("select id from readings limit {limit}"), &catalog)
+            .unwrap();
+        prop_assert_eq!(rel.row_count() as u64, limit.min(rows.len() as u64));
+    }
+
+    #[test]
+    fn order_by_produces_sorted_output(rows in arb_rows()) {
+        let catalog = build_catalog(&rows);
+        let mut engine = SqlEngine::new();
+        let rel = engine.execute("select id from readings order by id", &catalog).unwrap();
+        let ids: Vec<i64> = rel.rows().iter().map(|r| r[0].as_integer().unwrap()).collect();
+        prop_assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        let rel = engine.execute("select id from readings order by id desc", &catalog).unwrap();
+        let ids: Vec<i64> = rel.rows().iter().map(|r| r[0].as_integer().unwrap()).collect();
+        prop_assert!(ids.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn aggregates_are_consistent_with_each_other(rows in arb_rows()) {
+        let catalog = build_catalog(&rows);
+        let mut engine = SqlEngine::new();
+        let rel = engine
+            .execute(
+                "select count(reading), sum(reading), avg(reading), min(reading), max(reading) from readings",
+                &catalog,
+            )
+            .unwrap();
+        let row = &rel.rows()[0];
+        let count = row[0].as_integer().unwrap();
+        if count == 0 {
+            prop_assert!(row[1].is_null() && row[2].is_null() && row[3].is_null() && row[4].is_null());
+        } else {
+            let sum = row[1].as_double().unwrap();
+            let avg = row[2].as_double().unwrap();
+            let min = row[3].as_double().unwrap();
+            let max = row[4].as_double().unwrap();
+            prop_assert!((sum / count as f64 - avg).abs() < 1e-6);
+            prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn union_all_counts_add_up(rows in arb_rows()) {
+        let catalog = build_catalog(&rows);
+        let mut engine = SqlEngine::new();
+        let doubled = engine
+            .execute("select id from readings union all select id from readings", &catalog)
+            .unwrap();
+        prop_assert_eq!(doubled.row_count(), rows.len() * 2);
+        let distinct_union = engine
+            .execute("select id from readings union select id from readings", &catalog)
+            .unwrap();
+        let distinct = engine
+            .execute("select distinct id from readings", &catalog)
+            .unwrap();
+        prop_assert_eq!(distinct_union.row_count(), distinct.row_count());
+    }
+
+    #[test]
+    fn group_by_partitions_the_rows(rows in arb_rows()) {
+        let catalog = build_catalog(&rows);
+        let mut engine = SqlEngine::new();
+        let grouped = engine
+            .execute("select room, count(*) as n from readings group by room", &catalog)
+            .unwrap();
+        let total: i64 = grouped.rows().iter().map(|r| r[1].as_integer().unwrap()).sum();
+        prop_assert_eq!(total, rows.len() as i64);
+        // No group is empty.
+        prop_assert!(grouped.rows().iter().all(|r| r[1].as_integer().unwrap() >= 1));
+    }
+
+    #[test]
+    fn predicate_pushdown_does_not_change_join_results(rows in arb_rows(), threshold in -1000i64..1000) {
+        let catalog = build_catalog(&rows);
+        let sql = format!(
+            "select a.id from readings a join readings b on a.id = b.id \
+             where a.id > {threshold} and b.flagged = true order by a.id"
+        );
+        let mut optimised = SqlEngine::new();
+        let mut unoptimised = SqlEngine::with_optimizer(gsn::sql::OptimizerConfig {
+            constant_folding: false,
+            predicate_pushdown: false,
+        });
+        let a = optimised.execute(&sql, &catalog).unwrap();
+        let b = unoptimised.execute(&sql, &catalog).unwrap();
+        prop_assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn prepared_and_adhoc_execution_agree(rows in arb_rows()) {
+        let catalog = build_catalog(&rows);
+        let mut engine = SqlEngine::new();
+        let sql = "select room, avg(reading) from readings group by room order by room";
+        let prepared = engine.prepare(sql).unwrap();
+        let via_prepared = engine.execute_prepared(&prepared, &catalog).unwrap();
+        let via_adhoc = engine.execute(sql, &catalog).unwrap();
+        prop_assert_eq!(via_prepared.rows(), via_adhoc.rows());
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the stream-processing substrate: window selection, storage
+//! retention, rate bounding and descriptor round-tripping.
+
+use std::sync::Arc;
+
+use gsn::storage::{Retention, StorageManager, StreamTable, WindowSpec};
+use gsn::types::{DataType, Duration, StreamElement, StreamSchema, Timestamp, Value};
+use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+use proptest::prelude::*;
+
+fn schema() -> Arc<StreamSchema> {
+    Arc::new(StreamSchema::from_pairs(&[("v", DataType::Integer)]).unwrap())
+}
+
+fn elements(timestamps: &[i64]) -> Vec<StreamElement> {
+    let schema = schema();
+    timestamps
+        .iter()
+        .enumerate()
+        .map(|(i, ts)| {
+            StreamElement::new(schema.clone(), vec![Value::Integer(i as i64)], Timestamp(*ts))
+                .unwrap()
+                .with_sequence(i as u64 + 1)
+        })
+        .collect()
+}
+
+/// Sorted, strictly increasing arrival timestamps.
+fn arb_timestamps() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(1i64..5_000, 0..120).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_windows_select_a_bounded_suffix(ts in arb_timestamps(), n in 1usize..50) {
+        let els = elements(&ts);
+        let window = WindowSpec::Count(n);
+        let selected = window.select(&els, Timestamp(10_000));
+        prop_assert!(selected.len() <= n);
+        prop_assert_eq!(selected.len(), n.min(els.len()));
+        // The selection is exactly the suffix: ordering and identity preserved.
+        let expected: Vec<u64> = els.iter().rev().take(n).rev().map(StreamElement::sequence).collect();
+        let got: Vec<u64> = selected.iter().map(StreamElement::sequence).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn time_windows_select_exactly_the_in_horizon_elements(ts in arb_timestamps(), span in 1i64..2_000, now in 0i64..6_000) {
+        let els = elements(&ts);
+        let window = WindowSpec::Time(Duration::from_millis(span));
+        let selected = window.select(&els, Timestamp(now));
+        let cutoff = now - span;
+        for e in selected {
+            prop_assert!(e.timestamp().as_millis() >= cutoff);
+        }
+        let expected = els.iter().filter(|e| e.timestamp().as_millis() >= cutoff).count();
+        prop_assert_eq!(selected.len(), expected);
+    }
+
+    #[test]
+    fn element_retention_never_exceeds_the_bound(ts in arb_timestamps(), keep in 1usize..40) {
+        let mut table = StreamTable::new("t", schema(), Retention::Elements(keep));
+        for (i, t) in ts.iter().enumerate() {
+            table
+                .insert_values(vec![Value::Integer(i as i64)], Timestamp(*t))
+                .unwrap();
+            prop_assert!(table.len() <= keep);
+        }
+        prop_assert_eq!(table.len(), keep.min(ts.len()));
+        // The retained elements are the most recent ones, still in order.
+        let retained: Vec<i64> = table.all().iter().map(|e| e.value("V").unwrap().as_integer().unwrap()).collect();
+        let start = ts.len().saturating_sub(keep) as i64;
+        let expected: Vec<i64> = (start..ts.len() as i64).collect();
+        prop_assert_eq!(retained, expected);
+    }
+
+    #[test]
+    fn horizon_retention_keeps_everything_a_time_window_needs(ts in arb_timestamps(), span in 1i64..2_000) {
+        let mut table = StreamTable::new(
+            "t",
+            schema(),
+            Retention::Horizon(Duration::from_millis(span)),
+        );
+        let mut reference: Vec<i64> = Vec::new();
+        for (i, t) in ts.iter().enumerate() {
+            table
+                .insert_values(vec![Value::Integer(i as i64)], Timestamp(*t))
+                .unwrap();
+            reference.push(*t);
+            let now = Timestamp(*t);
+            // Every element a time window of `span` would select is still in the table.
+            let needed = reference
+                .iter()
+                .filter(|x| **x >= t - span)
+                .count();
+            let view = table.window_view(WindowSpec::Time(Duration::from_millis(span)), now);
+            prop_assert_eq!(view.len(), needed);
+        }
+    }
+
+    #[test]
+    fn storage_manager_statistics_match_inserts(ts in arb_timestamps()) {
+        let storage = StorageManager::new();
+        storage.create_table("t", schema(), Retention::Unbounded).unwrap();
+        for (i, t) in ts.iter().enumerate() {
+            let e = StreamElement::new(schema(), vec![Value::Integer(i as i64)], Timestamp(*t)).unwrap();
+            storage.insert("t", e, Timestamp(*t)).unwrap();
+        }
+        let stats = storage.stats();
+        prop_assert_eq!(stats.retained_elements, ts.len());
+        prop_assert_eq!(stats.totals.inserted, ts.len() as u64);
+        prop_assert_eq!(stats.totals.out_of_order, 0);
+    }
+
+    #[test]
+    fn rate_limiter_never_admits_faster_than_the_bound(ts in arb_timestamps(), rate in 1u32..100) {
+        let mut limiter = gsn::container::RateLimiter::from_rate(Some(rate));
+        let spacing = limiter.min_spacing().as_millis();
+        let mut admitted: Vec<i64> = Vec::new();
+        for t in &ts {
+            if limiter.admit(Timestamp(*t)) {
+                admitted.push(*t);
+            }
+        }
+        prop_assert!(admitted.windows(2).all(|w| w[1] - w[0] >= spacing));
+    }
+
+    #[test]
+    fn window_spec_round_trips_through_its_descriptor_spelling(n in 1usize..10_000, secs in 1i64..7_200) {
+        for window in [WindowSpec::Count(n), WindowSpec::Time(Duration::from_secs(secs))] {
+            let spec = window.to_spec_string();
+            prop_assert_eq!(WindowSpec::parse(&spec).unwrap(), window);
+        }
+    }
+
+    #[test]
+    fn descriptors_round_trip_through_xml(
+        sensor_index in 0u32..1_000,
+        pool in 1usize..16,
+        window_count in 1usize..500,
+        sampling in 1u32..=10,
+        rate in prop::option::of(1u32..200),
+        permanent in prop::bool::ANY,
+        fields in prop::collection::vec(("[a-z][a-z0-9_]{0,8}", 0usize..6), 1..5),
+    ) {
+        // Field names must be unique for the schema to build.
+        let mut seen = std::collections::HashSet::new();
+        let fields: Vec<(String, usize)> = fields
+            .into_iter()
+            .filter(|(name, _)| seen.insert(name.clone()))
+            .collect();
+        prop_assume!(!fields.is_empty());
+
+        let types = [
+            DataType::Integer,
+            DataType::Double,
+            DataType::Varchar,
+            DataType::Boolean,
+            DataType::Binary,
+            DataType::Timestamp,
+        ];
+        let mut builder = VirtualSensorDescriptor::builder(&format!("sensor-{sensor_index}"))
+            .unwrap()
+            .pool_size(pool)
+            .permanent_storage(permanent)
+            .metadata("type", "generated");
+        for (name, type_index) in &fields {
+            builder = builder.output_field(name, types[*type_index % types.len()]).unwrap();
+        }
+        let mut stream = InputStreamSpec::new("main", "select * from src").with_source(
+            StreamSourceSpec::new(
+                "src",
+                AddressSpec::new("mote").with_predicate("interval", "100"),
+                "select * from WRAPPER",
+            )
+            .with_window(WindowSpec::Count(window_count))
+            .with_sampling_rate(sampling as f64 / 10.0),
+        );
+        if let Some(r) = rate {
+            stream = stream.with_rate_limit(r);
+        }
+        let descriptor = builder.input_stream(stream).build().unwrap();
+
+        let xml = descriptor.to_xml();
+        let reparsed = VirtualSensorDescriptor::parse(&xml).unwrap();
+        prop_assert_eq!(reparsed, descriptor);
+    }
+}
