@@ -39,7 +39,9 @@ fn build_catalog(rows: usize) -> MemoryCatalog {
             Timestamp(i as i64 * 10),
         )
         .unwrap();
-        storage.insert("motes", e, Timestamp(i as i64 * 10)).unwrap();
+        storage
+            .insert("motes", e, Timestamp(i as i64 * 10))
+            .unwrap();
     }
     storage
         .windowed_catalog(

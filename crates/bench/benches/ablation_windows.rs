@@ -26,11 +26,16 @@ fn build_storage(elements: usize) -> (StorageManager, Arc<StreamSchema>) {
     for i in 0..elements {
         let e = StreamElement::new(
             Arc::clone(&schema),
-            vec![Value::Double(20.0 + (i % 10) as f64), Value::Integer(i as i64 % 22)],
+            vec![
+                Value::Double(20.0 + (i % 10) as f64),
+                Value::Integer(i as i64 % 22),
+            ],
             Timestamp(i as i64 * 100),
         )
         .unwrap();
-        storage.insert("motes", e, Timestamp(i as i64 * 100)).unwrap();
+        storage
+            .insert("motes", e, Timestamp(i as i64 * 100))
+            .unwrap();
     }
     (storage, schema)
 }
@@ -49,7 +54,11 @@ fn bench_windows(c: &mut Criterion) {
             b.iter(|| {
                 let catalog = storage
                     .windowed_catalog(
-                        &[gsn_storage::CatalogView::new("w", "motes", WindowSpec::Count(size))],
+                        &[gsn_storage::CatalogView::new(
+                            "w",
+                            "motes",
+                            WindowSpec::Count(size),
+                        )],
                         now,
                     )
                     .unwrap();

@@ -1,0 +1,30 @@
+//! Criterion regression bench for the storage engine: per-commit check on ingest and
+//! windowed-scan cost of the in-memory vs. persistent backends.
+//!
+//! The full sweep (with recovery timing and the JSON report) lives in the
+//! `storage_backends` binary; this bench keeps a reduced cell under continuous
+//! measurement so `cargo bench` stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsn_bench::storage::{run_memory, run_persistent, StorageBenchConfig};
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_backends");
+    group.sample_size(10);
+    let config = StorageBenchConfig {
+        elements: 2_000,
+        payload_bytes: 64,
+        pool_pages: 16,
+        window: 200,
+    };
+    group.bench_with_input(BenchmarkId::from_parameter("memory"), &config, |b, cfg| {
+        b.iter(|| run_memory(cfg));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("disk"), &config, |b, cfg| {
+        b.iter(|| run_persistent(cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -12,9 +12,7 @@
 //! `--quick` runs a reduced device population and fewer elements per cell (useful for CI
 //! and for verifying the harness wiring); the full run matches the paper's population.
 
-use gsn_bench::fig3::{
-    run_sweep, Fig3Config, PAPER_ELEMENT_SIZES, PAPER_INTERVALS_MS,
-};
+use gsn_bench::fig3::{run_sweep, Fig3Config, PAPER_ELEMENT_SIZES, PAPER_INTERVALS_MS};
 use gsn_bench::{write_report, BenchReport};
 
 fn main() {
@@ -56,7 +54,10 @@ fn main() {
     );
 
     println!("\nFigure 3: GSN node under time-triggered load");
-    println!("{:>16} {:>18} {:>20} {:>12}", "element size", "interval (ms)", "processing (ms)", "elements");
+    println!(
+        "{:>16} {:>18} {:>20} {:>12}",
+        "element size", "interval (ms)", "processing (ms)", "elements"
+    );
     let mut current_size = None;
     for p in &points {
         if current_size != Some(p.element_size) {

@@ -1,0 +1,122 @@
+//! Storage-engine benchmark: in-memory vs. persistent backend ingest/scan throughput and
+//! restart-recovery time.
+//!
+//! ```text
+//! cargo run -p gsn-bench --release --bin storage_backends [--quick]
+//! ```
+//!
+//! Prints a table and writes the machine-readable report both to
+//! `target/bench-reports/storage_backends.json` and to `BENCH_storage.json` at the
+//! workspace root.
+
+use gsn_bench::storage::{run_memory, run_persistent, StorageBenchConfig, StorageBenchResult};
+use gsn_bench::{write_report, BenchReport};
+
+fn cells(quick: bool) -> Vec<StorageBenchConfig> {
+    if quick {
+        vec![StorageBenchConfig::quick()]
+    } else {
+        vec![
+            // Small telemetry rows, the mote workload.
+            StorageBenchConfig {
+                elements: 200_000,
+                payload_bytes: 15,
+                pool_pages: 64,
+                window: 1_000,
+            },
+            // Mid-size rows.
+            StorageBenchConfig {
+                elements: 50_000,
+                payload_bytes: 1_024,
+                pool_pages: 64,
+                window: 1_000,
+            },
+            // Camera frames: rows larger than a page, chained across overflow pages.
+            StorageBenchConfig {
+                elements: 2_000,
+                payload_bytes: 32 * 1024,
+                pool_pages: 64,
+                window: 100,
+            },
+        ]
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut report = BenchReport::new(
+        "storage_backends",
+        "Ingest/scan throughput of the in-memory vs. persistent storage backends and persistent recovery time",
+        &[
+            "backend_disk",
+            "elements",
+            "payload_bytes",
+            "pool_pages",
+            "ingest_elements_per_sec",
+            "full_scan_ms",
+            "window_scan_ms",
+            "recovery_ms",
+            "resident_pages",
+        ],
+    );
+
+    println!("Storage backends: ingest / scan / recovery");
+    println!(
+        "{:>8} {:>9} {:>9} {:>7} {:>14} {:>12} {:>12} {:>12} {:>9}",
+        "backend",
+        "elements",
+        "payload",
+        "pool",
+        "ingest el/s",
+        "full ms",
+        "window ms",
+        "recover ms",
+        "resident"
+    );
+
+    for config in cells(quick) {
+        for result in [run_memory(&config), run_persistent(&config)] {
+            print_row(&config, &result);
+            report.push_row(vec![
+                f64::from(u8::from(result.backend == "disk")),
+                result.elements as f64,
+                config.payload_bytes as f64,
+                config.pool_pages as f64,
+                result.elements_per_sec,
+                result.full_scan_ms,
+                result.window_scan_ms,
+                result.recovery_ms,
+                result.resident_pages as f64,
+            ]);
+        }
+    }
+
+    match write_report(&report) {
+        Ok(path) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+    // The repo-root copy the storage subsystem PR tracks.
+    let root_copy = gsn_bench::report::report_dir()
+        .parent()
+        .and_then(|target| target.parent().map(|ws| ws.join("BENCH_storage.json")))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_storage.json"));
+    match std::fs::write(&root_copy, report.to_json().to_pretty_string()) {
+        Ok(()) => eprintln!("report copied to {}", root_copy.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", root_copy.display()),
+    }
+}
+
+fn print_row(config: &StorageBenchConfig, r: &StorageBenchResult) {
+    println!(
+        "{:>8} {:>9} {:>9} {:>7} {:>14.0} {:>12.3} {:>12.3} {:>12.3} {:>9}",
+        r.backend,
+        r.elements,
+        config.payload_bytes,
+        config.pool_pages,
+        r.elements_per_sec,
+        r.full_scan_ms,
+        r.window_scan_ms,
+        r.recovery_ms,
+        r.resident_pages
+    );
+}

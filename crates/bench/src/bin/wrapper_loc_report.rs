@@ -44,7 +44,10 @@ fn main() {
         ("mote.rs", "TinyOS mote (paper: ~150 LoC in Java)"),
         ("camera.rs", "AXIS-class camera wrapper"),
         ("rfid.rs", "RFID reader wrapper"),
-        ("generic.rs", "system-time / push / replay / scripted wrappers"),
+        (
+            "generic.rs",
+            "system-time / push / replay / scripted wrappers",
+        ),
     ];
 
     let mut report = BenchReport::new(

@@ -23,5 +23,6 @@
 pub mod fig3;
 pub mod fig4;
 pub mod report;
+pub mod storage;
 
 pub use report::{write_report, BenchReport};

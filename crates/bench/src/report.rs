@@ -74,7 +74,12 @@ impl BenchReport {
             ("description", Json::string(self.description.clone())),
             (
                 "columns",
-                Json::array(self.columns.iter().map(|c| Json::string(c.clone())).collect()),
+                Json::array(
+                    self.columns
+                        .iter()
+                        .map(|c| Json::string(c.clone()))
+                        .collect(),
+                ),
             ),
             (
                 "rows",

@@ -1,0 +1,206 @@
+//! Storage-backend benchmark: ingest and scan throughput of the in-memory vs. persistent
+//! engines, plus restart-recovery time for the persistent engine.
+//!
+//! This is the workload behind the `storage_backends` binary and the
+//! `BENCH_storage.json` report: one table per backend, `elements` rows of
+//! `payload_bytes` binary payload each, then
+//!
+//! * ingest (elements/second),
+//! * a full-table scan through the SQL relation path,
+//! * a windowed tail scan (the hot query-manager path),
+//! * for the persistent engine: drop + re-open on the same directory (recovery).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gsn_storage::{PersistentOptions, Retention, StreamTable, WindowSpec};
+use gsn_types::{DataType, StreamElement, StreamSchema, Timestamp, Value};
+
+/// Workload parameters for one benchmark cell.
+#[derive(Debug, Clone)]
+pub struct StorageBenchConfig {
+    /// Rows inserted per table.
+    pub elements: usize,
+    /// Binary payload bytes per row (plus one integer field and the timestamp).
+    pub payload_bytes: usize,
+    /// Buffer-pool page budget for the persistent table.
+    pub pool_pages: usize,
+    /// The tail window evaluated by the windowed-scan measurement.
+    pub window: usize,
+}
+
+impl StorageBenchConfig {
+    /// A quick CI-sized cell.
+    pub fn quick() -> StorageBenchConfig {
+        StorageBenchConfig {
+            elements: 5_000,
+            payload_bytes: 64,
+            pool_pages: 16,
+            window: 500,
+        }
+    }
+}
+
+/// Measurements for one backend under one configuration.
+#[derive(Debug, Clone)]
+pub struct StorageBenchResult {
+    /// `"memory"` or `"disk"`.
+    pub backend: &'static str,
+    /// Rows ingested.
+    pub elements: usize,
+    /// Ingest throughput.
+    pub elements_per_sec: f64,
+    /// Milliseconds for a full-table relation scan.
+    pub full_scan_ms: f64,
+    /// Milliseconds for the tail-window relation scan.
+    pub window_scan_ms: f64,
+    /// Milliseconds to re-open (recover) the table; 0 for memory.
+    pub recovery_ms: f64,
+    /// Buffer-pool pages resident after the scans; 0 for memory.
+    pub resident_pages: usize,
+}
+
+fn schema() -> Arc<StreamSchema> {
+    Arc::new(
+        StreamSchema::from_pairs(&[("v", DataType::Integer), ("payload", DataType::Binary)])
+            .unwrap(),
+    )
+}
+
+fn fill(table: &mut StreamTable, config: &StorageBenchConfig) {
+    let schema = Arc::clone(table.schema());
+    let payload = Arc::new(vec![7u8; config.payload_bytes]);
+    for i in 0..config.elements {
+        let e = StreamElement::new_unchecked(
+            Arc::clone(&schema),
+            vec![
+                Value::Integer(i as i64),
+                Value::Binary(Arc::clone(&payload)),
+            ],
+            Timestamp(i as i64),
+        );
+        table.insert(e, Timestamp(i as i64)).unwrap();
+    }
+}
+
+fn scan_rows(table: &StreamTable, window: WindowSpec, now: Timestamp) -> usize {
+    table
+        .window_relation("bench", window, now)
+        .expect("bench scan failed")
+        .row_count()
+}
+
+fn measure(table: &mut StreamTable, config: &StorageBenchConfig) -> (f64, f64, f64) {
+    let started = Instant::now();
+    fill(table, config);
+    let ingest_secs = started.elapsed().as_secs_f64();
+
+    let now = Timestamp(config.elements as i64);
+    let started = Instant::now();
+    let rows = scan_rows(table, WindowSpec::Count(usize::MAX), now);
+    assert_eq!(rows, config.elements);
+    let full_scan_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    let started = Instant::now();
+    let rows = scan_rows(table, WindowSpec::Count(config.window), now);
+    assert_eq!(rows, config.window.min(config.elements));
+    let window_scan_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    (
+        config.elements as f64 / ingest_secs.max(1e-9),
+        full_scan_ms,
+        window_scan_ms,
+    )
+}
+
+/// Runs the workload on the in-memory backend.
+pub fn run_memory(config: &StorageBenchConfig) -> StorageBenchResult {
+    let mut table = StreamTable::new("bench", schema(), Retention::Unbounded);
+    let (elements_per_sec, full_scan_ms, window_scan_ms) = measure(&mut table, config);
+    StorageBenchResult {
+        backend: "memory",
+        elements: config.elements,
+        elements_per_sec,
+        full_scan_ms,
+        window_scan_ms,
+        recovery_ms: 0.0,
+        resident_pages: 0,
+    }
+}
+
+/// Runs the workload on the persistent backend in a fresh temp directory, including a
+/// drop + re-open cycle to measure recovery.
+pub fn run_persistent(config: &StorageBenchConfig) -> StorageBenchResult {
+    let dir = bench_dir();
+    let options = PersistentOptions {
+        pool_pages: config.pool_pages,
+        ..Default::default()
+    };
+    let mut table = StreamTable::persistent(
+        "bench",
+        schema(),
+        Retention::Unbounded,
+        &dir,
+        options.clone(),
+    )
+    .unwrap();
+    let (elements_per_sec, full_scan_ms, window_scan_ms) = measure(&mut table, config);
+    let resident_pages = table.pool_stats().map(|p| p.resident_pages).unwrap_or(0);
+
+    // Restart: drop (checkpoints) and re-open on the same directory.
+    drop(table);
+    let started = Instant::now();
+    let recovered =
+        StreamTable::persistent("bench", schema(), Retention::Unbounded, &dir, options).unwrap();
+    let recovery_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(recovered.len(), config.elements);
+
+    let mut result = StorageBenchResult {
+        backend: "disk",
+        elements: config.elements,
+        elements_per_sec,
+        full_scan_ms,
+        window_scan_ms,
+        recovery_ms,
+        resident_pages,
+    };
+    // Clean up the scratch directory.
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).ok();
+    result.elements = config.elements;
+    result
+}
+
+fn bench_dir() -> PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gsn-bench-storage-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_complete_the_quick_cell() {
+        let config = StorageBenchConfig {
+            elements: 500,
+            payload_bytes: 32,
+            pool_pages: 4,
+            window: 50,
+        };
+        let mem = run_memory(&config);
+        assert_eq!(mem.backend, "memory");
+        assert!(mem.elements_per_sec > 0.0);
+        assert_eq!(mem.recovery_ms, 0.0);
+
+        let disk = run_persistent(&config);
+        assert_eq!(disk.backend, "disk");
+        assert!(disk.elements_per_sec > 0.0);
+        assert!(disk.recovery_ms > 0.0);
+        assert!(disk.resident_pages <= config.pool_pages);
+    }
+}

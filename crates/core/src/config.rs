@@ -4,8 +4,10 @@
 //! bandwidth requirements)" (paper, Section 1): a container is configured with a handful
 //! of knobs rather than a heavyweight deployment descriptor of its own.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
+use gsn_storage::{PersistentOptions, StorageOptions, SyncMode};
 use gsn_types::{Clock, NodeId, SystemClock};
 
 /// Configuration of one GSN container.
@@ -25,6 +27,15 @@ pub struct ContainerConfig {
     pub disconnect_buffer_capacity: usize,
     /// Whether queries submitted by clients are cached as prepared plans.
     pub query_cache_enabled: bool,
+    /// Directory for persistent storage. When set, virtual sensors with
+    /// `permanent-storage="true"` (or `backend="disk"`) keep their output history in
+    /// page files here and recover it when a container re-opens the same directory.
+    /// `None` keeps every table in memory (the seed behaviour).
+    pub data_dir: Option<PathBuf>,
+    /// Buffer-pool page budget per persistent table (resident memory ≈ pages × 8 KiB).
+    pub storage_pool_pages: usize,
+    /// Write-ahead-log durability mode for persistent tables.
+    pub wal_sync: SyncMode,
 }
 
 impl Default for ContainerConfig {
@@ -36,6 +47,9 @@ impl Default for ContainerConfig {
             max_virtual_sensors: 1_024,
             disconnect_buffer_capacity: 64,
             query_cache_enabled: true,
+            data_dir: None,
+            storage_pool_pages: PersistentOptions::default().pool_pages,
+            wal_sync: SyncMode::default(),
         }
     }
 }
@@ -47,6 +61,24 @@ impl ContainerConfig {
             node_id,
             name: name.to_owned(),
             ..Default::default()
+        }
+    }
+
+    /// Enables persistent storage under `data_dir`.
+    pub fn with_data_dir(mut self, data_dir: impl Into<PathBuf>) -> ContainerConfig {
+        self.data_dir = Some(data_dir.into());
+        self
+    }
+
+    /// The storage-layer options derived from this configuration.
+    pub fn storage_options(&self) -> StorageOptions {
+        StorageOptions {
+            data_dir: self.data_dir.clone(),
+            persistent: PersistentOptions {
+                pool_pages: self.storage_pool_pages,
+                sync: self.wal_sync,
+                ..PersistentOptions::default()
+            },
         }
     }
 }

@@ -16,14 +16,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use gsn_network::{
-    AccessController, Directory, IntegrityService, Message, Operation, Principal,
-    SimulatedNetwork,
+    AccessController, Directory, IntegrityService, Message, Operation, Principal, SimulatedNetwork,
 };
 use gsn_sql::Relation;
 use gsn_storage::{StorageManager, StorageStats, WindowSpec};
-use gsn_types::{
-    Clock, GsnError, GsnResult, NodeId, StreamElement, Timestamp, VirtualSensorName,
-};
+use gsn_types::{Clock, GsnError, GsnResult, NodeId, StreamElement, Timestamp, VirtualSensorName};
 use gsn_wrappers::WrapperRegistry;
 use gsn_xml::VirtualSensorDescriptor;
 
@@ -95,7 +92,9 @@ impl ContainerStatus {
         ));
         out.push_str(&format!(
             "  registered client queries: {} (evaluated {}, failed {})\n",
-            self.registered_queries, self.queries.registered_evaluated, self.queries.registered_failed
+            self.registered_queries,
+            self.queries.registered_evaluated,
+            self.queries.registered_failed
         ));
         out.push_str(&format!(
             "  notifications: local {} delivered, remote {} delivered / {} buffered / {} dropped\n",
@@ -184,10 +183,13 @@ impl GsnContainer {
         directory: Option<Arc<Directory>>,
     ) -> GsnContainer {
         GsnContainer {
-            notifications: NotificationManager::new(config.node_id, config.disconnect_buffer_capacity),
+            notifications: NotificationManager::new(
+                config.node_id,
+                config.disconnect_buffer_capacity,
+            ),
             query_manager: QueryManager::new(config.query_cache_enabled),
             registry: Arc::new(WrapperRegistry::with_builtins()),
-            storage: Arc::new(StorageManager::new()),
+            storage: Arc::new(StorageManager::with_options(config.storage_options())),
             sensors: BTreeMap::new(),
             access: AccessController::permissive(),
             integrity: IntegrityService::new(),
@@ -224,6 +226,15 @@ impl GsnContainer {
     /// The storage manager (read-only access for inspection; the container owns writes).
     pub fn storage(&self) -> &Arc<StorageManager> {
         &self.storage
+    }
+
+    /// Checkpoints every persistent storage table to stable storage.
+    ///
+    /// Persistent tables also checkpoint automatically on WAL growth and when the
+    /// container is dropped; call this for an explicit durability point (e.g. before
+    /// process hand-over).
+    pub fn flush_storage(&self) -> GsnResult<()> {
+        self.storage.flush_all()
     }
 
     /// The access-control layer.
@@ -269,7 +280,8 @@ impl GsnContainer {
         if self.sensors.len() >= self.config.max_virtual_sensors {
             return Err(GsnError::resource_exhausted(format!(
                 "container `{}` already hosts {} virtual sensors",
-                self.config.name, self.sensors.len()
+                self.config.name,
+                self.sensors.len()
             )));
         }
         let name = descriptor.name.clone();
@@ -354,10 +366,9 @@ impl GsnContainer {
     /// Undeploys a virtual sensor, dropping its storage and directory entry.
     pub fn undeploy(&mut self, name: &str) -> GsnResult<()> {
         let key = VirtualSensorName::new(name)?;
-        let mut sensor = self
-            .sensors
-            .remove(&key)
-            .ok_or_else(|| GsnError::not_found(format!("virtual sensor `{name}` is not deployed")))?;
+        let mut sensor = self.sensors.remove(&key).ok_or_else(|| {
+            GsnError::not_found(format!("virtual sensor `{name}` is not deployed"))
+        })?;
         sensor.teardown(&self.storage);
         if let Some(directory) = &self.directory {
             let _ = directory.deregister(self.config.node_id, key.as_str());
@@ -431,7 +442,8 @@ impl GsnContainer {
         history: WindowSpec,
         sampling_rate: Option<f64>,
     ) -> GsnResult<ClientQueryId> {
-        self.query_manager.register(client, sql, history, sampling_rate)
+        self.query_manager
+            .register(client, sql, history, sampling_rate)
     }
 
     /// Removes a registered client query.
@@ -446,7 +458,10 @@ impl GsnContainer {
 
     /// Subscribes to a virtual sensor's output stream; notifications arrive on the
     /// returned channel.
-    pub fn subscribe(&mut self, sensor: &str) -> GsnResult<(SubscriptionId, crossbeam::channel::Receiver<Notification>)> {
+    pub fn subscribe(
+        &mut self,
+        sensor: &str,
+    ) -> GsnResult<(SubscriptionId, crossbeam::channel::Receiver<Notification>)> {
         self.require_sensor(sensor)?;
         Ok(self.notifications.subscribe_channel(sensor))
     }
@@ -556,7 +571,12 @@ impl GsnContainer {
                 for (consumer, consumer_ref) in local_routes {
                     if &consumer != name {
                         report.remote_arrivals += 1;
-                        report.absorb(self.deliver_remote(&consumer, consumer_ref, output.clone(), now));
+                        report.absorb(self.deliver_remote(
+                            &consumer,
+                            consumer_ref,
+                            output.clone(),
+                            now,
+                        ));
                     }
                 }
             }
@@ -574,12 +594,16 @@ impl GsnContainer {
             if result.relation.is_empty() {
                 continue;
             }
-            if let Ok(Some(element)) = result.relation.to_stream_element(
-                &Arc::new(relation_schema(&result.relation)),
-                now,
-            ) {
-                self.notifications
-                    .notify(&format!("client:{}", result.client), &element, now, None);
+            if let Ok(Some(element)) = result
+                .relation
+                .to_stream_element(&Arc::new(relation_schema(&result.relation)), now)
+            {
+                self.notifications.notify(
+                    &format!("client:{}", result.client),
+                    &element,
+                    now,
+                    None,
+                );
             }
         }
     }
@@ -623,7 +647,8 @@ impl GsnContainer {
                     let accepted = self.access.check(&principal, Operation::Subscribe, &sensor)
                         && self.require_sensor(&sensor).is_ok();
                     if accepted {
-                        self.notifications.add_remote_subscriber(subscriber, &sensor);
+                        self.notifications
+                            .add_remote_subscriber(subscriber, &sensor);
                     }
                     let _ = network.send(
                         self.config.node_id,
@@ -641,29 +666,28 @@ impl GsnContainer {
                     );
                 }
                 Message::Unsubscribe { subscriber, sensor } => {
-                    self.notifications.remove_remote_subscriber(subscriber, &sensor);
+                    self.notifications
+                        .remove_remote_subscriber(subscriber, &sensor);
                 }
-                Message::StreamDelivery { sensor, element } => {
-                    match element.into_element() {
-                        Ok(element) => {
-                            let routes = self
-                                .remote_routes
-                                .get(&sensor.to_ascii_lowercase())
-                                .cloned()
-                                .unwrap_or_default();
-                            for (consumer, source_ref) in routes {
-                                report.remote_arrivals += 1;
-                                report.absorb(self.deliver_remote(
-                                    &consumer,
-                                    source_ref,
-                                    element.clone(),
-                                    now,
-                                ));
-                            }
+                Message::StreamDelivery { sensor, element } => match element.into_element() {
+                    Ok(element) => {
+                        let routes = self
+                            .remote_routes
+                            .get(&sensor.to_ascii_lowercase())
+                            .cloned()
+                            .unwrap_or_default();
+                        for (consumer, source_ref) in routes {
+                            report.remote_arrivals += 1;
+                            report.absorb(self.deliver_remote(
+                                &consumer,
+                                source_ref,
+                                element.clone(),
+                                now,
+                            ));
                         }
-                        Err(_) => report.errors += 1,
                     }
-                }
+                    Err(_) => report.errors += 1,
+                },
                 Message::Ping { request } => {
                     let _ = network.send(
                         self.config.node_id,
@@ -672,7 +696,9 @@ impl GsnContainer {
                         now,
                     );
                 }
-                Message::SubscribeAck { request, accepted, .. } => {
+                Message::SubscribeAck {
+                    request, accepted, ..
+                } => {
                     for pending in &mut self.pending_subscriptions {
                         if pending.request == request {
                             if accepted {
@@ -748,7 +774,10 @@ fn relation_schema(relation: &Relation) -> gsn_types::StreamSchema {
         } else {
             column.name.clone()
         };
-        let field = gsn_types::FieldSpec::new(&name, column.data_type.unwrap_or(gsn_types::DataType::Varchar));
+        let field = gsn_types::FieldSpec::new(
+            &name,
+            column.data_type.unwrap_or(gsn_types::DataType::Varchar),
+        );
         if let Ok(field) = field {
             let _ = schema.push(field);
         }
@@ -802,7 +831,9 @@ mod tests {
         assert_eq!(report.outputs, 10);
         assert_eq!(report.errors, 0);
 
-        let rel = container.query("select count(*) as n from room_temp").unwrap();
+        let rel = container
+            .query("select count(*) as n from room_temp")
+            .unwrap();
         assert_eq!(rel.rows()[0][0], Value::Integer(10));
         let stats = container.sensor_stats("room-temp").unwrap();
         assert_eq!(stats.outputs, 10);
@@ -879,7 +910,12 @@ mod tests {
         assert_eq!(report.outputs, 2);
         assert_eq!(report.client_query_evaluations, 20);
         let id = container
-            .register_query("late", "select * from room_temp", WindowSpec::Count(1), None)
+            .register_query(
+                "late",
+                "select * from room_temp",
+                WindowSpec::Count(1),
+                None,
+            )
             .unwrap();
         container.deregister_query(id).unwrap();
         assert_eq!(container.registered_query_count(), 10);
@@ -888,7 +924,9 @@ mod tests {
     #[test]
     fn access_control_gates_adhoc_queries() {
         let (mut container, clock) = standalone();
-        container.deploy(mote_descriptor("private-temp", 100)).unwrap();
+        container
+            .deploy(mote_descriptor("private-temp", 100))
+            .unwrap();
         clock.advance(gsn_types::Duration::from_millis(500));
         container.step();
         container
@@ -907,7 +945,9 @@ mod tests {
     fn explain_and_bad_queries() {
         let (mut container, _clock) = standalone();
         container.deploy(mote_descriptor("room-temp", 100)).unwrap();
-        let plan = container.explain("select avg(avg_temp) from room_temp").unwrap();
+        let plan = container
+            .explain("select avg(avg_temp) from room_temp")
+            .unwrap();
         assert!(plan.contains("Aggregate"));
         assert!(container.query("select * from missing_table").is_err());
         assert!(container.query("not sql").is_err());
@@ -933,15 +973,13 @@ mod tests {
             .unwrap()
             .output_field("v", DataType::Double)
             .unwrap()
-            .input_stream(
-                InputStreamSpec::new("main", "select * from r").with_source(
-                    StreamSourceSpec::new(
-                        "r",
-                        AddressSpec::new("remote").with_predicate("type", "temperature"),
-                        "select avg(v) as v from WRAPPER",
-                    ),
+            .input_stream(InputStreamSpec::new("main", "select * from r").with_source(
+                StreamSourceSpec::new(
+                    "r",
+                    AddressSpec::new("remote").with_predicate("type", "temperature"),
+                    "select avg(v) as v from WRAPPER",
                 ),
-            )
+            ))
             .build()
             .unwrap();
         let err = container.deploy(descriptor).unwrap_err();

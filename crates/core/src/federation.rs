@@ -82,7 +82,9 @@ impl Federation {
     pub fn add_node_with_config(&mut self, config: ContainerConfig) -> GsnResult<NodeId> {
         let node_id = config.node_id;
         if self.nodes.contains_key(&node_id) {
-            return Err(GsnError::already_exists(format!("{node_id} already exists")));
+            return Err(GsnError::already_exists(format!(
+                "{node_id} already exists"
+            )));
         }
         let container = GsnContainer::with_network(
             config,
@@ -341,13 +343,19 @@ mod tests {
         let a = fed.add_node("a").unwrap();
         let b = fed.add_node("b").unwrap();
         let c = fed.add_node("c").unwrap();
-        fed.node_mut(a).unwrap().deploy(producer_descriptor()).unwrap();
+        fed.node_mut(a)
+            .unwrap()
+            .deploy(producer_descriptor())
+            .unwrap();
         // Node b publishes a different sensor with the same metadata.
         let mut alt = producer_descriptor();
         alt.name = gsn_types::VirtualSensorName::new("room-bc143-temperature-backup").unwrap();
         fed.node_mut(b).unwrap().deploy(alt).unwrap();
         // The consumer resolves to the deterministic first match (lowest node id).
-        fed.node_mut(c).unwrap().deploy(consumer_descriptor()).unwrap();
+        fed.node_mut(c)
+            .unwrap()
+            .deploy(consumer_descriptor())
+            .unwrap();
         let report = fed.run_for(Duration::from_secs(1), Duration::from_millis(100));
         assert!(report.outputs > 0);
         let rel = fed

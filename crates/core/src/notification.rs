@@ -130,7 +130,10 @@ impl NotificationManager {
     }
 
     /// Subscribes an in-memory log sink.
-    pub fn subscribe_log(&mut self, sensor: &str) -> (SubscriptionId, Arc<Mutex<Vec<Notification>>>) {
+    pub fn subscribe_log(
+        &mut self,
+        sensor: &str,
+    ) -> (SubscriptionId, Arc<Mutex<Vec<Notification>>>) {
         let log = Arc::new(Mutex::new(Vec::new()));
         let id = self.add_local(sensor, NotificationChannel::Log(Arc::clone(&log)));
         (id, log)
@@ -180,7 +183,8 @@ impl NotificationManager {
     /// Removes a remote subscriber.
     pub fn remove_remote_subscriber(&mut self, node: NodeId, sensor: &str) {
         let sensor = sensor.to_ascii_lowercase();
-        self.remote.retain(|r| !(r.node == node && r.sensor == sensor));
+        self.remote
+            .retain(|r| !(r.node == node && r.sensor == sensor));
     }
 
     /// Number of local subscriptions for a sensor (all sensors when `None`).
@@ -286,7 +290,15 @@ impl NotificationManager {
     pub fn remote_status(&self) -> Vec<(NodeId, String, usize, u64, u64)> {
         self.remote
             .iter()
-            .map(|r| (r.node, r.sensor.clone(), r.buffer.len(), r.delivered, r.dropped))
+            .map(|r| {
+                (
+                    r.node,
+                    r.sensor.clone(),
+                    r.buffer.len(),
+                    r.delivered,
+                    r.dropped,
+                )
+            })
             .collect()
     }
 
@@ -407,7 +419,12 @@ mod tests {
             .collect();
         assert_eq!(
             values,
-            vec![Value::Integer(2), Value::Integer(3), Value::Integer(4), Value::Integer(5)]
+            vec![
+                Value::Integer(2),
+                Value::Integer(3),
+                Value::Integer(4),
+                Value::Integer(5)
+            ]
         );
         assert_eq!(nm.remote_status()[0].2, 0);
     }

@@ -158,7 +158,8 @@ mod tests {
         assert_eq!(pool.size(), 1);
         let flag = Arc::new(AtomicBool::new(false));
         let f = Arc::clone(&flag);
-        pool.submit(move || f.store(true, Ordering::SeqCst)).unwrap();
+        pool.submit(move || f.store(true, Ordering::SeqCst))
+            .unwrap();
         pool.wait_idle();
         assert!(flag.load(Ordering::SeqCst));
     }

@@ -274,7 +274,10 @@ mod tests {
         for i in 0..20 {
             let e = StreamElement::new(
                 schema.clone(),
-                vec![Value::Integer(15 + i), Value::varchar(if i % 2 == 0 { "bc143" } else { "bc144" })],
+                vec![
+                    Value::Integer(15 + i),
+                    Value::varchar(if i % 2 == 0 { "bc143" } else { "bc144" }),
+                ],
                 Timestamp(i * 100),
             )
             .unwrap();

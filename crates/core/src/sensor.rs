@@ -20,10 +20,15 @@ use gsn_storage::{CatalogView, Retention, StorageManager};
 use gsn_types::{
     GsnError, GsnResult, NodeId, StreamElement, StreamSchema, Timestamp, VirtualSensorName,
 };
-use gsn_xml::{StreamSourceSpec, VirtualSensorDescriptor};
 use gsn_wrappers::{Wrapper, WrapperRegistry};
+use gsn_xml::{StreamSourceSpec, VirtualSensorDescriptor};
 
 use crate::ism::{QualityPolicy, RateLimiter, SourceMonitor, SourceQuality};
+
+/// Output history kept when a descriptor neither sets `permanent-storage="true"` nor an
+/// explicit `<storage size>`: generous enough for ad-hoc queries over recent output,
+/// bounded so a default-configured sensor cannot grow memory without limit.
+const DEFAULT_OUTPUT_HISTORY: usize = 10_000;
 
 /// Where a stream source's data comes from at runtime.
 pub enum SourceKind {
@@ -135,7 +140,11 @@ impl VirtualSensor {
 
     /// The storage table name used for one source of a virtual sensor.
     pub fn source_table_name(name: &VirtualSensorName, alias: &str) -> String {
-        format!("{}__{}", Self::output_table_name(name), alias.to_ascii_lowercase())
+        format!(
+            "{}__{}",
+            Self::output_table_name(name),
+            alias.to_ascii_lowercase()
+        )
     }
 
     /// Instantiates a virtual sensor from its descriptor.
@@ -157,6 +166,11 @@ impl VirtualSensor {
         let output_table = Self::output_table_name(&descriptor.name);
 
         // Output storage: permanent => unbounded, otherwise the declared history window.
+        // An omitted history keeps a generous default rather than everything: the
+        // original GSN accumulates the output stream in its database table, but an
+        // unbounded default on the *in-memory* backend would grow until OOM on a
+        // long-running container. Descriptors that really want full history say
+        // `permanent-storage="true"` (durable when the container has a data directory).
         let output_retention = if descriptor.storage.permanent {
             Retention::Unbounded
         } else {
@@ -164,9 +178,21 @@ impl VirtualSensor {
                 .storage
                 .history
                 .map(|w| w.retention())
-                .unwrap_or(Retention::Elements(1))
+                .unwrap_or(Retention::Elements(DEFAULT_OUTPUT_HISTORY))
         };
-        storage.create_table(&output_table, Arc::clone(&output_schema), output_retention)?;
+        // Backend choice: `permanent-storage="true"` (or backend="disk") goes to the
+        // persistent page engine when the container has a data directory — re-deploying
+        // on the same directory recovers the stored history. Source windows below stay
+        // in memory: they are bounded by their window and rebuilt from live data.
+        if descriptor.storage.wants_durable() {
+            storage.create_table_durable(
+                &output_table,
+                Arc::clone(&output_schema),
+                output_retention,
+            )?;
+        } else {
+            storage.create_table(&output_table, Arc::clone(&output_schema), output_retention)?;
+        }
 
         let mut engine = SqlEngine::new();
         let mut streams = Vec::new();
@@ -215,12 +241,17 @@ impl VirtualSensor {
         })();
 
         if let Err(e) = deploy_result {
-            // Roll back the tables created so far so a failed deployment leaves no trace.
-            let _ = storage.drop_table(&output_table);
+            // Roll back the tables created so far so a failed deployment leaves no
+            // *in-memory* trace. The output table is released, not dropped: a failed
+            // re-deploy of a permanent-storage sensor must not delete the on-disk
+            // history it just recovered.
+            let _ = storage.release_table(&output_table);
             for stream_spec in &descriptor.input_streams {
                 for source_spec in &stream_spec.sources {
-                    let _ = storage
-                        .drop_table(&Self::source_table_name(&descriptor.name, &source_spec.alias));
+                    let _ = storage.drop_table(&Self::source_table_name(
+                        &descriptor.name,
+                        &source_spec.alias,
+                    ));
                 }
             }
             return Err(e);
@@ -283,9 +314,13 @@ impl VirtualSensor {
         self.streams
             .iter()
             .flat_map(|s| {
-                s.sources
-                    .iter()
-                    .map(move |src| (s.name.clone(), src.spec.alias.clone(), src.monitor.quality()))
+                s.sources.iter().map(move |src| {
+                    (
+                        s.name.clone(),
+                        src.spec.alias.clone(),
+                        src.monitor.quality(),
+                    )
+                })
             })
             .collect()
     }
@@ -450,8 +485,10 @@ impl VirtualSensor {
         let mut temp_catalog = MemoryCatalog::new();
         for src in &stream.sources {
             let wrapper_catalog = storage.windowed_catalog(
-                &[CatalogView::new("wrapper", &src.table_name, src.spec.window)
-                    .with_sampling(src.spec.sampling_rate)],
+                &[
+                    CatalogView::new("wrapper", &src.table_name, src.spec.window)
+                        .with_sampling(src.spec.sampling_rate),
+                ],
                 now,
             )?;
             let temp: Relation = self
@@ -594,9 +631,8 @@ mod tests {
         )
         .unwrap();
 
-        let schema = Arc::new(
-            StreamSchema::from_pairs(&[("temperature", DataType::Integer)]).unwrap(),
-        );
+        let schema =
+            Arc::new(StreamSchema::from_pairs(&[("temperature", DataType::Integer)]).unwrap());
         for (i, temp) in [10i64, 20, 40].iter().enumerate() {
             let e = StreamElement::new(schema.clone(), vec![Value::Integer(*temp)], Timestamp(0))
                 .unwrap();
@@ -691,7 +727,11 @@ mod tests {
             Timestamp::EPOCH,
         );
         assert!(result.is_err());
-        assert!(storage.table_names().is_empty(), "{:?}", storage.table_names());
+        assert!(
+            storage.table_names().is_empty(),
+            "{:?}",
+            storage.table_names()
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl AccessController {
 
     /// Removes any per-sensor rule (sensor falls back to the default policy).
     pub fn clear_sensor(&self, sensor: &str) {
-        self.inner.write().rules.remove(&sensor.to_ascii_lowercase());
+        self.inner
+            .write()
+            .rules
+            .remove(&sensor.to_ascii_lowercase());
     }
 
     /// Checks whether `principal` may perform `operation` on `sensor`, recording the

@@ -83,7 +83,9 @@ impl Directory {
         metadata: Vec<(String, String)>,
     ) -> GsnResult<()> {
         if sensor.trim().is_empty() {
-            return Err(GsnError::descriptor("cannot register an unnamed virtual sensor"));
+            return Err(GsnError::descriptor(
+                "cannot register an unnamed virtual sensor",
+            ));
         }
         let mut inner = self.inner.write();
         inner.stats.registrations += 1;
@@ -176,7 +178,10 @@ mod tests {
     use super::*;
 
     fn meta(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     fn populated() -> Directory {
@@ -240,7 +245,9 @@ mod tests {
         d.register(NodeId::new(1), "bc143-temp", meta(&[("type", "humidity")]))
             .unwrap();
         assert_eq!(d.len(), 3);
-        assert!(d.lookup(&meta(&[("type", "temperature"), ("location", "bc143")])).is_empty());
+        assert!(d
+            .lookup(&meta(&[("type", "temperature"), ("location", "bc143")]))
+            .is_empty());
         assert_eq!(d.lookup(&meta(&[("type", "humidity")])).len(), 1);
     }
 

@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn sign_and_verify_round_trip() {
         let service = IntegrityService::new();
-        service.install_key(IntegrityScope::Container, SigningKey::from_passphrase("secret"));
+        service.install_key(
+            IntegrityScope::Container,
+            SigningKey::from_passphrase("secret"),
+        );
         let payload = b"stream element bytes";
         let sig = service.sign(&IntegrityScope::Container, payload).unwrap();
         service
@@ -163,8 +166,13 @@ mod tests {
     #[test]
     fn tampered_payloads_are_rejected() {
         let service = IntegrityService::new();
-        service.install_key(IntegrityScope::Container, SigningKey::from_passphrase("secret"));
-        let sig = service.sign(&IntegrityScope::Container, b"original").unwrap();
+        service.install_key(
+            IntegrityScope::Container,
+            SigningKey::from_passphrase("secret"),
+        );
+        let sig = service
+            .sign(&IntegrityScope::Container, b"original")
+            .unwrap();
         let err = service
             .verify(&IntegrityScope::Container, b"tampered", sig)
             .unwrap_err();
@@ -186,7 +194,10 @@ mod tests {
     #[test]
     fn per_sensor_keys_override_the_container_key() {
         let service = IntegrityService::new();
-        service.install_key(IntegrityScope::Container, SigningKey::from_passphrase("container"));
+        service.install_key(
+            IntegrityScope::Container,
+            SigningKey::from_passphrase("container"),
+        );
         service.install_key(
             IntegrityScope::sensor("secure-cam"),
             SigningKey::from_passphrase("camera-key"),

@@ -540,7 +540,10 @@ mod tests {
         roundtrip(Message::DirectoryRegister {
             node: NodeId::new(3),
             sensor: "room-temp".into(),
-            metadata: vec![("type".into(), "temperature".into()), ("location".into(), "bc143".into())],
+            metadata: vec![
+                ("type".into(), "temperature".into()),
+                ("location".into(), "bc143".into()),
+            ],
         });
         roundtrip(Message::DirectoryDeregister {
             node: NodeId::new(3),
@@ -602,7 +605,7 @@ mod tests {
         assert!(decode(&[]).is_err());
         assert!(decode(&[255]).is_err());
         assert!(decode(&[TAG_PING]).is_err()); // truncated request id
-        // Trailing garbage after a valid message.
+                                               // Trailing garbage after a valid message.
         let mut bytes = encode(&Message::Ping { request: 1 }).to_vec();
         bytes.push(0);
         assert!(decode(&bytes).is_err());

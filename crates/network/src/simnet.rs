@@ -130,7 +130,9 @@ impl SimulatedNetwork {
     pub fn add_node(&self, node: NodeId) -> GsnResult<()> {
         let mut inner = self.inner.lock();
         if inner.nodes.contains(&node) {
-            return Err(GsnError::already_exists(format!("{node} already joined the network")));
+            return Err(GsnError::already_exists(format!(
+                "{node} already joined the network"
+            )));
         }
         inner.nodes.push(node);
         inner.inboxes.insert(node, Vec::new());
@@ -186,10 +188,14 @@ impl SimulatedNetwork {
     ) -> GsnResult<usize> {
         let mut inner = self.inner.lock();
         if !inner.inboxes.contains_key(&to) {
-            return Err(GsnError::not_found(format!("{to} is not part of the network")));
+            return Err(GsnError::not_found(format!(
+                "{to} is not part of the network"
+            )));
         }
         if inner.partitions.contains(&(from, to)) {
-            return Err(GsnError::disconnected(format!("{from} cannot reach {to} (partitioned)")));
+            return Err(GsnError::disconnected(format!(
+                "{from} cannot reach {to} (partitioned)"
+            )));
         }
         let wire = encode(&message);
         let wire_size = wire.len();
@@ -204,7 +210,10 @@ impl SimulatedNetwork {
 
         // Deterministic pseudo-random loss.
         if spec.loss_probability > 0.0 {
-            inner.loss_counter = inner.loss_counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+            inner.loss_counter = inner
+                .loss_counter
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1);
             let draw = (inner.loss_counter >> 33) as f64 / (u32::MAX as f64 / 2.0).max(1.0);
             if draw.fract() < spec.loss_probability {
                 inner.stats.dropped += 1;
@@ -290,11 +299,15 @@ mod tests {
         let (a, b) = (NodeId::new(1), NodeId::new(2));
         net.add_node(a).unwrap();
         net.add_node(b).unwrap();
-        net.set_link(a, b, LinkSpec {
-            latency: Duration::from_millis(50),
-            bytes_per_ms: 0,
-            loss_probability: 0.0,
-        });
+        net.set_link(
+            a,
+            b,
+            LinkSpec {
+                latency: Duration::from_millis(50),
+                bytes_per_ms: 0,
+                loss_probability: 0.0,
+            },
+        );
         net.send(a, b, ping(1), Timestamp(100)).unwrap();
         assert!(net.receive(b, Timestamp(149)).is_empty());
         assert_eq!(net.pending(b), 1);
@@ -314,7 +327,10 @@ mod tests {
         };
         assert_eq!(spec.transfer_delay(10_000), Duration::from_millis(10));
         assert_eq!(spec.transfer_delay(1), Duration::from_millis(1));
-        assert_eq!(LinkSpec::perfect().transfer_delay(1_000_000), Duration::ZERO);
+        assert_eq!(
+            LinkSpec::perfect().transfer_delay(1_000_000),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -356,7 +372,11 @@ mod tests {
         }
         let stats = net.stats();
         assert_eq!(stats.sent, 200);
-        assert!(stats.dropped > 20 && stats.dropped < 180, "dropped {}", stats.dropped);
+        assert!(
+            stats.dropped > 20 && stats.dropped < 180,
+            "dropped {}",
+            stats.dropped
+        );
         let delivered = net.receive(b, Timestamp(10_000)).len() as u64;
         assert_eq!(delivered + stats.dropped, 200);
     }
@@ -368,10 +388,14 @@ mod tests {
         net.add_node(a).unwrap();
         net.add_node(b).unwrap();
         net.add_node(c).unwrap();
-        net.set_link(a, c, LinkSpec {
-            latency: Duration::from_millis(100),
-            ..LinkSpec::perfect()
-        });
+        net.set_link(
+            a,
+            c,
+            LinkSpec {
+                latency: Duration::from_millis(100),
+                ..LinkSpec::perfect()
+            },
+        );
         net.set_link(b, c, LinkSpec::perfect());
         net.send(a, c, ping(1), Timestamp(0)).unwrap();
         net.send(b, c, ping(2), Timestamp(50)).unwrap();

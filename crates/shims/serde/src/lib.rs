@@ -1,0 +1,11 @@
+//! Offline shim standing in for `serde`: the workspace derives `Serialize`/`Deserialize`
+//! on its data types as annotations only (all real encodings are hand-rolled), so the
+//! traits are empty markers and the derives are no-ops.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

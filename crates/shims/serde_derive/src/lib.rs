@@ -1,0 +1,17 @@
+//! Offline no-op derive shim: the workspace only uses `#[derive(Serialize, Deserialize)]`
+//! as annotations (no code path ever serialises through serde — wire and storage encodings
+//! are hand-rolled), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,7 +14,17 @@ use gsn_types::{GsnError, GsnResult, Value};
 pub fn is_aggregate_function(name: &str) -> bool {
     matches!(
         name.to_ascii_uppercase().as_str(),
-        "AVG" | "SUM" | "COUNT" | "MIN" | "MAX" | "STDDEV" | "STDDEV_POP" | "VAR" | "VARIANCE" | "FIRST" | "LAST"
+        "AVG"
+            | "SUM"
+            | "COUNT"
+            | "MIN"
+            | "MAX"
+            | "STDDEV"
+            | "STDDEV_POP"
+            | "VAR"
+            | "VARIANCE"
+            | "FIRST"
+            | "LAST"
     )
 }
 
@@ -148,10 +158,9 @@ impl Accumulator {
             AggregateKind::Min => {
                 let replace = match &self.min {
                     None => true,
-                    Some(current) => matches!(
-                        value.sql_cmp(current),
-                        Some(std::cmp::Ordering::Less)
-                    ),
+                    Some(current) => {
+                        matches!(value.sql_cmp(current), Some(std::cmp::Ordering::Less))
+                    }
                 };
                 if replace {
                     self.min = Some(value.clone());
@@ -160,10 +169,9 @@ impl Accumulator {
             AggregateKind::Max => {
                 let replace = match &self.max {
                     None => true,
-                    Some(current) => matches!(
-                        value.sql_cmp(current),
-                        Some(std::cmp::Ordering::Greater)
-                    ),
+                    Some(current) => {
+                        matches!(value.sql_cmp(current), Some(std::cmp::Ordering::Greater))
+                    }
                 };
                 if replace {
                     self.max = Some(value.clone());
@@ -249,8 +257,14 @@ mod tests {
         assert!(is_aggregate_function("avg"));
         assert!(is_aggregate_function("CoUnT"));
         assert!(!is_aggregate_function("abs"));
-        assert_eq!(AggregateKind::parse("stddev_pop").unwrap(), AggregateKind::StdDev);
-        assert_eq!(AggregateKind::parse("variance").unwrap(), AggregateKind::Variance);
+        assert_eq!(
+            AggregateKind::parse("stddev_pop").unwrap(),
+            AggregateKind::StdDev
+        );
+        assert_eq!(
+            AggregateKind::parse("variance").unwrap(),
+            AggregateKind::Variance
+        );
         assert!(AggregateKind::parse("median").is_err());
         assert_eq!(AggregateKind::Avg.name(), "AVG");
     }
@@ -273,7 +287,12 @@ mod tests {
 
     #[test]
     fn nulls_are_ignored() {
-        let vals = vec![Value::Null, Value::Integer(4), Value::Null, Value::Integer(6)];
+        let vals = vec![
+            Value::Null,
+            Value::Integer(4),
+            Value::Null,
+            Value::Integer(6),
+        ];
         assert_eq!(run(AggregateKind::Avg, false, &vals), Value::Double(5.0));
         assert_eq!(run(AggregateKind::Count, false, &vals), Value::Integer(2));
     }
@@ -299,16 +318,29 @@ mod tests {
     #[test]
     fn stddev_and_variance() {
         let vals = ints(&[2, 4, 4, 4, 5, 5, 7, 9]);
-        assert_eq!(run(AggregateKind::Variance, false, &vals), Value::Double(4.0));
+        assert_eq!(
+            run(AggregateKind::Variance, false, &vals),
+            Value::Double(4.0)
+        );
         assert_eq!(run(AggregateKind::StdDev, false, &vals), Value::Double(2.0));
         // A single value has zero variance.
-        assert_eq!(run(AggregateKind::StdDev, false, &ints(&[3])), Value::Double(0.0));
+        assert_eq!(
+            run(AggregateKind::StdDev, false, &ints(&[3])),
+            Value::Double(0.0)
+        );
     }
 
     #[test]
     fn min_max_over_strings() {
-        let vals = vec![Value::varchar("bc143"), Value::varchar("aa001"), Value::varchar("zz")];
-        assert_eq!(run(AggregateKind::Min, false, &vals), Value::varchar("aa001"));
+        let vals = vec![
+            Value::varchar("bc143"),
+            Value::varchar("aa001"),
+            Value::varchar("zz"),
+        ];
+        assert_eq!(
+            run(AggregateKind::Min, false, &vals),
+            Value::varchar("aa001")
+        );
         assert_eq!(run(AggregateKind::Max, false, &vals), Value::varchar("zz"));
     }
 

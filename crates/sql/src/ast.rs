@@ -496,7 +496,11 @@ impl fmt::Display for Expr {
                 if *negated { "NOT " } else { "" }
             ),
             Expr::Exists { negated, .. } => {
-                write!(f, "{}EXISTS (<subquery>)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "{}EXISTS (<subquery>)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::ScalarSubquery(_) => write!(f, "(<subquery>)"),
             Expr::Between {
@@ -570,7 +574,11 @@ mod tests {
         let e = Expr::Between {
             expr: Box::new(Expr::qcol("s", "temp")),
             low: Box::new(Expr::col("lo")),
-            high: Box::new(Expr::binary(Expr::col("hi"), BinaryOp::Minus, Expr::lit(1i64))),
+            high: Box::new(Expr::binary(
+                Expr::col("hi"),
+                BinaryOp::Minus,
+                Expr::lit(1i64),
+            )),
             negated: false,
         };
         let cols = e.referenced_columns();
@@ -590,7 +598,10 @@ mod tests {
             )],
             else_expr: Some(Box::new(Expr::lit("neg"))),
         };
-        assert_eq!(case.to_string(), "CASE WHEN (x > 0) THEN 'pos' ELSE 'neg' END");
+        assert_eq!(
+            case.to_string(),
+            "CASE WHEN (x > 0) THEN 'pos' ELSE 'neg' END"
+        );
 
         let isnull = Expr::IsNull {
             expr: Box::new(Expr::col("v")),

@@ -281,7 +281,9 @@ mod tests {
             constant_folding: false,
             predicate_pushdown: false,
         });
-        let p = engine.prepare("select * from readings where 1 = 1").unwrap();
+        let p = engine
+            .prepare("select * from readings where 1 = 1")
+            .unwrap();
         assert!(p.explain().contains("Filter"));
     }
 }

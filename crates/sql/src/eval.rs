@@ -244,18 +244,15 @@ fn eval_unary(op: UnaryOp, v: Value) -> GsnResult<Value> {
             }
             match v.as_boolean() {
                 Some(b) => Ok(Value::Boolean(!b)),
-                None => Err(GsnError::sql_exec(format!("NOT expects a boolean, got `{v}`"))),
+                None => Err(GsnError::sql_exec(format!(
+                    "NOT expects a boolean, got `{v}`"
+                ))),
             }
         }
     }
 }
 
-fn eval_logical(
-    op: BinaryOp,
-    left: &Expr,
-    right: &Expr,
-    ctx: &RowContext<'_>,
-) -> GsnResult<Value> {
+fn eval_logical(op: BinaryOp, left: &Expr, right: &Expr, ctx: &RowContext<'_>) -> GsnResult<Value> {
     let l = evaluate(left, ctx)?;
     let l_bool = if l.is_null() { None } else { l.as_boolean() };
     match op {
@@ -302,10 +299,17 @@ fn compare(l: &Value, r: &Value) -> GsnResult<Option<Ordering>> {
 /// Evaluates a binary (non-logical) operator over two values.
 pub fn eval_binary(op: BinaryOp, l: Value, r: Value) -> GsnResult<Value> {
     match op {
-        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide | BinaryOp::Modulo => {
-            eval_arithmetic(op, l, r)
-        }
-        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+        BinaryOp::Plus
+        | BinaryOp::Minus
+        | BinaryOp::Multiply
+        | BinaryOp::Divide
+        | BinaryOp::Modulo => eval_arithmetic(op, l, r),
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
+        | BinaryOp::GtEq => {
             let Some(ord) = compare(&l, &r)? else {
                 return Ok(Value::Null);
             };
@@ -455,7 +459,9 @@ mod tests {
         assert_eq!(eval_str("light * 2"), Value::Double(961.0));
         assert_eq!(eval_str("-temperature"), Value::Integer(-22));
         assert_eq!(eval_str("fault + 1"), Value::Null);
-        assert!(eval_err("temperature / 0").to_string().contains("division by zero"));
+        assert!(eval_err("temperature / 0")
+            .to_string()
+            .contains("division by zero"));
         assert!(eval_err("temperature % 0").to_string().contains("modulo"));
         assert!(eval_err("room + 1").to_string().contains("numeric"));
     }
@@ -469,8 +475,14 @@ mod tests {
         assert_eq!(eval_str("room = 'bc143'"), Value::Boolean(true));
         assert_eq!(eval_str("fault = 1"), Value::Null);
         assert_eq!(eval_str("fault = 1 and temperature > 0"), Value::Null);
-        assert_eq!(eval_str("fault = 1 and temperature > 100"), Value::Boolean(false));
-        assert_eq!(eval_str("fault = 1 or temperature > 0"), Value::Boolean(true));
+        assert_eq!(
+            eval_str("fault = 1 and temperature > 100"),
+            Value::Boolean(false)
+        );
+        assert_eq!(
+            eval_str("fault = 1 or temperature > 0"),
+            Value::Boolean(true)
+        );
         assert_eq!(eval_str("fault = 1 or temperature > 100"), Value::Null);
         assert_eq!(eval_str("not temperature > 100"), Value::Boolean(true));
         assert_eq!(eval_str("not fault = 1"), Value::Null);
@@ -487,11 +499,23 @@ mod tests {
         assert_eq!(eval_str("fault is not null"), Value::Boolean(false));
         assert_eq!(eval_str("room like 'bc%'"), Value::Boolean(true));
         assert_eq!(eval_str("room not like '%9'"), Value::Boolean(true));
-        assert_eq!(eval_str("temperature between 20 and 25"), Value::Boolean(true));
-        assert_eq!(eval_str("temperature not between 20 and 25"), Value::Boolean(false));
+        assert_eq!(
+            eval_str("temperature between 20 and 25"),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            eval_str("temperature not between 20 and 25"),
+            Value::Boolean(false)
+        );
         assert_eq!(eval_str("fault between 1 and 2"), Value::Null);
-        assert_eq!(eval_str("temperature in (21, 22, 23)"), Value::Boolean(true));
-        assert_eq!(eval_str("temperature not in (21, 23)"), Value::Boolean(true));
+        assert_eq!(
+            eval_str("temperature in (21, 22, 23)"),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            eval_str("temperature not in (21, 23)"),
+            Value::Boolean(true)
+        );
         assert_eq!(eval_str("temperature in (1, null)"), Value::Null);
         assert_eq!(eval_str("temperature in (22, null)"), Value::Boolean(true));
         assert_eq!(eval_str("fault in (1, 2)"), Value::Null);
@@ -522,11 +546,18 @@ mod tests {
     fn casts() {
         assert_eq!(eval_str("cast(temperature as double)"), Value::Double(22.0));
         // 480.5 does not round-trip to an integer, so the cast is rejected.
-        assert!(eval_err("cast(light as integer)").to_string().contains("coerce"));
+        assert!(eval_err("cast(light as integer)")
+            .to_string()
+            .contains("coerce"));
         assert_eq!(eval_str("cast('42' as integer)"), Value::Integer(42));
         assert_eq!(eval_str("cast('2.5' as double)"), Value::Double(2.5));
-        assert_eq!(eval_str("cast(temperature as varchar)"), Value::varchar("22"));
-        assert!(eval_err("cast('abc' as integer)").to_string().contains("cast"));
+        assert_eq!(
+            eval_str("cast(temperature as varchar)"),
+            Value::varchar("22")
+        );
+        assert!(eval_err("cast('abc' as integer)")
+            .to_string()
+            .contains("cast"));
     }
 
     #[test]
@@ -543,7 +574,9 @@ mod tests {
 
     #[test]
     fn aggregates_rejected_in_row_context() {
-        assert!(eval_err("avg(temperature)").to_string().contains("aggregate"));
+        assert!(eval_err("avg(temperature)")
+            .to_string()
+            .contains("aggregate"));
     }
 
     #[test]
@@ -553,7 +586,9 @@ mod tests {
         let ctx = RowContext::new(&cols, &r);
         assert!(evaluate_predicate(&parse_expression("temperature > 0").unwrap(), &ctx).unwrap());
         assert!(!evaluate_predicate(&parse_expression("fault = 1").unwrap(), &ctx).unwrap());
-        assert!(!evaluate_predicate(&parse_expression("temperature > 100").unwrap(), &ctx).unwrap());
+        assert!(
+            !evaluate_predicate(&parse_expression("temperature > 100").unwrap(), &ctx).unwrap()
+        );
     }
 
     #[test]
@@ -563,7 +598,9 @@ mod tests {
 
     #[test]
     fn division_of_doubles_by_zero_errors() {
-        assert!(eval_err("light / 0").to_string().contains("division by zero"));
+        assert!(eval_err("light / 0")
+            .to_string()
+            .contains("division by zero"));
     }
 
     #[test]

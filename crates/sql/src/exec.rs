@@ -350,7 +350,7 @@ fn execute_join(
         }
         if !matched && kind == JoinKind::LeftOuter {
             let mut combined = l_row.clone();
-            combined.extend(std::iter::repeat(Value::Null).take(right_rel.column_count()));
+            combined.extend(std::iter::repeat_n(Value::Null, right_rel.column_count()));
             out.push_row(combined)?;
         }
     }
@@ -358,11 +358,7 @@ fn execute_join(
 }
 
 /// Identifies `l.col = r.col` equality conditions.
-fn equi_join_columns(
-    on: &Expr,
-    left: &Relation,
-    right: &Relation,
-) -> Option<(usize, usize)> {
+fn equi_join_columns(on: &Expr, left: &Relation, right: &Relation) -> Option<(usize, usize)> {
     if let Expr::Binary {
         left: a,
         op: crate::ast::BinaryOp::Eq,
@@ -516,9 +512,7 @@ fn execute_aggregate(
         })
         .collect::<GsnResult<_>>()?;
     let rewritten_having = having
-        .map(|h| {
-            extract_aggregates(resolve_subqueries(h.clone(), catalog)?, &mut aggregates)
-        })
+        .map(|h| extract_aggregates(resolve_subqueries(h.clone(), catalog)?, &mut aggregates))
         .transpose()?;
 
     // Group rows by the GROUP BY key.
@@ -569,7 +563,10 @@ fn execute_aggregate(
     for (i, g) in group_by.iter().enumerate() {
         let name = match g {
             Expr::Column { name, .. } => name.clone(),
-            other => format!("GROUP_{}", { let _ = other; i + 1 }),
+            other => format!("GROUP_{}", {
+                let _ = other;
+                i + 1
+            }),
         };
         ctx_columns.push(ColumnInfo::new(None, &name, None));
     }
@@ -621,10 +618,7 @@ fn eval_group_item(
 
 /// Replaces aggregate calls in `expr` with placeholder column references, recording each
 /// extracted aggregate.
-fn extract_aggregates(
-    expr: Expr,
-    aggregates: &mut Vec<ExtractedAggregate>,
-) -> GsnResult<Expr> {
+fn extract_aggregates(expr: Expr, aggregates: &mut Vec<ExtractedAggregate>) -> GsnResult<Expr> {
     Ok(match expr {
         Expr::Function {
             name,
@@ -638,8 +632,14 @@ fn extract_aggregates(
                 )));
             }
             let arg = args.into_iter().next();
-            if arg.as_ref().map(|a| a.contains_aggregate()).unwrap_or(false) {
-                return Err(GsnError::sql_exec("nested aggregate functions are not allowed"));
+            if arg
+                .as_ref()
+                .map(|a| a.contains_aggregate())
+                .unwrap_or(false)
+            {
+                return Err(GsnError::sql_exec(
+                    "nested aggregate functions are not allowed",
+                ));
             }
             let placeholder = format!("__AGG_{}", aggregates.len());
             aggregates.push(ExtractedAggregate {
@@ -896,9 +896,21 @@ mod tests {
                 ColumnInfo::new(None, "light", Some(DataType::Double)),
             ],
             vec![
-                vec![Value::varchar("bc143"), Value::Integer(21), Value::Double(400.0)],
-                vec![Value::varchar("bc143"), Value::Integer(23), Value::Double(420.0)],
-                vec![Value::varchar("bc144"), Value::Integer(30), Value::Double(100.0)],
+                vec![
+                    Value::varchar("bc143"),
+                    Value::Integer(21),
+                    Value::Double(400.0),
+                ],
+                vec![
+                    Value::varchar("bc143"),
+                    Value::Integer(23),
+                    Value::Double(420.0),
+                ],
+                vec![
+                    Value::varchar("bc144"),
+                    Value::Integer(30),
+                    Value::Double(100.0),
+                ],
                 vec![Value::varchar("bc145"), Value::Null, Value::Double(0.0)],
             ],
         )
@@ -1013,10 +1025,8 @@ mod tests {
 
     #[test]
     fn inner_join_hash_path() {
-        let r = run(
-            "select m.room, m.temperature, c.image_size from motes m \
-             join cameras c on m.room = c.room order by m.temperature",
-        );
+        let r = run("select m.room, m.temperature, c.image_size from motes m \
+             join cameras c on m.room = c.room order by m.temperature");
         assert_eq!(r.row_count(), 3);
         assert_eq!(r.rows()[0][2], Value::Integer(32_000));
         assert_eq!(r.rows()[2][0], Value::varchar("bc144"));
@@ -1086,9 +1096,11 @@ mod tests {
 
     #[test]
     fn set_operation_arity_mismatch() {
-        assert!(run_err("select room, temperature from motes union select room from cameras")
-            .to_string()
-            .contains("equal column counts"));
+        assert!(
+            run_err("select room, temperature from motes union select room from cameras")
+                .to_string()
+                .contains("equal column counts")
+        );
     }
 
     #[test]
@@ -1097,9 +1109,12 @@ mod tests {
         assert_eq!(r.row_count(), 2);
         let r = run("select room from cameras where room not in (select room from motes)");
         assert_eq!(r.row_count(), 1);
-        let r = run("select room from motes where exists (select 1 from cameras where image_size > 50000)");
+        let r = run(
+            "select room from motes where exists (select 1 from cameras where image_size > 50000)",
+        );
         assert_eq!(r.row_count(), 4);
-        let r = run("select room from motes where temperature > (select avg(temperature) from motes)");
+        let r =
+            run("select room from motes where temperature > (select avg(temperature) from motes)");
         assert_eq!(r.row_count(), 1);
         assert_eq!(r.rows()[0][0], Value::varchar("bc144"));
     }
@@ -1131,17 +1146,23 @@ mod tests {
 
     #[test]
     fn errors_surface() {
-        assert!(run_err("select * from nosuchtable").to_string().contains("unknown table"));
-        assert!(run_err("select nosuchcolumn from motes").to_string().contains("unknown column"));
+        assert!(run_err("select * from nosuchtable")
+            .to_string()
+            .contains("unknown table"));
+        assert!(run_err("select nosuchcolumn from motes")
+            .to_string()
+            .contains("unknown column"));
         assert!(run_err("select avg(avg(temperature)) from motes")
             .to_string()
             .contains("nested aggregate"));
         assert!(run_err("select avg(temperature, light) from motes")
             .to_string()
             .contains("at most one argument"));
-        assert!(run_err("select room from motes where room in (select * from cameras)")
-            .to_string()
-            .contains("exactly one column"));
+        assert!(
+            run_err("select room from motes where room in (select * from cameras)")
+                .to_string()
+                .contains("exactly one column")
+        );
         assert!(run_err("select (select room from cameras) from motes")
             .to_string()
             .contains("rows"));

@@ -49,7 +49,11 @@ pub const SCALAR_FUNCTIONS: &[&str] = &[
     "LEAST",
 ];
 
-fn check_arity(name: &str, args: &[Value], expected: std::ops::RangeInclusive<usize>) -> GsnResult<()> {
+fn check_arity(
+    name: &str,
+    args: &[Value],
+    expected: std::ops::RangeInclusive<usize>,
+) -> GsnResult<()> {
     if expected.contains(&args.len()) {
         Ok(())
     } else {
@@ -66,9 +70,9 @@ fn numeric_arg(name: &str, v: &Value) -> GsnResult<Option<f64>> {
     if v.is_null() {
         return Ok(None);
     }
-    v.as_double().map(Some).ok_or_else(|| {
-        GsnError::sql_exec(format!("{name} expects a numeric argument, got `{v}`"))
-    })
+    v.as_double()
+        .map(Some)
+        .ok_or_else(|| GsnError::sql_exec(format!("{name} expects a numeric argument, got `{v}`")))
 }
 
 fn string_arg(_name: &str, v: &Value) -> GsnResult<Option<String>> {
@@ -126,7 +130,10 @@ pub fn eval_scalar_function(name: &str, args: &[Value]) -> GsnResult<Value> {
         }
         "POWER" | "POW" => {
             check_arity(&upper, args, 2..=2)?;
-            match (numeric_arg(&upper, &args[0])?, numeric_arg(&upper, &args[1])?) {
+            match (
+                numeric_arg(&upper, &args[0])?,
+                numeric_arg(&upper, &args[1])?,
+            ) {
                 (Some(a), Some(b)) => Ok(Value::Double(a.powf(b))),
                 _ => Ok(Value::Null),
             }
@@ -337,7 +344,10 @@ mod tests {
             Value::Integer(1)
         );
         assert!(eval_scalar_function("MOD", &[Value::Integer(7), Value::Integer(0)]).is_err());
-        assert_eq!(call("ROUND", vec![Value::Double(2.567)]), Value::Double(3.0));
+        assert_eq!(
+            call("ROUND", vec![Value::Double(2.567)]),
+            Value::Double(3.0)
+        );
         assert_eq!(
             call("ROUND", vec![Value::Double(2.567), Value::Integer(2)]),
             Value::Double(2.57)
@@ -362,28 +372,63 @@ mod tests {
 
     #[test]
     fn string_functions() {
-        assert_eq!(call("UPPER", vec![Value::varchar("abc")]), Value::varchar("ABC"));
-        assert_eq!(call("LOWER", vec![Value::varchar("ABC")]), Value::varchar("abc"));
-        assert_eq!(call("TRIM", vec![Value::varchar("  x ")]), Value::varchar("x"));
-        assert_eq!(call("LTRIM", vec![Value::varchar("  x ")]), Value::varchar("x "));
-        assert_eq!(call("RTRIM", vec![Value::varchar("  x ")]), Value::varchar("  x"));
-        assert_eq!(call("LENGTH", vec![Value::varchar("héllo")]), Value::Integer(5));
         assert_eq!(
-            call("SUBSTR", vec![Value::varchar("temperature"), Value::Integer(1), Value::Integer(4)]),
+            call("UPPER", vec![Value::varchar("abc")]),
+            Value::varchar("ABC")
+        );
+        assert_eq!(
+            call("LOWER", vec![Value::varchar("ABC")]),
+            Value::varchar("abc")
+        );
+        assert_eq!(
+            call("TRIM", vec![Value::varchar("  x ")]),
+            Value::varchar("x")
+        );
+        assert_eq!(
+            call("LTRIM", vec![Value::varchar("  x ")]),
+            Value::varchar("x ")
+        );
+        assert_eq!(
+            call("RTRIM", vec![Value::varchar("  x ")]),
+            Value::varchar("  x")
+        );
+        assert_eq!(
+            call("LENGTH", vec![Value::varchar("héllo")]),
+            Value::Integer(5)
+        );
+        assert_eq!(
+            call(
+                "SUBSTR",
+                vec![
+                    Value::varchar("temperature"),
+                    Value::Integer(1),
+                    Value::Integer(4)
+                ]
+            ),
             Value::varchar("temp")
         );
         assert_eq!(
-            call("SUBSTR", vec![Value::varchar("temperature"), Value::Integer(5)]),
+            call(
+                "SUBSTR",
+                vec![Value::varchar("temperature"), Value::Integer(5)]
+            ),
             Value::varchar("erature")
         );
         assert_eq!(
-            call("CONCAT", vec![Value::varchar("a"), Value::Integer(1), Value::varchar("b")]),
+            call(
+                "CONCAT",
+                vec![Value::varchar("a"), Value::Integer(1), Value::varchar("b")]
+            ),
             Value::varchar("a1b")
         );
         assert_eq!(
             call(
                 "REPLACE",
-                vec![Value::varchar("a-b-c"), Value::varchar("-"), Value::varchar("+")]
+                vec![
+                    Value::varchar("a-b-c"),
+                    Value::varchar("-"),
+                    Value::varchar("+")
+                ]
             ),
             Value::varchar("a+b+c")
         );
@@ -407,7 +452,10 @@ mod tests {
     #[test]
     fn conditional_functions() {
         assert_eq!(
-            call("COALESCE", vec![Value::Null, Value::Null, Value::Integer(3)]),
+            call(
+                "COALESCE",
+                vec![Value::Null, Value::Null, Value::Integer(3)]
+            ),
             Value::Integer(3)
         );
         assert_eq!(call("COALESCE", vec![Value::Null]), Value::Null);
@@ -432,7 +480,10 @@ mod tests {
     #[test]
     fn greatest_and_least() {
         assert_eq!(
-            call("GREATEST", vec![Value::Integer(1), Value::Double(2.5), Value::Integer(2)]),
+            call(
+                "GREATEST",
+                vec![Value::Integer(1), Value::Double(2.5), Value::Integer(2)]
+            ),
             Value::Double(2.5)
         );
         assert_eq!(
@@ -443,11 +494,9 @@ mod tests {
             call("GREATEST", vec![Value::Integer(1), Value::Null]),
             Value::Null
         );
-        assert!(eval_scalar_function(
-            "GREATEST",
-            &[Value::Integer(1), Value::varchar("x")]
-        )
-        .is_err());
+        assert!(
+            eval_scalar_function("GREATEST", &[Value::Integer(1), Value::varchar("x")]).is_err()
+        );
     }
 
     #[test]

@@ -280,7 +280,10 @@ fn is_foldable_constant(expr: &Expr) -> bool {
                 && branches
                     .iter()
                     .all(|(w, t)| is_foldable_constant(w) && is_foldable_constant(t))
-                && else_expr.as_deref().map(is_foldable_constant).unwrap_or(true)
+                && else_expr
+                    .as_deref()
+                    .map(is_foldable_constant)
+                    .unwrap_or(true)
         }
         Expr::Cast { expr, .. } => is_foldable_constant(expr),
     }
@@ -541,7 +544,10 @@ mod tests {
         let parts = split_conjuncts(&e);
         assert_eq!(parts.len(), 3);
         let rejoined = join_conjuncts(parts).unwrap();
-        assert_eq!(rejoined.to_string(), "(((a = 1) AND (b = 2)) AND c LIKE 'x%')");
+        assert_eq!(
+            rejoined.to_string(),
+            "(((a = 1) AND (b = 2)) AND c LIKE 'x%')"
+        );
         assert!(join_conjuncts(vec![]).is_none());
     }
 
@@ -579,11 +585,11 @@ mod tests {
         );
         let explain = p.explain();
         let join_line = explain.lines().position(|l| l.contains("Join")).unwrap();
-        let filter_line = explain
-            .lines()
-            .position(|l| l.contains("Filter"))
-            .unwrap();
-        assert!(filter_line < join_line, "filter must stay above the outer join:\n{explain}");
+        let filter_line = explain.lines().position(|l| l.contains("Filter")).unwrap();
+        assert!(
+            filter_line < join_line,
+            "filter must stay above the outer join:\n{explain}"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(sql: &'a str, tokens: Vec<Token>) -> Parser<'a> {
-        Parser { sql, tokens, pos: 0 }
+        Parser {
+            sql,
+            tokens,
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -55,7 +59,9 @@ impl<'a> Parser<'a> {
     }
 
     fn advance(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -326,9 +332,9 @@ impl<'a> Parser<'a> {
             let subquery = self.parse_query()?;
             self.expect(&TokenKind::RightParen)?;
             self.consume_keyword(Keyword::As);
-            let alias = self.expect_identifier().map_err(|_| {
-                self.error("derived table (subquery in FROM) requires an alias")
-            })?;
+            let alias = self
+                .expect_identifier()
+                .map_err(|_| self.error("derived table (subquery in FROM) requires an alias"))?;
             return Ok(TableFactor::Derived {
                 subquery: Box::new(subquery),
                 alias,
@@ -689,8 +695,14 @@ mod tests {
         let w = q.body.selection.unwrap();
         // OR binds loosest: ((a=1 AND b>2) OR c<3)
         match w {
-            Expr::Binary { op: BinaryOp::Or, left, .. } => match *left {
-                Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Or,
+                left,
+                ..
+            } => match *left {
+                Expr::Binary {
+                    op: BinaryOp::And, ..
+                } => {}
                 other => panic!("expected AND on the left, got {other}"),
             },
             other => panic!("expected OR at the top, got {other}"),
@@ -778,9 +790,12 @@ mod tests {
 
     #[test]
     fn parses_subqueries() {
-        let q = parse_query("select * from (select a from t) s where a in (select a from u)")
-            .unwrap();
-        assert!(matches!(q.body.from[0].relation, TableFactor::Derived { .. }));
+        let q =
+            parse_query("select * from (select a from t) s where a in (select a from u)").unwrap();
+        assert!(matches!(
+            q.body.from[0].relation,
+            TableFactor::Derived { .. }
+        ));
         assert!(matches!(q.body.selection, Some(Expr::InSubquery { .. })));
 
         let q = parse_query("select * from t where exists (select 1 from u)").unwrap();
@@ -817,7 +832,13 @@ mod tests {
         let e = parse_expression("x is not null").unwrap();
         assert!(matches!(e, Expr::IsNull { negated: true, .. }));
         let e = parse_expression("not x = 1").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -827,7 +848,11 @@ mod tests {
         )
         .unwrap();
         match e {
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 assert!(operand.is_none());
                 assert_eq!(branches.len(), 2);
                 assert!(else_expr.is_some());
@@ -835,9 +860,21 @@ mod tests {
             _ => panic!(),
         }
         let e = parse_expression("case status when 1 then 'on' end").unwrap();
-        assert!(matches!(e, Expr::Case { operand: Some(_), .. }));
+        assert!(matches!(
+            e,
+            Expr::Case {
+                operand: Some(_),
+                ..
+            }
+        ));
         let e = parse_expression("cast(temp as double)").unwrap();
-        assert!(matches!(e, Expr::Cast { data_type: DataType::Double, .. }));
+        assert!(matches!(
+            e,
+            Expr::Cast {
+                data_type: DataType::Double,
+                ..
+            }
+        ));
         assert!(parse_expression("cast(temp as nosuchtype)").is_err());
         assert!(parse_expression("case end").is_err());
     }
@@ -846,7 +883,15 @@ mod tests {
     fn parses_count_star_and_distinct() {
         let q = parse_query("select count(*), count(distinct room) from t").unwrap();
         match &q.body.projection[0] {
-            SelectItem::Expr { expr: Expr::Function { name, args, distinct }, .. } => {
+            SelectItem::Expr {
+                expr:
+                    Expr::Function {
+                        name,
+                        args,
+                        distinct,
+                    },
+                ..
+            } => {
                 assert_eq!(name, "COUNT");
                 assert!(args.is_empty());
                 assert!(!distinct);
@@ -854,7 +899,10 @@ mod tests {
             _ => panic!(),
         }
         match &q.body.projection[1] {
-            SelectItem::Expr { expr: Expr::Function { distinct, args, .. }, .. } => {
+            SelectItem::Expr {
+                expr: Expr::Function { distinct, args, .. },
+                ..
+            } => {
                 assert!(*distinct);
                 assert_eq!(args.len(), 1);
             }
@@ -877,7 +925,10 @@ mod tests {
 
     #[test]
     fn parses_boolean_and_null_literals() {
-        assert_eq!(parse_expression("null").unwrap(), Expr::Literal(Value::Null));
+        assert_eq!(
+            parse_expression("null").unwrap(),
+            Expr::Literal(Value::Null)
+        );
         assert_eq!(
             parse_expression("true").unwrap(),
             Expr::Literal(Value::Boolean(true))

@@ -206,7 +206,9 @@ impl LogicalPlan {
                 Some(e) => format!("{kind} Join ON {e}"),
                 None => format!("{kind} Join"),
             },
-            LogicalPlan::Project { items, wildcards, .. } => {
+            LogicalPlan::Project {
+                items, wildcards, ..
+            } => {
                 let mut parts: Vec<String> = wildcards
                     .iter()
                     .map(|w| match w {
@@ -218,10 +220,16 @@ impl LogicalPlan {
                 format!("Project {}", parts.join(", "))
             }
             LogicalPlan::Aggregate {
-                group_by, items, having, ..
+                group_by,
+                items,
+                having,
+                ..
             } => {
                 let groups: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
-                let outs: Vec<String> = items.iter().map(|i| format!("{} AS {}", i.expr, i.name)).collect();
+                let outs: Vec<String> = items
+                    .iter()
+                    .map(|i| format!("{} AS {}", i.expr, i.name))
+                    .collect();
                 let mut s = format!("Aggregate [{}] -> [{}]", groups.join(", "), outs.join(", "));
                 if let Some(h) = having {
                     s.push_str(&format!(" HAVING {h}"));
@@ -232,9 +240,7 @@ impl LogicalPlan {
             LogicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|k| {
-                        format!("{} {}", k.expr, if k.ascending { "ASC" } else { "DESC" })
-                    })
+                    .map(|k| format!("{} {}", k.expr, if k.ascending { "ASC" } else { "DESC" }))
                     .collect();
                 format!("Sort {}", ks.join(", "))
             }
@@ -330,25 +336,28 @@ fn sort_below_projection(plan: &LogicalPlan, keys: &[SortKey]) -> bool {
         return false;
     };
     keys.iter().all(|key| {
-        key.expr.referenced_columns().iter().all(|(qualifier, name)| {
-            if qualifier.is_some() {
-                // Qualified names always refer to base relations below the projection.
-                return true;
-            }
-            match items
-                .iter()
-                .find(|item| item.name.eq_ignore_ascii_case(name))
-            {
-                // The key names a projection output: only safe below when that output is a
-                // plain pass-through column with the same name.
-                Some(item) => matches!(
-                    &item.expr,
-                    Expr::Column { name: col, .. } if col.eq_ignore_ascii_case(name)
-                ),
-                // Not a projection output: it must be an input column, i.e. below.
-                None => true,
-            }
-        })
+        key.expr
+            .referenced_columns()
+            .iter()
+            .all(|(qualifier, name)| {
+                if qualifier.is_some() {
+                    // Qualified names always refer to base relations below the projection.
+                    return true;
+                }
+                match items
+                    .iter()
+                    .find(|item| item.name.eq_ignore_ascii_case(name))
+                {
+                    // The key names a projection output: only safe below when that output is a
+                    // plain pass-through column with the same name.
+                    Some(item) => matches!(
+                        &item.expr,
+                        Expr::Column { name: col, .. } if col.eq_ignore_ascii_case(name)
+                    ),
+                    // Not a projection output: it must be an input column, i.e. below.
+                    None => true,
+                }
+            })
     })
 }
 
@@ -519,7 +528,11 @@ mod tests {
     fn plans_simple_select() {
         let p = plan("select * from src1");
         match &p {
-            LogicalPlan::Project { input, items, wildcards } => {
+            LogicalPlan::Project {
+                input,
+                items,
+                wildcards,
+            } => {
                 assert!(items.is_empty());
                 assert_eq!(wildcards, &vec![None]);
                 assert!(matches!(**input, LogicalPlan::Scan { .. }));
@@ -541,7 +554,12 @@ mod tests {
     fn plans_aggregates_with_group_by() {
         let p = plan("select room, avg(temp) from motes group by room having avg(temp) > 20");
         match &p {
-            LogicalPlan::Aggregate { group_by, items, having, .. } => {
+            LogicalPlan::Aggregate {
+                group_by,
+                items,
+                having,
+                ..
+            } => {
                 assert_eq!(group_by.len(), 1);
                 assert_eq!(items.len(), 2);
                 assert_eq!(items[0].name, "ROOM");
@@ -564,8 +582,18 @@ mod tests {
         // Top: Project -> Join(Cross) -> [Join(Inner), Scan c]
         match &p {
             LogicalPlan::Project { input, .. } => match &**input {
-                LogicalPlan::Join { kind: JoinKind::Cross, left, .. } => {
-                    assert!(matches!(**left, LogicalPlan::Join { kind: JoinKind::Inner, .. }));
+                LogicalPlan::Join {
+                    kind: JoinKind::Cross,
+                    left,
+                    ..
+                } => {
+                    assert!(matches!(
+                        **left,
+                        LogicalPlan::Join {
+                            kind: JoinKind::Inner,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected inner {other:?}"),
             },
@@ -575,17 +603,27 @@ mod tests {
 
     #[test]
     fn plans_order_limit_distinct_setops() {
-        let p = plan(
-            "select distinct a from t union select a from u order by a desc limit 5 offset 2",
-        );
+        let p =
+            plan("select distinct a from t union select a from u order by a desc limit 5 offset 2");
         match &p {
-            LogicalPlan::Limit { limit, offset, input } => {
+            LogicalPlan::Limit {
+                limit,
+                offset,
+                input,
+            } => {
                 assert_eq!(*limit, Some(5));
                 assert_eq!(*offset, 2);
                 match &**input {
                     LogicalPlan::Sort { keys, input } => {
                         assert!(!keys[0].ascending);
-                        assert!(matches!(**input, LogicalPlan::SetOp { op: SetOperator::Union, all: false, .. }));
+                        assert!(matches!(
+                            **input,
+                            LogicalPlan::SetOp {
+                                op: SetOperator::Union,
+                                all: false,
+                                ..
+                            }
+                        ));
                     }
                     other => panic!("unexpected {other:?}"),
                 }

@@ -95,14 +95,12 @@ impl Relation {
         }
     }
 
-    /// Builds a relation from stream elements, exposing the implicit `PK` and `TIMED`
-    /// columns in addition to the schema fields — exactly what GSN's window unnesting
-    /// produces before the per-source query runs.
-    pub fn from_stream_elements(
-        qualifier: &str,
-        schema: &StreamSchema,
-        elements: &[StreamElement],
-    ) -> Relation {
+    /// An empty relation shaped for a stream's elements: the implicit `PK` and `TIMED`
+    /// columns followed by the schema fields.  Rows are added with
+    /// [`push_stream_element`](Self::push_stream_element) — this is the streaming entry
+    /// point the storage layer uses to materialise windows without first building a
+    /// vector of elements.
+    pub fn for_stream_schema(qualifier: &str, schema: &StreamSchema) -> Relation {
         let mut columns = vec![
             ColumnInfo::new(Some(qualifier), StreamSchema::PK, Some(DataType::Integer)),
             ColumnInfo::new(
@@ -118,17 +116,38 @@ impl Relation {
                 Some(field.data_type),
             ));
         }
-        let rows = elements
-            .iter()
-            .map(|e| {
-                let mut row = Vec::with_capacity(schema.len() + 2);
-                row.push(Value::Integer(e.sequence() as i64));
-                row.push(Value::Timestamp(e.timestamp()));
-                row.extend_from_slice(e.values());
-                row
-            })
-            .collect();
-        Relation { columns, rows }
+        Relation {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one stream element as a row (`PK`, `TIMED`, then the field values).
+    /// The relation must have been created by [`for_stream_schema`](Self::for_stream_schema)
+    /// with a matching schema.
+    pub fn push_stream_element(&mut self, element: &StreamElement) {
+        let mut row = Vec::with_capacity(self.columns.len());
+        row.push(Value::Integer(element.sequence() as i64));
+        row.push(Value::Timestamp(element.timestamp()));
+        row.extend_from_slice(element.values());
+        debug_assert_eq!(row.len(), self.columns.len());
+        self.rows.push(row);
+    }
+
+    /// Builds a relation from stream elements, exposing the implicit `PK` and `TIMED`
+    /// columns in addition to the schema fields — exactly what GSN's window unnesting
+    /// produces before the per-source query runs.
+    pub fn from_stream_elements(
+        qualifier: &str,
+        schema: &StreamSchema,
+        elements: &[StreamElement],
+    ) -> Relation {
+        let mut relation = Relation::for_stream_schema(qualifier, schema);
+        relation.rows.reserve(elements.len());
+        for element in elements {
+            relation.push_stream_element(element);
+        }
+        relation
     }
 
     /// The column metadata.
@@ -417,8 +436,7 @@ mod tests {
     #[test]
     fn to_stream_element_empty_relation_is_none() {
         let rel = Relation::new(vec![ColumnInfo::new(None, "a", None)]);
-        let out_schema =
-            Arc::new(StreamSchema::from_pairs(&[("a", DataType::Integer)]).unwrap());
+        let out_schema = Arc::new(StreamSchema::from_pairs(&[("a", DataType::Integer)]).unwrap());
         assert!(rel
             .to_stream_element(&out_schema, Timestamp(0))
             .unwrap()

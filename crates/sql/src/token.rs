@@ -460,7 +460,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -511,14 +515,8 @@ mod tests {
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(
-            kinds("'hello'")[0],
-            TokenKind::StringLit("hello".into())
-        );
-        assert_eq!(
-            kinds("'it''s'")[0],
-            TokenKind::StringLit("it's".into())
-        );
+        assert_eq!(kinds("'hello'")[0], TokenKind::StringLit("hello".into()));
+        assert_eq!(kinds("'it''s'")[0], TokenKind::StringLit("it's".into()));
         assert!(tokenize("'unterminated").is_err());
     }
 

@@ -1,0 +1,1090 @@
+//! Pluggable storage backends for [`crate::StreamTable`]: in-memory vectors or the
+//! persistent page engine.
+//!
+//! The paper's storage layer "provid[es] and manag[es] persistent storage for data
+//! streams" (Section 4) — the original GSN delegated this to MySQL tables.  GSN-RS keeps
+//! the same split behind one trait:
+//!
+//! * [`MemoryBackend`] — the seed behaviour: elements in a `Vec`, exact retention,
+//!   zero-copy window evaluation. Right for bounded source windows.
+//! * [`PersistentBackend`] — a heap file of slotted pages behind a bounded
+//!   [`BufferPool`], with a write-ahead log for rows that have not reached a page on
+//!   disk yet.  Tables can grow far beyond RAM; windowed scans stream through the pool.
+//!
+//! ### Persistent write path
+//!
+//! `append` encodes the row once, logs it to the WAL (durability), then places it in the
+//! tail page inside the buffer pool (dirty pages reach disk on eviction or checkpoint).
+//! A checkpoint — triggered by WAL growth or [`StorageBackend::flush`] — flushes dirty
+//! pages, fsyncs the heap, persists the prune watermark and resets the WAL.
+//! [`crate::StreamTable`] flushes on drop, so a cleanly dropped container checkpoints.
+//!
+//! ### Recovery
+//!
+//! Opening an existing table scans the heap front to back (rebuilding the per-page
+//! index: row counts, timestamp ranges, byte totals), truncates at the first torn page,
+//! then replays WAL rows whose sequence exceeds the highest heap sequence.  Rows that
+//! reached disk through an evicted dirty page are therefore never duplicated, and rows
+//! that only made it to the log are never lost.
+//!
+//! ### Pruning
+//!
+//! Persistent tables prune at *page granularity*: a logical watermark advances over
+//! whole dead pages, which scans then skip (no file rewriting).  A persistent table may
+//! briefly retain slightly more history than an exact in-memory table would — windows
+//! re-filter at read time, so query results are identical.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gsn_types::{codec, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp};
+use parking_lot::Mutex;
+
+use crate::buffer::{BufferPool, BufferPoolStats, PageIo};
+use crate::heap::HeapFile;
+use crate::page::{Page, PageId, MAX_INLINE_RECORD};
+use crate::wal::{SyncMode, Wal};
+use crate::window::WindowSpec;
+
+/// Which engine backs a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Elements held in an in-memory vector.
+    Memory,
+    /// Elements in a page file behind a buffer pool.
+    Persistent,
+}
+
+/// Tuning knobs for [`PersistentBackend`].
+#[derive(Debug, Clone)]
+pub struct PersistentOptions {
+    /// Buffer-pool page budget per table (resident memory ≈ `pool_pages` × 8 KiB).
+    pub pool_pages: usize,
+    /// WAL durability mode.
+    pub sync: SyncMode,
+    /// Auto-checkpoint once the WAL exceeds this many bytes.
+    pub wal_checkpoint_bytes: u64,
+}
+
+impl Default for PersistentOptions {
+    fn default() -> Self {
+        PersistentOptions {
+            pool_pages: 64,
+            sync: SyncMode::default(),
+            wal_checkpoint_bytes: 4 << 20,
+        }
+    }
+}
+
+/// The storage engine behind one stream table.
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Which engine this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Appends an element (already carrying its sequence number).
+    fn append(&mut self, element: &StreamElement) -> GsnResult<()>;
+
+    /// Number of live (unpruned) elements.
+    fn len(&self) -> usize;
+
+    /// True when no live element is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recently appended element.
+    fn last(&self) -> Option<StreamElement>;
+
+    /// Timestamp of the oldest live element.
+    fn first_timestamp(&self) -> GsnResult<Option<Timestamp>>;
+
+    /// Payload bytes currently retained (page-granular for persistent tables).
+    fn retained_bytes(&self) -> usize;
+
+    /// Highest sequence number ever appended (0 when empty) — recovery hands this to the
+    /// table so numbering continues across restarts.
+    fn max_sequence(&self) -> u64;
+
+    /// Streams the elements selected by `window` at `now`, oldest first, through
+    /// `visit`. Persistent backends read through the buffer pool; memory stays
+    /// zero-copy.
+    fn scan_window(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        visit: &mut dyn FnMut(&StreamElement),
+    ) -> GsnResult<()>;
+
+    /// Drops the oldest elements so that at most `keep` remain (persistent backends may
+    /// keep more — page granularity). Returns how many were pruned.
+    fn prune_to_elements(&mut self, keep: usize) -> GsnResult<u64>;
+
+    /// Drops elements older than `cutoff`, always keeping at least `min_keep` of the
+    /// newest. Returns how many were pruned.
+    fn prune_horizon(&mut self, cutoff: Timestamp, min_keep: usize) -> GsnResult<u64>;
+
+    /// Forces all state to stable storage (checkpoint). No-op for memory tables.
+    fn flush(&mut self) -> GsnResult<()>;
+
+    /// Buffer-pool counters, when the backend has one.
+    fn pool_stats(&self) -> Option<BufferPoolStats>;
+
+    /// Removes any on-disk state (table dropped).
+    fn destroy(self: Box<Self>) -> GsnResult<()>;
+}
+
+// ---------------------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------------------
+
+/// The seed's storage: a plain vector with exact retention.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    elements: Vec<StreamElement>,
+    bytes: usize,
+}
+
+impl MemoryBackend {
+    /// An empty in-memory table.
+    pub fn new() -> MemoryBackend {
+        MemoryBackend::default()
+    }
+
+    fn drop_front(&mut self, count: usize) {
+        for e in &self.elements[..count] {
+            self.bytes = self.bytes.saturating_sub(e.size_bytes());
+        }
+        self.elements.drain(..count);
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Memory
+    }
+
+    fn append(&mut self, element: &StreamElement) -> GsnResult<()> {
+        self.bytes += element.size_bytes();
+        self.elements.push(element.clone());
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    fn last(&self) -> Option<StreamElement> {
+        self.elements.last().cloned()
+    }
+
+    fn first_timestamp(&self) -> GsnResult<Option<Timestamp>> {
+        Ok(self.elements.first().map(StreamElement::timestamp))
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn max_sequence(&self) -> u64 {
+        self.elements
+            .last()
+            .map(StreamElement::sequence)
+            .unwrap_or(0)
+    }
+
+    fn scan_window(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        visit: &mut dyn FnMut(&StreamElement),
+    ) -> GsnResult<()> {
+        for element in window.select(&self.elements, now) {
+            visit(element);
+        }
+        Ok(())
+    }
+
+    fn prune_to_elements(&mut self, keep: usize) -> GsnResult<u64> {
+        let drop = self.elements.len().saturating_sub(keep);
+        if drop > 0 {
+            self.drop_front(drop);
+        }
+        Ok(drop as u64)
+    }
+
+    fn prune_horizon(&mut self, cutoff: Timestamp, min_keep: usize) -> GsnResult<u64> {
+        let by_time = self.elements.partition_point(|e| e.timestamp() < cutoff);
+        let drop = by_time.min(self.elements.len().saturating_sub(min_keep));
+        if drop > 0 {
+            self.drop_front(drop);
+        }
+        Ok(drop as u64)
+    }
+
+    fn flush(&mut self) -> GsnResult<()> {
+        Ok(())
+    }
+
+    fn pool_stats(&self) -> Option<BufferPoolStats> {
+        None
+    }
+
+    fn destroy(self: Box<Self>) -> GsnResult<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Persistent backend
+// ---------------------------------------------------------------------------------------
+
+/// Record chunk tags: rows larger than a page are chained across pages.
+const CHUNK_FULL: u8 = 0;
+const CHUNK_START: u8 = 1;
+const CHUNK_MID: u8 = 2;
+const CHUNK_END: u8 = 3;
+
+/// Largest chunk payload per page record (one tag byte of framing).
+const MAX_CHUNK_PAYLOAD: usize = MAX_INLINE_RECORD - 1;
+
+/// In-memory index entry for one heap page (small and fixed-size: the index for a
+/// gigabyte heap is a few hundred kilobytes).
+#[derive(Debug, Clone)]
+struct PageInfo {
+    /// Global index of the first row starting at or after this page (pre-prune
+    /// numbering).
+    first_row: u64,
+    /// Number of complete rows starting in this page.
+    rows: u32,
+    /// Minimum / maximum row timestamp touching this page (i64 millis).
+    min_ts: i64,
+    max_ts: i64,
+    /// Payload bytes of rows starting in this page.
+    bytes: u64,
+}
+
+impl PageInfo {
+    fn empty(first_row: u64) -> PageInfo {
+        PageInfo {
+            first_row,
+            rows: 0,
+            min_ts: i64::MAX,
+            max_ts: i64::MIN,
+            bytes: 0,
+        }
+    }
+
+    fn touch(&mut self, ts: Timestamp) {
+        self.min_ts = self.min_ts.min(ts.as_millis());
+        self.max_ts = self.max_ts.max(ts.as_millis());
+    }
+
+    /// Global index one past the last row starting in this page.
+    fn end_row(&self) -> u64 {
+        self.first_row + u64::from(self.rows)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    heap: HeapFile,
+    wal: Wal,
+    pool: BufferPool,
+    pages: Vec<PageInfo>,
+    schema: Arc<StreamSchema>,
+    /// Rows ever appended (== global index of the next row).
+    total_rows: u64,
+    /// Rows logically pruned from the front.
+    logical_start: u64,
+    /// First page that still holds (the start of) a live row.
+    first_live_page: usize,
+    last: Option<StreamElement>,
+    max_sequence: u64,
+    options: PersistentOptions,
+}
+
+/// A stream table stored in a page file behind a bounded buffer pool.
+///
+/// All state sits behind one `Mutex` so reads can go through `&self` (the buffer pool
+/// mutates on every access); tables are additionally serialised by the manager's
+/// per-table `RwLock`, so the mutex is uncontended in practice.
+pub struct PersistentBackend {
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for PersistentBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        write!(
+            f,
+            "PersistentBackend({:?}, {} rows, {} pages, pool {}/{})",
+            inner.heap.path(),
+            inner.total_rows - inner.logical_start,
+            inner.pages.len(),
+            inner.pool.resident_pages(),
+            inner.pool.capacity(),
+        )
+    }
+}
+
+impl PersistentBackend {
+    /// Opens (creating or recovering) the table stored as `<dir>/<name>.tbl` +
+    /// `<dir>/<name>.wal`.
+    pub fn open(
+        dir: &Path,
+        name: &str,
+        schema: Arc<StreamSchema>,
+        options: PersistentOptions,
+    ) -> GsnResult<PersistentBackend> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| GsnError::storage(format!("cannot create data directory {dir:?}: {e}")))?;
+        let base = sanitize_file_name(name);
+        let (heap, existed) =
+            HeapFile::create_or_open(&dir.join(format!("{base}.tbl")), Arc::clone(&schema))?;
+        let wal = Wal::open(&dir.join(format!("{base}.wal")), options.sync)?;
+
+        let mut inner = Inner {
+            pool: BufferPool::new(options.pool_pages),
+            pages: Vec::new(),
+            schema,
+            total_rows: 0,
+            logical_start: heap.pruned_rows(),
+            first_live_page: 0,
+            last: None,
+            max_sequence: 0,
+            options,
+            heap,
+            wal,
+        };
+
+        if existed {
+            inner.rebuild_index()?;
+            let heap_max_sequence = inner.max_sequence;
+            // Replay WAL rows the heap does not have yet.
+            for record in inner.wal.replay()? {
+                let mut cursor: &[u8] = &record;
+                let element = codec::decode_row(&mut cursor, &inner.schema)?;
+                if element.sequence() > heap_max_sequence {
+                    inner.append_to_pages(&record, &element)?;
+                }
+            }
+        } else if inner.wal.len_bytes() > 0 {
+            // Fresh table next to a stale WAL from a dropped predecessor: clear it.
+            inner.wal.reset()?;
+        }
+        inner.refresh_first_live_page();
+
+        Ok(PersistentBackend {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The heap-file path (for tooling/tests).
+    pub fn heap_path(&self) -> PathBuf {
+        self.inner.lock().heap.path().to_owned()
+    }
+
+    /// Resident page count, capacity, and hit/eviction counters of the pool.
+    pub fn buffer_stats(&self) -> (usize, usize, BufferPoolStats) {
+        let inner = self.inner.lock();
+        (
+            inner.pool.resident_pages(),
+            inner.pool.capacity(),
+            inner.pool.stats(),
+        )
+    }
+}
+
+/// Keeps table names filesystem-safe (they come from validated sensor names + aliases,
+/// but storage does not rely on that).
+fn sanitize_file_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl Inner {
+    /// Scans every heap page, rebuilding the in-memory page index and finding the last
+    /// element and highest sequence.
+    fn rebuild_index(&mut self) -> GsnResult<()> {
+        self.pages.clear();
+        self.total_rows = 0;
+        self.last = None;
+        self.max_sequence = 0;
+        let page_count = self.heap.page_count();
+        let mut chain: Vec<u8> = Vec::new();
+        let mut chain_open = false;
+        let mut chain_start_page = 0usize;
+        for pid in 0..page_count {
+            let page = self.heap.read_page(pid)?;
+            self.pages.push(PageInfo::empty(0));
+            let current = self.pages.len() - 1;
+            for record in page.records() {
+                let (tag, payload) = split_chunk(record)?;
+                match tag {
+                    CHUNK_FULL => {
+                        let element = decode_payload(payload, &self.schema)?;
+                        let info = &mut self.pages[current];
+                        info.rows += 1;
+                        info.bytes += payload.len() as u64;
+                        info.touch(element.timestamp());
+                        self.note_row(&element);
+                        chain_open = false;
+                    }
+                    CHUNK_START => {
+                        chain.clear();
+                        chain.extend_from_slice(payload);
+                        chain_open = true;
+                        chain_start_page = current;
+                    }
+                    CHUNK_MID if chain_open => chain.extend_from_slice(payload),
+                    CHUNK_END if chain_open => {
+                        chain.extend_from_slice(payload);
+                        let element = decode_payload(&chain, &self.schema)?;
+                        // The row belongs to the page its START chunk lives in.
+                        let owner = &mut self.pages[chain_start_page];
+                        owner.rows += 1;
+                        owner.bytes += chain.len() as u64;
+                        owner.touch(element.timestamp());
+                        self.pages[current].touch(element.timestamp());
+                        self.note_row(&element);
+                        chain_open = false;
+                    }
+                    // An orphan continuation chunk: the torn tail of a chain whose start
+                    // was truncated — ignore it, the WAL has the row.
+                    CHUNK_MID | CHUNK_END => {}
+                    other => {
+                        return Err(GsnError::storage(format!(
+                            "corrupt chunk tag {other} in page {pid}"
+                        )))
+                    }
+                }
+            }
+        }
+        // first_row is a prefix sum over per-page row counts.
+        let mut next = 0u64;
+        for info in &mut self.pages {
+            info.first_row = next;
+            next += u64::from(info.rows);
+        }
+        debug_assert_eq!(next, self.total_rows);
+        Ok(())
+    }
+
+    fn note_row(&mut self, element: &StreamElement) {
+        self.total_rows += 1;
+        self.max_sequence = self.max_sequence.max(element.sequence());
+        self.last = Some(element.clone());
+    }
+
+    fn refresh_first_live_page(&mut self) {
+        let mut first = self.first_live_page.min(self.pages.len());
+        while first < self.pages.len() && self.pages[first].end_row() <= self.logical_start {
+            self.pool.discard(first as PageId);
+            first += 1;
+        }
+        self.first_live_page = first;
+    }
+
+    fn live_rows(&self) -> u64 {
+        self.total_rows.saturating_sub(self.logical_start)
+    }
+
+    /// Appends an encoded row to the tail page(s) through the pool (WAL already written
+    /// by the caller when required).
+    fn append_to_pages(&mut self, record: &[u8], element: &StreamElement) -> GsnResult<()> {
+        let needed = record.len() + 1;
+        let ts = element.timestamp();
+        if needed <= MAX_INLINE_RECORD {
+            // Single chunk: tail page if it fits, else a fresh page.
+            let tail = self.pages.len().checked_sub(1);
+            let target = match tail {
+                Some(pid) if self.tail_page_fits(pid as PageId, needed)? => pid,
+                _ => self.start_new_page(self.total_rows)?,
+            };
+            self.append_chunk(target, CHUNK_FULL, record)?;
+            let info = &mut self.pages[target];
+            info.rows += 1;
+            info.bytes += record.len() as u64;
+            info.touch(ts);
+        } else {
+            // Chain across fresh pages.
+            let chunks: Vec<&[u8]> = record.chunks(MAX_CHUNK_PAYLOAD).collect();
+            let n = chunks.len();
+            let start_page = self.start_new_page(self.total_rows)?;
+            for (i, chunk) in chunks.iter().enumerate() {
+                let (tag, target) = if i == 0 {
+                    (CHUNK_START, start_page)
+                } else {
+                    let tag = if i == n - 1 { CHUNK_END } else { CHUNK_MID };
+                    // Continuation pages: the next row to start is this one plus one.
+                    (tag, self.start_new_page(self.total_rows + 1)?)
+                };
+                self.append_chunk(target, tag, chunk)?;
+                self.pages[target].touch(ts);
+            }
+            let info = &mut self.pages[start_page];
+            info.rows += 1;
+            info.bytes += record.len() as u64;
+        }
+        self.note_row(element);
+        Ok(())
+    }
+
+    fn append_chunk(&mut self, target: usize, tag: u8, payload: &[u8]) -> GsnResult<()> {
+        let mut framed = Vec::with_capacity(payload.len() + 1);
+        framed.push(tag);
+        framed.extend_from_slice(payload);
+        self.pool
+            .with_page_mut(target as PageId, &mut self.heap, |page| {
+                page.append(&framed)
+                    .map(|_| ())
+                    .ok_or_else(|| GsnError::storage("page unexpectedly full during append"))
+            })?
+    }
+
+    fn tail_page_fits(&mut self, pid: PageId, needed: usize) -> GsnResult<bool> {
+        self.pool
+            .with_page(pid, &mut self.heap, |page| page.free_space() >= needed)
+    }
+
+    /// Allocates a fresh page at the tail: written empty to the heap immediately (so the
+    /// file stays contiguous for recovery) and kept dirty in the pool for filling.
+    ///
+    /// The previous tail page is *completed* at this moment and will never be modified
+    /// again, so it is written through right away. This keeps the on-disk heap a
+    /// gap-free prefix of the table — the invariant WAL recovery relies on (replay fills
+    /// exactly the rows past the heap's highest sequence).
+    fn start_new_page(&mut self, first_row: u64) -> GsnResult<usize> {
+        let pid = self.pages.len() as PageId;
+        if pid > 0 {
+            self.pool.flush_page(pid - 1, &mut self.heap)?;
+        }
+        let page = Page::new();
+        self.heap.write_page(pid, &page)?;
+        self.pool.install(pid, page, &mut self.heap)?;
+        self.pages.push(PageInfo::empty(first_row));
+        Ok(pid as usize)
+    }
+
+    /// Streams live rows from `from_page` onward through `visit`, oldest first.
+    /// Stops early once `limit` rows have been visited.
+    ///
+    /// Pages stream through the buffer pool one at a time: resident memory is the pool
+    /// budget plus one page worth of decoded rows (or one oversized chained row).
+    fn scan_payloads(
+        &mut self,
+        from_page: usize,
+        limit: u64,
+        visit: &mut dyn FnMut(&StreamElement),
+    ) -> GsnResult<()> {
+        if from_page >= self.pages.len() || limit == 0 {
+            return Ok(());
+        }
+        let mut row_index = self.pages[from_page].first_row;
+        let logical_start = self.logical_start;
+        let schema = Arc::clone(&self.schema);
+        let mut visited = 0u64;
+        let mut chain: Vec<u8> = Vec::new();
+        let mut chain_open = false;
+        for pid in from_page..self.pages.len() {
+            // Decode under the pool borrow into a per-page batch, then emit.
+            let mut emit: Vec<StreamElement> = Vec::new();
+            self.pool
+                .with_page(pid as PageId, &mut self.heap, |page| {
+                    for record in page.records() {
+                        let (tag, payload) = split_chunk(record)?;
+                        match tag {
+                            CHUNK_FULL => {
+                                if row_index >= logical_start {
+                                    emit.push(decode_payload(payload, &schema)?);
+                                }
+                                row_index += 1;
+                            }
+                            CHUNK_START => {
+                                chain.clear();
+                                chain.extend_from_slice(payload);
+                                chain_open = true;
+                            }
+                            CHUNK_MID if chain_open => chain.extend_from_slice(payload),
+                            CHUNK_END if chain_open => {
+                                chain.extend_from_slice(payload);
+                                if row_index >= logical_start {
+                                    emit.push(decode_payload(&chain, &schema)?);
+                                }
+                                row_index += 1;
+                                chain_open = false;
+                            }
+                            CHUNK_MID | CHUNK_END => {}
+                            other => {
+                                return Err(GsnError::storage(format!(
+                                    "corrupt chunk tag {other} in page {pid}"
+                                )))
+                            }
+                        }
+                    }
+                    Ok(())
+                })??;
+            for element in &emit {
+                visit(element);
+                visited += 1;
+                if visited >= limit {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint: pages to disk, prune watermark to the header, WAL reset.
+    fn checkpoint(&mut self) -> GsnResult<()> {
+        self.pool.flush(&mut self.heap)?;
+        self.heap.set_pruned_rows(self.logical_start)?;
+        self.heap.sync()?;
+        self.wal.sync()?;
+        self.wal.reset()
+    }
+}
+
+fn split_chunk(record: &[u8]) -> GsnResult<(u8, &[u8])> {
+    match record.split_first() {
+        Some((&tag, payload)) => Ok((tag, payload)),
+        None => Err(GsnError::storage("empty chunk record")),
+    }
+}
+
+fn decode_payload(payload: &[u8], schema: &Arc<StreamSchema>) -> GsnResult<StreamElement> {
+    let mut cursor = payload;
+    let element = codec::decode_row(&mut cursor, schema)?;
+    if !cursor.is_empty() {
+        return Err(GsnError::storage("trailing bytes after row record"));
+    }
+    Ok(element)
+}
+
+impl StorageBackend for PersistentBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Persistent
+    }
+
+    fn append(&mut self, element: &StreamElement) -> GsnResult<()> {
+        let inner = self.inner.get_mut();
+        let record = codec::encode_row(element);
+        inner.wal.append(&record)?;
+        inner.append_to_pages(&record, element)?;
+        if inner.wal.len_bytes() > inner.options.wal_checkpoint_bytes {
+            inner.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().live_rows() as usize
+    }
+
+    fn last(&self) -> Option<StreamElement> {
+        self.inner.lock().last.clone()
+    }
+
+    fn first_timestamp(&self) -> GsnResult<Option<Timestamp>> {
+        let mut inner = self.inner.lock();
+        if inner.live_rows() == 0 {
+            return Ok(None);
+        }
+        let start = inner.first_live_page;
+        let mut first: Option<Timestamp> = None;
+        inner.scan_payloads(start, 1, &mut |element| {
+            first = Some(element.timestamp());
+        })?;
+        Ok(first)
+    }
+
+    fn retained_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.pages[inner.first_live_page.min(inner.pages.len())..]
+            .iter()
+            .map(|p| p.bytes as usize)
+            .sum()
+    }
+
+    fn max_sequence(&self) -> u64 {
+        self.inner.lock().max_sequence
+    }
+
+    fn scan_window(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        visit: &mut dyn FnMut(&StreamElement),
+    ) -> GsnResult<()> {
+        let mut inner = self.inner.lock();
+        let live = inner.live_rows();
+        if live == 0 {
+            return Ok(());
+        }
+        match window {
+            WindowSpec::Count(n) if (n as u64) >= live => {
+                // Full scan: stream straight through, nothing buffered.
+                let start = inner.first_live_page;
+                inner.scan_payloads(start, u64::MAX, visit)
+            }
+            WindowSpec::Count(_) | WindowSpec::LatestOnly => {
+                let n = match window {
+                    WindowSpec::LatestOnly => 1,
+                    WindowSpec::Count(n) => n,
+                    WindowSpec::Time(_) => unreachable!(),
+                };
+                // Start at the latest page run that still covers n live rows.
+                let start = {
+                    let mut covered: u64 = 0;
+                    let mut page = inner.pages.len();
+                    while page > inner.first_live_page && covered < n as u64 {
+                        page -= 1;
+                        let info = &inner.pages[page];
+                        let live_start = info.first_row.max(inner.logical_start);
+                        covered += info.end_row().saturating_sub(live_start);
+                    }
+                    page
+                };
+                // Keep only the trailing n in a bounded ring.
+                let mut ring: std::collections::VecDeque<StreamElement> =
+                    std::collections::VecDeque::with_capacity(n.min(4096));
+                inner.scan_payloads(start, u64::MAX, &mut |e| {
+                    if ring.len() == n {
+                        ring.pop_front();
+                    }
+                    ring.push_back(e.clone());
+                })?;
+                for e in &ring {
+                    visit(e);
+                }
+                Ok(())
+            }
+            WindowSpec::Time(d) => {
+                let cutoff = now.saturating_sub(d);
+                // Skip pages that end before the cutoff.
+                let mut start = inner.first_live_page;
+                while start < inner.pages.len()
+                    && inner.pages[start].rows > 0
+                    && inner.pages[start].max_ts < cutoff.as_millis()
+                {
+                    start += 1;
+                }
+                // Stream with partition-point semantics: everything from the first
+                // in-horizon element onward (matching WindowSpec::select on a vector).
+                let mut passed = false;
+                inner.scan_payloads(start, u64::MAX, &mut |e| {
+                    if !passed && e.timestamp() >= cutoff {
+                        passed = true;
+                    }
+                    if passed {
+                        visit(e);
+                    }
+                })
+            }
+        }
+    }
+
+    fn prune_to_elements(&mut self, keep: usize) -> GsnResult<u64> {
+        let inner = self.inner.get_mut();
+        if inner.live_rows() <= keep as u64 {
+            return Ok(0);
+        }
+        let target_start = inner.total_rows - keep as u64;
+        // Advance over whole dead pages only (page-granular pruning).
+        let mut new_start = inner.logical_start;
+        let mut page = inner.first_live_page;
+        while page < inner.pages.len() && inner.pages[page].end_row() <= target_start {
+            new_start = new_start.max(inner.pages[page].end_row());
+            page += 1;
+        }
+        let pruned = new_start - inner.logical_start;
+        inner.logical_start = new_start;
+        inner.refresh_first_live_page();
+        Ok(pruned)
+    }
+
+    fn prune_horizon(&mut self, cutoff: Timestamp, min_keep: usize) -> GsnResult<u64> {
+        let inner = self.inner.get_mut();
+        let mut new_start = inner.logical_start;
+        let mut page = inner.first_live_page;
+        while page < inner.pages.len() {
+            let info = &inner.pages[page];
+            let fully_expired = info.rows > 0 && info.max_ts < cutoff.as_millis();
+            let keeps_minimum = inner.total_rows.saturating_sub(info.end_row()) >= min_keep as u64;
+            if fully_expired && keeps_minimum {
+                new_start = new_start.max(info.end_row());
+                page += 1;
+            } else {
+                break;
+            }
+        }
+        let pruned = new_start - inner.logical_start;
+        inner.logical_start = new_start;
+        inner.refresh_first_live_page();
+        Ok(pruned)
+    }
+
+    fn flush(&mut self) -> GsnResult<()> {
+        self.inner.get_mut().checkpoint()
+    }
+
+    fn pool_stats(&self) -> Option<BufferPoolStats> {
+        Some(self.inner.lock().pool.stats())
+    }
+
+    fn destroy(self: Box<Self>) -> GsnResult<()> {
+        let inner = self.inner.into_inner();
+        inner.heap.destroy()?;
+        inner.wal.destroy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::temp_dir;
+    use gsn_types::{DataType, Value};
+
+    fn schema() -> Arc<StreamSchema> {
+        Arc::new(
+            StreamSchema::from_pairs(&[("v", DataType::Integer), ("payload", DataType::Binary)])
+                .unwrap(),
+        )
+    }
+
+    fn element(schema: &Arc<StreamSchema>, v: i64, ts: i64, payload: usize) -> StreamElement {
+        StreamElement::new(
+            Arc::clone(schema),
+            vec![Value::Integer(v), Value::binary(vec![v as u8; payload])],
+            Timestamp(ts),
+        )
+        .unwrap()
+        .with_sequence(v as u64)
+    }
+
+    fn open(dir: &std::path::Path, pool_pages: usize) -> PersistentBackend {
+        PersistentBackend::open(
+            dir,
+            "t",
+            schema(),
+            PersistentOptions {
+                pool_pages,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn collect(backend: &dyn StorageBackend, window: WindowSpec, now: Timestamp) -> Vec<i64> {
+        let mut out = Vec::new();
+        backend
+            .scan_window(window, now, &mut |e| {
+                out.push(e.value("V").unwrap().as_integer().unwrap());
+            })
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let dir = temp_dir("backend-roundtrip");
+        let mut b = open(&dir, 8);
+        let s = schema();
+        for i in 1..=100 {
+            b.append(&element(&s, i, i * 10, 16)).unwrap();
+        }
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.max_sequence(), 100);
+        assert_eq!(
+            collect(&b, WindowSpec::Count(usize::MAX), Timestamp(10_000)),
+            (1..=100).collect::<Vec<i64>>()
+        );
+        assert_eq!(
+            collect(&b, WindowSpec::Count(3), Timestamp(10_000)),
+            vec![98, 99, 100]
+        );
+        assert_eq!(
+            collect(&b, WindowSpec::LatestOnly, Timestamp(10_000)),
+            vec![100]
+        );
+        // Time window: cutoff 700 keeps 70..=100.
+        assert_eq!(
+            collect(
+                &b,
+                WindowSpec::Time(gsn_types::Duration::from_millis(310)),
+                Timestamp(1_010)
+            ),
+            (70..=100).collect::<Vec<i64>>()
+        );
+        assert_eq!(b.first_timestamp().unwrap(), Some(Timestamp(10)));
+        assert_eq!(b.last().unwrap().sequence(), 100);
+        assert!(b.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn restart_recovers_without_explicit_flush() {
+        let dir = temp_dir("backend-recover");
+        let s = schema();
+        {
+            let mut b = open(&dir, 4);
+            for i in 1..=500 {
+                b.append(&element(&s, i, i, 8)).unwrap();
+            }
+            // No explicit flush: rows live in the WAL plus whatever dirty pages were
+            // evicted. Recovery must reassemble the exact history from that state.
+        }
+        let b = open(&dir, 4);
+        assert_eq!(b.len(), 500);
+        assert_eq!(b.max_sequence(), 500);
+        assert_eq!(
+            collect(&b, WindowSpec::Count(usize::MAX), Timestamp(10_000)),
+            (1..=500).collect::<Vec<i64>>()
+        );
+    }
+
+    #[test]
+    fn recovery_replays_wal_tail_without_duplicates() {
+        let dir = temp_dir("backend-wal-replay");
+        let s = schema();
+        let mut b = open(&dir, 4);
+        for i in 1..=50 {
+            b.append(&element(&s, i, i, 8)).unwrap();
+        }
+        b.flush().unwrap(); // heap authoritative, WAL reset
+        for i in 51..=75 {
+            b.append(&element(&s, i, i, 8)).unwrap();
+        }
+        drop(b);
+        let b = open(&dir, 4);
+        assert_eq!(
+            collect(&b, WindowSpec::Count(usize::MAX), Timestamp(10_000)),
+            (1..=75).collect::<Vec<i64>>()
+        );
+    }
+
+    #[test]
+    fn oversized_rows_chain_across_pages() {
+        let dir = temp_dir("backend-overflow");
+        let s = schema();
+        let mut b = open(&dir, 4);
+        // 32 KiB payloads: each row spans ~4 pages.
+        for i in 1..=10 {
+            b.append(&element(&s, i, i, 32 * 1024)).unwrap();
+        }
+        let mut sizes = Vec::new();
+        b.scan_window(WindowSpec::Count(usize::MAX), Timestamp(100), &mut |e| {
+            sizes.push(e.value("PAYLOAD").unwrap().as_bytes().unwrap().len());
+        })
+        .unwrap();
+        assert_eq!(sizes, vec![32 * 1024; 10]);
+        // And they survive restart.
+        drop(b);
+        let b = open(&dir, 4);
+        assert_eq!(b.len(), 10);
+        assert_eq!(
+            collect(&b, WindowSpec::Count(2), Timestamp(100)),
+            vec![9, 10]
+        );
+    }
+
+    #[test]
+    fn pool_stays_within_budget_for_scans_larger_than_pool() {
+        let dir = temp_dir("backend-bounded");
+        let s = schema();
+        let mut b = open(&dir, 4);
+        for i in 1..=2_000 {
+            b.append(&element(&s, i, i, 64)).unwrap();
+        }
+        assert_eq!(
+            collect(&b, WindowSpec::Count(usize::MAX), Timestamp(10_000)).len(),
+            2_000
+        );
+        let (resident, capacity, stats) = b.buffer_stats();
+        assert!(resident <= capacity, "{resident} > {capacity}");
+        assert_eq!(capacity, 4);
+        assert!(stats.evictions > 0);
+    }
+
+    #[test]
+    fn count_pruning_is_page_granular() {
+        let dir = temp_dir("backend-prune-count");
+        let s = schema();
+        let mut b = open(&dir, 4);
+        for i in 1..=1_000 {
+            b.append(&element(&s, i, i, 64)).unwrap();
+        }
+        let pruned = b.prune_to_elements(10).unwrap();
+        assert!(pruned > 0);
+        // Page granularity: at least 10 remain, and the newest are intact.
+        assert!(b.len() >= 10, "{}", b.len());
+        assert!(b.len() < 1_000);
+        let tail = collect(&b, WindowSpec::Count(10), Timestamp(10_000));
+        assert_eq!(tail, (991..=1_000).collect::<Vec<i64>>());
+        // Pruning persists across restart (watermark written at checkpoint).
+        b.flush().unwrap();
+        let len_before = b.len();
+        drop(b);
+        let b = open(&dir, 4);
+        assert_eq!(b.len(), len_before);
+    }
+
+    #[test]
+    fn horizon_pruning_respects_cutoff_and_minimum() {
+        let dir = temp_dir("backend-prune-horizon");
+        let s = schema();
+        let mut b = open(&dir, 4);
+        for i in 1..=500 {
+            b.append(&element(&s, i, i * 100, 64)).unwrap();
+        }
+        b.prune_horizon(Timestamp(40_000), 1).unwrap();
+        // Everything still needed by a [40_000, now] horizon is retained.
+        let kept = collect(&b, WindowSpec::Count(usize::MAX), Timestamp(50_000));
+        assert!(kept.first().copied().unwrap() <= 400);
+        assert_eq!(kept.last().copied().unwrap(), 500);
+        // min_keep: a cutoff beyond every element keeps at least one.
+        b.prune_horizon(Timestamp(i64::MAX / 2), 1).unwrap();
+        assert!(b.len() >= 1);
+    }
+
+    #[test]
+    fn destroy_removes_files() {
+        let dir = temp_dir("backend-destroy");
+        let s = schema();
+        let mut b = open(&dir, 4);
+        b.append(&element(&s, 1, 1, 8)).unwrap();
+        let heap_path = b.heap_path();
+        Box::new(b).destroy().unwrap();
+        assert!(!heap_path.exists());
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+    }
+
+    #[test]
+    fn memory_backend_matches_seed_semantics() {
+        let s = schema();
+        let mut b = MemoryBackend::new();
+        for i in 1..=10 {
+            b.append(&element(&s, i, i * 100, 4)).unwrap();
+        }
+        assert_eq!(b.len(), 10);
+        assert_eq!(
+            collect(&b, WindowSpec::Count(3), Timestamp(1_000)),
+            vec![8, 9, 10]
+        );
+        assert_eq!(b.prune_to_elements(4).unwrap(), 6);
+        assert_eq!(b.len(), 4);
+        assert_eq!(
+            b.prune_horizon(Timestamp(950), 1).unwrap(),
+            3 // 700, 800, 900 expired; 1000 kept
+        );
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.first_timestamp().unwrap(), Some(Timestamp(1_000)));
+    }
+}

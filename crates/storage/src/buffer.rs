@@ -1,0 +1,433 @@
+//! The buffer pool: a bounded cache of heap-file pages with clock (second-chance)
+//! eviction and pin/unpin discipline.
+//!
+//! The pool is what makes `permanent-storage="true"` tables *larger than memory*: reads
+//! and writes go through a fixed number of page frames, so a windowed SQL scan over a
+//! multi-gigabyte history touches at most `capacity` pages of RAM at a time.
+//!
+//! Invariants (exercised by the property tests in `tests/storage_persistence.rs`):
+//!
+//! * resident pages never exceed the configured capacity,
+//! * a pinned page is never evicted,
+//! * a dirty page is flushed through the supplied [`PageIo`] before its frame is reused.
+
+use std::collections::HashMap;
+
+use gsn_types::{GsnError, GsnResult};
+
+use crate::page::{Page, PageId};
+
+/// The I/O surface the pool needs from a heap file: read a page and write one back.
+pub trait PageIo {
+    /// Reads page `id` from stable storage.
+    fn read_page(&mut self, id: PageId) -> GsnResult<Page>;
+    /// Writes page `id` back to stable storage.
+    fn write_page(&mut self, id: PageId, page: &Page) -> GsnResult<()>;
+}
+
+#[derive(Debug)]
+struct Frame {
+    id: PageId,
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// Counters describing pool occupancy and effectiveness (a point-in-time snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read from disk.
+    pub misses: u64,
+    /// Frames reclaimed by the clock hand.
+    pub evictions: u64,
+    /// Dirty pages written back during eviction or flush.
+    pub writebacks: u64,
+    /// Pages resident when the snapshot was taken.
+    pub resident_pages: usize,
+    /// The configured page budget.
+    pub capacity: usize,
+}
+
+/// A bounded page cache with clock eviction.
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    resident: HashMap<PageId, usize>,
+    capacity: usize,
+    hand: usize,
+    stats: BufferPoolStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages (minimum 1).
+    pub fn new(capacity: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        BufferPool {
+            frames: Vec::with_capacity(capacity),
+            resident: HashMap::with_capacity(capacity),
+            capacity,
+            hand: 0,
+            stats: BufferPoolStats::default(),
+        }
+    }
+
+    /// The configured page budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Occupancy and effectiveness counters.
+    pub fn stats(&self) -> BufferPoolStats {
+        BufferPoolStats {
+            resident_pages: self.frames.len(),
+            capacity: self.capacity,
+            ..self.stats
+        }
+    }
+
+    /// Number of pins currently held on `id` (0 when not resident).
+    pub fn pin_count(&self, id: PageId) -> u32 {
+        self.resident
+            .get(&id)
+            .map(|&idx| self.frames[idx].pins)
+            .unwrap_or(0)
+    }
+
+    /// Makes page `id` resident (reading through `io` on a miss) and pins it.
+    ///
+    /// Every successful `pin` must be paired with an [`unpin`](Self::unpin); while pinned
+    /// the page cannot be evicted. Fails when every frame is pinned and none can be
+    /// reclaimed (pool capacity exhausted by concurrent pins).
+    pub fn pin(&mut self, id: PageId, io: &mut dyn PageIo) -> GsnResult<&Page> {
+        let idx = self.frame_for(id, io, None)?;
+        let frame = &mut self.frames[idx];
+        frame.pins += 1;
+        frame.referenced = true;
+        Ok(&frame.page)
+    }
+
+    /// Releases one pin on `id`; `dirty` marks the page as modified.
+    pub fn unpin(&mut self, id: PageId, dirty: bool) {
+        if let Some(&idx) = self.resident.get(&id) {
+            let frame = &mut self.frames[idx];
+            debug_assert!(frame.pins > 0, "unpin without pin on page {id}");
+            frame.pins = frame.pins.saturating_sub(1);
+            frame.dirty |= dirty;
+        }
+    }
+
+    /// Pins page `id` for writing and applies `mutate` to it, marking it dirty.
+    ///
+    /// This is the pool's write path: the mutation happens inside the frame, write-back
+    /// to disk is deferred to eviction or [`flush`](Self::flush).
+    pub fn with_page_mut<T>(
+        &mut self,
+        id: PageId,
+        io: &mut dyn PageIo,
+        mutate: impl FnOnce(&mut Page) -> T,
+    ) -> GsnResult<T> {
+        let idx = self.frame_for(id, io, None)?;
+        let frame = &mut self.frames[idx];
+        frame.referenced = true;
+        let out = mutate(&mut frame.page);
+        frame.dirty = true;
+        Ok(out)
+    }
+
+    /// Installs a brand-new page (not yet on disk) as resident and dirty, without a read.
+    pub fn install(&mut self, id: PageId, page: Page, io: &mut dyn PageIo) -> GsnResult<()> {
+        let idx = self.frame_for(id, io, Some(page))?;
+        self.frames[idx].dirty = true;
+        self.frames[idx].referenced = true;
+        Ok(())
+    }
+
+    /// Reads page `id` through the pool and hands a borrow to `read`.
+    pub fn with_page<T>(
+        &mut self,
+        id: PageId,
+        io: &mut dyn PageIo,
+        read: impl FnOnce(&Page) -> T,
+    ) -> GsnResult<T> {
+        let idx = self.frame_for(id, io, None)?;
+        self.frames[idx].referenced = true;
+        Ok(read(&self.frames[idx].page))
+    }
+
+    /// Writes one page back through `io` if it is resident and dirty.
+    pub fn flush_page(&mut self, id: PageId, io: &mut dyn PageIo) -> GsnResult<()> {
+        if let Some(&idx) = self.resident.get(&id) {
+            let frame = &mut self.frames[idx];
+            if frame.dirty {
+                io.write_page(frame.id, &frame.page)?;
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty frame back through `io`.
+    pub fn flush(&mut self, io: &mut dyn PageIo) -> GsnResult<()> {
+        for frame in &mut self.frames {
+            if frame.dirty {
+                io.write_page(frame.id, &frame.page)?;
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops a page from the pool (when its table region is pruned); flushes it first if
+    /// dirty and `keep` is true.
+    pub fn discard(&mut self, id: PageId) {
+        if let Some(idx) = self.resident.remove(&id) {
+            debug_assert_eq!(self.frames[idx].pins, 0, "discarding pinned page {id}");
+            self.frames.swap_remove(idx);
+            if idx < self.frames.len() {
+                // The swapped-in frame changed position; fix its index.
+                self.resident.insert(self.frames[idx].id, idx);
+            }
+            if self.hand >= self.frames.len() {
+                self.hand = 0;
+            }
+        }
+    }
+
+    /// Finds or creates the frame for `id`. `fresh` installs a new page instead of
+    /// reading from `io`.
+    fn frame_for(
+        &mut self,
+        id: PageId,
+        io: &mut dyn PageIo,
+        fresh: Option<Page>,
+    ) -> GsnResult<usize> {
+        if let Some(&idx) = self.resident.get(&id) {
+            self.stats.hits += 1;
+            if let Some(page) = fresh {
+                self.frames[idx].page = page;
+            }
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        let page = match fresh {
+            Some(page) => page,
+            None => io.read_page(id)?,
+        };
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                id,
+                page,
+                dirty: false,
+                pins: 0,
+                referenced: true,
+            });
+            self.frames.len() - 1
+        } else {
+            let idx = self.evict(io)?;
+            self.frames[idx] = Frame {
+                id,
+                page,
+                dirty: false,
+                pins: 0,
+                referenced: true,
+            };
+            idx
+        };
+        self.resident.insert(id, idx);
+        Ok(idx)
+    }
+
+    /// Clock (second-chance) eviction: sweep frames, clearing reference bits; reclaim the
+    /// first unpinned, unreferenced frame. Dirty victims are written back first.
+    fn evict(&mut self, io: &mut dyn PageIo) -> GsnResult<usize> {
+        // Two full sweeps guarantee progress: the first clears reference bits, the second
+        // must find an unpinned frame unless every frame is pinned.
+        for _ in 0..self.frames.len() * 2 {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[idx];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            if frame.dirty {
+                io.write_page(frame.id, &frame.page)?;
+                self.stats.writebacks += 1;
+            }
+            self.resident.remove(&frame.id);
+            self.stats.evictions += 1;
+            return Ok(idx);
+        }
+        Err(GsnError::resource_exhausted(
+            "buffer pool exhausted: every frame is pinned",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    /// An in-memory "disk" for exercising the pool.
+    #[derive(Default)]
+    struct FakeDisk {
+        pages: HashMap<PageId, Page>,
+        reads: u64,
+        writes: u64,
+    }
+
+    impl PageIo for FakeDisk {
+        fn read_page(&mut self, id: PageId) -> GsnResult<Page> {
+            self.reads += 1;
+            self.pages
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| GsnError::storage(format!("no such page {id}")))
+        }
+
+        fn write_page(&mut self, id: PageId, page: &Page) -> GsnResult<()> {
+            self.writes += 1;
+            self.pages.insert(id, page.clone());
+            Ok(())
+        }
+    }
+
+    fn disk_with_pages(n: u32) -> FakeDisk {
+        let mut disk = FakeDisk::default();
+        for id in 0..n {
+            let mut page = Page::new();
+            page.append(&id.to_le_bytes()).unwrap();
+            disk.pages.insert(id, page);
+        }
+        disk
+    }
+
+    #[test]
+    fn hits_avoid_disk_reads() {
+        let mut disk = disk_with_pages(4);
+        let mut pool = BufferPool::new(4);
+        for _ in 0..3 {
+            pool.with_page(2, &mut disk, |p| assert_eq!(p.record_count(), 1))
+                .unwrap();
+        }
+        assert_eq!(disk.reads, 1);
+        assert_eq!(pool.stats().hits, 2);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut disk = disk_with_pages(64);
+        let mut pool = BufferPool::new(8);
+        for id in 0..64 {
+            pool.with_page(id, &mut disk, |_| ()).unwrap();
+            assert!(pool.resident_pages() <= 8);
+        }
+        assert_eq!(pool.resident_pages(), 8);
+        assert_eq!(pool.stats().evictions, 56);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let mut disk = disk_with_pages(32);
+        let mut pool = BufferPool::new(4);
+        pool.pin(0, &mut disk).unwrap();
+        for id in 1..32 {
+            pool.with_page(id, &mut disk, |_| ()).unwrap();
+        }
+        // Page 0 is still resident and readable without a disk read.
+        let reads_before = disk.reads;
+        pool.with_page(0, &mut disk, |p| {
+            assert_eq!(p.record(0), Some(&0u32.to_le_bytes()[..]))
+        })
+        .unwrap();
+        assert_eq!(disk.reads, reads_before);
+        pool.unpin(0, false);
+    }
+
+    #[test]
+    fn all_pinned_fails_cleanly() {
+        let mut disk = disk_with_pages(4);
+        let mut pool = BufferPool::new(2);
+        pool.pin(0, &mut disk).unwrap();
+        pool.pin(1, &mut disk).unwrap();
+        assert!(pool.pin(2, &mut disk).is_err());
+        pool.unpin(1, false);
+        assert!(pool.pin(2, &mut disk).is_ok());
+    }
+
+    #[test]
+    fn dirty_pages_are_written_back_on_eviction_and_flush() {
+        let mut disk = disk_with_pages(8);
+        let mut pool = BufferPool::new(2);
+        pool.with_page_mut(0, &mut disk, |p| {
+            p.append(b"mutated").unwrap();
+        })
+        .unwrap();
+        // Force page 0 out.
+        for id in 1..8 {
+            pool.with_page(id, &mut disk, |_| ()).unwrap();
+        }
+        assert!(disk.pages[&0].record(1).is_some());
+        // Flush writes remaining dirty frames.
+        pool.with_page_mut(7, &mut disk, |p| {
+            p.append(b"also").unwrap();
+        })
+        .unwrap();
+        pool.flush(&mut disk).unwrap();
+        assert!(disk.pages[&7].record(1).is_some());
+        assert!(pool.stats().writebacks >= 2);
+    }
+
+    #[test]
+    fn install_skips_the_initial_read() {
+        let mut disk = FakeDisk::default();
+        let mut pool = BufferPool::new(2);
+        let mut page = Page::new();
+        page.append(b"new").unwrap();
+        pool.install(9, page, &mut disk).unwrap();
+        assert_eq!(disk.reads, 0);
+        pool.with_page(9, &mut disk, |p| assert_eq!(p.record(0), Some(&b"new"[..])))
+            .unwrap();
+        pool.flush(&mut disk).unwrap();
+        assert!(disk.pages.contains_key(&9));
+    }
+
+    #[test]
+    fn discard_forgets_a_page() {
+        let mut disk = disk_with_pages(3);
+        let mut pool = BufferPool::new(3);
+        for id in 0..3 {
+            pool.with_page(id, &mut disk, |_| ()).unwrap();
+        }
+        pool.discard(1);
+        assert_eq!(pool.resident_pages(), 2);
+        assert_eq!(pool.pin_count(1), 0);
+        // Re-reading goes to disk again.
+        let reads_before = disk.reads;
+        pool.with_page(1, &mut disk, |_| ()).unwrap();
+        assert_eq!(disk.reads, reads_before + 1);
+    }
+
+    #[test]
+    fn frames_hold_full_pages() {
+        // Sanity: a frame's memory footprint is the page itself, so capacity bounds RAM.
+        assert_eq!(std::mem::size_of::<Page>(), std::mem::size_of::<usize>());
+        let page = Page::new();
+        assert_eq!(page.as_bytes().len(), PAGE_SIZE);
+    }
+}

@@ -1,0 +1,313 @@
+//! Heap files: one append-friendly page file per stream table.
+//!
+//! Layout: a [`PAGE_SIZE`](crate::page::PAGE_SIZE)-byte header region (magic, version,
+//! table schema, prune watermark) followed by data pages addressed by [`PageId`].  The
+//! file only grows at the tail; pruning advances a logical watermark recorded in the
+//! header instead of rewriting the file (whole leading pages are simply skipped by
+//! scans and dropped from the buffer pool).
+//!
+//! Torn tail writes are tolerated: [`HeapFile::open`] validates pages front to back and
+//! truncates at the first corrupt page — every row lost that way is still in the
+//! write-ahead log (see `wal`) and gets replayed by recovery.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gsn_types::{codec, GsnError, GsnResult, StreamSchema};
+
+use crate::buffer::PageIo;
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+const MAGIC: &[u8; 8] = b"GSNHEAP1";
+const VERSION: u32 = 1;
+
+/// A heap file: the disk half of one persistent stream table.
+#[derive(Debug)]
+pub struct HeapFile {
+    file: File,
+    path: PathBuf,
+    schema: Arc<StreamSchema>,
+    page_count: PageId,
+    pruned_rows: u64,
+}
+
+impl HeapFile {
+    /// Creates a new heap file for `schema`, or opens an existing one (validating that
+    /// the stored schema matches). Returns the file and whether it already existed.
+    pub fn create_or_open(path: &Path, schema: Arc<StreamSchema>) -> GsnResult<(HeapFile, bool)> {
+        let exists = path.exists();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| GsnError::storage(format!("cannot open heap file {path:?}: {e}")))?;
+        let mut heap = HeapFile {
+            file,
+            path: path.to_owned(),
+            schema,
+            page_count: 0,
+            pruned_rows: 0,
+        };
+        if exists {
+            heap.read_header()?;
+            heap.discover_pages()?;
+        } else {
+            heap.write_header()?;
+        }
+        Ok((heap, exists))
+    }
+
+    /// The table schema stored in the header.
+    pub fn schema(&self) -> &Arc<StreamSchema> {
+        &self.schema
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of data pages.
+    pub fn page_count(&self) -> PageId {
+        self.page_count
+    }
+
+    /// The prune watermark persisted at the last checkpoint: rows logically removed from
+    /// the front of the table.
+    pub fn pruned_rows(&self) -> u64 {
+        self.pruned_rows
+    }
+
+    /// Updates the prune watermark (persisted by the next [`sync`](Self::sync) /
+    /// header write).
+    pub fn set_pruned_rows(&mut self, pruned: u64) -> GsnResult<()> {
+        self.pruned_rows = pruned;
+        self.write_header()
+    }
+
+    fn write_header(&mut self) -> GsnResult<()> {
+        let mut header = Vec::with_capacity(PAGE_SIZE);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        header.extend_from_slice(&self.pruned_rows.to_le_bytes());
+        let schema_bytes = codec::encode_schema(&self.schema);
+        header.extend_from_slice(&(schema_bytes.len() as u32).to_le_bytes());
+        header.extend_from_slice(&schema_bytes);
+        if header.len() > PAGE_SIZE {
+            return Err(GsnError::storage(format!(
+                "schema of table file {:?} does not fit the header page",
+                self.path
+            )));
+        }
+        header.resize(PAGE_SIZE, 0);
+        self.file
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| self.file.write_all(&header))
+            .map_err(|e| GsnError::storage(format!("cannot write heap header: {e}")))
+    }
+
+    fn read_header(&mut self) -> GsnResult<()> {
+        let mut header = vec![0u8; PAGE_SIZE];
+        self.file
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| self.file.read_exact(&mut header))
+            .map_err(|e| GsnError::storage(format!("cannot read heap header: {e}")))?;
+        if &header[0..8] != MAGIC {
+            return Err(GsnError::storage(format!(
+                "{:?} is not a GSN heap file (bad magic)",
+                self.path
+            )));
+        }
+        let mut cursor: &[u8] = &header[8..];
+        let version = u32::from_le_bytes(cursor[0..4].try_into().unwrap());
+        let page_size = u32::from_le_bytes(cursor[4..8].try_into().unwrap());
+        if version != VERSION || page_size as usize != PAGE_SIZE {
+            return Err(GsnError::storage(format!(
+                "unsupported heap file {:?}: version {version}, page size {page_size}",
+                self.path
+            )));
+        }
+        self.pruned_rows = u64::from_le_bytes(cursor[8..16].try_into().unwrap());
+        let schema_len = u32::from_le_bytes(cursor[16..20].try_into().unwrap()) as usize;
+        cursor = &cursor[20..];
+        if schema_len > cursor.len() {
+            return Err(GsnError::storage("corrupt heap header: schema overruns"));
+        }
+        let mut schema_cursor = &cursor[..schema_len];
+        let stored = codec::decode_schema(&mut schema_cursor)?;
+        if !stored.is_compatible_with(&self.schema) {
+            return Err(GsnError::storage(format!(
+                "heap file {:?} stores schema {} but table declares {}",
+                self.path, stored, self.schema
+            )));
+        }
+        Ok(())
+    }
+
+    /// Scans data pages front to back, stopping (and truncating the in-memory page
+    /// count) at the first torn/corrupt page.
+    fn discover_pages(&mut self) -> GsnResult<()> {
+        let file_len = self
+            .file
+            .metadata()
+            .map_err(|e| GsnError::storage(format!("cannot stat heap file: {e}")))?
+            .len() as usize;
+        let full_pages = file_len.saturating_sub(PAGE_SIZE) / PAGE_SIZE;
+        let mut valid: PageId = 0;
+        for id in 0..full_pages as PageId {
+            match self.read_page_raw(id) {
+                Ok(_) => valid = id + 1,
+                Err(_) => break,
+            }
+        }
+        self.page_count = valid;
+        Ok(())
+    }
+
+    fn page_offset(id: PageId) -> u64 {
+        (PAGE_SIZE as u64) * (1 + id as u64)
+    }
+
+    fn read_page_raw(&mut self, id: PageId) -> GsnResult<Page> {
+        let mut bytes = [0u8; PAGE_SIZE];
+        self.file
+            .seek(SeekFrom::Start(Self::page_offset(id)))
+            .and_then(|_| self.file.read_exact(&mut bytes))
+            .map_err(|e| GsnError::storage(format!("cannot read page {id}: {e}")))?;
+        Page::from_bytes(bytes)
+    }
+
+    /// Flushes file contents and metadata to stable storage.
+    pub fn sync(&mut self) -> GsnResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| GsnError::storage(format!("cannot sync heap file: {e}")))
+    }
+
+    /// Deletes the file from disk (table dropped). Consumes the heap.
+    pub fn destroy(self) -> GsnResult<()> {
+        let path = self.path.clone();
+        drop(self);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(GsnError::storage(format!(
+                "cannot remove heap file {path:?}: {e}"
+            ))),
+        }
+    }
+}
+
+impl PageIo for HeapFile {
+    fn read_page(&mut self, id: PageId) -> GsnResult<Page> {
+        if id >= self.page_count {
+            return Err(GsnError::storage(format!(
+                "page {id} out of range ({} pages)",
+                self.page_count
+            )));
+        }
+        self.read_page_raw(id)
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> GsnResult<()> {
+        if id > self.page_count {
+            return Err(GsnError::storage(format!(
+                "cannot write page {id} beyond tail ({} pages)",
+                self.page_count
+            )));
+        }
+        self.file
+            .seek(SeekFrom::Start(Self::page_offset(id)))
+            .and_then(|_| self.file.write_all(&page.as_bytes()[..]))
+            .map_err(|e| GsnError::storage(format!("cannot write page {id}: {e}")))?;
+        if id == self.page_count {
+            self.page_count += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::DataType;
+
+    fn schema() -> Arc<StreamSchema> {
+        Arc::new(StreamSchema::from_pairs(&[("v", DataType::Integer)]).unwrap())
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        crate::testutil::temp_dir(tag).join("table.gsn")
+    }
+
+    #[test]
+    fn create_then_reopen_preserves_pages() {
+        let path = temp_path("heap-reopen");
+        {
+            let (mut heap, existed) = HeapFile::create_or_open(&path, schema()).unwrap();
+            assert!(!existed);
+            let mut page = Page::new();
+            page.append(b"r0").unwrap();
+            heap.write_page(0, &page).unwrap();
+            let mut page1 = Page::new();
+            page1.append(b"r1").unwrap();
+            heap.write_page(1, &page1).unwrap();
+            heap.set_pruned_rows(3).unwrap();
+            heap.sync().unwrap();
+        }
+        let (mut heap, existed) = HeapFile::create_or_open(&path, schema()).unwrap();
+        assert!(existed);
+        assert_eq!(heap.page_count(), 2);
+        assert_eq!(heap.pruned_rows(), 3);
+        assert_eq!(heap.read_page(1).unwrap().record(0), Some(&b"r1"[..]));
+        assert!(heap.read_page(2).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let path = temp_path("heap-schema");
+        drop(HeapFile::create_or_open(&path, schema()).unwrap());
+        let other = Arc::new(StreamSchema::from_pairs(&[("w", DataType::Double)]).unwrap());
+        assert!(HeapFile::create_or_open(&path, other).is_err());
+    }
+
+    #[test]
+    fn torn_tail_page_is_truncated_on_open() {
+        let path = temp_path("heap-torn");
+        {
+            let (mut heap, _) = HeapFile::create_or_open(&path, schema()).unwrap();
+            let mut page = Page::new();
+            page.append(b"good").unwrap();
+            heap.write_page(0, &page).unwrap();
+            heap.sync().unwrap();
+        }
+        // Append half a garbage page, as a crash mid-write would.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xFF; PAGE_SIZE / 2]).unwrap();
+        }
+        let (heap, _) = HeapFile::create_or_open(&path, schema()).unwrap();
+        assert_eq!(heap.page_count(), 1);
+    }
+
+    #[test]
+    fn non_heap_file_is_rejected() {
+        let path = temp_path("heap-bad");
+        std::fs::write(&path, b"definitely not a heap file").unwrap();
+        assert!(HeapFile::create_or_open(&path, schema()).is_err());
+    }
+
+    #[test]
+    fn destroy_removes_the_file() {
+        let path = temp_path("heap-destroy");
+        let (heap, _) = HeapFile::create_or_open(&path, schema()).unwrap();
+        assert!(path.exists());
+        heap.destroy().unwrap();
+        assert!(!path.exists());
+    }
+}

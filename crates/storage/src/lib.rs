@@ -1,19 +1,58 @@
 //! # gsn-storage
 //!
-//! The storage layer of a GSN-RS container: windowed stream tables, retention management
-//! and the bridge from stored stream history to the SQL engine's relations.
+//! The storage layer of a GSN-RS container: windowed stream tables, retention
+//! management, a persistent page-based storage engine, and the bridge from stored stream
+//! history to the SQL engine's relations.
 //!
 //! In the paper's architecture (Section 4) the storage layer sits between the Virtual
 //! Sensor Manager and the Query Manager: wrappers post stream elements, the storage layer
 //! keeps exactly as much history as the declared windows require, and query evaluation
-//! reads windowed views.  The original GSN delegated this to MySQL tables; GSN-RS keeps the
-//! tables in memory (see DESIGN.md for the substitution rationale) with identical
-//! visibility semantics:
+//! reads windowed views.  The original GSN delegated persistence to MySQL tables; GSN-RS
+//! implements both halves natively:
 //!
 //! * time- and count-based windows ([`WindowSpec`]),
 //! * retention derived from the union of all windows over a source ([`Retention`]),
 //! * `permanent-storage="true"` mapping to [`Retention::Unbounded`],
 //! * implicit `PK` / `TIMED` columns exposed to SQL.
+//!
+//! ## Architecture: two backends behind one table
+//!
+//! Every [`StreamTable`] delegates element storage to a [`StorageBackend`]:
+//!
+//! * **In-memory** ([`MemoryBackend`]) — the default and the seed behaviour: a `Vec` of
+//!   elements with exact retention and zero-copy window evaluation.  Right for the small
+//!   bounded windows of stream sources.
+//! * **Persistent** ([`PersistentBackend`]) — chosen per table from the descriptor's
+//!   `permanent-storage` / `backend` attributes when the container has a data directory.
+//!   History survives restarts and can grow far beyond RAM.
+//!
+//! ## Persistent engine
+//!
+//! ```text
+//!  insert ──▶ WAL append ──▶ tail page in BufferPool ──(page completed)──▶ heap file
+//!                                                       (eviction/checkpoint)
+//!  window scan ◀── BufferPool (≤ pool_pages resident) ◀── heap pages
+//! ```
+//!
+//! * **Page format** ([`page`]): 8 KiB slotted pages — records packed from the front, a
+//!   slot directory growing from the back.  Rows larger than a page chain across
+//!   dedicated overflow pages.
+//! * **Heap files** ([`heap`]): one `<table>.tbl` per table — a header page (magic,
+//!   schema, prune watermark) plus data pages.  Append-only at the tail; pruning
+//!   advances a logical watermark instead of rewriting (page-granular pruning).
+//! * **Buffer pool** ([`buffer`]): a bounded frame cache with clock (second-chance)
+//!   eviction and pin/unpin.  Pinned pages are never evicted; resident pages never
+//!   exceed the configured budget, so scans over tables larger than the pool run in
+//!   bounded memory.
+//! * **Write-ahead log** ([`wal`]): `<table>.wal`, CRC-framed rows appended before the
+//!   page write.  [`SyncMode`] picks the durability/throughput trade-off.
+//!
+//! **Recovery semantics**: completed pages are written through immediately, so the heap
+//! on disk is always a gap-free prefix of the table; the WAL holds everything since the
+//! last checkpoint.  Re-opening a table scans the heap (tolerating a torn tail page),
+//! then replays WAL rows whose sequence exceeds the heap's highest — nothing is lost on
+//! a clean drop, and at most the un-synced tail is lost on a hard crash with
+//! [`SyncMode::OnCheckpoint`] (nothing with [`SyncMode::Always`]).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -34,16 +73,52 @@
 //! let avg = engine.execute_scalar("select avg(temperature) from src1", &catalog).unwrap();
 //! assert_eq!(avg, Value::Double(23.0));
 //! ```
+//!
+//! A durable table survives dropping the manager and re-opening on the same directory:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gsn_storage::{Retention, StorageManager};
+//! use gsn_types::{DataType, StreamElement, StreamSchema, Timestamp, Value};
+//!
+//! let dir = std::env::temp_dir().join(format!("gsn-doc-{}", std::process::id()));
+//! let schema = Arc::new(StreamSchema::from_pairs(&[("v", DataType::Integer)]).unwrap());
+//! {
+//!     let storage = StorageManager::persistent(&dir);
+//!     storage.create_table_durable("history", schema.clone(), Retention::Unbounded).unwrap();
+//!     let e = StreamElement::new(schema.clone(), vec![Value::Integer(7)], Timestamp(1)).unwrap();
+//!     storage.insert("history", e, Timestamp(1)).unwrap();
+//! } // dropped: tables checkpoint on drop
+//! let storage = StorageManager::persistent(&dir);
+//! storage.create_table_durable("history", schema, Retention::Unbounded).unwrap();
+//! assert_eq!(storage.table("history").unwrap().read().len(), 1);
+//! # storage.drop_table("history").unwrap();
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
+pub mod buffer;
+pub mod heap;
 pub mod manager;
+pub mod page;
 pub mod stats;
 pub mod table;
+#[doc(hidden)]
+pub mod testutil;
+pub mod wal;
 pub mod window;
 
-pub use manager::{CatalogView, LiveCatalog, StorageManager};
+pub use backend::{
+    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, StorageBackend,
+};
+pub use buffer::{BufferPool, BufferPoolStats, PageIo};
+pub use heap::HeapFile;
+pub use manager::{CatalogView, LiveCatalog, StorageManager, StorageOptions};
+pub use page::{Page, PageId, PAGE_SIZE};
 pub use stats::{StorageStats, TableStats};
 pub use table::StreamTable;
+pub use wal::{SyncMode, Wal};
 pub use window::{Retention, WindowSpec};

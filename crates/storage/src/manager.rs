@@ -10,29 +10,71 @@
 //! and keeps the hot insert path to a single lock acquisition).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use gsn_sql::{Catalog, Relation};
 use gsn_types::{GsnError, GsnResult, StreamElement, StreamSchema, Timestamp};
 use parking_lot::RwLock;
 
+use crate::backend::PersistentOptions;
 use crate::stats::StorageStats;
 use crate::table::StreamTable;
 use crate::window::{Retention, WindowSpec};
+
+/// Container-level storage configuration: where (and whether) durable tables live.
+#[derive(Debug, Clone, Default)]
+pub struct StorageOptions {
+    /// Directory for persistent table files. `None` keeps every table in memory (the
+    /// seed behaviour) — durable table requests then fall back to memory.
+    pub data_dir: Option<PathBuf>,
+    /// Buffer-pool / WAL tuning for persistent tables.
+    pub persistent: PersistentOptions,
+}
+
+impl StorageOptions {
+    /// Options with persistence rooted at `data_dir`.
+    pub fn at(data_dir: impl Into<PathBuf>) -> StorageOptions {
+        StorageOptions {
+            data_dir: Some(data_dir.into()),
+            persistent: PersistentOptions::default(),
+        }
+    }
+}
 
 /// The storage layer of one GSN container.
 #[derive(Debug, Default)]
 pub struct StorageManager {
     tables: RwLock<HashMap<String, Arc<RwLock<StreamTable>>>>,
+    options: StorageOptions,
 }
 
 impl StorageManager {
-    /// Creates an empty storage manager.
+    /// Creates an in-memory-only storage manager (the seed behaviour).
     pub fn new() -> StorageManager {
         StorageManager::default()
     }
 
-    /// Creates a table for a stream source / virtual sensor.
+    /// Creates a storage manager that can host persistent tables under
+    /// `options.data_dir`.
+    pub fn with_options(options: StorageOptions) -> StorageManager {
+        StorageManager {
+            tables: RwLock::new(HashMap::new()),
+            options,
+        }
+    }
+
+    /// Shorthand for a manager persisting durable tables under `data_dir`.
+    pub fn persistent(data_dir: impl Into<PathBuf>) -> StorageManager {
+        StorageManager::with_options(StorageOptions::at(data_dir))
+    }
+
+    /// The directory persistent tables live in, when configured.
+    pub fn data_dir(&self) -> Option<&std::path::Path> {
+        self.options.data_dir.as_deref()
+    }
+
+    /// Creates an in-memory table for a stream source / virtual sensor.
     ///
     /// Fails when a table with the same (case-insensitive) name already exists; GSN
     /// treats table names as container-unique because they double as SQL table names.
@@ -42,6 +84,38 @@ impl StorageManager {
         schema: Arc<StreamSchema>,
         retention: Retention,
     ) -> GsnResult<Arc<RwLock<StreamTable>>> {
+        self.register_table(name, StreamTable::new(name, schema, retention))
+    }
+
+    /// Creates a *durable* table: stored in the persistent page engine when this manager
+    /// has a data directory, falling back to memory otherwise.
+    ///
+    /// When table files already exist in the data directory (a container re-opened on
+    /// the same path), the stored history is recovered instead of starting empty.
+    pub fn create_table_durable(
+        &self,
+        name: &str,
+        schema: Arc<StreamSchema>,
+        retention: Retention,
+    ) -> GsnResult<Arc<RwLock<StreamTable>>> {
+        let table = match &self.options.data_dir {
+            Some(dir) => StreamTable::persistent(
+                name,
+                schema,
+                retention,
+                dir,
+                self.options.persistent.clone(),
+            )?,
+            None => StreamTable::new(name, schema, retention),
+        };
+        self.register_table(name, table)
+    }
+
+    fn register_table(
+        &self,
+        name: &str,
+        table: StreamTable,
+    ) -> GsnResult<Arc<RwLock<StreamTable>>> {
         let key = name.to_ascii_lowercase();
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
@@ -49,18 +123,41 @@ impl StorageManager {
                 "storage table `{name}` already exists"
             )));
         }
-        let table = Arc::new(RwLock::new(StreamTable::new(name, schema, retention)));
+        let table = Arc::new(RwLock::new(table));
         tables.insert(key, Arc::clone(&table));
         Ok(table)
     }
 
-    /// Drops a table (when a virtual sensor is undeployed at runtime).
+    /// Drops a table (when a virtual sensor is undeployed at runtime), deleting any
+    /// on-disk state it owns.
     pub fn drop_table(&self, name: &str) -> GsnResult<()> {
         let removed = self.tables.write().remove(&name.to_ascii_lowercase());
         match removed {
-            Some(_) => Ok(()),
-            None => Err(GsnError::not_found(format!("storage table `{name}` does not exist"))),
+            Some(table) => table.write().destroy_storage(),
+            None => Err(GsnError::not_found(format!(
+                "storage table `{name}` does not exist"
+            ))),
         }
+    }
+
+    /// Detaches a table from the manager *without* deleting its on-disk state (the table
+    /// checkpoints as it drops). Used by deployment rollback: a failed re-deploy of a
+    /// permanent-storage sensor must not destroy the history it just recovered.
+    pub fn release_table(&self, name: &str) -> GsnResult<()> {
+        match self.tables.write().remove(&name.to_ascii_lowercase()) {
+            Some(_) => Ok(()),
+            None => Err(GsnError::not_found(format!(
+                "storage table `{name}` does not exist"
+            ))),
+        }
+    }
+
+    /// Checkpoints every persistent table to stable storage.
+    pub fn flush_all(&self) -> GsnResult<()> {
+        for table in self.tables.read().values() {
+            table.write().flush()?;
+        }
+        Ok(())
     }
 
     /// Looks a table up by name.
@@ -121,9 +218,9 @@ impl StorageManager {
             let guard = table.read();
             let relation = match view.sampling_rate {
                 Some(rate) if rate < 1.0 => {
-                    guard.sampled_window_relation(&view.alias, view.window, now, rate)
+                    guard.sampled_window_relation(&view.alias, view.window, now, rate)?
                 }
-                _ => guard.window_relation(&view.alias, view.window, now),
+                _ => guard.window_relation(&view.alias, view.window, now)?,
             };
             catalog.register(&view.alias, relation);
         }
@@ -142,6 +239,17 @@ impl StorageManager {
             stats.retained_elements += guard.len();
             stats.retained_bytes += guard.retained_bytes();
             stats.totals.merge(guard.stats());
+            if guard.is_persistent() {
+                stats.persistent_tables += 1;
+            }
+            if let Some(pool) = guard.pool_stats() {
+                stats.pool.hits += pool.hits;
+                stats.pool.misses += pool.misses;
+                stats.pool.evictions += pool.evictions;
+                stats.pool.writebacks += pool.writebacks;
+                stats.pool.resident_pages += pool.resident_pages;
+                stats.pool.capacity += pool.capacity;
+            }
         }
         stats
     }
@@ -212,16 +320,16 @@ impl Catalog for LiveCatalog<'_> {
         {
             let table = self.manager.table(&view.table)?;
             let guard = table.read();
-            return Ok(match view.sampling_rate {
+            return match view.sampling_rate {
                 Some(rate) if rate < 1.0 => {
                     guard.sampled_window_relation(&view.alias, view.window, self.now, rate)
                 }
                 _ => guard.window_relation(&view.alias, view.window, self.now),
-            });
+            };
         }
         let table = self.manager.table(name)?;
         let guard = table.read();
-        Ok(guard.window_relation(name, WindowSpec::Count(usize::MAX), self.now))
+        guard.window_relation(name, WindowSpec::Count(usize::MAX), self.now)
     }
 }
 
@@ -236,7 +344,8 @@ mod tests {
 
     fn manager_with_data() -> StorageManager {
         let m = StorageManager::new();
-        m.create_table("motes", schema(), Retention::Unbounded).unwrap();
+        m.create_table("motes", schema(), Retention::Unbounded)
+            .unwrap();
         for i in 0..10 {
             let e = StreamElement::new(
                 schema(),
@@ -255,7 +364,8 @@ mod tests {
         m.create_table("a", schema(), Retention::Unbounded).unwrap();
         assert!(m.has_table("A"));
         assert!(m.create_table("A", schema(), Retention::Unbounded).is_err());
-        m.create_table("b", schema(), Retention::Elements(5)).unwrap();
+        m.create_table("b", schema(), Retention::Elements(5))
+            .unwrap();
         assert_eq!(m.table_names(), vec!["a", "b"]);
         m.drop_table("a").unwrap();
         assert!(!m.has_table("a"));
@@ -284,7 +394,11 @@ mod tests {
             .windowed_catalog(
                 &[
                     CatalogView::new("src1", "motes", WindowSpec::Count(3)),
-                    CatalogView::new("src2", "motes", WindowSpec::Time(Duration::from_millis(450))),
+                    CatalogView::new(
+                        "src2",
+                        "motes",
+                        WindowSpec::Time(Duration::from_millis(450)),
+                    ),
                 ],
                 Timestamp(1_000),
             )
@@ -368,7 +482,8 @@ mod tests {
         )
         .unwrap();
         for i in 0..5 {
-            let e = StreamElement::new(schema(), vec![Value::Integer(i)], Timestamp(i * 100)).unwrap();
+            let e =
+                StreamElement::new(schema(), vec![Value::Integer(i)], Timestamp(i * 100)).unwrap();
             m.insert("bounded", e, Timestamp(i * 100)).unwrap();
         }
         m.prune_all(Timestamp(10_000));
@@ -378,7 +493,8 @@ mod tests {
     #[test]
     fn stats_aggregate_across_tables() {
         let m = manager_with_data();
-        m.create_table("empty", schema(), Retention::Unbounded).unwrap();
+        m.create_table("empty", schema(), Retention::Unbounded)
+            .unwrap();
         let stats = m.stats();
         assert_eq!(stats.tables, 2);
         assert_eq!(stats.retained_elements, 10);
@@ -395,7 +511,7 @@ mod tests {
             let m = Arc::clone(&m);
             handles.push(std::thread::spawn(move || {
                 for i in 0..250 {
-                    let ts = Timestamp((worker * 1_000 + i) as i64);
+                    let ts = Timestamp(worker * 1_000 + i);
                     let e = StreamElement::new(schema(), vec![Value::Integer(i)], ts).unwrap();
                     m.insert("t", e, ts).unwrap();
                 }

@@ -50,10 +50,15 @@ impl fmt::Display for TableStats {
 pub struct StorageStats {
     /// Number of tables currently managed.
     pub tables: usize,
+    /// Number of tables backed by the persistent page engine.
+    pub persistent_tables: usize,
     /// Elements currently retained across all tables.
     pub retained_elements: usize,
     /// Bytes currently retained across all tables.
     pub retained_bytes: usize,
+    /// Aggregate buffer-pool counters across all persistent tables (including resident
+    /// page count and total page budget).
+    pub pool: crate::buffer::BufferPoolStats,
     /// Sum of per-table lifetime counters.
     pub totals: TableStats,
 }
@@ -62,8 +67,13 @@ impl fmt::Display for StorageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} tables, {} elements ({} bytes) retained; {}",
-            self.tables, self.retained_elements, self.retained_bytes, self.totals
+            "{} tables ({} persistent, {} pages resident), {} elements ({} bytes) retained; {}",
+            self.tables,
+            self.persistent_tables,
+            self.pool.resident_pages,
+            self.retained_elements,
+            self.retained_bytes,
+            self.totals
         )
     }
 }
@@ -118,6 +128,7 @@ mod tests {
             retained_elements: 7,
             retained_bytes: 1024,
             totals: t,
+            ..Default::default()
         };
         assert!(s.to_string().contains("2 tables"));
         assert!(s.to_string().contains("1024"));

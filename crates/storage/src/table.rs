@@ -5,11 +5,21 @@
 //! table that keeps exactly as much history as its windows require (or everything, when
 //! `permanent-storage="true"`), hands out windowed views for query evaluation, and prunes
 //! expired elements.
+//!
+//! A table delegates element storage to a [`StorageBackend`]: the in-memory vector of the
+//! seed implementation ([`StreamTable::new`]) or the persistent page engine
+//! ([`StreamTable::persistent`]) whose history survives container restarts and can grow
+//! far beyond RAM behind a bounded buffer pool.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use gsn_types::{Duration, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
 
+use crate::backend::{
+    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, StorageBackend,
+};
+use crate::buffer::BufferPoolStats;
 use crate::stats::TableStats;
 use crate::window::{Retention, WindowSpec};
 
@@ -21,31 +31,64 @@ pub struct StreamTable {
     retention: Retention,
     /// Minimum number of most-recent elements always kept, regardless of time horizon.
     min_elements: usize,
-    elements: Vec<StreamElement>,
+    backend: Box<dyn StorageBackend>,
     next_sequence: u64,
+    /// Timestamp of the most recent insert (out-of-order accounting).
+    last_timestamp: Option<Timestamp>,
     stats: TableStats,
 }
 
 impl StreamTable {
-    /// Creates a table with the given retention policy.
+    /// Creates an in-memory table with the given retention policy.
     pub fn new(name: &str, schema: Arc<StreamSchema>, retention: Retention) -> StreamTable {
         StreamTable {
             name: name.to_owned(),
             schema,
             retention,
             min_elements: 1,
-            elements: Vec::new(),
+            backend: Box::new(MemoryBackend::new()),
             next_sequence: 1,
+            last_timestamp: None,
             stats: TableStats::default(),
         }
     }
 
-    /// Creates a table sized for a single window specification.
+    /// Opens (creating or recovering) a durable table stored under `dir`.
+    ///
+    /// When heap/WAL files for this table already exist, the stored history is recovered:
+    /// `len()` reflects the recovered elements and sequence numbering continues where the
+    /// previous incarnation stopped.
+    pub fn persistent(
+        name: &str,
+        schema: Arc<StreamSchema>,
+        retention: Retention,
+        dir: &Path,
+        options: PersistentOptions,
+    ) -> GsnResult<StreamTable> {
+        let backend = PersistentBackend::open(dir, name, Arc::clone(&schema), options)?;
+        let max_sequence = backend.max_sequence();
+        let last_timestamp = backend.last().map(|e| e.timestamp());
+        Ok(StreamTable {
+            name: name.to_owned(),
+            schema,
+            retention,
+            min_elements: 1,
+            backend: Box::new(backend),
+            next_sequence: max_sequence + 1,
+            last_timestamp,
+            // Lifetime counters cover this incarnation only; recovered history shows up
+            // in len()/retained_bytes(), not in `inserted` (re-opening must not inflate
+            // ingest totals across restarts).
+            stats: TableStats::default(),
+        })
+    }
+
+    /// Creates an in-memory table sized for a single window specification.
     pub fn for_window(name: &str, schema: Arc<StreamSchema>, window: WindowSpec) -> StreamTable {
         StreamTable::new(name, schema, window.retention())
     }
 
-    /// Creates an unbounded (permanent-storage) table.
+    /// Creates an unbounded (permanent-storage) in-memory table.
     pub fn permanent(name: &str, schema: Arc<StreamSchema>) -> StreamTable {
         StreamTable::new(name, schema, Retention::Unbounded)
     }
@@ -65,6 +108,21 @@ impl StreamTable {
         self.retention
     }
 
+    /// Which storage engine backs this table.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// True when the table is backed by the persistent page engine.
+    pub fn is_persistent(&self) -> bool {
+        self.backend.kind() == BackendKind::Persistent
+    }
+
+    /// Buffer-pool counters, when this table has a pool.
+    pub fn pool_stats(&self) -> Option<BufferPoolStats> {
+        self.backend.pool_stats()
+    }
+
     /// Widens the retention policy to also satisfy `additional` (e.g. when a second client
     /// registers a query with a larger history over the same source).
     pub fn widen_retention(&mut self, additional: Retention) {
@@ -76,12 +134,12 @@ impl StreamTable {
 
     /// Number of currently retained elements.
     pub fn len(&self) -> usize {
-        self.elements.len()
+        self.backend.len()
     }
 
     /// True when no element is retained.
     pub fn is_empty(&self) -> bool {
-        self.elements.is_empty()
+        self.len() == 0
     }
 
     /// Statistics accumulated by this table.
@@ -96,10 +154,7 @@ impl StreamTable {
     /// arrivals with the local clock); an out-of-order element is still stored but the
     /// table records the anomaly in its statistics so stream-quality monitoring can see it.
     pub fn insert(&mut self, element: StreamElement, now: Timestamp) -> GsnResult<StreamElement> {
-        if !self
-            .schema
-            .is_compatible_with(element.schema())
-        {
+        if !self.schema.is_compatible_with(element.schema()) {
             return Err(GsnError::storage(format!(
                 "element schema {} does not match table `{}` schema {}",
                 element.schema(),
@@ -107,8 +162,8 @@ impl StreamTable {
                 self.schema
             )));
         }
-        if let Some(last) = self.elements.last() {
-            if element.timestamp() < last.timestamp() {
+        if let Some(last) = self.last_timestamp {
+            if element.timestamp() < last {
                 self.stats.out_of_order += 1;
             }
         }
@@ -116,64 +171,97 @@ impl StreamTable {
         self.next_sequence += 1;
         self.stats.inserted += 1;
         self.stats.bytes_inserted += element.size_bytes() as u64;
-        self.elements.push(element.clone());
+        self.last_timestamp = Some(element.timestamp());
+        self.backend.append(&element)?;
         self.prune(now);
         Ok(element)
     }
 
     /// Removes elements that no retention requirement can ever select again.
+    ///
+    /// In-memory tables prune exactly; persistent tables prune at page granularity (they
+    /// may retain slightly more — windows re-filter at read time, so query results are
+    /// unaffected).
     pub fn prune(&mut self, now: Timestamp) {
-        let keep_from = match self.retention {
-            Retention::Unbounded => 0,
-            Retention::Elements(n) => self.elements.len().saturating_sub(n.max(self.min_elements)),
-            Retention::Horizon(d) => {
-                let cutoff = now.saturating_sub(d);
-                let by_time = self
-                    .elements
-                    .partition_point(|e| e.timestamp() < cutoff);
-                // Keep at least `min_elements` so count-style consumers still see data.
-                by_time.min(self.elements.len().saturating_sub(self.min_elements))
-            }
+        let pruned = match self.retention {
+            Retention::Unbounded => Ok(0),
+            Retention::Elements(n) => self.backend.prune_to_elements(n.max(self.min_elements)),
+            Retention::Horizon(d) => self
+                .backend
+                .prune_horizon(now.saturating_sub(d), self.min_elements),
         };
-        if keep_from > 0 {
-            self.stats.pruned += keep_from as u64;
-            self.elements.drain(..keep_from);
+        if let Ok(pruned) = pruned {
+            self.stats.pruned += pruned;
         }
     }
 
     /// Returns the elements selected by `window` when evaluated at `now`.
-    pub fn window_view(&self, window: WindowSpec, now: Timestamp) -> &[StreamElement] {
-        window.select(&self.elements, now)
+    ///
+    /// Persistent tables read through the buffer pool, so I/O or corruption can fail.
+    pub fn try_window_view(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+    ) -> GsnResult<Vec<StreamElement>> {
+        let mut out = Vec::new();
+        self.backend.scan_window(window, now, &mut |e| {
+            out.push(e.clone());
+        })?;
+        Ok(out)
+    }
+
+    /// Infallible convenience over [`try_window_view`](Self::try_window_view): panics on
+    /// a storage error (in-memory tables cannot fail; persistent tables only fail on
+    /// I/O errors or corruption).
+    pub fn window_view(&self, window: WindowSpec, now: Timestamp) -> Vec<StreamElement> {
+        self.try_window_view(window, now)
+            .expect("storage scan failed")
     }
 
     /// Returns every retained element (oldest first).
-    pub fn all(&self) -> &[StreamElement] {
-        &self.elements
+    pub fn all(&self) -> Vec<StreamElement> {
+        self.window_view(WindowSpec::Count(usize::MAX), Timestamp::MAX)
     }
 
     /// The most recently inserted element, if any.
-    pub fn latest(&self) -> Option<&StreamElement> {
-        self.elements.last()
+    pub fn latest(&self) -> Option<StreamElement> {
+        self.backend.last()
     }
 
-    /// Total payload bytes currently retained.
+    /// Total payload bytes currently retained (page-granular for persistent tables).
     pub fn retained_bytes(&self) -> usize {
-        self.elements.iter().map(StreamElement::size_bytes).sum()
+        self.backend.retained_bytes()
+    }
+
+    /// Streams the window selected at `now` through `visit`, oldest first, without
+    /// materialising a vector — persistent tables read through their buffer pool.
+    pub fn scan_window(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        visit: &mut dyn FnMut(&StreamElement),
+    ) -> GsnResult<()> {
+        self.backend.scan_window(window, now, visit)
     }
 
     /// Materialises a windowed view as a SQL relation named `alias`, exposing the implicit
-    /// `PK` and `TIMED` columns (step 2 of the paper's processing pipeline).
+    /// `PK` and `TIMED` columns (step 2 of the paper's processing pipeline).  Rows stream
+    /// directly from the storage backend into the relation; a storage error surfaces
+    /// instead of silently producing a truncated relation.
     pub fn window_relation(
         &self,
         alias: &str,
         window: WindowSpec,
         now: Timestamp,
-    ) -> gsn_sql::Relation {
-        let elements = self.window_view(window, now);
-        gsn_sql::Relation::from_stream_elements(alias, &self.schema, elements)
+    ) -> GsnResult<gsn_sql::Relation> {
+        let mut relation = gsn_sql::Relation::for_stream_schema(alias, &self.schema);
+        self.backend.scan_window(window, now, &mut |e| {
+            relation.push_stream_element(e);
+        })?;
+        Ok(relation)
     }
 
-    /// Applies a uniform sampling rate in `[0, 1]`: builds the windowed view and then keeps
+    /// Applies a uniform sampling rate in `[0, 1]`: evaluates the windowed view and keeps
     /// approximately `rate` of its elements, deterministically by sequence number so that
     /// repeated evaluations agree.  GSN supports "sampling of data streams in order to
     /// reduce the data rate" (Section 3).
@@ -183,22 +271,24 @@ impl StreamTable {
         window: WindowSpec,
         now: Timestamp,
         rate: f64,
-    ) -> gsn_sql::Relation {
-        let elements = self.window_view(window, now);
+    ) -> GsnResult<gsn_sql::Relation> {
         if rate >= 1.0 {
-            return gsn_sql::Relation::from_stream_elements(alias, &self.schema, elements);
+            return self.window_relation(alias, window, now);
         }
         let keep_every = if rate <= 0.0 {
             usize::MAX
         } else {
             (1.0 / rate).round().max(1.0) as usize
         };
-        let sampled: Vec<StreamElement> = elements
-            .iter()
-            .filter(|e| keep_every != usize::MAX && e.sequence() as usize % keep_every == 0)
-            .cloned()
-            .collect();
-        gsn_sql::Relation::from_stream_elements(alias, &self.schema, &sampled)
+        let mut relation = gsn_sql::Relation::for_stream_schema(alias, &self.schema);
+        if keep_every != usize::MAX {
+            self.backend.scan_window(window, now, &mut |e| {
+                if (e.sequence() as usize).is_multiple_of(keep_every) {
+                    relation.push_stream_element(e);
+                }
+            })?;
+        }
+        Ok(relation)
     }
 
     /// Convenience helper used heavily by tests and benchmarks: builds and inserts an
@@ -214,15 +304,35 @@ impl StreamTable {
 
     /// Oldest retained timestamp, if any.
     pub fn oldest_timestamp(&self) -> Option<Timestamp> {
-        self.elements.first().map(StreamElement::timestamp)
+        self.backend.first_timestamp().ok().flatten()
     }
 
     /// The time span currently covered by the retained elements.
     pub fn covered_span(&self) -> Duration {
-        match (self.elements.first(), self.elements.last()) {
-            (Some(first), Some(last)) => last.timestamp() - first.timestamp(),
+        match (self.oldest_timestamp(), self.latest()) {
+            (Some(first), Some(last)) => last.timestamp() - first,
             _ => Duration::ZERO,
         }
+    }
+
+    /// Checkpoints a persistent table to stable storage (no-op for in-memory tables).
+    pub fn flush(&mut self) -> GsnResult<()> {
+        self.backend.flush()
+    }
+
+    /// Deletes any on-disk state, leaving the table empty and in-memory (used by
+    /// `drop_table`).
+    pub fn destroy_storage(&mut self) -> GsnResult<()> {
+        let backend = std::mem::replace(&mut self.backend, Box::new(MemoryBackend::new()));
+        backend.destroy()
+    }
+}
+
+impl Drop for StreamTable {
+    fn drop(&mut self) {
+        // Clean shutdown checkpoints persistent tables; errors are unreportable here and
+        // recovery would replay the WAL anyway.
+        let _ = self.backend.flush();
     }
 }
 
@@ -268,6 +378,9 @@ mod tests {
         assert_eq!(t.latest().unwrap().sequence(), 2);
         assert_eq!(t.oldest_timestamp(), Some(Timestamp(10)));
         assert_eq!(t.covered_span(), Duration::from_millis(10));
+        assert_eq!(t.backend_kind(), crate::BackendKind::Memory);
+        assert!(!t.is_persistent());
+        assert!(t.pool_stats().is_none());
     }
 
     #[test]
@@ -296,7 +409,7 @@ mod tests {
             Retention::Horizon(Duration::from_millis(250)),
         );
         fill(&mut t, 10, 100); // timestamps 100..1000
-        // now = 1000; cutoff = 750; keeps 800, 900, 1000
+                               // now = 1000; cutoff = 750; keeps 800, 900, 1000
         assert_eq!(t.len(), 3);
         assert_eq!(t.oldest_timestamp(), Some(Timestamp(800)));
     }
@@ -352,7 +465,8 @@ mod tests {
         let now = Timestamp(1_000);
         assert_eq!(t.window_view(WindowSpec::Count(4), now).len(), 4);
         assert_eq!(
-            t.window_view(WindowSpec::Time(Duration::from_millis(299)), now).len(),
+            t.window_view(WindowSpec::Time(Duration::from_millis(299)), now)
+                .len(),
             3
         );
         assert_eq!(t.window_view(WindowSpec::LatestOnly, now).len(), 1);
@@ -362,7 +476,9 @@ mod tests {
     fn window_relation_is_queryable() {
         let mut t = StreamTable::permanent("motes", schema());
         fill(&mut t, 5, 100);
-        let rel = t.window_relation("src1", WindowSpec::Count(3), Timestamp(500));
+        let rel = t
+            .window_relation("src1", WindowSpec::Count(3), Timestamp(500))
+            .unwrap();
         assert_eq!(rel.row_count(), 3);
         assert_eq!(rel.column_count(), 4); // PK, TIMED, TEMPERATURE, ROOM
         let mut catalog = gsn_sql::MemoryCatalog::new();
@@ -378,13 +494,21 @@ mod tests {
     fn sampled_window_relation_reduces_rows() {
         let mut t = StreamTable::permanent("motes", schema());
         fill(&mut t, 100, 10);
-        let full = t.sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 1.0);
+        let full = t
+            .sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 1.0)
+            .unwrap();
         assert_eq!(full.row_count(), 100);
-        let half = t.sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.5);
+        let half = t
+            .sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.5)
+            .unwrap();
         assert_eq!(half.row_count(), 50);
-        let tenth = t.sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.1);
+        let tenth = t
+            .sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.1)
+            .unwrap();
         assert_eq!(tenth.row_count(), 10);
-        let none = t.sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.0);
+        let none = t
+            .sampled_window_relation("s", WindowSpec::Count(100), Timestamp(1_000), 0.0)
+            .unwrap();
         assert_eq!(none.row_count(), 0);
     }
 
@@ -402,5 +526,103 @@ mod tests {
         assert_eq!(t.retention(), Retention::Elements(7));
         let t = StreamTable::for_window("x", schema(), WindowSpec::Time(Duration::from_secs(1)));
         assert_eq!(t.retention(), Retention::Horizon(Duration::from_secs(1)));
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Persistent tables
+    // -----------------------------------------------------------------------------------
+
+    #[test]
+    fn persistent_table_round_trips_through_restart() {
+        let dir = crate::testutil::temp_dir("table-restart");
+        {
+            let mut t = StreamTable::persistent(
+                "motes",
+                schema(),
+                Retention::Unbounded,
+                &dir,
+                PersistentOptions::default(),
+            )
+            .unwrap();
+            assert!(t.is_persistent());
+            assert_eq!(t.backend_kind(), crate::BackendKind::Persistent);
+            fill(&mut t, 50, 100);
+            assert_eq!(t.len(), 50);
+        }
+        let mut t = StreamTable::persistent(
+            "motes",
+            schema(),
+            Retention::Unbounded,
+            &dir,
+            PersistentOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.latest().unwrap().sequence(), 50);
+        // Sequence numbering continues where the previous incarnation stopped.
+        let e = t
+            .insert_values(
+                vec![Value::Integer(99), Value::varchar("x")],
+                Timestamp(10_000),
+            )
+            .unwrap();
+        assert_eq!(e.sequence(), 51);
+        assert!(t.pool_stats().is_some());
+    }
+
+    #[test]
+    fn persistent_window_relation_matches_memory_semantics() {
+        let dir = crate::testutil::temp_dir("table-windows");
+        let mut mem = StreamTable::permanent("m", schema());
+        let mut per = StreamTable::persistent(
+            "m",
+            schema(),
+            Retention::Unbounded,
+            &dir,
+            PersistentOptions {
+                pool_pages: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        fill(&mut mem, 200, 10);
+        fill(&mut per, 200, 10);
+        let now = Timestamp(2_000);
+        for window in [
+            WindowSpec::Count(7),
+            WindowSpec::Count(500),
+            WindowSpec::LatestOnly,
+            WindowSpec::Time(Duration::from_millis(555)),
+        ] {
+            let a = mem.window_relation("w", window, now).unwrap();
+            let b = per.window_relation("w", window, now).unwrap();
+            assert_eq!(a.rows(), b.rows(), "window {window:?}");
+        }
+        let a = mem
+            .sampled_window_relation("w", WindowSpec::Count(100), now, 0.25)
+            .unwrap();
+        let b = per
+            .sampled_window_relation("w", WindowSpec::Count(100), now, 0.25)
+            .unwrap();
+        assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn destroy_storage_removes_files() {
+        let dir = crate::testutil::temp_dir("table-destroy");
+        let mut t = StreamTable::persistent(
+            "gone",
+            schema(),
+            Retention::Unbounded,
+            &dir,
+            PersistentOptions::default(),
+        )
+        .unwrap();
+        fill(&mut t, 5, 100);
+        t.destroy_storage().unwrap();
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        // The table stays usable as an (empty) in-memory table.
+        assert_eq!(t.len(), 0);
+        assert!(!t.is_persistent());
     }
 }

@@ -1,0 +1,17 @@
+//! Test support: unique temporary directories without external crates.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Creates a fresh directory under the system temp dir, unique per process and call.
+///
+/// Intended for tests and benchmarks; the directory is intentionally left behind on
+/// failure so a broken run can be inspected (the OS reclaims temp space).
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gsn-storage-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}

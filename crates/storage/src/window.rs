@@ -68,11 +68,7 @@ impl WindowSpec {
     ///
     /// The returned slice preserves arrival order, which downstream SQL relies on for
     /// `FIRST`/`LAST` aggregates and deterministic results.
-    pub fn select<'a>(
-        &self,
-        elements: &'a [StreamElement],
-        now: Timestamp,
-    ) -> &'a [StreamElement] {
+    pub fn select<'a>(&self, elements: &'a [StreamElement], now: Timestamp) -> &'a [StreamElement] {
         match self {
             WindowSpec::LatestOnly => {
                 if elements.is_empty() {
@@ -180,9 +176,13 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, ts)| {
-                StreamElement::new(schema.clone(), vec![Value::Integer(i as i64)], Timestamp(*ts))
-                    .unwrap()
-                    .with_sequence(i as u64 + 1)
+                StreamElement::new(
+                    schema.clone(),
+                    vec![Value::Integer(i as i64)],
+                    Timestamp(*ts),
+                )
+                .unwrap()
+                .with_sequence(i as u64 + 1)
             })
             .collect()
     }
@@ -281,7 +281,10 @@ mod tests {
     fn max_elements_and_retention() {
         assert_eq!(WindowSpec::Count(5).max_elements(), Some(5));
         assert_eq!(WindowSpec::LatestOnly.max_elements(), Some(1));
-        assert_eq!(WindowSpec::Time(Duration::from_secs(1)).max_elements(), None);
+        assert_eq!(
+            WindowSpec::Time(Duration::from_secs(1)).max_elements(),
+            None
+        );
         assert_eq!(WindowSpec::Count(5).retention(), Retention::Elements(5));
         assert_eq!(
             WindowSpec::Time(Duration::from_secs(1)).retention(),
@@ -310,6 +313,8 @@ mod tests {
         assert!(WindowSpec::Time(Duration::from_secs(1)).is_time_based());
         assert!(!WindowSpec::Count(5).is_time_based());
         assert!(WindowSpec::Count(5).to_string().contains("count"));
-        assert!(WindowSpec::Time(Duration::from_secs(1)).to_string().contains("time"));
+        assert!(WindowSpec::Time(Duration::from_secs(1))
+            .to_string()
+            .contains("time"));
     }
 }

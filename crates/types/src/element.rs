@@ -122,9 +122,7 @@ impl StreamElement {
         if field.eq_ignore_ascii_case(StreamSchema::PK) {
             return Some(Value::Integer(self.sequence as i64));
         }
-        self.schema
-            .index_of(field)
-            .map(|i| self.values[i].clone())
+        self.schema.index_of(field).map(|i| self.values[i].clone())
     }
 
     /// Looks a value up by position.
@@ -248,9 +246,7 @@ mod tests {
 
     #[test]
     fn size_accounts_for_payload() {
-        let s = Arc::new(
-            StreamSchema::from_pairs(&[("image", DataType::Binary)]).unwrap(),
-        );
+        let s = Arc::new(StreamSchema::from_pairs(&[("image", DataType::Binary)]).unwrap());
         let e = StreamElement::new(s, vec![Value::binary(vec![0u8; 1000])], Timestamp(0)).unwrap();
         assert_eq!(e.size_bytes(), 1008);
     }

@@ -28,12 +28,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from key/value pairs.
     pub fn object(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// Builds an array.

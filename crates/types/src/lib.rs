@@ -16,6 +16,8 @@
 //!   [`SimulatedClock`] so that experiments are deterministic and fast.
 //! * [`GsnError`] — the error type used across the workspace.
 //! * [`ident`] — validated identifiers for virtual sensors, fields and nodes.
+//! * [`codec`] — the binary record format shared by the persistent storage engine's
+//!   pages and write-ahead log.
 //! * [`json`] — a minimal JSON writer used by benchmark harnesses to emit machine-readable
 //!   reports without pulling extra dependencies.
 
@@ -23,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod clock;
+pub mod codec;
 pub mod element;
 pub mod error;
 pub mod ident;

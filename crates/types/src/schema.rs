@@ -164,9 +164,8 @@ impl StreamSchema {
             .iter()
             .zip(&self.fields)
             .map(|(v, f)| {
-                v.coerce_to(f.data_type).map_err(|e| {
-                    GsnError::type_error(format!("field {}: {}", f.name, e))
-                })
+                v.coerce_to(f.data_type)
+                    .map_err(|e| GsnError::type_error(format!("field {}: {}", f.name, e)))
             })
             .collect()
     }
@@ -226,11 +225,8 @@ mod tests {
 
     #[test]
     fn duplicate_fields_rejected() {
-        let err = StreamSchema::from_pairs(&[
-            ("a", DataType::Integer),
-            ("A", DataType::Double),
-        ])
-        .unwrap_err();
+        let err = StreamSchema::from_pairs(&[("a", DataType::Integer), ("A", DataType::Double)])
+            .unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 
@@ -253,7 +249,11 @@ mod tests {
     fn coerce_row_applies_declared_types() {
         let s = temperature_schema();
         let row = s
-            .coerce_row(&[Value::Double(21.0), Value::Integer(500), Value::varchar("bc143")])
+            .coerce_row(&[
+                Value::Double(21.0),
+                Value::Integer(500),
+                Value::varchar("bc143"),
+            ])
             .unwrap();
         assert_eq!(row[0], Value::Integer(21));
         assert_eq!(row[1], Value::Double(500.0));

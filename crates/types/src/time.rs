@@ -16,7 +16,9 @@ use serde::{Deserialize, Serialize};
 /// GSN assigns a reception timestamp to every tuple that arrives without one.  Timestamps
 /// are totally ordered; the ordering of a data stream is derived from the ordering of its
 /// timestamps (paper, Section 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct Timestamp(pub i64);
 
 impl Timestamp {
@@ -116,7 +118,9 @@ impl Sub<Timestamp> for Timestamp {
 /// sampling intervals, history sizes and disconnect-buffer horizons.  Negative durations
 /// are representable (they arise from subtracting timestamps) but descriptor parsing only
 /// accepts non-negative spans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct Duration(pub i64);
 
 impl Duration {
@@ -273,13 +277,22 @@ mod tests {
         assert_eq!(t + Duration::from_secs(2), Timestamp(3_000));
         assert_eq!(t - Duration::from_millis(400), Timestamp(600));
         assert_eq!(Timestamp(3_000) - Timestamp(1_000), Duration::from_secs(2));
-        assert_eq!(Timestamp(1_000) - Timestamp(3_000), Duration::from_millis(-2_000));
+        assert_eq!(
+            Timestamp(1_000) - Timestamp(3_000),
+            Duration::from_millis(-2_000)
+        );
     }
 
     #[test]
     fn saturating_ops_do_not_overflow() {
-        assert_eq!(Timestamp::MAX.saturating_add(Duration::from_secs(1)), Timestamp::MAX);
-        assert_eq!(Timestamp::MIN.saturating_sub(Duration::from_secs(1)), Timestamp::MIN);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_secs(1)),
+            Timestamp::MAX
+        );
+        assert_eq!(
+            Timestamp::MIN.saturating_sub(Duration::from_secs(1)),
+            Timestamp::MIN
+        );
         assert_eq!(
             Duration(i64::MAX).saturating_add(Duration(1)),
             Duration(i64::MAX)
@@ -310,10 +323,16 @@ mod tests {
     #[test]
     fn duration_parse_spec_accepts_all_units() {
         assert_eq!(Duration::parse_spec("15"), Some(Duration::from_millis(15)));
-        assert_eq!(Duration::parse_spec("15ms"), Some(Duration::from_millis(15)));
+        assert_eq!(
+            Duration::parse_spec("15ms"),
+            Some(Duration::from_millis(15))
+        );
         assert_eq!(Duration::parse_spec("10s"), Some(Duration::from_secs(10)));
         assert_eq!(Duration::parse_spec("5m"), Some(Duration::from_minutes(5)));
-        assert_eq!(Duration::parse_spec("5min"), Some(Duration::from_minutes(5)));
+        assert_eq!(
+            Duration::parse_spec("5min"),
+            Some(Duration::from_minutes(5))
+        );
         assert_eq!(Duration::parse_spec("2h"), Some(Duration::from_hours(2)));
         assert_eq!(Duration::parse_spec(" 30s "), Some(Duration::from_secs(30)));
     }

@@ -46,7 +46,9 @@ impl DataType {
             "boolean" | "bool" | "bit" => Ok(DataType::Boolean),
             "binary" | "blob" | "varbinary" | "image" => Ok(DataType::Binary),
             "timestamp" | "time" | "datetime" => Ok(DataType::Timestamp),
-            other => Err(GsnError::descriptor(format!("unknown field type `{other}`"))),
+            other => Err(GsnError::descriptor(format!(
+                "unknown field type `{other}`"
+            ))),
         }
     }
 
@@ -64,7 +66,10 @@ impl DataType {
 
     /// True when values of this type are numeric (usable in arithmetic and AVG/SUM).
     pub fn is_numeric(self) -> bool {
-        matches!(self, DataType::Integer | DataType::Double | DataType::Timestamp)
+        matches!(
+            self,
+            DataType::Integer | DataType::Double | DataType::Timestamp
+        )
     }
 
     /// The common supertype two operand types promote to in arithmetic, if any.
@@ -220,7 +225,9 @@ impl Value {
         let fail = || {
             GsnError::type_error(format!(
                 "cannot coerce {} value `{}` to {}",
-                self.data_type().map(|t| t.to_string()).unwrap_or_else(|| "null".into()),
+                self.data_type()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "null".into()),
                 self,
                 ty
             ))
@@ -442,7 +449,10 @@ mod tests {
             Value::Integer(5).coerce_to(DataType::Varchar).unwrap(),
             Value::varchar("5")
         );
-        assert_eq!(Value::Null.coerce_to(DataType::Binary).unwrap(), Value::Null);
+        assert_eq!(
+            Value::Null.coerce_to(DataType::Binary).unwrap(),
+            Value::Null
+        );
         assert!(Value::varchar("abc").coerce_to(DataType::Integer).is_err());
         assert!(Value::binary(vec![1]).coerce_to(DataType::Double).is_err());
         assert!(Value::Double(2.5).coerce_to(DataType::Integer).is_err());

@@ -60,7 +60,10 @@ impl CameraConfig {
             interval: Duration::from_millis(interval_ms.max(1)),
             image_size,
             camera_id: address.predicate("camera-id").unwrap_or("cam-1").to_owned(),
-            location: address.predicate("location").unwrap_or("unknown").to_owned(),
+            location: address
+                .predicate("location")
+                .unwrap_or("unknown")
+                .to_owned(),
             seed,
         })
     }
@@ -144,7 +147,10 @@ impl Wrapper for CameraWrapper {
     fn describe(&self) -> String {
         format!(
             "camera {} at {} ({} byte frames every {})",
-            self.config.camera_id, self.config.location, self.config.image_size, self.config.interval
+            self.config.camera_id,
+            self.config.location,
+            self.config.image_size,
+            self.config.interval
         )
     }
 }
@@ -159,7 +165,9 @@ impl WrapperFactory for CameraWrapperFactory {
     }
 
     fn create(&self, address: &AddressSpec) -> GsnResult<Box<dyn Wrapper>> {
-        Ok(Box::new(CameraWrapper::new(CameraConfig::from_address(address)?)))
+        Ok(Box::new(CameraWrapper::new(CameraConfig::from_address(
+            address,
+        )?)))
     }
 
     fn description(&self) -> String {
@@ -185,10 +193,7 @@ mod tests {
                 frame.value("FRAME_NUMBER"),
                 Some(Value::Integer(i as i64 + 1))
             );
-            assert_eq!(
-                frame.value("IMAGE").unwrap().size_bytes(),
-                75 * 1024
-            );
+            assert_eq!(frame.value("IMAGE").unwrap().size_bytes(), 75 * 1024);
             assert!(frame.size_bytes() >= 75 * 1024);
         }
     }

@@ -17,7 +17,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use gsn_types::{DataType, Duration, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
+use gsn_types::{
+    DataType, Duration, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value,
+};
 use gsn_xml::AddressSpec;
 use parking_lot::Mutex;
 
@@ -71,11 +73,7 @@ impl Wrapper for SystemTimeWrapper {
             .due_times(now)
             .into_iter()
             .map(|due| {
-                StreamElement::new(
-                    Arc::clone(&self.schema),
-                    vec![Value::Timestamp(due)],
-                    due,
-                )
+                StreamElement::new(Arc::clone(&self.schema), vec![Value::Timestamp(due)], due)
             })
             .collect()
     }
@@ -218,7 +216,11 @@ impl PushWrapperFactory {
 
 impl std::fmt::Debug for PushWrapperFactory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PushWrapperFactory({} channels)", self.channels.lock().len())
+        write!(
+            f,
+            "PushWrapperFactory({} channels)",
+            self.channels.lock().len()
+        )
     }
 }
 
@@ -253,9 +255,7 @@ fn schema_from_predicates(address: &AddressSpec) -> GsnResult<StreamSchema> {
     for i in 1..=32 {
         match address.predicate(&format!("field-{i}")) {
             Some(name) => {
-                let ty = address
-                    .predicate(&format!("type-{i}"))
-                    .unwrap_or("double");
+                let ty = address.predicate(&format!("type-{i}")).unwrap_or("double");
                 fields.push(gsn_types::FieldSpec::new(name, DataType::parse(ty)?)?);
             }
             None => break,
@@ -309,7 +309,11 @@ impl ReplayWrapper {
     }
 
     /// Parses a simple CSV trace: `offset_ms,value[,value...]` per line, `#` comments.
-    pub fn parse_csv(schema: Arc<StreamSchema>, csv: &str, looped: bool) -> GsnResult<ReplayWrapper> {
+    pub fn parse_csv(
+        schema: Arc<StreamSchema>,
+        csv: &str,
+        looped: bool,
+    ) -> GsnResult<ReplayWrapper> {
         let mut trace = Vec::new();
         for (lineno, line) in csv.lines().enumerate() {
             let line = line.trim();
@@ -317,21 +321,29 @@ impl ReplayWrapper {
                 continue;
             }
             let mut parts = line.split(',').map(str::trim);
-            let offset: i64 = parts
-                .next()
-                .unwrap_or_default()
-                .parse()
-                .map_err(|_| GsnError::descriptor(format!("replay trace line {}: bad offset", lineno + 1)))?;
+            let offset: i64 = parts.next().unwrap_or_default().parse().map_err(|_| {
+                GsnError::descriptor(format!("replay trace line {}: bad offset", lineno + 1))
+            })?;
             let mut values = Vec::new();
             for (field, raw) in schema.fields().zip(parts) {
                 let value = match field.data_type {
-                    DataType::Integer | DataType::Timestamp => Value::Integer(raw.parse().map_err(
-                        |_| GsnError::descriptor(format!("replay trace line {}: bad integer `{raw}`", lineno + 1)),
-                    )?),
+                    DataType::Integer | DataType::Timestamp => {
+                        Value::Integer(raw.parse().map_err(|_| {
+                            GsnError::descriptor(format!(
+                                "replay trace line {}: bad integer `{raw}`",
+                                lineno + 1
+                            ))
+                        })?)
+                    }
                     DataType::Double => Value::Double(raw.parse().map_err(|_| {
-                        GsnError::descriptor(format!("replay trace line {}: bad double `{raw}`", lineno + 1))
+                        GsnError::descriptor(format!(
+                            "replay trace line {}: bad double `{raw}`",
+                            lineno + 1
+                        ))
                     })?),
-                    DataType::Boolean => Value::Boolean(raw.eq_ignore_ascii_case("true") || raw == "1"),
+                    DataType::Boolean => {
+                        Value::Boolean(raw.eq_ignore_ascii_case("true") || raw == "1")
+                    }
                     DataType::Varchar => Value::varchar(raw),
                     DataType::Binary => Value::binary(raw.as_bytes().to_vec()),
                 };
@@ -374,7 +386,11 @@ impl Wrapper for ReplayWrapper {
             if self.cursor >= self.trace.len() {
                 if self.looped && !self.trace.is_empty() {
                     // Restart the trace relative to the last covered instant.
-                    let span = self.trace.last().map(|r| r.offset).unwrap_or(Duration::ZERO);
+                    let span = self
+                        .trace
+                        .last()
+                        .map(|r| r.offset)
+                        .unwrap_or(Duration::ZERO);
                     self.epoch = self.epoch + span + self.interval;
                     self.cursor = 0;
                 } else {
@@ -397,11 +413,14 @@ impl Wrapper for ReplayWrapper {
     }
 }
 
+/// A registered replay trace: the schema plus its rows.
+type RegisteredTrace = (Arc<StreamSchema>, Vec<TraceRow>);
+
 /// Factory for [`ReplayWrapper`] — the trace is supplied inline via the `trace` predicate
 /// (CSV with `;` as the row separator) or by application code through
 /// [`ReplayWrapperFactory::register_trace`].
 pub struct ReplayWrapperFactory {
-    traces: Mutex<HashMap<String, (Arc<StreamSchema>, Vec<TraceRow>)>>,
+    traces: Mutex<HashMap<String, RegisteredTrace>>,
 }
 
 impl Default for ReplayWrapperFactory {
@@ -427,7 +446,11 @@ impl ReplayWrapperFactory {
 
 impl std::fmt::Debug for ReplayWrapperFactory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ReplayWrapperFactory({} traces)", self.traces.lock().len())
+        write!(
+            f,
+            "ReplayWrapperFactory({} traces)",
+            self.traces.lock().len()
+        )
     }
 }
 
@@ -581,7 +604,10 @@ mod tests {
         let mut w = SystemTimeWrapper::new(Duration::from_millis(200));
         let ticks = w.poll(Timestamp(1_000)).unwrap();
         assert_eq!(ticks.len(), 5);
-        assert_eq!(ticks[0].value("CLOCK"), Some(Value::Timestamp(Timestamp(200))));
+        assert_eq!(
+            ticks[0].value("CLOCK"),
+            Some(Value::Timestamp(Timestamp(200)))
+        );
         assert_eq!(w.kind(), "system-time");
         let w2 = SystemTimeWrapperFactory
             .create(&AddressSpec::new("system-time").with_predicate("interval", "50"))
@@ -594,8 +620,12 @@ mod tests {
         let schema = Arc::new(StreamSchema::from_pairs(&[("v", DataType::Integer)]).unwrap());
         let (mut wrapper, handle) = PushWrapper::new(schema.clone(), Duration::from_millis(10));
         assert!(wrapper.poll(Timestamp(0)).unwrap().is_empty());
-        handle.push_values(vec![Value::Integer(1)], Timestamp(5)).unwrap();
-        handle.push_values(vec![Value::Integer(2)], Timestamp(6)).unwrap();
+        handle
+            .push_values(vec![Value::Integer(1)], Timestamp(5))
+            .unwrap();
+        handle
+            .push_values(vec![Value::Integer(2)], Timestamp(6))
+            .unwrap();
         let got = wrapper.poll(Timestamp(10)).unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!(got[1].value("V"), Some(Value::Integer(2)));
@@ -614,7 +644,9 @@ mod tests {
         let mut wrapper = factory
             .create(&AddressSpec::new("push").with_predicate("channel", "feed-1"))
             .unwrap();
-        handle.push_values(vec![Value::Integer(9)], Timestamp(1)).unwrap();
+        handle
+            .push_values(vec![Value::Integer(9)], Timestamp(1))
+            .unwrap();
         assert_eq!(wrapper.poll(Timestamp(10)).unwrap().len(), 1);
         // A channel created from the descriptor side works too.
         let mut other = factory
@@ -644,7 +676,11 @@ mod tests {
 
         let mut looping = ReplayWrapper::parse_csv(schema, csv, true).unwrap();
         let burst = looping.poll(Timestamp(1_000)).unwrap();
-        assert!(burst.len() > 3, "looped replay should repeat: {}", burst.len());
+        assert!(
+            burst.len() > 3,
+            "looped replay should repeat: {}",
+            burst.len()
+        );
     }
 
     #[test]
@@ -695,7 +731,8 @@ mod tests {
     #[test]
     fn scripted_wrapper_runs_the_closure() {
         let schema = Arc::new(
-            StreamSchema::from_pairs(&[("n", DataType::Integer), ("sq", DataType::Integer)]).unwrap(),
+            StreamSchema::from_pairs(&[("n", DataType::Integer), ("sq", DataType::Integer)])
+                .unwrap(),
         );
         let mut w = ScriptedWrapper::new(
             schema,

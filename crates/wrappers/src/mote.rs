@@ -177,8 +177,8 @@ impl Wrapper for MoteWrapper {
                 Value::Double(round2(self.accel_y.step(&mut self.rng))),
                 padding,
             ];
-            let element = StreamElement::new(Arc::clone(&self.schema), values, due)?
-                .with_produced_at(due);
+            let element =
+                StreamElement::new(Arc::clone(&self.schema), values, due)?.with_produced_at(due);
             self.produced += 1;
             out.push(element);
         }
@@ -207,7 +207,9 @@ impl WrapperFactory for MoteWrapperFactory {
     }
 
     fn create(&self, address: &AddressSpec) -> GsnResult<Box<dyn Wrapper>> {
-        Ok(Box::new(MoteWrapper::new(MoteConfig::from_address(address)?)))
+        Ok(Box::new(MoteWrapper::new(MoteConfig::from_address(
+            address,
+        )?)))
     }
 
     fn description(&self) -> String {
@@ -278,7 +280,10 @@ mod tests {
         };
         let mut a = MoteWrapper::new(config.clone());
         let mut b = MoteWrapper::new(config);
-        assert_eq!(a.poll(Timestamp(500)).unwrap(), b.poll(Timestamp(500)).unwrap());
+        assert_eq!(
+            a.poll(Timestamp(500)).unwrap(),
+            b.poll(Timestamp(500)).unwrap()
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl RfidConfig {
         }
         Ok(RfidConfig {
             interval: Duration::from_millis(interval_ms.max(1)),
-            reader_id: address.predicate("reader-id").unwrap_or("reader-1").to_owned(),
+            reader_id: address
+                .predicate("reader-id")
+                .unwrap_or("reader-1")
+                .to_owned(),
             tags,
             detection_probability,
             seed,
@@ -194,7 +197,9 @@ impl WrapperFactory for RfidWrapperFactory {
     }
 
     fn create(&self, address: &AddressSpec) -> GsnResult<Box<dyn Wrapper>> {
-        Ok(Box::new(RfidWrapper::new(RfidConfig::from_address(address)?)))
+        Ok(Box::new(RfidWrapper::new(RfidConfig::from_address(
+            address,
+        )?)))
     }
 
     fn description(&self) -> String {
@@ -240,7 +245,9 @@ mod tests {
     #[test]
     fn force_detection_emits_the_requested_tag() {
         let mut reader = RfidWrapper::new(RfidConfig::default());
-        let e = reader.force_detection("visitor-badge-42", Timestamp(123)).unwrap();
+        let e = reader
+            .force_detection("visitor-badge-42", Timestamp(123))
+            .unwrap();
         assert_eq!(e.value("TAG"), Some(Value::varchar("visitor-badge-42")));
         assert_eq!(e.timestamp(), Timestamp(123));
         assert_eq!(reader.detections(), 1);

@@ -136,7 +136,7 @@ impl Schedule {
         let mut due = Vec::new();
         while self.next_due <= now {
             due.push(self.next_due);
-            self.next_due = self.next_due + self.interval;
+            self.next_due += self.interval;
         }
         due
     }
@@ -171,7 +171,11 @@ impl FailureModel {
     }
 
     /// Creates a failure model.
-    pub fn new(drop_probability: f64, disconnect_probability: f64, disconnect_duration: Duration) -> FailureModel {
+    pub fn new(
+        drop_probability: f64,
+        disconnect_probability: f64,
+        disconnect_duration: Duration,
+    ) -> FailureModel {
         FailureModel {
             drop_probability,
             disconnect_probability,
@@ -197,7 +201,9 @@ impl FailureModel {
 
     /// True while the simulated device is in a disconnection period at `at`.
     pub fn is_disconnected(&self, at: Timestamp) -> bool {
-        self.disconnected_until.map(|until| at < until).unwrap_or(false)
+        self.disconnected_until
+            .map(|until| at < until)
+            .unwrap_or(false)
     }
 }
 
@@ -266,7 +272,12 @@ mod tests {
         // Catch-up after a long gap emits every missed element.
         assert_eq!(
             s.due_times(Timestamp(500)),
-            vec![Timestamp(200), Timestamp(300), Timestamp(400), Timestamp(500)]
+            vec![
+                Timestamp(200),
+                Timestamp(300),
+                Timestamp(400),
+                Timestamp(500)
+            ]
         );
         assert_eq!(s.next_due(), Timestamp(600));
     }

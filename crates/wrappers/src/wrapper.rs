@@ -54,7 +54,11 @@ pub trait Wrapper: Send {
 
     /// A short human-readable description for status reports.
     fn describe(&self) -> String {
-        format!("{} wrapper ({} interval)", self.kind(), self.nominal_interval())
+        format!(
+            "{} wrapper ({} interval)",
+            self.kind(),
+            self.nominal_interval()
+        )
     }
 }
 
@@ -124,7 +128,7 @@ impl WrapperRegistry {
             .register(Arc::new(crate::generic::ReplayWrapperFactory::new()))
             .expect("fresh registry");
         registry
-            .register(Arc::new(crate::generic::ScriptedWrapperFactory::default()))
+            .register(Arc::new(crate::generic::ScriptedWrapperFactory))
             .expect("fresh registry");
         registry
     }
@@ -170,17 +174,12 @@ impl WrapperRegistry {
     /// Instantiates a wrapper for an address.
     pub fn create(&self, address: &AddressSpec) -> GsnResult<Box<dyn Wrapper>> {
         let key = address.wrapper.to_ascii_lowercase();
-        let factory = self
-            .factories
-            .read()
-            .get(&key)
-            .cloned()
-            .ok_or_else(|| {
-                GsnError::not_found(format!(
-                    "no wrapper factory registered for `{key}` (available: {})",
-                    self.kinds().join(", ")
-                ))
-            })?;
+        let factory = self.factories.read().get(&key).cloned().ok_or_else(|| {
+            GsnError::not_found(format!(
+                "no wrapper factory registered for `{key}` (available: {})",
+                self.kinds().join(", ")
+            ))
+        })?;
         factory.create(address)
     }
 }
@@ -215,7 +214,15 @@ mod tests {
     #[test]
     fn builtin_registry_has_all_platforms() {
         let registry = WrapperRegistry::with_builtins();
-        for kind in ["mote", "camera", "rfid", "system-time", "push", "replay", "scripted"] {
+        for kind in [
+            "mote",
+            "camera",
+            "rfid",
+            "system-time",
+            "push",
+            "replay",
+            "scripted",
+        ] {
             assert!(registry.supports(kind), "missing builtin {kind}");
         }
         assert!(!registry.supports("remote")); // remote is provided by the network layer

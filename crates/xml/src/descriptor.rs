@@ -57,20 +57,75 @@ impl Default for LifeCycleConfig {
     }
 }
 
+/// Which storage engine the container should use for a sensor's output table
+/// (`<storage backend="...">`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageBackendChoice {
+    /// Let the container decide: disk when `permanent-storage="true"` and the container
+    /// has a data directory, memory otherwise.
+    #[default]
+    Auto,
+    /// Force the in-memory backend even for permanent storage.
+    Memory,
+    /// Force the persistent page engine (requires a container data directory to take
+    /// effect).
+    Disk,
+}
+
+impl StorageBackendChoice {
+    /// Parses the `backend` attribute value.
+    pub fn parse(value: &str) -> GsnResult<StorageBackendChoice> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(StorageBackendChoice::Auto),
+            "memory" | "mem" => Ok(StorageBackendChoice::Memory),
+            "disk" | "persistent" | "file" => Ok(StorageBackendChoice::Disk),
+            other => Err(GsnError::descriptor(format!(
+                "unknown storage backend `{other}` (expected auto, memory or disk)"
+            ))),
+        }
+    }
+
+    /// The canonical attribute spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorageBackendChoice::Auto => "auto",
+            StorageBackendChoice::Memory => "memory",
+            StorageBackendChoice::Disk => "disk",
+        }
+    }
+}
+
 /// The `<storage>` element: how output stream elements are persisted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StorageConfig {
     /// `permanent-storage="true"`: keep the full output history.
     pub permanent: bool,
     /// The bounded history kept when not permanent (`size="10s"` / `size="100"`).
+    /// `None` keeps the full history, mirroring the original GSN where the output
+    /// stream accumulates in its database table unless explicitly bounded.
     pub history: Option<WindowSpec>,
+    /// Which storage engine to use (`backend="auto|memory|disk"`).
+    pub backend: StorageBackendChoice,
+}
+
+impl StorageConfig {
+    /// True when the container should place this output table on the persistent engine
+    /// (assuming it has a data directory).
+    pub fn wants_durable(&self) -> bool {
+        match self.backend {
+            StorageBackendChoice::Auto => self.permanent,
+            StorageBackendChoice::Memory => false,
+            StorageBackendChoice::Disk => true,
+        }
+    }
 }
 
 impl Default for StorageConfig {
     fn default() -> Self {
         StorageConfig {
             permanent: false,
-            history: Some(WindowSpec::Count(1)),
+            history: None,
+            backend: StorageBackendChoice::Auto,
         }
     }
 }
@@ -313,7 +368,15 @@ impl VirtualSensorDescriptor {
                     Some(spec) => Some(WindowSpec::parse(spec)?),
                     None => None,
                 };
-                StorageConfig { permanent, history }
+                let backend = match s.attr("backend") {
+                    Some(value) => StorageBackendChoice::parse(value)?,
+                    None => StorageBackendChoice::Auto,
+                };
+                StorageConfig {
+                    permanent,
+                    history,
+                    backend,
+                }
             }
             None => StorageConfig::default(),
         };
@@ -447,10 +510,7 @@ impl VirtualSensorDescriptor {
                 }
                 // The source query must parse and may reference only WRAPPER.
                 let parsed = gsn_sql::parse_query(&src.query).map_err(|e| {
-                    GsnError::descriptor(format!(
-                        "source query of `{}` is invalid: {e}",
-                        src.alias
-                    ))
+                    GsnError::descriptor(format!("source query of `{}` is invalid: {e}", src.alias))
                 })?;
                 let plan = gsn_sql::plan_query(&parsed).map_err(|e| {
                     GsnError::descriptor(format!(
@@ -492,7 +552,8 @@ impl VirtualSensorDescriptor {
             );
         }
         root = root.with_child(
-            XmlElement::new("life-cycle").with_attr("pool-size", self.life_cycle.pool_size.to_string()),
+            XmlElement::new("life-cycle")
+                .with_attr("pool-size", self.life_cycle.pool_size.to_string()),
         );
         let mut os = XmlElement::new("output-structure");
         for field in self.output_structure.fields() {
@@ -511,6 +572,9 @@ impl VirtualSensorDescriptor {
         if let Some(h) = &self.storage.history {
             storage = storage.with_attr("size", h.to_spec_string());
         }
+        if self.storage.backend != StorageBackendChoice::Auto {
+            storage = storage.with_attr("backend", self.storage.backend.as_str());
+        }
         root = root.with_child(storage);
 
         for is in &self.input_streams {
@@ -524,7 +588,8 @@ impl VirtualSensorDescriptor {
                     .with_attr("sampling-rate", format_sampling(src.sampling_rate))
                     .with_attr("storage-size", src.window.to_spec_string())
                     .with_attr("disconnect-buffer", src.disconnect_buffer.to_string());
-                let mut addr = XmlElement::new("address").with_attr("wrapper", src.address.wrapper.clone());
+                let mut addr =
+                    XmlElement::new("address").with_attr("wrapper", src.address.wrapper.clone());
                 for (k, v) in &src.address.predicates {
                     addr = addr.with_child(
                         XmlElement::new("predicate")
@@ -642,7 +707,9 @@ impl DescriptorBuilder {
 
     /// Adds a metadata predicate used for directory discovery.
     pub fn metadata(mut self, key: &str, val: &str) -> Self {
-        self.descriptor.metadata.push((key.to_owned(), val.to_owned()));
+        self.descriptor
+            .metadata
+            .push((key.to_owned(), val.to_owned()));
         self
     }
 
@@ -663,6 +730,12 @@ impl DescriptorBuilder {
     /// Configures permanent storage of the output stream.
     pub fn permanent_storage(mut self, permanent: bool) -> Self {
         self.descriptor.storage.permanent = permanent;
+        self
+    }
+
+    /// Selects the storage engine for the output table (`backend="memory|disk"`).
+    pub fn storage_backend(mut self, backend: StorageBackendChoice) -> Self {
+        self.descriptor.storage.backend = backend;
         self
     }
 
@@ -719,7 +792,10 @@ mod tests {
         assert_eq!(d.priority, 10);
         assert_eq!(d.life_cycle.pool_size, 10);
         assert!(d.storage.permanent);
-        assert_eq!(d.storage.history, Some(WindowSpec::Time(gsn_types::Duration::from_secs(10))));
+        assert_eq!(
+            d.storage.history,
+            Some(WindowSpec::Time(gsn_types::Duration::from_secs(10)))
+        );
         assert_eq!(d.output_structure.len(), 1);
         assert_eq!(d.metadata.len(), 2);
         assert_eq!(d.input_streams.len(), 1);
@@ -730,7 +806,10 @@ mod tests {
         assert_eq!(is.sources.len(), 1);
         let src = &is.sources[0];
         assert_eq!(src.alias, "src1");
-        assert_eq!(src.window, WindowSpec::Time(gsn_types::Duration::from_hours(1)));
+        assert_eq!(
+            src.window,
+            WindowSpec::Time(gsn_types::Duration::from_hours(1))
+        );
         assert_eq!(src.sampling_rate, 1.0);
         assert_eq!(src.disconnect_buffer, 10);
         assert!(src.address.is_remote());
@@ -855,8 +934,16 @@ mod tests {
             .unwrap()
             .input_stream(
                 InputStreamSpec::new("main", "select * from s")
-                    .with_source(StreamSourceSpec::new("s", AddressSpec::new("mote"), "select * from WRAPPER"))
-                    .with_source(StreamSourceSpec::new("S", AddressSpec::new("mote"), "select * from WRAPPER")),
+                    .with_source(StreamSourceSpec::new(
+                        "s",
+                        AddressSpec::new("mote"),
+                        "select * from WRAPPER",
+                    ))
+                    .with_source(StreamSourceSpec::new(
+                        "S",
+                        AddressSpec::new("mote"),
+                        "select * from WRAPPER",
+                    )),
             )
             .build();
         assert!(d.unwrap_err().to_string().contains("duplicate"));
@@ -867,7 +954,11 @@ mod tests {
             .unwrap()
             .input_stream(
                 InputStreamSpec::new("main", "select * from wrapper").with_source(
-                    StreamSourceSpec::new("wrapper", AddressSpec::new("mote"), "select * from WRAPPER"),
+                    StreamSourceSpec::new(
+                        "wrapper",
+                        AddressSpec::new("mote"),
+                        "select * from WRAPPER",
+                    ),
                 ),
             )
             .build();

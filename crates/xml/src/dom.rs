@@ -155,7 +155,10 @@ mod tests {
         let os = e.first_element("output-structure").unwrap();
         assert_eq!(os.elements_named("field").count(), 2);
         assert!(e.first_element("nosuch").is_none());
-        assert_eq!(e.first_element("QUERY").unwrap().text(), "select * from src1");
+        assert_eq!(
+            e.first_element("QUERY").unwrap().text(),
+            "select * from src1"
+        );
     }
 
     #[test]

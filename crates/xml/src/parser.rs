@@ -182,9 +182,9 @@ impl<'a> XmlParser<'a> {
                 self.pos += 9;
                 match self.input[self.pos..].find("]]>") {
                     Some(end) => {
-                        element
-                            .children
-                            .push(XmlNode::Text(self.input[self.pos..self.pos + end].to_owned()));
+                        element.children.push(XmlNode::Text(
+                            self.input[self.pos..self.pos + end].to_owned(),
+                        ));
                         self.pos += end + 3;
                     }
                     None => return Err(self.error("unterminated CDATA section")),
@@ -193,7 +193,9 @@ impl<'a> XmlParser<'a> {
                 let child = self.parse_element()?;
                 element.children.push(XmlNode::Element(child));
             } else if self.at_end() {
-                return Err(self.error(format!("unexpected end of input; `<{name}>` is not closed")));
+                return Err(
+                    self.error(format!("unexpected end of input; `<{name}>` is not closed"))
+                );
             } else {
                 let text = self.parse_text()?;
                 if !text.trim().is_empty() {
@@ -324,7 +326,10 @@ mod tests {
             source.first_element("query").unwrap().text(),
             "select avg(temperature) from WRAPPER"
         );
-        assert_eq!(input.first_element("query").unwrap().text(), "select * from src1");
+        assert_eq!(
+            input.first_element("query").unwrap().text(),
+            "select * from src1"
+        );
     }
 
     #[test]
@@ -332,14 +337,19 @@ mod tests {
         let root = parse_document("<a><b/><c><d x='1'/></c></a>").unwrap();
         assert_eq!(root.elements().count(), 2);
         assert_eq!(
-            root.first_element("c").unwrap().first_element("d").unwrap().attr("x"),
+            root.first_element("c")
+                .unwrap()
+                .first_element("d")
+                .unwrap()
+                .attr("x"),
             Some("1")
         );
     }
 
     #[test]
     fn entity_and_character_references() {
-        let root = parse_document("<q a=\"&lt;x&gt;\">5 &amp; 6 &#65;&#x42; &apos;&quot;</q>").unwrap();
+        let root =
+            parse_document("<q a=\"&lt;x&gt;\">5 &amp; 6 &#65;&#x42; &apos;&quot;</q>").unwrap();
         assert_eq!(root.attr("a"), Some("<x>"));
         assert_eq!(root.text(), "5 & 6 AB '\"");
     }

@@ -88,7 +88,9 @@ fn write_into(element: &XmlElement, out: &mut String, indent: Option<usize>, dep
 
 /// Escapes text content.
 pub fn escape_text(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Escapes an attribute value.
@@ -114,7 +116,9 @@ mod tests {
                             .with_attr("val", "temperature"),
                     ),
             )
-            .with_child(XmlElement::new("query").with_text("select avg(t) from WRAPPER where t < 30"))
+            .with_child(
+                XmlElement::new("query").with_text("select avg(t) from WRAPPER where t < 30"),
+            )
     }
 
     #[test]

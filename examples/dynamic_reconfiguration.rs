@@ -68,10 +68,15 @@ fn main() {
     )
     .unwrap();
     run_for(&mut node, &clock, 10);
-    println!("phase 1 — initial system: sensors = {:?}", node.sensor_names());
+    println!(
+        "phase 1 — initial system: sensors = {:?}",
+        node.sensor_names()
+    );
     println!(
         "  lobby readings so far: {}",
-        node.query("select count(*) from lobby_temperature").unwrap().rows()[0][0]
+        node.query("select count(*) from lobby_temperature")
+            .unwrap()
+            .rows()[0][0]
     );
 
     // -- 2. Hot-add a camera network while the system keeps running.
@@ -84,21 +89,22 @@ fn main() {
         .unwrap()
         .output_history(WindowSpec::Count(2))
         .input_stream(
-            InputStreamSpec::new("main", "select * from cam").with_source(
-                StreamSourceSpec::new(
-                    "cam",
-                    AddressSpec::new("camera")
-                        .with_predicate("interval", "1000")
-                        .with_predicate("image-size", "32768"),
-                    "select frame_number, image from WRAPPER",
-                ),
-            ),
+            InputStreamSpec::new("main", "select * from cam").with_source(StreamSourceSpec::new(
+                "cam",
+                AddressSpec::new("camera")
+                    .with_predicate("interval", "1000")
+                    .with_predicate("image-size", "32768"),
+                "select frame_number, image from WRAPPER",
+            )),
         )
         .build()
         .unwrap();
     node.deploy(camera).unwrap();
     run_for(&mut node, &clock, 5);
-    println!("\nphase 2 — camera hot-added: sensors = {:?}", node.sensor_names());
+    println!(
+        "\nphase 2 — camera hot-added: sensors = {:?}",
+        node.sensor_names()
+    );
 
     // -- 3. Define a derived virtual sensor over the existing one: a "hot rooms" alarm
     //       computed by SQL over the lobby sensor's own output table.
@@ -142,13 +148,18 @@ fn main() {
     println!("\nphase 4 — lobby sensor reconfigured (1s interval, 20s window)");
     println!(
         "  lobby readings since reconfiguration: {}",
-        node.query("select count(*) from lobby_temperature").unwrap().rows()[0][0]
+        node.query("select count(*) from lobby_temperature")
+            .unwrap()
+            .rows()[0][0]
     );
 
     // -- 5. Remove the camera; everything else keeps running.
     node.undeploy("lobby-camera").unwrap();
     run_for(&mut node, &clock, 5);
-    println!("\nphase 5 — camera removed: sensors = {:?}", node.sensor_names());
+    println!(
+        "\nphase 5 — camera removed: sensors = {:?}",
+        node.sensor_names()
+    );
     println!(
         "  dashboard query still registered: {} registered queries",
         node.registered_query_count()

@@ -18,7 +18,12 @@ use gsn::types::{DataType, Duration};
 use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
 use gsn::{Federation, WindowSpec};
 
-fn mote_network(name: &str, network: &str, motes: usize, interval_ms: u64) -> Vec<VirtualSensorDescriptor> {
+fn mote_network(
+    name: &str,
+    network: &str,
+    motes: usize,
+    interval_ms: u64,
+) -> Vec<VirtualSensorDescriptor> {
     (0..motes)
         .map(|i| {
             VirtualSensorDescriptor::builder(&format!("{name}-mote-{i}"))
@@ -92,16 +97,14 @@ fn rfid_network() -> VirtualSensorDescriptor {
         .unwrap()
         .permanent_storage(true)
         .input_stream(
-            InputStreamSpec::new("main", "select * from src").with_source(
-                StreamSourceSpec::new(
-                    "src",
-                    AddressSpec::new("rfid")
-                        .with_predicate("interval", "500")
-                        .with_predicate("tags", "badge-alice,badge-bob,badge-carol")
-                        .with_predicate("detection-probability", "0.4"),
-                    "select tag, signal_strength from WRAPPER",
-                ),
-            ),
+            InputStreamSpec::new("main", "select * from src").with_source(StreamSourceSpec::new(
+                "src",
+                AddressSpec::new("rfid")
+                    .with_predicate("interval", "500")
+                    .with_predicate("tags", "badge-alice,badge-bob,badge-carol")
+                    .with_predicate("detection-probability", "0.4"),
+                "select tag, signal_strength from WRAPPER",
+            )),
         )
         .build()
         .unwrap()
@@ -146,7 +149,11 @@ fn main() {
     for d in mote_network("bc", "bc-wing", 4, 500) {
         federation.node_mut(node1).unwrap().deploy(d).unwrap();
     }
-    federation.node_mut(node1).unwrap().deploy(rfid_network()).unwrap();
+    federation
+        .node_mut(node1)
+        .unwrap()
+        .deploy(rfid_network())
+        .unwrap();
     for d in camera_network(3) {
         federation.node_mut(node2).unwrap().deploy(d).unwrap();
     }

@@ -55,7 +55,10 @@ fn main() {
     //    paper's demo ("rapidly deploy a sensor network without any programming effort").
     let name = node.deploy_xml(DESCRIPTOR).expect("descriptor deploys");
     println!("deployed virtual sensor `{name}`");
-    println!("available wrappers: {}", node.wrapper_registry().kinds().join(", "));
+    println!(
+        "available wrappers: {}",
+        node.wrapper_registry().kinds().join(", ")
+    );
 
     // 3. Subscribe to the output stream.
     let (_subscription, notifications) = node.subscribe("room-bc143-temperature").unwrap();

@@ -54,16 +54,14 @@ fn camera_sensor() -> VirtualSensorDescriptor {
         .unwrap()
         .output_history(WindowSpec::Count(5))
         .input_stream(
-            InputStreamSpec::new("main", "select * from cam").with_source(
-                StreamSourceSpec::new(
-                    "cam",
-                    AddressSpec::new("camera")
-                        .with_predicate("interval", "1000")
-                        .with_predicate("image-size", "16384")
-                        .with_predicate("camera-id", "entrance-axis"),
-                    "select frame_number, image from WRAPPER",
-                ),
-            ),
+            InputStreamSpec::new("main", "select * from cam").with_source(StreamSourceSpec::new(
+                "cam",
+                AddressSpec::new("camera")
+                    .with_predicate("interval", "1000")
+                    .with_predicate("image-size", "16384")
+                    .with_predicate("camera-id", "entrance-axis"),
+                "select frame_number, image from WRAPPER",
+            )),
         )
         .build()
         .unwrap()
@@ -141,9 +139,7 @@ fn main() {
                 .query("select image from entrance_camera order by timed desc limit 1")
                 .unwrap();
             let climate = node
-                .query(
-                    "select avg(temperature) as t, avg(light) as l from entrance_climate",
-                )
+                .query("select avg(temperature) as t, avg(light) as l from entrance_climate")
                 .unwrap();
             let image_bytes = picture
                 .rows()
@@ -162,7 +158,10 @@ fn main() {
         }
     }
 
-    println!("correlated {} badge events in 2 simulated minutes\n", events.len());
+    println!(
+        "correlated {} badge events in 2 simulated minutes\n",
+        events.len()
+    );
     println!(
         "{:<16} {:>10} {:>14} {:>14} {:>10}",
         "badge", "time (ms)", "image (bytes)", "temp (°C)", "light"

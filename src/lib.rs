@@ -11,7 +11,7 @@
 //! |---|---|---|
 //! | [`types`] | `gsn-types` | values, schemas, stream elements, clocks, errors |
 //! | [`sql`] | `gsn-sql` | the embedded SQL engine (parser, planner, optimizer, executor) |
-//! | [`storage`] | `gsn-storage` | windowed stream tables and the storage manager |
+//! | [`storage`] | `gsn-storage` | windowed stream tables, the persistent page engine (buffer pool + WAL) and the storage manager |
 //! | [`xml`] | `gsn-xml` | XML parsing and virtual sensor deployment descriptors |
 //! | [`wrappers`] | `gsn-wrappers` | the wrapper trait, registry and simulated devices |
 //! | [`network`] | `gsn-network` | the simulated P2P network, directory, access control, integrity |

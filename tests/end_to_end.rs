@@ -90,25 +90,28 @@ fn two_source_join_sensor() {
         .unwrap()
         .permanent_storage(true)
         .input_stream(
-            InputStreamSpec::new("main", "select rfid.tag, climate.temperature from rfid, climate")
-                .with_source(
-                    StreamSourceSpec::new(
-                        "rfid",
-                        AddressSpec::new("rfid")
-                            .with_predicate("interval", "500")
-                            .with_predicate("detection-probability", "1.0"),
-                        "select tag from WRAPPER",
-                    )
-                    .with_window(WindowSpec::Count(1)),
+            InputStreamSpec::new(
+                "main",
+                "select rfid.tag, climate.temperature from rfid, climate",
+            )
+            .with_source(
+                StreamSourceSpec::new(
+                    "rfid",
+                    AddressSpec::new("rfid")
+                        .with_predicate("interval", "500")
+                        .with_predicate("detection-probability", "1.0"),
+                    "select tag from WRAPPER",
                 )
-                .with_source(
-                    StreamSourceSpec::new(
-                        "climate",
-                        AddressSpec::new("mote").with_predicate("interval", "500"),
-                        "select avg(temperature) as temperature from WRAPPER",
-                    )
-                    .with_window(WindowSpec::Count(4)),
-                ),
+                .with_window(WindowSpec::Count(1)),
+            )
+            .with_source(
+                StreamSourceSpec::new(
+                    "climate",
+                    AddressSpec::new("mote").with_predicate("interval", "500"),
+                    "select avg(temperature) as temperature from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(4)),
+            ),
         )
         .build()
         .unwrap();
@@ -116,7 +119,9 @@ fn two_source_join_sensor() {
     run(&mut node, &clock, 5_000, 250);
 
     let rel = node
-        .query("select count(*) from door_context where tag is not null and temperature is not null")
+        .query(
+            "select count(*) from door_context where tag is not null and temperature is not null",
+        )
         .unwrap();
     let joined = rel.rows()[0][0].as_integer().unwrap();
     assert!(joined > 0, "join produced no correlated rows");
@@ -204,15 +209,16 @@ fn registered_client_queries_and_reconfiguration() {
 fn push_wrapper_lets_applications_feed_data() {
     let (mut node, clock) = new_node();
     // Application-side handle for a named push channel, then a descriptor consuming it.
-    let schema = Arc::new(
-        gsn::types::StreamSchema::from_pairs(&[("reading", DataType::Double)]).unwrap(),
-    );
+    let schema =
+        Arc::new(gsn::types::StreamSchema::from_pairs(&[("reading", DataType::Double)]).unwrap());
     let push_factory = gsn::wrappers::PushWrapperFactory::new();
     // Register the application's factory instance (replacing the builtin one) so the
     // handle and the deployed wrapper share the channel.
     node.wrapper_registry().deregister("push").unwrap();
     let push_factory = Arc::new(push_factory);
-    node.wrapper_registry().register(push_factory.clone()).unwrap();
+    node.wrapper_registry()
+        .register(push_factory.clone())
+        .unwrap();
     let handle = push_factory.handle("building-feed", schema);
 
     node.deploy_xml(

@@ -67,7 +67,9 @@ fn discovery_and_remote_streaming_between_nodes() {
         .unwrap();
 
     // Directory-level discovery by arbitrary property combinations.
-    let by_type = fed.directory().lookup(&[("type".into(), "temperature".into())]);
+    let by_type = fed
+        .directory()
+        .lookup(&[("type".into(), "temperature".into())]);
     assert_eq!(by_type.len(), 1);
     let by_both = fed.directory().lookup(&[
         ("type".into(), "temperature".into()),
@@ -108,7 +110,10 @@ fn discovery_and_remote_streaming_between_nodes() {
     );
 
     // Undeploying the producer removes it from the directory.
-    fed.node_mut(producer).unwrap().undeploy("bc143-temp").unwrap();
+    fed.node_mut(producer)
+        .unwrap()
+        .undeploy("bc143-temp")
+        .unwrap();
     assert!(fed
         .directory()
         .lookup(&[("type".into(), "temperature".into())])
@@ -193,7 +198,10 @@ fn lossy_links_still_deliver_a_usable_stream() {
         .rows()[0][0]
         .as_integer()
         .unwrap();
-    assert!(consumed > 10, "only {consumed} elements made it through the lossy link");
+    assert!(
+        consumed > 10,
+        "only {consumed} elements made it through the lossy link"
+    );
 }
 
 #[test]

@@ -31,7 +31,11 @@ fn build_catalog(rows: &[(i64, f64, String, bool)]) -> MemoryCatalog {
             vec![
                 Value::Integer(*id),
                 // One in eight readings is NULL to exercise three-valued logic.
-                if id % 8 == 0 { Value::Null } else { Value::Double(*reading) },
+                if id % 8 == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*reading)
+                },
                 Value::varchar(room.clone()),
                 Value::Boolean(*flagged),
             ]

@@ -1,0 +1,459 @@
+//! Property and integration tests for the persistent storage engine: codec round-trips,
+//! buffer-pool invariants, and container-level restart recovery.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gsn::container::ContainerConfig;
+use gsn::storage::{
+    BufferPool, Page, PageIo, PersistentOptions, Retention, StorageManager, StreamTable, WindowSpec,
+};
+use gsn::types::{
+    codec, DataType, Duration, SimulatedClock, StreamElement, StreamSchema, Timestamp, Value,
+};
+use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+use gsn::{GsnContainer, GsnResult};
+use proptest::prelude::*;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("gsn-persist-test-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+// ---------------------------------------------------------------------------------------
+// Codec round-trips
+// ---------------------------------------------------------------------------------------
+
+/// An arbitrary value of every GSN type (index selects the variant).
+fn arb_value() -> impl Strategy<Value = (u32, i64, f64, String, bool)> {
+    (
+        0u32..7,
+        -1_000_000i64..1_000_000,
+        -1e9f64..1e9,
+        "[a-z0-9]{0,12}",
+        prop::bool::ANY,
+    )
+}
+
+fn materialize_value((variant, i, d, s, b): &(u32, i64, f64, String, bool)) -> Value {
+    match variant {
+        0 => Value::Null,
+        1 => Value::Integer(*i),
+        2 => Value::Double(*d),
+        3 => Value::varchar(s.clone()),
+        4 => Value::Boolean(*b),
+        5 => Value::binary(s.clone().into_bytes()),
+        _ => Value::Timestamp(Timestamp(*i)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn values_round_trip_through_the_codec(raw in prop::collection::vec(arb_value(), 0..20)) {
+        let values: Vec<Value> = raw.iter().map(materialize_value).collect();
+        let mut bytes = Vec::new();
+        for value in &values {
+            codec::encode_value(&mut bytes, value);
+        }
+        let mut cursor: &[u8] = &bytes;
+        for value in &values {
+            let decoded = codec::decode_value(&mut cursor).unwrap();
+            prop_assert_eq!(&decoded, value);
+        }
+        prop_assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn rows_round_trip_through_the_codec(
+        ints in prop::collection::vec(-1_000i64..1_000, 1..8),
+        ts in 0i64..1_000_000,
+        seq in 1u64..1_000_000,
+    ) {
+        let pairs: Vec<(String, DataType)> = (0..ints.len())
+            .map(|i| (format!("f{i}"), DataType::Integer))
+            .collect();
+        let borrowed: Vec<(&str, DataType)> =
+            pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let schema = Arc::new(StreamSchema::from_pairs(&borrowed).unwrap());
+        let element = StreamElement::new(
+            Arc::clone(&schema),
+            ints.iter().copied().map(Value::Integer).collect(),
+            Timestamp(ts),
+        )
+        .unwrap()
+        .with_sequence(seq);
+        let bytes = codec::encode_row(&element);
+        let mut cursor: &[u8] = &bytes;
+        let decoded = codec::decode_row(&mut cursor, &schema).unwrap();
+        prop_assert!(cursor.is_empty());
+        prop_assert_eq!(&decoded, &element);
+        prop_assert_eq!(decoded.sequence(), seq);
+    }
+
+    #[test]
+    fn pages_round_trip_records(payload_lens in prop::collection::vec(0usize..300, 1..40)) {
+        let mut page = Page::new();
+        let mut stored: Vec<Vec<u8>> = Vec::new();
+        for (i, len) in payload_lens.iter().enumerate() {
+            let record = vec![(i % 251) as u8; *len];
+            if page.fits(&record) {
+                page.append(&record).unwrap();
+                stored.push(record);
+            }
+        }
+        let restored = Page::from_bytes(*page.as_bytes()).unwrap();
+        prop_assert_eq!(restored.record_count(), stored.len());
+        for (slot, record) in stored.iter().enumerate() {
+            prop_assert_eq!(restored.record(slot).unwrap(), &record[..]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Buffer-pool invariants
+// ---------------------------------------------------------------------------------------
+
+#[derive(Default)]
+struct FakeDisk {
+    pages: std::collections::HashMap<u32, Page>,
+}
+
+impl PageIo for FakeDisk {
+    fn read_page(&mut self, id: u32) -> GsnResult<Page> {
+        Ok(self.pages.entry(id).or_default().clone())
+    }
+
+    fn write_page(&mut self, id: u32, page: &Page) -> GsnResult<()> {
+        self.pages.insert(id, page.clone());
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random access pattern with random pins: resident pages never exceed capacity and
+    /// pinned pages are never evicted.
+    #[test]
+    fn buffer_pool_invariants_hold(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u32..32, prop::bool::ANY), 1..200),
+    ) {
+        let mut disk = FakeDisk::default();
+        let mut pool = BufferPool::new(capacity);
+        let mut pinned: Vec<u32> = Vec::new();
+        for (page_id, pin) in ops {
+            if pin && pinned.len() < capacity - 1 + usize::from(capacity == 1) {
+                if pool.pin(page_id, &mut disk).is_ok() && !pinned.contains(&page_id) {
+                    pinned.push(page_id);
+                } else if pinned.contains(&page_id) {
+                    // Double pin: release one immediately to keep bookkeeping simple.
+                    pool.unpin(page_id, false);
+                }
+            } else {
+                // Plain access; may evict an unpinned page.
+                let _ = pool.with_page(page_id, &mut disk, |_| ());
+            }
+            prop_assert!(pool.resident_pages() <= capacity);
+            for p in &pinned {
+                prop_assert!(pool.pin_count(*p) > 0, "pinned page {p} lost its pin");
+            }
+        }
+        // Every pinned page is still resident: accessing it costs no disk read.
+        let misses_before = pool.stats().misses;
+        for p in &pinned {
+            pool.with_page(*p, &mut disk, |_| ()).unwrap();
+        }
+        prop_assert_eq!(pool.stats().misses, misses_before);
+        for p in pinned {
+            pool.unpin(p, false);
+        }
+    }
+
+    /// A persistent table scanned under a tiny pool returns exactly the same windows as
+    /// an in-memory table fed the same data.
+    #[test]
+    fn persistent_windows_equal_memory_windows(
+        values in prop::collection::vec(-500i64..500, 1..120),
+        window_count in 1usize..60,
+        span in 1i64..2_000,
+        pool_pages in 1usize..4,
+    ) {
+        let dir = temp_dir("prop-windows");
+        let schema = Arc::new(StreamSchema::from_pairs(&[("v", DataType::Integer)]).unwrap());
+        let mut mem = StreamTable::new("t", Arc::clone(&schema), Retention::Unbounded);
+        let mut per = StreamTable::persistent(
+            "t",
+            Arc::clone(&schema),
+            Retention::Unbounded,
+            &dir,
+            PersistentOptions { pool_pages, ..Default::default() },
+        )
+        .unwrap();
+        for (i, v) in values.iter().enumerate() {
+            let ts = Timestamp((i as i64 + 1) * 10);
+            mem.insert_values(vec![Value::Integer(*v)], ts).unwrap();
+            per.insert_values(vec![Value::Integer(*v)], ts).unwrap();
+        }
+        let now = Timestamp(values.len() as i64 * 10);
+        for window in [
+            WindowSpec::Count(window_count),
+            WindowSpec::LatestOnly,
+            WindowSpec::Time(Duration::from_millis(span)),
+        ] {
+            let a = mem.window_relation("w", window, now).unwrap();
+            let b = per.window_relation("w", window, now).unwrap();
+            prop_assert_eq!(a.rows(), b.rows(), "window {:?}", window);
+        }
+        if let Some(pool) = per.pool_stats() {
+            prop_assert!(pool.resident_pages <= pool_pages);
+        }
+        drop(per);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Restart recovery, end to end
+// ---------------------------------------------------------------------------------------
+
+fn permanent_descriptor(name: &str) -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder(name)
+        .unwrap()
+        .output_field("avg_temp", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src1").with_source(
+                StreamSourceSpec::new(
+                    "src1",
+                    AddressSpec::new("mote").with_predicate("interval", "100"),
+                    "select avg(temperature) as avg_temp from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(10)),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+/// The acceptance scenario: a container with a `permanent-storage="true"` virtual sensor
+/// is dropped and re-opened on the same data directory; SQL over the recovered table
+/// returns the pre-restart history.
+#[test]
+fn container_restart_recovers_permanent_history() {
+    let dir = temp_dir("container-restart");
+    let config = ContainerConfig::default().with_data_dir(&dir);
+
+    // First incarnation: produce 10 outputs, then drop the container.
+    {
+        let clock = SimulatedClock::new();
+        let mut node = GsnContainer::new(config.clone(), Arc::new(clock.clone()));
+        node.deploy(permanent_descriptor("room-temp")).unwrap();
+        clock.advance(Duration::from_secs(1));
+        let report = node.step();
+        assert_eq!(report.outputs, 10);
+        let n = node.query("select count(*) as n from room_temp").unwrap();
+        assert_eq!(n.rows()[0][0], Value::Integer(10));
+    }
+
+    // Second incarnation on the same directory: history is back before any new data.
+    let clock = SimulatedClock::new();
+    let mut node = GsnContainer::new(config, Arc::new(clock.clone()));
+    node.deploy(permanent_descriptor("room-temp")).unwrap();
+    let n = node.query("select count(*) as n from room_temp").unwrap();
+    assert_eq!(
+        n.rows()[0][0],
+        Value::Integer(10),
+        "pre-restart history lost"
+    );
+
+    // New production continues the stream: sequences keep growing past the old ones.
+    clock.advance(Duration::from_secs(1));
+    node.step();
+    let n = node
+        .query("select count(*) as n, max(pk) as maxpk from room_temp")
+        .unwrap();
+    assert_eq!(n.rows()[0][0], Value::Integer(20));
+    assert_eq!(n.rows()[0][1], Value::Integer(20));
+
+    drop(node);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without a data directory, `permanent-storage="true"` behaves like the seed: memory
+/// only, nothing recovered after a restart.
+#[test]
+fn without_data_dir_history_stays_in_memory() {
+    {
+        let clock = SimulatedClock::new();
+        let mut node = GsnContainer::new(ContainerConfig::default(), Arc::new(clock.clone()));
+        node.deploy(permanent_descriptor("volatile")).unwrap();
+        clock.advance(Duration::from_secs(1));
+        node.step();
+        assert_eq!(node.storage().stats().persistent_tables, 0);
+    }
+    let clock = SimulatedClock::new();
+    let mut node = GsnContainer::new(ContainerConfig::default(), Arc::new(clock));
+    node.deploy(permanent_descriptor("volatile")).unwrap();
+    let n = node.query("select count(*) as n from volatile").unwrap();
+    assert_eq!(n.rows()[0][0], Value::Integer(0));
+}
+
+/// A table far larger than its buffer pool still answers windowed SQL correctly while
+/// the pool stays within its page budget.
+#[test]
+fn bounded_pool_serves_table_larger_than_memory_budget() {
+    let dir = temp_dir("bounded-pool");
+    let pool_pages = 8;
+    let storage = StorageManager::with_options(gsn::storage::StorageOptions {
+        data_dir: Some(dir.clone()),
+        persistent: PersistentOptions {
+            pool_pages,
+            ..Default::default()
+        },
+    });
+    let schema = Arc::new(
+        StreamSchema::from_pairs(&[("v", DataType::Integer), ("tag", DataType::Varchar)]).unwrap(),
+    );
+    storage
+        .create_table_durable("big", Arc::clone(&schema), Retention::Unbounded)
+        .unwrap();
+    // ~50k elements × ~60 B ≈ 3 MB of rows; pool budget is 8 pages = 64 KiB.
+    let total: i64 = 50_000;
+    for i in 0..total {
+        let e = StreamElement::new(
+            Arc::clone(&schema),
+            vec![Value::Integer(i), Value::varchar("sensor-payload-tag")],
+            Timestamp(i),
+        )
+        .unwrap();
+        storage.insert("big", e, Timestamp(i)).unwrap();
+    }
+
+    let stats = storage.stats();
+    assert_eq!(stats.persistent_tables, 1);
+    assert!(
+        stats.pool.resident_pages <= pool_pages,
+        "pool exceeded budget: {} > {pool_pages}",
+        stats.pool.resident_pages
+    );
+
+    // Windowed SQL over the whole table and over a tail slice, through the catalog path.
+    let catalog = storage
+        .windowed_catalog(
+            &[
+                gsn::storage::CatalogView::new("all_rows", "big", WindowSpec::Count(usize::MAX)),
+                gsn::storage::CatalogView::new("tail", "big", WindowSpec::Count(1_000)),
+            ],
+            Timestamp(total),
+        )
+        .unwrap();
+    let mut engine = gsn::sql::SqlEngine::new();
+    let n = engine
+        .execute_scalar("select count(*) from all_rows", &catalog)
+        .unwrap();
+    assert_eq!(n, Value::Integer(total));
+    let sum = engine
+        .execute_scalar("select min(v) from tail", &catalog)
+        .unwrap();
+    assert_eq!(sum, Value::Integer(total - 1_000));
+
+    let stats = storage.stats();
+    assert!(
+        stats.pool.resident_pages <= pool_pages,
+        "scan blew the pool budget: {} > {pool_pages}",
+        stats.pool.resident_pages
+    );
+    assert!(
+        stats.pool.evictions > 0,
+        "a 3 MB table must evict with a 64 KiB pool"
+    );
+
+    storage.drop_table("big").unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A *failed* re-deploy must not delete the durable history it just recovered: the
+/// rollback releases the output table instead of destroying its files.
+#[test]
+fn failed_redeploy_preserves_durable_history() {
+    let dir = temp_dir("failed-redeploy");
+    let config = ContainerConfig::default().with_data_dir(&dir);
+    {
+        let clock = SimulatedClock::new();
+        let mut node = GsnContainer::new(config.clone(), Arc::new(clock.clone()));
+        node.deploy(permanent_descriptor("precious")).unwrap();
+        clock.advance(Duration::from_secs(1));
+        node.step();
+    }
+
+    // Same sensor name and schema, but a second source naming an unknown wrapper: the
+    // deploy recovers the output table, then fails and must roll back without deleting.
+    let broken = VirtualSensorDescriptor::builder("precious")
+        .unwrap()
+        .output_field("avg_temp", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src1")
+                .with_source(
+                    StreamSourceSpec::new(
+                        "src1",
+                        AddressSpec::new("mote").with_predicate("interval", "100"),
+                        "select avg(temperature) as avg_temp from WRAPPER",
+                    )
+                    .with_window(WindowSpec::Count(10)),
+                )
+                .with_source(StreamSourceSpec::new(
+                    "src2",
+                    AddressSpec::new("hyperspectral-imager"),
+                    "select * from WRAPPER",
+                )),
+        )
+        .build()
+        .unwrap();
+
+    let clock = SimulatedClock::new();
+    let mut node = GsnContainer::new(config, Arc::new(clock));
+    assert!(node.deploy(broken).is_err());
+
+    // The good descriptor still recovers the full pre-restart history.
+    node.deploy(permanent_descriptor("precious")).unwrap();
+    let n = node.query("select count(*) as n from precious").unwrap();
+    assert_eq!(
+        n.rows()[0][0],
+        Value::Integer(10),
+        "failed re-deploy destroyed recovered history"
+    );
+    drop(node);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Undeploying a sensor deletes its durable files; redeploying starts fresh.
+#[test]
+fn undeploy_deletes_durable_state() {
+    let dir = temp_dir("undeploy");
+    let config = ContainerConfig::default().with_data_dir(&dir);
+    let clock = SimulatedClock::new();
+    let mut node = GsnContainer::new(config, Arc::new(clock.clone()));
+    node.deploy(permanent_descriptor("ephemeral")).unwrap();
+    clock.advance(Duration::from_secs(1));
+    node.step();
+    assert_eq!(node.storage().stats().persistent_tables, 1);
+    node.undeploy("ephemeral").unwrap();
+
+    node.deploy(permanent_descriptor("ephemeral")).unwrap();
+    let n = node.query("select count(*) as n from ephemeral").unwrap();
+    assert_eq!(n.rows()[0][0], Value::Integer(0));
+    drop(node);
+    std::fs::remove_dir_all(&dir).ok();
+}

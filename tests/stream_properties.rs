@@ -18,9 +18,13 @@ fn elements(timestamps: &[i64]) -> Vec<StreamElement> {
         .iter()
         .enumerate()
         .map(|(i, ts)| {
-            StreamElement::new(schema.clone(), vec![Value::Integer(i as i64)], Timestamp(*ts))
-                .unwrap()
-                .with_sequence(i as u64 + 1)
+            StreamElement::new(
+                schema.clone(),
+                vec![Value::Integer(i as i64)],
+                Timestamp(*ts),
+            )
+            .unwrap()
+            .with_sequence(i as u64 + 1)
         })
         .collect()
 }
