@@ -1,0 +1,97 @@
+//! Parallel-scaling benchmark: step-loop throughput vs. worker count.
+//!
+//! ```text
+//! cargo run -p gsn-bench --release --bin parallel_scaling [--quick]
+//! ```
+//!
+//! Drives the identical 64-sensor workload (16 with `--quick`) through one container at
+//! 1/2/4/8 step-loop workers and reports elements/second per cell, plus the speedup over
+//! the sequential run.  The workload is CPU-bound, so the attainable speedup is capped by
+//! the machine's core count — recorded in every row as `cores`.  Writes the
+//! machine-readable report to `target/bench-reports/parallel_scaling.json` and to
+//! `BENCH_parallel.json` at the workspace root.
+
+use gsn_bench::parallel::{available_cores, run_with_workers, ParallelBenchConfig};
+use gsn_bench::{write_report, BenchReport};
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        ParallelBenchConfig::quick()
+    } else {
+        ParallelBenchConfig::full()
+    };
+    let cores = available_cores();
+
+    let mut report = BenchReport::new(
+        "parallel_scaling",
+        "Step-loop throughput (elements/sec) of one container vs. worker-pool size, identical multi-sensor workload per cell",
+        &[
+            "workers",
+            "sensors",
+            "steps",
+            "elements",
+            "elapsed_ms",
+            "elements_per_sec",
+            "speedup_vs_1",
+            "cores",
+        ],
+    );
+
+    eprintln!(
+        "Parallel scaling: {} sensors x {} steps, interval {} ms ({} mode, {} cores available)",
+        config.sensors,
+        config.steps,
+        config.interval_ms,
+        if quick { "quick" } else { "full" },
+        cores
+    );
+    println!("\nParallel scaling: sharded step loop");
+    println!(
+        "{:>8} {:>9} {:>11} {:>12} {:>16} {:>12} {:>6}",
+        "workers", "elements", "elapsed ms", "el/s", "speedup vs 1", "outputs", "cores"
+    );
+
+    let mut baseline: Option<f64> = None;
+    for workers in WORKER_SWEEP {
+        let result = run_with_workers(&config, workers);
+        let base = *baseline.get_or_insert(result.elements_per_sec);
+        let speedup = result.elements_per_sec / base;
+        println!(
+            "{:>8} {:>9} {:>11.1} {:>12.0} {:>16.2} {:>12} {:>6}",
+            result.workers,
+            result.elements,
+            result.elapsed_ms,
+            result.elements_per_sec,
+            speedup,
+            result.outputs,
+            cores
+        );
+        report.push_row(vec![
+            result.workers as f64,
+            config.sensors as f64,
+            config.steps as f64,
+            result.elements as f64,
+            result.elapsed_ms,
+            result.elements_per_sec,
+            speedup,
+            cores as f64,
+        ]);
+    }
+
+    match write_report(&report) {
+        Ok(path) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+    // The repo-root copy the sharded-step-loop PR tracks.
+    let root_copy = gsn_bench::report::report_dir()
+        .parent()
+        .and_then(|target| target.parent().map(|ws| ws.join("BENCH_parallel.json")))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_parallel.json"));
+    match std::fs::write(&root_copy, report.to_json().to_pretty_string()) {
+        Ok(()) => eprintln!("report copied to {}", root_copy.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", root_copy.display()),
+    }
+}

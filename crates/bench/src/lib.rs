@@ -22,6 +22,7 @@
 
 pub mod fig3;
 pub mod fig4;
+pub mod parallel;
 pub mod report;
 pub mod storage;
 

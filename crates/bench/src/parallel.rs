@@ -1,0 +1,147 @@
+//! Parallel-scaling workload: step-loop throughput of one container as a function of the
+//! worker-pool size.
+//!
+//! A population of mote-backed virtual sensors (64 in the full run) is deployed on a
+//! single container and driven for a fixed number of simulated-time steps; every cell of
+//! the sweep repeats the identical workload with a different `ContainerConfig::workers`,
+//! so the elements/second ratio between cells is the scaling of the sharded step loop
+//! itself.  The workload is CPU-bound (two SQL executions per arrival), so the ceiling
+//! is the machine's core count — the report records it next to the throughput.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gsn_core::{ContainerConfig, GsnContainer, StepReport};
+use gsn_types::{DataType, Duration, SimulatedClock};
+use gsn_xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+
+/// One cell of the parallel-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchConfig {
+    /// Number of virtual sensors deployed on the container.
+    pub sensors: usize,
+    /// Number of 1 s simulated-time steps to drive.
+    pub steps: usize,
+    /// Mote output interval in milliseconds (elements per sensor-step = 1000 / interval).
+    pub interval_ms: u32,
+    /// Per-source count window the pipeline aggregates over.
+    pub window: usize,
+}
+
+impl ParallelBenchConfig {
+    /// The paper-scale cell: 64 sensors, the acceptance workload.
+    pub fn full() -> ParallelBenchConfig {
+        ParallelBenchConfig {
+            sensors: 64,
+            steps: 8,
+            interval_ms: 50,
+            window: 20,
+        }
+    }
+
+    /// A reduced cell for CI smoke runs.
+    pub fn quick() -> ParallelBenchConfig {
+        ParallelBenchConfig {
+            sensors: 16,
+            steps: 3,
+            interval_ms: 100,
+            window: 10,
+        }
+    }
+}
+
+/// The measurement of one (config, workers) cell.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchResult {
+    /// Worker threads the container stepped with.
+    pub workers: usize,
+    /// Stream elements that entered the pipelines.
+    pub elements: u64,
+    /// Output elements produced.
+    pub outputs: u64,
+    /// Wall-clock time spent inside the step loop, milliseconds.
+    pub elapsed_ms: f64,
+    /// Pipeline throughput: elements / elapsed seconds.
+    pub elements_per_sec: f64,
+}
+
+fn mote_descriptor(
+    name: &str,
+    seed: usize,
+    config: &ParallelBenchConfig,
+) -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder(name)
+        .unwrap()
+        .output_field("avg_temp", DataType::Double)
+        .unwrap()
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src1").with_source(
+                StreamSourceSpec::new(
+                    "src1",
+                    AddressSpec::new("mote")
+                        .with_predicate("interval", &config.interval_ms.to_string())
+                        .with_predicate("seed", &seed.to_string()),
+                    "select avg(temperature) as avg_temp from WRAPPER",
+                )
+                .with_window(gsn_storage::WindowSpec::Count(config.window)),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+/// Runs the workload with `workers` step-loop threads and measures the step loop only
+/// (deployment and teardown excluded).
+pub fn run_with_workers(config: &ParallelBenchConfig, workers: usize) -> ParallelBenchResult {
+    let clock = SimulatedClock::new();
+    let container_config = ContainerConfig::default().with_workers(workers);
+    let mut node = GsnContainer::new(container_config, Arc::new(clock.clone()));
+    for i in 0..config.sensors {
+        node.deploy(mote_descriptor(&format!("mote-{i}"), i, config))
+            .unwrap();
+    }
+
+    let mut total = StepReport::default();
+    let started = Instant::now();
+    for _ in 0..config.steps {
+        clock.advance(Duration::from_secs(1));
+        total.absorb(node.step());
+    }
+    let elapsed = started.elapsed();
+
+    assert_eq!(total.errors, 0, "bench workload must not error");
+    let elements = total.local_arrivals + total.remote_arrivals;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    ParallelBenchResult {
+        workers,
+        elements,
+        outputs: total.outputs,
+        elapsed_ms: secs * 1_000.0,
+        elements_per_sec: elements as f64 / secs,
+    }
+}
+
+/// The number of CPUs the process may run on (the scaling ceiling).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cell_runs_and_counts() {
+        let config = ParallelBenchConfig::quick();
+        let sequential = run_with_workers(&config, 1);
+        let sharded = run_with_workers(&config, 4);
+        assert!(sequential.elements > 0);
+        // Same deterministic workload: identical element and output counts regardless of
+        // the worker count.
+        assert_eq!(sequential.elements, sharded.elements);
+        assert_eq!(sequential.outputs, sharded.outputs);
+        assert!(sequential.elements_per_sec > 0.0);
+    }
+}

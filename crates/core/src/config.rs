@@ -20,6 +20,12 @@ pub struct ContainerConfig {
     /// Default worker pool size for virtual sensors whose descriptor omits
     /// `<life-cycle pool-size="...">`.
     pub default_pool_size: usize,
+    /// Worker threads for the container's sharded step loop.  `1` (the default) keeps
+    /// the seed's sequential semantics: every sensor pipeline runs inline on the caller
+    /// in deterministic name order.  `N > 1` shards the sensors across an `N`-thread
+    /// [`crate::WorkerPool`] by name hash; per-sensor processing order (and therefore
+    /// per-sensor output) is unchanged, only independent sensors overlap in time.
+    pub workers: usize,
     /// Maximum number of virtual sensors this container will host (resource guard).
     pub max_virtual_sensors: usize,
     /// Capacity of the per-remote-subscriber disconnect buffer: how many output elements
@@ -32,10 +38,15 @@ pub struct ContainerConfig {
     /// page files here and recover it when a container re-opens the same directory.
     /// `None` keeps every table in memory (the seed behaviour).
     pub data_dir: Option<PathBuf>,
-    /// Buffer-pool page budget per persistent table (resident memory ≈ pages × 8 KiB).
+    /// Container-wide buffer-pool page budget shared by every persistent table
+    /// (resident memory ≈ pages × 8 KiB, cross-table eviction).
     pub storage_pool_pages: usize,
     /// Write-ahead-log durability mode for persistent tables.
     pub wal_sync: SyncMode,
+    /// Group commit for [`SyncMode::Always`]: defer WAL fsyncs to one batched fsync per
+    /// container step instead of one per insert.  On by default — the container commits
+    /// at every step boundary, so durability moves from per-insert to per-step.
+    pub wal_group_commit: bool,
 }
 
 impl Default for ContainerConfig {
@@ -44,12 +55,14 @@ impl Default for ContainerConfig {
             node_id: NodeId::LOCAL,
             name: "gsn-node".to_owned(),
             default_pool_size: 1,
+            workers: 1,
             max_virtual_sensors: 1_024,
             disconnect_buffer_capacity: 64,
             query_cache_enabled: true,
             data_dir: None,
-            storage_pool_pages: PersistentOptions::default().pool_pages,
+            storage_pool_pages: 4 * PersistentOptions::default().pool_pages,
             wal_sync: SyncMode::default(),
+            wal_group_commit: true,
         }
     }
 }
@@ -70,6 +83,12 @@ impl ContainerConfig {
         self
     }
 
+    /// Sets the number of step-loop worker threads.
+    pub fn with_workers(mut self, workers: usize) -> ContainerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// The storage-layer options derived from this configuration.
     pub fn storage_options(&self) -> StorageOptions {
         StorageOptions {
@@ -77,6 +96,7 @@ impl ContainerConfig {
             persistent: PersistentOptions {
                 pool_pages: self.storage_pool_pages,
                 sync: self.wal_sync,
+                group_commit: self.wal_group_commit,
                 ..PersistentOptions::default()
             },
         }
@@ -102,9 +122,13 @@ mod tests {
         let c = ContainerConfig::default();
         assert_eq!(c.node_id, NodeId::LOCAL);
         assert_eq!(c.default_pool_size, 1);
+        assert_eq!(c.workers, 1);
+        assert!(c.wal_group_commit);
         assert!(c.max_virtual_sensors >= 1);
         assert!(c.query_cache_enabled);
         assert!(c.disconnect_buffer_capacity > 0);
+        assert_eq!(ContainerConfig::default().with_workers(0).workers, 1);
+        assert_eq!(ContainerConfig::default().with_workers(8).workers, 8);
     }
 
     #[test]

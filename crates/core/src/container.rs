@@ -11,6 +11,47 @@
 //! pipeline for each arrival, evaluating registered client queries and delivering
 //! notifications.  Live deployments call `step` from a timer loop on the wall clock;
 //! tests and benchmark harnesses drive it from a [`gsn_types::SimulatedClock`].
+//!
+//! ## Threading model: the sharded step loop
+//!
+//! With `ContainerConfig::workers > 1` the per-sensor pipelines run concurrently on a
+//! [`WorkerPool`].  The moving parts:
+//!
+//! * **Shard assignment** — sensors are partitioned across the workers by a stable FNV
+//!   hash of their name ([`shard_index`]); each shard's job processes its sensors in
+//!   name order on one worker thread, so one sensor's pipeline is never concurrent with
+//!   itself and its outputs stay in arrival order.
+//! * **Shared state** — the managers a pipeline touches live in a [`PipelineRuntime`]
+//!   shared by `Arc`: the [`StorageManager`] is internally synchronised (per-table
+//!   `RwLock`s plus the container-wide shared buffer pool), the [`QueryManager`] and
+//!   [`NotificationManager`] sit behind `Mutex`es with short lock scopes (one
+//!   evaluation / one delivery), and the remote-route table behind an `RwLock` that
+//!   `step` only reads.
+//! * **Lock order** — two descending chains share the storage table locks as their
+//!   common leaf: `sensor mutex → storage table lock` (the pipeline inserts while the
+//!   sensor is locked) and `query-manager mutex → storage table lock` (evaluation reads
+//!   tables under the manager lock).  The notification mutex is taken with none of the
+//!   above held.  Never acquire a sensor or manager mutex while holding a table lock.
+//!   A sensor's mutex is *released* before its output fans out, so recursion into a
+//!   consumer sensor (local loop-back routes) never holds two sensor locks at once.
+//! * **What runs where** — network intake, subscription retries, deferred cross-shard
+//!   deliveries, pruning and the per-step WAL group commit run sequentially on the
+//!   caller; only wrapper polling + pipeline execution (and the per-output query
+//!   evaluation / notification they trigger) run on the pool.
+//! * **Determinism** — per-shard [`StepReport`]s merge in shard-index order, and
+//!   loop-back deliveries that cross a shard boundary are deferred to a sequential
+//!   post-barrier phase (ordered by producing shard, then production order).  With
+//!   `workers = 1` no pool exists and the loop is byte-identical to the pre-sharding
+//!   sequential semantics.  With `workers = N`, for sensors whose inputs are their own
+//!   local wrappers (and registered queries over a single sensor's output), every
+//!   per-sensor output sequence, notification stream and table content is identical to
+//!   the sequential run — only cross-sensor interleaving (and wall-clock time) differs.
+//!   Two workloads are inherently order-dependent and excluded from that parity: a
+//!   loop-back consumer in a different shard than its producer observes the producer's
+//!   step-N outputs after its own poll (post-barrier) instead of interleaved with it —
+//!   still deterministic for a fixed worker count, but not identical to `workers = 1`;
+//!   and a registered query joining tables of concurrently executing sensors reads
+//!   whatever those tables hold mid-step, which may vary run to run.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -23,9 +64,11 @@ use gsn_storage::{StorageManager, StorageStats, WindowSpec};
 use gsn_types::{Clock, GsnError, GsnResult, NodeId, StreamElement, Timestamp, VirtualSensorName};
 use gsn_wrappers::WrapperRegistry;
 use gsn_xml::VirtualSensorDescriptor;
+use parking_lot::{Mutex, RwLock};
 
 use crate::config::ContainerConfig;
 use crate::notification::{Notification, NotificationManager, NotificationStats, SubscriptionId};
+use crate::pool::WorkerPool;
 use crate::query::{ClientQueryId, ClientQueryResult, QueryManager, QueryManagerStats};
 use crate::sensor::{SensorStats, SourceRef, VirtualSensor};
 
@@ -43,19 +86,34 @@ pub struct StepReport {
     pub client_query_evaluations: u64,
     /// Pipeline errors.
     pub errors: u64,
+    /// Sources newly detected silent (no data within the quality policy's threshold).
+    pub silence_events: u64,
     /// Total wall-clock time spent inside sensor pipelines during this step, microseconds.
     pub processing_micros: u64,
 }
 
 impl StepReport {
-    fn absorb(&mut self, other: StepReport) {
+    /// Adds another report's counters into this one.
+    pub fn absorb(&mut self, other: StepReport) {
         self.local_arrivals += other.local_arrivals;
         self.remote_arrivals += other.remote_arrivals;
         self.outputs += other.outputs;
         self.client_query_evaluations += other.client_query_evaluations;
         self.errors += other.errors;
+        self.silence_events += other.silence_events;
         self.processing_micros += other.processing_micros;
     }
+}
+
+/// Per-sensor entry of a [`ContainerStatus`].
+#[derive(Debug, Clone)]
+pub struct SensorStatus {
+    /// The sensor name.
+    pub name: String,
+    /// Processing statistics.
+    pub stats: SensorStats,
+    /// Times any of the sensor's sources was detected silent.
+    pub silence_episodes: u64,
 }
 
 /// A point-in-time status snapshot of the container (the programmatic equivalent of the
@@ -67,7 +125,7 @@ pub struct ContainerStatus {
     /// The node identity.
     pub node: NodeId,
     /// Per-sensor statistics.
-    pub sensors: Vec<(String, SensorStats)>,
+    pub sensors: Vec<SensorStatus>,
     /// Storage statistics.
     pub storage: StorageStats,
     /// Notification statistics.
@@ -78,6 +136,10 @@ pub struct ContainerStatus {
     pub registered_queries: usize,
     /// Wrapper kinds available on this container.
     pub wrapper_kinds: Vec<String>,
+    /// Step-loop worker threads (1 = sequential).
+    pub workers: usize,
+    /// `(submitted, completed)` job counts of the step-loop worker pool, when sharded.
+    pub pool_jobs: Option<(u64, u64)>,
 }
 
 impl ContainerStatus {
@@ -90,6 +152,13 @@ impl ContainerStatus {
             self.wrapper_kinds.join(", "),
             self.storage
         ));
+        match self.pool_jobs {
+            Some((submitted, completed)) => out.push_str(&format!(
+                "  step loop: {} workers ({submitted} shard jobs submitted, {completed} completed)\n",
+                self.workers
+            )),
+            None => out.push_str("  step loop: sequential (1 worker)\n"),
+        }
         out.push_str(&format!(
             "  registered client queries: {} (evaluated {}, failed {})\n",
             self.registered_queries,
@@ -104,16 +173,212 @@ impl ContainerStatus {
             self.notifications.remote_dropped
         ));
         out.push_str(&format!("  virtual sensors ({}):\n", self.sensors.len()));
-        for (name, stats) in &self.sensors {
+        for sensor in &self.sensors {
             out.push_str(&format!(
-                "    {name}: {} arrivals, {} outputs, {} errors, mean pipeline {:.3} ms\n",
-                stats.arrivals,
-                stats.outputs,
-                stats.errors,
-                stats.mean_processing_ms()
+                "    {}: {} arrivals, {} outputs, {} errors, mean pipeline {:.3} ms{}\n",
+                sensor.name,
+                sensor.stats.arrivals,
+                sensor.stats.outputs,
+                sensor.stats.errors,
+                sensor.stats.mean_processing_ms(),
+                if sensor.silence_episodes > 0 {
+                    format!(", {} silence episodes", sensor.silence_episodes)
+                } else {
+                    String::new()
+                }
             ));
         }
         out
+    }
+}
+
+/// A deployed sensor shared between the container and the step-loop workers.
+type SharedSensor = Arc<Mutex<VirtualSensor>>;
+
+/// The sensors visible to one pipeline execution context: the full container map on the
+/// sequential paths, one shard on a worker.
+type SensorView = BTreeMap<VirtualSensorName, SharedSensor>;
+
+/// The container state the per-sensor pipelines share across worker threads.
+///
+/// Everything here is internally synchronised; see the module docs for the lock order.
+struct PipelineRuntime {
+    storage: Arc<StorageManager>,
+    query_manager: Mutex<QueryManager>,
+    notifications: Mutex<NotificationManager>,
+    network: Option<Arc<SimulatedNetwork>>,
+    /// Routes incoming remote deliveries: remote sensor name -> local consumers.
+    remote_routes: RwLock<HashMap<String, Vec<(VirtualSensorName, SourceRef)>>>,
+}
+
+/// What one shard's pipeline pass produced: its slice of the step report plus loop-back
+/// deliveries whose consumer lives in another shard (processed sequentially after the
+/// barrier, in shard order, so the result is deterministic).
+#[derive(Default)]
+struct ShardOutcome {
+    report: StepReport,
+    deferred: Vec<(VirtualSensorName, SourceRef, StreamElement)>,
+}
+
+/// Stable shard assignment: FNV-1a over the sensor name, modulo the worker count.
+fn shard_index(name: &VirtualSensorName, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_str().as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// Runs one sensor's full pipeline pass: poll local wrappers, process each arrival,
+/// check for silent sources.
+fn pipeline_sensor(
+    runtime: &PipelineRuntime,
+    view: &SensorView,
+    name: &VirtualSensorName,
+    now: Timestamp,
+    out: &mut ShardOutcome,
+) {
+    let Some(sensor) = view.get(name) else {
+        return;
+    };
+    let arrivals = sensor.lock().poll_local_sources(now);
+    for (source_ref, element) in arrivals {
+        out.report.local_arrivals += 1;
+        process_one(runtime, view, name, source_ref, element, now, out);
+    }
+    // Stream-quality: silence detection.
+    if let Some(sensor) = view.get(name) {
+        let newly_silent = sensor.lock().check_silence(now);
+        out.report.silence_events += newly_silent.len() as u64;
+    }
+}
+
+/// Processes a single element arrival for one sensor/source and fans out the result.
+///
+/// The sensor's mutex is released before the fan-out, so loop-back recursion into a
+/// consumer sensor never holds two sensor locks at once.
+fn process_one(
+    runtime: &PipelineRuntime,
+    view: &SensorView,
+    name: &VirtualSensorName,
+    source_ref: SourceRef,
+    element: StreamElement,
+    now: Timestamp,
+    out: &mut ShardOutcome,
+) {
+    let Some(sensor) = view.get(name) else {
+        return;
+    };
+    let (outcome, elapsed_micros, output_table) = {
+        let mut guard = sensor.lock();
+        let before = guard.stats().total_processing_micros;
+        let outcome = guard.process_arrival(source_ref, element, now, &runtime.storage);
+        let elapsed = guard.stats().total_processing_micros - before;
+        (outcome, elapsed, guard.output_table().to_owned())
+    };
+    out.report.processing_micros += elapsed_micros;
+    match outcome {
+        Ok(Some(output)) => {
+            out.report.outputs += 1;
+            // Registered client queries over this sensor's output.
+            let results = runtime.query_manager.lock().evaluate_for_table(
+                &output_table,
+                &runtime.storage,
+                now,
+            );
+            out.report.client_query_evaluations += results.len() as u64;
+            deliver_client_results(runtime, results, now);
+            // Local + remote notifications.
+            runtime.notifications.lock().notify(
+                name.as_str(),
+                &output,
+                now,
+                runtime.network.as_deref(),
+            );
+            // Local loop-back remote routes (a sensor on this node consuming another
+            // local sensor through the `remote` wrapper).
+            let local_routes = runtime
+                .remote_routes
+                .read()
+                .get(name.as_str())
+                .cloned()
+                .unwrap_or_default();
+            for (consumer, consumer_ref) in local_routes {
+                if &consumer == name {
+                    continue;
+                }
+                if view.contains_key(&consumer) {
+                    out.report.remote_arrivals += 1;
+                    deliver_remote(
+                        runtime,
+                        view,
+                        &consumer,
+                        consumer_ref,
+                        output.clone(),
+                        now,
+                        out,
+                    );
+                } else {
+                    // The consumer lives in another shard (or was undeployed): hand the
+                    // delivery back for the sequential post-barrier phase.
+                    out.deferred.push((consumer, consumer_ref, output.clone()));
+                }
+            }
+        }
+        Ok(None) => {}
+        Err(_) => out.report.errors += 1,
+    }
+}
+
+/// Handles one element delivered for a remote route (a local consumer of a remote or
+/// loop-back producer).
+fn deliver_remote(
+    runtime: &PipelineRuntime,
+    view: &SensorView,
+    consumer: &VirtualSensorName,
+    source_ref: SourceRef,
+    element: StreamElement,
+    now: Timestamp,
+    out: &mut ShardOutcome,
+) {
+    let Some(sensor) = view.get(consumer) else {
+        return;
+    };
+    if sensor
+        .lock()
+        .ensure_remote_schema(source_ref, &element, &runtime.storage)
+        .is_err()
+    {
+        out.report.errors += 1;
+        return;
+    }
+    process_one(runtime, view, consumer, source_ref, element, now, out);
+}
+
+/// Routes client-query results to their subscribers (modelled as notifications on the
+/// client's name; the extensible channel architecture of the notification manager lets
+/// applications attach whatever transport they need).
+fn deliver_client_results(
+    runtime: &PipelineRuntime,
+    results: Vec<ClientQueryResult>,
+    now: Timestamp,
+) {
+    for result in results {
+        if result.relation.is_empty() {
+            continue;
+        }
+        if let Ok(Some(element)) = result
+            .relation
+            .to_stream_element(&Arc::new(relation_schema(&result.relation)), now)
+        {
+            runtime.notifications.lock().notify(
+                &format!("client:{}", result.client),
+                &element,
+                now,
+                None,
+            );
+        }
     }
 }
 
@@ -122,16 +387,13 @@ pub struct GsnContainer {
     config: ContainerConfig,
     clock: Arc<dyn Clock>,
     registry: Arc<WrapperRegistry>,
-    storage: Arc<StorageManager>,
-    sensors: BTreeMap<VirtualSensorName, VirtualSensor>,
-    query_manager: QueryManager,
-    notifications: NotificationManager,
+    runtime: Arc<PipelineRuntime>,
+    sensors: BTreeMap<VirtualSensorName, SharedSensor>,
+    /// The step-loop worker pool; `None` when `workers <= 1` (sequential semantics).
+    pool: Option<WorkerPool>,
     access: AccessController,
     integrity: IntegrityService,
-    network: Option<Arc<SimulatedNetwork>>,
     directory: Option<Arc<Directory>>,
-    /// Routes incoming remote deliveries: remote sensor name -> local consumers.
-    remote_routes: HashMap<String, Vec<(VirtualSensorName, SourceRef)>>,
     /// Remote subscriptions this container has requested but not yet seen acknowledged.
     /// Un-acked subscriptions are re-sent on every step so that a lost Subscribe message
     /// (lossy link, partition during deployment) does not silence the source forever.
@@ -152,9 +414,10 @@ impl std::fmt::Debug for GsnContainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "GsnContainer({}, {} sensors)",
+            "GsnContainer({}, {} sensors, {} workers)",
             self.config.name,
-            self.sensors.len()
+            self.sensors.len(),
+            self.pool.as_ref().map(WorkerPool::size).unwrap_or(1),
         )
     }
 }
@@ -182,23 +445,29 @@ impl GsnContainer {
         network: Option<Arc<SimulatedNetwork>>,
         directory: Option<Arc<Directory>>,
     ) -> GsnContainer {
-        GsnContainer {
-            notifications: NotificationManager::new(
+        let pool = (config.workers > 1)
+            .then(|| WorkerPool::new(&format!("{}-step", config.name), config.workers));
+        let runtime = Arc::new(PipelineRuntime {
+            storage: Arc::new(StorageManager::with_options(config.storage_options())),
+            query_manager: Mutex::new(QueryManager::new(config.query_cache_enabled)),
+            notifications: Mutex::new(NotificationManager::new(
                 config.node_id,
                 config.disconnect_buffer_capacity,
-            ),
-            query_manager: QueryManager::new(config.query_cache_enabled),
+            )),
+            network,
+            remote_routes: RwLock::new(HashMap::new()),
+        });
+        GsnContainer {
             registry: Arc::new(WrapperRegistry::with_builtins()),
-            storage: Arc::new(StorageManager::with_options(config.storage_options())),
+            runtime,
             sensors: BTreeMap::new(),
+            pool,
             access: AccessController::permissive(),
             integrity: IntegrityService::new(),
-            remote_routes: HashMap::new(),
+            directory,
             pending_subscriptions: Vec::new(),
             next_request_id: 1,
             clock,
-            network,
-            directory,
             config,
         }
     }
@@ -225,7 +494,7 @@ impl GsnContainer {
 
     /// The storage manager (read-only access for inspection; the container owns writes).
     pub fn storage(&self) -> &Arc<StorageManager> {
-        &self.storage
+        &self.runtime.storage
     }
 
     /// Checkpoints every persistent storage table to stable storage.
@@ -234,7 +503,7 @@ impl GsnContainer {
     /// container is dropped; call this for an explicit durability point (e.g. before
     /// process hand-over).
     pub fn flush_storage(&self) -> GsnResult<()> {
-        self.storage.flush_all()
+        self.runtime.storage.flush_all()
     }
 
     /// The access-control layer.
@@ -257,7 +526,7 @@ impl GsnContainer {
         let key = VirtualSensorName::new(name)?;
         self.sensors
             .get(&key)
-            .map(|s| s.stats())
+            .map(|s| s.lock().stats())
             .ok_or_else(|| GsnError::not_found(format!("virtual sensor `{name}` is not deployed")))
     }
 
@@ -297,7 +566,7 @@ impl GsnContainer {
         let sensor = VirtualSensor::deploy(
             descriptor,
             &self.registry,
-            &self.storage,
+            &self.runtime.storage,
             |address| match &directory {
                 Some(directory) => {
                     let entry = directory.resolve_one(&address.predicates)?;
@@ -326,12 +595,14 @@ impl GsnContainer {
 
         // Wire up remote sources: remember the routing and send Subscribe messages.
         for (producer, remote_sensor, source_ref) in sensor.remote_sources() {
-            self.remote_routes
+            self.runtime
+                .remote_routes
+                .write()
                 .entry(remote_sensor.to_ascii_lowercase())
                 .or_default()
                 .push((name.clone(), source_ref));
             if producer != self.config.node_id {
-                if let Some(network) = &self.network {
+                if let Some(network) = &self.runtime.network {
                     let request = self.next_request_id;
                     self.next_request_id += 1;
                     let _ = network.send(
@@ -354,38 +625,43 @@ impl GsnContainer {
                 }
             } else {
                 // Producer is this very container: subscribe locally.
-                self.notifications
+                self.runtime
+                    .notifications
+                    .lock()
                     .add_remote_subscriber(self.config.node_id, &remote_sensor);
             }
         }
 
-        self.sensors.insert(name.clone(), sensor);
+        self.sensors
+            .insert(name.clone(), Arc::new(Mutex::new(sensor)));
         Ok(name)
     }
 
     /// Undeploys a virtual sensor, dropping its storage and directory entry.
     pub fn undeploy(&mut self, name: &str) -> GsnResult<()> {
         let key = VirtualSensorName::new(name)?;
-        let mut sensor = self.sensors.remove(&key).ok_or_else(|| {
+        let sensor = self.sensors.remove(&key).ok_or_else(|| {
             GsnError::not_found(format!("virtual sensor `{name}` is not deployed"))
         })?;
-        sensor.teardown(&self.storage);
+        sensor.lock().teardown(&self.runtime.storage);
         if let Some(directory) = &self.directory {
             let _ = directory.deregister(self.config.node_id, key.as_str());
         }
-        self.remote_routes.values_mut().for_each(|routes| {
-            routes.retain(|(owner, _)| owner != &key);
-        });
-        // Drop pending subscriptions (and send Unsubscribe) for remote sensors no local
-        // consumer references any more.
-        let orphaned: Vec<String> = self
-            .remote_routes
-            .iter()
-            .filter(|(_, routes)| routes.is_empty())
-            .map(|(sensor, _)| sensor.clone())
-            .collect();
+        let orphaned: Vec<String> = {
+            let mut routes = self.runtime.remote_routes.write();
+            routes.values_mut().for_each(|consumers| {
+                consumers.retain(|(owner, _)| owner != &key);
+            });
+            // Remote sensors no local consumer references any more.
+            routes
+                .iter()
+                .filter(|(_, consumers)| consumers.is_empty())
+                .map(|(sensor, _)| sensor.clone())
+                .collect()
+        };
+        // Drop pending subscriptions (and send Unsubscribe) for orphaned remote sensors.
         for sensor in &orphaned {
-            if let Some(network) = &self.network {
+            if let Some(network) = &self.runtime.network {
                 if let Some(pending) = self
                     .pending_subscriptions
                     .iter()
@@ -405,7 +681,10 @@ impl GsnContainer {
             self.pending_subscriptions
                 .retain(|p| !p.sensor.eq_ignore_ascii_case(sensor));
         }
-        self.remote_routes.retain(|_, routes| !routes.is_empty());
+        self.runtime
+            .remote_routes
+            .write()
+            .retain(|_, consumers| !consumers.is_empty());
         Ok(())
     }
 
@@ -414,77 +693,86 @@ impl GsnContainer {
     // -----------------------------------------------------------------------------------
 
     /// Executes an ad-hoc SQL query over the container's virtual sensor output tables.
-    pub fn query(&mut self, sql: &str) -> GsnResult<Relation> {
+    pub fn query(&self, sql: &str) -> GsnResult<Relation> {
         self.query_as(&Principal::Anonymous, sql)
     }
 
     /// Executes an ad-hoc SQL query on behalf of a principal, enforcing access control on
     /// every referenced virtual sensor.
-    pub fn query_as(&mut self, principal: &Principal, sql: &str) -> GsnResult<Relation> {
+    pub fn query_as(&self, principal: &Principal, sql: &str) -> GsnResult<Relation> {
         let prepared = gsn_sql::SqlEngine::compile(sql, &gsn_sql::OptimizerConfig::default())?;
         for table in prepared.referenced_tables() {
             self.access.authorize(principal, Operation::Read, table)?;
         }
-        self.query_manager
-            .execute_adhoc(sql, &self.storage, self.clock.now())
+        self.runtime.query_manager.lock().execute_adhoc(
+            sql,
+            &self.runtime.storage,
+            self.clock.now(),
+        )
     }
 
     /// Renders the execution plan of a query (EXPLAIN).
-    pub fn explain(&mut self, sql: &str) -> GsnResult<String> {
-        self.query_manager.explain(sql)
+    pub fn explain(&self, sql: &str) -> GsnResult<String> {
+        self.runtime.query_manager.lock().explain(sql)
     }
 
     /// Registers a continuous client query (see [`QueryManager::register`]).
     pub fn register_query(
-        &mut self,
+        &self,
         client: &str,
         sql: &str,
         history: WindowSpec,
         sampling_rate: Option<f64>,
     ) -> GsnResult<ClientQueryId> {
-        self.query_manager
+        self.runtime
+            .query_manager
+            .lock()
             .register(client, sql, history, sampling_rate)
     }
 
     /// Removes a registered client query.
-    pub fn deregister_query(&mut self, id: ClientQueryId) -> GsnResult<()> {
-        self.query_manager.deregister(id)
+    pub fn deregister_query(&self, id: ClientQueryId) -> GsnResult<()> {
+        self.runtime.query_manager.lock().deregister(id)
     }
 
     /// Number of registered client queries.
     pub fn registered_query_count(&self) -> usize {
-        self.query_manager.registered_count()
+        self.runtime.query_manager.lock().registered_count()
     }
 
     /// Subscribes to a virtual sensor's output stream; notifications arrive on the
     /// returned channel.
     pub fn subscribe(
-        &mut self,
+        &self,
         sensor: &str,
     ) -> GsnResult<(SubscriptionId, crossbeam::channel::Receiver<Notification>)> {
         self.require_sensor(sensor)?;
-        Ok(self.notifications.subscribe_channel(sensor))
+        Ok(self.runtime.notifications.lock().subscribe_channel(sensor))
     }
 
     /// Subscribes a callback to a virtual sensor's output stream.
     pub fn subscribe_callback(
-        &mut self,
+        &self,
         sensor: &str,
         callback: impl Fn(&Notification) + Send + Sync + 'static,
     ) -> GsnResult<SubscriptionId> {
         self.require_sensor(sensor)?;
-        Ok(self.notifications.subscribe_callback(sensor, callback))
+        Ok(self
+            .runtime
+            .notifications
+            .lock()
+            .subscribe_callback(sensor, callback))
     }
 
     /// Cancels a local subscription.
-    pub fn unsubscribe(&mut self, id: SubscriptionId) -> GsnResult<()> {
-        self.notifications.unsubscribe(id)
+    pub fn unsubscribe(&self, id: SubscriptionId) -> GsnResult<()> {
+        self.runtime.notifications.lock().unsubscribe(id)
     }
 
     fn require_sensor(&self, sensor: &str) -> GsnResult<()> {
         let key = VirtualSensorName::new(sensor)?;
         let table = VirtualSensor::output_table_name(&key);
-        if self.sensors.contains_key(&key) || self.storage.has_table(&table) {
+        if self.sensors.contains_key(&key) || self.runtime.storage.has_table(&table) {
             Ok(())
         } else {
             Err(GsnError::not_found(format!(
@@ -498,142 +786,122 @@ impl GsnContainer {
     // -----------------------------------------------------------------------------------
 
     /// Advances the container to the clock's current time: drains the network, polls local
-    /// wrappers, runs pipelines, evaluates registered queries and delivers notifications.
+    /// wrappers, runs pipelines (sharded across the worker pool when `workers > 1`),
+    /// evaluates registered queries, delivers notifications and group-commits the WALs.
     pub fn step(&mut self) -> StepReport {
         let now = self.clock.now();
         let mut report = StepReport::default();
 
-        // 1. Network intake (remote deliveries, subscription management).
+        // 1. Network intake (remote deliveries, subscription management) — sequential.
         report.absorb(self.drain_network(now));
 
         // 1b. Retry remote subscriptions that were never acknowledged (the Subscribe
         // message may have been lost on a lossy link or during a partition).
         self.retry_pending_subscriptions(now);
 
-        // 2. Local wrapper polling + pipeline execution.
-        let names: Vec<VirtualSensorName> = self.sensors.keys().cloned().collect();
-        for name in names {
-            let arrivals = {
-                let sensor = self.sensors.get_mut(&name).expect("sensor present");
-                sensor.poll_local_sources(now)
-            };
-            for (source_ref, element) in arrivals {
-                report.local_arrivals += 1;
-                report.absorb(self.process_one(&name, source_ref, element, now));
-            }
-            // Stream-quality: silence detection.
-            if let Some(sensor) = self.sensors.get_mut(&name) {
-                let _ = sensor.check_silence(now);
-            }
-        }
+        // 2. Local wrapper polling + pipeline execution, sharded across the pool.
+        report.absorb(self.run_sensor_pipelines(now));
 
-        // 3. Storage housekeeping.
-        self.storage.prune_all(now);
+        // 3. Storage housekeeping: retention pruning, then one batched WAL fsync for
+        // everything ingested this step (group commit).
+        self.runtime.storage.prune_all(now);
+        if self.runtime.storage.group_commit().is_err() {
+            report.errors += 1;
+        }
         report
     }
 
-    /// Processes a single element arrival for one sensor/source and fans out the result.
-    fn process_one(
-        &mut self,
-        name: &VirtualSensorName,
-        source_ref: SourceRef,
-        element: StreamElement,
-        now: Timestamp,
-    ) -> StepReport {
+    /// Runs every sensor's pipeline pass for this step: inline in name order when
+    /// sequential, sharded across the worker pool otherwise (see the module docs).
+    fn run_sensor_pipelines(&mut self, now: Timestamp) -> StepReport {
+        let shard_count = self.pool.as_ref().map(WorkerPool::size).unwrap_or(1);
+        if shard_count <= 1 || self.sensors.len() <= 1 {
+            // Sequential semantics: identical to the pre-sharding loop. The full view
+            // means loop-back deliveries recurse inline and nothing is deferred.
+            let mut out = ShardOutcome::default();
+            let names: Vec<VirtualSensorName> = self.sensors.keys().cloned().collect();
+            for name in &names {
+                pipeline_sensor(&self.runtime, &self.sensors, name, now, &mut out);
+            }
+            debug_assert!(out.deferred.is_empty());
+            return out.report;
+        }
+
+        let mut shards: Vec<SensorView> = (0..shard_count).map(|_| BTreeMap::new()).collect();
+        for (name, sensor) in &self.sensors {
+            shards[shard_index(name, shard_count)].insert(name.clone(), Arc::clone(sensor));
+        }
+        let pool = self.pool.as_ref().expect("worker pool present");
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, ShardOutcome)>();
+        let mut submitted = 0usize;
         let mut report = StepReport::default();
-        let Some(sensor) = self.sensors.get_mut(name) else {
-            return report;
-        };
-        let before = sensor.stats();
-        let outcome = sensor.process_arrival(source_ref, element, now, &self.storage);
-        let after = sensor.stats();
-        report.processing_micros += after.total_processing_micros - before.total_processing_micros;
-        let output_table = sensor.output_table().to_owned();
-        match outcome {
-            Ok(Some(output)) => {
-                report.outputs += 1;
-                // Registered client queries over this sensor's output.
-                let results =
-                    self.query_manager
-                        .evaluate_for_table(&output_table, &self.storage, now);
-                report.client_query_evaluations += results.len() as u64;
-                self.deliver_client_results(results, now);
-                // Local + remote notifications.
-                self.notifications
-                    .notify(name.as_str(), &output, now, self.network.as_deref());
-                // Local loop-back remote routes (a sensor on this node consuming another
-                // local sensor through the `remote` wrapper).
-                let local_routes = self
-                    .remote_routes
-                    .get(name.as_str())
-                    .cloned()
-                    .unwrap_or_default();
-                for (consumer, consumer_ref) in local_routes {
-                    if &consumer != name {
-                        report.remote_arrivals += 1;
-                        report.absorb(self.deliver_remote(
-                            &consumer,
-                            consumer_ref,
-                            output.clone(),
-                            now,
-                        ));
-                    }
-                }
-            }
-            Ok(None) => {}
-            Err(_) => report.errors += 1,
-        }
-        report
-    }
-
-    /// Routes client-query results to their subscribers (modelled as notifications on the
-    /// client's name; the extensible channel architecture of the notification manager lets
-    /// applications attach whatever transport they need).
-    fn deliver_client_results(&mut self, results: Vec<ClientQueryResult>, now: Timestamp) {
-        for result in results {
-            if result.relation.is_empty() {
+        for (idx, shard) in shards.into_iter().enumerate() {
+            if shard.is_empty() {
                 continue;
             }
-            if let Ok(Some(element)) = result
-                .relation
-                .to_stream_element(&Arc::new(relation_schema(&result.relation)), now)
-            {
-                self.notifications.notify(
-                    &format!("client:{}", result.client),
-                    &element,
-                    now,
-                    None,
-                );
+            let runtime = Arc::clone(&self.runtime);
+            let tx = tx.clone();
+            let job = move || {
+                let mut out = ShardOutcome::default();
+                let names: Vec<VirtualSensorName> = shard.keys().cloned().collect();
+                for name in &names {
+                    pipeline_sensor(&runtime, &shard, name, now, &mut out);
+                }
+                let _ = tx.send((idx, out));
+            };
+            match pool.submit(job) {
+                Ok(()) => submitted += 1,
+                // Unreachable while the container is alive (the pool only shuts down on
+                // drop); surface it rather than losing the shard silently.
+                Err(_) => report.errors += 1,
             }
         }
-    }
+        drop(tx);
 
-    /// Handles one element delivered for a remote route (a local consumer of a remote or
-    /// loop-back producer).
-    fn deliver_remote(
-        &mut self,
-        consumer: &VirtualSensorName,
-        source_ref: SourceRef,
-        element: StreamElement,
-        now: Timestamp,
-    ) -> StepReport {
-        let mut report = StepReport::default();
-        let Some(sensor) = self.sensors.get_mut(consumer) else {
-            return report;
-        };
-        if let Err(_e) = sensor.ensure_remote_schema(source_ref, &element, &self.storage) {
-            report.errors += 1;
-            return report;
+        // Barrier: collect every shard's outcome, then merge in shard-index order so the
+        // aggregate report and the deferred-delivery order are deterministic.  A shard
+        // whose job panicked sends nothing (its sender drops with the unwound job); the
+        // channel disconnects once every job finished, and the deficit is an error.
+        let mut outcomes: Vec<(usize, ShardOutcome)> = Vec::with_capacity(submitted);
+        for _ in 0..submitted {
+            match rx.recv() {
+                Ok(pair) => outcomes.push(pair),
+                Err(_) => break,
+            }
         }
-        report.absorb(self.process_one(consumer, source_ref, element, now));
+        report.errors += (submitted - outcomes.len()) as u64;
+        outcomes.sort_by_key(|(idx, _)| *idx);
+        let mut deferred = Vec::new();
+        for (_, out) in outcomes {
+            report.absorb(out.report);
+            deferred.extend(out.deferred);
+        }
+
+        // Sequential post-barrier phase: cross-shard loop-back deliveries run against
+        // the full sensor map, so nested fan-out recurses inline.
+        for (consumer, source_ref, element) in deferred {
+            report.remote_arrivals += 1;
+            let mut out = ShardOutcome::default();
+            deliver_remote(
+                &self.runtime,
+                &self.sensors,
+                &consumer,
+                source_ref,
+                element,
+                now,
+                &mut out,
+            );
+            debug_assert!(out.deferred.is_empty());
+            report.absorb(out.report);
+        }
         report
     }
 
     /// Drains the simulated network inbox.
     fn drain_network(&mut self, now: Timestamp) -> StepReport {
-        let mut report = StepReport::default();
-        let Some(network) = self.network.clone() else {
-            return report;
+        let mut out = ShardOutcome::default();
+        let Some(network) = self.runtime.network.clone() else {
+            return out.report;
         };
         let envelopes = network.receive(self.config.node_id, now);
         for envelope in envelopes {
@@ -647,7 +915,9 @@ impl GsnContainer {
                     let accepted = self.access.check(&principal, Operation::Subscribe, &sensor)
                         && self.require_sensor(&sensor).is_ok();
                     if accepted {
-                        self.notifications
+                        self.runtime
+                            .notifications
+                            .lock()
                             .add_remote_subscriber(subscriber, &sensor);
                     }
                     let _ = network.send(
@@ -666,27 +936,34 @@ impl GsnContainer {
                     );
                 }
                 Message::Unsubscribe { subscriber, sensor } => {
-                    self.notifications
+                    self.runtime
+                        .notifications
+                        .lock()
                         .remove_remote_subscriber(subscriber, &sensor);
                 }
                 Message::StreamDelivery { sensor, element } => match element.into_element() {
                     Ok(element) => {
                         let routes = self
+                            .runtime
                             .remote_routes
+                            .read()
                             .get(&sensor.to_ascii_lowercase())
                             .cloned()
                             .unwrap_or_default();
                         for (consumer, source_ref) in routes {
-                            report.remote_arrivals += 1;
-                            report.absorb(self.deliver_remote(
+                            out.report.remote_arrivals += 1;
+                            deliver_remote(
+                                &self.runtime,
+                                &self.sensors,
                                 &consumer,
                                 source_ref,
                                 element.clone(),
                                 now,
-                            ));
+                                &mut out,
+                            );
                         }
                     }
-                    Err(_) => report.errors += 1,
+                    Err(_) => out.report.errors += 1,
                 },
                 Message::Ping { request } => {
                     let _ = network.send(
@@ -717,13 +994,14 @@ impl GsnContainer {
                 | Message::Pong { .. } => {}
             }
         }
-        report
+        debug_assert!(out.deferred.is_empty());
+        out.report
     }
 
     /// Re-sends Subscribe messages for remote sources whose subscription has not been
     /// acknowledged yet (and was not explicitly refused).
     fn retry_pending_subscriptions(&mut self, now: Timestamp) {
-        let Some(network) = self.network.clone() else {
+        let Some(network) = self.runtime.network.clone() else {
             return;
         };
         let node = self.config.node_id;
@@ -746,19 +1024,39 @@ impl GsnContainer {
 
     /// A point-in-time status snapshot.
     pub fn status(&self) -> ContainerStatus {
+        // Take each manager lock once, in separate statements (a guard temporary inside
+        // the struct literal would live to the end of the whole expression).
+        let (queries, registered_queries) = {
+            let query_manager = self.runtime.query_manager.lock();
+            (query_manager.stats().0, query_manager.registered_count())
+        };
+        let notifications = self.runtime.notifications.lock().stats();
         ContainerStatus {
             name: self.config.name.clone(),
             node: self.config.node_id,
             sensors: self
                 .sensors
                 .iter()
-                .map(|(n, s)| (n.as_str().to_owned(), s.stats()))
+                .map(|(n, s)| {
+                    let guard = s.lock();
+                    SensorStatus {
+                        name: n.as_str().to_owned(),
+                        stats: guard.stats(),
+                        silence_episodes: guard
+                            .source_quality()
+                            .iter()
+                            .map(|(_, _, q)| q.silence_episodes)
+                            .sum(),
+                    }
+                })
                 .collect(),
-            storage: self.storage.stats(),
-            notifications: self.notifications.stats(),
-            queries: self.query_manager.stats().0,
-            registered_queries: self.query_manager.registered_count(),
+            storage: self.runtime.storage.stats(),
+            notifications,
+            queries,
+            registered_queries,
             wrapper_kinds: self.registry.kinds(),
+            workers: self.pool.as_ref().map(WorkerPool::size).unwrap_or(1),
+            pool_jobs: self.pool.as_ref().map(WorkerPool::stats),
         }
     }
 }
@@ -841,7 +1139,83 @@ mod tests {
 
         let status = container.status();
         assert_eq!(status.sensors.len(), 1);
+        assert_eq!(status.workers, 1);
+        assert!(status.pool_jobs.is_none());
         assert!(status.render().contains("room-temp"));
+        assert!(status.render().contains("sequential"));
+    }
+
+    #[test]
+    fn sharded_step_uses_the_worker_pool() {
+        let clock = SimulatedClock::new();
+        let config = ContainerConfig::default().with_workers(4);
+        let mut container = GsnContainer::new(config, Arc::new(clock.clone()));
+        for i in 0..8 {
+            container
+                .deploy(mote_descriptor(&format!("mote-{i}"), 100))
+                .unwrap();
+        }
+        clock.advance(gsn_types::Duration::from_secs(1));
+        let report = container.step();
+        assert_eq!(report.local_arrivals, 80);
+        assert_eq!(report.outputs, 80);
+        assert_eq!(report.errors, 0);
+
+        let status = container.status();
+        assert_eq!(status.workers, 4);
+        // The step barrier waits for every shard's result; the pool's completion counter
+        // ticks just after the result is sent, so it may trail by a hair.
+        let (submitted, completed) = status.pool_jobs.unwrap();
+        assert!(submitted > 0);
+        assert!(completed <= submitted);
+        assert!(status.render().contains("step loop: 4 workers"));
+    }
+
+    #[test]
+    fn silence_is_counted_in_the_report_and_status() {
+        let (mut container, clock) = standalone();
+        // A push channel the application feeds once and then abandons (mote-style
+        // generators never fall silent: they synthesise data on every poll).
+        let schema = Arc::new(
+            gsn_types::StreamSchema::from_pairs(&[("reading", DataType::Double)]).unwrap(),
+        );
+        let push_factory = Arc::new(gsn_wrappers::PushWrapperFactory::new());
+        container.wrapper_registry().deregister("push").unwrap();
+        container
+            .wrapper_registry()
+            .register(Arc::clone(&push_factory) as Arc<dyn gsn_wrappers::WrapperFactory>)
+            .unwrap();
+        let handle = push_factory.handle("quiet-feed", schema);
+        container
+            .deploy_xml(
+                r#"<virtual-sensor name="quiet">
+                     <output-structure><field name="reading" type="double"/></output-structure>
+                     <input-stream name="main">
+                       <stream-source alias="s" storage-size="1">
+                         <address wrapper="push"><predicate key="channel" val="quiet-feed"/></address>
+                         <query>select reading from WRAPPER</query>
+                       </stream-source>
+                       <query>select * from s</query>
+                     </input-stream>
+                   </virtual-sensor>"#,
+            )
+            .unwrap();
+        handle
+            .push_values(vec![Value::Double(1.0)], Timestamp(100))
+            .unwrap();
+        clock.advance(gsn_types::Duration::from_millis(500));
+        let report = container.step();
+        assert_eq!(report.outputs, 1);
+        assert_eq!(report.silence_events, 0);
+        // No data for longer than the 30 s silence threshold: one silence event,
+        // reported once per episode.
+        clock.advance(gsn_types::Duration::from_secs(31));
+        let report = container.step();
+        assert_eq!(report.silence_events, 1);
+        assert_eq!(container.step().silence_events, 0);
+        let status = container.status();
+        assert_eq!(status.sensors[0].silence_episodes, 1);
+        assert!(status.render().contains("silence episode"));
     }
 
     #[test]
@@ -987,5 +1361,24 @@ mod tests {
         // Failed deployment leaves nothing behind.
         assert!(container.sensor_names().is_empty());
         assert!(container.storage().table_names().is_empty());
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_total() {
+        let names: Vec<VirtualSensorName> = (0..64)
+            .map(|i| VirtualSensorName::new(&format!("sensor-{i}")).unwrap())
+            .collect();
+        for shards in [1usize, 2, 4, 8] {
+            for name in &names {
+                let a = shard_index(name, shards);
+                let b = shard_index(name, shards);
+                assert_eq!(a, b);
+                assert!(a < shards);
+            }
+        }
+        // All shards get some work on a reasonably sized population.
+        let hit: std::collections::HashSet<usize> =
+            names.iter().map(|n| shard_index(n, 4)).collect();
+        assert_eq!(hit.len(), 4);
     }
 }

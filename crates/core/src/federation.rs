@@ -129,11 +129,11 @@ impl Federation {
         let mut report = StepReport::default();
         for container in self.nodes.values_mut() {
             let r = container.step();
-            report_absorb(&mut report, r);
+            report.absorb(r);
         }
         for container in self.nodes.values_mut() {
             let r = container.step();
-            report_absorb(&mut report, r);
+            report.absorb(r);
         }
         report
     }
@@ -145,7 +145,7 @@ impl Federation {
         let ticks = (total.as_millis() / tick.as_millis().max(1)).max(1);
         for _ in 0..ticks {
             let r = self.step(tick);
-            report_absorb(&mut report, r);
+            report.absorb(r);
         }
         report
     }
@@ -159,15 +159,6 @@ impl Federation {
         }
         out
     }
-}
-
-fn report_absorb(into: &mut StepReport, from: StepReport) {
-    into.local_arrivals += from.local_arrivals;
-    into.remote_arrivals += from.remote_arrivals;
-    into.outputs += from.outputs;
-    into.client_query_evaluations += from.client_query_evaluations;
-    into.errors += from.errors;
-    into.processing_micros += from.processing_micros;
 }
 
 #[cfg(test)]

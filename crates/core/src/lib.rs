@@ -55,7 +55,7 @@ pub mod query;
 pub mod sensor;
 
 pub use config::{system_clock, ContainerConfig};
-pub use container::{ContainerStatus, GsnContainer, StepReport};
+pub use container::{ContainerStatus, GsnContainer, SensorStatus, StepReport};
 pub use federation::Federation;
 pub use ism::{QualityPolicy, RateLimiter, SourceMonitor, SourceQuality};
 pub use notification::{Notification, NotificationManager, NotificationStats, SubscriptionId};

@@ -1,10 +1,11 @@
 //! The life-cycle manager's worker pool.
 //!
 //! Descriptors grant each virtual sensor a `<life-cycle pool-size="N">` (paper, Figure 1):
-//! the number of threads available for its processing.  In GSN-RS the deterministic
-//! benchmark path drives processing synchronously under a simulated clock, while live
-//! deployments hand pipeline work to this pool so that slow sensors (large camera frames)
-//! do not stall fast ones.
+//! the number of threads available for its processing.  In GSN-RS this pool backs the
+//! container's sharded step loop (`ContainerConfig::workers > 1`): each step submits one
+//! job per sensor shard so that slow sensors (large camera frames) do not stall fast
+//! ones, while `workers = 1` keeps the deterministic sequential path under a simulated
+//! clock.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,7 +43,10 @@ impl WorkerPool {
                 .name(thread_name)
                 .spawn(move || {
                     while let Ok(job) = receiver.recv() {
-                        job();
+                        // A panicking job must not kill the worker: the pool would
+                        // silently lose a thread for the container's lifetime and
+                        // `backlog()` would report a permanent deficit.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         completed.fetch_add(1, Ordering::SeqCst);
                     }
                 })
@@ -177,8 +181,32 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 50);
+        // Submitting after shutdown neither hangs nor panics: it returns a typed,
+        // transient `shutting-down` error the caller can retry or surface.
         let err = pool.submit(|| {}).unwrap_err();
+        assert_eq!(err.category(), "shutting-down");
         assert!(err.is_transient());
+        // Repeated shutdown is idempotent, and stats survive it.
+        pool.shutdown();
+        let (submitted, completed) = pool.stats();
+        assert_eq!(submitted, 50);
+        assert_eq!(completed, 50);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = WorkerPool::new("panicky", 1);
+        pool.submit(|| panic!("job exploded")).unwrap();
+        // The single worker survived the panic and still executes later jobs.
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&flag);
+        pool.submit(move || f.store(true, Ordering::SeqCst))
+            .unwrap();
+        pool.wait_idle();
+        assert!(flag.load(Ordering::SeqCst));
+        let (submitted, completed) = pool.stats();
+        assert_eq!(submitted, 2);
+        assert_eq!(completed, 2);
     }
 
     #[test]

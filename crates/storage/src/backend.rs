@@ -8,8 +8,10 @@
 //! * [`MemoryBackend`] — the seed behaviour: elements in a `Vec`, exact retention,
 //!   zero-copy window evaluation. Right for bounded source windows.
 //! * [`PersistentBackend`] — a heap file of slotted pages behind a bounded
-//!   [`BufferPool`], with a write-ahead log for rows that have not reached a page on
-//!   disk yet.  Tables can grow far beyond RAM; windowed scans stream through the pool.
+//!   [`SharedBufferPool`], with a write-ahead log for rows that have not reached a page
+//!   on disk yet.  Tables can grow far beyond RAM; windowed scans stream through the
+//!   pool.  Under a [`crate::StorageManager`] every durable table shares one
+//!   container-wide pool (global page budget, cross-table eviction).
 //!
 //! ### Persistent write path
 //!
@@ -41,7 +43,7 @@ use std::sync::Arc;
 use gsn_types::{codec, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp};
 use parking_lot::Mutex;
 
-use crate::buffer::{BufferPool, BufferPoolStats, PageIo};
+use crate::buffer::{BufferPoolStats, PageIo, SharedBufferPool, TableId};
 use crate::heap::HeapFile;
 use crate::page::{Page, PageId, MAX_INLINE_RECORD};
 use crate::wal::{SyncMode, Wal};
@@ -59,12 +61,22 @@ pub enum BackendKind {
 /// Tuning knobs for [`PersistentBackend`].
 #[derive(Debug, Clone)]
 pub struct PersistentOptions {
-    /// Buffer-pool page budget per table (resident memory ≈ `pool_pages` × 8 KiB).
+    /// Buffer-pool page budget (resident memory ≈ `pool_pages` × 8 KiB).  When
+    /// `shared_pool` is `None` this sizes the table's private pool; the
+    /// [`crate::StorageManager`] instead interprets it as the *container-wide* budget of
+    /// the one [`SharedBufferPool`] every durable table shares.
     pub pool_pages: usize,
     /// WAL durability mode.
     pub sync: SyncMode,
     /// Auto-checkpoint once the WAL exceeds this many bytes.
     pub wal_checkpoint_bytes: u64,
+    /// Group commit: defer [`SyncMode::Always`] fsyncs to an explicit
+    /// [`StorageBackend::sync_wal`] (the container calls it once per step, amortising
+    /// one fsync across every row ingested in that step).
+    pub group_commit: bool,
+    /// The shared buffer pool to register this table's pages with.  `None` gives the
+    /// table a private pool of `pool_pages` frames (standalone use, tests).
+    pub shared_pool: Option<Arc<SharedBufferPool>>,
 }
 
 impl Default for PersistentOptions {
@@ -73,6 +85,8 @@ impl Default for PersistentOptions {
             pool_pages: 64,
             sync: SyncMode::default(),
             wal_checkpoint_bytes: 4 << 20,
+            group_commit: false,
+            shared_pool: None,
         }
     }
 }
@@ -126,6 +140,12 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
 
     /// Forces all state to stable storage (checkpoint). No-op for memory tables.
     fn flush(&mut self) -> GsnResult<()>;
+
+    /// Commits any group-committed WAL appends still pending (the per-step batched
+    /// fsync; see [`PersistentOptions::group_commit`]). No-op for memory tables.
+    fn sync_wal(&mut self) -> GsnResult<()> {
+        Ok(())
+    }
 
     /// Buffer-pool counters, when the backend has one.
     fn pool_stats(&self) -> Option<BufferPoolStats>;
@@ -286,11 +306,43 @@ impl PageInfo {
     }
 }
 
+/// Adapts the `Arc<Mutex<HeapFile>>` a backend shares with its buffer pool to the
+/// pool's [`PageIo`] surface (the heap mutex is a leaf lock; see the `buffer` module
+/// docs for the lock order).
+struct HeapIo(Arc<Mutex<HeapFile>>);
+
+impl PageIo for HeapIo {
+    fn read_page(&mut self, id: PageId) -> GsnResult<Page> {
+        PageIo::read_page(&mut *self.0.lock(), id)
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> GsnResult<()> {
+        PageIo::write_page(&mut *self.0.lock(), id, page)
+    }
+}
+
+/// RAII guard for a table's registration in its (possibly shared) buffer pool: dropping
+/// the backend always releases its frames and I/O handle from the pool.
+#[derive(Debug)]
+struct PoolRegistration {
+    pool: Arc<SharedBufferPool>,
+    table: TableId,
+}
+
+impl Drop for PoolRegistration {
+    fn drop(&mut self) {
+        self.pool.release_table(self.table);
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
-    heap: HeapFile,
+    heap: Arc<Mutex<HeapFile>>,
     wal: Wal,
-    pool: BufferPool,
+    pool: Arc<SharedBufferPool>,
+    table_id: TableId,
+    /// Keep last so the registration is released after any other cleanup.
+    registration: PoolRegistration,
     pages: Vec<PageInfo>,
     schema: Arc<StreamSchema>,
     /// Rows ever appended (== global index of the next row).
@@ -304,11 +356,13 @@ struct Inner {
     options: PersistentOptions,
 }
 
-/// A stream table stored in a page file behind a bounded buffer pool.
+/// A stream table stored in a page file behind a (shared) bounded buffer pool.
 ///
-/// All state sits behind one `Mutex` so reads can go through `&self` (the buffer pool
-/// mutates on every access); tables are additionally serialised by the manager's
-/// per-table `RwLock`, so the mutex is uncontended in practice.
+/// All state sits behind one `Mutex` so reads can go through `&self`; tables are
+/// additionally serialised by the manager's per-table `RwLock`, so the mutex is
+/// uncontended in practice.  Page frames live in the [`SharedBufferPool`] — one
+/// container-wide budget when opened through the storage manager, a private pool
+/// otherwise.
 pub struct PersistentBackend {
     inner: Mutex<Inner>,
 }
@@ -316,10 +370,11 @@ pub struct PersistentBackend {
 impl fmt::Debug for PersistentBackend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let inner = self.inner.lock();
+        let path = inner.heap.lock().path().to_owned();
         write!(
             f,
             "PersistentBackend({:?}, {} rows, {} pages, pool {}/{})",
-            inner.heap.path(),
+            path,
             inner.total_rows - inner.logical_start,
             inner.pages.len(),
             inner.pool.resident_pages(),
@@ -342,14 +397,28 @@ impl PersistentBackend {
         let base = sanitize_file_name(name);
         let (heap, existed) =
             HeapFile::create_or_open(&dir.join(format!("{base}.tbl")), Arc::clone(&schema))?;
-        let wal = Wal::open(&dir.join(format!("{base}.wal")), options.sync)?;
+        let mut wal = Wal::open(&dir.join(format!("{base}.wal")), options.sync)?;
+        wal.set_group_commit(options.group_commit)?;
+
+        let logical_start = heap.pruned_rows();
+        let heap = Arc::new(Mutex::new(heap));
+        let pool = options
+            .shared_pool
+            .clone()
+            .unwrap_or_else(|| Arc::new(SharedBufferPool::new(options.pool_pages)));
+        let table_id = pool.register_table(Box::new(HeapIo(Arc::clone(&heap))));
 
         let mut inner = Inner {
-            pool: BufferPool::new(options.pool_pages),
+            registration: PoolRegistration {
+                pool: Arc::clone(&pool),
+                table: table_id,
+            },
+            pool,
+            table_id,
             pages: Vec::new(),
             schema,
             total_rows: 0,
-            logical_start: heap.pruned_rows(),
+            logical_start,
             first_live_page: 0,
             last: None,
             max_sequence: 0,
@@ -382,7 +451,7 @@ impl PersistentBackend {
 
     /// The heap-file path (for tooling/tests).
     pub fn heap_path(&self) -> PathBuf {
-        self.inner.lock().heap.path().to_owned()
+        self.inner.lock().heap.lock().path().to_owned()
     }
 
     /// Resident page count, capacity, and hit/eviction counters of the pool.
@@ -418,12 +487,12 @@ impl Inner {
         self.total_rows = 0;
         self.last = None;
         self.max_sequence = 0;
-        let page_count = self.heap.page_count();
+        let page_count = self.heap.lock().page_count();
         let mut chain: Vec<u8> = Vec::new();
         let mut chain_open = false;
         let mut chain_start_page = 0usize;
         for pid in 0..page_count {
-            let page = self.heap.read_page(pid)?;
+            let page = self.heap.lock().read_page(pid)?;
             self.pages.push(PageInfo::empty(0));
             let current = self.pages.len() - 1;
             for record in page.records() {
@@ -487,7 +556,7 @@ impl Inner {
     fn refresh_first_live_page(&mut self) {
         let mut first = self.first_live_page.min(self.pages.len());
         while first < self.pages.len() && self.pages[first].end_row() <= self.logical_start {
-            self.pool.discard(first as PageId);
+            self.pool.discard(self.table_id, first as PageId);
             first += 1;
         }
         self.first_live_page = first;
@@ -543,7 +612,7 @@ impl Inner {
         framed.push(tag);
         framed.extend_from_slice(payload);
         self.pool
-            .with_page_mut(target as PageId, &mut self.heap, |page| {
+            .with_page_mut(self.table_id, target as PageId, |page| {
                 page.append(&framed)
                     .map(|_| ())
                     .ok_or_else(|| GsnError::storage("page unexpectedly full during append"))
@@ -552,7 +621,7 @@ impl Inner {
 
     fn tail_page_fits(&mut self, pid: PageId, needed: usize) -> GsnResult<bool> {
         self.pool
-            .with_page(pid, &mut self.heap, |page| page.free_space() >= needed)
+            .with_page(self.table_id, pid, |page| page.free_space() >= needed)
     }
 
     /// Allocates a fresh page at the tail: written empty to the heap immediately (so the
@@ -565,11 +634,11 @@ impl Inner {
     fn start_new_page(&mut self, first_row: u64) -> GsnResult<usize> {
         let pid = self.pages.len() as PageId;
         if pid > 0 {
-            self.pool.flush_page(pid - 1, &mut self.heap)?;
+            self.pool.flush_page(self.table_id, pid - 1)?;
         }
         let page = Page::new();
-        self.heap.write_page(pid, &page)?;
-        self.pool.install(pid, page, &mut self.heap)?;
+        self.heap.lock().write_page(pid, &page)?;
+        self.pool.install(self.table_id, pid, page)?;
         self.pages.push(PageInfo::empty(first_row));
         Ok(pid as usize)
     }
@@ -597,41 +666,40 @@ impl Inner {
         for pid in from_page..self.pages.len() {
             // Decode under the pool borrow into a per-page batch, then emit.
             let mut emit: Vec<StreamElement> = Vec::new();
-            self.pool
-                .with_page(pid as PageId, &mut self.heap, |page| {
-                    for record in page.records() {
-                        let (tag, payload) = split_chunk(record)?;
-                        match tag {
-                            CHUNK_FULL => {
-                                if row_index >= logical_start {
-                                    emit.push(decode_payload(payload, &schema)?);
-                                }
-                                row_index += 1;
+            self.pool.with_page(self.table_id, pid as PageId, |page| {
+                for record in page.records() {
+                    let (tag, payload) = split_chunk(record)?;
+                    match tag {
+                        CHUNK_FULL => {
+                            if row_index >= logical_start {
+                                emit.push(decode_payload(payload, &schema)?);
                             }
-                            CHUNK_START => {
-                                chain.clear();
-                                chain.extend_from_slice(payload);
-                                chain_open = true;
+                            row_index += 1;
+                        }
+                        CHUNK_START => {
+                            chain.clear();
+                            chain.extend_from_slice(payload);
+                            chain_open = true;
+                        }
+                        CHUNK_MID if chain_open => chain.extend_from_slice(payload),
+                        CHUNK_END if chain_open => {
+                            chain.extend_from_slice(payload);
+                            if row_index >= logical_start {
+                                emit.push(decode_payload(&chain, &schema)?);
                             }
-                            CHUNK_MID if chain_open => chain.extend_from_slice(payload),
-                            CHUNK_END if chain_open => {
-                                chain.extend_from_slice(payload);
-                                if row_index >= logical_start {
-                                    emit.push(decode_payload(&chain, &schema)?);
-                                }
-                                row_index += 1;
-                                chain_open = false;
-                            }
-                            CHUNK_MID | CHUNK_END => {}
-                            other => {
-                                return Err(GsnError::storage(format!(
-                                    "corrupt chunk tag {other} in page {pid}"
-                                )))
-                            }
+                            row_index += 1;
+                            chain_open = false;
+                        }
+                        CHUNK_MID | CHUNK_END => {}
+                        other => {
+                            return Err(GsnError::storage(format!(
+                                "corrupt chunk tag {other} in page {pid}"
+                            )))
                         }
                     }
-                    Ok(())
-                })??;
+                }
+                Ok(())
+            })??;
             for element in &emit {
                 visit(element);
                 visited += 1;
@@ -645,9 +713,12 @@ impl Inner {
 
     /// Checkpoint: pages to disk, prune watermark to the header, WAL reset.
     fn checkpoint(&mut self) -> GsnResult<()> {
-        self.pool.flush(&mut self.heap)?;
-        self.heap.set_pruned_rows(self.logical_start)?;
-        self.heap.sync()?;
+        self.pool.flush_table(self.table_id)?;
+        {
+            let mut heap = self.heap.lock();
+            heap.set_pruned_rows(self.logical_start)?;
+            heap.sync()?;
+        }
         self.wal.sync()?;
         self.wal.reset()
     }
@@ -836,14 +907,29 @@ impl StorageBackend for PersistentBackend {
         self.inner.get_mut().checkpoint()
     }
 
+    fn sync_wal(&mut self) -> GsnResult<()> {
+        self.inner.get_mut().wal.commit()
+    }
+
     fn pool_stats(&self) -> Option<BufferPoolStats> {
         Some(self.inner.lock().pool.stats())
     }
 
     fn destroy(self: Box<Self>) -> GsnResult<()> {
-        let inner = self.inner.into_inner();
-        inner.heap.destroy()?;
-        inner.wal.destroy()
+        let Inner {
+            heap,
+            wal,
+            registration,
+            ..
+        } = self.inner.into_inner();
+        // Release frames and the pool's I/O handle (its clone of the heap Arc) first so
+        // the heap file can be unwrapped and deleted.
+        drop(registration);
+        let heap = Arc::try_unwrap(heap)
+            .map_err(|_| GsnError::internal("heap file still shared at destroy"))?
+            .into_inner();
+        heap.destroy()?;
+        wal.destroy()
     }
 }
 

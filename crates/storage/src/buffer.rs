@@ -1,19 +1,44 @@
-//! The buffer pool: a bounded cache of heap-file pages with clock (second-chance)
-//! eviction and pin/unpin discipline.
+//! The shared buffer pool: one bounded, container-wide cache of heap-file pages with
+//! clock (second-chance) eviction, pin/unpin discipline and cross-table eviction.
 //!
 //! The pool is what makes `permanent-storage="true"` tables *larger than memory*: reads
 //! and writes go through a fixed number of page frames, so a windowed SQL scan over a
-//! multi-gigabyte history touches at most `capacity` pages of RAM at a time.
+//! multi-gigabyte history touches at most `capacity` pages of RAM at a time.  Earlier
+//! revisions gave every table its own private pool; a container hosting hundreds of
+//! sensors then had no global memory bound.  [`SharedBufferPool`] holds **one page
+//! budget for the whole container**: every persistent table registers its page I/O and
+//! competes for frames, and the clock hand sweeps across tables so a cold table's pages
+//! yield to a hot one's.
 //!
-//! Invariants (exercised by the property tests in `tests/storage_persistence.rs`):
+//! ## Threading model
+//!
+//! The pool is internally synchronised (all state behind one `Mutex`) and is shared via
+//! `Arc` by every [`crate::PersistentBackend`] of a [`crate::StorageManager`], which the
+//! container's sharded step loop drives from multiple worker threads concurrently.
+//!
+//! Lock order (must never be reversed):
+//!
+//! 1. a table's `RwLock<StreamTable>` (taken by the storage manager),
+//! 2. the backend's internal state mutex,
+//! 3. **this pool's mutex**,
+//! 4. a registered table's `PageIo` (the heap-file mutex) — a *leaf* lock, taken by the
+//!    pool for read-through, write-back and eviction.
+//!
+//! Backends therefore must never call into the pool while holding their heap-file lock,
+//! and `with_page` / `with_page_mut` callbacks must never re-enter the pool (they run
+//! with the pool mutex held).
+//!
+//! Invariants (exercised by the property tests in `tests/storage_persistence.rs`,
+//! including under multi-threaded contention):
 //!
 //! * resident pages never exceed the configured capacity,
 //! * a pinned page is never evicted,
-//! * a dirty page is flushed through the supplied [`PageIo`] before its frame is reused.
+//! * a dirty page is flushed through its table's [`PageIo`] before its frame is reused.
 
 use std::collections::HashMap;
 
 use gsn_types::{GsnError, GsnResult};
+use parking_lot::Mutex;
 
 use crate::page::{Page, PageId};
 
@@ -25,8 +50,12 @@ pub trait PageIo {
     fn write_page(&mut self, id: PageId, page: &Page) -> GsnResult<()>;
 }
 
+/// Identifies one registered table within a [`SharedBufferPool`].
+pub type TableId = u64;
+
 #[derive(Debug)]
 struct Frame {
+    table: TableId,
     id: PageId,
     page: Page,
     dirty: bool,
@@ -51,91 +80,167 @@ pub struct BufferPoolStats {
     pub capacity: usize,
 }
 
-/// A bounded page cache with clock eviction.
-#[derive(Debug)]
-pub struct BufferPool {
+struct PoolInner {
     frames: Vec<Frame>,
-    resident: HashMap<PageId, usize>,
+    resident: HashMap<(TableId, PageId), usize>,
+    io: HashMap<TableId, Box<dyn PageIo + Send>>,
     capacity: usize,
     hand: usize,
     stats: BufferPoolStats,
+    next_table: TableId,
 }
 
-impl BufferPool {
-    /// Creates a pool holding at most `capacity` pages (minimum 1).
-    pub fn new(capacity: usize) -> BufferPool {
+/// A bounded, thread-safe page cache shared by every persistent table of a container,
+/// with cross-table clock eviction.
+pub struct SharedBufferPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for SharedBufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        write!(
+            f,
+            "SharedBufferPool({}/{} pages, {} tables)",
+            inner.frames.len(),
+            inner.capacity,
+            inner.io.len()
+        )
+    }
+}
+
+impl SharedBufferPool {
+    /// Creates a pool holding at most `capacity` pages (minimum 1) across all tables.
+    pub fn new(capacity: usize) -> SharedBufferPool {
         let capacity = capacity.max(1);
-        BufferPool {
-            frames: Vec::with_capacity(capacity),
-            resident: HashMap::with_capacity(capacity),
-            capacity,
-            hand: 0,
-            stats: BufferPoolStats::default(),
+        SharedBufferPool {
+            inner: Mutex::new(PoolInner {
+                frames: Vec::with_capacity(capacity),
+                resident: HashMap::with_capacity(capacity),
+                io: HashMap::new(),
+                capacity,
+                hand: 0,
+                stats: BufferPoolStats::default(),
+                next_table: 1,
+            }),
         }
     }
 
     /// The configured page budget.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.inner.lock().capacity
     }
 
-    /// Number of pages currently resident.
+    /// Number of pages currently resident (across all tables).
     pub fn resident_pages(&self) -> usize {
-        self.frames.len()
+        self.inner.lock().frames.len()
+    }
+
+    /// Number of registered tables.
+    pub fn table_count(&self) -> usize {
+        self.inner.lock().io.len()
     }
 
     /// Occupancy and effectiveness counters.
     pub fn stats(&self) -> BufferPoolStats {
+        let inner = self.inner.lock();
         BufferPoolStats {
-            resident_pages: self.frames.len(),
-            capacity: self.capacity,
-            ..self.stats
+            resident_pages: inner.frames.len(),
+            capacity: inner.capacity,
+            ..inner.stats
         }
     }
 
-    /// Number of pins currently held on `id` (0 when not resident).
-    pub fn pin_count(&self, id: PageId) -> u32 {
-        self.resident
-            .get(&id)
-            .map(|&idx| self.frames[idx].pins)
+    /// Registers a table's page I/O, returning the id to address its pages with.
+    pub fn register_table(&self, io: Box<dyn PageIo + Send>) -> TableId {
+        let mut inner = self.inner.lock();
+        let table = inner.next_table;
+        inner.next_table += 1;
+        inner.io.insert(table, io);
+        table
+    }
+
+    /// Deregisters a table: its resident frames are discarded *without* write-back
+    /// (flush first via [`flush_table`](Self::flush_table) if the pages matter) and its
+    /// I/O handle is dropped.
+    pub fn release_table(&self, table: TableId) {
+        let mut inner = self.inner.lock();
+        inner.io.remove(&table);
+        let mut idx = 0;
+        while idx < inner.frames.len() {
+            if inner.frames[idx].table == table {
+                inner.remove_frame(idx);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Number of pins currently held on `(table, id)` (0 when not resident).
+    pub fn pin_count(&self, table: TableId, id: PageId) -> u32 {
+        let inner = self.inner.lock();
+        inner
+            .resident
+            .get(&(table, id))
+            .map(|&idx| inner.frames[idx].pins)
             .unwrap_or(0)
     }
 
-    /// Makes page `id` resident (reading through `io` on a miss) and pins it.
+    /// Makes page `(table, id)` resident (reading through the table's I/O on a miss) and
+    /// pins it.
     ///
     /// Every successful `pin` must be paired with an [`unpin`](Self::unpin); while pinned
     /// the page cannot be evicted. Fails when every frame is pinned and none can be
     /// reclaimed (pool capacity exhausted by concurrent pins).
-    pub fn pin(&mut self, id: PageId, io: &mut dyn PageIo) -> GsnResult<&Page> {
-        let idx = self.frame_for(id, io, None)?;
-        let frame = &mut self.frames[idx];
+    pub fn pin(&self, table: TableId, id: PageId) -> GsnResult<()> {
+        let mut inner = self.inner.lock();
+        let idx = inner.frame_for(table, id, None)?;
+        let frame = &mut inner.frames[idx];
         frame.pins += 1;
         frame.referenced = true;
-        Ok(&frame.page)
+        Ok(())
     }
 
-    /// Releases one pin on `id`; `dirty` marks the page as modified.
-    pub fn unpin(&mut self, id: PageId, dirty: bool) {
-        if let Some(&idx) = self.resident.get(&id) {
-            let frame = &mut self.frames[idx];
+    /// Releases one pin on `(table, id)`; `dirty` marks the page as modified.
+    pub fn unpin(&self, table: TableId, id: PageId, dirty: bool) {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.resident.get(&(table, id)) {
+            let frame = &mut inner.frames[idx];
             debug_assert!(frame.pins > 0, "unpin without pin on page {id}");
             frame.pins = frame.pins.saturating_sub(1);
             frame.dirty |= dirty;
         }
     }
 
-    /// Pins page `id` for writing and applies `mutate` to it, marking it dirty.
+    /// Reads page `(table, id)` through the pool and hands a borrow to `read`.
+    ///
+    /// The callback runs with the pool lock held: it must not call back into the pool.
+    pub fn with_page<T>(
+        &self,
+        table: TableId,
+        id: PageId,
+        read: impl FnOnce(&Page) -> T,
+    ) -> GsnResult<T> {
+        let mut inner = self.inner.lock();
+        let idx = inner.frame_for(table, id, None)?;
+        inner.frames[idx].referenced = true;
+        Ok(read(&inner.frames[idx].page))
+    }
+
+    /// Pins page `(table, id)` for writing and applies `mutate` to it, marking it dirty.
     ///
     /// This is the pool's write path: the mutation happens inside the frame, write-back
-    /// to disk is deferred to eviction or [`flush`](Self::flush).
+    /// to disk is deferred to eviction or [`flush_table`](Self::flush_table).  The
+    /// callback runs with the pool lock held: it must not call back into the pool.
     pub fn with_page_mut<T>(
-        &mut self,
+        &self,
+        table: TableId,
         id: PageId,
-        io: &mut dyn PageIo,
         mutate: impl FnOnce(&mut Page) -> T,
     ) -> GsnResult<T> {
-        let idx = self.frame_for(id, io, None)?;
-        let frame = &mut self.frames[idx];
+        let mut inner = self.inner.lock();
+        let idx = inner.frame_for(table, id, None)?;
+        let frame = &mut inner.frames[idx];
         frame.referenced = true;
         let out = mutate(&mut frame.page);
         frame.dirty = true;
@@ -143,75 +248,84 @@ impl BufferPool {
     }
 
     /// Installs a brand-new page (not yet on disk) as resident and dirty, without a read.
-    pub fn install(&mut self, id: PageId, page: Page, io: &mut dyn PageIo) -> GsnResult<()> {
-        let idx = self.frame_for(id, io, Some(page))?;
-        self.frames[idx].dirty = true;
-        self.frames[idx].referenced = true;
+    pub fn install(&self, table: TableId, id: PageId, page: Page) -> GsnResult<()> {
+        let mut inner = self.inner.lock();
+        let idx = inner.frame_for(table, id, Some(page))?;
+        inner.frames[idx].dirty = true;
+        inner.frames[idx].referenced = true;
         Ok(())
     }
 
-    /// Reads page `id` through the pool and hands a borrow to `read`.
-    pub fn with_page<T>(
-        &mut self,
-        id: PageId,
-        io: &mut dyn PageIo,
-        read: impl FnOnce(&Page) -> T,
-    ) -> GsnResult<T> {
-        let idx = self.frame_for(id, io, None)?;
-        self.frames[idx].referenced = true;
-        Ok(read(&self.frames[idx].page))
+    /// Writes one page back through the table's I/O if it is resident and dirty.
+    pub fn flush_page(&self, table: TableId, id: PageId) -> GsnResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.resident.get(&(table, id)) {
+            inner.writeback(idx)?;
+        }
+        Ok(())
     }
 
-    /// Writes one page back through `io` if it is resident and dirty.
-    pub fn flush_page(&mut self, id: PageId, io: &mut dyn PageIo) -> GsnResult<()> {
-        if let Some(&idx) = self.resident.get(&id) {
-            let frame = &mut self.frames[idx];
-            if frame.dirty {
-                io.write_page(frame.id, &frame.page)?;
-                frame.dirty = false;
-                self.stats.writebacks += 1;
+    /// Writes every dirty frame of `table` back through its I/O.
+    pub fn flush_table(&self, table: TableId) -> GsnResult<()> {
+        let mut inner = self.inner.lock();
+        for idx in 0..inner.frames.len() {
+            if inner.frames[idx].table == table {
+                inner.writeback(idx)?;
             }
         }
         Ok(())
     }
 
-    /// Writes every dirty frame back through `io`.
-    pub fn flush(&mut self, io: &mut dyn PageIo) -> GsnResult<()> {
-        for frame in &mut self.frames {
-            if frame.dirty {
-                io.write_page(frame.id, &frame.page)?;
-                frame.dirty = false;
-                self.stats.writebacks += 1;
-            }
+    /// Drops a page from the pool (when its table region is pruned) without write-back.
+    pub fn discard(&self, table: TableId, id: PageId) {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.resident.get(&(table, id)) {
+            inner.remove_frame(idx);
         }
+    }
+}
+
+impl PoolInner {
+    /// Drops frame `idx` without write-back, fixing the resident index of the frame
+    /// swapped into its place and re-clamping the clock hand.
+    fn remove_frame(&mut self, idx: usize) {
+        debug_assert_eq!(
+            self.frames[idx].pins, 0,
+            "removing pinned page {} of table {}",
+            self.frames[idx].id, self.frames[idx].table
+        );
+        let key = (self.frames[idx].table, self.frames[idx].id);
+        self.resident.remove(&key);
+        self.frames.swap_remove(idx);
+        if idx < self.frames.len() {
+            // The swapped-in frame changed position; fix its index.
+            let moved = (self.frames[idx].table, self.frames[idx].id);
+            self.resident.insert(moved, idx);
+        }
+        if self.hand >= self.frames.len() {
+            self.hand = 0;
+        }
+    }
+
+    /// Writes frame `idx` back through its table's I/O if dirty.
+    fn writeback(&mut self, idx: usize) -> GsnResult<()> {
+        if !self.frames[idx].dirty {
+            return Ok(());
+        }
+        let table = self.frames[idx].table;
+        let io = self.io.get_mut(&table).ok_or_else(|| {
+            GsnError::internal(format!("buffer pool has no I/O for table {table}"))
+        })?;
+        io.write_page(self.frames[idx].id, &self.frames[idx].page)?;
+        self.frames[idx].dirty = false;
+        self.stats.writebacks += 1;
         Ok(())
     }
 
-    /// Drops a page from the pool (when its table region is pruned); flushes it first if
-    /// dirty and `keep` is true.
-    pub fn discard(&mut self, id: PageId) {
-        if let Some(idx) = self.resident.remove(&id) {
-            debug_assert_eq!(self.frames[idx].pins, 0, "discarding pinned page {id}");
-            self.frames.swap_remove(idx);
-            if idx < self.frames.len() {
-                // The swapped-in frame changed position; fix its index.
-                self.resident.insert(self.frames[idx].id, idx);
-            }
-            if self.hand >= self.frames.len() {
-                self.hand = 0;
-            }
-        }
-    }
-
-    /// Finds or creates the frame for `id`. `fresh` installs a new page instead of
-    /// reading from `io`.
-    fn frame_for(
-        &mut self,
-        id: PageId,
-        io: &mut dyn PageIo,
-        fresh: Option<Page>,
-    ) -> GsnResult<usize> {
-        if let Some(&idx) = self.resident.get(&id) {
+    /// Finds or creates the frame for `(table, id)`. `fresh` installs a new page instead
+    /// of reading from the table's I/O.
+    fn frame_for(&mut self, table: TableId, id: PageId, fresh: Option<Page>) -> GsnResult<usize> {
+        if let Some(&idx) = self.resident.get(&(table, id)) {
             self.stats.hits += 1;
             if let Some(page) = fresh {
                 self.frames[idx].page = page;
@@ -221,10 +335,16 @@ impl BufferPool {
         self.stats.misses += 1;
         let page = match fresh {
             Some(page) => page,
-            None => io.read_page(id)?,
+            None => {
+                let io = self.io.get_mut(&table).ok_or_else(|| {
+                    GsnError::internal(format!("buffer pool has no I/O for table {table}"))
+                })?;
+                io.read_page(id)?
+            }
         };
         let idx = if self.frames.len() < self.capacity {
             self.frames.push(Frame {
+                table,
                 id,
                 page,
                 dirty: false,
@@ -233,8 +353,9 @@ impl BufferPool {
             });
             self.frames.len() - 1
         } else {
-            let idx = self.evict(io)?;
+            let idx = self.evict()?;
             self.frames[idx] = Frame {
+                table,
                 id,
                 page,
                 dirty: false,
@@ -243,31 +364,29 @@ impl BufferPool {
             };
             idx
         };
-        self.resident.insert(id, idx);
+        self.resident.insert((table, id), idx);
         Ok(idx)
     }
 
-    /// Clock (second-chance) eviction: sweep frames, clearing reference bits; reclaim the
-    /// first unpinned, unreferenced frame. Dirty victims are written back first.
-    fn evict(&mut self, io: &mut dyn PageIo) -> GsnResult<usize> {
+    /// Clock (second-chance) eviction across *all* tables: sweep frames, clearing
+    /// reference bits; reclaim the first unpinned, unreferenced frame. Dirty victims are
+    /// written back through their owning table's I/O first.
+    fn evict(&mut self) -> GsnResult<usize> {
         // Two full sweeps guarantee progress: the first clears reference bits, the second
         // must find an unpinned frame unless every frame is pinned.
         for _ in 0..self.frames.len() * 2 {
             let idx = self.hand;
             self.hand = (self.hand + 1) % self.frames.len();
-            let frame = &mut self.frames[idx];
-            if frame.pins > 0 {
+            if self.frames[idx].pins > 0 {
                 continue;
             }
-            if frame.referenced {
-                frame.referenced = false;
+            if self.frames[idx].referenced {
+                self.frames[idx].referenced = false;
                 continue;
             }
-            if frame.dirty {
-                io.write_page(frame.id, &frame.page)?;
-                self.stats.writebacks += 1;
-            }
-            self.resident.remove(&frame.id);
+            self.writeback(idx)?;
+            let key = (self.frames[idx].table, self.frames[idx].id);
+            self.resident.remove(&key);
             self.stats.evictions += 1;
             return Ok(idx);
         }
@@ -281,60 +400,89 @@ impl BufferPool {
 mod tests {
     use super::*;
     use crate::page::PAGE_SIZE;
+    use std::sync::Arc;
 
-    /// An in-memory "disk" for exercising the pool.
-    #[derive(Default)]
+    /// An in-memory "disk" for exercising the pool; cloneable so tests can inspect the
+    /// half that was boxed into the pool.
+    #[derive(Default, Clone)]
     struct FakeDisk {
+        inner: Arc<Mutex<FakeDiskInner>>,
+    }
+
+    #[derive(Default)]
+    struct FakeDiskInner {
         pages: HashMap<PageId, Page>,
         reads: u64,
         writes: u64,
     }
 
+    impl FakeDisk {
+        fn reads(&self) -> u64 {
+            self.inner.lock().reads
+        }
+
+        fn writes(&self) -> u64 {
+            self.inner.lock().writes
+        }
+
+        fn page(&self, id: PageId) -> Option<Page> {
+            self.inner.lock().pages.get(&id).cloned()
+        }
+    }
+
     impl PageIo for FakeDisk {
         fn read_page(&mut self, id: PageId) -> GsnResult<Page> {
-            self.reads += 1;
-            self.pages
+            let mut inner = self.inner.lock();
+            inner.reads += 1;
+            inner
+                .pages
                 .get(&id)
                 .cloned()
                 .ok_or_else(|| GsnError::storage(format!("no such page {id}")))
         }
 
         fn write_page(&mut self, id: PageId, page: &Page) -> GsnResult<()> {
-            self.writes += 1;
-            self.pages.insert(id, page.clone());
+            let mut inner = self.inner.lock();
+            inner.writes += 1;
+            inner.pages.insert(id, page.clone());
             Ok(())
         }
     }
 
     fn disk_with_pages(n: u32) -> FakeDisk {
-        let mut disk = FakeDisk::default();
+        let disk = FakeDisk::default();
         for id in 0..n {
             let mut page = Page::new();
             page.append(&id.to_le_bytes()).unwrap();
-            disk.pages.insert(id, page);
+            disk.inner.lock().pages.insert(id, page);
         }
         disk
     }
 
+    fn pool_with_disk(capacity: usize, pages: u32) -> (SharedBufferPool, FakeDisk, TableId) {
+        let disk = disk_with_pages(pages);
+        let pool = SharedBufferPool::new(capacity);
+        let table = pool.register_table(Box::new(disk.clone()));
+        (pool, disk, table)
+    }
+
     #[test]
     fn hits_avoid_disk_reads() {
-        let mut disk = disk_with_pages(4);
-        let mut pool = BufferPool::new(4);
+        let (pool, disk, t) = pool_with_disk(4, 4);
         for _ in 0..3 {
-            pool.with_page(2, &mut disk, |p| assert_eq!(p.record_count(), 1))
+            pool.with_page(t, 2, |p| assert_eq!(p.record_count(), 1))
                 .unwrap();
         }
-        assert_eq!(disk.reads, 1);
+        assert_eq!(disk.reads(), 1);
         assert_eq!(pool.stats().hits, 2);
         assert_eq!(pool.stats().misses, 1);
     }
 
     #[test]
     fn capacity_is_never_exceeded() {
-        let mut disk = disk_with_pages(64);
-        let mut pool = BufferPool::new(8);
+        let (pool, _disk, t) = pool_with_disk(8, 64);
         for id in 0..64 {
-            pool.with_page(id, &mut disk, |_| ()).unwrap();
+            pool.with_page(t, id, |_| ()).unwrap();
             assert!(pool.resident_pages() <= 8);
         }
         assert_eq!(pool.resident_pages(), 8);
@@ -343,84 +491,124 @@ mod tests {
 
     #[test]
     fn pinned_pages_survive_eviction_pressure() {
-        let mut disk = disk_with_pages(32);
-        let mut pool = BufferPool::new(4);
-        pool.pin(0, &mut disk).unwrap();
+        let (pool, disk, t) = pool_with_disk(4, 32);
+        pool.pin(t, 0).unwrap();
         for id in 1..32 {
-            pool.with_page(id, &mut disk, |_| ()).unwrap();
+            pool.with_page(t, id, |_| ()).unwrap();
         }
         // Page 0 is still resident and readable without a disk read.
-        let reads_before = disk.reads;
-        pool.with_page(0, &mut disk, |p| {
+        let reads_before = disk.reads();
+        pool.with_page(t, 0, |p| {
             assert_eq!(p.record(0), Some(&0u32.to_le_bytes()[..]))
         })
         .unwrap();
-        assert_eq!(disk.reads, reads_before);
-        pool.unpin(0, false);
+        assert_eq!(disk.reads(), reads_before);
+        pool.unpin(t, 0, false);
     }
 
     #[test]
     fn all_pinned_fails_cleanly() {
-        let mut disk = disk_with_pages(4);
-        let mut pool = BufferPool::new(2);
-        pool.pin(0, &mut disk).unwrap();
-        pool.pin(1, &mut disk).unwrap();
-        assert!(pool.pin(2, &mut disk).is_err());
-        pool.unpin(1, false);
-        assert!(pool.pin(2, &mut disk).is_ok());
+        let (pool, _disk, t) = pool_with_disk(2, 4);
+        pool.pin(t, 0).unwrap();
+        pool.pin(t, 1).unwrap();
+        assert!(pool.pin(t, 2).is_err());
+        pool.unpin(t, 1, false);
+        assert!(pool.pin(t, 2).is_ok());
     }
 
     #[test]
     fn dirty_pages_are_written_back_on_eviction_and_flush() {
-        let mut disk = disk_with_pages(8);
-        let mut pool = BufferPool::new(2);
-        pool.with_page_mut(0, &mut disk, |p| {
+        let (pool, disk, t) = pool_with_disk(2, 8);
+        pool.with_page_mut(t, 0, |p| {
             p.append(b"mutated").unwrap();
         })
         .unwrap();
         // Force page 0 out.
         for id in 1..8 {
-            pool.with_page(id, &mut disk, |_| ()).unwrap();
+            pool.with_page(t, id, |_| ()).unwrap();
         }
-        assert!(disk.pages[&0].record(1).is_some());
-        // Flush writes remaining dirty frames.
-        pool.with_page_mut(7, &mut disk, |p| {
+        assert!(disk.page(0).unwrap().record(1).is_some());
+        // Flushing the table writes remaining dirty frames.
+        pool.with_page_mut(t, 7, |p| {
             p.append(b"also").unwrap();
         })
         .unwrap();
-        pool.flush(&mut disk).unwrap();
-        assert!(disk.pages[&7].record(1).is_some());
+        pool.flush_table(t).unwrap();
+        assert!(disk.page(7).unwrap().record(1).is_some());
         assert!(pool.stats().writebacks >= 2);
     }
 
     #[test]
     fn install_skips_the_initial_read() {
-        let mut disk = FakeDisk::default();
-        let mut pool = BufferPool::new(2);
+        let (pool, disk, t) = pool_with_disk(2, 0);
         let mut page = Page::new();
         page.append(b"new").unwrap();
-        pool.install(9, page, &mut disk).unwrap();
-        assert_eq!(disk.reads, 0);
-        pool.with_page(9, &mut disk, |p| assert_eq!(p.record(0), Some(&b"new"[..])))
+        pool.install(t, 9, page).unwrap();
+        assert_eq!(disk.reads(), 0);
+        pool.with_page(t, 9, |p| assert_eq!(p.record(0), Some(&b"new"[..])))
             .unwrap();
-        pool.flush(&mut disk).unwrap();
-        assert!(disk.pages.contains_key(&9));
+        pool.flush_table(t).unwrap();
+        assert!(disk.page(9).is_some());
     }
 
     #[test]
     fn discard_forgets_a_page() {
-        let mut disk = disk_with_pages(3);
-        let mut pool = BufferPool::new(3);
+        let (pool, disk, t) = pool_with_disk(3, 3);
         for id in 0..3 {
-            pool.with_page(id, &mut disk, |_| ()).unwrap();
+            pool.with_page(t, id, |_| ()).unwrap();
         }
-        pool.discard(1);
+        pool.discard(t, 1);
         assert_eq!(pool.resident_pages(), 2);
-        assert_eq!(pool.pin_count(1), 0);
+        assert_eq!(pool.pin_count(t, 1), 0);
         // Re-reading goes to disk again.
-        let reads_before = disk.reads;
-        pool.with_page(1, &mut disk, |_| ()).unwrap();
-        assert_eq!(disk.reads, reads_before + 1);
+        let reads_before = disk.reads();
+        pool.with_page(t, 1, |_| ()).unwrap();
+        assert_eq!(disk.reads(), reads_before + 1);
+    }
+
+    #[test]
+    fn eviction_crosses_table_boundaries() {
+        let disk_a = disk_with_pages(16);
+        let disk_b = disk_with_pages(16);
+        let pool = SharedBufferPool::new(4);
+        let a = pool.register_table(Box::new(disk_a.clone()));
+        let b = pool.register_table(Box::new(disk_b.clone()));
+        assert_eq!(pool.table_count(), 2);
+        // Table A fills the pool, including a dirty page.
+        pool.with_page_mut(a, 0, |p| {
+            p.append(b"dirty-a").unwrap();
+        })
+        .unwrap();
+        for id in 1..4 {
+            pool.with_page(a, id, |_| ()).unwrap();
+        }
+        assert_eq!(pool.resident_pages(), 4);
+        // Table B steals every frame; A's dirty page reaches A's disk on the way out.
+        for id in 0..4 {
+            pool.with_page(b, id, |_| ()).unwrap();
+        }
+        assert_eq!(pool.resident_pages(), 4);
+        assert!(disk_a.page(0).unwrap().record(1).is_some());
+        assert!(disk_b.writes() == 0);
+        // The budget is global: both tables together never exceeded 4 frames.
+        assert!(pool.stats().evictions >= 4);
+    }
+
+    #[test]
+    fn release_table_discards_frames_and_io() {
+        let (pool, disk, t) = pool_with_disk(4, 8);
+        pool.with_page_mut(t, 0, |p| {
+            p.append(b"gone").unwrap();
+        })
+        .unwrap();
+        pool.with_page(t, 1, |_| ()).unwrap();
+        pool.release_table(t);
+        assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(pool.table_count(), 0);
+        // No write-back happened: release drops frames cold.
+        assert!(disk.page(0).unwrap().record(1).is_none());
+        // The table id is no longer addressable.
+        assert!(pool.with_page(t, 1, |_| ()).is_err());
     }
 
     #[test]

@@ -29,9 +29,9 @@
 //! ## Persistent engine
 //!
 //! ```text
-//!  insert ──▶ WAL append ──▶ tail page in BufferPool ──(page completed)──▶ heap file
-//!                                                       (eviction/checkpoint)
-//!  window scan ◀── BufferPool (≤ pool_pages resident) ◀── heap pages
+//!  insert ──▶ WAL append ──▶ tail page in SharedBufferPool ──(page completed)──▶ heap file
+//!                                                             (eviction/checkpoint)
+//!  window scan ◀── SharedBufferPool (≤ pool_pages resident, all tables) ◀── heap pages
 //! ```
 //!
 //! * **Page format** ([`page`]): 8 KiB slotted pages — records packed from the front, a
@@ -40,10 +40,11 @@
 //! * **Heap files** ([`heap`]): one `<table>.tbl` per table — a header page (magic,
 //!   schema, prune watermark) plus data pages.  Append-only at the tail; pruning
 //!   advances a logical watermark instead of rewriting (page-granular pruning).
-//! * **Buffer pool** ([`buffer`]): a bounded frame cache with clock (second-chance)
-//!   eviction and pin/unpin.  Pinned pages are never evicted; resident pages never
-//!   exceed the configured budget, so scans over tables larger than the pool run in
-//!   bounded memory.
+//! * **Buffer pool** ([`buffer`]): one bounded, thread-safe frame cache per container
+//!   ([`SharedBufferPool`]) with clock (second-chance) eviction *across tables* and
+//!   pin/unpin.  Pinned pages are never evicted; resident pages never exceed the
+//!   container-wide budget, so scans over tables larger than the pool run in bounded
+//!   memory even with hundreds of sensors.
 //! * **Write-ahead log** ([`wal`]): `<table>.wal`, CRC-framed rows appended before the
 //!   page write.  [`SyncMode`] picks the durability/throughput trade-off.
 //!
@@ -52,7 +53,8 @@
 //! last checkpoint.  Re-opening a table scans the heap (tolerating a torn tail page),
 //! then replays WAL rows whose sequence exceeds the heap's highest — nothing is lost on
 //! a clean drop, and at most the un-synced tail is lost on a hard crash with
-//! [`SyncMode::OnCheckpoint`] (nothing with [`SyncMode::Always`]).
+//! [`SyncMode::OnCheckpoint`] (nothing with [`SyncMode::Always`]; at most the current
+//! step's rows when the container's per-step WAL group commit is enabled).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -114,7 +116,7 @@ pub mod window;
 pub use backend::{
     BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, StorageBackend,
 };
-pub use buffer::{BufferPool, BufferPoolStats, PageIo};
+pub use buffer::{BufferPoolStats, PageIo, SharedBufferPool, TableId};
 pub use heap::HeapFile;
 pub use manager::{CatalogView, LiveCatalog, StorageManager, StorageOptions};
 pub use page::{Page, PageId, PAGE_SIZE};

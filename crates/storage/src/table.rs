@@ -320,6 +320,12 @@ impl StreamTable {
         self.backend.flush()
     }
 
+    /// Commits group-committed WAL appends still pending (the per-step batched fsync;
+    /// no-op for in-memory tables and when nothing is pending).
+    pub fn sync_wal(&mut self) -> GsnResult<()> {
+        self.backend.sync_wal()
+    }
+
     /// Deletes any on-disk state, leaving the table empty and in-memory (used by
     /// `drop_table`).
     pub fn destroy_storage(&mut self) -> GsnResult<()> {

@@ -9,6 +9,15 @@
 //! Record framing: `[u32 length][u32 crc32][payload]`, little-endian.  Replay stops at
 //! the first truncated or corrupt record (a torn tail write), which is exactly the
 //! prefix-durability a log needs.
+//!
+//! ## Group commit
+//!
+//! With [`SyncMode::Always`] the log normally fsyncs after every appended record.  A
+//! container ingesting from many sensors in one step can instead enable *group commit*
+//! ([`Wal::set_group_commit`]): appends only mark the log sync-pending, and a single
+//! [`Wal::commit`] at the step boundary amortises one fsync across every row ingested in
+//! that step.  Durability moves from per-insert to per-step; a crash mid-step can lose
+//! at most that step's un-committed tail (the CRC framing keeps replay safe).
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -35,6 +44,10 @@ pub struct Wal {
     path: PathBuf,
     sync: SyncMode,
     bytes: u64,
+    /// Group commit: defer `SyncMode::Always` fsyncs to the next [`commit`](Self::commit).
+    group_commit: bool,
+    /// Appends since the last fsync while group commit is enabled.
+    sync_pending: bool,
 }
 
 impl Wal {
@@ -56,9 +69,33 @@ impl Wal {
             path: path.to_owned(),
             sync,
             bytes,
+            group_commit: false,
+            sync_pending: false,
         };
         wal.seek_end()?;
         Ok(wal)
+    }
+
+    /// Enables or disables group commit (see the module docs). Disabling with a sync
+    /// still pending forces it immediately so no acknowledged record is left unsynced.
+    pub fn set_group_commit(&mut self, enabled: bool) -> GsnResult<()> {
+        self.group_commit = enabled;
+        if !enabled {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Fsyncs the log if any group-committed append is still pending (the per-step
+    /// batched fsync). A no-op when nothing is pending.
+    pub fn commit(&mut self) -> GsnResult<()> {
+        if self.sync_pending {
+            self.file
+                .sync_data()
+                .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))?;
+            self.sync_pending = false;
+        }
+        Ok(())
     }
 
     fn seek_end(&mut self) -> GsnResult<()> {
@@ -89,9 +126,13 @@ impl Wal {
             .map_err(|e| GsnError::storage(format!("cannot append to WAL: {e}")))?;
         self.bytes += frame.len() as u64;
         if self.sync == SyncMode::Always {
-            self.file
-                .sync_data()
-                .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))?;
+            if self.group_commit {
+                self.sync_pending = true;
+            } else {
+                self.file
+                    .sync_data()
+                    .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))?;
+            }
         }
         Ok(())
     }
@@ -130,6 +171,7 @@ impl Wal {
             .and_then(|_| self.file.seek(SeekFrom::Start(0)))
             .map_err(|e| GsnError::storage(format!("cannot reset WAL: {e}")))?;
         self.bytes = 0;
+        self.sync_pending = false;
         self.file
             .sync_data()
             .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))
@@ -137,6 +179,7 @@ impl Wal {
 
     /// Forces buffered records to stable storage.
     pub fn sync(&mut self) -> GsnResult<()> {
+        self.sync_pending = false;
         self.file
             .sync_data()
             .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))
@@ -244,6 +287,24 @@ mod tests {
         }
         let mut wal = Wal::open(&path, SyncMode::OnCheckpoint).unwrap();
         assert_eq!(wal.replay().unwrap(), vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn group_commit_defers_syncs_but_loses_nothing() {
+        let path = temp_wal("wal-group-commit");
+        {
+            let mut wal = Wal::open(&path, SyncMode::Always).unwrap();
+            wal.set_group_commit(true).unwrap();
+            for i in 0..10u8 {
+                wal.append(&[i]).unwrap();
+            }
+            wal.commit().unwrap();
+            // Disabling group commit with appends pending syncs immediately.
+            wal.append(b"tail").unwrap();
+            wal.set_group_commit(false).unwrap();
+        }
+        let mut wal = Wal::open(&path, SyncMode::Always).unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 11);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use std::sync::Arc;
 
 use gsn::container::ContainerConfig;
 use gsn::storage::{
-    BufferPool, Page, PageIo, PersistentOptions, Retention, StorageManager, StreamTable, WindowSpec,
+    Page, PageIo, PersistentOptions, Retention, SharedBufferPool, StorageManager, StreamTable,
+    WindowSpec,
 };
 use gsn::types::{
     codec, DataType, Duration, SimulatedClock, StreamElement, StreamSchema, Timestamp, Value,
@@ -121,18 +122,26 @@ proptest! {
 // Buffer-pool invariants
 // ---------------------------------------------------------------------------------------
 
-#[derive(Default)]
+/// An in-memory "disk" for exercising the pool; cloneable so a test keeps a handle to
+/// the half that was boxed into the pool.
+#[derive(Default, Clone)]
 struct FakeDisk {
-    pages: std::collections::HashMap<u32, Page>,
+    pages: Arc<std::sync::Mutex<std::collections::HashMap<u32, Page>>>,
+}
+
+impl FakeDisk {
+    fn page(&self, id: u32) -> Option<Page> {
+        self.pages.lock().unwrap().get(&id).cloned()
+    }
 }
 
 impl PageIo for FakeDisk {
     fn read_page(&mut self, id: u32) -> GsnResult<Page> {
-        Ok(self.pages.entry(id).or_default().clone())
+        Ok(self.pages.lock().unwrap().entry(id).or_default().clone())
     }
 
     fn write_page(&mut self, id: u32, page: &Page) -> GsnResult<()> {
-        self.pages.insert(id, page.clone());
+        self.pages.lock().unwrap().insert(id, page.clone());
         Ok(())
     }
 }
@@ -147,35 +156,116 @@ proptest! {
         capacity in 1usize..8,
         ops in prop::collection::vec((0u32..32, prop::bool::ANY), 1..200),
     ) {
-        let mut disk = FakeDisk::default();
-        let mut pool = BufferPool::new(capacity);
+        let pool = SharedBufferPool::new(capacity);
+        let table = pool.register_table(Box::new(FakeDisk::default()));
         let mut pinned: Vec<u32> = Vec::new();
         for (page_id, pin) in ops {
             if pin && pinned.len() < capacity - 1 + usize::from(capacity == 1) {
-                if pool.pin(page_id, &mut disk).is_ok() && !pinned.contains(&page_id) {
+                if pool.pin(table, page_id).is_ok() && !pinned.contains(&page_id) {
                     pinned.push(page_id);
                 } else if pinned.contains(&page_id) {
                     // Double pin: release one immediately to keep bookkeeping simple.
-                    pool.unpin(page_id, false);
+                    pool.unpin(table, page_id, false);
                 }
             } else {
                 // Plain access; may evict an unpinned page.
-                let _ = pool.with_page(page_id, &mut disk, |_| ());
+                let _ = pool.with_page(table, page_id, |_| ());
             }
             prop_assert!(pool.resident_pages() <= capacity);
             for p in &pinned {
-                prop_assert!(pool.pin_count(*p) > 0, "pinned page {p} lost its pin");
+                prop_assert!(pool.pin_count(table, *p) > 0, "pinned page {p} lost its pin");
             }
         }
         // Every pinned page is still resident: accessing it costs no disk read.
         let misses_before = pool.stats().misses;
         for p in &pinned {
-            pool.with_page(*p, &mut disk, |_| ()).unwrap();
+            pool.with_page(table, *p, |_| ()).unwrap();
         }
         prop_assert_eq!(pool.stats().misses, misses_before);
         for p in pinned {
-            pool.unpin(p, false);
+            pool.unpin(table, p, false);
         }
+    }
+
+    /// Concurrent ingest into one shared pool: four threads, each with its own table,
+    /// hammer reads/writes/pins at once.  The global budget is never exceeded, a thread's
+    /// pinned page keeps its pin under cross-table eviction pressure, and every append
+    /// survives to the (fake) disk.
+    #[test]
+    fn shared_pool_invariants_hold_under_contention(
+        capacity in 6usize..16,
+        seeds in prop::collection::vec(0u64..u64::MAX, 4..5),
+        ops_per_thread in 50usize..200,
+    ) {
+        let pool = Arc::new(SharedBufferPool::new(capacity));
+        let mut handles = Vec::new();
+        for seed in seeds {
+            let disk = FakeDisk::default();
+            let table = pool.register_table(Box::new(disk.clone()));
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || -> Result<(), String> {
+                let mut rng = seed | 1;
+                let mut next = move || {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    rng
+                };
+                let mut appended = [0usize; 8];
+                for _ in 0..ops_per_thread {
+                    let page_id = (next() % 8) as u32;
+                    match next() % 3 {
+                        0 => {
+                            let ok = pool
+                                .with_page_mut(table, page_id, |p| p.append(b"x").is_some())
+                                .map_err(|e| e.to_string())?;
+                            if ok {
+                                appended[page_id as usize] += 1;
+                            }
+                        }
+                        1 => {
+                            pool.with_page(table, page_id, |_| ()).map_err(|e| e.to_string())?;
+                        }
+                        _ => {
+                            // Pin, verify the pin sticks while others evict, unpin.
+                            if pool.pin(table, page_id).is_ok() {
+                                pool.with_page(table, (next() % 8) as u32, |_| ()).ok();
+                                if pool.pin_count(table, page_id) == 0 {
+                                    return Err(format!("pinned page {page_id} lost its pin"));
+                                }
+                                pool.unpin(table, page_id, false);
+                            }
+                        }
+                    }
+                    let resident = pool.resident_pages();
+                    if resident > capacity {
+                        return Err(format!("resident {resident} exceeds capacity {capacity}"));
+                    }
+                }
+                // Integrity: everything this thread appended reaches its own disk.
+                pool.flush_table(table).map_err(|e| e.to_string())?;
+                for (page_id, count) in appended.iter().enumerate() {
+                    if *count == 0 {
+                        continue;
+                    }
+                    let on_disk = disk
+                        .page(page_id as u32)
+                        .map(|p| p.record_count())
+                        .unwrap_or(0);
+                    if on_disk != *count {
+                        return Err(format!(
+                            "page {page_id}: {on_disk} records on disk, {count} appended"
+                        ));
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            let outcome = handle.join().expect("worker panicked");
+            prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+        }
+        prop_assert!(pool.resident_pages() <= capacity);
     }
 
     /// A persistent table scanned under a tiny pool returns exactly the same windows as
