@@ -1,0 +1,209 @@
+//! Streaming-query latency benchmark: full scan vs `LIMIT 10` through the pull-based
+//! cursor executor, on the in-memory and disk (persistent page engine) backends.
+//!
+//! ```text
+//! cargo run -p gsn-bench --release --bin query_latency [--quick]
+//! ```
+//!
+//! The headline number: with the Volcano-style cursor path a `LIMIT 10` over a
+//! 100k-row table completes in O(limit) — the scan stops after ~10 rows and (for the
+//! disk backend) the buffer pool reads a constant number of pages instead of the whole
+//! heap.  Prints a table and writes the machine-readable report both to
+//! `target/bench-reports/query_latency.json` and to `BENCH_query.json` at the
+//! workspace root.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gsn::storage::Retention;
+use gsn::types::{DataType, SimulatedClock, StreamElement, StreamSchema, Timestamp, Value};
+use gsn::{ContainerConfig, GsnContainer};
+use gsn_bench::{write_report, BenchReport};
+
+struct Cell {
+    backend: &'static str,
+    rows: usize,
+    ingest_ms: f64,
+    full_scan_ms: f64,
+    full_rows_scanned: u64,
+    limit_ms: f64,
+    limit_rows_scanned: u64,
+    limit_pages_read: u64,
+}
+
+fn schema() -> Arc<StreamSchema> {
+    Arc::new(
+        StreamSchema::from_pairs(&[("v", DataType::Integer), ("tag", DataType::Varchar)]).unwrap(),
+    )
+}
+
+fn build_container(disk: bool, dir: &std::path::Path, rows: usize) -> (GsnContainer, f64) {
+    let clock = SimulatedClock::new();
+    clock.advance(gsn::types::Duration::from_secs(1));
+    let mut config = ContainerConfig {
+        storage_pool_pages: 64,
+        ..ContainerConfig::default()
+    };
+    if disk {
+        config = config.with_data_dir(dir);
+    }
+    let container = GsnContainer::new(config, Arc::new(clock));
+    let schema = schema();
+    if disk {
+        container
+            .storage()
+            .create_table_durable("history", Arc::clone(&schema), Retention::Unbounded)
+            .unwrap();
+    } else {
+        container
+            .storage()
+            .create_table("history", Arc::clone(&schema), Retention::Unbounded)
+            .unwrap();
+    }
+    let started = Instant::now();
+    for i in 0..rows {
+        let element = StreamElement::new(
+            Arc::clone(&schema),
+            vec![
+                Value::Integer(i as i64),
+                Value::varchar(format!("t{}", i % 13)),
+            ],
+            Timestamp(i as i64),
+        )
+        .unwrap();
+        container
+            .storage()
+            .insert("history", element, Timestamp(i as i64))
+            .unwrap();
+    }
+    (container, started.elapsed().as_secs_f64() * 1e3)
+}
+
+fn run_cell(disk: bool, rows: usize) -> Cell {
+    let dir = std::env::temp_dir().join(format!("gsn-bench-query-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (container, ingest_ms) = build_container(disk, &dir, rows);
+
+    // Full scan: every row materialises through the cursor executor.
+    let started = Instant::now();
+    let mut full = container.query_cursor("select v from history").unwrap();
+    let relation = full.collect().unwrap();
+    let full_scan_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(relation.row_count(), rows);
+
+    // LIMIT 10: the cursor stops pulling after 10 rows; upstream pages are never read.
+    let started = Instant::now();
+    let mut limited = container
+        .query_cursor("select v from history limit 10")
+        .unwrap();
+    let batch = limited.next_batch(10).unwrap();
+    let limit_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(batch.row_count(), 10.min(rows));
+
+    let cell = Cell {
+        backend: if disk { "disk" } else { "memory" },
+        rows,
+        ingest_ms,
+        full_scan_ms,
+        full_rows_scanned: full.rows_scanned(),
+        limit_ms,
+        limit_rows_scanned: limited.rows_scanned(),
+        limit_pages_read: limited.pages_read(),
+    };
+    drop(container);
+    let _ = std::fs::remove_dir_all(&dir);
+    cell
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = if quick { 10_000 } else { 100_000 };
+
+    let mut report = BenchReport::new(
+        "query_latency",
+        "Full scan vs LIMIT 10 latency through the pull-based cursor executor (memory and disk backends)",
+        &[
+            "backend_disk",
+            "rows",
+            "ingest_ms",
+            "full_scan_ms",
+            "full_rows_scanned",
+            "limit10_ms",
+            "limit10_rows_scanned",
+            "limit10_pages_read",
+            "speedup_full_over_limit",
+        ],
+    );
+
+    println!("Streaming query latency: full scan vs LIMIT 10 ({rows} rows)");
+    println!(
+        "{:>8} {:>9} {:>11} {:>13} {:>13} {:>11} {:>13} {:>12} {:>9}",
+        "backend",
+        "rows",
+        "ingest ms",
+        "full ms",
+        "full scanned",
+        "limit ms",
+        "limit scanned",
+        "limit pages",
+        "speedup"
+    );
+    for disk in [false, true] {
+        let cell = run_cell(disk, rows);
+        let speedup = if cell.limit_ms > 0.0 {
+            cell.full_scan_ms / cell.limit_ms
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:>8} {:>9} {:>11.1} {:>13.3} {:>13} {:>11.4} {:>13} {:>12} {:>8.0}x",
+            cell.backend,
+            cell.rows,
+            cell.ingest_ms,
+            cell.full_scan_ms,
+            cell.full_rows_scanned,
+            cell.limit_ms,
+            cell.limit_rows_scanned,
+            cell.limit_pages_read,
+            speedup
+        );
+        // The acceptance property: LIMIT 10 must not read the heap.
+        assert!(
+            cell.limit_rows_scanned <= 10,
+            "LIMIT 10 scanned {} rows",
+            cell.limit_rows_scanned
+        );
+        if disk {
+            assert!(
+                cell.limit_pages_read <= 4,
+                "LIMIT 10 read {} buffer-pool pages",
+                cell.limit_pages_read
+            );
+        }
+        report.push_row(vec![
+            f64::from(u8::from(disk)),
+            cell.rows as f64,
+            cell.ingest_ms,
+            cell.full_scan_ms,
+            cell.full_rows_scanned as f64,
+            cell.limit_ms,
+            cell.limit_rows_scanned as f64,
+            cell.limit_pages_read as f64,
+            speedup,
+        ]);
+    }
+
+    match write_report(&report) {
+        Ok(path) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+    // The repo-root copy the streaming-query PR tracks.
+    let root_copy = gsn_bench::report::report_dir()
+        .parent()
+        .and_then(|target| target.parent().map(|ws| ws.join("BENCH_query.json")))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_query.json"));
+    match std::fs::write(&root_copy, report.to_json().to_pretty_string()) {
+        Ok(()) => eprintln!("report copied to {}", root_copy.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", root_copy.display()),
+    }
+}

@@ -57,16 +57,20 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use gsn_network::{
-    AccessController, Directory, IntegrityService, Message, Operation, Principal, SimulatedNetwork,
+    AccessController, Directory, IntegrityService, Message, Operation, Principal, RequestId,
+    SimulatedNetwork,
 };
 use gsn_sql::Relation;
 use gsn_storage::{StorageManager, StorageStats, WindowSpec};
-use gsn_types::{Clock, GsnError, GsnResult, NodeId, StreamElement, Timestamp, VirtualSensorName};
+use gsn_types::{
+    Clock, GsnError, GsnResult, NodeId, StreamElement, Timestamp, Value, VirtualSensorName,
+};
 use gsn_wrappers::WrapperRegistry;
 use gsn_xml::VirtualSensorDescriptor;
 use parking_lot::{Mutex, RwLock};
 
 use crate::config::ContainerConfig;
+use crate::cursor::QueryCursor;
 use crate::notification::{Notification, NotificationManager, NotificationStats, SubscriptionId};
 use crate::pool::WorkerPool;
 use crate::query::{ClientQueryId, ClientQueryResult, QueryManager, QueryManagerStats};
@@ -132,6 +136,9 @@ pub struct ContainerStatus {
     pub notifications: NotificationStats,
     /// Query manager statistics.
     pub queries: QueryManagerStats,
+    /// SQL engine statistics (compilation cache plus the scanned/returned row counters
+    /// of the pull-based executor).
+    pub engine: gsn_sql::EngineStats,
     /// Number of registered client queries.
     pub registered_queries: usize,
     /// Wrapper kinds available on this container.
@@ -164,6 +171,13 @@ impl ContainerStatus {
             self.registered_queries,
             self.queries.registered_evaluated,
             self.queries.registered_failed
+        ));
+        out.push_str(&format!(
+            "  query executor: {} rows scanned / {} rows returned ({} plans compiled, {} cache hits)\n",
+            self.engine.rows_scanned,
+            self.engine.rows_returned,
+            self.engine.compiled,
+            self.engine.cache_hits
         ));
         out.push_str(&format!(
             "  notifications: local {} delivered, remote {} delivered / {} buffered / {} dropped\n",
@@ -399,6 +413,60 @@ pub struct GsnContainer {
     /// (lossy link, partition during deployment) does not silence the source forever.
     pending_subscriptions: Vec<PendingSubscription>,
     next_request_id: u64,
+    /// Streaming-query cursors opened on behalf of remote peers, by cursor id.  Each
+    /// `QueryNext` advances its cursor one batch; the cursor closes when exhausted,
+    /// on error, when idle past [`REMOTE_CURSOR_IDLE_TIMEOUT`], or when the peer's
+    /// request would exceed [`MAX_REMOTE_CURSORS`].
+    remote_cursors: HashMap<u64, RemoteCursor>,
+    next_cursor_id: u64,
+    /// In-flight streaming queries this container has issued to remote peers,
+    /// accumulated batch by batch until `done`.
+    remote_queries: HashMap<RequestId, RemoteQueryState>,
+}
+
+/// Upper bound on concurrently open server-side remote query cursors; requests past
+/// the cap are refused (the idle reaper below keeps abandoned cursors from pinning
+/// slots until then).
+const MAX_REMOTE_CURSORS: usize = 64;
+
+/// How long a remote cursor may sit idle (no `QueryNext` from its owner) before the
+/// step loop reaps it.  An abandoned cursor — client crashed, or the final
+/// `QueryNext`/`QueryBatch` lost on a lossy link — would otherwise hold its slot
+/// forever and eventually wedge remote queries at [`MAX_REMOTE_CURSORS`].
+const REMOTE_CURSOR_IDLE_TIMEOUT: gsn_types::Duration = gsn_types::Duration::from_secs(60);
+
+/// One streaming-query cursor held open on behalf of a remote peer.
+struct RemoteCursor {
+    /// The peer that opened the cursor; only it may pull (the rows were
+    /// access-checked against *its* principal, and cursor ids are guessable).
+    owner: NodeId,
+    cursor: QueryCursor,
+    /// Last time the owner pulled a batch (for the idle reaper).
+    last_active: Timestamp,
+}
+
+/// Client-side accumulation of one in-flight remote streaming query.
+#[derive(Debug)]
+struct RemoteQueryState {
+    batch_rows: u32,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    batches: u64,
+    done: bool,
+    error: Option<String>,
+    /// Last time a batch arrived (stalled, not-yet-done requests are reaped after
+    /// [`REMOTE_CURSOR_IDLE_TIMEOUT`]; completed results wait for their taker).
+    last_activity: Timestamp,
+}
+
+/// The assembled result of a remote streaming query (see
+/// [`GsnContainer::remote_query`]).
+#[derive(Debug, Clone)]
+pub struct RemoteQueryResult {
+    /// The result rows, assembled from the incremental `QueryBatch` messages.
+    pub relation: Relation,
+    /// How many batches carried the result over the wire.
+    pub batches: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -467,6 +535,9 @@ impl GsnContainer {
             directory,
             pending_subscriptions: Vec::new(),
             next_request_id: 1,
+            remote_cursors: HashMap::new(),
+            next_cursor_id: 1,
+            remote_queries: HashMap::new(),
             clock,
             config,
         }
@@ -711,6 +782,132 @@ impl GsnContainer {
         )
     }
 
+    /// Opens a *streaming* ad-hoc query: rows are pulled in batches instead of
+    /// materialising the whole result, so a `LIMIT` query over a large
+    /// `permanent-storage` table reads only the storage pages it needs.
+    ///
+    /// The returned cursor owns its plan and table handles — it holds no container
+    /// lock between pulls.  [`query`](Self::query) remains the collecting convenience.
+    pub fn query_cursor(&self, sql: &str) -> GsnResult<QueryCursor> {
+        self.query_cursor_as(&Principal::Anonymous, sql)
+    }
+
+    /// Opens a streaming ad-hoc query on behalf of a principal, enforcing access
+    /// control on every referenced virtual sensor.
+    pub fn query_cursor_as(&self, principal: &Principal, sql: &str) -> GsnResult<QueryCursor> {
+        let prepared = self.runtime.query_manager.lock().prepare(sql)?;
+        for table in prepared.referenced_tables() {
+            self.access.authorize(principal, Operation::Read, table)?;
+        }
+        // When the cursor is dropped its counters fold into the engine statistics, so
+        // streaming executions show up in `ContainerStatus` like materialised ones.
+        let runtime = Arc::clone(&self.runtime);
+        let telemetry = Box::new(move |scanned: u64, returned: u64| {
+            runtime
+                .query_manager
+                .lock()
+                .record_cursor(scanned, returned);
+        });
+        QueryCursor::open(
+            &prepared,
+            Arc::clone(&self.runtime.storage),
+            self.clock.now(),
+            Some(telemetry),
+        )
+    }
+
+    /// Issues a streaming SQL query against a *remote* container.  The remote node
+    /// opens a pull-based cursor and ships the result as incremental `QueryBatch`
+    /// messages of `batch_rows` rows each (instead of one monolithic relation), which
+    /// this container assembles over subsequent [`step`](Self::step)s.  Poll
+    /// [`take_remote_query_result`](Self::take_remote_query_result) with the returned
+    /// request id.
+    pub fn remote_query(
+        &mut self,
+        target: NodeId,
+        sql: &str,
+        batch_rows: usize,
+    ) -> GsnResult<RequestId> {
+        let Some(network) = self.runtime.network.clone() else {
+            return Err(GsnError::config(
+                "this container has no network; remote queries are unavailable",
+            ));
+        };
+        let batch_rows = batch_rows.clamp(1, 65_536) as u32;
+        let request = self.next_request_id;
+        self.next_request_id += 1;
+        network.send(
+            self.config.node_id,
+            target,
+            Message::QueryRequest {
+                request,
+                sql: sql.to_owned(),
+                batch_rows,
+            },
+            self.clock.now(),
+        )?;
+        self.remote_queries.insert(
+            request,
+            RemoteQueryState {
+                batch_rows,
+                columns: Vec::new(),
+                rows: Vec::new(),
+                batches: 0,
+                done: false,
+                error: None,
+                last_activity: self.clock.now(),
+            },
+        );
+        Ok(request)
+    }
+
+    /// Cancels an in-flight remote query, dropping any batches accumulated so far;
+    /// returns whether the request was still tracked.  A server-side cursor left open
+    /// by the cancellation is reclaimed by the remote node's idle reaper.
+    pub fn cancel_remote_query(&mut self, request: RequestId) -> bool {
+        self.remote_queries.remove(&request).is_some()
+    }
+
+    /// Number of remote queries issued by this container whose results are still
+    /// tracked (in flight or awaiting [`take_remote_query_result`](Self::take_remote_query_result)).
+    pub fn pending_remote_queries(&self) -> usize {
+        self.remote_queries.len()
+    }
+
+    /// Takes the finished result of a query issued with [`remote_query`](Self::remote_query):
+    /// `None` while batches are still in flight, `Some(Err)` when the remote node
+    /// reported a failure, `Some(Ok)` with the assembled relation once complete.
+    pub fn take_remote_query_result(
+        &mut self,
+        request: RequestId,
+    ) -> Option<GsnResult<RemoteQueryResult>> {
+        if !self.remote_queries.get(&request)?.done {
+            return None;
+        }
+        let state = self.remote_queries.remove(&request).expect("state present");
+        if let Some(error) = state.error {
+            return Some(Err(GsnError::sql_exec(format!(
+                "remote query failed: {error}"
+            ))));
+        }
+        let columns = state
+            .columns
+            .iter()
+            .map(|name| gsn_sql::ColumnInfo::new(None, name, None))
+            .collect();
+        Some(
+            Relation::with_rows(columns, state.rows).map(|relation| RemoteQueryResult {
+                relation,
+                batches: state.batches,
+            }),
+        )
+    }
+
+    /// Number of streaming cursors currently held open on behalf of remote peers.
+    pub fn open_remote_cursors(&self) -> usize {
+        self.remote_cursors.len()
+    }
+
     /// Renders the execution plan of a query (EXPLAIN).
     pub fn explain(&self, sql: &str) -> GsnResult<String> {
         self.runtime.query_manager.lock().explain(sql)
@@ -796,8 +993,17 @@ impl GsnContainer {
         report.absorb(self.drain_network(now));
 
         // 1b. Retry remote subscriptions that were never acknowledged (the Subscribe
-        // message may have been lost on a lossy link or during a partition).
+        // message may have been lost on a lossy link or during a partition), and reap
+        // remote cursors whose owner stopped pulling (crashed client, lost QueryNext)
+        // so abandoned cursors cannot pin slots under MAX_REMOTE_CURSORS forever.
         self.retry_pending_subscriptions(now);
+        self.remote_cursors
+            .retain(|_, open| open.last_active >= now.saturating_sub(REMOTE_CURSOR_IDLE_TIMEOUT));
+        // Likewise for this container's own stalled remote queries (a lost QueryBatch
+        // would otherwise track them forever); finished results wait for their taker.
+        self.remote_queries.retain(|_, state| {
+            state.done || state.last_activity >= now.saturating_sub(REMOTE_CURSOR_IDLE_TIMEOUT)
+        });
 
         // 2. Local wrapper polling + pipeline execution, sharded across the pool.
         report.absorb(self.run_sensor_pipelines(now));
@@ -986,6 +1192,63 @@ impl GsnContainer {
                         }
                     }
                 }
+                Message::QueryRequest {
+                    request,
+                    sql,
+                    batch_rows,
+                } => {
+                    let reply =
+                        self.serve_query_request(envelope.from, request, &sql, batch_rows as usize);
+                    let _ = network.send(self.config.node_id, envelope.from, reply, now);
+                }
+                Message::QueryNext {
+                    request,
+                    cursor,
+                    batch_rows,
+                } => {
+                    let reply =
+                        self.serve_query_next(envelope.from, request, cursor, batch_rows as usize);
+                    let _ = network.send(self.config.node_id, envelope.from, reply, now);
+                }
+                Message::QueryBatch {
+                    request,
+                    cursor,
+                    columns,
+                    rows,
+                    done,
+                    error,
+                } => {
+                    // A batch for a request we no longer track (taken or never issued)
+                    // is dropped; the server already closed done/errored cursors.
+                    if let Some(state) = self.remote_queries.get_mut(&request) {
+                        state.batches += 1;
+                        state.last_activity = now;
+                        if state.columns.is_empty() {
+                            state.columns = columns;
+                        }
+                        state.rows.extend(rows);
+                        if !error.is_empty() {
+                            state.error = Some(error);
+                            state.done = true;
+                        } else if done {
+                            state.done = true;
+                        } else {
+                            // Pull-based wire: ask for the next batch only now that
+                            // this one has been consumed.
+                            let batch_rows = state.batch_rows;
+                            let _ = network.send(
+                                self.config.node_id,
+                                envelope.from,
+                                Message::QueryNext {
+                                    request,
+                                    cursor,
+                                    batch_rows,
+                                },
+                                now,
+                            );
+                        }
+                    }
+                }
                 // Directory traffic and pongs are informational for the container.
                 Message::DirectoryRegister { .. }
                 | Message::DirectoryDeregister { .. }
@@ -996,6 +1259,95 @@ impl GsnContainer {
         }
         debug_assert!(out.deferred.is_empty());
         out.report
+    }
+
+    /// Serves a remote `QueryRequest`: authorises and opens a cursor, then ships the
+    /// first batch (closing immediately for single-batch results).
+    fn serve_query_request(
+        &mut self,
+        from: NodeId,
+        request: RequestId,
+        sql: &str,
+        batch_rows: usize,
+    ) -> Message {
+        let refuse = |error: String| Message::QueryBatch {
+            request,
+            cursor: 0,
+            columns: Vec::new(),
+            rows: Vec::new(),
+            done: true,
+            error,
+        };
+        if self.remote_cursors.len() >= MAX_REMOTE_CURSORS {
+            return refuse(format!(
+                "too many open remote cursors (limit {MAX_REMOTE_CURSORS})"
+            ));
+        }
+        let principal = Principal::named(&from.to_string());
+        let cursor = match self.query_cursor_as(&principal, sql) {
+            Ok(cursor) => cursor,
+            Err(e) => return refuse(e.to_string()),
+        };
+        let id = self.next_cursor_id;
+        self.next_cursor_id += 1;
+        self.remote_cursors.insert(
+            id,
+            RemoteCursor {
+                owner: from,
+                cursor,
+                last_active: self.clock.now(),
+            },
+        );
+        self.serve_query_next(from, request, id, batch_rows)
+    }
+
+    /// Advances an open remote cursor by one batch, closing it when exhausted or on
+    /// error.  Only the peer that opened the cursor may pull from it — the rows were
+    /// access-checked against *its* principal, and cursor ids are guessable.
+    fn serve_query_next(
+        &mut self,
+        from: NodeId,
+        request: RequestId,
+        cursor_id: u64,
+        batch_rows: usize,
+    ) -> Message {
+        let refused = |error: String| Message::QueryBatch {
+            request,
+            cursor: cursor_id,
+            columns: Vec::new(),
+            rows: Vec::new(),
+            done: true,
+            error,
+        };
+        let now = self.clock.now();
+        let Some(open) = self.remote_cursors.get_mut(&cursor_id) else {
+            return refused(format!("no open cursor {cursor_id}"));
+        };
+        if open.owner != from {
+            // Leave the cursor open for its owner; only refuse the impostor.
+            return refused(format!("cursor {cursor_id} is not owned by {from}"));
+        }
+        open.last_active = now;
+        match open.cursor.next_batch(batch_rows.clamp(1, 65_536)) {
+            Ok(batch) => {
+                let done = open.cursor.is_done();
+                if done {
+                    self.remote_cursors.remove(&cursor_id);
+                }
+                Message::QueryBatch {
+                    request,
+                    cursor: cursor_id,
+                    columns: batch.columns().iter().map(|c| c.name.clone()).collect(),
+                    rows: batch.into_rows(),
+                    done,
+                    error: String::new(),
+                }
+            }
+            Err(e) => {
+                self.remote_cursors.remove(&cursor_id);
+                refused(e.to_string())
+            }
+        }
     }
 
     /// Re-sends Subscribe messages for remote sources whose subscription has not been
@@ -1026,9 +1378,10 @@ impl GsnContainer {
     pub fn status(&self) -> ContainerStatus {
         // Take each manager lock once, in separate statements (a guard temporary inside
         // the struct literal would live to the end of the whole expression).
-        let (queries, registered_queries) = {
+        let (queries, engine, registered_queries) = {
             let query_manager = self.runtime.query_manager.lock();
-            (query_manager.stats().0, query_manager.registered_count())
+            let (queries, engine) = query_manager.stats();
+            (queries, engine, query_manager.registered_count())
         };
         let notifications = self.runtime.notifications.lock().stats();
         ContainerStatus {
@@ -1053,6 +1406,7 @@ impl GsnContainer {
             storage: self.runtime.storage.stats(),
             notifications,
             queries,
+            engine,
             registered_queries,
             wrapper_kinds: self.registry.kinds(),
             workers: self.pool.as_ref().map(WorkerPool::size).unwrap_or(1),
@@ -1293,6 +1647,57 @@ mod tests {
             .unwrap();
         container.deregister_query(id).unwrap();
         assert_eq!(container.registered_query_count(), 10);
+    }
+
+    #[test]
+    fn query_cursor_streams_in_batches_and_tracks_counters() {
+        let (mut container, clock) = standalone();
+        container.deploy(mote_descriptor("room-temp", 100)).unwrap();
+        clock.advance(gsn_types::Duration::from_secs(1));
+        container.step();
+
+        // Batched pulls drain the same rows query() materialises.
+        let reference = container.query("select avg_temp from room_temp").unwrap();
+        assert_eq!(reference.row_count(), 10);
+        let mut cursor = container
+            .query_cursor("select avg_temp from room_temp")
+            .unwrap();
+        assert_eq!(cursor.columns().len(), 1);
+        let first = cursor.next_batch(4).unwrap();
+        assert_eq!(first.row_count(), 4);
+        assert!(!cursor.is_done());
+        let rest = cursor.collect().unwrap();
+        assert_eq!(rest.row_count(), 6);
+        assert!(cursor.is_done());
+        assert_eq!(cursor.rows_returned(), 10);
+        let mut all: Vec<Vec<Value>> = first.rows().to_vec();
+        all.extend(rest.rows().to_vec());
+        assert_eq!(all, reference.rows());
+
+        // LIMIT early-exits: only the limited prefix of the table is scanned.
+        let mut limited = container
+            .query_cursor("select avg_temp from room_temp limit 2")
+            .unwrap();
+        assert_eq!(limited.next_batch(10).unwrap().row_count(), 2);
+        assert!(limited.is_done());
+        assert_eq!(limited.rows_scanned(), 2, "{limited:?}");
+
+        // The engine's scanned/returned counters surface in the status report, and
+        // dropping a cursor folds its telemetry in so streaming executions count too.
+        let scanned_before_drop = container.status().engine.rows_scanned;
+        drop(limited);
+        let status = container.status();
+        assert_eq!(status.engine.rows_scanned, scanned_before_drop + 2);
+        assert!(status.render().contains("query executor:"));
+
+        // Access control applies to cursors like it does to query().
+        container
+            .access_control()
+            .restrict_sensor("room_temp", vec![Principal::named("alice")]);
+        assert!(container.query_cursor("select * from room_temp").is_err());
+        assert!(container
+            .query_cursor_as(&Principal::named("alice"), "select * from room_temp")
+            .is_ok());
     }
 
     #[test]

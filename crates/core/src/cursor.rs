@@ -1,0 +1,151 @@
+//! The container's streaming query surface: pull-based cursors over live storage.
+//!
+//! [`GsnContainer::query`](crate::GsnContainer::query) materialises a whole result
+//! relation — fine for small windows, wasteful for `LIMIT` queries over large
+//! `permanent-storage` histories and impossible to ship incrementally over constrained
+//! links.  [`QueryCursor`] is the pull-based alternative: rows stream from the storage
+//! pages (one pinned buffer-pool page at a time for persistent tables) through the
+//! Volcano-style executor to the consumer, in batches of the consumer's choosing.  The
+//! federation layer drives the same cursor to ship remote query results as incremental
+//! `QueryBatch` messages instead of one monolithic relation.
+
+use std::sync::Arc;
+
+use gsn_sql::{ColumnInfo, PlanSource, PreparedQuery, Relation, RowSource};
+use gsn_storage::{LiveCatalog, StorageManager};
+use gsn_types::{GsnResult, Timestamp};
+
+/// Invoked when a cursor is dropped, with its final `(rows_scanned, rows_returned)` —
+/// the container uses it to fold streaming executions into the engine statistics.
+type TelemetrySink = Box<dyn FnOnce(u64, u64) + Send>;
+
+/// A pull-based cursor over an ad-hoc container query.
+///
+/// The cursor owns its plan and table handles: it holds no lock between pulls and can
+/// be kept across container steps (it sees the table contents bounded at open time for
+/// persistent tables; memory windows are snapshotted at open).  Telemetry counters
+/// expose the early-exit saving: `rows_scanned` vs `rows_returned`, plus the number of
+/// buffer-pool page reads attributable to the time since the cursor was opened.
+pub struct QueryCursor {
+    sql: String,
+    source: PlanSource,
+    columns: Vec<ColumnInfo>,
+    storage: Arc<StorageManager>,
+    pool_reads_at_open: u64,
+    done: bool,
+    telemetry: Option<TelemetrySink>,
+}
+
+impl std::fmt::Debug for QueryCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QueryCursor({:?}, {} returned / {} scanned{})",
+            self.sql,
+            self.rows_returned(),
+            self.rows_scanned(),
+            if self.done { ", done" } else { "" }
+        )
+    }
+}
+
+impl QueryCursor {
+    /// Opens a cursor for a prepared query over the container's live storage at `now`.
+    pub(crate) fn open(
+        prepared: &PreparedQuery,
+        storage: Arc<StorageManager>,
+        now: Timestamp,
+        telemetry: Option<TelemetrySink>,
+    ) -> GsnResult<QueryCursor> {
+        let source = {
+            let catalog = LiveCatalog::new(&storage, Vec::new(), now);
+            prepared.open(&catalog)?
+        };
+        let columns = source.columns().to_vec();
+        let pool = storage.buffer_pool().stats();
+        Ok(QueryCursor {
+            sql: prepared.sql().to_owned(),
+            source,
+            columns,
+            pool_reads_at_open: pool.hits + pool.misses,
+            storage,
+            done: false,
+            telemetry,
+        })
+    }
+
+    /// The SQL text the cursor executes.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The result column layout.
+    pub fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    /// Pulls up to `n` more rows as a relation batch.  An empty batch means the cursor
+    /// is exhausted; [`is_done`](Self::is_done) turns true as soon as the last row has
+    /// been pulled.
+    pub fn next_batch(&mut self, n: usize) -> GsnResult<Relation> {
+        let rows = self.source.next_batch(n)?;
+        if rows.len() < n {
+            self.done = true;
+        }
+        Relation::with_rows(self.columns.clone(), rows)
+    }
+
+    /// Drains the remaining rows into one relation (the materialising convenience).
+    pub fn collect(&mut self) -> GsnResult<Relation> {
+        self.done = true;
+        self.source.collect()
+    }
+
+    /// True once every row has been pulled.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Rows pulled out of base-table scans so far — with a `LIMIT` this stays near the
+    /// limit instead of the table size.
+    pub fn rows_scanned(&self) -> u64 {
+        self.source.rows_scanned()
+    }
+
+    /// Rows handed to the consumer so far.
+    pub fn rows_returned(&self) -> u64 {
+        self.source.rows_returned()
+    }
+
+    /// Buffer-pool page reads (hits + misses) since the cursor was opened.
+    ///
+    /// The pool is container-wide, so concurrent activity inflates this; in a quiet
+    /// container it is exactly the pages this cursor touched — the bound the
+    /// streaming-query benchmark and tests assert on.
+    pub fn pages_read(&self) -> u64 {
+        let pool = self.storage.buffer_pool().stats();
+        (pool.hits + pool.misses).saturating_sub(self.pool_reads_at_open)
+    }
+}
+
+impl Drop for QueryCursor {
+    fn drop(&mut self) {
+        if let Some(sink) = self.telemetry.take() {
+            sink(self.rows_scanned(), self.rows_returned());
+        }
+    }
+}
+
+impl RowSource for QueryCursor {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<gsn_types::Value>>> {
+        let row = self.source.next_row()?;
+        if row.is_none() {
+            self.done = true;
+        }
+        Ok(row)
+    }
+}

@@ -268,6 +268,142 @@ mod tests {
     }
 
     #[test]
+    fn remote_streaming_query_ships_incremental_batches() {
+        let mut fed = Federation::new();
+        let producer_node = fed.add_node("producer").unwrap();
+        let client_node = fed.add_node("client").unwrap();
+        fed.set_link(producer_node, client_node, LinkSpec::lan());
+        fed.node_mut(producer_node)
+            .unwrap()
+            .deploy(producer_descriptor())
+            .unwrap();
+        // Accumulate ~20 output rows in the producer's permanent-storage table.
+        fed.run_for(Duration::from_secs(2), Duration::from_millis(100));
+
+        let request = fed
+            .node_mut(client_node)
+            .unwrap()
+            .remote_query(
+                producer_node,
+                "select temperature from room_bc143_temperature",
+                4,
+            )
+            .unwrap();
+        let mut result = None;
+        for _ in 0..50 {
+            fed.step(Duration::from_millis(10));
+            if let Some(r) = fed
+                .node_mut(client_node)
+                .unwrap()
+                .take_remote_query_result(request)
+            {
+                result = Some(r.unwrap());
+                break;
+            }
+        }
+        let result = result.expect("remote query never completed");
+        assert!(result.relation.row_count() >= 20, "{result:?}");
+        assert!(
+            result.batches > 1,
+            "result should ship in multiple batches, got {}",
+            result.batches
+        );
+        assert_eq!(result.relation.columns()[0].name, "TEMPERATURE");
+        // All server-side cursors are closed once the stream completes.
+        assert_eq!(fed.node(producer_node).unwrap().open_remote_cursors(), 0);
+
+        // A failing remote query surfaces the server's error.
+        let request = fed
+            .node_mut(client_node)
+            .unwrap()
+            .remote_query(producer_node, "select * from nosuch_table", 4)
+            .unwrap();
+        let mut error = None;
+        for _ in 0..50 {
+            fed.step(Duration::from_millis(10));
+            if let Some(r) = fed
+                .node_mut(client_node)
+                .unwrap()
+                .take_remote_query_result(request)
+            {
+                error = Some(r.unwrap_err());
+                break;
+            }
+        }
+        let error = error.expect("error never surfaced").to_string();
+        assert!(error.contains("nosuch_table"), "{error}");
+    }
+
+    #[test]
+    fn abandoned_remote_cursors_are_reaped() {
+        let mut fed = Federation::new();
+        let producer_node = fed.add_node("producer").unwrap();
+        let client_node = fed.add_node("client").unwrap();
+        fed.node_mut(producer_node)
+            .unwrap()
+            .deploy(producer_descriptor())
+            .unwrap();
+        fed.run_for(Duration::from_secs(1), Duration::from_millis(100));
+
+        // A raw QueryRequest whose follow-up pulls never come: the request id is
+        // unknown on the client container, so it drops the first QueryBatch and sends
+        // no QueryNext — the server-side cursor is abandoned mid-stream.
+        fed.network()
+            .send(
+                client_node,
+                producer_node,
+                gsn_network::Message::QueryRequest {
+                    request: 999,
+                    sql: "select temperature from room_bc143_temperature".into(),
+                    batch_rows: 1,
+                },
+                fed.now(),
+            )
+            .unwrap();
+        fed.step(Duration::from_millis(100));
+        assert_eq!(fed.node(producer_node).unwrap().open_remote_cursors(), 1);
+
+        // A client request whose responses can never come back (the link partitions
+        // right after the request is sent) is a stalled client-side entry.
+        let stalled = fed
+            .node_mut(client_node)
+            .unwrap()
+            .remote_query(producer_node, "select 1 from room_bc143_temperature", 4)
+            .unwrap();
+        fed.network().partition(client_node, producer_node);
+        fed.step(Duration::from_millis(100));
+        assert_eq!(fed.node(client_node).unwrap().pending_remote_queries(), 1);
+
+        // Once the idle timeout elapses, the step loops reap both the abandoned
+        // server cursor and the stalled client request, so neither side leaks.
+        fed.run_for(Duration::from_secs(61), Duration::from_secs(1));
+        assert_eq!(fed.node(producer_node).unwrap().open_remote_cursors(), 0);
+        assert_eq!(fed.node(client_node).unwrap().pending_remote_queries(), 0);
+        assert!(fed
+            .node_mut(client_node)
+            .unwrap()
+            .take_remote_query_result(stalled)
+            .is_none());
+
+        // Cancellation removes a tracked request immediately.
+        fed.network().heal_partition(client_node, producer_node);
+        let cancelled = fed
+            .node_mut(client_node)
+            .unwrap()
+            .remote_query(producer_node, "select 1 from room_bc143_temperature", 4)
+            .unwrap();
+        assert!(fed
+            .node_mut(client_node)
+            .unwrap()
+            .cancel_remote_query(cancelled));
+        assert!(!fed
+            .node_mut(client_node)
+            .unwrap()
+            .cancel_remote_query(cancelled));
+        assert_eq!(fed.node(client_node).unwrap().pending_remote_queries(), 0);
+    }
+
+    #[test]
     fn consumer_without_matching_producer_fails_to_deploy() {
         let mut fed = Federation::new();
         let node = fed.add_node("lonely").unwrap();

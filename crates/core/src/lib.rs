@@ -47,6 +47,7 @@
 
 pub mod config;
 pub mod container;
+pub mod cursor;
 pub mod federation;
 pub mod ism;
 pub mod notification;
@@ -55,7 +56,8 @@ pub mod query;
 pub mod sensor;
 
 pub use config::{system_clock, ContainerConfig};
-pub use container::{ContainerStatus, GsnContainer, SensorStatus, StepReport};
+pub use container::{ContainerStatus, GsnContainer, RemoteQueryResult, SensorStatus, StepReport};
+pub use cursor::QueryCursor;
 pub use federation::Federation;
 pub use ism::{QualityPolicy, RateLimiter, SourceMonitor, SourceQuality};
 pub use notification::{Notification, NotificationManager, NotificationStats, SubscriptionId};

@@ -240,6 +240,18 @@ impl QueryManager {
         results
     }
 
+    /// Compiles a query (hitting the prepared cache) without executing it — the entry
+    /// point for the container's cursor API, which opens the plan itself.
+    pub fn prepare(&mut self, sql: &str) -> GsnResult<PreparedQuery> {
+        self.engine.prepare(sql)
+    }
+
+    /// Folds a finished container cursor's row counters into the engine statistics
+    /// (streaming executions count like materialised ones).
+    pub fn record_cursor(&mut self, rows_scanned: u64, rows_returned: u64) {
+        self.engine.record_cursor(rows_scanned, rows_returned);
+    }
+
     /// Compiles a query without registering or executing it (used for EXPLAIN-style
     /// inspection through the container API).
     pub fn explain(&mut self, sql: &str) -> GsnResult<String> {

@@ -90,6 +90,44 @@ pub enum Message {
         /// Correlation id of the ping.
         request: RequestId,
     },
+    /// Open a streaming query on a remote container.  The server opens a pull-based
+    /// cursor over its live storage and answers with [`Message::QueryBatch`] messages —
+    /// result rows ship incrementally instead of as one monolithic relation, so
+    /// constrained links (the mobile-gateway deployments of the GSN follow-up work)
+    /// consume arbitrarily large results in bounded memory.
+    QueryRequest {
+        /// Correlation id.
+        request: RequestId,
+        /// The SQL text to execute against the remote container's tables.
+        sql: String,
+        /// How many rows the server should ship per batch.
+        batch_rows: u32,
+    },
+    /// Pull the next batch of an open remote cursor (the wire stays pull-based: the
+    /// server only reads further storage pages when the client asks).
+    QueryNext {
+        /// Correlation id of the originating request.
+        request: RequestId,
+        /// The server-side cursor id from the previous [`Message::QueryBatch`].
+        cursor: u64,
+        /// How many rows to ship in the next batch.
+        batch_rows: u32,
+    },
+    /// One incremental batch of a remote query result.
+    QueryBatch {
+        /// Correlation id of the originating request.
+        request: RequestId,
+        /// Server-side cursor id; quote it in [`Message::QueryNext`] to pull more.
+        cursor: u64,
+        /// Result column names, in order (sent with every batch — self-describing).
+        columns: Vec<String>,
+        /// The rows of this batch.
+        rows: Vec<Vec<Value>>,
+        /// True when the cursor is exhausted and closed on the server.
+        done: bool,
+        /// Non-empty when the query failed (rows are empty and `done` is true).
+        error: String,
+    },
 }
 
 impl Message {
@@ -106,6 +144,9 @@ impl Message {
             Message::StreamDelivery { .. } => "stream-delivery",
             Message::Ping { .. } => "ping",
             Message::Pong { .. } => "pong",
+            Message::QueryRequest { .. } => "query-request",
+            Message::QueryNext { .. } => "query-next",
+            Message::QueryBatch { .. } => "query-batch",
         }
     }
 }
@@ -170,6 +211,9 @@ const TAG_UNSUBSCRIBE: u8 = 7;
 const TAG_STREAM_DELIVERY: u8 = 8;
 const TAG_PING: u8 = 9;
 const TAG_PONG: u8 = 10;
+const TAG_QUERY_REQUEST: u8 = 11;
+const TAG_QUERY_NEXT: u8 = 12;
+const TAG_QUERY_BATCH: u8 = 13;
 
 const VAL_NULL: u8 = 0;
 const VAL_INTEGER: u8 = 1;
@@ -253,6 +297,51 @@ pub fn encode(message: &Message) -> Bytes {
             buf.put_u8(TAG_PONG);
             buf.put_u64(*request);
         }
+        Message::QueryRequest {
+            request,
+            sql,
+            batch_rows,
+        } => {
+            buf.put_u8(TAG_QUERY_REQUEST);
+            buf.put_u64(*request);
+            put_string(&mut buf, sql);
+            buf.put_u32(*batch_rows);
+        }
+        Message::QueryNext {
+            request,
+            cursor,
+            batch_rows,
+        } => {
+            buf.put_u8(TAG_QUERY_NEXT);
+            buf.put_u64(*request);
+            buf.put_u64(*cursor);
+            buf.put_u32(*batch_rows);
+        }
+        Message::QueryBatch {
+            request,
+            cursor,
+            columns,
+            rows,
+            done,
+            error,
+        } => {
+            buf.put_u8(TAG_QUERY_BATCH);
+            buf.put_u64(*request);
+            buf.put_u64(*cursor);
+            buf.put_u32(columns.len() as u32);
+            for column in columns {
+                put_string(&mut buf, column);
+            }
+            buf.put_u32(rows.len() as u32);
+            for row in rows {
+                buf.put_u32(row.len() as u32);
+                for value in row {
+                    put_value(&mut buf, value);
+                }
+            }
+            buf.put_u8(u8::from(*done));
+            put_string(&mut buf, error);
+        }
     }
     buf.freeze()
 }
@@ -313,6 +402,43 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
         TAG_PONG => Message::Pong {
             request: get_u64(&mut buf)?,
         },
+        TAG_QUERY_REQUEST => Message::QueryRequest {
+            request: get_u64(&mut buf)?,
+            sql: get_string(&mut buf)?,
+            batch_rows: get_u32(&mut buf)?,
+        },
+        TAG_QUERY_NEXT => Message::QueryNext {
+            request: get_u64(&mut buf)?,
+            cursor: get_u64(&mut buf)?,
+            batch_rows: get_u32(&mut buf)?,
+        },
+        TAG_QUERY_BATCH => {
+            let request = get_u64(&mut buf)?;
+            let cursor = get_u64(&mut buf)?;
+            let n_columns = get_u32(&mut buf)? as usize;
+            let mut columns = Vec::with_capacity(n_columns.min(1024));
+            for _ in 0..n_columns {
+                columns.push(get_string(&mut buf)?);
+            }
+            let n_rows = get_u32(&mut buf)? as usize;
+            let mut rows = Vec::with_capacity(n_rows.min(1024));
+            for _ in 0..n_rows {
+                let width = get_u32(&mut buf)? as usize;
+                let mut row = Vec::with_capacity(width.min(1024));
+                for _ in 0..width {
+                    row.push(get_value(&mut buf)?);
+                }
+                rows.push(row);
+            }
+            Message::QueryBatch {
+                request,
+                cursor,
+                columns,
+                rows,
+                done: get_u8(&mut buf)? != 0,
+                error: get_string(&mut buf)?,
+            }
+        }
         other => return Err(err(&format!("unknown tag {other}"))),
     };
     if !buf.is_empty() {
@@ -573,6 +699,35 @@ mod tests {
         });
         roundtrip(Message::Ping { request: 1 });
         roundtrip(Message::Pong { request: 1 });
+        roundtrip(Message::QueryRequest {
+            request: 42,
+            sql: "select * from motes limit 10".into(),
+            batch_rows: 128,
+        });
+        roundtrip(Message::QueryNext {
+            request: 42,
+            cursor: 7,
+            batch_rows: 64,
+        });
+        roundtrip(Message::QueryBatch {
+            request: 42,
+            cursor: 7,
+            columns: vec!["PK".into(), "TEMPERATURE".into()],
+            rows: vec![
+                vec![Value::Integer(1), Value::Double(21.5)],
+                vec![Value::Integer(2), Value::Null],
+            ],
+            done: false,
+            error: String::new(),
+        });
+        roundtrip(Message::QueryBatch {
+            request: 43,
+            cursor: 0,
+            columns: Vec::new(),
+            rows: Vec::new(),
+            done: true,
+            error: "unknown table `nosuch`".into(),
+        });
         roundtrip(Message::StreamDelivery {
             sensor: "motes".into(),
             element: WireElement::from_element(&sample_element()),

@@ -1,0 +1,134 @@
+//! Pull-based row cursors: the Volcano-style iterator surface of the executor.
+//!
+//! The original executor materialised every operator into a full [`Relation`] vector, so
+//! a `LIMIT 10` over a 200k-row permanent-storage table read and copied every page.  A
+//! [`RowSource`] instead hands out one row per call: downstream operators *pull*, so a
+//! limit that is satisfied early simply stops pulling and upstream pages are never read.
+//!
+//! Streaming operators (scan, filter, project, limit, the probe side of a join) forward
+//! rows one at a time; pipeline breakers (sort, aggregate, distinct's seen-set, the join
+//! build side, set operations) buffer only what their semantics require.  The classic
+//! materialising entry points ([`crate::execute_plan`] / [`crate::execute_query`]) are
+//! kept as thin `collect()` shims over the cursor executor.
+
+use crate::relation::{ColumnInfo, Relation};
+use gsn_types::{GsnResult, Value};
+
+/// A pull-based (Volcano-style) source of rows sharing one column layout.
+///
+/// Sources own everything they need (`'static`), so a cursor can outlive the catalog
+/// that opened it — the container's `GsnContainer::query_cursor` API and the
+/// federation's incremental `QueryBatch` shipping rely on that.
+pub trait RowSource: Send {
+    /// The column layout every row of this source follows.
+    fn columns(&self) -> &[ColumnInfo];
+
+    /// Pulls the next row, or `None` when the source is exhausted.
+    ///
+    /// After `None` (or an error) the source stays exhausted; callers must not rely on
+    /// resumption.
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>>;
+
+    /// Pulls up to `n` rows into a batch (fewer only at the end of the source).
+    fn next_batch(&mut self, n: usize) -> GsnResult<Vec<Vec<Value>>> {
+        let mut batch = Vec::with_capacity(n.min(1024));
+        while batch.len() < n {
+            match self.next_row()? {
+                Some(row) => batch.push(row),
+                None => break,
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Drains the source into a materialised [`Relation`].
+    fn collect(&mut self) -> GsnResult<Relation> {
+        let mut out = Relation::new(self.columns().to_vec());
+        while let Some(row) = self.next_row()? {
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+}
+
+impl RowSource for Box<dyn RowSource> {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.as_ref().columns()
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        self.as_mut().next_row()
+    }
+}
+
+/// A [`RowSource`] over an owned, already-materialised [`Relation`].
+///
+/// This is how in-memory catalogs expose tables to the cursor executor, and how
+/// pipeline breakers emit their buffered results.
+#[derive(Debug)]
+pub struct RelationSource {
+    columns: Vec<ColumnInfo>,
+    rows: std::vec::IntoIter<Vec<Value>>,
+}
+
+impl RelationSource {
+    /// Wraps a relation.
+    pub fn new(relation: Relation) -> RelationSource {
+        let columns = relation.columns().to_vec();
+        RelationSource {
+            columns,
+            rows: relation.into_rows().into_iter(),
+        }
+    }
+
+    /// A source with the given columns and rows.
+    pub fn from_rows(columns: Vec<ColumnInfo>, rows: Vec<Vec<Value>>) -> RelationSource {
+        RelationSource {
+            columns,
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl RowSource for RelationSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        Ok(self.rows.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsn_types::DataType;
+
+    fn sample() -> Relation {
+        Relation::with_rows(
+            vec![ColumnInfo::new(None, "v", Some(DataType::Integer))],
+            (0..5).map(|i| vec![Value::Integer(i)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn relation_source_round_trips() {
+        let mut source = RelationSource::new(sample());
+        assert_eq!(source.columns().len(), 1);
+        let rel = source.collect().unwrap();
+        assert_eq!(rel.row_count(), 5);
+        // Exhausted after collect.
+        assert!(source.next_row().unwrap().is_none());
+    }
+
+    #[test]
+    fn batches_respect_the_requested_size() {
+        let mut source = RelationSource::new(sample());
+        assert_eq!(source.next_batch(2).unwrap().len(), 2);
+        assert_eq!(source.next_batch(2).unwrap().len(), 2);
+        assert_eq!(source.next_batch(2).unwrap().len(), 1);
+        assert!(source.next_batch(2).unwrap().is_empty());
+    }
+}

@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use gsn_types::{GsnResult, Value};
 
-use crate::exec::{execute_plan, Catalog};
+use crate::cursor::RowSource;
+use crate::exec::{open_plan, Catalog, PlanSource};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::parser::parse_query;
 use crate::plan::{plan_query, LogicalPlan};
@@ -41,14 +42,26 @@ impl PreparedQuery {
         &self.tables
     }
 
-    /// Executes the prepared plan against a catalog.
-    pub fn execute(&self, catalog: &dyn Catalog) -> GsnResult<Relation> {
-        execute_plan(&self.plan, catalog)
+    /// Opens the prepared plan as a pull-based cursor; rows stream from the catalog one
+    /// at a time and a `LIMIT` stops pulling early.
+    pub fn open(&self, catalog: &dyn Catalog) -> GsnResult<PlanSource> {
+        open_plan(&self.plan, catalog)
     }
 
-    /// Renders the plan as an indented EXPLAIN string.
+    /// Executes the prepared plan against a catalog, materialising the result (a
+    /// `collect()` shim over [`open`](Self::open)).
+    pub fn execute(&self, catalog: &dyn Catalog) -> GsnResult<Relation> {
+        self.open(catalog)?.collect()
+    }
+
+    /// Renders the logical plan and the physical operator tree (streaming vs buffering
+    /// per node) as an indented EXPLAIN string.
     pub fn explain(&self) -> String {
-        self.plan.explain()
+        format!(
+            "logical plan:\n{}physical operators:\n{}",
+            self.plan.explain(),
+            self.plan.explain_physical()
+        )
     }
 }
 
@@ -61,6 +74,11 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Plan executions.
     pub executions: u64,
+    /// Rows pulled out of base-table scans across all executions.
+    pub rows_scanned: u64,
+    /// Rows returned to consumers across all executions.  The gap to `rows_scanned`
+    /// is the pull-based executor's early-exit saving (LIMIT queries stop scanning).
+    pub rows_returned: u64,
 }
 
 /// The embedded SQL engine used by every GSN container.
@@ -138,18 +156,31 @@ impl SqlEngine {
     /// Parses, plans, optimises and executes `sql` against `catalog`.
     pub fn execute(&mut self, sql: &str, catalog: &dyn Catalog) -> GsnResult<Relation> {
         let prepared = self.prepare(sql)?;
-        self.stats.executions += 1;
-        prepared.execute(catalog)
+        self.execute_prepared(&prepared, catalog)
     }
 
-    /// Executes a previously prepared query (counts towards execution statistics).
+    /// Executes a previously prepared query (counts towards execution statistics,
+    /// including the scanned/returned row counters).
     pub fn execute_prepared(
         &mut self,
         prepared: &PreparedQuery,
         catalog: &dyn Catalog,
     ) -> GsnResult<Relation> {
         self.stats.executions += 1;
-        prepared.execute(catalog)
+        let mut source = prepared.open(catalog)?;
+        let relation = source.collect();
+        self.stats.rows_scanned += source.rows_scanned();
+        self.stats.rows_returned += source.rows_returned();
+        relation
+    }
+
+    /// Folds the telemetry of an externally driven cursor (opened via
+    /// [`PreparedQuery::open`] and consumed outside the engine) into the statistics,
+    /// so streaming executions show up next to materialised ones.
+    pub fn record_cursor(&mut self, rows_scanned: u64, rows_returned: u64) {
+        self.stats.executions += 1;
+        self.stats.rows_scanned += rows_scanned;
+        self.stats.rows_returned += rows_returned;
     }
 
     /// Convenience helper: executes a query expected to produce a single scalar value.
@@ -236,6 +267,24 @@ mod tests {
         assert_eq!(engine.cache_size(), 1);
         engine.clear_cache();
         assert_eq!(engine.cache_size(), 0);
+    }
+
+    #[test]
+    fn stats_track_scanned_vs_returned_rows() {
+        let mut engine = SqlEngine::new();
+        let cat = catalog();
+        engine
+            .execute("select * from readings limit 1", &cat)
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.rows_returned, 1);
+        assert_eq!(stats.rows_scanned, 1, "LIMIT 1 must early-exit the scan");
+        engine
+            .execute("select count(*) from readings", &cat)
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.rows_scanned, 3);
+        assert_eq!(stats.rows_returned, 2);
     }
 
     #[test]

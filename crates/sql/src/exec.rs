@@ -1,29 +1,52 @@
 //! The plan executor.
 //!
-//! Executes a [`LogicalPlan`] against a [`Catalog`] of named relations and produces a
-//! materialised [`Relation`].  In the GSN pipeline the catalog is the storage layer: the
-//! windowed stream tables of each source plus the temporary relations produced by the
-//! per-source queries.
+//! Executes a [`LogicalPlan`] against a [`Catalog`] of named relations.  The executor is
+//! *pull-based* (Volcano-style): [`open_plan`] compiles the plan into a tree of
+//! [`RowSource`] cursors and rows flow one at a time from the storage scans to the
+//! consumer.  Streaming operators (scan, filter, project, limit, the probe side of a
+//! join) never buffer; pipeline breakers (sort, aggregate, join build side, distinct's
+//! seen-set, set operations) buffer only what their semantics require.  A `LIMIT k`
+//! therefore stops pulling after `k` rows and upstream storage pages are never read.
+//!
+//! [`execute_plan`] and [`execute_query`] are thin `collect()` shims kept for callers
+//! that want a materialised [`Relation`].  In the GSN pipeline the catalog is the
+//! storage layer: the windowed stream tables of each source plus the temporary
+//! relations produced by the per-source queries.
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 use gsn_types::{GsnError, GsnResult, Value};
 
 use crate::aggregate::{is_aggregate_function, Accumulator, AggregateKind};
 use crate::ast::{Expr, Query, SetOperator};
+use crate::cursor::{RelationSource, RowSource};
 use crate::eval::{evaluate, evaluate_predicate, RowContext};
 use crate::plan::{plan_query, JoinKind, LogicalPlan, ProjectionItem, SortKey};
 use crate::relation::{ColumnInfo, Relation};
 
-/// Resolves table names to materialised relations.
+/// Resolves table names to row sources.
 ///
 /// In GSN the names visible to a virtual sensor query are its stream-source aliases
 /// (windowed views of the source's recent elements) and, in the output query, the
 /// temporary relations produced by the per-source input queries.
+///
+/// The required method is [`scan`](Catalog::scan): a pull-based cursor over the table's
+/// rows, oldest first.  Sources must own what they need (`'static`) so a cursor can
+/// outlive the catalog that opened it.  [`relation`](Catalog::relation) is a provided
+/// materialising convenience; implementations that already hold a vector may override
+/// it with a cheap clone.
 pub trait Catalog {
-    /// Returns the relation bound to `name`, or an error when the name is unknown.
-    fn relation(&self, name: &str) -> GsnResult<Relation>;
+    /// Opens a cursor over the rows of `name`, or an error when the name is unknown.
+    fn scan(&self, name: &str) -> GsnResult<Box<dyn RowSource>>;
+
+    /// Materialises the relation bound to `name` (collects [`scan`](Catalog::scan)).
+    fn relation(&self, name: &str) -> GsnResult<Relation> {
+        let mut source = self.scan(name)?;
+        source.collect()
+    }
 }
 
 /// A simple in-memory [`Catalog`] backed by a hash map; used in tests, by the query
@@ -56,6 +79,10 @@ impl MemoryCatalog {
 }
 
 impl Catalog for MemoryCatalog {
+    fn scan(&self, name: &str) -> GsnResult<Box<dyn RowSource>> {
+        Ok(Box::new(RelationSource::new(self.relation(name)?)))
+    }
+
     fn relation(&self, name: &str) -> GsnResult<Relation> {
         self.tables
             .get(&name.to_ascii_lowercase())
@@ -64,97 +91,67 @@ impl Catalog for MemoryCatalog {
     }
 }
 
-/// Executes a logical plan against a catalog.
-pub fn execute_plan(plan: &LogicalPlan, catalog: &dyn Catalog) -> GsnResult<Relation> {
-    match plan {
-        LogicalPlan::Scan { table, alias } => {
-            let rel = catalog.relation(table)?;
-            // Re-qualify every column with the alias used in this query so that
-            // `alias.column` references resolve.
-            let columns = rel
-                .columns()
-                .iter()
-                .map(|c| ColumnInfo::new(Some(alias), &c.name, c.data_type))
-                .collect();
-            Relation::with_rows(columns, rel.rows().to_vec())
-        }
-        LogicalPlan::Empty => Ok(Relation::single_empty_row()),
-        LogicalPlan::Derived { input, alias } => {
-            let rel = execute_plan(input, catalog)?;
-            let columns = rel
-                .columns()
-                .iter()
-                .map(|c| ColumnInfo::new(Some(alias), &c.name, c.data_type))
-                .collect();
-            Relation::with_rows(columns, rel.rows().to_vec())
-        }
-        LogicalPlan::Filter { input, predicate } => {
-            let rel = execute_plan(input, catalog)?;
-            let predicate = resolve_subqueries(predicate.clone(), catalog)?;
-            let mut out = Relation::new(rel.columns().to_vec());
-            for row in rel.rows() {
-                let ctx = RowContext::new(rel.columns(), row);
-                if evaluate_predicate(&predicate, &ctx)? {
-                    out.push_row(row.clone())?;
-                }
-            }
-            Ok(out)
-        }
-        LogicalPlan::Join {
-            left,
-            right,
-            kind,
-            on,
-        } => execute_join(left, right, *kind, on.as_ref(), catalog),
-        LogicalPlan::Project {
-            input,
-            items,
-            wildcards,
-        } => execute_project(input, items, wildcards, catalog),
-        LogicalPlan::Aggregate {
-            input,
-            group_by,
-            items,
-            having,
-        } => execute_aggregate(input, group_by, items, having.as_ref(), catalog),
-        LogicalPlan::Distinct { input } => {
-            let rel = execute_plan(input, catalog)?;
-            let mut seen = std::collections::HashSet::new();
-            let mut out = Relation::new(rel.columns().to_vec());
-            for row in rel.rows() {
-                let key = row_key(row);
-                if seen.insert(key) {
-                    out.push_row(row.clone())?;
-                }
-            }
-            Ok(out)
-        }
-        LogicalPlan::Sort { input, keys } => {
-            let rel = execute_plan(input, catalog)?;
-            execute_sort(rel, keys)
-        }
-        LogicalPlan::Limit {
-            input,
-            limit,
-            offset,
-        } => {
-            let rel = execute_plan(input, catalog)?;
-            let rows: Vec<Vec<Value>> = rel
-                .rows()
-                .iter()
-                .skip(*offset as usize)
-                .take(limit.map(|l| l as usize).unwrap_or(usize::MAX))
-                .cloned()
-                .collect();
-            Relation::with_rows(rel.columns().to_vec(), rows)
-        }
-        LogicalPlan::SetOp {
-            left,
-            right,
-            op,
-            all,
-        } => execute_set_op(left, right, *op, *all, catalog),
+// ---------------------------------------------------------------------------------------
+// The cursor executor
+// ---------------------------------------------------------------------------------------
+
+/// The root cursor of an opened plan, with execution telemetry.
+///
+/// `rows_scanned` counts rows actually pulled out of base-table scans; `rows_returned`
+/// counts rows handed to the consumer.  Their gap is the early-exit saving: a
+/// `LIMIT 10` over a large table scans ~10 rows instead of the whole heap.
+pub struct PlanSource {
+    root: Box<dyn RowSource>,
+    scanned: Arc<AtomicU64>,
+    returned: u64,
+}
+
+impl PlanSource {
+    /// Rows pulled from base-table scans so far.
+    pub fn rows_scanned(&self) -> u64 {
+        self.scanned.load(AtomicOrdering::Relaxed)
     }
+
+    /// Rows returned to the consumer so far.
+    pub fn rows_returned(&self) -> u64 {
+        self.returned
+    }
+}
+
+impl RowSource for PlanSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.root.columns()
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        let row = self.root.next_row()?;
+        if row.is_some() {
+            self.returned += 1;
+        }
+        Ok(row)
+    }
+}
+
+/// Opens a logical plan as a pull-based cursor tree.
+///
+/// Sort and aggregate buffering is deferred to the first pull; join build sides,
+/// INTERSECT/EXCEPT right sides and uncorrelated subqueries are materialised at open
+/// time (their row sets gate the streaming probe side).  Plans without those
+/// operators open without touching storage.
+pub fn open_plan(plan: &LogicalPlan, catalog: &dyn Catalog) -> GsnResult<PlanSource> {
+    let scanned = Arc::new(AtomicU64::new(0));
+    let root = open_node(plan, catalog, &scanned)?;
+    Ok(PlanSource {
+        root,
+        scanned,
+        returned: 0,
+    })
+}
+
+/// Executes a logical plan against a catalog, materialising the result (a `collect()`
+/// shim over [`open_plan`]).
+pub fn execute_plan(plan: &LogicalPlan, catalog: &dyn Catalog) -> GsnResult<Relation> {
+    open_plan(plan, catalog)?.collect()
 }
 
 /// Parses, plans and executes a query AST directly (used for subqueries).
@@ -162,6 +159,829 @@ pub fn execute_query(query: &Query, catalog: &dyn Catalog) -> GsnResult<Relation
     let plan = plan_query(query)?;
     let plan = crate::optimizer::optimize_default(plan)?;
     execute_plan(&plan, catalog)
+}
+
+fn open_node(
+    plan: &LogicalPlan,
+    catalog: &dyn Catalog,
+    scanned: &Arc<AtomicU64>,
+) -> GsnResult<Box<dyn RowSource>> {
+    Ok(match plan {
+        LogicalPlan::Scan { table, alias } => {
+            let inner = catalog.scan(table)?;
+            // Re-qualify every column with the alias used in this query so that
+            // `alias.column` references resolve.
+            let columns = inner
+                .columns()
+                .iter()
+                .map(|c| ColumnInfo::new(Some(alias), &c.name, c.data_type))
+                .collect();
+            Box::new(ReAliasSource {
+                inner,
+                columns,
+                scanned: Some(Arc::clone(scanned)),
+            })
+        }
+        LogicalPlan::Empty => Box::new(RelationSource::new(Relation::single_empty_row())),
+        LogicalPlan::Derived { input, alias } => {
+            let inner = open_node(input, catalog, scanned)?;
+            let columns = inner
+                .columns()
+                .iter()
+                .map(|c| ColumnInfo::new(Some(alias), &c.name, c.data_type))
+                .collect();
+            Box::new(ReAliasSource {
+                inner,
+                columns,
+                scanned: None,
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let inner = open_node(input, catalog, scanned)?;
+            let predicate = resolve_subqueries(predicate.clone(), catalog)?;
+            Box::new(FilterSource { inner, predicate })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => open_join(left, right, *kind, on.as_ref(), catalog, scanned)?,
+        LogicalPlan::Project {
+            input,
+            items,
+            wildcards,
+        } => open_project(input, items, wildcards, catalog, scanned)?,
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            items,
+            having,
+        } => open_aggregate(input, group_by, items, having.as_ref(), catalog, scanned)?,
+        LogicalPlan::Distinct { input } => Box::new(DistinctSource {
+            inner: open_node(input, catalog, scanned)?,
+            seen: HashSet::new(),
+        }),
+        LogicalPlan::Sort { input, keys } => {
+            let inner = open_node(input, catalog, scanned)?;
+            let columns = inner.columns().to_vec();
+            Box::new(SortSource {
+                inner: Some(inner),
+                keys: keys.clone(),
+                columns,
+                buffered: None,
+            })
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => Box::new(LimitSource {
+            inner: open_node(input, catalog, scanned)?,
+            skip: *offset,
+            remaining: limit.unwrap_or(u64::MAX),
+        }),
+        LogicalPlan::SetOp {
+            left,
+            right,
+            op,
+            all,
+        } => open_set_op(left, right, *op, *all, catalog, scanned)?,
+    })
+}
+
+// ---------------------------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------------------------
+
+/// Renames the column qualifiers of its input (scan/derived aliasing); when `scanned` is
+/// set this is a base-table scan and every pulled row ticks the plan's scan counter.
+struct ReAliasSource {
+    inner: Box<dyn RowSource>,
+    columns: Vec<ColumnInfo>,
+    scanned: Option<Arc<AtomicU64>>,
+}
+
+impl RowSource for ReAliasSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        let row = self.inner.next_row()?;
+        if row.is_some() {
+            if let Some(counter) = &self.scanned {
+                counter.fetch_add(1, AtomicOrdering::Relaxed);
+            }
+        }
+        Ok(row)
+    }
+}
+
+struct FilterSource {
+    inner: Box<dyn RowSource>,
+    predicate: Expr,
+}
+
+impl RowSource for FilterSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.inner.columns()
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        while let Some(row) = self.inner.next_row()? {
+            let keep = {
+                let ctx = RowContext::new(self.inner.columns(), &row);
+                evaluate_predicate(&self.predicate, &ctx)?
+            };
+            if keep {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct LimitSource {
+    inner: Box<dyn RowSource>,
+    skip: u64,
+    remaining: u64,
+}
+
+impl RowSource for LimitSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.inner.columns()
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        // Early exit: once the limit is reached (or was zero to begin with) the
+        // upstream is never pulled again, so storage pages past the limit are never
+        // read.
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        while self.skip > 0 {
+            if self.inner.next_row()?.is_none() {
+                self.remaining = 0;
+                return Ok(None);
+            }
+            self.skip -= 1;
+        }
+        match self.inner.next_row()? {
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+}
+
+struct DistinctSource {
+    inner: Box<dyn RowSource>,
+    seen: HashSet<String>,
+}
+
+impl RowSource for DistinctSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        self.inner.columns()
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        while let Some(row) = self.inner.next_row()? {
+            if self.seen.insert(row_key(&row)) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn open_project(
+    input: &LogicalPlan,
+    items: &[ProjectionItem],
+    wildcards: &[Option<String>],
+    catalog: &dyn Catalog,
+    scanned: &Arc<AtomicU64>,
+) -> GsnResult<Box<dyn RowSource>> {
+    let inner = open_node(input, catalog, scanned)?;
+    let input_columns = inner.columns().to_vec();
+
+    // Expand wildcards into column positions.
+    let mut wildcard_columns: Vec<usize> = Vec::new();
+    for w in wildcards {
+        match w {
+            None => wildcard_columns.extend(0..input_columns.len()),
+            Some(q) => {
+                let before = wildcard_columns.len();
+                for (i, c) in input_columns.iter().enumerate() {
+                    if c.qualifier
+                        .as_deref()
+                        .map(|own| own.eq_ignore_ascii_case(q))
+                        .unwrap_or(false)
+                    {
+                        wildcard_columns.push(i);
+                    }
+                }
+                if wildcard_columns.len() == before {
+                    return Err(GsnError::sql_exec(format!(
+                        "wildcard `{q}.*` matches no columns"
+                    )));
+                }
+            }
+        }
+    }
+
+    let items: Vec<ProjectionItem> = items
+        .iter()
+        .map(|i| {
+            Ok(ProjectionItem {
+                expr: resolve_subqueries(i.expr.clone(), catalog)?,
+                name: i.name.clone(),
+            })
+        })
+        .collect::<GsnResult<_>>()?;
+
+    let mut columns: Vec<ColumnInfo> = wildcard_columns
+        .iter()
+        .map(|&i| input_columns[i].clone())
+        .collect();
+    for item in &items {
+        columns.push(ColumnInfo::new(None, &item.name, None));
+    }
+
+    Ok(Box::new(ProjectSource {
+        inner,
+        input_columns,
+        wildcard_columns,
+        items,
+        columns,
+    }))
+}
+
+struct ProjectSource {
+    inner: Box<dyn RowSource>,
+    input_columns: Vec<ColumnInfo>,
+    wildcard_columns: Vec<usize>,
+    items: Vec<ProjectionItem>,
+    columns: Vec<ColumnInfo>,
+}
+
+impl RowSource for ProjectSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        let Some(row) = self.inner.next_row()? else {
+            return Ok(None);
+        };
+        let ctx = RowContext::new(&self.input_columns, &row);
+        let mut new_row: Vec<Value> = self
+            .wildcard_columns
+            .iter()
+            .map(|&i| row[i].clone())
+            .collect();
+        for item in &self.items {
+            new_row.push(evaluate(&item.expr, &ctx)?);
+        }
+        Ok(Some(new_row))
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Joins (build side buffered, probe side streamed)
+// ---------------------------------------------------------------------------------------
+
+fn open_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    kind: JoinKind,
+    on: Option<&Expr>,
+    catalog: &dyn Catalog,
+    scanned: &Arc<AtomicU64>,
+) -> GsnResult<Box<dyn RowSource>> {
+    let left_source = open_node(left, catalog, scanned)?;
+    // The build side is a pipeline breaker: materialise it once, then stream the left
+    // (probe) side row-at-a-time.
+    let right_rel = open_node(right, catalog, scanned)?.collect()?;
+    let columns: Vec<ColumnInfo> = left_source
+        .columns()
+        .iter()
+        .chain(right_rel.columns().iter())
+        .cloned()
+        .collect();
+    let on = on
+        .map(|e| resolve_subqueries(e.clone(), catalog))
+        .transpose()?;
+
+    // Equi-join detection: use a hash join when the ON condition is a simple equality
+    // between one column of each side (the common case for GSN queries joining sensor
+    // streams on room / tag ids).
+    if matches!(kind, JoinKind::Inner) {
+        if let Some(on_expr) = &on {
+            if let Some((l_idx, r_idx)) =
+                equi_join_columns(on_expr, left_source.columns(), &right_rel)
+            {
+                let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+                for (i, row) in right_rel.rows().iter().enumerate() {
+                    let key = &row[r_idx];
+                    if key.is_null() {
+                        continue;
+                    }
+                    index.entry(format!("{key:?}")).or_default().push(i);
+                }
+                return Ok(Box::new(HashJoinSource {
+                    left: left_source,
+                    right_rows: right_rel.into_rows(),
+                    index,
+                    l_idx,
+                    columns,
+                    pending: VecDeque::new(),
+                }));
+            }
+        }
+    }
+
+    Ok(Box::new(NestedLoopJoinSource {
+        left: left_source,
+        right_rows: right_rel.into_rows(),
+        total_width: columns.len(),
+        kind,
+        on,
+        columns,
+        current: None,
+        right_pos: 0,
+        matched: false,
+    }))
+}
+
+/// Identifies `l.col = r.col` equality conditions.
+fn equi_join_columns(
+    on: &Expr,
+    left_columns: &[ColumnInfo],
+    right: &Relation,
+) -> Option<(usize, usize)> {
+    if let Expr::Binary {
+        left: a,
+        op: crate::ast::BinaryOp::Eq,
+        right: b,
+    } = on
+    {
+        let col_in = |e: &Expr, columns: &[ColumnInfo]| -> Option<usize> {
+            if let Expr::Column { qualifier, name } = e {
+                resolve_column_in(columns, qualifier.as_deref(), name)
+            } else {
+                None
+            }
+        };
+        if let (Some(l), Some(r)) = (col_in(a, left_columns), col_in(b, right.columns())) {
+            return Some((l, r));
+        }
+        if let (Some(l), Some(r)) = (col_in(b, left_columns), col_in(a, right.columns())) {
+            return Some((l, r));
+        }
+    }
+    None
+}
+
+/// Resolves a column reference against a bare column list (unambiguous matches only).
+fn resolve_column_in(columns: &[ColumnInfo], qualifier: Option<&str>, name: &str) -> Option<usize> {
+    let mut found = None;
+    for (i, c) in columns.iter().enumerate() {
+        if c.matches(qualifier, name) {
+            if found.is_some() {
+                return None; // ambiguous
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+struct HashJoinSource {
+    left: Box<dyn RowSource>,
+    right_rows: Vec<Vec<Value>>,
+    index: HashMap<String, Vec<usize>>,
+    l_idx: usize,
+    columns: Vec<ColumnInfo>,
+    pending: VecDeque<Vec<Value>>,
+}
+
+impl RowSource for HashJoinSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Ok(Some(row));
+            }
+            let Some(l_row) = self.left.next_row()? else {
+                return Ok(None);
+            };
+            let key = &l_row[self.l_idx];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = self.index.get(&format!("{key:?}")) {
+                for &ri in matches {
+                    let mut combined = l_row.clone();
+                    combined.extend_from_slice(&self.right_rows[ri]);
+                    self.pending.push_back(combined);
+                }
+            }
+        }
+    }
+}
+
+struct NestedLoopJoinSource {
+    left: Box<dyn RowSource>,
+    right_rows: Vec<Vec<Value>>,
+    /// Total output width (left + right), for LEFT OUTER null padding.
+    total_width: usize,
+    kind: JoinKind,
+    on: Option<Expr>,
+    columns: Vec<ColumnInfo>,
+    /// The left row currently probing the right side.
+    current: Option<Vec<Value>>,
+    right_pos: usize,
+    matched: bool,
+}
+
+impl RowSource for NestedLoopJoinSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        loop {
+            if self.current.is_none() {
+                match self.left.next_row()? {
+                    Some(row) => {
+                        self.current = Some(row);
+                        self.right_pos = 0;
+                        self.matched = false;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let l_row = self.current.as_ref().expect("probe row present");
+            while self.right_pos < self.right_rows.len() {
+                let r_row = &self.right_rows[self.right_pos];
+                self.right_pos += 1;
+                let mut combined = l_row.clone();
+                combined.extend_from_slice(r_row);
+                let keep = match &self.on {
+                    None => true,
+                    Some(cond) => {
+                        let ctx = RowContext::new(&self.columns, &combined);
+                        evaluate_predicate(cond, &ctx)?
+                    }
+                };
+                if keep {
+                    self.matched = true;
+                    return Ok(Some(combined));
+                }
+            }
+            // Right side exhausted for this probe row.
+            let unmatched_outer = !self.matched && self.kind == JoinKind::LeftOuter;
+            let l_row = self.current.take().expect("probe row present");
+            if unmatched_outer {
+                let mut combined = l_row;
+                let pad = self.total_width - combined.len();
+                combined.extend(std::iter::repeat_n(Value::Null, pad));
+                return Ok(Some(combined));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Pipeline breakers: sort, aggregate, set operations
+// ---------------------------------------------------------------------------------------
+
+/// Buffers its whole input on the first pull, then emits the sorted rows.
+struct SortSource {
+    inner: Option<Box<dyn RowSource>>,
+    keys: Vec<SortKey>,
+    columns: Vec<ColumnInfo>,
+    buffered: Option<std::vec::IntoIter<Vec<Value>>>,
+}
+
+impl RowSource for SortSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        if self.buffered.is_none() {
+            // `inner` already taken means a previous pull failed mid-buffering: stay
+            // exhausted (the trait contract) instead of panicking.
+            let Some(mut inner) = self.inner.take() else {
+                return Ok(None);
+            };
+            let mut rows = Vec::new();
+            while let Some(row) = inner.next_row()? {
+                rows.push(row);
+            }
+            let rows = sort_rows(&self.columns, rows, &self.keys)?;
+            self.buffered = Some(rows.into_iter());
+        }
+        Ok(self.buffered.as_mut().expect("buffered rows").next())
+    }
+}
+
+/// One aggregate call extracted from a projection/HAVING expression.
+struct ExtractedAggregate {
+    kind: AggregateKind,
+    distinct: bool,
+    /// The argument expression (None for `COUNT(*)`).
+    arg: Option<Expr>,
+    /// The placeholder column name the rewritten expression refers to.
+    placeholder: String,
+}
+
+fn open_aggregate(
+    input: &LogicalPlan,
+    group_by: &[Expr],
+    items: &[ProjectionItem],
+    having: Option<&Expr>,
+    catalog: &dyn Catalog,
+    scanned: &Arc<AtomicU64>,
+) -> GsnResult<Box<dyn RowSource>> {
+    let inner = open_node(input, catalog, scanned)?;
+
+    // Extract every aggregate call from the output items and the HAVING clause, replacing
+    // each with a reference to a placeholder column computed per group.
+    let mut aggregates: Vec<ExtractedAggregate> = Vec::new();
+    let rewritten_items: Vec<ProjectionItem> = items
+        .iter()
+        .map(|item| {
+            Ok(ProjectionItem {
+                expr: extract_aggregates(
+                    resolve_subqueries(item.expr.clone(), catalog)?,
+                    &mut aggregates,
+                )?,
+                name: item.name.clone(),
+            })
+        })
+        .collect::<GsnResult<_>>()?;
+    let rewritten_having = having
+        .map(|h| extract_aggregates(resolve_subqueries(h.clone(), catalog)?, &mut aggregates))
+        .transpose()?;
+
+    let out_columns: Vec<ColumnInfo> = rewritten_items
+        .iter()
+        .map(|i| ColumnInfo::new(None, &i.name, None))
+        .collect();
+
+    Ok(Box::new(AggregateSource {
+        inner: Some(inner),
+        group_by: group_by.to_vec(),
+        aggregates,
+        rewritten_items,
+        rewritten_having,
+        columns: out_columns,
+        buffered: None,
+    }))
+}
+
+/// Streams its input into per-group accumulators (only group state is buffered), then
+/// emits one row per surviving group.
+struct AggregateSource {
+    inner: Option<Box<dyn RowSource>>,
+    group_by: Vec<Expr>,
+    aggregates: Vec<ExtractedAggregate>,
+    rewritten_items: Vec<ProjectionItem>,
+    rewritten_having: Option<Expr>,
+    columns: Vec<ColumnInfo>,
+    buffered: Option<std::vec::IntoIter<Vec<Value>>>,
+}
+
+impl AggregateSource {
+    fn fill(&mut self, mut inner: Box<dyn RowSource>) -> GsnResult<()> {
+        let input_columns = inner.columns().to_vec();
+
+        // Group rows by the GROUP BY key, streaming the input.
+        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        let mut group_index: HashMap<String, usize> = HashMap::new();
+        while let Some(row) = inner.next_row()? {
+            let ctx = RowContext::new(&input_columns, &row);
+            let key_values: Vec<Value> = self
+                .group_by
+                .iter()
+                .map(|g| evaluate(g, &ctx))
+                .collect::<GsnResult<_>>()?;
+            let key = row_key(&key_values);
+            let group_idx = match group_index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let accs = self
+                        .aggregates
+                        .iter()
+                        .map(|a| Accumulator::new(a.kind, a.distinct))
+                        .collect();
+                    groups.push((key_values.clone(), accs));
+                    group_index.insert(key, groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            let (_, accs) = &mut groups[group_idx];
+            for (agg, acc) in self.aggregates.iter().zip(accs.iter_mut()) {
+                let value = match &agg.arg {
+                    Some(expr) => evaluate(expr, &ctx)?,
+                    None => Value::Integer(1), // COUNT(*)
+                };
+                acc.update(&value)?;
+            }
+        }
+
+        // A global aggregate over an empty input still produces one row.
+        if groups.is_empty() && self.group_by.is_empty() {
+            let accs = self
+                .aggregates
+                .iter()
+                .map(|a| Accumulator::new(a.kind, a.distinct))
+                .collect();
+            groups.push((Vec::new(), accs));
+        }
+
+        // Build the per-group evaluation context: group-by expressions are addressable
+        // both by their textual form and by position; aggregate placeholders by their
+        // generated name.
+        let mut ctx_columns: Vec<ColumnInfo> = Vec::new();
+        for (i, g) in self.group_by.iter().enumerate() {
+            let name = match g {
+                Expr::Column { name, .. } => name.clone(),
+                other => format!("GROUP_{}", {
+                    let _ = other;
+                    i + 1
+                }),
+            };
+            ctx_columns.push(ColumnInfo::new(None, &name, None));
+        }
+        for agg in &self.aggregates {
+            ctx_columns.push(ColumnInfo::new(None, &agg.placeholder, None));
+        }
+
+        let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+        for (key_values, accs) in &groups {
+            let mut ctx_row: Vec<Value> = key_values.clone();
+            ctx_row.extend(accs.iter().map(|a| a.finish()));
+            let ctx = RowContext::new(&ctx_columns, &ctx_row);
+
+            if let Some(h) = &self.rewritten_having {
+                if !evaluate_predicate(h, &ctx)? {
+                    continue;
+                }
+            }
+            let out_row: Vec<Value> = self
+                .rewritten_items
+                .iter()
+                .map(|item| eval_group_item(&item.expr, &ctx, &self.group_by, key_values))
+                .collect::<GsnResult<_>>()?;
+            out_rows.push(out_row);
+        }
+        self.buffered = Some(out_rows.into_iter());
+        Ok(())
+    }
+}
+
+impl RowSource for AggregateSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        if self.buffered.is_none() {
+            // `inner` already taken means a previous pull failed mid-buffering: stay
+            // exhausted (the trait contract) instead of panicking.
+            let Some(inner) = self.inner.take() else {
+                return Ok(None);
+            };
+            self.fill(inner)?;
+        }
+        Ok(self.buffered.as_mut().expect("buffered rows").next())
+    }
+}
+
+fn open_set_op(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    op: SetOperator,
+    all: bool,
+    catalog: &dyn Catalog,
+    scanned: &Arc<AtomicU64>,
+) -> GsnResult<Box<dyn RowSource>> {
+    let left_source = open_node(left, catalog, scanned)?;
+    let right_source = open_node(right, catalog, scanned)?;
+    if left_source.columns().len() != right_source.columns().len() {
+        return Err(GsnError::sql_exec(format!(
+            "set operation requires equal column counts ({} vs {})",
+            left_source.columns().len(),
+            right_source.columns().len()
+        )));
+    }
+    let columns = left_source.columns().to_vec();
+    match op {
+        // UNION streams both sides in order, deduplicating on the fly unless ALL.
+        SetOperator::Union => Ok(Box::new(UnionSource {
+            left: Some(left_source),
+            right: right_source,
+            seen: (!all).then(HashSet::new),
+            columns,
+        })),
+        // INTERSECT / EXCEPT buffer the right side's keys, then stream the left.
+        SetOperator::Intersect | SetOperator::Except => {
+            let mut right_keys = HashSet::new();
+            let mut right = right_source;
+            while let Some(row) = right.next_row()? {
+                right_keys.insert(row_key(&row));
+            }
+            Ok(Box::new(SemiSetOpSource {
+                left: left_source,
+                right_keys,
+                include: op == SetOperator::Intersect,
+                seen: (!all).then(HashSet::new),
+                columns,
+            }))
+        }
+    }
+}
+
+struct UnionSource {
+    left: Option<Box<dyn RowSource>>,
+    right: Box<dyn RowSource>,
+    /// `Some` deduplicates (plain UNION); `None` keeps duplicates (UNION ALL).
+    seen: Option<HashSet<String>>,
+    columns: Vec<ColumnInfo>,
+}
+
+impl RowSource for UnionSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        loop {
+            let row = match self.left.as_mut() {
+                Some(left) => match left.next_row()? {
+                    Some(row) => Some(row),
+                    None => {
+                        self.left = None;
+                        continue;
+                    }
+                },
+                None => self.right.next_row()?,
+            };
+            let Some(row) = row else {
+                return Ok(None);
+            };
+            if let Some(seen) = &mut self.seen {
+                if !seen.insert(row_key(&row)) {
+                    continue;
+                }
+            }
+            return Ok(Some(row));
+        }
+    }
+}
+
+struct SemiSetOpSource {
+    left: Box<dyn RowSource>,
+    right_keys: HashSet<String>,
+    /// `true` keeps rows whose key appears on the right (INTERSECT), `false` drops them
+    /// (EXCEPT).
+    include: bool,
+    seen: Option<HashSet<String>>,
+    columns: Vec<ColumnInfo>,
+}
+
+impl RowSource for SemiSetOpSource {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        while let Some(row) = self.left.next_row()? {
+            let key = row_key(&row);
+            if self.right_keys.contains(&key) != self.include {
+                continue;
+            }
+            if let Some(seen) = &mut self.seen {
+                if !seen.insert(key) {
+                    continue;
+                }
+            }
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
 }
 
 // ---------------------------------------------------------------------------------------
@@ -301,304 +1121,6 @@ fn resolve_subqueries(expr: Expr, catalog: &dyn Catalog) -> GsnResult<Expr> {
     })
 }
 
-// ---------------------------------------------------------------------------------------
-// Operators
-// ---------------------------------------------------------------------------------------
-
-fn execute_join(
-    left: &LogicalPlan,
-    right: &LogicalPlan,
-    kind: JoinKind,
-    on: Option<&Expr>,
-    catalog: &dyn Catalog,
-) -> GsnResult<Relation> {
-    let left_rel = execute_plan(left, catalog)?;
-    let right_rel = execute_plan(right, catalog)?;
-    let columns = Relation::joined_columns(&left_rel, &right_rel);
-    let on = on
-        .map(|e| resolve_subqueries(e.clone(), catalog))
-        .transpose()?;
-
-    // Equi-join detection: use a hash join when the ON condition is a simple equality
-    // between one column of each side (the common case for GSN queries joining sensor
-    // streams on room / tag ids).
-    if matches!(kind, JoinKind::Inner) {
-        if let Some(on_expr) = &on {
-            if let Some((l_idx, r_idx)) = equi_join_columns(on_expr, &left_rel, &right_rel) {
-                return hash_join(&left_rel, &right_rel, l_idx, r_idx, columns);
-            }
-        }
-    }
-
-    let mut out = Relation::new(columns.clone());
-    for l_row in left_rel.rows() {
-        let mut matched = false;
-        for r_row in right_rel.rows() {
-            let mut combined = l_row.clone();
-            combined.extend_from_slice(r_row);
-            let keep = match &on {
-                None => true,
-                Some(cond) => {
-                    let ctx = RowContext::new(&columns, &combined);
-                    evaluate_predicate(cond, &ctx)?
-                }
-            };
-            if keep {
-                matched = true;
-                out.push_row(combined)?;
-            }
-        }
-        if !matched && kind == JoinKind::LeftOuter {
-            let mut combined = l_row.clone();
-            combined.extend(std::iter::repeat_n(Value::Null, right_rel.column_count()));
-            out.push_row(combined)?;
-        }
-    }
-    Ok(out)
-}
-
-/// Identifies `l.col = r.col` equality conditions.
-fn equi_join_columns(on: &Expr, left: &Relation, right: &Relation) -> Option<(usize, usize)> {
-    if let Expr::Binary {
-        left: a,
-        op: crate::ast::BinaryOp::Eq,
-        right: b,
-    } = on
-    {
-        let col_of = |e: &Expr, rel: &Relation| -> Option<usize> {
-            if let Expr::Column { qualifier, name } = e {
-                rel.resolve_column(qualifier.as_deref(), name).ok()
-            } else {
-                None
-            }
-        };
-        if let (Some(l), Some(r)) = (col_of(a, left), col_of(b, right)) {
-            return Some((l, r));
-        }
-        if let (Some(l), Some(r)) = (col_of(b, left), col_of(a, right)) {
-            return Some((l, r));
-        }
-    }
-    None
-}
-
-fn hash_join(
-    left: &Relation,
-    right: &Relation,
-    l_idx: usize,
-    r_idx: usize,
-    columns: Vec<ColumnInfo>,
-) -> GsnResult<Relation> {
-    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-    for (i, row) in right.rows().iter().enumerate() {
-        let key = &row[r_idx];
-        if key.is_null() {
-            continue;
-        }
-        index.entry(format!("{key:?}")).or_default().push(i);
-    }
-    let mut out = Relation::new(columns);
-    for l_row in left.rows() {
-        let key = &l_row[l_idx];
-        if key.is_null() {
-            continue;
-        }
-        if let Some(matches) = index.get(&format!("{key:?}")) {
-            for &ri in matches {
-                let mut combined = l_row.clone();
-                combined.extend_from_slice(&right.rows()[ri]);
-                out.push_row(combined)?;
-            }
-        }
-    }
-    Ok(out)
-}
-
-fn execute_project(
-    input: &LogicalPlan,
-    items: &[ProjectionItem],
-    wildcards: &[Option<String>],
-    catalog: &dyn Catalog,
-) -> GsnResult<Relation> {
-    let rel = execute_plan(input, catalog)?;
-
-    // Expand wildcards into column positions.
-    let mut wildcard_columns: Vec<usize> = Vec::new();
-    for w in wildcards {
-        match w {
-            None => wildcard_columns.extend(0..rel.column_count()),
-            Some(q) => {
-                let before = wildcard_columns.len();
-                for (i, c) in rel.columns().iter().enumerate() {
-                    if c.qualifier
-                        .as_deref()
-                        .map(|own| own.eq_ignore_ascii_case(q))
-                        .unwrap_or(false)
-                    {
-                        wildcard_columns.push(i);
-                    }
-                }
-                if wildcard_columns.len() == before {
-                    return Err(GsnError::sql_exec(format!(
-                        "wildcard `{q}.*` matches no columns"
-                    )));
-                }
-            }
-        }
-    }
-
-    let items: Vec<ProjectionItem> = items
-        .iter()
-        .map(|i| {
-            Ok(ProjectionItem {
-                expr: resolve_subqueries(i.expr.clone(), catalog)?,
-                name: i.name.clone(),
-            })
-        })
-        .collect::<GsnResult<_>>()?;
-
-    let mut columns: Vec<ColumnInfo> = wildcard_columns
-        .iter()
-        .map(|&i| rel.columns()[i].clone())
-        .collect();
-    for item in &items {
-        columns.push(ColumnInfo::new(None, &item.name, None));
-    }
-
-    let mut out = Relation::new(columns);
-    for row in rel.rows() {
-        let ctx = RowContext::new(rel.columns(), row);
-        let mut new_row: Vec<Value> = wildcard_columns.iter().map(|&i| row[i].clone()).collect();
-        for item in &items {
-            new_row.push(evaluate(&item.expr, &ctx)?);
-        }
-        out.push_row(new_row)?;
-    }
-    Ok(out)
-}
-
-/// One aggregate call extracted from a projection/HAVING expression.
-struct ExtractedAggregate {
-    kind: AggregateKind,
-    distinct: bool,
-    /// The argument expression (None for `COUNT(*)`).
-    arg: Option<Expr>,
-    /// The placeholder column name the rewritten expression refers to.
-    placeholder: String,
-}
-
-fn execute_aggregate(
-    input: &LogicalPlan,
-    group_by: &[Expr],
-    items: &[ProjectionItem],
-    having: Option<&Expr>,
-    catalog: &dyn Catalog,
-) -> GsnResult<Relation> {
-    let rel = execute_plan(input, catalog)?;
-
-    // Extract every aggregate call from the output items and the HAVING clause, replacing
-    // each with a reference to a placeholder column computed per group.
-    let mut aggregates: Vec<ExtractedAggregate> = Vec::new();
-    let rewritten_items: Vec<ProjectionItem> = items
-        .iter()
-        .map(|item| {
-            Ok(ProjectionItem {
-                expr: extract_aggregates(
-                    resolve_subqueries(item.expr.clone(), catalog)?,
-                    &mut aggregates,
-                )?,
-                name: item.name.clone(),
-            })
-        })
-        .collect::<GsnResult<_>>()?;
-    let rewritten_having = having
-        .map(|h| extract_aggregates(resolve_subqueries(h.clone(), catalog)?, &mut aggregates))
-        .transpose()?;
-
-    // Group rows by the GROUP BY key.
-    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-    let mut group_index: HashMap<String, usize> = HashMap::new();
-
-    for row in rel.rows() {
-        let ctx = RowContext::new(rel.columns(), row);
-        let key_values: Vec<Value> = group_by
-            .iter()
-            .map(|g| evaluate(g, &ctx))
-            .collect::<GsnResult<_>>()?;
-        let key = row_key(&key_values);
-        let group_idx = match group_index.get(&key) {
-            Some(&i) => i,
-            None => {
-                let accs = aggregates
-                    .iter()
-                    .map(|a| Accumulator::new(a.kind, a.distinct))
-                    .collect();
-                groups.push((key_values.clone(), accs));
-                group_index.insert(key, groups.len() - 1);
-                groups.len() - 1
-            }
-        };
-        let (_, accs) = &mut groups[group_idx];
-        for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
-            let value = match &agg.arg {
-                Some(expr) => evaluate(expr, &ctx)?,
-                None => Value::Integer(1), // COUNT(*)
-            };
-            acc.update(&value)?;
-        }
-    }
-
-    // A global aggregate over an empty input still produces one row.
-    if groups.is_empty() && group_by.is_empty() {
-        let accs = aggregates
-            .iter()
-            .map(|a| Accumulator::new(a.kind, a.distinct))
-            .collect();
-        groups.push((Vec::new(), accs));
-    }
-
-    // Build the per-group evaluation context: group-by expressions are addressable both by
-    // their textual form and by position; aggregate placeholders by their generated name.
-    let mut ctx_columns: Vec<ColumnInfo> = Vec::new();
-    for (i, g) in group_by.iter().enumerate() {
-        let name = match g {
-            Expr::Column { name, .. } => name.clone(),
-            other => format!("GROUP_{}", {
-                let _ = other;
-                i + 1
-            }),
-        };
-        ctx_columns.push(ColumnInfo::new(None, &name, None));
-    }
-    for agg in &aggregates {
-        ctx_columns.push(ColumnInfo::new(None, &agg.placeholder, None));
-    }
-
-    let out_columns: Vec<ColumnInfo> = rewritten_items
-        .iter()
-        .map(|i| ColumnInfo::new(None, &i.name, None))
-        .collect();
-    let mut out = Relation::new(out_columns);
-
-    for (key_values, accs) in &groups {
-        let mut ctx_row: Vec<Value> = key_values.clone();
-        ctx_row.extend(accs.iter().map(|a| a.finish()));
-        let ctx = RowContext::new(&ctx_columns, &ctx_row);
-
-        if let Some(h) = &rewritten_having {
-            if !evaluate_predicate(h, &ctx)? {
-                continue;
-            }
-        }
-        let out_row: Vec<Value> = rewritten_items
-            .iter()
-            .map(|item| eval_group_item(&item.expr, &ctx, group_by, key_values))
-            .collect::<GsnResult<_>>()?;
-        out.push_row(out_row)?;
-    }
-    Ok(out)
-}
-
 /// Evaluates an output item in group context.  Group-by expressions that are not plain
 /// columns (e.g. `temp / 10`) are matched structurally against the GROUP BY list and
 /// replaced by the group key value.
@@ -736,19 +1258,21 @@ fn extract_aggregates(expr: Expr, aggregates: &mut Vec<ExtractedAggregate>) -> G
     })
 }
 
-fn execute_sort(rel: Relation, keys: &[SortKey]) -> GsnResult<Relation> {
-    let columns = rel.columns().to_vec();
-    let mut rows = rel.into_rows();
-
+/// Sorts rows by the given keys.
+///
+/// ORDER BY may reference either output columns or the underlying base-table columns.
+/// After projection the output columns lose their table qualifiers, so a qualified
+/// reference (`order by m.temperature` above a `select m.temperature ...`) is retried
+/// without its qualifier before giving up.
+fn sort_rows(
+    columns: &[ColumnInfo],
+    mut rows: Vec<Vec<Value>>,
+    keys: &[SortKey],
+) -> GsnResult<Vec<Vec<Value>>> {
     // Pre-compute sort keys to keep comparator failures out of the sort closure.
-    //
-    // ORDER BY may reference either output columns or the underlying base-table columns.
-    // After projection the output columns lose their table qualifiers, so a qualified
-    // reference (`order by m.temperature` above a `select m.temperature ...`) is retried
-    // without its qualifier before giving up.
     let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
     for row in rows.drain(..) {
-        let ctx = RowContext::new(&columns, &row);
+        let ctx = RowContext::new(columns, &row);
         let key: Vec<Value> = keys
             .iter()
             .map(|k| {
@@ -774,8 +1298,7 @@ fn execute_sort(rel: Relation, keys: &[SortKey]) -> GsnResult<Relation> {
         }
         Ordering::Equal
     });
-    let rows: Vec<Vec<Value>> = keyed.into_iter().map(|(_, r)| r).collect();
-    Relation::with_rows(columns, rows)
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Removes table qualifiers from every column reference in an expression.
@@ -818,59 +1341,6 @@ fn compare_for_sort(a: &Value, b: &Value) -> Ordering {
             .sql_cmp(b)
             .unwrap_or_else(|| a.to_string().cmp(&b.to_string())),
     }
-}
-
-fn execute_set_op(
-    left: &LogicalPlan,
-    right: &LogicalPlan,
-    op: SetOperator,
-    all: bool,
-    catalog: &dyn Catalog,
-) -> GsnResult<Relation> {
-    let l = execute_plan(left, catalog)?;
-    let r = execute_plan(right, catalog)?;
-    if l.column_count() != r.column_count() {
-        return Err(GsnError::sql_exec(format!(
-            "set operation requires equal column counts ({} vs {})",
-            l.column_count(),
-            r.column_count()
-        )));
-    }
-    let columns = l.columns().to_vec();
-    let mut out = Relation::new(columns);
-    match op {
-        SetOperator::Union => {
-            let mut seen = std::collections::HashSet::new();
-            for row in l.rows().iter().chain(r.rows()) {
-                if all || seen.insert(row_key(row)) {
-                    out.push_row(row.clone())?;
-                }
-            }
-        }
-        SetOperator::Intersect => {
-            let right_keys: std::collections::HashSet<String> =
-                r.rows().iter().map(|r| row_key(r)).collect();
-            let mut seen = std::collections::HashSet::new();
-            for row in l.rows() {
-                let key = row_key(row);
-                if right_keys.contains(&key) && (all || seen.insert(key)) {
-                    out.push_row(row.clone())?;
-                }
-            }
-        }
-        SetOperator::Except => {
-            let right_keys: std::collections::HashSet<String> =
-                r.rows().iter().map(|r| row_key(r)).collect();
-            let mut seen = std::collections::HashSet::new();
-            for row in l.rows() {
-                let key = row_key(row);
-                if !right_keys.contains(&key) && (all || seen.insert(key)) {
-                    out.push_row(row.clone())?;
-                }
-            }
-        }
-    }
-    Ok(out)
 }
 
 /// A hashable textual key for a row (used by DISTINCT, GROUP BY and set operations).
@@ -945,6 +1415,13 @@ mod tests {
 
     fn run_err(sql: &str) -> GsnError {
         execute_query(&parse_query(sql).unwrap(), &catalog()).unwrap_err()
+    }
+
+    /// Opens a query as a cursor against the standard test catalog.
+    fn open(sql: &str) -> PlanSource {
+        let plan = plan_query(&parse_query(sql).unwrap()).unwrap();
+        let plan = crate::optimizer::optimize_default(plan).unwrap();
+        open_plan(&plan, &catalog()).unwrap()
     }
 
     #[test]
@@ -1173,8 +1650,73 @@ mod tests {
         let mut c = catalog();
         assert_eq!(c.names().len(), 2);
         assert!(c.relation("MOTES").is_ok());
+        assert!(c.scan("MOTES").is_ok());
         assert!(c.deregister("motes").is_some());
         assert!(c.relation("motes").is_err());
+        assert!(c.scan("motes").is_err());
         assert!(c.deregister("motes").is_none());
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Cursor semantics
+    // -----------------------------------------------------------------------------------
+
+    #[test]
+    fn limit_early_exits_the_scan() {
+        let mut c = MemoryCatalog::new();
+        c.register(
+            "big",
+            Relation::with_rows(
+                vec![ColumnInfo::new(None, "v", Some(DataType::Integer))],
+                (0..1_000).map(|i| vec![Value::Integer(i)]).collect(),
+            )
+            .unwrap(),
+        );
+        let plan = plan_query(&parse_query("select v from big limit 3").unwrap()).unwrap();
+        let mut source = open_plan(&plan, &c).unwrap();
+        let rel = source.collect().unwrap();
+        assert_eq!(rel.row_count(), 3);
+        assert_eq!(source.rows_returned(), 3);
+        // Early exit: the scan was pulled only as far as the limit needed.
+        assert!(
+            source.rows_scanned() <= 4,
+            "scanned {} rows for LIMIT 3",
+            source.rows_scanned()
+        );
+    }
+
+    #[test]
+    fn batched_pulls_match_collect() {
+        let full = run("select room, temperature from motes order by temperature desc");
+        let mut source = open("select room, temperature from motes order by temperature desc");
+        let mut batched: Vec<Vec<Value>> = Vec::new();
+        loop {
+            let batch = source.next_batch(2).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            batched.extend(batch);
+        }
+        assert_eq!(batched, full.rows());
+    }
+
+    #[test]
+    fn scan_counter_covers_joins_and_aggregates() {
+        let mut source =
+            open("select count(*) from motes join cameras on motes.room = cameras.room");
+        let rel = source.collect().unwrap();
+        assert_eq!(rel.rows()[0][0], Value::Integer(3));
+        // Both base tables were scanned fully (4 + 3 rows).
+        assert_eq!(source.rows_scanned(), 7);
+        assert_eq!(source.rows_returned(), 1);
+    }
+
+    #[test]
+    fn union_streams_both_sides_in_order() {
+        let mut source = open("select room from motes union all select room from cameras");
+        let rel = source.collect().unwrap();
+        assert_eq!(rel.row_count(), 7);
+        assert_eq!(rel.rows()[0][0], Value::varchar("bc143"));
+        assert_eq!(rel.rows()[4][0], Value::varchar("bc143"));
     }
 }

@@ -43,6 +43,7 @@
 
 pub mod aggregate;
 pub mod ast;
+pub mod cursor;
 pub mod engine;
 pub mod eval;
 pub mod exec;
@@ -55,8 +56,9 @@ pub mod token;
 
 pub use aggregate::{Accumulator, AggregateKind};
 pub use ast::{Expr, Query};
+pub use cursor::{RelationSource, RowSource};
 pub use engine::{EngineStats, PreparedQuery, SqlEngine};
-pub use exec::{execute_plan, execute_query, Catalog, MemoryCatalog};
+pub use exec::{execute_plan, execute_query, open_plan, Catalog, MemoryCatalog, PlanSource};
 pub use optimizer::OptimizerConfig;
 pub use parser::{parse_expression, parse_query};
 pub use plan::{plan_query, LogicalPlan};

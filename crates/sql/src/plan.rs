@@ -258,6 +258,92 @@ impl LogicalPlan {
             child.explain_into(out, depth + 1);
         }
     }
+
+    /// Renders the *physical* operator tree the cursor executor instantiates for this
+    /// plan, annotating each node as streaming (rows flow one at a time) or buffering
+    /// (a pipeline breaker that must hold state before emitting).
+    pub fn explain_physical(&self) -> String {
+        let mut out = String::new();
+        self.explain_physical_into(&mut out, 0);
+        out
+    }
+
+    fn explain_physical_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        let line = match self {
+            LogicalPlan::Scan { table, alias } => {
+                if table.eq_ignore_ascii_case(alias) {
+                    format!("StreamScan {table} [streaming]")
+                } else {
+                    format!("StreamScan {table} AS {alias} [streaming]")
+                }
+            }
+            LogicalPlan::Empty => "SingleRow [streaming]".to_owned(),
+            LogicalPlan::Derived { alias, .. } => format!("Derived AS {alias} [streaming]"),
+            LogicalPlan::Filter { .. } => "Filter [streaming]".to_owned(),
+            LogicalPlan::Join { kind, on, .. } => {
+                // Mirror the executor's common case: a plain column-equality ON of an
+                // inner join takes the hash path (columns that share a qualifier
+                // cannot land on both sides, so they nested-loop).  The executor
+                // additionally requires one column to *resolve* on each side — an
+                // unresolvable or ambiguous equality falls back to nested loop at run
+                // time, which a schema-less EXPLAIN cannot predict.
+                let equi = *kind == JoinKind::Inner
+                    && matches!(
+                        on,
+                        Some(Expr::Binary {
+                            op: crate::ast::BinaryOp::Eq,
+                            left,
+                            right,
+                        }) if matches!(
+                            (&**left, &**right),
+                            (
+                                Expr::Column { qualifier: lq, .. },
+                                Expr::Column { qualifier: rq, .. },
+                            ) if lq.is_none() || rq.is_none() || lq != rq
+                        )
+                    );
+                let algo = if equi { "HashJoin" } else { "NestedLoopJoin" };
+                format!("{algo} ({kind}) [buffering: build right, stream left]")
+            }
+            LogicalPlan::Project { .. } => "Project [streaming]".to_owned(),
+            LogicalPlan::Aggregate { group_by, .. } => {
+                if group_by.is_empty() {
+                    "Aggregate (global) [buffering: accumulator state]".to_owned()
+                } else {
+                    "Aggregate (grouped) [buffering: group state]".to_owned()
+                }
+            }
+            LogicalPlan::Distinct { .. } => "Distinct [streaming: dedup set]".to_owned(),
+            LogicalPlan::Sort { .. } => "Sort [buffering: full input]".to_owned(),
+            LogicalPlan::Limit { limit, offset, .. } => {
+                let mut s = "Limit".to_owned();
+                if let Some(n) = limit {
+                    s.push_str(&format!(" {n}"));
+                }
+                if *offset > 0 {
+                    s.push_str(&format!(" OFFSET {offset}"));
+                }
+                s.push_str(" [streaming: early-exit]");
+                s
+            }
+            LogicalPlan::SetOp { op, all, .. } => {
+                let suffix = if *all { " ALL" } else { "" };
+                match op {
+                    SetOperator::Union => format!("{op}{suffix} [streaming: both sides in order]"),
+                    SetOperator::Intersect | SetOperator::Except => {
+                        format!("{op}{suffix} [buffering: right-side keys]")
+                    }
+                }
+            }
+        };
+        out.push_str(&indent);
+        out.push_str(&line);
+        out.push('\n');
+        for child in self.children() {
+            child.explain_physical_into(out, depth + 1);
+        }
+    }
 }
 
 /// Lowers a parsed [`Query`] into a [`LogicalPlan`].
@@ -691,6 +777,30 @@ mod tests {
         assert!(lines[1].starts_with("  Sort"));
         assert!(lines[2].starts_with("    Filter"));
         assert!(lines[3].starts_with("      Scan t"));
+    }
+
+    #[test]
+    fn explain_physical_annotates_streaming_vs_buffering() {
+        let p = plan("select room, avg(t) as a from motes group by room order by room limit 5");
+        let text = p.explain_physical();
+        assert!(text.contains("Limit 5 [streaming: early-exit]"), "{text}");
+        assert!(text.contains("Sort [buffering: full input]"), "{text}");
+        assert!(
+            text.contains("Aggregate (grouped) [buffering: group state]"),
+            "{text}"
+        );
+        assert!(text.contains("StreamScan motes [streaming]"), "{text}");
+
+        let p = plan("select * from a join b on a.x = b.x");
+        assert!(p
+            .explain_physical()
+            .contains("HashJoin (INNER) [buffering: build right, stream left]"));
+        // Non-equi and same-side ON conditions take the nested-loop path, and the
+        // physical plan says so.
+        let p = plan("select * from a join b on a.x > b.x");
+        assert!(p.explain_physical().contains("NestedLoopJoin (INNER)"));
+        let p = plan("select * from a join b on a.x = a.y");
+        assert!(p.explain_physical().contains("NestedLoopJoin (INNER)"));
     }
 
     #[test]

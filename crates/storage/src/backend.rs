@@ -91,6 +91,78 @@ impl Default for PersistentOptions {
     }
 }
 
+/// Upper bound on elements per batch handed out by a memory-backend scan cursor
+/// (persistent cursors batch by page instead: one buffer-pool page per call).
+const MEMORY_SCAN_BATCH: usize = 1024;
+
+/// The resumable position of a pull-based scan started with
+/// [`StorageBackend::open_scan`].
+///
+/// The state is opaque to callers and holds no lock or borrow: each
+/// [`StorageBackend::scan_next`] call re-enters the backend, so a cursor can be held
+/// across lock scopes (and across container steps) while the table keeps ingesting.
+/// Persistent scans pin **one buffer-pool page per batch** — a cursor over a
+/// multi-gigabyte heap needs one page frame plus one page worth of decoded rows,
+/// and a consumer that stops pulling (`LIMIT`) leaves the remaining pages unread.
+#[derive(Debug)]
+pub struct ScanState(ScanStateInner);
+
+#[derive(Debug)]
+enum ScanStateInner {
+    /// Pre-materialised elements drained in bounded chunks (the empty scan).
+    Buffered {
+        elements: Vec<StreamElement>,
+        pos: usize,
+    },
+    /// Memory-backend scan tracked by *sequence bounds*: each batch re-resolves its
+    /// position with a binary search over the (monotonically sequenced) element
+    /// vector, so nothing is cloned up front — a `LIMIT` consumer copies only the
+    /// rows it pulls — and pruning between pulls shifts no indices.
+    Sequence { next_seq: u64, end_seq: u64 },
+    /// Persistent scans walk the heap one page per batch through the buffer pool.
+    Pages {
+        /// Next heap page to read.
+        next_page: usize,
+        /// Pages appended after the scan opened are not visited (snapshot bound).
+        end_page: usize,
+        /// Completed rows still to skip before emitting (the window start's offset
+        /// inside the first page, plus any pruned prefix).
+        skip_rows: u64,
+        /// Rows still to traverse past the skip point — the exact snapshot bound.
+        /// The tail page keeps filling after the scan opens; without this cap rows
+        /// appended later would leak into the (page-granular) `end_page` bound.
+        remaining: u64,
+        /// Time-window cutoff: emit from the first element at/after it onwards.
+        cutoff: Option<Timestamp>,
+        /// Whether the cutoff has been passed (partition-point semantics).
+        passed: bool,
+        /// Reassembly buffer for a row chained across pages (may span batches).
+        chain: Vec<u8>,
+        chain_open: bool,
+    },
+}
+
+impl ScanState {
+    /// A scan that yields nothing.
+    fn empty() -> ScanState {
+        ScanState(ScanStateInner::Buffered {
+            elements: Vec::new(),
+            pos: 0,
+        })
+    }
+}
+
+/// Drains the next bounded chunk of an up-front-selected element list.
+fn memory_scan_next(elements: &[StreamElement], pos: &mut usize) -> Option<Vec<StreamElement>> {
+    if *pos >= elements.len() {
+        return None;
+    }
+    let end = (*pos + MEMORY_SCAN_BATCH).min(elements.len());
+    let batch = elements[*pos..end].to_vec();
+    *pos = end;
+    Some(batch)
+}
+
 /// The storage engine behind one stream table.
 pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// Which engine this is.
@@ -129,6 +201,16 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
         now: Timestamp,
         visit: &mut dyn FnMut(&StreamElement),
     ) -> GsnResult<()>;
+
+    /// Begins a pull-based scan of the elements selected by `window` at `now`, oldest
+    /// first.  The returned state is advanced with [`scan_next`](Self::scan_next);
+    /// a consumer that stops pulling reads no further storage.
+    fn open_scan(&self, window: WindowSpec, now: Timestamp) -> GsnResult<ScanState>;
+
+    /// Pulls the next batch of a scan started with [`open_scan`](Self::open_scan):
+    /// at most one buffer-pool page worth of rows for persistent backends, a bounded
+    /// chunk for memory backends.  Returns `None` once the scan is exhausted.
+    fn scan_next(&self, state: &mut ScanState) -> GsnResult<Option<Vec<StreamElement>>>;
 
     /// Drops the oldest elements so that at most `keep` remain (persistent backends may
     /// keep more — page granularity). Returns how many were pruned.
@@ -223,6 +305,46 @@ impl StorageBackend for MemoryBackend {
             visit(element);
         }
         Ok(())
+    }
+
+    fn open_scan(&self, window: WindowSpec, now: Timestamp) -> GsnResult<ScanState> {
+        let selected = window.select(&self.elements, now);
+        let (Some(first), Some(last)) = (selected.first(), selected.last()) else {
+            return Ok(ScanState::empty());
+        };
+        // Only the sequence bounds are captured; batches resolve their position
+        // lazily, so a consumer that stops pulling copies nothing further.
+        Ok(ScanState(ScanStateInner::Sequence {
+            next_seq: first.sequence(),
+            end_seq: last.sequence(),
+        }))
+    }
+
+    fn scan_next(&self, state: &mut ScanState) -> GsnResult<Option<Vec<StreamElement>>> {
+        match &mut state.0 {
+            ScanStateInner::Buffered { elements, pos } => Ok(memory_scan_next(elements, pos)),
+            ScanStateInner::Sequence { next_seq, end_seq } => {
+                // Sequences are assigned monotonically by the table, so the resume
+                // point binary-searches even after a front prune shifted indices.
+                let start = self.elements.partition_point(|e| e.sequence() < *next_seq);
+                let batch: Vec<StreamElement> = self.elements[start..]
+                    .iter()
+                    .take(MEMORY_SCAN_BATCH)
+                    .take_while(|e| e.sequence() <= *end_seq)
+                    .cloned()
+                    .collect();
+                match batch.last() {
+                    Some(last) => {
+                        *next_seq = last.sequence() + 1;
+                        Ok(Some(batch))
+                    }
+                    None => Ok(None),
+                }
+            }
+            ScanStateInner::Pages { .. } => Err(GsnError::storage(
+                "page scan state handed to a memory backend",
+            )),
+        }
     }
 
     fn prune_to_elements(&mut self, keep: usize) -> GsnResult<u64> {
@@ -711,6 +833,155 @@ impl Inner {
         Ok(())
     }
 
+    /// Computes the starting position of a pull-based window scan.
+    ///
+    /// Count windows resolve to an *exact* start row through the page index (per-page
+    /// `first_row` prefix sums), so a `Count(n)` cursor touches only the pages that
+    /// actually hold the trailing `n` rows.
+    fn open_scan_state(&self, window: WindowSpec, now: Timestamp) -> ScanState {
+        let live = self.live_rows();
+        if live == 0 {
+            return ScanState::empty();
+        }
+        let end_page = self.pages.len();
+        let (next_page, skip_rows, remaining, cutoff) = match window {
+            WindowSpec::Count(n) if (n as u64) >= live => {
+                let page = self.first_live_page;
+                let skip = self
+                    .logical_start
+                    .saturating_sub(self.pages[page].first_row);
+                (page, skip, live, None)
+            }
+            WindowSpec::Count(_) | WindowSpec::LatestOnly => {
+                let n = match window {
+                    WindowSpec::LatestOnly => 1u64,
+                    WindowSpec::Count(n) => n as u64,
+                    WindowSpec::Time(_) => unreachable!(),
+                };
+                // Count(0) is rejected by descriptor parsing but reachable through the
+                // public API; it selects nothing (and must not index past the pages).
+                if n == 0 {
+                    return ScanState::empty();
+                }
+                // The window is the trailing n live rows; find the page containing the
+                // first one (dead pages sort below it, so they are skipped for free).
+                let target = self.total_rows - n;
+                let page = self.pages.partition_point(|p| p.end_row() <= target);
+                let skip = target - self.pages[page].first_row;
+                (page, skip, n, None)
+            }
+            WindowSpec::Time(d) => {
+                let cutoff = now.saturating_sub(d);
+                let mut page = self.first_live_page;
+                while page < end_page
+                    && self.pages[page].rows > 0
+                    && self.pages[page].max_ts < cutoff.as_millis()
+                {
+                    page += 1;
+                }
+                let (skip, remaining) = if page < end_page {
+                    let skip = self
+                        .logical_start
+                        .saturating_sub(self.pages[page].first_row);
+                    let start_row = self.pages[page].first_row + skip;
+                    (skip, self.total_rows - start_row)
+                } else {
+                    (0, 0)
+                };
+                (page, skip, remaining, Some(cutoff))
+            }
+        };
+        ScanState(ScanStateInner::Pages {
+            next_page,
+            end_page,
+            skip_rows,
+            remaining,
+            cutoff,
+            passed: false,
+            chain: Vec::new(),
+            chain_open: false,
+        })
+    }
+
+    /// Advances a page scan by (at least) one page, returning that page's live rows.
+    /// Pages holding only skipped/continuation records are passed over until something
+    /// emits or the scan ends.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_state_next(
+        &mut self,
+        next_page: &mut usize,
+        end_page: usize,
+        skip_rows: &mut u64,
+        remaining: &mut u64,
+        cutoff: Option<Timestamp>,
+        passed: &mut bool,
+        chain: &mut Vec<u8>,
+        chain_open: &mut bool,
+    ) -> GsnResult<Option<Vec<StreamElement>>> {
+        let end = end_page.min(self.pages.len());
+        let schema = Arc::clone(&self.schema);
+        while *next_page < end && *remaining > 0 {
+            let pid = *next_page;
+            *next_page += 1;
+            let mut emit: Vec<StreamElement> = Vec::new();
+            self.pool.with_page(self.table_id, pid as PageId, |page| {
+                let mut complete = |payload: &[u8]| -> GsnResult<()> {
+                    if *skip_rows > 0 {
+                        *skip_rows -= 1;
+                        return Ok(());
+                    }
+                    // Rows past the snapshot bound arrived after the scan opened
+                    // (the tail page keeps filling) — not part of this cursor.
+                    if *remaining == 0 {
+                        return Ok(());
+                    }
+                    *remaining -= 1;
+                    let element = decode_payload(payload, &schema)?;
+                    if let Some(cutoff) = cutoff {
+                        if !*passed && element.timestamp() >= cutoff {
+                            *passed = true;
+                        }
+                        if !*passed {
+                            return Ok(());
+                        }
+                    }
+                    emit.push(element);
+                    Ok(())
+                };
+                for record in page.records() {
+                    let (tag, payload) = split_chunk(record)?;
+                    match tag {
+                        CHUNK_FULL => complete(payload)?,
+                        CHUNK_START => {
+                            chain.clear();
+                            chain.extend_from_slice(payload);
+                            *chain_open = true;
+                        }
+                        CHUNK_MID if *chain_open => chain.extend_from_slice(payload),
+                        CHUNK_END if *chain_open => {
+                            chain.extend_from_slice(payload);
+                            complete(&chain[..])?;
+                            *chain_open = false;
+                        }
+                        // An orphan continuation chunk: the tail of a chain whose start
+                        // lives before the scan's first page — not ours to emit.
+                        CHUNK_MID | CHUNK_END => {}
+                        other => {
+                            return Err(GsnError::storage(format!(
+                                "corrupt chunk tag {other} in page {pid}"
+                            )))
+                        }
+                    }
+                }
+                Ok(())
+            })??;
+            if !emit.is_empty() {
+                return Ok(Some(emit));
+            }
+        }
+        Ok(None)
+    }
+
     /// Checkpoint: pages to disk, prune watermark to the header, WAL reset.
     fn checkpoint(&mut self) -> GsnResult<()> {
         self.pool.flush_table(self.table_id)?;
@@ -860,6 +1131,32 @@ impl StorageBackend for PersistentBackend {
                     }
                 })
             }
+        }
+    }
+
+    fn open_scan(&self, window: WindowSpec, now: Timestamp) -> GsnResult<ScanState> {
+        Ok(self.inner.lock().open_scan_state(window, now))
+    }
+
+    fn scan_next(&self, state: &mut ScanState) -> GsnResult<Option<Vec<StreamElement>>> {
+        match &mut state.0 {
+            // The empty-at-open case; yields nothing.
+            ScanStateInner::Buffered { elements, pos } => Ok(memory_scan_next(elements, pos)),
+            ScanStateInner::Sequence { .. } => Err(GsnError::storage(
+                "memory scan state handed to a persistent backend",
+            )),
+            ScanStateInner::Pages {
+                next_page,
+                end_page,
+                skip_rows,
+                remaining,
+                cutoff,
+                passed,
+                chain,
+                chain_open,
+            } => self.inner.lock().scan_state_next(
+                next_page, *end_page, skip_rows, remaining, *cutoff, passed, chain, chain_open,
+            ),
         }
     }
 
@@ -1150,6 +1447,121 @@ mod tests {
         Box::new(b).destroy().unwrap();
         assert!(!heap_path.exists());
         assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+    }
+
+    fn collect_cursor(b: &dyn StorageBackend, window: WindowSpec, now: Timestamp) -> Vec<i64> {
+        let mut state = b.open_scan(window, now).unwrap();
+        let mut out = Vec::new();
+        while let Some(batch) = b.scan_next(&mut state).unwrap() {
+            out.extend(
+                batch
+                    .iter()
+                    .map(|e| e.value("V").unwrap().as_integer().unwrap()),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn cursor_scan_matches_window_scan() {
+        let dir = temp_dir("backend-cursor-parity");
+        let s = schema();
+        let mut mem = MemoryBackend::new();
+        let mut per = open(&dir, 4);
+        for i in 1..=800 {
+            mem.append(&element(&s, i, i * 10, 24)).unwrap();
+            per.append(&element(&s, i, i * 10, 24)).unwrap();
+        }
+        let now = Timestamp(10_000);
+        for window in [
+            WindowSpec::Count(usize::MAX),
+            WindowSpec::Count(800),
+            WindowSpec::Count(7),
+            WindowSpec::Count(1),
+            WindowSpec::LatestOnly,
+            WindowSpec::Time(gsn_types::Duration::from_millis(1_234)),
+            WindowSpec::Time(gsn_types::Duration::from_millis(5)),
+        ] {
+            let expected = collect(&mem, window, now);
+            assert_eq!(
+                collect_cursor(&mem, window, now),
+                expected,
+                "{window:?} mem"
+            );
+            assert_eq!(collect(&per, window, now), expected, "{window:?} per visit");
+            assert_eq!(
+                collect_cursor(&per, window, now),
+                expected,
+                "{window:?} per cursor"
+            );
+        }
+        // Parity survives page-granular pruning.
+        mem.prune_to_elements(50).unwrap();
+        per.prune_to_elements(50).unwrap();
+        let per_all = collect_cursor(&per, WindowSpec::Count(usize::MAX), now);
+        assert_eq!(per_all, collect(&per, WindowSpec::Count(usize::MAX), now));
+        assert_eq!(
+            collect_cursor(&per, WindowSpec::Count(10), now),
+            (791..=800).collect::<Vec<i64>>()
+        );
+    }
+
+    #[test]
+    fn zero_count_window_scans_nothing() {
+        let dir = temp_dir("backend-cursor-zero");
+        let s = schema();
+        let mut mem = MemoryBackend::new();
+        let mut per = open(&dir, 4);
+        for i in 1..=5 {
+            mem.append(&element(&s, i, i, 8)).unwrap();
+            per.append(&element(&s, i, i, 8)).unwrap();
+        }
+        assert!(collect_cursor(&mem, WindowSpec::Count(0), Timestamp(100)).is_empty());
+        assert!(collect_cursor(&per, WindowSpec::Count(0), Timestamp(100)).is_empty());
+    }
+
+    #[test]
+    fn cursor_reassembles_rows_chained_across_pages() {
+        let dir = temp_dir("backend-cursor-chain");
+        let s = schema();
+        let mut b = open(&dir, 4);
+        for i in 1..=6 {
+            b.append(&element(&s, i, i, 32 * 1024)).unwrap();
+        }
+        let mut state = b
+            .open_scan(WindowSpec::Count(usize::MAX), Timestamp(100))
+            .unwrap();
+        let mut values = Vec::new();
+        while let Some(batch) = b.scan_next(&mut state).unwrap() {
+            for e in &batch {
+                assert_eq!(
+                    e.value("PAYLOAD").unwrap().as_bytes().unwrap().len(),
+                    32 * 1024
+                );
+                values.push(e.value("V").unwrap().as_integer().unwrap());
+            }
+        }
+        assert_eq!(values, (1..=6).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn cursor_pulls_one_page_per_batch() {
+        let dir = temp_dir("backend-cursor-bounded");
+        let s = schema();
+        let mut b = open(&dir, 4);
+        for i in 1..=2_000 {
+            b.append(&element(&s, i, i, 64)).unwrap();
+        }
+        let before = b.pool_stats().unwrap();
+        let mut state = b
+            .open_scan(WindowSpec::Count(usize::MAX), Timestamp(10_000))
+            .unwrap();
+        let first = b.scan_next(&mut state).unwrap().unwrap();
+        assert!(!first.is_empty());
+        let after = b.pool_stats().unwrap();
+        // Early exit: one batch touches one page, the rest of the heap is never read.
+        let touched = (after.hits + after.misses) - (before.hits + before.misses);
+        assert!(touched <= 2, "one batch touched {touched} pages");
     }
 
     #[test]

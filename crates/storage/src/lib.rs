@@ -114,11 +114,11 @@ pub mod wal;
 pub mod window;
 
 pub use backend::{
-    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, StorageBackend,
+    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, ScanState, StorageBackend,
 };
 pub use buffer::{BufferPoolStats, PageIo, SharedBufferPool, TableId};
 pub use heap::HeapFile;
-pub use manager::{CatalogView, LiveCatalog, StorageManager, StorageOptions};
+pub use manager::{CatalogView, LiveCatalog, StorageManager, StorageOptions, StreamCursor};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use stats::{StorageStats, TableStats};
 pub use table::StreamTable;

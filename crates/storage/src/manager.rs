@@ -15,11 +15,11 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use gsn_sql::{Catalog, Relation};
-use gsn_types::{GsnError, GsnResult, StreamElement, StreamSchema, Timestamp};
+use gsn_sql::{Catalog, ColumnInfo, Relation, RowSource};
+use gsn_types::{GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
 use parking_lot::RwLock;
 
-use crate::backend::PersistentOptions;
+use crate::backend::{PersistentOptions, ScanState};
 use crate::buffer::SharedBufferPool;
 use crate::stats::StorageStats;
 use crate::table::StreamTable;
@@ -344,9 +344,33 @@ impl<'a> LiveCatalog<'a> {
 }
 
 impl Catalog for LiveCatalog<'_> {
-    fn relation(&self, name: &str) -> GsnResult<Relation> {
+    fn scan(&self, name: &str) -> GsnResult<Box<dyn RowSource>> {
         // First try a declared view alias; fall back to a raw table with its full content,
         // so ad-hoc client queries can also address tables directly.
+        if let Some(view) = self
+            .views
+            .iter()
+            .find(|v| v.alias.eq_ignore_ascii_case(name))
+        {
+            let table = self.manager.table(&view.table)?;
+            let cursor = StreamCursor::open(
+                table,
+                &view.alias,
+                view.window,
+                self.now,
+                view.sampling_rate,
+            )?;
+            return Ok(Box::new(cursor));
+        }
+        let table = self.manager.table(name)?;
+        let cursor =
+            StreamCursor::open(table, name, WindowSpec::Count(usize::MAX), self.now, None)?;
+        Ok(Box::new(cursor))
+    }
+
+    fn relation(&self, name: &str) -> GsnResult<Relation> {
+        // Materialising convenience kept on the direct path: identical rows to
+        // collecting `scan`, without the per-batch cursor machinery.
         if let Some(view) = self
             .views
             .iter()
@@ -364,6 +388,92 @@ impl Catalog for LiveCatalog<'_> {
         let table = self.manager.table(name)?;
         let guard = table.read();
         guard.window_relation(name, WindowSpec::Count(usize::MAX), self.now)
+    }
+}
+
+/// A pull-based cursor over one stream table's windowed view, exposed to the SQL
+/// executor as a [`RowSource`] (`PK`, `TIMED`, then the schema fields — exactly what
+/// GSN's window unnesting produces).
+///
+/// The cursor owns its table handle and re-locks it per batch, so it holds no lock
+/// between pulls and can outlive the catalog that opened it; persistent tables stream
+/// one buffer-pool page per batch.  A consumer that stops pulling — a `LIMIT` query,
+/// an abandoned federation cursor — leaves the remaining storage pages unread.
+pub struct StreamCursor {
+    table: Arc<RwLock<StreamTable>>,
+    state: ScanState,
+    columns: Vec<ColumnInfo>,
+    buffered: std::collections::VecDeque<StreamElement>,
+    /// Deterministic sampling: keep elements whose sequence is a multiple of this
+    /// (`None` = keep everything, mirroring `sampled_window_relation`).
+    keep_every: Option<usize>,
+    done: bool,
+}
+
+impl StreamCursor {
+    /// Opens a cursor over `table` through `window` at `now`, with optional uniform
+    /// sampling.
+    pub fn open(
+        table: Arc<RwLock<StreamTable>>,
+        alias: &str,
+        window: WindowSpec,
+        now: Timestamp,
+        sampling_rate: Option<f64>,
+    ) -> GsnResult<StreamCursor> {
+        let (state, columns) = {
+            let guard = table.read();
+            let columns = Relation::for_stream_schema(alias, guard.schema())
+                .columns()
+                .to_vec();
+            (guard.open_scan(window, now)?, columns)
+        };
+        let keep_every = sampling_rate.and_then(crate::table::sampling_stride);
+        Ok(StreamCursor {
+            // A zero sampling rate keeps nothing: mark exhausted up front.
+            done: keep_every == Some(usize::MAX),
+            table,
+            state,
+            columns,
+            buffered: std::collections::VecDeque::new(),
+            keep_every,
+        })
+    }
+}
+
+impl RowSource for StreamCursor {
+    fn columns(&self) -> &[ColumnInfo] {
+        &self.columns
+    }
+
+    fn next_row(&mut self) -> GsnResult<Option<Vec<Value>>> {
+        while self.buffered.is_empty() {
+            if self.done {
+                return Ok(None);
+            }
+            let batch = self.table.read().scan_next(&mut self.state)?;
+            match batch {
+                Some(batch) => {
+                    for element in batch {
+                        if let Some(keep_every) = self.keep_every {
+                            if !(element.sequence() as usize).is_multiple_of(keep_every) {
+                                continue;
+                            }
+                        }
+                        self.buffered.push_back(element);
+                    }
+                }
+                None => {
+                    self.done = true;
+                    return Ok(None);
+                }
+            }
+        }
+        let element = self.buffered.pop_front().expect("non-empty buffer");
+        let mut row = Vec::with_capacity(self.columns.len());
+        row.push(Value::Integer(element.sequence() as i64));
+        row.push(Value::Timestamp(element.timestamp()));
+        row.extend_from_slice(element.values());
+        Ok(Some(row))
     }
 }
 
@@ -492,6 +602,23 @@ mod tests {
             .execute_scalar("select avg(temperature) from src1", &live)
             .unwrap();
         assert_eq!(avg, Value::Double((28.0 + 29.0 + 100.0) / 3.0));
+    }
+
+    #[test]
+    fn live_catalog_scan_streams_the_same_rows_as_relation() {
+        let m = manager_with_data();
+        let views = vec![
+            CatalogView::new("src1", "motes", WindowSpec::Count(3)),
+            CatalogView::new("sampled", "motes", WindowSpec::Count(10)).with_sampling(0.5),
+        ];
+        let live = LiveCatalog::new(&m, views, Timestamp(1_000));
+        for name in ["src1", "sampled", "motes"] {
+            let rel = live.relation(name).unwrap();
+            let collected = live.scan(name).unwrap().collect().unwrap();
+            assert_eq!(collected.rows(), rel.rows(), "table {name}");
+            assert_eq!(collected.columns(), rel.columns(), "table {name}");
+        }
+        assert!(live.scan("nosuch").is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use gsn_types::{Duration, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
 
 use crate::backend::{
-    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, StorageBackend,
+    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, ScanState, StorageBackend,
 };
 use crate::buffer::BufferPoolStats;
 use crate::stats::TableStats;
@@ -244,6 +244,22 @@ impl StreamTable {
         self.backend.scan_window(window, now, visit)
     }
 
+    /// Begins a pull-based scan of the window selected at `now`, oldest first.
+    ///
+    /// The returned state holds no lock: advance it with [`scan_next`](Self::scan_next),
+    /// which re-enters the table per batch.  Persistent tables pin one buffer-pool page
+    /// per batch, so a consumer that stops pulling (a `LIMIT` query) leaves the rest of
+    /// the heap unread.
+    pub fn open_scan(&self, window: WindowSpec, now: Timestamp) -> GsnResult<ScanState> {
+        self.backend.open_scan(window, now)
+    }
+
+    /// Pulls the next batch of a scan started with [`open_scan`](Self::open_scan);
+    /// `None` once exhausted.
+    pub fn scan_next(&self, state: &mut ScanState) -> GsnResult<Option<Vec<StreamElement>>> {
+        self.backend.scan_next(state)
+    }
+
     /// Materialises a windowed view as a SQL relation named `alias`, exposing the implicit
     /// `PK` and `TIMED` columns (step 2 of the paper's processing pipeline).  Rows stream
     /// directly from the storage backend into the relation; a storage error surfaces
@@ -272,13 +288,8 @@ impl StreamTable {
         now: Timestamp,
         rate: f64,
     ) -> GsnResult<gsn_sql::Relation> {
-        if rate >= 1.0 {
+        let Some(keep_every) = sampling_stride(rate) else {
             return self.window_relation(alias, window, now);
-        }
-        let keep_every = if rate <= 0.0 {
-            usize::MAX
-        } else {
-            (1.0 / rate).round().max(1.0) as usize
         };
         let mut relation = gsn_sql::Relation::for_stream_schema(alias, &self.schema);
         if keep_every != usize::MAX {
@@ -331,6 +342,20 @@ impl StreamTable {
     pub fn destroy_storage(&mut self) -> GsnResult<()> {
         let backend = std::mem::replace(&mut self.backend, Box::new(MemoryBackend::new()));
         backend.destroy()
+    }
+}
+
+/// Maps a uniform sampling rate to the keep-every-nth sequence stride shared by the
+/// materialising ([`StreamTable::sampled_window_relation`]) and cursor
+/// ([`crate::StreamCursor`]) scan paths, so both thin a window identically:
+/// `None` keeps everything, `Some(usize::MAX)` keeps nothing.
+pub(crate) fn sampling_stride(rate: f64) -> Option<usize> {
+    if rate >= 1.0 {
+        None
+    } else if rate <= 0.0 {
+        Some(usize::MAX)
+    } else {
+        Some((1.0 / rate).round().max(1.0) as usize)
     }
 }
 

@@ -80,6 +80,18 @@ fn main() {
     println!("\nSQL over the virtual sensor output:");
     println!("{answer}");
 
+    // 5b. Or stream the result through a pull-based cursor: rows arrive in batches and
+    //     a LIMIT reads only the first rows of the stored history instead of
+    //     materialising all of it (see the `streaming_query` example for the full tour).
+    let mut cursor = node
+        .query_cursor("select temperature from room_bc143_temperature limit 3")
+        .unwrap();
+    let batch = cursor.next_batch(3).unwrap();
+    println!(
+        "streamed batch ({} rows scanned for LIMIT 3):\n{batch}",
+        cursor.rows_scanned()
+    );
+
     // 6. Check the notifications that were delivered along the way.
     let delivered: Vec<_> = notifications.try_iter().collect();
     println!("received {} notifications; last three:", delivered.len());

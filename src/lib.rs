@@ -50,6 +50,12 @@
 //! // Plain SQL over the virtual sensor's output stream.
 //! let answer = node.query("select count(*) as n, avg(avg_temp) from bc143_temperature").unwrap();
 //! assert_eq!(answer.rows()[0][0], gsn::types::Value::Integer(20));
+//!
+//! // Or stream the result through a pull-based cursor: rows arrive in batches, and a
+//! // LIMIT stops reading storage as soon as it is satisfied (O(limit), not O(table)).
+//! let mut cursor = node.query_cursor("select avg_temp from bc143_temperature limit 5").unwrap();
+//! assert_eq!(cursor.next_batch(5).unwrap().row_count(), 5);
+//! assert_eq!(cursor.rows_scanned(), 5);
 //! ```
 
 #![warn(missing_docs)]
@@ -77,7 +83,10 @@ pub use gsn_network as network;
 pub use gsn_core as container;
 
 // Convenience re-exports of the most common entry points.
-pub use gsn_core::{ContainerConfig, Federation, GsnContainer, Notification, StepReport};
+pub use gsn_core::{
+    ContainerConfig, Federation, GsnContainer, Notification, QueryCursor, RemoteQueryResult,
+    StepReport,
+};
 pub use gsn_storage::WindowSpec;
 pub use gsn_types::{GsnError, GsnResult, StreamElement, Timestamp, Value};
 pub use gsn_xml::VirtualSensorDescriptor;
