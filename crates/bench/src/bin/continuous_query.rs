@@ -1,0 +1,116 @@
+//! Continuous-query scalability benchmark (the paper's Figure 4 shape): per-element
+//! processing time for N registered clients over a sliding history window, incremental
+//! delta-window evaluation vs full per-element re-evaluation.
+//!
+//! ```text
+//! cargo run -p gsn-bench --release --bin continuous_query [--quick]
+//! ```
+//!
+//! The headline number: at 100 registered clients over a 10k-row window, the
+//! incremental engine processes each new stream element ≥5× faster than full
+//! re-evaluation (in practice orders of magnitude — full evaluation re-reads the whole
+//! window per client per element, the incremental engine folds in one delta row).
+//! Prints a table and writes the machine-readable report both to
+//! `target/bench-reports/continuous_query.json` and to `BENCH_continuous.json` at the
+//! workspace root.
+
+use gsn_bench::continuous::{ContinuousConfig, ContinuousHarness};
+use gsn_bench::{write_report, BenchReport};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (window, arrivals, client_counts): (usize, usize, &[usize]) = if quick {
+        (2_000, 10, &[10, 50])
+    } else {
+        (10_000, 20, &[10, 50, 100, 200])
+    };
+
+    let mut report = BenchReport::new(
+        "continuous_query",
+        "Figure-4 workload: per-element processing vs registered clients, incremental vs full re-evaluation",
+        &[
+            "clients",
+            "incremental",
+            "window_rows",
+            "arrivals",
+            "mean_total_ms",
+            "max_total_ms",
+            "mean_per_client_us",
+            "elements_per_sec",
+            "speedup_vs_full",
+        ],
+    );
+
+    println!("# continuous_query — incremental vs full re-evaluation (window = {window} rows)");
+    println!("clients\tmode\tmean total ms\tper client us\telements/s\tspeedup");
+    for &clients in client_counts {
+        let mut cells = Vec::new();
+        for incremental in [false, true] {
+            let mut harness = ContinuousHarness::build(ContinuousConfig {
+                clients,
+                window,
+                arrivals,
+                incremental,
+                seed: 42,
+            })
+            .expect("harness build");
+            let point = harness.run().expect("bench run");
+            cells.push(point);
+        }
+        let full = cells[0];
+        let incremental = cells[1];
+        let speedup = if incremental.mean_total_ms > 0.0 {
+            full.mean_total_ms / incremental.mean_total_ms
+        } else {
+            f64::INFINITY
+        };
+        for point in &cells {
+            let mode = if point.incremental {
+                "incremental"
+            } else {
+                "full"
+            };
+            let point_speedup = if point.incremental { speedup } else { 1.0 };
+            println!(
+                "{}\t{}\t{:.3}\t{:.2}\t{:.1}\t{:.1}x",
+                point.clients,
+                mode,
+                point.mean_total_ms,
+                point.mean_per_client_us,
+                point.elements_per_sec,
+                point_speedup
+            );
+            report.push_row(vec![
+                point.clients as f64,
+                f64::from(u8::from(point.incremental)),
+                window as f64,
+                arrivals as f64,
+                point.mean_total_ms,
+                point.max_total_ms,
+                point.mean_per_client_us,
+                point.elements_per_sec,
+                point_speedup,
+            ]);
+        }
+        if clients >= 100 && !quick {
+            assert!(
+                speedup >= 5.0,
+                "incremental must beat full re-evaluation by >=5x at {clients} clients, got {speedup:.1}x"
+            );
+        }
+    }
+
+    match write_report(&report) {
+        Ok(path) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+    // The repo-root copy the continuous-query PR tracks.
+    let root_copy = gsn_bench::report::report_dir()
+        .parent()
+        .and_then(|target| target.parent().map(|ws| ws.join("BENCH_continuous.json")))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_continuous.json"));
+    match std::fs::write(&root_copy, report.to_json().to_pretty_string()) {
+        Ok(()) => eprintln!("report copied to {}", root_copy.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", root_copy.display()),
+    }
+}

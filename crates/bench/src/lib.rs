@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod continuous;
 pub mod fig3;
 pub mod fig4;
 pub mod parallel;

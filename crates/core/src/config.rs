@@ -33,6 +33,12 @@ pub struct ContainerConfig {
     pub disconnect_buffer_capacity: usize,
     /// Whether queries submitted by clients are cached as prepared plans.
     pub query_cache_enabled: bool,
+    /// Incremental (delta-window) evaluation of registered continuous queries.  On by
+    /// default: queries whose plan the incremental executor can maintain are evaluated
+    /// against only the rows that arrived since their previous evaluation, instead of
+    /// re-executing the full history window per stream element.  Turn off to force
+    /// full re-evaluation everywhere (ablation / parity-testing knob).
+    pub incremental_queries: bool,
     /// Directory for persistent storage. When set, virtual sensors with
     /// `permanent-storage="true"` (or `backend="disk"`) keep their output history in
     /// page files here and recover it when a container re-opens the same directory.
@@ -59,6 +65,7 @@ impl Default for ContainerConfig {
             max_virtual_sensors: 1_024,
             disconnect_buffer_capacity: 64,
             query_cache_enabled: true,
+            incremental_queries: true,
             data_dir: None,
             storage_pool_pages: 4 * PersistentOptions::default().pool_pages,
             wal_sync: SyncMode::default(),

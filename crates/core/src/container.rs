@@ -73,7 +73,10 @@ use crate::config::ContainerConfig;
 use crate::cursor::QueryCursor;
 use crate::notification::{Notification, NotificationManager, NotificationStats, SubscriptionId};
 use crate::pool::WorkerPool;
-use crate::query::{ClientQueryId, ClientQueryResult, QueryManager, QueryManagerStats};
+use crate::query::{
+    shard_index, ClientQueryId, ClientQueryResult, QueryManagerStats, QueryPartitionStatus,
+    QueryRepository,
+};
 use crate::sensor::{SensorStats, SourceRef, VirtualSensor};
 
 /// What one call to [`GsnContainer::step`] did — the per-tick telemetry the benchmark
@@ -134,8 +137,10 @@ pub struct ContainerStatus {
     pub storage: StorageStats,
     /// Notification statistics.
     pub notifications: NotificationStats,
-    /// Query manager statistics.
+    /// Query repository statistics, merged across partitions.
     pub queries: QueryManagerStats,
+    /// Per-partition query repository statistics (one partition per step-loop shard).
+    pub query_partitions: Vec<QueryPartitionStatus>,
     /// SQL engine statistics (compilation cache plus the scanned/returned row counters
     /// of the pull-based executor).
     pub engine: gsn_sql::EngineStats,
@@ -167,11 +172,29 @@ impl ContainerStatus {
             None => out.push_str("  step loop: sequential (1 worker)\n"),
         }
         out.push_str(&format!(
-            "  registered client queries: {} (evaluated {}, failed {})\n",
+            "  registered client queries: {} (evaluated {}, failed {}; {} incremental / {} full)\n",
             self.registered_queries,
             self.queries.registered_evaluated,
-            self.queries.registered_failed
+            self.queries.registered_failed,
+            self.queries.incremental_evaluated,
+            self.queries.fallback_evaluated
         ));
+        if self.query_partitions.len() > 1 {
+            for p in &self.query_partitions {
+                if p.registered == 0 && p.stats.registered_evaluated == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "    query partition {}: {} registered, {} evaluated ({} incremental / {} full, {} failed)\n",
+                    p.partition,
+                    p.registered,
+                    p.stats.registered_evaluated,
+                    p.stats.incremental_evaluated,
+                    p.stats.fallback_evaluated,
+                    p.stats.registered_failed
+                ));
+            }
+        }
         out.push_str(&format!(
             "  query executor: {} rows scanned / {} rows returned ({} plans compiled, {} cache hits)\n",
             self.engine.rows_scanned,
@@ -218,7 +241,9 @@ type SensorView = BTreeMap<VirtualSensorName, SharedSensor>;
 /// Everything here is internally synchronised; see the module docs for the lock order.
 struct PipelineRuntime {
     storage: Arc<StorageManager>,
-    query_manager: Mutex<QueryManager>,
+    /// Internally partitioned by the step-loop shard hash — no outer mutex: each worker
+    /// shard evaluates its own sensors' registered queries under its own partition lock.
+    query_manager: QueryRepository,
     notifications: Mutex<NotificationManager>,
     network: Option<Arc<SimulatedNetwork>>,
     /// Routes incoming remote deliveries: remote sensor name -> local consumers.
@@ -234,14 +259,11 @@ struct ShardOutcome {
     deferred: Vec<(VirtualSensorName, SourceRef, StreamElement)>,
 }
 
-/// Stable shard assignment: FNV-1a over the sensor name, modulo the worker count.
-fn shard_index(name: &VirtualSensorName, shards: usize) -> usize {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in name.as_str().as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (hash % shards.max(1) as u64) as usize
+/// Stable shard assignment for sensors: the same normalised FNV-1a hash
+/// ([`shard_index`]) the query repository partitions by, so a sensor's worker shard and
+/// the partition holding the queries over its output table coincide.
+fn sensor_shard(name: &VirtualSensorName, shards: usize) -> usize {
+    shard_index(name.as_str(), shards)
 }
 
 /// Runs one sensor's full pipeline pass: poll local wrappers, process each arrival,
@@ -296,11 +318,10 @@ fn process_one(
         Ok(Some(output)) => {
             out.report.outputs += 1;
             // Registered client queries over this sensor's output.
-            let results = runtime.query_manager.lock().evaluate_for_table(
-                &output_table,
-                &runtime.storage,
-                now,
-            );
+            let results =
+                runtime
+                    .query_manager
+                    .evaluate_for_table(&output_table, &runtime.storage, now);
             out.report.client_query_evaluations += results.len() as u64;
             deliver_client_results(runtime, results, now);
             // Local + remote notifications.
@@ -435,12 +456,27 @@ const MAX_REMOTE_CURSORS: usize = 64;
 /// forever and eventually wedge remote queries at [`MAX_REMOTE_CURSORS`].
 const REMOTE_CURSOR_IDLE_TIMEOUT: gsn_types::Duration = gsn_types::Duration::from_secs(60);
 
+/// How long this container waits for a `QueryBatch` before re-requesting it.  A dropped
+/// `QueryNext` or `QueryBatch` on a lossy link is thereby *recovered* (batch sequence
+/// numbers make the retry idempotent) instead of stalling the query until the
+/// [`REMOTE_CURSOR_IDLE_TIMEOUT`] reap.
+const REMOTE_QUERY_RETRY_AFTER: gsn_types::Duration = gsn_types::Duration::from_secs(2);
+
 /// One streaming-query cursor held open on behalf of a remote peer.
 struct RemoteCursor {
     /// The peer that opened the cursor; only it may pull (the rows were
     /// access-checked against *its* principal, and cursor ids are guessable).
     owner: NodeId,
-    cursor: QueryCursor,
+    /// The originating request id (retransmitted `QueryRequest`s are matched by
+    /// `(owner, request)` so a lost first batch does not open a duplicate cursor).
+    request: RequestId,
+    /// `None` once exhausted: the entry lingers as a tombstone so a lost *final*
+    /// batch can be retransmitted, until the idle reaper collects it.
+    cursor: Option<QueryCursor>,
+    /// Sequence number the next fresh batch will carry.
+    next_seq: u64,
+    /// The last batch shipped, cached for retransmission on re-request.
+    last_batch: Option<Message>,
     /// Last time the owner pulled a batch (for the idle reaper).
     last_active: Timestamp,
 }
@@ -448,7 +484,16 @@ struct RemoteCursor {
 /// Client-side accumulation of one in-flight remote streaming query.
 #[derive(Debug)]
 struct RemoteQueryState {
+    /// The queried node (re-requests go back to it).
+    target: NodeId,
+    /// The SQL text, kept so a lost *first* batch can retransmit the `QueryRequest`
+    /// itself (the server matches it to the already-open cursor by request id).
+    sql: String,
     batch_rows: u32,
+    /// The server-side cursor id, learned from the first batch.
+    cursor: Option<u64>,
+    /// The batch sequence number expected next (duplicates below it are ignored).
+    expect_seq: u64,
     columns: Vec<String>,
     rows: Vec<Vec<Value>>,
     batches: u64,
@@ -457,6 +502,8 @@ struct RemoteQueryState {
     /// Last time a batch arrived (stalled, not-yet-done requests are reaped after
     /// [`REMOTE_CURSOR_IDLE_TIMEOUT`]; completed results wait for their taker).
     last_activity: Timestamp,
+    /// Last time the request or a re-request was sent (paces the retry loop).
+    last_request: Timestamp,
 }
 
 /// The assembled result of a remote streaming query (see
@@ -517,7 +564,11 @@ impl GsnContainer {
             .then(|| WorkerPool::new(&format!("{}-step", config.name), config.workers));
         let runtime = Arc::new(PipelineRuntime {
             storage: Arc::new(StorageManager::with_options(config.storage_options())),
-            query_manager: Mutex::new(QueryManager::new(config.query_cache_enabled)),
+            query_manager: QueryRepository::with_partitions(
+                config.workers.max(1),
+                config.query_cache_enabled,
+                config.incremental_queries,
+            ),
             notifications: Mutex::new(NotificationManager::new(
                 config.node_id,
                 config.disconnect_buffer_capacity,
@@ -775,11 +826,9 @@ impl GsnContainer {
         for table in prepared.referenced_tables() {
             self.access.authorize(principal, Operation::Read, table)?;
         }
-        self.runtime.query_manager.lock().execute_adhoc(
-            sql,
-            &self.runtime.storage,
-            self.clock.now(),
-        )
+        self.runtime
+            .query_manager
+            .execute_adhoc(sql, &self.runtime.storage, self.clock.now())
     }
 
     /// Opens a *streaming* ad-hoc query: rows are pulled in batches instead of
@@ -795,7 +844,7 @@ impl GsnContainer {
     /// Opens a streaming ad-hoc query on behalf of a principal, enforcing access
     /// control on every referenced virtual sensor.
     pub fn query_cursor_as(&self, principal: &Principal, sql: &str) -> GsnResult<QueryCursor> {
-        let prepared = self.runtime.query_manager.lock().prepare(sql)?;
+        let prepared = self.runtime.query_manager.prepare(sql)?;
         for table in prepared.referenced_tables() {
             self.access.authorize(principal, Operation::Read, table)?;
         }
@@ -803,10 +852,7 @@ impl GsnContainer {
         // streaming executions show up in `ContainerStatus` like materialised ones.
         let runtime = Arc::clone(&self.runtime);
         let telemetry = Box::new(move |scanned: u64, returned: u64| {
-            runtime
-                .query_manager
-                .lock()
-                .record_cursor(scanned, returned);
+            runtime.query_manager.record_cursor(scanned, returned);
         });
         QueryCursor::open(
             &prepared,
@@ -849,13 +895,18 @@ impl GsnContainer {
         self.remote_queries.insert(
             request,
             RemoteQueryState {
+                target,
+                sql: sql.to_owned(),
                 batch_rows,
+                cursor: None,
+                expect_seq: 0,
                 columns: Vec::new(),
                 rows: Vec::new(),
                 batches: 0,
                 done: false,
                 error: None,
                 last_activity: self.clock.now(),
+                last_request: self.clock.now(),
             },
         );
         Ok(request)
@@ -903,14 +954,18 @@ impl GsnContainer {
         )
     }
 
-    /// Number of streaming cursors currently held open on behalf of remote peers.
+    /// Number of streaming cursors currently held open on behalf of remote peers
+    /// (exhausted cursors lingering only for final-batch retransmission not counted).
     pub fn open_remote_cursors(&self) -> usize {
-        self.remote_cursors.len()
+        self.remote_cursors
+            .values()
+            .filter(|open| open.cursor.is_some())
+            .count()
     }
 
     /// Renders the execution plan of a query (EXPLAIN).
     pub fn explain(&self, sql: &str) -> GsnResult<String> {
-        self.runtime.query_manager.lock().explain(sql)
+        self.runtime.query_manager.explain(sql)
     }
 
     /// Registers a continuous client query (see [`QueryManager::register`]).
@@ -923,18 +978,17 @@ impl GsnContainer {
     ) -> GsnResult<ClientQueryId> {
         self.runtime
             .query_manager
-            .lock()
             .register(client, sql, history, sampling_rate)
     }
 
     /// Removes a registered client query.
     pub fn deregister_query(&self, id: ClientQueryId) -> GsnResult<()> {
-        self.runtime.query_manager.lock().deregister(id)
+        self.runtime.query_manager.deregister(id)
     }
 
     /// Number of registered client queries.
     pub fn registered_query_count(&self) -> usize {
-        self.runtime.query_manager.lock().registered_count()
+        self.runtime.query_manager.registered_count()
     }
 
     /// Subscribes to a virtual sensor's output stream; notifications arrive on the
@@ -1004,6 +1058,10 @@ impl GsnContainer {
         self.remote_queries.retain(|_, state| {
             state.done || state.last_activity >= now.saturating_sub(REMOTE_CURSOR_IDLE_TIMEOUT)
         });
+        // Lossy-link recovery: re-request the expected batch of any remote query that
+        // has waited past the retry threshold (batch sequence numbers make this
+        // idempotent — the server retransmits or the client drops the duplicate).
+        self.retry_stalled_remote_queries(now);
 
         // 2. Local wrapper polling + pipeline execution, sharded across the pool.
         report.absorb(self.run_sensor_pipelines(now));
@@ -1035,7 +1093,7 @@ impl GsnContainer {
 
         let mut shards: Vec<SensorView> = (0..shard_count).map(|_| BTreeMap::new()).collect();
         for (name, sensor) in &self.sensors {
-            shards[shard_index(name, shard_count)].insert(name.clone(), Arc::clone(sensor));
+            shards[sensor_shard(name, shard_count)].insert(name.clone(), Arc::clone(sensor));
         }
         let pool = self.pool.as_ref().expect("worker pool present");
         let (tx, rx) = crossbeam::channel::unbounded::<(usize, ShardOutcome)>();
@@ -1205,9 +1263,15 @@ impl GsnContainer {
                     request,
                     cursor,
                     batch_rows,
+                    expect_seq,
                 } => {
-                    let reply =
-                        self.serve_query_next(envelope.from, request, cursor, batch_rows as usize);
+                    let reply = self.serve_query_next(
+                        envelope.from,
+                        request,
+                        cursor,
+                        batch_rows as usize,
+                        expect_seq,
+                    );
                     let _ = network.send(self.config.node_id, envelope.from, reply, now);
                 }
                 Message::QueryBatch {
@@ -1215,37 +1279,52 @@ impl GsnContainer {
                     cursor,
                     columns,
                     rows,
+                    seq,
                     done,
                     error,
                 } => {
                     // A batch for a request we no longer track (taken or never issued)
                     // is dropped; the server already closed done/errored cursors.
                     if let Some(state) = self.remote_queries.get_mut(&request) {
-                        state.batches += 1;
+                        if state.done {
+                            continue;
+                        }
                         state.last_activity = now;
+                        state.cursor = Some(cursor);
+                        if seq != state.expect_seq {
+                            // A duplicate (retransmission already consumed) or a stale
+                            // refusal answering an out-of-date re-request: drop it.
+                            // Re-requesting here would double-ship every later batch
+                            // on links whose RTT exceeds the retry threshold, and an
+                            // off-seq error must not kill a healthy query; genuine
+                            // gaps and dead cursors are recovered by the retry timer,
+                            // whose refusals arrive carrying the expected seq.
+                            continue;
+                        }
+                        if !error.is_empty() {
+                            state.error = Some(error);
+                            state.done = true;
+                            continue;
+                        }
+                        state.expect_seq += 1;
+                        state.batches += 1;
                         if state.columns.is_empty() {
                             state.columns = columns;
                         }
                         state.rows.extend(rows);
-                        if !error.is_empty() {
-                            state.error = Some(error);
-                            state.done = true;
-                        } else if done {
+                        if done {
                             state.done = true;
                         } else {
                             // Pull-based wire: ask for the next batch only now that
                             // this one has been consumed.
-                            let batch_rows = state.batch_rows;
-                            let _ = network.send(
-                                self.config.node_id,
-                                envelope.from,
-                                Message::QueryNext {
-                                    request,
-                                    cursor,
-                                    batch_rows,
-                                },
-                                now,
-                            );
+                            let message = Message::QueryNext {
+                                request,
+                                cursor,
+                                batch_rows: state.batch_rows,
+                                expect_seq: state.expect_seq,
+                            };
+                            state.last_request = now;
+                            let _ = network.send(self.config.node_id, envelope.from, message, now);
                         }
                     }
                 }
@@ -1262,7 +1341,9 @@ impl GsnContainer {
     }
 
     /// Serves a remote `QueryRequest`: authorises and opens a cursor, then ships the
-    /// first batch (closing immediately for single-batch results).
+    /// first batch.  A *retransmitted* request (the client never saw our first batch on
+    /// a lossy link) matches its existing cursor by `(owner, request)` and gets that
+    /// batch again instead of opening a duplicate cursor.
     fn serve_query_request(
         &mut self,
         from: NodeId,
@@ -1275,10 +1356,23 @@ impl GsnContainer {
             cursor: 0,
             columns: Vec::new(),
             rows: Vec::new(),
+            seq: 0,
             done: true,
             error,
         };
-        if self.remote_cursors.len() >= MAX_REMOTE_CURSORS {
+        if let Some((&id, _)) = self
+            .remote_cursors
+            .iter()
+            .find(|(_, open)| open.owner == from && open.request == request)
+        {
+            return self.serve_query_next(from, request, id, batch_rows, 0);
+        }
+        let live = self
+            .remote_cursors
+            .values()
+            .filter(|open| open.cursor.is_some())
+            .count();
+        if live >= MAX_REMOTE_CURSORS {
             return refuse(format!(
                 "too many open remote cursors (limit {MAX_REMOTE_CURSORS})"
             ));
@@ -1294,28 +1388,36 @@ impl GsnContainer {
             id,
             RemoteCursor {
                 owner: from,
-                cursor,
+                request,
+                cursor: Some(cursor),
+                next_seq: 0,
+                last_batch: None,
                 last_active: self.clock.now(),
             },
         );
-        self.serve_query_next(from, request, id, batch_rows)
+        self.serve_query_next(from, request, id, batch_rows, 0)
     }
 
-    /// Advances an open remote cursor by one batch, closing it when exhausted or on
-    /// error.  Only the peer that opened the cursor may pull from it — the rows were
-    /// access-checked against *its* principal, and cursor ids are guessable.
+    /// Advances an open remote cursor by one batch, or retransmits the cached previous
+    /// batch when the client re-requests it (`expect_seq` one behind).  Exhausted
+    /// cursors linger as tombstones until the idle reaper collects them, so even a lost
+    /// *final* batch is recoverable.  Only the peer that opened the cursor may pull
+    /// from it — the rows were access-checked against *its* principal, and cursor ids
+    /// are guessable.
     fn serve_query_next(
         &mut self,
         from: NodeId,
         request: RequestId,
         cursor_id: u64,
         batch_rows: usize,
+        expect_seq: u64,
     ) -> Message {
         let refused = |error: String| Message::QueryBatch {
             request,
             cursor: cursor_id,
             columns: Vec::new(),
             rows: Vec::new(),
+            seq: expect_seq,
             done: true,
             error,
         };
@@ -1328,25 +1430,109 @@ impl GsnContainer {
             return refused(format!("cursor {cursor_id} is not owned by {from}"));
         }
         open.last_active = now;
-        match open.cursor.next_batch(batch_rows.clamp(1, 65_536)) {
+        if open.next_seq.checked_sub(1) == Some(expect_seq) {
+            // The client never saw (or lost) our last batch: retransmit the cache.
+            if let Some(batch) = &open.last_batch {
+                return batch.clone();
+            }
+        }
+        if expect_seq != open.next_seq {
+            return refused(format!(
+                "cursor {cursor_id} is at batch {}, not {expect_seq}",
+                open.next_seq
+            ));
+        }
+        let Some(cursor) = open.cursor.as_mut() else {
+            // Exhausted tombstone pulled past its cached batch: nothing left to serve.
+            return refused(format!("cursor {cursor_id} is exhausted"));
+        };
+        match cursor.next_batch(batch_rows.clamp(1, 65_536)) {
             Ok(batch) => {
-                let done = open.cursor.is_done();
+                let done = cursor.is_done();
                 if done {
-                    self.remote_cursors.remove(&cursor_id);
+                    // Keep the entry as a tombstone for final-batch retransmission.
+                    open.cursor = None;
                 }
-                Message::QueryBatch {
+                let seq = open.next_seq;
+                open.next_seq += 1;
+                let message = Message::QueryBatch {
                     request,
                     cursor: cursor_id,
                     columns: batch.columns().iter().map(|c| c.name.clone()).collect(),
                     rows: batch.into_rows(),
+                    seq,
                     done,
                     error: String::new(),
+                };
+                open.last_batch = Some(message.clone());
+                if done {
+                    self.prune_cursor_tombstones();
                 }
+                message
             }
             Err(e) => {
                 self.remote_cursors.remove(&cursor_id);
                 refused(e.to_string())
             }
+        }
+    }
+
+    /// Bounds the exhausted-cursor tombstones (each caches one batch for final-batch
+    /// retransmission): beyond [`MAX_REMOTE_CURSORS`] of them, the least recently
+    /// active ones are dropped immediately instead of waiting for the idle reaper —
+    /// a peer looping short queries must not accumulate 60 s of cached batches.
+    fn prune_cursor_tombstones(&mut self) {
+        let excess = self
+            .remote_cursors
+            .values()
+            .filter(|open| open.cursor.is_none())
+            .count()
+            .saturating_sub(MAX_REMOTE_CURSORS);
+        if excess == 0 {
+            return;
+        }
+        let mut tombstones: Vec<(u64, Timestamp)> = self
+            .remote_cursors
+            .iter()
+            .filter(|(_, open)| open.cursor.is_none())
+            .map(|(id, open)| (*id, open.last_active))
+            .collect();
+        tombstones.sort_by_key(|(_, last_active)| *last_active);
+        for (id, _) in tombstones.into_iter().take(excess) {
+            self.remote_cursors.remove(&id);
+        }
+    }
+
+    /// Re-requests the expected batch of every remote query that has waited past
+    /// [`REMOTE_QUERY_RETRY_AFTER`]: a lost `QueryNext` or `QueryBatch` is recovered by
+    /// asking again (for the very first batch, by retransmitting the `QueryRequest`,
+    /// which the server matches to its existing cursor).
+    fn retry_stalled_remote_queries(&mut self, now: Timestamp) {
+        let Some(network) = self.runtime.network.clone() else {
+            return;
+        };
+        let node = self.config.node_id;
+        for (request, state) in self.remote_queries.iter_mut() {
+            if state.done || now.saturating_sub(REMOTE_QUERY_RETRY_AFTER) < state.last_request {
+                continue;
+            }
+            let message = match state.cursor {
+                Some(cursor) => Message::QueryNext {
+                    request: *request,
+                    cursor,
+                    batch_rows: state.batch_rows,
+                    expect_seq: state.expect_seq,
+                },
+                // No batch ever arrived: the QueryRequest (or its first reply) was
+                // lost — retransmit the request itself.
+                None => Message::QueryRequest {
+                    request: *request,
+                    sql: state.sql.clone(),
+                    batch_rows: state.batch_rows,
+                },
+            };
+            state.last_request = now;
+            let _ = network.send(node, state.target, message, now);
         }
     }
 
@@ -1376,13 +1562,9 @@ impl GsnContainer {
 
     /// A point-in-time status snapshot.
     pub fn status(&self) -> ContainerStatus {
-        // Take each manager lock once, in separate statements (a guard temporary inside
-        // the struct literal would live to the end of the whole expression).
-        let (queries, engine, registered_queries) = {
-            let query_manager = self.runtime.query_manager.lock();
-            let (queries, engine) = query_manager.stats();
-            (queries, engine, query_manager.registered_count())
-        };
+        let (queries, engine) = self.runtime.query_manager.stats();
+        let query_partitions = self.runtime.query_manager.partition_status();
+        let registered_queries = self.runtime.query_manager.registered_count();
         let notifications = self.runtime.notifications.lock().stats();
         ContainerStatus {
             name: self.config.name.clone(),
@@ -1406,6 +1588,7 @@ impl GsnContainer {
             storage: self.runtime.storage.stats(),
             notifications,
             queries,
+            query_partitions,
             engine,
             registered_queries,
             wrapper_kinds: self.registry.kinds(),
@@ -1769,21 +1952,60 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_remote_cursor_tombstones_are_bounded() {
+        let (mut container, clock) = standalone();
+        container.deploy(mote_descriptor("room-temp", 100)).unwrap();
+        clock.advance(gsn_types::Duration::from_secs(1));
+        container.step();
+        // A peer loops short single-batch queries: every one completes immediately and
+        // leaves a retransmission tombstone.  The tombstone count must stay bounded
+        // instead of accumulating until the 60 s idle reaper.
+        let peer = gsn_types::NodeId::new(9);
+        for request in 0..(3 * MAX_REMOTE_CURSORS as u64) {
+            let reply = container.serve_query_request(
+                peer,
+                request,
+                "select avg_temp from room_temp limit 1",
+                16,
+            );
+            match reply {
+                Message::QueryBatch { done, error, .. } => {
+                    assert!(done);
+                    assert!(error.is_empty(), "{error}");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(container.open_remote_cursors(), 0);
+        assert!(
+            container.remote_cursors.len() <= MAX_REMOTE_CURSORS + 1,
+            "tombstones leaked: {}",
+            container.remote_cursors.len()
+        );
+    }
+
+    #[test]
     fn shard_assignment_is_stable_and_total() {
         let names: Vec<VirtualSensorName> = (0..64)
             .map(|i| VirtualSensorName::new(&format!("sensor-{i}")).unwrap())
             .collect();
         for shards in [1usize, 2, 4, 8] {
             for name in &names {
-                let a = shard_index(name, shards);
-                let b = shard_index(name, shards);
+                let a = sensor_shard(name, shards);
+                let b = sensor_shard(name, shards);
                 assert_eq!(a, b);
                 assert!(a < shards);
             }
         }
         // All shards get some work on a reasonably sized population.
         let hit: std::collections::HashSet<usize> =
-            names.iter().map(|n| shard_index(n, 4)).collect();
+            names.iter().map(|n| sensor_shard(n, 4)).collect();
         assert_eq!(hit.len(), 4);
+        // Sensors and their output tables co-locate: the query partition of a sensor's
+        // output table is the sensor's own worker shard.
+        for name in &names {
+            let table = VirtualSensor::output_table_name(name);
+            assert_eq!(sensor_shard(name, 4), shard_index(&table, 4));
+        }
     }
 }

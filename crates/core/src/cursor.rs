@@ -58,7 +58,7 @@ impl QueryCursor {
         telemetry: Option<TelemetrySink>,
     ) -> GsnResult<QueryCursor> {
         let source = {
-            let catalog = LiveCatalog::new(&storage, Vec::new(), now);
+            let catalog = LiveCatalog::new(&storage, &[], now);
             prepared.open(&catalog)?
         };
         let columns = source.columns().to_vec();

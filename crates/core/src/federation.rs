@@ -335,6 +335,76 @@ mod tests {
     }
 
     #[test]
+    fn remote_streaming_query_survives_a_lossy_link() {
+        let mut fed = Federation::new();
+        let producer_node = fed.add_node("producer").unwrap();
+        let client_node = fed.add_node("client").unwrap();
+        // A wireless link dropping ~30% of all messages: QueryRequest, QueryNext and
+        // QueryBatch messages are all lost regularly.  Batch sequence numbers plus the
+        // client's re-request timer must recover every loss.
+        fed.set_link(producer_node, client_node, LinkSpec::wireless(5, 0.3));
+        fed.node_mut(producer_node)
+            .unwrap()
+            .deploy(producer_descriptor())
+            .unwrap();
+        fed.run_for(Duration::from_secs(2), Duration::from_millis(100));
+        let reference = fed
+            .node_mut(producer_node)
+            .unwrap()
+            .query("select count(*) as n from room_bc143_temperature")
+            .unwrap()
+            .rows()[0][0]
+            .as_integer()
+            .unwrap();
+        assert!(reference >= 20);
+
+        let request = fed
+            .node_mut(client_node)
+            .unwrap()
+            .remote_query(
+                producer_node,
+                "select pk, temperature from room_bc143_temperature",
+                2,
+            )
+            .unwrap();
+        let mut result = None;
+        // Retries pace at 2 s; give the exchange plenty of simulated time.
+        for _ in 0..400 {
+            fed.step(Duration::from_millis(500));
+            if let Some(r) = fed
+                .node_mut(client_node)
+                .unwrap()
+                .take_remote_query_result(request)
+            {
+                result = Some(r.unwrap());
+                break;
+            }
+        }
+        let result = result.expect("remote query never completed over the lossy link");
+        // At least the pre-query snapshot arrived (the producer keeps producing while
+        // retries run, so the cursor's own snapshot may be larger)...
+        assert!(
+            result.relation.row_count() as i64 >= reference,
+            "{result:?}"
+        );
+        assert!(result.batches > 1);
+        // ...and the PK column is gap-free and duplicate-free from row 1: retransmitted
+        // batches were deduplicated and no dropped batch left a hole.
+        let pks: Vec<i64> = result
+            .relation
+            .rows()
+            .iter()
+            .map(|r| r[0].as_integer().unwrap())
+            .collect();
+        let expected: Vec<i64> = (1..=pks.len() as i64).collect();
+        assert_eq!(pks, expected);
+        assert!(
+            fed.network().stats().dropped > 0,
+            "the link was supposed to be lossy"
+        );
+    }
+
+    #[test]
     fn abandoned_remote_cursors_are_reaped() {
         let mut fed = Federation::new();
         let producer_node = fed.add_node("producer").unwrap();

@@ -62,5 +62,8 @@ pub use federation::Federation;
 pub use ism::{QualityPolicy, RateLimiter, SourceMonitor, SourceQuality};
 pub use notification::{Notification, NotificationManager, NotificationStats, SubscriptionId};
 pub use pool::WorkerPool;
-pub use query::{ClientQuery, ClientQueryId, ClientQueryResult, QueryManager, QueryManagerStats};
+pub use query::{
+    shard_index, ClientQuery, ClientQueryId, ClientQueryResult, QueryManager, QueryManagerStats,
+    QueryPartitionStatus, QueryRepository,
+};
 pub use sensor::{SensorStats, SourceKind, VirtualSensor};

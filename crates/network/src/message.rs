@@ -112,6 +112,11 @@ pub enum Message {
         cursor: u64,
         /// How many rows to ship in the next batch.
         batch_rows: u32,
+        /// The batch sequence number the client expects next.  Lossy-link recovery:
+        /// asking again for the *previous* batch (`server next - 1`) makes the server
+        /// retransmit its cached copy instead of advancing the cursor, so a dropped
+        /// `QueryBatch` is re-requested rather than stalling the query.
+        expect_seq: u64,
     },
     /// One incremental batch of a remote query result.
     QueryBatch {
@@ -123,6 +128,10 @@ pub enum Message {
         columns: Vec<String>,
         /// The rows of this batch.
         rows: Vec<Vec<Value>>,
+        /// Batch sequence number within this request, starting at 0.  The client
+        /// consumes batches in order, ignores duplicates (retransmissions) and
+        /// re-requests the expected batch when a number is skipped.
+        seq: u64,
         /// True when the cursor is exhausted and closed on the server.
         done: bool,
         /// Non-empty when the query failed (rows are empty and `done` is true).
@@ -311,23 +320,27 @@ pub fn encode(message: &Message) -> Bytes {
             request,
             cursor,
             batch_rows,
+            expect_seq,
         } => {
             buf.put_u8(TAG_QUERY_NEXT);
             buf.put_u64(*request);
             buf.put_u64(*cursor);
             buf.put_u32(*batch_rows);
+            buf.put_u64(*expect_seq);
         }
         Message::QueryBatch {
             request,
             cursor,
             columns,
             rows,
+            seq,
             done,
             error,
         } => {
             buf.put_u8(TAG_QUERY_BATCH);
             buf.put_u64(*request);
             buf.put_u64(*cursor);
+            buf.put_u64(*seq);
             buf.put_u32(columns.len() as u32);
             for column in columns {
                 put_string(&mut buf, column);
@@ -411,10 +424,12 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
             request: get_u64(&mut buf)?,
             cursor: get_u64(&mut buf)?,
             batch_rows: get_u32(&mut buf)?,
+            expect_seq: get_u64(&mut buf)?,
         },
         TAG_QUERY_BATCH => {
             let request = get_u64(&mut buf)?;
             let cursor = get_u64(&mut buf)?;
+            let seq = get_u64(&mut buf)?;
             let n_columns = get_u32(&mut buf)? as usize;
             let mut columns = Vec::with_capacity(n_columns.min(1024));
             for _ in 0..n_columns {
@@ -435,6 +450,7 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
                 cursor,
                 columns,
                 rows,
+                seq,
                 done: get_u8(&mut buf)? != 0,
                 error: get_string(&mut buf)?,
             }
@@ -708,6 +724,7 @@ mod tests {
             request: 42,
             cursor: 7,
             batch_rows: 64,
+            expect_seq: 3,
         });
         roundtrip(Message::QueryBatch {
             request: 42,
@@ -717,6 +734,7 @@ mod tests {
                 vec![Value::Integer(1), Value::Double(21.5)],
                 vec![Value::Integer(2), Value::Null],
             ],
+            seq: 5,
             done: false,
             error: String::new(),
         });
@@ -725,6 +743,7 @@ mod tests {
             cursor: 0,
             columns: Vec::new(),
             rows: Vec::new(),
+            seq: 0,
             done: true,
             error: "unknown table `nosuch`".into(),
         });

@@ -134,6 +134,43 @@ pub trait Strategy {
     }
 }
 
+/// Strategy producing a constant value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy choosing uniformly among boxed alternatives (backs [`prop_oneof!`]).
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: fmt::Debug> OneOf<T> {
+    /// A choice among the given alternatives (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+/// Boxes a strategy for [`OneOf`] (lets `vec![]` unify the arm types).
+pub fn boxed_strategy<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
 /// Strategy returned by [`Strategy::prop_map`].
 #[derive(Debug, Clone)]
 pub struct Map<S, F> {
@@ -376,8 +413,17 @@ pub mod strategies {
 pub mod prelude {
     pub use crate::strategies as prop;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Chooses uniformly among the given strategies (the shim ignores `proptest`'s
+/// optional arm weights; none of the workspace's properties use them).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed_strategy($arm)),+])
     };
 }
 

@@ -360,6 +360,23 @@ impl Expr {
         found
     }
 
+    /// True when the expression contains a subquery form anywhere (`IN (select ...)`,
+    /// `EXISTS`, scalar subqueries).  The incremental continuous-query executor cannot
+    /// hold resident state for those — they re-read other tables — so plans containing
+    /// them fall back to full re-evaluation.
+    pub fn contains_subquery(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(
+                e,
+                Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_)
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
     /// Visits this expression and all sub-expressions, pre-order.
     pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
         f(self);

@@ -81,6 +81,25 @@ pub struct EngineStats {
     pub rows_returned: u64,
 }
 
+impl EngineStats {
+    /// Adds another engine's counters into this one (the query repository merges its
+    /// per-partition engines this way; new counters added here are merged for free).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        let EngineStats {
+            compiled,
+            cache_hits,
+            executions,
+            rows_scanned,
+            rows_returned,
+        } = other;
+        self.compiled += compiled;
+        self.cache_hits += cache_hits;
+        self.executions += executions;
+        self.rows_scanned += rows_scanned;
+        self.rows_returned += rows_returned;
+    }
+}
+
 /// The embedded SQL engine used by every GSN container.
 #[derive(Debug)]
 pub struct SqlEngine {

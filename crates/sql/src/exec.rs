@@ -696,14 +696,15 @@ impl RowSource for SortSource {
     }
 }
 
-/// One aggregate call extracted from a projection/HAVING expression.
-struct ExtractedAggregate {
-    kind: AggregateKind,
-    distinct: bool,
+/// One aggregate call extracted from a projection/HAVING expression (shared with the
+/// incremental continuous-query executor in [`crate::continuous`]).
+pub(crate) struct ExtractedAggregate {
+    pub(crate) kind: AggregateKind,
+    pub(crate) distinct: bool,
     /// The argument expression (None for `COUNT(*)`).
-    arg: Option<Expr>,
+    pub(crate) arg: Option<Expr>,
     /// The placeholder column name the rewritten expression refers to.
-    placeholder: String,
+    pub(crate) placeholder: String,
 }
 
 fn open_aggregate(
@@ -1124,7 +1125,7 @@ fn resolve_subqueries(expr: Expr, catalog: &dyn Catalog) -> GsnResult<Expr> {
 /// Evaluates an output item in group context.  Group-by expressions that are not plain
 /// columns (e.g. `temp / 10`) are matched structurally against the GROUP BY list and
 /// replaced by the group key value.
-fn eval_group_item(
+pub(crate) fn eval_group_item(
     expr: &Expr,
     ctx: &RowContext<'_>,
     group_by: &[Expr],
@@ -1140,7 +1141,10 @@ fn eval_group_item(
 
 /// Replaces aggregate calls in `expr` with placeholder column references, recording each
 /// extracted aggregate.
-fn extract_aggregates(expr: Expr, aggregates: &mut Vec<ExtractedAggregate>) -> GsnResult<Expr> {
+pub(crate) fn extract_aggregates(
+    expr: Expr,
+    aggregates: &mut Vec<ExtractedAggregate>,
+) -> GsnResult<Expr> {
     Ok(match expr {
         Expr::Function {
             name,
@@ -1344,7 +1348,7 @@ fn compare_for_sort(a: &Value, b: &Value) -> Ordering {
 }
 
 /// A hashable textual key for a row (used by DISTINCT, GROUP BY and set operations).
-fn row_key(row: &[Value]) -> String {
+pub(crate) fn row_key(row: &[Value]) -> String {
     let mut s = String::new();
     for v in row {
         s.push_str(&format!("{v:?}|"));

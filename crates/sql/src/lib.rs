@@ -43,6 +43,7 @@
 
 pub mod aggregate;
 pub mod ast;
+pub mod continuous;
 pub mod cursor;
 pub mod engine;
 pub mod eval;
@@ -56,6 +57,7 @@ pub mod token;
 
 pub use aggregate::{Accumulator, AggregateKind};
 pub use ast::{Expr, Query};
+pub use continuous::{ContinuousPlan, WindowBound};
 pub use cursor::{RelationSource, RowSource};
 pub use engine::{EngineStats, PreparedQuery, SqlEngine};
 pub use exec::{execute_plan, execute_query, open_plan, Catalog, MemoryCatalog, PlanSource};

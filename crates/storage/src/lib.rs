@@ -121,6 +121,6 @@ pub use heap::HeapFile;
 pub use manager::{CatalogView, LiveCatalog, StorageManager, StorageOptions, StreamCursor};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use stats::{StorageStats, TableStats};
-pub use table::StreamTable;
+pub use table::{sampling_stride, StreamTable};
 pub use wal::{SyncMode, Wal};
 pub use window::{Retention, WindowSpec};

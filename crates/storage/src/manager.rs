@@ -328,13 +328,17 @@ impl CatalogView {
 /// Figure 4 experiment measures (N clients re-evaluated per new stream element).
 pub struct LiveCatalog<'a> {
     manager: &'a StorageManager,
-    views: Vec<CatalogView>,
+    views: &'a [CatalogView],
     now: Timestamp,
 }
 
 impl<'a> LiveCatalog<'a> {
     /// Creates a live catalog over `views`, evaluated at `now`.
-    pub fn new(manager: &'a StorageManager, views: Vec<CatalogView>, now: Timestamp) -> Self {
+    ///
+    /// The views are borrowed: the query repository builds them once at registration
+    /// time and re-lends them per evaluation instead of rebuilding a catalog per query
+    /// per stream element.
+    pub fn new(manager: &'a StorageManager, views: &'a [CatalogView], now: Timestamp) -> Self {
         LiveCatalog {
             manager,
             views,
@@ -587,7 +591,7 @@ mod tests {
         let mut engine = gsn_sql::SqlEngine::new();
 
         {
-            let live = LiveCatalog::new(&m, views.clone(), Timestamp(1_000));
+            let live = LiveCatalog::new(&m, &views, Timestamp(1_000));
             let avg = engine
                 .execute_scalar("select avg(temperature) from src1", &live)
                 .unwrap();
@@ -597,7 +601,7 @@ mod tests {
         // New data arrives; a fresh LiveCatalog evaluation sees it without re-registering.
         let e = StreamElement::new(schema(), vec![Value::Integer(100)], Timestamp(1_100)).unwrap();
         m.insert("motes", e, Timestamp(1_100)).unwrap();
-        let live = LiveCatalog::new(&m, views, Timestamp(1_100));
+        let live = LiveCatalog::new(&m, &views, Timestamp(1_100));
         let avg = engine
             .execute_scalar("select avg(temperature) from src1", &live)
             .unwrap();
@@ -611,7 +615,7 @@ mod tests {
             CatalogView::new("src1", "motes", WindowSpec::Count(3)),
             CatalogView::new("sampled", "motes", WindowSpec::Count(10)).with_sampling(0.5),
         ];
-        let live = LiveCatalog::new(&m, views, Timestamp(1_000));
+        let live = LiveCatalog::new(&m, &views, Timestamp(1_000));
         for name in ["src1", "sampled", "motes"] {
             let rel = live.relation(name).unwrap();
             let collected = live.scan(name).unwrap().collect().unwrap();
@@ -624,7 +628,7 @@ mod tests {
     #[test]
     fn live_catalog_falls_back_to_raw_tables() {
         let m = manager_with_data();
-        let live = LiveCatalog::new(&m, vec![], Timestamp(1_000));
+        let live = LiveCatalog::new(&m, &[], Timestamp(1_000));
         let mut engine = gsn_sql::SqlEngine::new();
         let n = engine
             .execute_scalar("select count(*) from motes", &live)

@@ -260,6 +260,25 @@ impl StreamTable {
         self.backend.scan_next(state)
     }
 
+    /// The highest sequence number assigned so far (0 when nothing was ever inserted).
+    pub fn last_sequence(&self) -> u64 {
+        self.next_sequence - 1
+    }
+
+    /// Sequence number of the oldest retained element, `None` when empty.
+    pub fn first_live_sequence(&self) -> GsnResult<Option<u64>> {
+        self.backend.first_sequence()
+    }
+
+    /// Begins a pull-based *delta* scan: every retained element with sequence strictly
+    /// greater than `after`, oldest first.  Registered continuous queries resume here
+    /// from their last-seen sequence, so each new stream element costs one delta read
+    /// instead of a full history-window scan.  Advance with
+    /// [`scan_next`](Self::scan_next).
+    pub fn open_delta_scan(&self, after: u64) -> GsnResult<ScanState> {
+        self.backend.open_scan_after(after)
+    }
+
     /// Materialises a windowed view as a SQL relation named `alias`, exposing the implicit
     /// `PK` and `TIMED` columns (step 2 of the paper's processing pipeline).  Rows stream
     /// directly from the storage backend into the relation; a storage error surfaces
@@ -346,10 +365,11 @@ impl StreamTable {
 }
 
 /// Maps a uniform sampling rate to the keep-every-nth sequence stride shared by the
-/// materialising ([`StreamTable::sampled_window_relation`]) and cursor
-/// ([`crate::StreamCursor`]) scan paths, so both thin a window identically:
-/// `None` keeps everything, `Some(usize::MAX)` keeps nothing.
-pub(crate) fn sampling_stride(rate: f64) -> Option<usize> {
+/// materialising ([`StreamTable::sampled_window_relation`]), cursor
+/// ([`crate::StreamCursor`]) and incremental continuous-query scan paths, so all of
+/// them thin a window identically: `None` keeps everything, `Some(usize::MAX)` keeps
+/// nothing.
+pub fn sampling_stride(rate: f64) -> Option<usize> {
     if rate >= 1.0 {
         None
     } else if rate <= 0.0 {

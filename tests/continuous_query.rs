@@ -1,0 +1,380 @@
+//! Incremental continuous-query engine: correctness properties.
+//!
+//! 1. **Incremental-vs-full parity.**  For randomly generated registered queries
+//!    (filter × aggregate × window × sampling) over random ingest schedules, a
+//!    repository evaluating incrementally (delta cursor + resident operator state)
+//!    must produce *identical* results to one re-executing the full window per
+//!    element.
+//! 2. **Sharded evaluation parity.**  A container running `workers = 4` — whose query
+//!    repository is partitioned across four shards — must report the same per-sensor
+//!    outputs and the same registered-query activity as the sequential `workers = 1`
+//!    run.
+
+use std::sync::Arc;
+
+use gsn::container::ContainerConfig;
+use gsn::container::QueryRepository;
+use gsn::storage::{Retention, StorageManager, WindowSpec};
+use gsn::types::{
+    DataType, Duration, SimulatedClock, StreamElement, StreamSchema, Timestamp, Value,
+};
+use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+use gsn::{GsnContainer, StepReport};
+use proptest::prelude::*;
+
+fn schema() -> Arc<StreamSchema> {
+    Arc::new(
+        StreamSchema::from_pairs(&[
+            ("temperature", DataType::Integer),
+            ("room", DataType::Varchar),
+        ])
+        .unwrap(),
+    )
+}
+
+/// The query fragments the generator combines (all integer-valued, so incremental
+/// SUM/AVG state is exact).
+const FILTERS: &[&str] = &[
+    "",
+    " where temperature > 10",
+    " where temperature between 5 and 24",
+    " where room = 'bc143'",
+    " where temperature > 3 and room <> 'bc145'",
+    " where temperature is not null and temperature % 2 = 0",
+];
+
+const SHAPES: &[&str] = &[
+    "select pk, temperature, room from sensor_out",
+    "select temperature * 2 as double_t from sensor_out",
+    "select count(*) as n from sensor_out",
+    "select count(*) as n, sum(temperature) as s, avg(temperature) as a from sensor_out",
+    "select min(temperature) as lo, max(temperature) as hi from sensor_out",
+    "select first(temperature) as f, last(temperature) as l from sensor_out",
+    "select count(distinct room) as n from sensor_out",
+    "select room, count(*) as n, avg(temperature) as a from sensor_out group by room",
+    "select room, max(temperature) as hi from sensor_out group by room having count(*) > 1",
+    // Not incrementally maintainable: exercises the transparent fallback path too.
+    "select temperature from sensor_out order by temperature desc limit 3",
+];
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    shape: usize,
+    filter: usize,
+    window: WindowSpec,
+    sampling: Option<f64>,
+}
+
+fn arb_query() -> impl Strategy<Value = QuerySpec> {
+    (
+        0..SHAPES.len(),
+        0..FILTERS.len(),
+        prop_oneof![
+            (1usize..25).prop_map(WindowSpec::Count),
+            (100i64..2_000).prop_map(|ms| WindowSpec::Time(Duration::from_millis(ms))),
+            Just(WindowSpec::LatestOnly),
+        ],
+        prop_oneof![
+            Just(None),
+            Just(Some(0.5)),
+            Just(Some(0.34)),
+            Just(Some(1.0)),
+        ],
+    )
+        .prop_map(|(shape, filter, window, sampling)| QuerySpec {
+            shape,
+            filter,
+            window,
+            sampling,
+        })
+}
+
+fn query_sql(spec: &QuerySpec) -> String {
+    let shape = SHAPES[spec.shape];
+    let filter = FILTERS[spec.filter];
+    // Splice the WHERE clause before any ORDER BY / GROUP BY tail.
+    for keyword in ["group by", "order by"] {
+        if let Some(pos) = shape.find(keyword) {
+            let (head, tail) = shape.split_at(pos);
+            return format!("{}{} {}", head.trim_end(), filter, tail);
+        }
+    }
+    format!("{shape}{filter}")
+}
+
+/// One ingest step: a small batch of elements, then an evaluation.
+#[derive(Debug, Clone)]
+struct IngestStep {
+    batch: Vec<(i64, usize)>,
+    advance_ms: i64,
+}
+
+fn arb_schedule() -> impl Strategy<Value = Vec<IngestStep>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0i64..30, 0usize..3), 1..4),
+            1i64..400,
+        )
+            .prop_map(|(batch, advance_ms)| IngestStep { batch, advance_ms }),
+        1..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: incremental and full evaluation agree on every result
+    /// relation at every evaluation point, for every query/window/sampling mix.
+    #[test]
+    fn incremental_matches_full_reevaluation(
+        queries in prop::collection::vec(arb_query(), 1..5),
+        schedule in arb_schedule(),
+    ) {
+        let rooms = ["bc143", "bc144", "bc145"];
+        let storage = StorageManager::new();
+        storage
+            .create_table("sensor_out", schema(), Retention::Unbounded)
+            .unwrap();
+        let incremental = QueryRepository::with_partitions(1, true, true);
+        let full = QueryRepository::with_partitions(1, true, false);
+        for (i, spec) in queries.iter().enumerate() {
+            let sql = query_sql(spec);
+            incremental
+                .register(&format!("c{i}"), &sql, spec.window, spec.sampling)
+                .unwrap();
+            full.register(&format!("c{i}"), &sql, spec.window, spec.sampling)
+                .unwrap();
+        }
+
+        let mut now = Timestamp(0);
+        for step in &schedule {
+            now = Timestamp(now.as_millis() + step.advance_ms);
+            for (temperature, room) in &step.batch {
+                let element = StreamElement::new(
+                    schema(),
+                    vec![Value::Integer(*temperature), Value::varchar(rooms[*room])],
+                    now,
+                )
+                .unwrap();
+                storage.insert("sensor_out", element, now).unwrap();
+            }
+            let a = incremental.evaluate_for_table("sensor_out", &storage, now);
+            let b = full.evaluate_for_table("sensor_out", &storage, now);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.query_id, y.query_id);
+                prop_assert_eq!(
+                    x.relation.rows(),
+                    y.relation.rows(),
+                    "query `{}` diverged at t={}",
+                    incremental
+                        .registered()
+                        .iter()
+                        .find(|q| q.id == x.query_id)
+                        .map(|q| q.sql.clone())
+                        .unwrap_or_default(),
+                    now.as_millis()
+                );
+                prop_assert_eq!(x.relation.columns(), y.relation.columns());
+            }
+        }
+        // Both modes evaluated everything; the full repository never went incremental.
+        let (full_stats, _) = full.stats();
+        prop_assert_eq!(full_stats.incremental_evaluated, 0);
+        let (inc_stats, _) = incremental.stats();
+        prop_assert_eq!(
+            inc_stats.registered_evaluated + inc_stats.registered_failed,
+            full_stats.registered_evaluated + full_stats.registered_failed
+        );
+    }
+
+    /// Bounded-retention tables: the storage prunes under the query's feet; the
+    /// incremental state must retract exactly what the full path no longer sees.
+    #[test]
+    fn incremental_tracks_retention_pruning(
+        retention in 3usize..12,
+        window in 1usize..30,
+        schedule in arb_schedule(),
+    ) {
+        let storage = StorageManager::new();
+        storage
+            .create_table("sensor_out", schema(), Retention::Elements(retention))
+            .unwrap();
+        let incremental = QueryRepository::with_partitions(1, true, true);
+        let full = QueryRepository::with_partitions(1, true, false);
+        for repo in [&incremental, &full] {
+            repo.register(
+                "c",
+                "select pk, temperature from sensor_out where temperature > 7",
+                WindowSpec::Count(window),
+                None,
+            )
+            .unwrap();
+            repo.register(
+                "agg",
+                "select count(*) as n, min(temperature) as lo from sensor_out",
+                WindowSpec::Count(window),
+                None,
+            )
+            .unwrap();
+        }
+        let mut now = Timestamp(0);
+        for step in &schedule {
+            now = Timestamp(now.as_millis() + step.advance_ms);
+            for (temperature, _) in &step.batch {
+                let element = StreamElement::new(
+                    schema(),
+                    vec![Value::Integer(*temperature), Value::varchar("bc143")],
+                    now,
+                )
+                .unwrap();
+                storage.insert("sensor_out", element, now).unwrap();
+            }
+            let a = incremental.evaluate_for_table("sensor_out", &storage, now);
+            let b = full.evaluate_for_table("sensor_out", &storage, now);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.relation.rows(), y.relation.rows());
+            }
+        }
+        let (stats, _) = incremental.stats();
+        prop_assert_eq!(stats.fallback_evaluated, 0, "both shapes must stay incremental");
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Sharded query evaluation parity (workers = 1 vs workers = 4)
+// ---------------------------------------------------------------------------------------
+
+fn mote_descriptor(name: &str, interval_ms: u32, seed: u32) -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder(name)
+        .unwrap()
+        .output_field("avg_temp", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src1").with_source(
+                StreamSourceSpec::new(
+                    "src1",
+                    AddressSpec::new("mote")
+                        .with_predicate("interval", &interval_ms.to_string())
+                        .with_predicate("seed", &seed.to_string()),
+                    "select avg(temperature) as avg_temp from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(10)),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+struct QueryRun {
+    reports: Vec<StepReport>,
+    tables: Vec<Vec<Vec<Value>>>,
+    evaluated: u64,
+    incremental: u64,
+    fallback: u64,
+    failed: u64,
+    partitions_used: usize,
+}
+
+fn run_query_workload(workers: usize, incremental: bool) -> QueryRun {
+    const SENSORS: usize = 8;
+    let clock = SimulatedClock::new();
+    let config = ContainerConfig {
+        incremental_queries: incremental,
+        ..ContainerConfig::default().with_workers(workers)
+    };
+    let mut node = GsnContainer::new(config, Arc::new(clock.clone()));
+    let names: Vec<String> = (0..SENSORS).map(|i| format!("mote-{i}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        node.deploy(mote_descriptor(name, 100 + 50 * (i as u32 % 4), i as u32))
+            .unwrap();
+        let table = name.replace('-', "_");
+        // Two registered queries per sensor: one incremental-friendly aggregate, one
+        // shape that falls back — both must behave identically across worker counts.
+        node.register_query(
+            &format!("agg-client-{i}"),
+            &format!("select count(*) as n, avg(avg_temp) as a from {table}"),
+            WindowSpec::Count(20),
+            None,
+        )
+        .unwrap();
+        node.register_query(
+            &format!("top-client-{i}"),
+            &format!("select avg_temp from {table} order by avg_temp desc limit 2"),
+            WindowSpec::Count(20),
+            None,
+        )
+        .unwrap();
+    }
+    let mut reports = Vec::new();
+    for _ in 0..5 {
+        clock.advance(Duration::from_secs(1));
+        let mut report = node.step();
+        report.processing_micros = 0;
+        reports.push(report);
+    }
+    let tables = names
+        .iter()
+        .map(|name| {
+            node.query(&format!(
+                "select pk, avg_temp from {}",
+                name.replace('-', "_")
+            ))
+            .unwrap()
+            .rows()
+            .to_vec()
+        })
+        .collect();
+    let status = node.status();
+    QueryRun {
+        reports,
+        tables,
+        evaluated: status.queries.registered_evaluated,
+        incremental: status.queries.incremental_evaluated,
+        fallback: status.queries.fallback_evaluated,
+        failed: status.queries.registered_failed,
+        partitions_used: status
+            .query_partitions
+            .iter()
+            .filter(|p| p.registered > 0)
+            .count(),
+    }
+}
+
+#[test]
+fn sharded_query_evaluation_matches_sequential() {
+    let sequential = run_query_workload(1, true);
+    let sharded = run_query_workload(4, true);
+
+    assert_eq!(sequential.reports, sharded.reports);
+    assert_eq!(sequential.tables, sharded.tables);
+    assert_eq!(sequential.evaluated, sharded.evaluated);
+    assert_eq!(sequential.incremental, sharded.incremental);
+    assert_eq!(sequential.fallback, sharded.fallback);
+    assert_eq!(sequential.failed, 0);
+    assert_eq!(sharded.failed, 0);
+
+    // The workload actually exercised both paths, and the sharded run spread its
+    // queries across more than one partition.
+    assert!(sequential.evaluated > 0);
+    assert!(sequential.incremental > 0);
+    assert!(sequential.fallback > 0);
+    assert_eq!(sequential.partitions_used, 1);
+    assert!(
+        sharded.partitions_used > 1,
+        "queries all hashed to one shard"
+    );
+}
+
+#[test]
+fn incremental_and_full_containers_agree_on_counters() {
+    let incremental = run_query_workload(4, true);
+    let full = run_query_workload(4, false);
+    // Evaluation *activity* is identical; only the execution strategy differs.
+    assert_eq!(incremental.reports, full.reports);
+    assert_eq!(incremental.tables, full.tables);
+    assert_eq!(incremental.evaluated, full.evaluated);
+    assert_eq!(full.incremental, 0);
+    assert_eq!(full.fallback, full.evaluated);
+}
