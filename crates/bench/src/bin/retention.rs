@@ -1,0 +1,116 @@
+//! Storage lifecycle benchmark: reclaim throughput of bounded durable tables and scan
+//! latency of disk-spilled time windows.
+//!
+//! ```text
+//! cargo run -p gsn-bench --release --bin retention [--quick]
+//! ```
+//!
+//! Prints both cells and writes the machine-readable report to
+//! `target/bench-reports/retention.json` and to `BENCH_retention.json` at the
+//! workspace root.  The run itself asserts the acceptance bounds: a bounded durable
+//! table's on-disk footprint stays within 2 segments of its live data, and the spilled
+//! window (1M rows in the full run) streams every row under the fixed buffer-pool
+//! budget.
+
+use gsn_bench::retention::{run_reclaim, run_spill, RetentionBenchConfig};
+use gsn_bench::{write_report, BenchReport};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        RetentionBenchConfig::quick()
+    } else {
+        RetentionBenchConfig::full()
+    };
+
+    let mut report = BenchReport::new(
+        "retention",
+        "Reclaim throughput of bounded durable tables and disk-spilled window scan latency",
+        &[
+            "cell_spill",
+            "elements",
+            "ingest_elements_per_sec",
+            "reclaimed_bytes",
+            "reclaim_mb_per_sec",
+            "segments_deleted",
+            "segments_compacted",
+            "disk_segments",
+            "live_segments",
+            "full_scan_ms",
+            "tail_scan_ms",
+            "resident_pages",
+        ],
+    );
+
+    println!(
+        "Reclaim cell: {} rows, keep {}, maintain every {}",
+        config.elements, config.keep, config.maintain_every
+    );
+    let reclaim = run_reclaim(&config);
+    println!(
+        "  ingest {:>10.0} el/s | reclaimed {:>10} B in {:.1} ms ({:.1} MB/s) | {} deleted + {} compacted | disk {}/{} segments",
+        reclaim.ingest_elements_per_sec,
+        reclaim.bytes_reclaimed,
+        reclaim.maintain_ms,
+        reclaim.reclaim_mb_per_sec,
+        reclaim.segments_deleted,
+        reclaim.segments_compacted,
+        reclaim.total_segments,
+        reclaim.live_segments,
+    );
+    report.push_row(vec![
+        0.0,
+        reclaim.elements as f64,
+        reclaim.ingest_elements_per_sec,
+        reclaim.bytes_reclaimed as f64,
+        reclaim.reclaim_mb_per_sec,
+        reclaim.segments_deleted as f64,
+        reclaim.segments_compacted as f64,
+        reclaim.total_segments as f64,
+        reclaim.live_segments as f64,
+        0.0,
+        0.0,
+        0.0,
+    ]);
+
+    println!(
+        "Spill cell: {} rows, {} B resident budget, {} pool pages",
+        config.spill_rows, config.spill_budget_bytes, config.pool_pages
+    );
+    let spill = run_spill(&config);
+    println!(
+        "  ingest {:>10.0} el/s | spilled {} B | full scan {:.1} ms | tail scan {:.3} ms | {} pages resident",
+        spill.ingest_elements_per_sec,
+        spill.spilled_bytes,
+        spill.full_scan_ms,
+        spill.tail_scan_ms,
+        spill.resident_pages,
+    );
+    report.push_row(vec![
+        1.0,
+        spill.rows as f64,
+        spill.ingest_elements_per_sec,
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        spill.full_scan_ms,
+        spill.tail_scan_ms,
+        spill.resident_pages as f64,
+    ]);
+
+    match write_report(&report) {
+        Ok(path) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+    let root_copy = gsn_bench::report::report_dir()
+        .parent()
+        .and_then(|target| target.parent().map(|ws| ws.join("BENCH_retention.json")))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_retention.json"));
+    match std::fs::write(&root_copy, report.to_json().to_pretty_string()) {
+        Ok(()) => eprintln!("report copied to {}", root_copy.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", root_copy.display()),
+    }
+}

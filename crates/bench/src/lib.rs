@@ -25,6 +25,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod parallel;
 pub mod report;
+pub mod retention;
 pub mod storage;
 
 pub use report::{write_report, BenchReport};

@@ -1,0 +1,305 @@
+//! Retention/reclamation benchmark: how fast the storage lifecycle subsystem returns
+//! file space, and what a disk-spilled time window costs to scan.
+//!
+//! Two cells behind the `retention` binary and the `BENCH_retention.json` report:
+//!
+//! * **Reclaim** — a bounded durable table (`Retention::Elements(keep)`) under
+//!   continuous ingest, with the maintenance pass running every `maintain_every`
+//!   rows.  Measures reclaim throughput (MB of file space freed per second of
+//!   maintenance time) and asserts the acceptance bound: the on-disk footprint stays
+//!   within 2 segments of the live data.
+//! * **Spill** — a time-window table far larger than its resident budget, spilled to
+//!   the segment store.  Measures full-window and tail scan latency through the
+//!   pull-based cursor under a fixed buffer-pool budget, and asserts the scan saw
+//!   every row.
+
+use std::time::Instant;
+
+use gsn_storage::{PersistentOptions, Retention, SpillOptions, StreamTable, WindowSpec};
+use gsn_types::{DataType, Duration, StreamSchema, Timestamp, Value};
+use std::sync::Arc;
+
+/// Workload parameters for one benchmark run (both cells).
+#[derive(Debug, Clone)]
+pub struct RetentionBenchConfig {
+    /// Rows ingested into the bounded durable table.
+    pub elements: usize,
+    /// Retention bound (most-recent rows kept).
+    pub keep: usize,
+    /// Binary payload bytes per row.
+    pub payload_bytes: usize,
+    /// Pages per heap segment.
+    pub segment_pages: u32,
+    /// Buffer-pool page budget.
+    pub pool_pages: usize,
+    /// Rows between maintenance passes.
+    pub maintain_every: usize,
+    /// Rows ingested into the disk-spilled window.
+    pub spill_rows: usize,
+    /// Resident-memory budget of the spilled window, in bytes.
+    pub spill_budget_bytes: usize,
+}
+
+impl RetentionBenchConfig {
+    /// A quick CI-sized run.
+    pub fn quick() -> RetentionBenchConfig {
+        RetentionBenchConfig {
+            elements: 20_000,
+            keep: 1_000,
+            payload_bytes: 64,
+            segment_pages: 8,
+            pool_pages: 16,
+            maintain_every: 2_000,
+            spill_rows: 50_000,
+            spill_budget_bytes: 64 * 1024,
+        }
+    }
+
+    /// The full acceptance-scale run (1M-row spilled window).
+    pub fn full() -> RetentionBenchConfig {
+        RetentionBenchConfig {
+            elements: 200_000,
+            keep: 5_000,
+            payload_bytes: 64,
+            segment_pages: 32,
+            pool_pages: 64,
+            maintain_every: 10_000,
+            spill_rows: 1_000_000,
+            spill_budget_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Measurements of the bounded-durable-table reclaim cell.
+#[derive(Debug, Clone)]
+pub struct ReclaimBenchResult {
+    /// Rows ingested.
+    pub elements: usize,
+    /// Ingest throughput with maintenance interleaved.
+    pub ingest_elements_per_sec: f64,
+    /// File bytes returned to the filesystem over the run.
+    pub bytes_reclaimed: u64,
+    /// Total time spent inside maintenance passes.
+    pub maintain_ms: f64,
+    /// Reclaim throughput (MB freed per second of maintenance time).
+    pub reclaim_mb_per_sec: f64,
+    /// Segments deleted outright.
+    pub segments_deleted: u64,
+    /// Segments compacted.
+    pub segments_compacted: u64,
+    /// Final on-disk footprint.
+    pub final_disk_bytes: u64,
+    /// Final segment counts (the acceptance bound is `total <= live + 2`).
+    pub live_segments: u64,
+    /// See `live_segments`.
+    pub total_segments: u64,
+}
+
+fn schema() -> Arc<StreamSchema> {
+    Arc::new(
+        StreamSchema::from_pairs(&[("v", DataType::Integer), ("payload", DataType::Binary)])
+            .unwrap(),
+    )
+}
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gsn-bench-retention-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+/// Runs the bounded-durable-table reclaim cell.
+pub fn run_reclaim(config: &RetentionBenchConfig) -> ReclaimBenchResult {
+    let dir = bench_dir("reclaim");
+    let schema = schema();
+    let mut table = StreamTable::persistent(
+        "bounded",
+        Arc::clone(&schema),
+        Retention::Elements(config.keep),
+        &dir,
+        PersistentOptions {
+            segment_pages: config.segment_pages,
+            pool_pages: config.pool_pages,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let payload = vec![7u8; config.payload_bytes];
+    let started = Instant::now();
+    let mut maintain_time = std::time::Duration::ZERO;
+    let mut reclaimed = 0u64;
+    let mut deleted = 0u64;
+    let mut compacted = 0u64;
+    for i in 1..=config.elements {
+        table
+            .insert_values(
+                vec![Value::Integer(i as i64), Value::binary(payload.clone())],
+                Timestamp(i as i64),
+            )
+            .unwrap();
+        if i % config.maintain_every == 0 {
+            let t = Instant::now();
+            let stats = table.reclaim().unwrap();
+            maintain_time += t.elapsed();
+            reclaimed += stats.bytes_reclaimed;
+            deleted += stats.segments_deleted;
+            compacted += stats.segments_compacted;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let stats = table.reclaim().unwrap();
+    maintain_time += t.elapsed();
+    reclaimed += stats.bytes_reclaimed;
+    deleted += stats.segments_deleted;
+    compacted += stats.segments_compacted;
+
+    let usage = table.disk_usage().unwrap();
+    assert!(
+        usage.total_segments <= usage.live_segments + 2,
+        "acceptance bound violated: {} segments on disk for {} live",
+        usage.total_segments,
+        usage.live_segments
+    );
+    // Sanity: the live tail is intact.
+    let tail = table.window_view(WindowSpec::Count(10), Timestamp::MAX);
+    assert_eq!(
+        tail.last().unwrap().value("V"),
+        Some(Value::Integer(config.elements as i64))
+    );
+
+    let maintain_ms = maintain_time.as_secs_f64() * 1e3;
+    let result = ReclaimBenchResult {
+        elements: config.elements,
+        ingest_elements_per_sec: config.elements as f64 / elapsed,
+        bytes_reclaimed: reclaimed,
+        maintain_ms,
+        reclaim_mb_per_sec: if maintain_time.as_secs_f64() > 0.0 {
+            (reclaimed as f64 / (1024.0 * 1024.0)) / maintain_time.as_secs_f64()
+        } else {
+            0.0
+        },
+        segments_deleted: deleted,
+        segments_compacted: compacted,
+        final_disk_bytes: usage.on_disk_bytes,
+        live_segments: usage.live_segments,
+        total_segments: usage.total_segments,
+    };
+    drop(table);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Measurements of the disk-spilled-window cell.
+#[derive(Debug, Clone)]
+pub struct SpillBenchResult {
+    /// Rows ingested into the window.
+    pub rows: usize,
+    /// File bytes the window's cold prefix occupies in the segment store.
+    pub spilled_bytes: u64,
+    /// Ingest throughput (spilling interleaved).
+    pub ingest_elements_per_sec: f64,
+    /// Milliseconds to stream the *entire* window through the pull cursor.
+    pub full_scan_ms: f64,
+    /// Milliseconds to stream the trailing 1 000 rows.
+    pub tail_scan_ms: f64,
+    /// Buffer-pool pages resident after the scans (must stay ≤ the budget).
+    pub resident_pages: usize,
+}
+
+/// Runs the disk-spilled time-window cell.
+pub fn run_spill(config: &RetentionBenchConfig) -> SpillBenchResult {
+    let dir = bench_dir("spill");
+    let schema = schema();
+    let mut table = StreamTable::spilling(
+        "window30d",
+        Arc::clone(&schema),
+        Retention::Horizon(Duration::from_hours(24 * 30)),
+        &dir,
+        SpillOptions {
+            budget_bytes: config.spill_budget_bytes,
+            persistent: PersistentOptions {
+                segment_pages: config.segment_pages,
+                pool_pages: config.pool_pages,
+                ..Default::default()
+            },
+        },
+    )
+    .unwrap();
+
+    let payload = vec![3u8; config.payload_bytes];
+    let started = Instant::now();
+    for i in 1..=config.spill_rows {
+        table
+            .insert_values(
+                vec![Value::Integer(i as i64), Value::binary(payload.clone())],
+                Timestamp(i as i64),
+            )
+            .unwrap();
+    }
+    let ingest_elapsed = started.elapsed().as_secs_f64();
+    let window = WindowSpec::Time(Duration::from_hours(24 * 30));
+    let now = Timestamp(config.spill_rows as i64);
+
+    let scan = |window: WindowSpec| -> (f64, usize) {
+        let t = Instant::now();
+        let mut state = table.open_scan(window, now).unwrap();
+        let mut seen = 0usize;
+        while let Some(batch) = table.scan_next(&mut state).unwrap() {
+            seen += batch.len();
+        }
+        (t.elapsed().as_secs_f64() * 1e3, seen)
+    };
+    let (full_scan_ms, full_seen) = scan(window);
+    assert_eq!(full_seen, config.spill_rows, "spilled window lost rows");
+    let (tail_scan_ms, tail_seen) = scan(WindowSpec::Count(1_000));
+    assert_eq!(tail_seen, 1_000.min(config.spill_rows));
+
+    let pool = table.pool_stats().expect("spilled window has a pool");
+    assert!(
+        pool.resident_pages <= config.pool_pages,
+        "pool exceeded budget: {} > {}",
+        pool.resident_pages,
+        config.pool_pages
+    );
+
+    let usage = table
+        .disk_usage()
+        .expect("window never spilled — budget too large for the workload");
+    assert!(usage.on_disk_bytes > 0);
+    let result = SpillBenchResult {
+        rows: config.spill_rows,
+        spilled_bytes: usage.on_disk_bytes,
+        ingest_elements_per_sec: config.spill_rows as f64 / ingest_elapsed,
+        full_scan_ms,
+        tail_scan_ms,
+        resident_pages: pool.resident_pages,
+    };
+    drop(table);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cells_run_and_hold_their_bounds() {
+        let mut config = RetentionBenchConfig::quick();
+        config.elements = 4_000;
+        config.keep = 300;
+        config.maintain_every = 500;
+        config.spill_rows = 5_000;
+        config.spill_budget_bytes = 8 * 1024;
+        let reclaim = run_reclaim(&config);
+        assert!(reclaim.bytes_reclaimed > 0);
+        assert!(reclaim.total_segments <= reclaim.live_segments + 2);
+        let spill = run_spill(&config);
+        assert_eq!(spill.rows, 5_000);
+        assert!(spill.full_scan_ms > 0.0);
+    }
+}

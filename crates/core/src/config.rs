@@ -53,6 +53,20 @@ pub struct ContainerConfig {
     /// container step instead of one per insert.  On by default — the container commits
     /// at every step boundary, so durability moves from per-insert to per-step.
     pub wal_group_commit: bool,
+    /// Pages per heap segment for persistent tables (fixed-capacity segment files are
+    /// what lets the retention pass reclaim disk space).  The default is ≈1 MiB per
+    /// segment.
+    pub storage_segment_pages: u32,
+    /// Run the storage maintenance pass (retention reclamation: head-segment deletion
+    /// and boundary compaction) every this many steps, scheduled onto the worker pool
+    /// when the step loop is sharded.  `0` disables maintenance.
+    pub maintenance_interval_steps: u64,
+    /// Resident-memory budget for source windows: when set (and `data_dir` is
+    /// configured), a memory-backed window whose payload bytes exceed this budget
+    /// transparently spills its cold prefix to a persistent segment store — very large
+    /// time windows (`storage-size="30d"`) then query in bounded memory through the
+    /// shared buffer pool.  `None` keeps windows fully resident (the seed behaviour).
+    pub window_spill_bytes: Option<usize>,
 }
 
 impl Default for ContainerConfig {
@@ -70,6 +84,9 @@ impl Default for ContainerConfig {
             storage_pool_pages: 4 * PersistentOptions::default().pool_pages,
             wal_sync: SyncMode::default(),
             wal_group_commit: true,
+            storage_segment_pages: PersistentOptions::default().segment_pages,
+            maintenance_interval_steps: 8,
+            window_spill_bytes: None,
         }
     }
 }
@@ -96,6 +113,13 @@ impl ContainerConfig {
         self
     }
 
+    /// Enables disk spilling for source windows with the given resident budget
+    /// (requires a data directory to take effect).
+    pub fn with_window_spill(mut self, budget_bytes: usize) -> ContainerConfig {
+        self.window_spill_bytes = Some(budget_bytes);
+        self
+    }
+
     /// The storage-layer options derived from this configuration.
     pub fn storage_options(&self) -> StorageOptions {
         StorageOptions {
@@ -104,8 +128,10 @@ impl ContainerConfig {
                 pool_pages: self.storage_pool_pages,
                 sync: self.wal_sync,
                 group_commit: self.wal_group_commit,
+                segment_pages: self.storage_segment_pages,
                 ..PersistentOptions::default()
             },
+            window_spill_bytes: self.window_spill_bytes,
         }
     }
 }

@@ -164,6 +164,28 @@ impl ContainerStatus {
             self.wrapper_kinds.join(", "),
             self.storage
         ));
+        for table in &self.storage.tables_on_disk {
+            out.push_str(&format!(
+                "    table {}: {} B on disk, {}/{} segments live, {} B reclaimed in {} segments{}\n",
+                table.name,
+                table.usage.on_disk_bytes,
+                table.usage.live_segments,
+                table.usage.total_segments,
+                table.usage.reclaimed_bytes,
+                table.usage.reclaimed_segments,
+                if table.kind == gsn_storage::BackendKind::Spilled {
+                    " (spilled window)"
+                } else {
+                    ""
+                }
+            ));
+        }
+        if self.storage.maintenance.passes > 0 {
+            out.push_str(&format!(
+                "    maintenance: {} passes, {}\n",
+                self.storage.maintenance.passes, self.storage.maintenance.reclaim
+            ));
+        }
         match self.pool_jobs {
             Some((submitted, completed)) => out.push_str(&format!(
                 "  step loop: {} workers ({submitted} shard jobs submitted, {completed} completed)\n",
@@ -443,6 +465,8 @@ pub struct GsnContainer {
     /// In-flight streaming queries this container has issued to remote peers,
     /// accumulated batch by batch until `done`.
     remote_queries: HashMap<RequestId, RemoteQueryState>,
+    /// Steps executed so far; paces the periodic storage maintenance pass.
+    steps: u64,
 }
 
 /// Upper bound on concurrently open server-side remote query cursors; requests past
@@ -589,6 +613,7 @@ impl GsnContainer {
             remote_cursors: HashMap::new(),
             next_cursor_id: 1,
             remote_queries: HashMap::new(),
+            steps: 0,
             clock,
             config,
         }
@@ -1072,7 +1097,42 @@ impl GsnContainer {
         if self.runtime.storage.group_commit().is_err() {
             report.errors += 1;
         }
+
+        // 4. Periodic storage maintenance: reclaim file space held by pruned rows
+        // (head-segment deletion, boundary compaction).  Sharded containers run it on
+        // the worker pool so a large compaction never stalls the step; overlapping
+        // passes coalesce inside the manager.  Reclamation only changes the physical
+        // layout — queries re-filter at read time — so workers=1 and workers=N stay
+        // output-identical.
+        self.steps += 1;
+        let interval = self.config.maintenance_interval_steps;
+        if interval > 0 && self.steps.is_multiple_of(interval) {
+            match &self.pool {
+                Some(pool) => {
+                    let storage = Arc::clone(&self.runtime.storage);
+                    if pool
+                        .submit(move || {
+                            storage.maintain(now);
+                        })
+                        .is_err()
+                    {
+                        report.errors += 1;
+                    }
+                }
+                None => {
+                    self.runtime.storage.maintain(now);
+                }
+            }
+        }
         report
+    }
+
+    /// Runs the storage maintenance pass immediately on the caller (pruning plus
+    /// segment reclamation), returning what it freed.  The step loop schedules this
+    /// automatically every [`ContainerConfig::maintenance_interval_steps`] steps; an
+    /// explicit call is useful before reading footprint statistics.
+    pub fn maintain_storage(&self) -> gsn_storage::MaintenanceReport {
+        self.runtime.storage.maintain(self.clock.now())
     }
 
     /// Runs every sensor's pipeline pass for this step: inline in name order when

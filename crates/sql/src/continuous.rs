@@ -20,10 +20,12 @@
 //!   full re-evaluation for them.
 //!
 //! Results are identical to re-executing the plan over the current window (the
-//! incremental-vs-full parity property test asserts this), with one caveat: running
-//! `SUM`/`AVG` state over *floating-point* inputs accumulates by add/subtract, which can
-//! differ from a fresh left-to-right summation by floating-point rounding (integer
-//! inputs are exact — their `f64` sums are exact and so is retraction).
+//! incremental-vs-full parity property test asserts this).  Running `SUM`/`AVG` state
+//! uses a Kahan–Babuška (Neumaier) *compensated* accumulator: every add/retract also
+//! tracks the rounding error it lost, so floating-point running sums stay within one
+//! ulp of a fresh left-to-right summation instead of drifting as the window slides
+//! (integer inputs are exact either way — their `f64` sums carry zero compensation —
+//! and an empty window still resets the state to exact zero).
 //!
 //! Memory: resident state is `O(window)` per query — the same order as the history the
 //! storage layer already retains for the query's window.
@@ -81,6 +83,21 @@ struct AggSpec {
     arg: Option<Expr>,
 }
 
+/// One step of Kahan–Babuška (Neumaier) compensated summation: adds `x` to `sum`,
+/// banking the low-order bits the addition rounds away into `comp`.  The true running
+/// total is `sum + comp`.  Retraction is just adding `-x`, so the compensation tracks
+/// the error of the *whole* add/retract history, closing the rounding-drift gap
+/// between a slid window and a fresh summation.
+fn kahan_add(sum: &mut f64, comp: &mut f64, x: f64) {
+    let t = *sum + x;
+    if sum.abs() >= x.abs() {
+        *comp += (*sum - t) + x;
+    } else {
+        *comp += (x - t) + *sum;
+    }
+    *sum = t;
+}
+
 /// Retractable running state for one aggregate of one group.
 ///
 /// Matches [`crate::Accumulator`]'s finish semantics exactly for the supported kinds,
@@ -94,6 +111,8 @@ struct DeltaAccumulator {
     distinct: Option<HashMap<String, u32>>,
     count: u64,
     sum: f64,
+    /// Neumaier compensation term for `sum` (see [`kahan_add`]).
+    comp: f64,
     /// Counted inputs that are not `Value::Integer` (SUM stays integer-typed iff 0).
     non_integer: u64,
     /// All non-null inputs in window order (FIRST/LAST read the ends).
@@ -111,6 +130,7 @@ impl DeltaAccumulator {
             distinct: distinct.then(HashMap::new),
             count: 0,
             sum: 0.0,
+            comp: 0.0,
             non_integer: 0,
             values: VecDeque::new(),
             mono: VecDeque::new(),
@@ -141,7 +161,7 @@ impl DeltaAccumulator {
                 }
                 if self.kind != AggregateKind::Count {
                     let x = self.numeric(value)?;
-                    self.sum += x;
+                    kahan_add(&mut self.sum, &mut self.comp, x);
                     if !matches!(value, Value::Integer(_)) {
                         self.non_integer += 1;
                     }
@@ -206,7 +226,7 @@ impl DeltaAccumulator {
                 }
                 if self.kind != AggregateKind::Count {
                     let x = self.numeric(value)?;
-                    self.sum -= x;
+                    kahan_add(&mut self.sum, &mut self.comp, -x);
                     if !matches!(value, Value::Integer(_)) {
                         self.non_integer = self.non_integer.saturating_sub(1);
                     }
@@ -215,6 +235,7 @@ impl DeltaAccumulator {
                 if self.count == 0 {
                     // Free drift reset: an empty window restores the exact zero.
                     self.sum = 0.0;
+                    self.comp = 0.0;
                     self.non_integer = 0;
                 }
             }
@@ -239,16 +260,17 @@ impl DeltaAccumulator {
                 if self.count == 0 {
                     Value::Null
                 } else if self.non_integer == 0 {
-                    Value::Integer(self.sum as i64)
+                    // Integer window: the f64 sum is exact and the compensation zero.
+                    Value::Integer((self.sum + self.comp) as i64)
                 } else {
-                    Value::Double(self.sum)
+                    Value::Double(self.sum + self.comp)
                 }
             }
             AggregateKind::Avg => {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Double(self.sum / self.count as f64)
+                    Value::Double((self.sum + self.comp) / self.count as f64)
                 }
             }
             AggregateKind::Min | AggregateKind::Max => self
@@ -958,5 +980,38 @@ mod tests {
         assert_eq!(rel.row_count(), 1);
         assert_eq!(rel.rows()[0][0], Value::Integer(0));
         assert_eq!(rel.rows()[0][1], Value::Null);
+    }
+
+    #[test]
+    fn compensated_sum_survives_magnitude_cancellation() {
+        // A huge transient swamps the small addends: every 1.0 inserted while 1e17 is
+        // in the window vanishes below its ulp in a naive running sum, and retracting
+        // the transient would leave 0.  The Kahan–Babuška compensation banks exactly
+        // those lost bits, so the slid window finishes at the true sum.
+        let mut sum = DeltaAccumulator::new(AggregateKind::Sum, false);
+        let mut avg = DeltaAccumulator::new(AggregateKind::Avg, false);
+        sum.insert(1, &Value::Double(1e17)).unwrap();
+        avg.insert(1, &Value::Double(1e17)).unwrap();
+        for i in 0..100u64 {
+            sum.insert(i + 2, &Value::Double(1.0)).unwrap();
+            avg.insert(i + 2, &Value::Double(1.0)).unwrap();
+        }
+        sum.retract(1, &Value::Double(1e17)).unwrap();
+        avg.retract(1, &Value::Double(1e17)).unwrap();
+        assert_eq!(sum.finish(), Value::Double(100.0));
+        assert_eq!(avg.finish(), Value::Double(1.0));
+    }
+
+    #[test]
+    fn compensated_sum_stays_exact_for_integers() {
+        // Integer windows must keep producing Integer results with zero compensation.
+        let mut acc = DeltaAccumulator::new(AggregateKind::Sum, false);
+        for i in 1..=1_000u64 {
+            acc.insert(i, &Value::Integer(i as i64)).unwrap();
+        }
+        for i in 1..=990u64 {
+            acc.retract(i, &Value::Integer(i as i64)).unwrap();
+        }
+        assert_eq!(acc.finish(), Value::Integer((991..=1_000).sum::<i64>()));
     }
 }

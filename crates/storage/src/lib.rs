@@ -37,9 +37,16 @@
 //! * **Page format** ([`page`]): 8 KiB slotted pages — records packed from the front, a
 //!   slot directory growing from the back.  Rows larger than a page chain across
 //!   dedicated overflow pages.
-//! * **Heap files** ([`heap`]): one `<table>.tbl` per table — a header page (magic,
-//!   schema, prune watermark) plus data pages.  Append-only at the tail; pruning
-//!   advances a logical watermark instead of rewriting (page-granular pruning).
+//! * **Segmented heaps** ([`segment`], [`heap`]): a table's pages live in fixed-capacity
+//!   `<table>.NNNNNNNN.seg` files whose headers carry the schema, the prune watermark
+//!   and the segment's `first_row` (the exact sequence→row anchor).  Only the tail
+//!   segment is written; pruning advances a logical watermark, and the retention
+//!   maintenance pass ([`retention`]) then *reclaims file space*: fully dead head
+//!   segments are deleted and the boundary segment is compacted, so long-lived bounded
+//!   tables stop growing forever.
+//! * **Disk-spilled windows** ([`spill`]): a memory table whose resident bytes exceed
+//!   the configured budget moves its cold prefix into a persistent segment store, so
+//!   `storage-size="30d"` windows query in bounded memory through the shared pool.
 //! * **Buffer pool** ([`buffer`]): one bounded, thread-safe frame cache per container
 //!   ([`SharedBufferPool`]) with clock (second-chance) eviction *across tables* and
 //!   pin/unpin.  Pinned pages are never evicted; resident pages never exceed the
@@ -106,6 +113,9 @@ pub mod buffer;
 pub mod heap;
 pub mod manager;
 pub mod page;
+pub mod retention;
+pub mod segment;
+pub mod spill;
 pub mod stats;
 pub mod table;
 #[doc(hidden)]
@@ -120,7 +130,10 @@ pub use buffer::{BufferPoolStats, PageIo, SharedBufferPool, TableId};
 pub use heap::HeapFile;
 pub use manager::{CatalogView, LiveCatalog, StorageManager, StorageOptions, StreamCursor};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use stats::{StorageStats, TableStats};
+pub use retention::{DiskUsage, MaintenanceReport, MaintenanceTotals, ReclaimStats};
+pub use segment::{SegmentedHeap, DEFAULT_SEGMENT_PAGES, MAX_SEGMENT_PAGES};
+pub use spill::{SpillOptions, SpillingBackend};
+pub use stats::{StorageStats, TableDiskStats, TableStats};
 pub use table::{sampling_stride, StreamTable};
 pub use wal::{SyncMode, Wal};
 pub use window::{Retention, WindowSpec};

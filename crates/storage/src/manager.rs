@@ -13,15 +13,18 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use gsn_sql::{Catalog, ColumnInfo, Relation, RowSource};
 use gsn_types::{GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use crate::backend::{PersistentOptions, ScanState};
+use crate::backend::{BackendKind, PersistentOptions, ScanState};
 use crate::buffer::SharedBufferPool;
-use crate::stats::StorageStats;
+use crate::retention::{MaintenanceReport, MaintenanceTotals};
+use crate::spill::SpillOptions;
+use crate::stats::{StorageStats, TableDiskStats};
 use crate::table::StreamTable;
 use crate::window::{Retention, WindowSpec};
 
@@ -33,6 +36,12 @@ pub struct StorageOptions {
     pub data_dir: Option<PathBuf>,
     /// Buffer-pool / WAL tuning for persistent tables.
     pub persistent: PersistentOptions,
+    /// Resident-memory budget for *memory* tables (source windows): when set — and a
+    /// data directory is configured — a window whose payload bytes exceed the budget
+    /// transparently spills its cold prefix to a persistent segment store, so very
+    /// large time windows (`storage-size="30d"`) query in bounded memory.  `None`
+    /// keeps the seed behaviour (windows stay fully resident).
+    pub window_spill_bytes: Option<usize>,
 }
 
 impl StorageOptions {
@@ -41,7 +50,14 @@ impl StorageOptions {
         StorageOptions {
             data_dir: Some(data_dir.into()),
             persistent: PersistentOptions::default(),
+            window_spill_bytes: None,
         }
+    }
+
+    /// Enables window spilling with the given resident budget.
+    pub fn with_window_spill(mut self, budget_bytes: usize) -> StorageOptions {
+        self.window_spill_bytes = Some(budget_bytes);
+        self
     }
 }
 
@@ -53,6 +69,11 @@ pub struct StorageManager {
     /// The container-wide page budget every durable table shares
     /// (`options.persistent.pool_pages` frames in total, cross-table eviction).
     pool: Arc<SharedBufferPool>,
+    /// Lifetime counters of the retention maintenance pass.
+    maintenance: Mutex<MaintenanceTotals>,
+    /// Guards against overlapping maintenance passes (the step loop schedules them
+    /// onto the worker pool; a pass that outlives its step must not stack).
+    maintenance_busy: AtomicBool,
 }
 
 impl Default for StorageManager {
@@ -75,6 +96,8 @@ impl StorageManager {
             tables: RwLock::new(HashMap::new()),
             options,
             pool,
+            maintenance: Mutex::new(MaintenanceTotals::default()),
+            maintenance_busy: AtomicBool::new(false),
         }
     }
 
@@ -90,6 +113,11 @@ impl StorageManager {
 
     /// Creates an in-memory table for a stream source / virtual sensor.
     ///
+    /// When window spilling is configured (a data directory plus
+    /// [`StorageOptions::window_spill_bytes`]), the table is created spill-capable:
+    /// still semantically a memory table, but its cold prefix moves to a persistent
+    /// segment store once the resident budget is exceeded.
+    ///
     /// Fails when a table with the same (case-insensitive) name already exists; GSN
     /// treats table names as container-unique because they double as SQL table names.
     pub fn create_table(
@@ -98,7 +126,20 @@ impl StorageManager {
         schema: Arc<StreamSchema>,
         retention: Retention,
     ) -> GsnResult<Arc<RwLock<StreamTable>>> {
-        self.register_table(name, StreamTable::new(name, schema, retention))
+        let table = match (&self.options.data_dir, self.options.window_spill_bytes) {
+            (Some(dir), Some(budget)) => {
+                let spill = SpillOptions {
+                    budget_bytes: budget,
+                    persistent: PersistentOptions {
+                        shared_pool: Some(Arc::clone(&self.pool)),
+                        ..self.options.persistent.clone()
+                    },
+                };
+                StreamTable::spilling(name, schema, retention, dir, spill)?
+            }
+            _ => StreamTable::new(name, schema, retention),
+        };
+        self.register_table(name, table)
     }
 
     /// Creates a *durable* table: stored in the persistent page engine when this manager
@@ -240,6 +281,44 @@ impl StorageManager {
         }
     }
 
+    /// The retention maintenance pass: prunes every table, then reclaims file space —
+    /// fully dead head segments are deleted, the boundary segment is compacted (see
+    /// [`crate::retention`]).  The container's step loop schedules this onto its worker
+    /// pool; overlapping invocations are coalesced (the second returns immediately
+    /// with `ran = false`).
+    pub fn maintain(&self, now: Timestamp) -> MaintenanceReport {
+        if self.maintenance_busy.swap(true, Ordering::AcqRel) {
+            return MaintenanceReport::default();
+        }
+        let mut report = MaintenanceReport {
+            ran: true,
+            ..Default::default()
+        };
+        let tables: Vec<Arc<RwLock<StreamTable>>> = self.tables.read().values().cloned().collect();
+        for table in tables {
+            let mut guard = table.write();
+            guard.prune(now);
+            // A reclamation failure on one table (transient I/O error) must not starve
+            // the others; the pass simply skips it until the next round.
+            if let Ok(stats) = guard.reclaim() {
+                report.reclaim.merge(&stats);
+            }
+            report.tables += 1;
+        }
+        {
+            let mut totals = self.maintenance.lock();
+            totals.passes += 1;
+            totals.reclaim.merge(&report.reclaim);
+        }
+        self.maintenance_busy.store(false, Ordering::Release);
+        report
+    }
+
+    /// Lifetime maintenance counters.
+    pub fn maintenance_totals(&self) -> MaintenanceTotals {
+        *self.maintenance.lock()
+    }
+
     /// Builds a SQL catalog exposing a windowed view of selected tables.
     ///
     /// `views` maps the SQL-visible alias to `(table name, window, sampling rate)`.
@@ -273,15 +352,27 @@ impl StorageManager {
             tables: tables.len(),
             ..Default::default()
         };
-        for table in tables.values() {
+        for (name, table) in tables.iter() {
             let guard = table.read();
             stats.retained_elements += guard.len();
             stats.retained_bytes += guard.retained_bytes();
             stats.totals.merge(guard.stats());
-            if guard.is_persistent() {
-                stats.persistent_tables += 1;
+            match guard.backend_kind() {
+                BackendKind::Persistent => stats.persistent_tables += 1,
+                BackendKind::Spilled => stats.spilled_tables += 1,
+                BackendKind::Memory => {}
+            }
+            if let Some(usage) = guard.disk_usage() {
+                stats.disk.merge(&usage);
+                stats.tables_on_disk.push(TableDiskStats {
+                    name: name.clone(),
+                    kind: guard.backend_kind(),
+                    usage,
+                });
             }
         }
+        stats.tables_on_disk.sort_by(|a, b| a.name.cmp(&b.name));
+        stats.maintenance = self.maintenance_totals();
         // Every durable table shares the manager's one pool: report it once instead of
         // summing the same counters per table.
         stats.pool = self.pool.stats();

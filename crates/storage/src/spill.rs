@@ -1,0 +1,694 @@
+//! Disk-spilled time windows: a memory-resident tail with the cold prefix spilled to a
+//! persistent segment store.
+//!
+//! Source windows are memory-backed by design — they are bounded by their declared
+//! window and rebuilt from live data after a restart.  But a window like
+//! `storage-size="30d"` holds weeks of history, far beyond RAM.  [`SpillingBackend`]
+//! keeps such a table *logically* in memory while bounding its resident footprint: the
+//! newest elements stay in a plain vector (the hot path — window tails, `LatestOnly`,
+//! small count windows — never touches disk), and once the resident bytes exceed the
+//! configured budget the oldest half is moved into a [`PersistentBackend`] segment
+//! store shared with the container's buffer pool.
+//!
+//! Scans are seamless across the spilled/resident boundary.  Sequences are assigned
+//! contiguously by the owning [`crate::StreamTable`], and elements spill strictly in
+//! order, so a cursor is just an inclusive sequence range: each batch is served from
+//! the segment store while `next_seq` lies below its high-water mark and from the
+//! resident vector above it — re-resolved per pull, so concurrent spilling, pruning
+//! and segment reclamation between batches never invalidate a cursor.
+//!
+//! The spill store is a *cache of live stream data*: its WAL is disabled
+//! ([`SyncMode::Disabled`]) and any files left by a previous incarnation are wiped at
+//! creation — a restarted container rebuilds the window from scratch, exactly like a
+//! plain memory table.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gsn_types::{GsnError, GsnResult, StreamElement, StreamSchema, Timestamp};
+
+use crate::backend::{
+    memory_scan_next, sanitize_file_name, BackendKind, PersistentBackend, PersistentOptions,
+    ScanState, ScanStateInner, StorageBackend, MEMORY_SCAN_BATCH,
+};
+use crate::buffer::BufferPoolStats;
+use crate::retention::{DiskUsage, ReclaimStats};
+use crate::segment::SegmentedHeap;
+use crate::wal::SyncMode;
+use crate::window::WindowSpec;
+
+/// Tuning for a disk-spilled window table.
+#[derive(Debug, Clone)]
+pub struct SpillOptions {
+    /// Resident-memory budget in payload bytes: exceeding it moves the oldest half of
+    /// the resident elements into the segment store.
+    pub budget_bytes: usize,
+    /// Segment-store tuning (pool sharing, segment size).  `sync` and `group_commit`
+    /// are overridden — the spill store never needs durability.
+    pub persistent: PersistentOptions,
+}
+
+impl SpillOptions {
+    /// Spill options with the given resident budget and default store tuning.
+    pub fn with_budget(budget_bytes: usize) -> SpillOptions {
+        SpillOptions {
+            budget_bytes,
+            persistent: PersistentOptions::default(),
+        }
+    }
+}
+
+/// A stream table whose cold prefix lives in a persistent segment store and whose hot
+/// tail stays resident (see the module docs).
+pub struct SpillingBackend {
+    name: String,
+    dir: PathBuf,
+    schema: Arc<StreamSchema>,
+    options: SpillOptions,
+    /// The hot tail, oldest first; all elements newer than everything in `cold`.
+    resident: Vec<StreamElement>,
+    resident_bytes: usize,
+    /// The cold prefix; created lazily at the first spill.
+    cold: Option<PersistentBackend>,
+    /// Lifetime count of elements moved to disk.
+    spilled_rows: u64,
+}
+
+impl fmt::Debug for SpillingBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SpillingBackend({}: {} resident ({} B of {} B budget), {} cold, {} spilled)",
+            self.name,
+            self.resident.len(),
+            self.resident_bytes,
+            self.options.budget_bytes,
+            self.cold.as_ref().map(|c| c.len()).unwrap_or(0),
+            self.spilled_rows,
+        )
+    }
+}
+
+impl SpillingBackend {
+    /// Creates a spill-capable table rooted at `dir`.  Stale spill files from a
+    /// previous incarnation are wiped immediately (the window starts empty).
+    pub fn create(
+        dir: &Path,
+        name: &str,
+        schema: Arc<StreamSchema>,
+        options: SpillOptions,
+    ) -> GsnResult<SpillingBackend> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| GsnError::storage(format!("cannot create data directory {dir:?}: {e}")))?;
+        let store = Self::store_name(name);
+        SegmentedHeap::wipe(dir, &sanitize_file_name(&store))?;
+        match std::fs::remove_file(dir.join(format!("{}.wal", sanitize_file_name(&store)))) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(GsnError::storage(format!(
+                    "cannot wipe stale spill WAL: {e}"
+                )))
+            }
+        }
+        Ok(SpillingBackend {
+            name: name.to_owned(),
+            dir: dir.to_owned(),
+            schema,
+            options,
+            resident: Vec::new(),
+            resident_bytes: 0,
+            cold: None,
+            spilled_rows: 0,
+        })
+    }
+
+    fn store_name(name: &str) -> String {
+        format!("{name}__spill")
+    }
+
+    /// Lifetime count of elements moved to the segment store.
+    pub fn spilled_rows(&self) -> u64 {
+        self.spilled_rows
+    }
+
+    /// Elements currently resident in memory.
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn cold_live(&self) -> usize {
+        self.cold.as_ref().map(|c| c.len()).unwrap_or(0)
+    }
+
+    fn drop_resident_front(&mut self, count: usize) {
+        for e in &self.resident[..count] {
+            self.resident_bytes = self.resident_bytes.saturating_sub(e.size_bytes());
+        }
+        self.resident.drain(..count);
+    }
+
+    /// Moves the oldest resident elements into the segment store until the resident
+    /// bytes drop to half the budget (hysteresis: spilling happens in batches, not per
+    /// insert).
+    fn spill_cold_prefix(&mut self) -> GsnResult<()> {
+        let target = self.options.budget_bytes / 2;
+        if self.cold.is_none() {
+            let options = PersistentOptions {
+                sync: SyncMode::Disabled,
+                group_commit: false,
+                ..self.options.persistent.clone()
+            };
+            self.cold = Some(PersistentBackend::open_fresh(
+                &self.dir,
+                &Self::store_name(&self.name),
+                Arc::clone(&self.schema),
+                options,
+            )?);
+        }
+        let cold = self.cold.as_mut().expect("cold store created");
+        let mut moved = 0usize;
+        let mut moved_bytes = 0usize;
+        let mut failure = None;
+        for element in &self.resident {
+            if self.resident_bytes - moved_bytes <= target || moved + 1 >= self.resident.len() {
+                break;
+            }
+            match cold.append(element) {
+                Ok(()) => {
+                    moved += 1;
+                    moved_bytes += element.size_bytes();
+                }
+                // Stop at the first failure but still account for everything appended
+                // so far — the rows that did reach the cold store MUST leave the
+                // resident vector, or they would exist on both sides forever.
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        self.spilled_rows += moved as u64;
+        self.drop_resident_front(moved);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The sequence of the first element selected by a time window at `now`, looking
+    /// across the spilled/resident boundary (`None` = nothing selected).
+    fn first_selected_by_time(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        cutoff: Timestamp,
+    ) -> GsnResult<Option<u64>> {
+        if let Some(cold) = &self.cold {
+            if cold.len() > 0 {
+                let mut state = cold.open_scan(window, now)?;
+                if let Some(batch) = cold.scan_next(&mut state)? {
+                    if let Some(first) = batch.first() {
+                        return Ok(Some(first.sequence()));
+                    }
+                }
+            }
+        }
+        let start = self.resident.partition_point(|e| e.timestamp() < cutoff);
+        Ok(self.resident.get(start).map(StreamElement::sequence))
+    }
+}
+
+impl StorageBackend for SpillingBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Spilled
+    }
+
+    fn append(&mut self, element: &StreamElement) -> GsnResult<()> {
+        self.resident_bytes += element.size_bytes();
+        self.resident.push(element.clone());
+        if self.resident_bytes > self.options.budget_bytes {
+            self.spill_cold_prefix()?;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.cold_live() + self.resident.len()
+    }
+
+    fn last(&self) -> Option<StreamElement> {
+        self.resident
+            .last()
+            .cloned()
+            .or_else(|| self.cold.as_ref().and_then(|c| c.last()))
+    }
+
+    fn first_timestamp(&self) -> GsnResult<Option<Timestamp>> {
+        if let Some(cold) = &self.cold {
+            if cold.len() > 0 {
+                return cold.first_timestamp();
+            }
+        }
+        Ok(self.resident.first().map(StreamElement::timestamp))
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.resident_bytes + self.cold.as_ref().map(|c| c.retained_bytes()).unwrap_or(0)
+    }
+
+    fn max_sequence(&self) -> u64 {
+        self.resident
+            .last()
+            .map(StreamElement::sequence)
+            .or_else(|| self.cold.as_ref().map(|c| c.max_sequence()))
+            .unwrap_or(0)
+    }
+
+    fn scan_window(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        visit: &mut dyn FnMut(&StreamElement),
+    ) -> GsnResult<()> {
+        match window {
+            WindowSpec::LatestOnly => {
+                if let Some(last) = self.last() {
+                    visit(&last);
+                }
+                Ok(())
+            }
+            WindowSpec::Count(n) => {
+                if n <= self.resident.len() {
+                    for e in window.select(&self.resident, now) {
+                        visit(e);
+                    }
+                    return Ok(());
+                }
+                if let Some(cold) = &self.cold {
+                    // Trailing `n` across the boundary = trailing `n - resident` of the
+                    // cold store, then everything resident.
+                    cold.scan_window(WindowSpec::Count(n - self.resident.len()), now, visit)?;
+                }
+                for e in &self.resident {
+                    visit(e);
+                }
+                Ok(())
+            }
+            WindowSpec::Time(_) => {
+                // Partition-point semantics over the combined order: if the first
+                // in-horizon element is in the cold store, its scan emits from there
+                // and everything resident follows; otherwise partition the resident
+                // vector exactly as a memory table would.
+                let mut any_cold = false;
+                if let Some(cold) = &self.cold {
+                    cold.scan_window(window, now, &mut |e| {
+                        any_cold = true;
+                        visit(e);
+                    })?;
+                }
+                if any_cold {
+                    for e in &self.resident {
+                        visit(e);
+                    }
+                } else {
+                    for e in window.select(&self.resident, now) {
+                        visit(e);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn open_scan(&self, window: WindowSpec, now: Timestamp) -> GsnResult<ScanState> {
+        let total = self.len() as u64;
+        if total == 0 {
+            return Ok(ScanState::empty());
+        }
+        let end_seq = self.max_sequence();
+        let first_live = self
+            .first_sequence()?
+            .expect("non-empty table has a first sequence");
+        let next_seq = match window {
+            WindowSpec::Count(0) => return Ok(ScanState::empty()),
+            WindowSpec::Count(n) if (n as u64) >= total => first_live,
+            // Sequences are contiguous across the boundary (the table assigns them
+            // densely and elements spill in order), so the trailing-n start is pure
+            // arithmetic — no page is touched to open the cursor.
+            WindowSpec::Count(n) => first_live.max(end_seq + 1 - n as u64),
+            WindowSpec::LatestOnly => end_seq,
+            WindowSpec::Time(d) => {
+                let cutoff = now.saturating_sub(d);
+                match self.first_selected_by_time(window, now, cutoff)? {
+                    Some(seq) => seq,
+                    None => return Ok(ScanState::empty()),
+                }
+            }
+        };
+        Ok(ScanState::sequence_range(next_seq, end_seq))
+    }
+
+    fn open_scan_after(&self, after: u64) -> GsnResult<ScanState> {
+        let end_seq = self.max_sequence();
+        if end_seq <= after {
+            return Ok(ScanState::empty());
+        }
+        Ok(ScanState::sequence_range(after + 1, end_seq))
+    }
+
+    fn first_sequence(&self) -> GsnResult<Option<u64>> {
+        if let Some(cold) = &self.cold {
+            if cold.len() > 0 {
+                return cold.first_sequence();
+            }
+        }
+        Ok(self.resident.first().map(StreamElement::sequence))
+    }
+
+    fn scan_next(&self, state: &mut ScanState) -> GsnResult<Option<Vec<StreamElement>>> {
+        match &mut state.0 {
+            ScanStateInner::Buffered { elements, pos } => Ok(memory_scan_next(elements, pos)),
+            ScanStateInner::Rows { .. } => Err(GsnError::storage(
+                "page scan state handed to a spilling backend",
+            )),
+            ScanStateInner::Sequence { next_seq, end_seq } => {
+                if *next_seq > *end_seq {
+                    return Ok(None);
+                }
+                // Cold first: the store's high-water mark moves up as elements spill
+                // between pulls, so this re-check per batch is what makes the cursor
+                // seamless across the boundary.
+                if let Some(cold) = &self.cold {
+                    if cold.len() > 0 && cold.max_sequence() >= *next_seq {
+                        let mut sub = cold.open_scan_after(next_seq.saturating_sub(1))?;
+                        if let Some(mut batch) = cold.scan_next(&mut sub)? {
+                            batch.retain(|e| e.sequence() <= *end_seq);
+                            if let Some(last) = batch.last() {
+                                *next_seq = last.sequence() + 1;
+                                return Ok(Some(batch));
+                            }
+                            return Ok(None); // everything left is past the snapshot
+                        }
+                    }
+                }
+                let start = self.resident.partition_point(|e| e.sequence() < *next_seq);
+                let batch: Vec<StreamElement> = self.resident[start..]
+                    .iter()
+                    .take(MEMORY_SCAN_BATCH)
+                    .take_while(|e| e.sequence() <= *end_seq)
+                    .cloned()
+                    .collect();
+                match batch.last() {
+                    Some(last) => {
+                        *next_seq = last.sequence() + 1;
+                        Ok(Some(batch))
+                    }
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+
+    fn prune_to_elements(&mut self, keep: usize) -> GsnResult<u64> {
+        if self.len() <= keep {
+            return Ok(0);
+        }
+        let mut pruned = 0u64;
+        if self.resident.len() >= keep {
+            // Every kept row is resident: logically empty the cold store, then prune
+            // the resident vector exactly — but only once the cold store really is
+            // empty, so no middle rows ever vanish while older ones survive.
+            if let Some(cold) = &mut self.cold {
+                pruned += cold.prune_to_elements(0)?;
+            }
+            if self.cold_live() == 0 {
+                let drop = self.resident.len() - keep;
+                self.drop_resident_front(drop);
+                pruned += drop as u64;
+            }
+        } else if let Some(cold) = &mut self.cold {
+            pruned += cold.prune_to_elements(keep - self.resident.len())?;
+        }
+        Ok(pruned)
+    }
+
+    fn prune_horizon(&mut self, cutoff: Timestamp, min_keep: usize) -> GsnResult<u64> {
+        let mut pruned = 0u64;
+        let resident_len = self.resident.len();
+        if let Some(cold) = &mut self.cold {
+            pruned += cold.prune_horizon(cutoff, min_keep.saturating_sub(resident_len))?;
+        }
+        if self.cold_live() == 0 {
+            let by_time = self.resident.partition_point(|e| e.timestamp() < cutoff);
+            let drop = by_time.min(self.resident.len().saturating_sub(min_keep));
+            if drop > 0 {
+                self.drop_resident_front(drop);
+                pruned += drop as u64;
+            }
+        }
+        Ok(pruned)
+    }
+
+    fn flush(&mut self) -> GsnResult<()> {
+        match &mut self.cold {
+            Some(cold) => cold.flush(),
+            None => Ok(()),
+        }
+    }
+
+    fn reclaim(&mut self) -> GsnResult<ReclaimStats> {
+        match &mut self.cold {
+            Some(cold) => cold.reclaim(),
+            None => Ok(ReclaimStats::default()),
+        }
+    }
+
+    fn disk_usage(&self) -> Option<DiskUsage> {
+        self.cold.as_ref().and_then(|c| c.disk_usage())
+    }
+
+    fn pool_stats(&self) -> Option<BufferPoolStats> {
+        self.cold.as_ref().and_then(|c| c.pool_stats())
+    }
+
+    fn destroy(self: Box<Self>) -> GsnResult<()> {
+        match self.cold {
+            Some(cold) => Box::new(cold).destroy(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use crate::testutil::temp_dir;
+    use gsn_types::{DataType, Duration, Value};
+
+    fn schema() -> Arc<StreamSchema> {
+        Arc::new(
+            StreamSchema::from_pairs(&[("v", DataType::Integer), ("payload", DataType::Binary)])
+                .unwrap(),
+        )
+    }
+
+    fn element(schema: &Arc<StreamSchema>, v: i64, ts: i64, payload: usize) -> StreamElement {
+        StreamElement::new(
+            Arc::clone(schema),
+            vec![Value::Integer(v), Value::binary(vec![v as u8; payload])],
+            Timestamp(ts),
+        )
+        .unwrap()
+        .with_sequence(v as u64)
+    }
+
+    fn spilling(dir: &Path, budget: usize) -> SpillingBackend {
+        SpillingBackend::create(dir, "w", schema(), SpillOptions::with_budget(budget)).unwrap()
+    }
+
+    fn values(backend: &dyn StorageBackend, window: WindowSpec, now: Timestamp) -> Vec<i64> {
+        let mut out = Vec::new();
+        backend
+            .scan_window(window, now, &mut |e| {
+                out.push(e.value("V").unwrap().as_integer().unwrap());
+            })
+            .unwrap();
+        out
+    }
+
+    fn drain(backend: &dyn StorageBackend, state: &mut ScanState) -> Vec<i64> {
+        let mut out = Vec::new();
+        while let Some(batch) = backend.scan_next(state).unwrap() {
+            out.extend(
+                batch
+                    .iter()
+                    .map(|e| e.value("V").unwrap().as_integer().unwrap()),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn spills_cold_prefix_and_scans_across_the_boundary() {
+        let dir = temp_dir("spill-boundary");
+        let s = schema();
+        let mut b = spilling(&dir, 4 * 1024);
+        let mut mem = MemoryBackend::new();
+        for i in 1..=500 {
+            let e = element(&s, i, i * 10, 64);
+            b.append(&e).unwrap();
+            mem.append(&e).unwrap();
+        }
+        assert!(b.spilled_rows() > 0, "budget must have forced spilling");
+        assert!(b.resident_len() < 500);
+        assert_eq!(b.len(), 500);
+        assert_eq!(b.max_sequence(), 500);
+        assert_eq!(b.first_sequence().unwrap(), Some(1));
+        assert_eq!(b.last().unwrap().sequence(), 500);
+        assert_eq!(b.first_timestamp().unwrap(), Some(Timestamp(10)));
+
+        let now = Timestamp(10_000);
+        for window in [
+            WindowSpec::Count(usize::MAX),
+            WindowSpec::Count(500),
+            WindowSpec::Count(100),
+            WindowSpec::Count(3),
+            WindowSpec::LatestOnly,
+            WindowSpec::Time(Duration::from_millis(1_234)),
+            WindowSpec::Time(Duration::from_millis(4_999)),
+            WindowSpec::Time(Duration::from_millis(50_000)),
+        ] {
+            let expected = values(&mem, window, now);
+            assert_eq!(values(&b, window, now), expected, "{window:?} visit");
+            let mut st = b.open_scan(window, now).unwrap();
+            assert_eq!(drain(&b, &mut st), expected, "{window:?} cursor");
+        }
+    }
+
+    #[test]
+    fn delta_cursor_crosses_the_boundary_and_survives_spilling() {
+        let dir = temp_dir("spill-delta");
+        let s = schema();
+        let mut b = spilling(&dir, 2 * 1024);
+        for i in 1..=200 {
+            b.append(&element(&s, i, i, 64)).unwrap();
+        }
+        let mut st = b.open_scan_after(0).unwrap();
+        // Pull one batch (from the cold store), then keep appending — which spills
+        // formerly-resident rows the cursor has not read yet.
+        let first = b.scan_next(&mut st).unwrap().unwrap();
+        assert!(first[0].sequence() == 1);
+        for i in 201..=400 {
+            b.append(&element(&s, i, i, 64)).unwrap();
+        }
+        let mut got: Vec<i64> = first
+            .iter()
+            .map(|e| e.value("V").unwrap().as_integer().unwrap())
+            .collect();
+        got.extend(drain(&b, &mut st));
+        // The snapshot bound is 200; every one of those rows arrives exactly once.
+        assert_eq!(got, (1..=200).collect::<Vec<i64>>());
+        // A fresh delta scan sees the newer rows.
+        let mut st = b.open_scan_after(200).unwrap();
+        assert_eq!(drain(&b, &mut st), (201..=400).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn pruning_never_leaves_gaps() {
+        let dir = temp_dir("spill-prune");
+        let s = schema();
+        let mut b = spilling(&dir, 2 * 1024);
+        for i in 1..=300 {
+            b.append(&element(&s, i, i * 10, 64)).unwrap();
+        }
+        b.prune_to_elements(50).unwrap();
+        let kept = values(&b, WindowSpec::Count(usize::MAX), Timestamp(10_000));
+        // Page-granular on the cold side: at least 50 live, contiguous, ending at 300.
+        assert!(kept.len() >= 50);
+        assert_eq!(kept.last().copied(), Some(300));
+        let expect: Vec<i64> = ((300 - kept.len() as i64 + 1)..=300).collect();
+        assert_eq!(kept, expect, "no gaps across the boundary");
+
+        b.prune_horizon(Timestamp(2_900), 1).unwrap();
+        let kept = values(&b, WindowSpec::Count(usize::MAX), Timestamp(10_000));
+        assert!(!kept.is_empty());
+        assert_eq!(kept.last().copied(), Some(300));
+        let expect: Vec<i64> = ((300 - kept.len() as i64 + 1)..=300).collect();
+        assert_eq!(kept, expect);
+    }
+
+    #[test]
+    fn reclaim_and_disk_usage_reach_the_cold_store() {
+        let dir = temp_dir("spill-reclaim");
+        let s = schema();
+        let mut b = SpillingBackend::create(
+            &dir,
+            "w",
+            schema(),
+            SpillOptions {
+                budget_bytes: 1024,
+                persistent: PersistentOptions {
+                    segment_pages: 2,
+                    pool_pages: 4,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        for i in 1..=400 {
+            b.append(&element(&s, i, i, 64)).unwrap();
+        }
+        let usage = b.disk_usage().expect("cold store exists");
+        assert!(usage.on_disk_bytes > 0);
+        assert!(usage.total_segments > 2);
+        b.prune_to_elements(30).unwrap();
+        let stats = b.reclaim().unwrap();
+        assert!(stats.segments_deleted > 0, "{stats:?}");
+        let after = b.disk_usage().unwrap();
+        assert!(after.on_disk_bytes < usage.on_disk_bytes);
+        // Query correctness is unaffected.
+        let tail = values(&b, WindowSpec::Count(10), Timestamp(10_000));
+        assert_eq!(tail, (391..=400).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn stale_spill_files_are_wiped_on_create() {
+        let dir = temp_dir("spill-wipe");
+        let s = schema();
+        {
+            let mut b = spilling(&dir, 512);
+            for i in 1..=100 {
+                b.append(&element(&s, i, i, 64)).unwrap();
+            }
+            assert!(b.spilled_rows() > 0);
+            b.flush().unwrap();
+            // Dropped without destroy: files stay behind, as after a crash.
+        }
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_some());
+        let b = spilling(&dir, 512);
+        assert_eq!(
+            b.len(),
+            0,
+            "previous incarnation's spill must not resurrect"
+        );
+        assert!(
+            std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "stale files wiped eagerly"
+        );
+    }
+
+    #[test]
+    fn destroy_removes_cold_files() {
+        let dir = temp_dir("spill-destroy");
+        let s = schema();
+        let mut b = spilling(&dir, 512);
+        for i in 1..=100 {
+            b.append(&element(&s, i, i, 64)).unwrap();
+        }
+        Box::new(b).destroy().unwrap();
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+    }
+}

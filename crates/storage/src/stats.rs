@@ -45,13 +45,27 @@ impl fmt::Display for TableStats {
     }
 }
 
+/// Per-table on-disk footprint, as reported in [`StorageStats::tables_on_disk`] (one
+/// entry per table that owns disk state: persistent and spilled-window tables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDiskStats {
+    /// The table name.
+    pub name: String,
+    /// Which engine backs it.
+    pub kind: crate::backend::BackendKind,
+    /// Footprint and lifetime reclamation counters.
+    pub usage: crate::retention::DiskUsage,
+}
+
 /// Node-level storage statistics aggregated across every table.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct StorageStats {
     /// Number of tables currently managed.
     pub tables: usize,
     /// Number of tables backed by the persistent page engine.
     pub persistent_tables: usize,
+    /// Number of memory tables with a disk-spilled cold prefix.
+    pub spilled_tables: usize,
     /// Elements currently retained across all tables.
     pub retained_elements: usize,
     /// Bytes currently retained across all tables.
@@ -61,20 +75,40 @@ pub struct StorageStats {
     pub pool: crate::buffer::BufferPoolStats,
     /// Sum of per-table lifetime counters.
     pub totals: TableStats,
+    /// Aggregate on-disk footprint across every disk-owning table.
+    pub disk: crate::retention::DiskUsage,
+    /// Per-table on-disk footprint (persistent and spilled tables only), sorted by
+    /// table name.
+    pub tables_on_disk: Vec<TableDiskStats>,
+    /// Lifetime counters of the retention maintenance pass.
+    pub maintenance: crate::retention::MaintenanceTotals,
 }
 
 impl fmt::Display for StorageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} tables ({} persistent, {} pages resident), {} elements ({} bytes) retained; {}",
+            "{} tables ({} persistent, {} spilled, {} pages resident), {} elements ({} bytes) retained; {}",
             self.tables,
             self.persistent_tables,
+            self.spilled_tables,
             self.pool.resident_pages,
             self.retained_elements,
             self.retained_bytes,
             self.totals
-        )
+        )?;
+        if self.disk.total_segments > 0 || self.disk.reclaimed_bytes > 0 {
+            write!(
+                f,
+                "; disk {} B in {}/{} live segments, {} B reclaimed in {} maintenance passes",
+                self.disk.on_disk_bytes,
+                self.disk.live_segments,
+                self.disk.total_segments,
+                self.disk.reclaimed_bytes,
+                self.maintenance.passes
+            )?;
+        }
+        Ok(())
     }
 }
 

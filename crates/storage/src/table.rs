@@ -20,6 +20,8 @@ use crate::backend::{
     BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, ScanState, StorageBackend,
 };
 use crate::buffer::BufferPoolStats;
+use crate::retention::{DiskUsage, ReclaimStats};
+use crate::spill::{SpillOptions, SpillingBackend};
 use crate::stats::TableStats;
 use crate::window::{Retention, WindowSpec};
 
@@ -79,6 +81,31 @@ impl StreamTable {
             // Lifetime counters cover this incarnation only; recovered history shows up
             // in len()/retained_bytes(), not in `inserted` (re-opening must not inflate
             // ingest totals across restarts).
+            stats: TableStats::default(),
+        })
+    }
+
+    /// Creates a *spill-capable* table: memory-resident until the configured budget is
+    /// exceeded, then transparently spilling its cold prefix to a persistent segment
+    /// store under `dir`.  Semantically a memory table — nothing survives a restart
+    /// (stale spill files are wiped) — but very large windows (`storage-size="30d"`)
+    /// query in bounded memory through the shared buffer pool.
+    pub fn spilling(
+        name: &str,
+        schema: Arc<StreamSchema>,
+        retention: Retention,
+        dir: &Path,
+        options: SpillOptions,
+    ) -> GsnResult<StreamTable> {
+        let backend = SpillingBackend::create(dir, name, Arc::clone(&schema), options)?;
+        Ok(StreamTable {
+            name: name.to_owned(),
+            schema,
+            retention,
+            min_elements: 1,
+            backend: Box::new(backend),
+            next_sequence: 1,
+            last_timestamp: None,
             stats: TableStats::default(),
         })
     }
@@ -343,6 +370,19 @@ impl StreamTable {
             (Some(first), Some(last)) => last.timestamp() - first,
             _ => Duration::ZERO,
         }
+    }
+
+    /// Reclaims file space held by pruned rows: deletes fully dead head segments and
+    /// compacts the boundary segment (no-op for in-memory tables).  Called by the
+    /// storage manager's maintenance pass.
+    pub fn reclaim(&mut self) -> GsnResult<ReclaimStats> {
+        self.backend.reclaim()
+    }
+
+    /// On-disk footprint and lifetime reclamation counters, when this table owns disk
+    /// state.
+    pub fn disk_usage(&self) -> Option<DiskUsage> {
+        self.backend.disk_usage()
     }
 
     /// Checkpoints a persistent table to stable storage (no-op for in-memory tables).

@@ -35,6 +35,11 @@ pub enum SyncMode {
     /// tail of un-checkpointed elements (a clean shutdown loses nothing).
     #[default]
     OnCheckpoint,
+    /// No logging at all: appends are dropped and replay yields nothing.  For stores
+    /// whose contents are *reconstructible* and wiped on restart — the disk-spilled
+    /// window store uses this, because a spilled window is a cache of live stream data
+    /// that a restarted container rebuilds from scratch anyway.
+    Disabled,
 }
 
 /// An append-only record log.
@@ -115,8 +120,11 @@ impl Wal {
         self.bytes
     }
 
-    /// Appends one record, honouring the sync mode.
+    /// Appends one record, honouring the sync mode ([`SyncMode::Disabled`] drops it).
     pub fn append(&mut self, payload: &[u8]) -> GsnResult<()> {
+        if self.sync == SyncMode::Disabled {
+            return Ok(());
+        }
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -166,6 +174,9 @@ impl Wal {
 
     /// Truncates the log after a checkpoint made the heap authoritative.
     pub fn reset(&mut self) -> GsnResult<()> {
+        if self.sync == SyncMode::Disabled {
+            return Ok(());
+        }
         self.file
             .set_len(0)
             .and_then(|_| self.file.seek(SeekFrom::Start(0)))
@@ -180,6 +191,9 @@ impl Wal {
     /// Forces buffered records to stable storage.
     pub fn sync(&mut self) -> GsnResult<()> {
         self.sync_pending = false;
+        if self.sync == SyncMode::Disabled {
+            return Ok(());
+        }
         self.file
             .sync_data()
             .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))
@@ -305,6 +319,22 @@ mod tests {
         }
         let mut wal = Wal::open(&path, SyncMode::Always).unwrap();
         assert_eq!(wal.replay().unwrap().len(), 11);
+    }
+
+    #[test]
+    fn disabled_mode_logs_nothing() {
+        let path = temp_wal("wal-disabled");
+        {
+            let mut wal = Wal::open(&path, SyncMode::Disabled).unwrap();
+            wal.append(b"dropped").unwrap();
+            assert_eq!(wal.len_bytes(), 0);
+            wal.sync().unwrap();
+            wal.reset().unwrap();
+            assert!(wal.replay().unwrap().is_empty());
+        }
+        // Nothing survives: a durable re-open of the same path replays nothing.
+        let mut wal = Wal::open(&path, SyncMode::OnCheckpoint).unwrap();
+        assert!(wal.replay().unwrap().is_empty());
     }
 
     #[test]

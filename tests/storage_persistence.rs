@@ -379,6 +379,83 @@ fn container_restart_recovers_permanent_history() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Restart recovery across a *segment-truncation* boundary: a bounded durable table
+/// whose head segments were deleted (and boundary segment compacted) by the
+/// maintenance pass recovers exactly its surviving rows, with sequence numbering
+/// continuing where it stopped — the segment headers' `first_row` anchors survive the
+/// reclamation.
+#[test]
+fn restart_recovers_across_a_segment_truncation_boundary() {
+    let dir = temp_dir("segment-truncation-restart");
+    let schema = Arc::new(StreamSchema::from_pairs(&[("v", DataType::Integer)]).unwrap());
+    let options = PersistentOptions {
+        segment_pages: 2,
+        pool_pages: 4,
+        ..Default::default()
+    };
+    let (oldest_live, reclaimed) = {
+        let mut table = StreamTable::persistent(
+            "truncated",
+            Arc::clone(&schema),
+            Retention::Elements(60),
+            &dir,
+            options.clone(),
+        )
+        .unwrap();
+        for i in 1..=2_000i64 {
+            table
+                .insert_values(vec![Value::Integer(i)], Timestamp(i))
+                .unwrap();
+        }
+        let stats = table.reclaim().unwrap();
+        assert!(stats.segments_deleted > 0, "{stats:?}");
+        (
+            table.first_live_sequence().unwrap().unwrap(),
+            stats.bytes_reclaimed,
+        )
+    }; // drop checkpoints
+    assert!(reclaimed > 0);
+
+    let mut table = StreamTable::persistent(
+        "truncated",
+        Arc::clone(&schema),
+        Retention::Elements(60),
+        &dir,
+        options,
+    )
+    .unwrap();
+    assert_eq!(table.last_sequence(), 2_000);
+    assert_eq!(table.first_live_sequence().unwrap(), Some(oldest_live));
+    let recovered: Vec<i64> = table
+        .window_view(WindowSpec::Count(usize::MAX), Timestamp::MAX)
+        .iter()
+        .map(|e| e.value("V").unwrap().as_integer().unwrap())
+        .collect();
+    assert_eq!(
+        recovered,
+        (oldest_live as i64..=2_000).collect::<Vec<i64>>(),
+        "recovered history must be the exact surviving suffix"
+    );
+    // Delta cursors resume with the exact sequence→row mapping after the restart.
+    let mut scan = table.open_delta_scan(1_990).unwrap();
+    let mut resumed = Vec::new();
+    while let Some(batch) = table.scan_next(&mut scan).unwrap() {
+        resumed.extend(
+            batch
+                .iter()
+                .map(|e| e.value("V").unwrap().as_integer().unwrap()),
+        );
+    }
+    assert_eq!(resumed, (1_991..=2_000).collect::<Vec<i64>>());
+    // And ingest continues the numbering.
+    let e = table
+        .insert_values(vec![Value::Integer(2_001)], Timestamp(2_001))
+        .unwrap();
+    assert_eq!(e.sequence(), 2_001);
+    drop(table);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Without a data directory, `permanent-storage="true"` behaves like the seed: memory
 /// only, nothing recovered after a restart.
 #[test]
@@ -410,6 +487,7 @@ fn bounded_pool_serves_table_larger_than_memory_budget() {
             pool_pages,
             ..Default::default()
         },
+        window_spill_bytes: None,
     });
     let schema = Arc::new(
         StreamSchema::from_pairs(&[("v", DataType::Integer), ("tag", DataType::Varchar)]).unwrap(),
