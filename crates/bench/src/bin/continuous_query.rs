@@ -43,6 +43,7 @@ fn main() {
 
     println!("# continuous_query — incremental vs full re-evaluation (window = {window} rows)");
     println!("clients\tmode\tmean total ms\tper client us\telements/s\tspeedup");
+    let mut last_metrics = None;
     for &clients in client_counts {
         let mut cells = Vec::new();
         for incremental in [false, true] {
@@ -55,6 +56,9 @@ fn main() {
             })
             .expect("harness build");
             let point = harness.run().expect("bench run");
+            if incremental {
+                last_metrics = Some(harness.metrics_snapshot());
+            }
             cells.push(point);
         }
         let full = cells[0];
@@ -98,6 +102,10 @@ fn main() {
                 "incremental must beat full re-evaluation by >=5x at {clients} clients, got {speedup:.1}x"
             );
         }
+    }
+
+    if let Some(metrics) = last_metrics {
+        report.set_telemetry(metrics);
     }
 
     match write_report(&report) {

@@ -55,6 +55,7 @@ fn main() {
     );
 
     let mut baseline: Option<f64> = None;
+    let mut last_metrics = None;
     for workers in WORKER_SWEEP {
         let result = run_with_workers(&config, workers);
         let base = *baseline.get_or_insert(result.elements_per_sec);
@@ -79,6 +80,10 @@ fn main() {
             speedup,
             cores as f64,
         ]);
+        last_metrics = Some(result.metrics);
+    }
+    if let Some(metrics) = last_metrics {
+        report.set_telemetry(metrics);
     }
 
     match write_report(&report) {

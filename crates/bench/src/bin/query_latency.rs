@@ -29,6 +29,7 @@ struct Cell {
     limit_ms: f64,
     limit_rows_scanned: u64,
     limit_pages_read: u64,
+    metrics: gsn::telemetry::MetricsSnapshot,
 }
 
 fn schema() -> Arc<StreamSchema> {
@@ -109,6 +110,7 @@ fn run_cell(disk: bool, rows: usize) -> Cell {
         limit_ms,
         limit_rows_scanned: limited.rows_scanned(),
         limit_pages_read: limited.pages_read(),
+        metrics: container.metrics_snapshot(),
     };
     drop(container);
     let _ = std::fs::remove_dir_all(&dir);
@@ -148,6 +150,7 @@ fn main() {
         "limit pages",
         "speedup"
     );
+    let mut last_metrics = None;
     for disk in [false, true] {
         let cell = run_cell(disk, rows);
         let speedup = if cell.limit_ms > 0.0 {
@@ -191,6 +194,10 @@ fn main() {
             cell.limit_pages_read as f64,
             speedup,
         ]);
+        last_metrics = Some(cell.metrics);
+    }
+    if let Some(metrics) = last_metrics {
+        report.set_telemetry(metrics);
     }
 
     match write_report(&report) {

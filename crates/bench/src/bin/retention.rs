@@ -100,6 +100,7 @@ fn main() {
         spill.tail_scan_ms,
         spill.resident_pages as f64,
     ]);
+    report.set_telemetry(reclaim.metrics);
 
     match write_report(&report) {
         Ok(path) => eprintln!("\nreport written to {}", path.display()),

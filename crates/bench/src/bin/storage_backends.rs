@@ -74,6 +74,7 @@ fn main() {
         "resident"
     );
 
+    let mut last_metrics = None;
     for config in cells(quick) {
         for result in [run_memory(&config), run_persistent(&config)] {
             print_row(&config, &result);
@@ -88,7 +89,11 @@ fn main() {
                 result.recovery_ms,
                 result.resident_pages as f64,
             ]);
+            last_metrics = Some(result.metrics);
         }
+    }
+    if let Some(metrics) = last_metrics {
+        report.set_telemetry(metrics);
     }
 
     match write_report(&report) {

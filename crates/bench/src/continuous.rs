@@ -175,7 +175,7 @@ impl ContinuousHarness {
         }
         let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
         let max = totals.iter().cloned().fold(0.0f64, f64::max);
-        let (stats, _) = self.repository.stats();
+        let telemetry = self.repository.telemetry();
         Ok(ContinuousPoint {
             clients: self.config.clients,
             incremental: self.config.incremental,
@@ -187,9 +187,18 @@ impl ContinuousHarness {
                 mean * 1_000.0 / self.config.clients as f64
             },
             elements_per_sec: if mean > 0.0 { 1_000.0 / mean } else { 0.0 },
-            incremental_evaluated: stats.incremental_evaluated,
-            fallback_evaluated: stats.fallback_evaluated,
+            incremental_evaluated: telemetry.incremental_evaluated.get(),
+            fallback_evaluated: telemetry.fallback_evaluated.get(),
         })
+    }
+
+    /// The harness' query- and storage-layer telemetry, registered into a fresh
+    /// registry and frozen (for the report's `telemetry` section).
+    pub fn metrics_snapshot(&self) -> gsn_telemetry::MetricsSnapshot {
+        let registry = gsn_telemetry::MetricsRegistry::new();
+        self.repository.telemetry().register_into(&registry);
+        self.storage.telemetry().register_into(&registry);
+        registry.snapshot()
     }
 }
 

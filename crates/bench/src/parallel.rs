@@ -63,6 +63,8 @@ pub struct ParallelBenchResult {
     pub elapsed_ms: f64,
     /// Pipeline throughput: elements / elapsed seconds.
     pub elements_per_sec: f64,
+    /// The container's metrics snapshot at the end of the run.
+    pub metrics: gsn_telemetry::MetricsSnapshot,
 }
 
 fn mote_descriptor(
@@ -118,6 +120,7 @@ pub fn run_with_workers(config: &ParallelBenchConfig, workers: usize) -> Paralle
         outputs: total.outputs,
         elapsed_ms: secs * 1_000.0,
         elements_per_sec: elements as f64 / secs,
+        metrics: node.metrics_snapshot(),
     }
 }
 

@@ -7,6 +7,7 @@
 use std::fs;
 use std::path::PathBuf;
 
+use gsn_telemetry::{MetricsSnapshot, SampleValue};
 use gsn_types::json::Json;
 
 /// A named benchmark report (one per reproduced figure).
@@ -20,6 +21,8 @@ pub struct BenchReport {
     pub columns: Vec<String>,
     /// The data rows.
     pub rows: Vec<Vec<f64>>,
+    /// Container metrics captured at the end of the run (optional).
+    pub telemetry: Option<MetricsSnapshot>,
 }
 
 impl BenchReport {
@@ -30,7 +33,14 @@ impl BenchReport {
             description: description.to_owned(),
             columns: columns.iter().map(|c| c.to_string()).collect(),
             rows: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a container metrics snapshot; it is serialised as a `telemetry`
+    /// section in the JSON file so a run's numbers carry their own health data.
+    pub fn set_telemetry(&mut self, snapshot: MetricsSnapshot) {
+        self.telemetry = Some(snapshot);
     }
 
     /// Appends one row (must match the column count).
@@ -69,7 +79,7 @@ impl BenchReport {
 
     /// Converts to a JSON tree.
     pub fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut pairs = vec![
             ("id", Json::string(self.id.clone())),
             ("description", Json::string(self.description.clone())),
             (
@@ -90,8 +100,48 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(snapshot) = &self.telemetry {
+            pairs.push(("telemetry", telemetry_to_json(snapshot)));
+        }
+        Json::object(pairs)
     }
+}
+
+/// Serialises a metrics snapshot: counters and gauges as numbers, histograms as
+/// `{count, sum, p50, p90, p99, max}` objects, labelled series keyed
+/// `name{label}`.
+pub fn telemetry_to_json(snapshot: &MetricsSnapshot) -> Json {
+    let entries: Vec<(String, Json)> = snapshot
+        .metrics
+        .iter()
+        .map(|m| {
+            let key = if m.label.is_empty() {
+                m.name.clone()
+            } else {
+                format!("{}{{{}}}", m.name, m.label)
+            };
+            let value = match &m.value {
+                SampleValue::Counter(v) => Json::number(*v as f64),
+                SampleValue::Gauge(v) => Json::number(*v as f64),
+                SampleValue::Histogram(h) => Json::object(vec![
+                    ("count", Json::number(h.count as f64)),
+                    ("sum", Json::number(h.sum as f64)),
+                    ("p50", Json::number(h.p50 as f64)),
+                    ("p90", Json::number(h.p90 as f64)),
+                    ("p99", Json::number(h.p99 as f64)),
+                    ("max", Json::number(h.max as f64)),
+                ]),
+            };
+            (key, value)
+        })
+        .collect();
+    Json::object(
+        entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect(),
+    )
 }
 
 /// Writes a report to `target/bench-reports/<id>.json`, returning the path.
@@ -150,6 +200,27 @@ mod tests {
         let json = sample().to_json().to_compact_string();
         assert!(json.contains("\"id\":\"fig_test\""));
         assert!(json.contains("\"rows\":[[10,2.5],[1000,0.75]]"));
+    }
+
+    #[test]
+    fn telemetry_section_serialises_all_sample_kinds() {
+        use gsn_telemetry::{MetricDesc, MetricsRegistry};
+        static C: MetricDesc = MetricDesc::counter("rep_counter", "c", "events");
+        static G: MetricDesc = MetricDesc::gauge("rep_gauge", "g", "bytes");
+        static H: MetricDesc = MetricDesc::histogram("rep_hist", "h", "microseconds");
+        let registry = MetricsRegistry::new();
+        registry.counter(&C).add(3);
+        registry.gauge(&G).set(-7);
+        registry.histogram(&H).record(100);
+        let mut r = sample();
+        r.set_telemetry(registry.snapshot());
+        let json = r.to_json().to_compact_string();
+        assert!(json.contains("\"telemetry\":"));
+        assert!(json.contains("\"rep_counter\":3"));
+        assert!(json.contains("\"rep_gauge\":-7"));
+        assert!(json.contains("\"rep_hist\":{\"count\":1"));
+        // Without a snapshot the section is absent entirely.
+        assert!(!sample().to_json().to_compact_string().contains("telemetry"));
     }
 
     #[test]

@@ -15,7 +15,10 @@
 
 use std::time::Instant;
 
-use gsn_storage::{PersistentOptions, Retention, SpillOptions, StreamTable, WindowSpec};
+use gsn_storage::{
+    PersistentOptions, Retention, SpillOptions, StorageTelemetry, StreamTable, WindowSpec,
+};
+use gsn_telemetry::{MetricsRegistry, MetricsSnapshot};
 use gsn_types::{DataType, Duration, StreamSchema, Timestamp, Value};
 use std::sync::Arc;
 
@@ -93,6 +96,9 @@ pub struct ReclaimBenchResult {
     pub live_segments: u64,
     /// See `live_segments`.
     pub total_segments: u64,
+    /// Storage-layer telemetry of the run (reclaim latency distribution and
+    /// maintenance counters).
+    pub metrics: MetricsSnapshot,
 }
 
 fn schema() -> Arc<StreamSchema> {
@@ -128,11 +134,25 @@ pub fn run_reclaim(config: &RetentionBenchConfig) -> ReclaimBenchResult {
     .unwrap();
 
     let payload = vec![7u8; config.payload_bytes];
+    // The bench drives a bare table (no StorageManager), so it records into its
+    // own storage-telemetry handles and freezes them for the report.
+    let telemetry = StorageTelemetry::new();
     let started = Instant::now();
     let mut maintain_time = std::time::Duration::ZERO;
     let mut reclaimed = 0u64;
     let mut deleted = 0u64;
     let mut compacted = 0u64;
+    let reclaim_pass = |table: &mut StreamTable, maintain_time: &mut std::time::Duration| {
+        let t = Instant::now();
+        let stats = table.reclaim().unwrap();
+        let pass = t.elapsed();
+        *maintain_time += pass;
+        telemetry.reclaim_micros.record(pass.as_micros() as u64);
+        telemetry.segments_deleted.add(stats.segments_deleted);
+        telemetry.segments_compacted.add(stats.segments_compacted);
+        telemetry.bytes_reclaimed.add(stats.bytes_reclaimed);
+        stats
+    };
     for i in 1..=config.elements {
         table
             .insert_values(
@@ -141,18 +161,14 @@ pub fn run_reclaim(config: &RetentionBenchConfig) -> ReclaimBenchResult {
             )
             .unwrap();
         if i % config.maintain_every == 0 {
-            let t = Instant::now();
-            let stats = table.reclaim().unwrap();
-            maintain_time += t.elapsed();
+            let stats = reclaim_pass(&mut table, &mut maintain_time);
             reclaimed += stats.bytes_reclaimed;
             deleted += stats.segments_deleted;
             compacted += stats.segments_compacted;
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let stats = table.reclaim().unwrap();
-    maintain_time += t.elapsed();
+    let stats = reclaim_pass(&mut table, &mut maintain_time);
     reclaimed += stats.bytes_reclaimed;
     deleted += stats.segments_deleted;
     compacted += stats.segments_compacted;
@@ -187,6 +203,11 @@ pub fn run_reclaim(config: &RetentionBenchConfig) -> ReclaimBenchResult {
         final_disk_bytes: usage.on_disk_bytes,
         live_segments: usage.live_segments,
         total_segments: usage.total_segments,
+        metrics: {
+            let registry = MetricsRegistry::new();
+            telemetry.register_into(&registry);
+            registry.snapshot()
+        },
     };
     drop(table);
     let _ = std::fs::remove_dir_all(&dir);

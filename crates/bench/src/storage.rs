@@ -15,7 +15,53 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gsn_storage::{PersistentOptions, Retention, StreamTable, WindowSpec};
+use gsn_telemetry::{MetricDesc, MetricsRegistry, MetricsSnapshot};
 use gsn_types::{DataType, StreamElement, StreamSchema, Timestamp, Value};
+
+/// Full-table scan latency of the measured backend.
+static BENCH_FULL_SCAN_MICROS: MetricDesc = MetricDesc::histogram(
+    "bench_storage_full_scan_micros",
+    "Full-table relation scan latency",
+    "microseconds",
+);
+/// Tail-window scan latency of the measured backend.
+static BENCH_WINDOW_SCAN_MICROS: MetricDesc = MetricDesc::histogram(
+    "bench_storage_window_scan_micros",
+    "Tail-window relation scan latency",
+    "microseconds",
+);
+/// Restart-recovery latency (persistent backend only).
+static BENCH_RECOVERY_MICROS: MetricDesc = MetricDesc::histogram(
+    "bench_storage_recovery_micros",
+    "Drop + re-open recovery latency",
+    "microseconds",
+);
+/// Buffer-pool pages resident after the scans.
+static BENCH_RESIDENT_PAGES: MetricDesc = MetricDesc::gauge(
+    "bench_storage_resident_pages",
+    "Buffer-pool pages resident after the scans",
+    "pages",
+);
+
+/// Freezes the cell's phase timings as a metrics snapshot for the report.
+fn cell_snapshot(result: &StorageBenchResult) -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    registry
+        .histogram(&BENCH_FULL_SCAN_MICROS)
+        .record((result.full_scan_ms * 1_000.0) as u64);
+    registry
+        .histogram(&BENCH_WINDOW_SCAN_MICROS)
+        .record((result.window_scan_ms * 1_000.0) as u64);
+    if result.recovery_ms > 0.0 {
+        registry
+            .histogram(&BENCH_RECOVERY_MICROS)
+            .record((result.recovery_ms * 1_000.0) as u64);
+    }
+    registry
+        .gauge(&BENCH_RESIDENT_PAGES)
+        .set(result.resident_pages as i64);
+    registry.snapshot()
+}
 
 /// Workload parameters for one benchmark cell.
 #[derive(Debug, Clone)]
@@ -59,6 +105,8 @@ pub struct StorageBenchResult {
     pub recovery_ms: f64,
     /// Buffer-pool pages resident after the scans; 0 for memory.
     pub resident_pages: usize,
+    /// The cell's phase timings frozen as a metrics snapshot.
+    pub metrics: MetricsSnapshot,
 }
 
 fn schema() -> Arc<StreamSchema> {
@@ -118,7 +166,7 @@ fn measure(table: &mut StreamTable, config: &StorageBenchConfig) -> (f64, f64, f
 pub fn run_memory(config: &StorageBenchConfig) -> StorageBenchResult {
     let mut table = StreamTable::new("bench", schema(), Retention::Unbounded);
     let (elements_per_sec, full_scan_ms, window_scan_ms) = measure(&mut table, config);
-    StorageBenchResult {
+    let mut result = StorageBenchResult {
         backend: "memory",
         elements: config.elements,
         elements_per_sec,
@@ -126,7 +174,10 @@ pub fn run_memory(config: &StorageBenchConfig) -> StorageBenchResult {
         window_scan_ms,
         recovery_ms: 0.0,
         resident_pages: 0,
-    }
+        metrics: MetricsSnapshot::default(),
+    };
+    result.metrics = cell_snapshot(&result);
+    result
 }
 
 /// Runs the workload on the persistent backend in a fresh temp directory, including a
@@ -164,7 +215,9 @@ pub fn run_persistent(config: &StorageBenchConfig) -> StorageBenchResult {
         window_scan_ms,
         recovery_ms,
         resident_pages,
+        metrics: MetricsSnapshot::default(),
     };
+    result.metrics = cell_snapshot(&result);
     // Clean up the scratch directory.
     drop(recovered);
     std::fs::remove_dir_all(&dir).ok();

@@ -67,6 +67,15 @@ pub struct ContainerConfig {
     /// time windows (`storage-size="30d"`) then query in bounded memory through the
     /// shared buffer pool.  `None` keeps windows fully resident (the seed behaviour).
     pub window_spill_bytes: Option<usize>,
+    /// Structured tracing of pipeline spans.  Off by default: span begin/finish then
+    /// costs one relaxed atomic load and allocates nothing.
+    pub trace_enabled: bool,
+    /// Ring-buffer capacity of the trace log (oldest spans overwritten first).
+    pub trace_capacity: usize,
+    /// Queries slower than this land in the slow-query log with their plan explain.
+    /// `0` (the default) disables the log entirely — the observe path allocates
+    /// nothing.
+    pub slow_query_threshold_micros: u64,
 }
 
 impl Default for ContainerConfig {
@@ -87,6 +96,9 @@ impl Default for ContainerConfig {
             storage_segment_pages: PersistentOptions::default().segment_pages,
             maintenance_interval_steps: 8,
             window_spill_bytes: None,
+            trace_enabled: false,
+            trace_capacity: gsn_telemetry::DEFAULT_TRACE_CAPACITY,
+            slow_query_threshold_micros: 0,
         }
     }
 }
@@ -117,6 +129,18 @@ impl ContainerConfig {
     /// (requires a data directory to take effect).
     pub fn with_window_spill(mut self, budget_bytes: usize) -> ContainerConfig {
         self.window_spill_bytes = Some(budget_bytes);
+        self
+    }
+
+    /// Enables (or disables) structured tracing of pipeline spans.
+    pub fn with_tracing(mut self, enabled: bool) -> ContainerConfig {
+        self.trace_enabled = enabled;
+        self
+    }
+
+    /// Logs queries slower than `micros` with their plan explain (`0` disables).
+    pub fn with_slow_query_threshold(mut self, micros: u64) -> ContainerConfig {
+        self.slow_query_threshold_micros = micros;
         self
     }
 

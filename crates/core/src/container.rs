@@ -62,6 +62,9 @@ use gsn_network::{
 };
 use gsn_sql::Relation;
 use gsn_storage::{StorageManager, StorageStats, WindowSpec};
+use gsn_telemetry::{
+    MetricsRegistry, MetricsSnapshot, SlowQuery, SlowQueryLog, SpanId, Stopwatch, TraceLog,
+};
 use gsn_types::{
     Clock, GsnError, GsnResult, NodeId, StreamElement, Timestamp, Value, VirtualSensorName,
 };
@@ -78,6 +81,7 @@ use crate::query::{
     QueryRepository,
 };
 use crate::sensor::{SensorStats, SourceRef, VirtualSensor};
+use crate::telemetry::{ContainerTelemetry, SourcedMetrics, SourcedTotals};
 
 /// What one call to [`GsnContainer::step`] did — the per-tick telemetry the benchmark
 /// harnesses aggregate.
@@ -152,6 +156,9 @@ pub struct ContainerStatus {
     pub workers: usize,
     /// `(submitted, completed)` job counts of the step-loop worker pool, when sharded.
     pub pool_jobs: Option<(u64, u64)>,
+    /// The full metrics snapshot the status numbers derive from (incremental-vs-full
+    /// evaluation counts and step-phase latencies live only here).
+    pub metrics: MetricsSnapshot,
 }
 
 impl ContainerStatus {
@@ -193,26 +200,42 @@ impl ContainerStatus {
             )),
             None => out.push_str("  step loop: sequential (1 worker)\n"),
         }
+        let counter = |name: &str| {
+            self.metrics
+                .get(name)
+                .and_then(|sample| sample.as_counter())
+                .unwrap_or(0)
+        };
         out.push_str(&format!(
             "  registered client queries: {} (evaluated {}, failed {}; {} incremental / {} full)\n",
             self.registered_queries,
             self.queries.registered_evaluated,
             self.queries.registered_failed,
-            self.queries.incremental_evaluated,
-            self.queries.fallback_evaluated
+            counter("gsn_query_incremental_total"),
+            counter("gsn_query_fallback_total"),
         ));
+        if let Some(summary) = self
+            .metrics
+            .get("gsn_step_micros")
+            .and_then(|sample| sample.as_histogram())
+        {
+            if summary.count > 0 {
+                out.push_str(&format!(
+                    "  step latency: p50 {} us, p99 {} us, max {} us over {} steps\n",
+                    summary.p50, summary.p99, summary.max, summary.count
+                ));
+            }
+        }
         if self.query_partitions.len() > 1 {
             for p in &self.query_partitions {
                 if p.registered == 0 && p.stats.registered_evaluated == 0 {
                     continue;
                 }
                 out.push_str(&format!(
-                    "    query partition {}: {} registered, {} evaluated ({} incremental / {} full, {} failed)\n",
+                    "    query partition {}: {} registered, {} evaluated ({} failed)\n",
                     p.partition,
                     p.registered,
                     p.stats.registered_evaluated,
-                    p.stats.incremental_evaluated,
-                    p.stats.fallback_evaluated,
                     p.stats.registered_failed
                 ));
             }
@@ -270,6 +293,9 @@ struct PipelineRuntime {
     network: Option<Arc<SimulatedNetwork>>,
     /// Routes incoming remote deliveries: remote sensor name -> local consumers.
     remote_routes: RwLock<HashMap<String, Vec<(VirtualSensorName, SourceRef)>>>,
+    /// Structured span log shared with the step-loop workers; disabled (one relaxed
+    /// load per would-be span, no allocation) unless `ContainerConfig::trace_enabled`.
+    trace: Arc<TraceLog>,
 }
 
 /// What one shard's pipeline pass produced: its slice of the step report plus loop-back
@@ -300,7 +326,11 @@ fn pipeline_sensor(
     let Some(sensor) = view.get(name) else {
         return;
     };
+    let poll_span = runtime.trace.begin("wrapper.poll", SpanId::NONE);
     let arrivals = sensor.lock().poll_local_sources(now);
+    runtime
+        .trace
+        .finish_with(poll_span, || format!("{name}: {} arrivals", arrivals.len()));
     for (source_ref, element) in arrivals {
         out.report.local_arrivals += 1;
         process_one(runtime, view, name, source_ref, element, now, out);
@@ -328,6 +358,11 @@ fn process_one(
     let Some(sensor) = view.get(name) else {
         return;
     };
+    // One root span per element arrival; the pipeline/query/notification children hang
+    // off it, reconstructing the paper's wrapper → pipeline → storage → notification
+    // flow for a single element.
+    let element_span = runtime.trace.begin("element", SpanId::NONE);
+    let pipeline_span = runtime.trace.begin("pipeline", element_span.id());
     let (outcome, elapsed_micros, output_table) = {
         let mut guard = sensor.lock();
         let before = guard.stats().total_processing_micros;
@@ -335,24 +370,35 @@ fn process_one(
         let elapsed = guard.stats().total_processing_micros - before;
         (outcome, elapsed, guard.output_table().to_owned())
     };
+    runtime
+        .trace
+        .finish_with(pipeline_span, || format!("{name} -> {output_table}"));
     out.report.processing_micros += elapsed_micros;
     match outcome {
         Ok(Some(output)) => {
             out.report.outputs += 1;
             // Registered client queries over this sensor's output.
+            let query_span = runtime.trace.begin("query.evaluate", element_span.id());
             let results =
                 runtime
                     .query_manager
                     .evaluate_for_table(&output_table, &runtime.storage, now);
             out.report.client_query_evaluations += results.len() as u64;
+            runtime.trace.finish_with(query_span, || {
+                format!("{}: {} evaluations", output_table, results.len())
+            });
             deliver_client_results(runtime, results, now);
             // Local + remote notifications.
+            let notify_span = runtime.trace.begin("notification", element_span.id());
             runtime.notifications.lock().notify(
                 name.as_str(),
                 &output,
                 now,
                 runtime.network.as_deref(),
             );
+            runtime
+                .trace
+                .finish_with(notify_span, || name.as_str().to_owned());
             // Local loop-back remote routes (a sensor on this node consuming another
             // local sensor through the `remote` wrapper).
             let local_routes = runtime
@@ -386,6 +432,9 @@ fn process_one(
         Ok(None) => {}
         Err(_) => out.report.errors += 1,
     }
+    runtime
+        .trace
+        .finish_with(element_span, || name.as_str().to_owned());
 }
 
 /// Handles one element delivered for a remote route (a local consumer of a remote or
@@ -467,6 +516,33 @@ pub struct GsnContainer {
     remote_queries: HashMap<RequestId, RemoteQueryState>,
     /// Steps executed so far; paces the periodic storage maintenance pass.
     steps: u64,
+    /// The metrics registry every subsystem's instruments are adopted into.
+    metrics: Arc<MetricsRegistry>,
+    /// The container's own live instruments (step phases, federation counters).
+    telemetry: ContainerTelemetry,
+    /// Handles for the totals refreshed from the subsystem stats at snapshot time.
+    sourced: SourcedMetrics,
+    /// Ad-hoc queries slower than the configured threshold land here (shared with the
+    /// query repository, which reports registered evaluations into the same log).
+    slow_queries: Arc<SlowQueryLog>,
+    /// In-flight metrics scrapes this container has issued to peers.
+    pending_metric_scrapes: HashMap<RequestId, MetricScrapeState>,
+    /// Most recent snapshot received from each peer (kept after the take, so a
+    /// monitoring loop can read every peer's last known state at once).
+    peer_metrics: HashMap<NodeId, MetricsSnapshot>,
+}
+
+/// Client-side state of one in-flight peer metrics scrape.
+#[derive(Debug)]
+struct MetricScrapeState {
+    /// The scraped node (re-requests go back to it).
+    target: NodeId,
+    /// The arrived snapshot, once any.
+    snapshot: Option<MetricsSnapshot>,
+    /// Last time the request (or a re-request) was sent — paces the lossy-link retry.
+    last_request: Timestamp,
+    /// When the scrape was issued (stalled scrapes are reaped like remote queries).
+    issued: Timestamp,
 }
 
 /// Upper bound on concurrently open server-side remote query cursors; requests past
@@ -586,6 +662,8 @@ impl GsnContainer {
     ) -> GsnContainer {
         let pool = (config.workers > 1)
             .then(|| WorkerPool::new(&format!("{}-step", config.name), config.workers));
+        let trace = Arc::new(TraceLog::with_capacity(config.trace_capacity));
+        trace.set_enabled(config.trace_enabled);
         let runtime = Arc::new(PipelineRuntime {
             storage: Arc::new(StorageManager::with_options(config.storage_options())),
             query_manager: QueryRepository::with_partitions(
@@ -599,7 +677,24 @@ impl GsnContainer {
             )),
             network,
             remote_routes: RwLock::new(HashMap::new()),
+            trace,
         });
+
+        // Adopt every subsystem's instrument handles into one registry: the handles
+        // were live from construction, so nothing recorded before this point is lost.
+        let metrics = Arc::new(MetricsRegistry::new());
+        let telemetry = ContainerTelemetry::new();
+        telemetry.register_into(&metrics);
+        let sourced = SourcedMetrics::new();
+        sourced.register_into(&metrics);
+        runtime.storage.telemetry().register_into(&metrics);
+        runtime.query_manager.telemetry().register_into(&metrics);
+        let sql_telemetry = gsn_sql::SqlTelemetry::new();
+        sql_telemetry.register_into(&metrics);
+        runtime.query_manager.set_sql_telemetry(&sql_telemetry);
+        let slow_queries = Arc::clone(runtime.query_manager.slow_query_log());
+        slow_queries.set_threshold_micros(config.slow_query_threshold_micros);
+
         GsnContainer {
             registry: Arc::new(WrapperRegistry::with_builtins()),
             runtime,
@@ -614,6 +709,12 @@ impl GsnContainer {
             next_cursor_id: 1,
             remote_queries: HashMap::new(),
             steps: 0,
+            metrics,
+            telemetry,
+            sourced,
+            slow_queries,
+            pending_metric_scrapes: HashMap::new(),
+            peer_metrics: HashMap::new(),
             clock,
             config,
         }
@@ -851,9 +952,22 @@ impl GsnContainer {
         for table in prepared.referenced_tables() {
             self.access.authorize(principal, Operation::Read, table)?;
         }
-        self.runtime
-            .query_manager
-            .execute_adhoc(sql, &self.runtime.storage, self.clock.now())
+        let watch = Stopwatch::start();
+        let result =
+            self.runtime
+                .query_manager
+                .execute_adhoc(sql, &self.runtime.storage, self.clock.now());
+        if let Ok(relation) = &result {
+            let micros = watch.elapsed_micros();
+            self.slow_queries.observe(micros, || SlowQuery {
+                sql: sql.to_owned(),
+                micros,
+                explain: prepared.explain(),
+                rows_scanned: 0,
+                rows_returned: relation.row_count() as u64,
+            });
+        }
+        result
     }
 
     /// Opens a *streaming* ad-hoc query: rows are pulled in batches instead of
@@ -1067,8 +1181,12 @@ impl GsnContainer {
     pub fn step(&mut self) -> StepReport {
         let now = self.clock.now();
         let mut report = StepReport::default();
+        let step_watch = Stopwatch::start();
+        let step_span = self.runtime.trace.begin("step", SpanId::NONE);
 
         // 1. Network intake (remote deliveries, subscription management) — sequential.
+        let drain_watch = Stopwatch::start();
+        let drain_span = self.runtime.trace.begin("step.network", step_span.id());
         report.absorb(self.drain_network(now));
 
         // 1b. Retry remote subscriptions that were never acknowledged (the Subscribe
@@ -1087,16 +1205,34 @@ impl GsnContainer {
         // has waited past the retry threshold (batch sequence numbers make this
         // idempotent — the server retransmits or the client drops the duplicate).
         self.retry_stalled_remote_queries(now);
+        // Same recovery for in-flight peer metrics scrapes.
+        self.retry_stalled_metric_scrapes(now);
+        self.runtime.trace.finish(drain_span);
+        self.telemetry
+            .network_drain_micros
+            .record(drain_watch.elapsed_micros());
 
         // 2. Local wrapper polling + pipeline execution, sharded across the pool.
+        let pipeline_watch = Stopwatch::start();
+        let pipeline_span = self.runtime.trace.begin("step.pipelines", step_span.id());
         report.absorb(self.run_sensor_pipelines(now));
+        self.runtime.trace.finish(pipeline_span);
+        self.telemetry
+            .pipeline_micros
+            .record(pipeline_watch.elapsed_micros());
 
         // 3. Storage housekeeping: retention pruning, then one batched WAL fsync for
         // everything ingested this step (group commit).
+        let commit_watch = Stopwatch::start();
+        let commit_span = self.runtime.trace.begin("step.storage", step_span.id());
         self.runtime.storage.prune_all(now);
         if self.runtime.storage.group_commit().is_err() {
             report.errors += 1;
         }
+        self.runtime.trace.finish(commit_span);
+        self.telemetry
+            .commit_micros
+            .record(commit_watch.elapsed_micros());
 
         // 4. Periodic storage maintenance: reclaim file space held by pruned rows
         // (head-segment deletion, boundary compaction).  Sharded containers run it on
@@ -1124,6 +1260,12 @@ impl GsnContainer {
                 }
             }
         }
+        self.runtime.trace.finish(step_span);
+        self.telemetry.steps_total.inc();
+        self.telemetry
+            .step_micros
+            .record(step_watch.elapsed_micros());
+        self.telemetry.absorb_report(&report);
         report
     }
 
@@ -1203,6 +1345,7 @@ impl GsnContainer {
 
         // Sequential post-barrier phase: cross-shard loop-back deliveries run against
         // the full sensor map, so nested fan-out recurses inline.
+        let post_barrier_watch = Stopwatch::start();
         for (consumer, source_ref, element) in deferred {
             report.remote_arrivals += 1;
             let mut out = ShardOutcome::default();
@@ -1218,6 +1361,9 @@ impl GsnContainer {
             debug_assert!(out.deferred.is_empty());
             report.absorb(out.report);
         }
+        self.telemetry
+            .post_barrier_micros
+            .record(post_barrier_watch.elapsed_micros());
         report
     }
 
@@ -1349,6 +1495,9 @@ impl GsnContainer {
                         if state.done {
                             continue;
                         }
+                        self.telemetry
+                            .batch_rtt_millis
+                            .record(now.abs_diff(state.last_request).as_millis() as u64);
                         state.last_activity = now;
                         state.cursor = Some(cursor);
                         if seq != state.expect_seq {
@@ -1387,6 +1536,35 @@ impl GsnContainer {
                             let _ = network.send(self.config.node_id, envelope.from, message, now);
                         }
                     }
+                }
+                Message::MetricsRequest { request, from } => {
+                    // The federation scrape: answer with a full registry snapshot so
+                    // cooperating peers can monitor each other without a side channel.
+                    self.telemetry.scrapes_served_total.inc();
+                    let snapshot = self.metrics_snapshot();
+                    let _ = network.send(
+                        self.config.node_id,
+                        from,
+                        Message::MetricsSnapshot {
+                            request,
+                            node: self.config.node_id,
+                            snapshot,
+                        },
+                        now,
+                    );
+                }
+                Message::MetricsSnapshot {
+                    request,
+                    node,
+                    snapshot,
+                } => {
+                    if let Some(state) = self.pending_metric_scrapes.get_mut(&request) {
+                        if state.snapshot.is_none() {
+                            self.telemetry.peer_snapshots_total.inc();
+                            state.snapshot = Some(snapshot.clone());
+                        }
+                    }
+                    self.peer_metrics.insert(node, snapshot);
                 }
                 // Directory traffic and pongs are informational for the container.
                 Message::DirectoryRegister { .. }
@@ -1592,7 +1770,41 @@ impl GsnContainer {
                 },
             };
             state.last_request = now;
+            self.telemetry.retransmits_total.inc();
             let _ = network.send(node, state.target, message, now);
+        }
+    }
+
+    /// Re-sends the `MetricsRequest` of every in-flight peer scrape that has waited
+    /// past [`REMOTE_QUERY_RETRY_AFTER`] (the answer is idempotent — a duplicate
+    /// snapshot just overwrites the pending slot), and reaps scrapes whose peer never
+    /// answered within [`REMOTE_CURSOR_IDLE_TIMEOUT`].
+    fn retry_stalled_metric_scrapes(&mut self, now: Timestamp) {
+        self.pending_metric_scrapes.retain(|_, state| {
+            state.snapshot.is_some()
+                || state.issued >= now.saturating_sub(REMOTE_CURSOR_IDLE_TIMEOUT)
+        });
+        let Some(network) = self.runtime.network.clone() else {
+            return;
+        };
+        let node = self.config.node_id;
+        for (request, state) in self.pending_metric_scrapes.iter_mut() {
+            if state.snapshot.is_some()
+                || now.saturating_sub(REMOTE_QUERY_RETRY_AFTER) < state.last_request
+            {
+                continue;
+            }
+            state.last_request = now;
+            self.telemetry.retransmits_total.inc();
+            let _ = network.send(
+                node,
+                state.target,
+                Message::MetricsRequest {
+                    request: *request,
+                    from: node,
+                },
+                now,
+            );
         }
     }
 
@@ -1618,6 +1830,128 @@ impl GsnContainer {
                 now,
             );
         }
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Telemetry
+    // -----------------------------------------------------------------------------------
+
+    /// The container's metrics registry (attach additional application instruments
+    /// here; they appear in every snapshot and Prometheus rendering).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The structured trace log (disabled unless `ContainerConfig::trace_enabled`;
+    /// can be toggled at runtime with [`TraceLog::set_enabled`]).
+    pub fn trace_log(&self) -> &Arc<TraceLog> {
+        &self.runtime.trace
+    }
+
+    /// The slow-query log: ad-hoc queries and registered evaluations slower than
+    /// `ContainerConfig::slow_query_threshold_micros`, with their plan explains.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_queries.snapshot()
+    }
+
+    /// A typed snapshot of every metric the container exports, with the sourced
+    /// totals (storage, SQL, notification, network levels) refreshed first.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let (queries, engine) = self.runtime.query_manager.stats();
+        let storage = self.runtime.storage.stats();
+        let notifications = self.runtime.notifications.lock().stats();
+        let network = self.runtime.network.as_deref().map(SimulatedNetwork::stats);
+        self.sourced.refresh(&SourcedTotals {
+            storage: Some(&storage),
+            engine: Some(&engine),
+            queries: Some(&queries),
+            registered_queries: self.runtime.query_manager.registered_count(),
+            notifications: Some(&notifications),
+            network,
+            sensors: self.sensors.len(),
+            remote_cursors: self.open_remote_cursors(),
+            remote_queries: self.remote_queries.len(),
+        });
+        // Per-link counters, for the links this node participates in.
+        if let Some(network) = self.runtime.network.as_deref() {
+            let node = self.config.node_id;
+            for ((from, to), stats) in network.link_stats() {
+                if from != node && to != node {
+                    continue;
+                }
+                let link = format!("{from}->{to}");
+                self.metrics
+                    .counter_labeled(&crate::telemetry::NET_LINK_SENT_TOTAL, &link)
+                    .store(stats.sent);
+                self.metrics
+                    .counter_labeled(&crate::telemetry::NET_LINK_DROPPED_TOTAL, &link)
+                    .store(stats.dropped);
+                self.metrics
+                    .counter_labeled(&crate::telemetry::NET_LINK_DELIVERED_TOTAL, &link)
+                    .store(stats.delivered);
+                self.metrics
+                    .counter_labeled(&crate::telemetry::NET_LINK_BYTES_TOTAL, &link)
+                    .store(stats.bytes_sent);
+            }
+        }
+        self.metrics.snapshot()
+    }
+
+    /// The current metrics in the Prometheus text exposition format — the scrape-able
+    /// endpoint body (see `examples/telemetry.rs` for serving it over HTTP).
+    pub fn render_prometheus(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
+    }
+
+    /// Asks a peer container for its metrics snapshot over the federation wire.
+    /// The answer arrives over subsequent [`step`](Self::step)s; poll
+    /// [`take_peer_metrics`](Self::take_peer_metrics) with the returned request id.
+    /// Lost requests are re-sent by the step loop's lossy-link recovery timer.
+    pub fn request_peer_metrics(&mut self, target: NodeId) -> GsnResult<RequestId> {
+        let Some(network) = self.runtime.network.clone() else {
+            return Err(GsnError::config(
+                "this container has no network; peer metrics scrapes are unavailable",
+            ));
+        };
+        let request = self.next_request_id;
+        self.next_request_id += 1;
+        let now = self.clock.now();
+        network.send(
+            self.config.node_id,
+            target,
+            Message::MetricsRequest {
+                request,
+                from: self.config.node_id,
+            },
+            now,
+        )?;
+        self.pending_metric_scrapes.insert(
+            request,
+            MetricScrapeState {
+                target,
+                snapshot: None,
+                last_request: now,
+                issued: now,
+            },
+        );
+        Ok(request)
+    }
+
+    /// Takes the snapshot answering a [`request_peer_metrics`](Self::request_peer_metrics)
+    /// scrape: `None` while still in flight.
+    pub fn take_peer_metrics(&mut self, request: RequestId) -> Option<MetricsSnapshot> {
+        self.pending_metric_scrapes
+            .get(&request)?
+            .snapshot
+            .as_ref()?;
+        self.pending_metric_scrapes
+            .remove(&request)
+            .and_then(|state| state.snapshot)
+    }
+
+    /// The most recent snapshot received from `node`, whichever scrape delivered it.
+    pub fn peer_metrics(&self, node: NodeId) -> Option<&MetricsSnapshot> {
+        self.peer_metrics.get(&node)
     }
 
     /// A point-in-time status snapshot.
@@ -1654,6 +1988,7 @@ impl GsnContainer {
             wrapper_kinds: self.registry.kinds(),
             workers: self.pool.as_ref().map(WorkerPool::size).unwrap_or(1),
             pool_jobs: self.pool.as_ref().map(WorkerPool::stats),
+            metrics: self.metrics_snapshot(),
         }
     }
 }

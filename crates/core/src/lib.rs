@@ -41,6 +41,7 @@
 //! * [`notification`] — the notification manager.
 //! * [`pool`] — worker pools backing `<life-cycle pool-size="N">`.
 //! * [`federation`] — the multi-node harness (peer-to-peer overlay of containers).
+//! * [`telemetry`] — the container's metric descriptors and instrument handles.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -54,6 +55,7 @@ pub mod notification;
 pub mod pool;
 pub mod query;
 pub mod sensor;
+pub mod telemetry;
 
 pub use config::{system_clock, ContainerConfig};
 pub use container::{ContainerStatus, GsnContainer, RemoteQueryResult, SensorStatus, StepReport};
@@ -67,3 +69,4 @@ pub use query::{
     QueryPartitionStatus, QueryRepository,
 };
 pub use sensor::{SensorStats, SourceKind, VirtualSensor};
+pub use telemetry::{ContainerTelemetry, QueryTelemetry, SourcedMetrics, SourcedTotals};

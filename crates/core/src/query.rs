@@ -38,8 +38,11 @@ use gsn_sql::{
 use gsn_storage::{
     sampling_stride, CatalogView, LiveCatalog, StorageManager, StreamTable, WindowSpec,
 };
+use gsn_telemetry::{SlowQuery, SlowQueryLog, Stopwatch};
 use gsn_types::{GsnError, GsnResult, StreamElement, Timestamp};
 use parking_lot::{Mutex, RwLock};
+
+use crate::telemetry::QueryTelemetry;
 
 /// Identifies a registered client query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -162,6 +165,11 @@ pub struct ClientQueryResult {
 }
 
 /// Statistics of the query repository (or one of its partitions).
+///
+/// The incremental-vs-fallback split is *not* duplicated here: those counts live only
+/// in the repository's shared [`QueryTelemetry`] cells (see
+/// [`QueryRepository::telemetry`]), which every metrics snapshot and status report
+/// reads from.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryManagerStats {
     /// Ad-hoc queries executed.
@@ -170,10 +178,6 @@ pub struct QueryManagerStats {
     pub registered_evaluated: u64,
     /// Registered-query evaluations that failed.
     pub registered_failed: u64,
-    /// Evaluations served by the incremental (delta-window) executor.
-    pub incremental_evaluated: u64,
-    /// Evaluations that fell back to full re-evaluation over the live catalog.
-    pub fallback_evaluated: u64,
 }
 
 impl QueryManagerStats {
@@ -182,8 +186,6 @@ impl QueryManagerStats {
         self.adhoc_executed += other.adhoc_executed;
         self.registered_evaluated += other.registered_evaluated;
         self.registered_failed += other.registered_failed;
-        self.incremental_evaluated += other.incremental_evaluated;
-        self.fallback_evaluated += other.fallback_evaluated;
     }
 }
 
@@ -222,12 +224,15 @@ impl QueryPartition {
     }
 
     /// Evaluates this partition's queries reading `table`, appending to `out`.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_for_table(
         &mut self,
         table: &str,
         storage: &StorageManager,
         now: Timestamp,
         incremental_enabled: bool,
+        telemetry: &QueryTelemetry,
+        slow_log: &SlowQueryLog,
         out: &mut Vec<ClientQueryResult>,
     ) {
         let ids = self.by_table.get(table).cloned().unwrap_or_default();
@@ -235,6 +240,7 @@ impl QueryPartition {
             let Some(query) = self.repository.get_mut(&id) else {
                 continue;
             };
+            let watch = Stopwatch::start();
             let incremental = if incremental_enabled {
                 try_incremental(query, storage, now)
             } else {
@@ -242,20 +248,29 @@ impl QueryPartition {
             };
             let outcome = match incremental {
                 Some(relation) => {
-                    self.stats.incremental_evaluated += 1;
+                    telemetry.incremental_evaluated.inc();
                     Ok(relation)
                 }
                 None => {
                     // Full re-evaluation over the live catalog, with the views cached
                     // at registration time (no per-element catalog rebuild).
-                    self.stats.fallback_evaluated += 1;
+                    telemetry.fallback_evaluated.inc();
                     let catalog = LiveCatalog::new(storage, &query.views, now);
                     self.engine.execute_prepared(&query.prepared, &catalog)
                 }
             };
+            let micros = watch.elapsed_micros();
+            telemetry.eval_micros.record(micros);
             match outcome {
                 Ok(relation) => {
                     self.stats.registered_evaluated += 1;
+                    slow_log.observe(micros, || SlowQuery {
+                        sql: query.sql.clone(),
+                        micros,
+                        explain: query.prepared.explain(),
+                        rows_scanned: 0,
+                        rows_returned: relation.row_count() as u64,
+                    });
                     out.push(ClientQueryResult {
                         query_id: id,
                         client: query.client.clone(),
@@ -412,6 +427,12 @@ pub struct QueryRepository {
     owners: RwLock<HashMap<ClientQueryId, usize>>,
     next_id: AtomicU64,
     incremental: bool,
+    /// Shared instrument cells for the incremental/fallback split and per-evaluation
+    /// latency — the single ledger of those counts (see [`QueryManagerStats`]).
+    telemetry: QueryTelemetry,
+    /// Registered-query evaluations slower than the configured threshold land here
+    /// with their plan explain (disabled until a threshold is set).
+    slow_queries: Arc<SlowQueryLog>,
 }
 
 /// Backwards-compatible name: a repository with one partition behaves exactly like the
@@ -439,6 +460,27 @@ impl QueryRepository {
             owners: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             incremental,
+            telemetry: QueryTelemetry::new(),
+            slow_queries: Arc::new(SlowQueryLog::default()),
+        }
+    }
+
+    /// The repository's shared instrument handles (clones share the same cells).
+    pub fn telemetry(&self) -> &QueryTelemetry {
+        &self.telemetry
+    }
+
+    /// The slow-query log registered evaluations report into.  Disabled (zero
+    /// threshold) until [`SlowQueryLog::set_threshold_micros`] is called on it.
+    pub fn slow_query_log(&self) -> &Arc<SlowQueryLog> {
+        &self.slow_queries
+    }
+
+    /// Hands every partition engine the shared SQL instrument handles (compile/open/
+    /// execute latency histograms).
+    pub fn set_sql_telemetry(&self, telemetry: &gsn_sql::SqlTelemetry) {
+        for partition in &self.partitions {
+            partition.lock().engine.set_telemetry(telemetry.clone());
         }
     }
 
@@ -651,6 +693,8 @@ impl QueryRepository {
                 storage,
                 now,
                 self.incremental,
+                &self.telemetry,
+                &self.slow_queries,
                 &mut results,
             );
         }
@@ -786,9 +830,9 @@ mod tests {
         // Time window of 1s at t=1900 covers timestamps 900..1900 => temperatures 24..34.
         assert_eq!(avg_result.relation.rows()[0][0], Value::Double(29.0));
         // Both query shapes are maintained incrementally.
-        let (stats, _) = qm.stats();
-        assert_eq!(stats.incremental_evaluated, 2);
-        assert_eq!(stats.fallback_evaluated, 0);
+        assert_eq!(qm.telemetry().incremental_evaluated.get(), 2);
+        assert_eq!(qm.telemetry().fallback_evaluated.get(), 0);
+        assert_eq!(qm.telemetry().eval_micros.summary().count, 2);
 
         qm.deregister(hot).unwrap();
         assert!(qm.deregister(hot).is_err());
@@ -853,11 +897,16 @@ mod tests {
                     assert_eq!(x.relation.columns(), y.relation.columns());
                 }
             }
-            let (stats, _) = incremental.stats();
-            assert_eq!(stats.fallback_evaluated, 0, "window {window:?}");
-            assert_eq!(stats.incremental_evaluated, 30 * queries.len() as u64);
-            let (stats, _) = full.stats();
-            assert_eq!(stats.incremental_evaluated, 0);
+            assert_eq!(
+                incremental.telemetry().fallback_evaluated.get(),
+                0,
+                "window {window:?}"
+            );
+            assert_eq!(
+                incremental.telemetry().incremental_evaluated.get(),
+                30 * queries.len() as u64
+            );
+            assert_eq!(full.telemetry().incremental_evaluated.get(), 0);
         }
     }
 
@@ -875,9 +924,8 @@ mod tests {
         let results = qm.evaluate_for_table("room_temp", &storage, Timestamp(2_000));
         assert_eq!(results[0].relation.row_count(), 3);
         assert_eq!(results[0].relation.rows()[0][0], Value::Integer(34));
-        let (stats, _) = qm.stats();
-        assert_eq!(stats.fallback_evaluated, 1);
-        assert_eq!(stats.incremental_evaluated, 0);
+        assert_eq!(qm.telemetry().fallback_evaluated.get(), 1);
+        assert_eq!(qm.telemetry().incremental_evaluated.get(), 0);
         assert!(!qm.registered()[0].is_incremental());
     }
 

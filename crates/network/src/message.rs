@@ -9,6 +9,7 @@
 //! exercised, as it would be over TCP.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gsn_telemetry::{HistogramSummary, MetricSample, MetricsSnapshot, SampleValue};
 use gsn_types::{GsnError, GsnResult, NodeId, StreamElement, StreamSchema, Timestamp, Value};
 use std::sync::Arc;
 
@@ -137,6 +138,23 @@ pub enum Message {
         /// Non-empty when the query failed (rows are empty and `done` is true).
         error: String,
     },
+    /// Ask a peer for its current metrics snapshot (the federation scrape:
+    /// EMMA-style cooperating nodes report health to each other).
+    MetricsRequest {
+        /// Correlation id.
+        request: RequestId,
+        /// The scraping node (where the snapshot should be sent back).
+        from: NodeId,
+    },
+    /// A peer's typed metrics snapshot, answering [`Message::MetricsRequest`].
+    MetricsSnapshot {
+        /// Correlation id of the request.
+        request: RequestId,
+        /// The scraped node.
+        node: NodeId,
+        /// The full registry snapshot at scrape time.
+        snapshot: MetricsSnapshot,
+    },
 }
 
 impl Message {
@@ -156,6 +174,8 @@ impl Message {
             Message::QueryRequest { .. } => "query-request",
             Message::QueryNext { .. } => "query-next",
             Message::QueryBatch { .. } => "query-batch",
+            Message::MetricsRequest { .. } => "metrics-request",
+            Message::MetricsSnapshot { .. } => "metrics-snapshot",
         }
     }
 }
@@ -223,6 +243,12 @@ const TAG_PONG: u8 = 10;
 const TAG_QUERY_REQUEST: u8 = 11;
 const TAG_QUERY_NEXT: u8 = 12;
 const TAG_QUERY_BATCH: u8 = 13;
+const TAG_METRICS_REQUEST: u8 = 14;
+const TAG_METRICS_SNAPSHOT: u8 = 15;
+
+const SAMPLE_COUNTER: u8 = 0;
+const SAMPLE_GAUGE: u8 = 1;
+const SAMPLE_HISTOGRAM: u8 = 2;
 
 const VAL_NULL: u8 = 0;
 const VAL_INTEGER: u8 = 1;
@@ -355,6 +381,47 @@ pub fn encode(message: &Message) -> Bytes {
             buf.put_u8(u8::from(*done));
             put_string(&mut buf, error);
         }
+        Message::MetricsRequest { request, from } => {
+            buf.put_u8(TAG_METRICS_REQUEST);
+            buf.put_u64(*request);
+            buf.put_u64(from.as_u64());
+        }
+        Message::MetricsSnapshot {
+            request,
+            node,
+            snapshot,
+        } => {
+            buf.put_u8(TAG_METRICS_SNAPSHOT);
+            buf.put_u64(*request);
+            buf.put_u64(node.as_u64());
+            buf.put_u32(snapshot.metrics.len() as u32);
+            for sample in &snapshot.metrics {
+                put_string(&mut buf, &sample.name);
+                put_string(&mut buf, &sample.help);
+                put_string(&mut buf, &sample.unit);
+                put_string(&mut buf, &sample.label_key);
+                put_string(&mut buf, &sample.label);
+                match &sample.value {
+                    SampleValue::Counter(v) => {
+                        buf.put_u8(SAMPLE_COUNTER);
+                        buf.put_u64(*v);
+                    }
+                    SampleValue::Gauge(v) => {
+                        buf.put_u8(SAMPLE_GAUGE);
+                        buf.put_i64(*v);
+                    }
+                    SampleValue::Histogram(h) => {
+                        buf.put_u8(SAMPLE_HISTOGRAM);
+                        buf.put_u64(h.count);
+                        buf.put_u64(h.sum);
+                        buf.put_u64(h.p50);
+                        buf.put_u64(h.p90);
+                        buf.put_u64(h.p99);
+                        buf.put_u64(h.max);
+                    }
+                }
+            }
+        }
     }
     buf.freeze()
 }
@@ -453,6 +520,49 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
                 seq,
                 done: get_u8(&mut buf)? != 0,
                 error: get_string(&mut buf)?,
+            }
+        }
+        TAG_METRICS_REQUEST => Message::MetricsRequest {
+            request: get_u64(&mut buf)?,
+            from: NodeId::new(get_u64(&mut buf)?),
+        },
+        TAG_METRICS_SNAPSHOT => {
+            let request = get_u64(&mut buf)?;
+            let node = NodeId::new(get_u64(&mut buf)?);
+            let n = get_u32(&mut buf)? as usize;
+            let mut metrics = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = get_string(&mut buf)?;
+                let help = get_string(&mut buf)?;
+                let unit = get_string(&mut buf)?;
+                let label_key = get_string(&mut buf)?;
+                let label = get_string(&mut buf)?;
+                let value = match get_u8(&mut buf)? {
+                    SAMPLE_COUNTER => SampleValue::Counter(get_u64(&mut buf)?),
+                    SAMPLE_GAUGE => SampleValue::Gauge(get_i64(&mut buf)?),
+                    SAMPLE_HISTOGRAM => SampleValue::Histogram(HistogramSummary {
+                        count: get_u64(&mut buf)?,
+                        sum: get_u64(&mut buf)?,
+                        p50: get_u64(&mut buf)?,
+                        p90: get_u64(&mut buf)?,
+                        p99: get_u64(&mut buf)?,
+                        max: get_u64(&mut buf)?,
+                    }),
+                    other => return Err(err(&format!("unknown sample tag {other}"))),
+                };
+                metrics.push(MetricSample {
+                    name,
+                    help,
+                    unit,
+                    label_key,
+                    label,
+                    value,
+                });
+            }
+            Message::MetricsSnapshot {
+                request,
+                node,
+                snapshot: MetricsSnapshot { metrics },
             }
         }
         other => return Err(err(&format!("unknown tag {other}"))),
@@ -750,6 +860,54 @@ mod tests {
         roundtrip(Message::StreamDelivery {
             sensor: "motes".into(),
             element: WireElement::from_element(&sample_element()),
+        });
+        roundtrip(Message::MetricsRequest {
+            request: 9,
+            from: NodeId::new(4),
+        });
+        roundtrip(Message::MetricsSnapshot {
+            request: 9,
+            node: NodeId::new(2),
+            snapshot: MetricsSnapshot {
+                metrics: vec![
+                    MetricSample {
+                        name: "gsn_steps_total".into(),
+                        help: "Steps executed".into(),
+                        unit: "steps".into(),
+                        label_key: String::new(),
+                        label: String::new(),
+                        value: SampleValue::Counter(17),
+                    },
+                    MetricSample {
+                        name: "gsn_pool_resident_pages".into(),
+                        help: "Resident pages".into(),
+                        unit: "pages".into(),
+                        label_key: String::new(),
+                        label: String::new(),
+                        value: SampleValue::Gauge(-1),
+                    },
+                    MetricSample {
+                        name: "gsn_step_micros".into(),
+                        help: "Step latency".into(),
+                        unit: "microseconds".into(),
+                        label_key: "phase".into(),
+                        label: "pipeline".into(),
+                        value: SampleValue::Histogram(HistogramSummary {
+                            count: 4,
+                            sum: 100,
+                            p50: 20,
+                            p90: 40,
+                            p99: 40,
+                            max: 41,
+                        }),
+                    },
+                ],
+            },
+        });
+        roundtrip(Message::MetricsSnapshot {
+            request: 10,
+            node: NodeId::new(3),
+            snapshot: MetricsSnapshot::default(),
         });
     }
 

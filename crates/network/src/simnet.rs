@@ -114,6 +114,8 @@ struct NetworkInner {
     default_link: LinkSpec,
     inboxes: HashMap<NodeId, Vec<Envelope>>,
     stats: NetworkStats,
+    /// Per-directed-link delivery counters, keyed `(from, to)`.
+    link_stats: HashMap<(NodeId, NodeId), NetworkStats>,
     /// Deterministic loss decisions: a simple counter-based hash keeps runs reproducible
     /// without threading an RNG through every send call.
     loss_counter: u64,
@@ -207,6 +209,11 @@ impl SimulatedNetwork {
 
         inner.stats.sent += 1;
         inner.stats.bytes_sent += wire_size as u64;
+        {
+            let link = inner.link_stats.entry((from, to)).or_default();
+            link.sent += 1;
+            link.bytes_sent += wire_size as u64;
+        }
 
         // Deterministic pseudo-random loss.
         if spec.loss_probability > 0.0 {
@@ -217,6 +224,7 @@ impl SimulatedNetwork {
             let draw = (inner.loss_counter >> 33) as f64 / (u32::MAX as f64 / 2.0).max(1.0);
             if draw.fract() < spec.loss_probability {
                 inner.stats.dropped += 1;
+                inner.link_stats.entry((from, to)).or_default().dropped += 1;
                 return Ok(wire_size);
             }
         }
@@ -257,6 +265,13 @@ impl SimulatedNetwork {
         *inbox = remaining;
         due.sort_by_key(|e| e.deliver_at);
         inner.stats.delivered += due.len() as u64;
+        for envelope in &due {
+            inner
+                .link_stats
+                .entry((envelope.from, envelope.to))
+                .or_default()
+                .delivered += 1;
+        }
         due
     }
 
@@ -273,6 +288,15 @@ impl SimulatedNetwork {
     /// Delivery statistics.
     pub fn stats(&self) -> NetworkStats {
         self.inner.lock().stats
+    }
+
+    /// Per-directed-link delivery statistics, sorted by `(from, to)`.
+    pub fn link_stats(&self) -> Vec<((NodeId, NodeId), NetworkStats)> {
+        let inner = self.inner.lock();
+        let mut links: Vec<((NodeId, NodeId), NetworkStats)> =
+            inner.link_stats.iter().map(|(k, v)| (*k, *v)).collect();
+        links.sort_by_key(|((from, to), _)| (*from, *to));
+        links
     }
 }
 

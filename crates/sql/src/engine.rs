@@ -17,6 +17,8 @@ use crate::optimizer::{optimize, OptimizerConfig};
 use crate::parser::parse_query;
 use crate::plan::{plan_query, LogicalPlan};
 use crate::relation::Relation;
+use crate::telemetry::SqlTelemetry;
+use gsn_telemetry::Stopwatch;
 
 /// A compiled (parsed, planned, optimised) query ready for repeated execution.
 #[derive(Debug, Clone)]
@@ -107,6 +109,7 @@ pub struct SqlEngine {
     cache: HashMap<String, PreparedQuery>,
     cache_enabled: bool,
     stats: EngineStats,
+    telemetry: SqlTelemetry,
 }
 
 impl Default for SqlEngine {
@@ -123,7 +126,20 @@ impl SqlEngine {
             cache: HashMap::new(),
             cache_enabled: true,
             stats: EngineStats::default(),
+            telemetry: SqlTelemetry::new(),
         }
+    }
+
+    /// Replaces the engine's telemetry handles.  The query repository clones one
+    /// container-wide [`SqlTelemetry`] into every partition engine so their
+    /// latency recordings land in the same histograms.
+    pub fn set_telemetry(&mut self, telemetry: SqlTelemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The engine's live telemetry handles.
+    pub fn telemetry(&self) -> &SqlTelemetry {
+        &self.telemetry
     }
 
     /// Creates an engine with explicit optimizer settings.
@@ -150,7 +166,9 @@ impl SqlEngine {
                 return Ok(prepared.clone());
             }
         }
+        let sw = Stopwatch::start();
         let prepared = Self::compile(sql, &self.optimizer)?;
+        self.telemetry.compile_micros.record_elapsed(sw);
         self.stats.compiled += 1;
         if self.cache_enabled {
             self.cache.insert(sql.to_owned(), prepared.clone());
@@ -186,8 +204,12 @@ impl SqlEngine {
         catalog: &dyn Catalog,
     ) -> GsnResult<Relation> {
         self.stats.executions += 1;
+        let exec_sw = Stopwatch::start();
+        let open_sw = Stopwatch::start();
         let mut source = prepared.open(catalog)?;
+        self.telemetry.open_micros.record_elapsed(open_sw);
         let relation = source.collect();
+        self.telemetry.exec_micros.record_elapsed(exec_sw);
         self.stats.rows_scanned += source.rows_scanned();
         self.stats.rows_returned += source.rows_returned();
         relation

@@ -53,6 +53,7 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 pub mod relation;
+pub mod telemetry;
 pub mod token;
 
 pub use aggregate::{Accumulator, AggregateKind};
@@ -65,3 +66,4 @@ pub use optimizer::OptimizerConfig;
 pub use parser::{parse_expression, parse_query};
 pub use plan::{plan_query, LogicalPlan};
 pub use relation::{ColumnInfo, Relation};
+pub use telemetry::SqlTelemetry;

@@ -280,6 +280,12 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// Buffer-pool counters, when the backend has one.
     fn pool_stats(&self) -> Option<BufferPoolStats>;
 
+    /// Spill counters for disk-spilled window tables, as
+    /// `(migration passes, rows moved to disk)`; `None` for other backends.
+    fn spill_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Removes any on-disk state (table dropped).
     fn destroy(self: Box<Self>) -> GsnResult<()>;
 }

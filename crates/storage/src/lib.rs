@@ -118,6 +118,7 @@ pub mod segment;
 pub mod spill;
 pub mod stats;
 pub mod table;
+pub mod telemetry;
 #[doc(hidden)]
 pub mod testutil;
 pub mod wal;
@@ -135,5 +136,6 @@ pub use segment::{SegmentedHeap, DEFAULT_SEGMENT_PAGES, MAX_SEGMENT_PAGES};
 pub use spill::{SpillOptions, SpillingBackend};
 pub use stats::{StorageStats, TableDiskStats, TableStats};
 pub use table::{sampling_stride, StreamTable};
+pub use telemetry::StorageTelemetry;
 pub use wal::{SyncMode, Wal};
 pub use window::{Retention, WindowSpec};

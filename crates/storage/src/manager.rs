@@ -26,7 +26,9 @@ use crate::retention::{MaintenanceReport, MaintenanceTotals};
 use crate::spill::SpillOptions;
 use crate::stats::{StorageStats, TableDiskStats};
 use crate::table::StreamTable;
+use crate::telemetry::StorageTelemetry;
 use crate::window::{Retention, WindowSpec};
+use gsn_telemetry::Stopwatch;
 
 /// Container-level storage configuration: where (and whether) durable tables live.
 #[derive(Debug, Clone, Default)]
@@ -74,6 +76,8 @@ pub struct StorageManager {
     /// Guards against overlapping maintenance passes (the step loop schedules them
     /// onto the worker pool; a pass that outlives its step must not stack).
     maintenance_busy: AtomicBool,
+    /// Live instrument handles; the container adopts them into its registry.
+    telemetry: StorageTelemetry,
 }
 
 impl Default for StorageManager {
@@ -98,7 +102,13 @@ impl StorageManager {
             pool,
             maintenance: Mutex::new(MaintenanceTotals::default()),
             maintenance_busy: AtomicBool::new(false),
+            telemetry: StorageTelemetry::new(),
         }
+    }
+
+    /// The storage layer's live telemetry handles.
+    pub fn telemetry(&self) -> &StorageTelemetry {
+        &self.telemetry
     }
 
     /// Shorthand for a manager persisting durable tables under `data_dir`.
@@ -230,8 +240,14 @@ impl StorageManager {
     pub fn group_commit(&self) -> GsnResult<()> {
         let mut first_error = None;
         for table in self.tables.read().values() {
-            if let Err(e) = table.write().sync_wal() {
+            let mut guard = table.write();
+            let timed = guard.backend_kind() == BackendKind::Persistent;
+            let sw = Stopwatch::start();
+            if let Err(e) = guard.sync_wal() {
                 first_error.get_or_insert(e);
+            }
+            if timed {
+                self.telemetry.wal_sync_micros.record(sw.elapsed_micros());
             }
         }
         match first_error {
@@ -269,8 +285,18 @@ impl StorageManager {
         now: Timestamp,
     ) -> GsnResult<StreamElement> {
         let table = self.table(table)?;
+        let sw = Stopwatch::start();
         let mut guard = table.write();
-        guard.insert(element, now)
+        let durable = guard.backend_kind() != BackendKind::Memory;
+        let inserted = guard.insert(element, now);
+        drop(guard);
+        let micros = sw.elapsed_micros();
+        self.telemetry.insert_micros.record(micros);
+        if durable {
+            // For durable tables the insert path is WAL append + page write.
+            self.telemetry.wal_append_micros.record(micros);
+        }
+        inserted
     }
 
     /// Prunes every table against the current time (called periodically by the container's
@@ -294,13 +320,18 @@ impl StorageManager {
             ran: true,
             ..Default::default()
         };
+        let pass_sw = Stopwatch::start();
         let tables: Vec<Arc<RwLock<StreamTable>>> = self.tables.read().values().cloned().collect();
         for table in tables {
             let mut guard = table.write();
             guard.prune(now);
             // A reclamation failure on one table (transient I/O error) must not starve
             // the others; the pass simply skips it until the next round.
+            let sw = Stopwatch::start();
             if let Ok(stats) = guard.reclaim() {
+                if !stats.is_empty() {
+                    self.telemetry.reclaim_micros.record(sw.elapsed_micros());
+                }
                 report.reclaim.merge(&stats);
             }
             report.tables += 1;
@@ -310,6 +341,18 @@ impl StorageManager {
             totals.passes += 1;
             totals.reclaim.merge(&report.reclaim);
         }
+        self.telemetry
+            .maintenance_micros
+            .record(pass_sw.elapsed_micros());
+        self.telemetry
+            .segments_deleted
+            .add(report.reclaim.segments_deleted);
+        self.telemetry
+            .segments_compacted
+            .add(report.reclaim.segments_compacted);
+        self.telemetry
+            .bytes_reclaimed
+            .add(report.reclaim.bytes_reclaimed);
         self.maintenance_busy.store(false, Ordering::Release);
         report
     }
@@ -361,6 +404,10 @@ impl StorageManager {
                 BackendKind::Persistent => stats.persistent_tables += 1,
                 BackendKind::Spilled => stats.spilled_tables += 1,
                 BackendKind::Memory => {}
+            }
+            if let Some((migrations, rows)) = guard.spill_stats() {
+                stats.spill_migrations += migrations;
+                stats.spilled_rows += rows;
             }
             if let Some(usage) = guard.disk_usage() {
                 stats.disk.merge(&usage);

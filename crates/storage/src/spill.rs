@@ -73,6 +73,8 @@ pub struct SpillingBackend {
     cold: Option<PersistentBackend>,
     /// Lifetime count of elements moved to disk.
     spilled_rows: u64,
+    /// Lifetime count of migration passes (batched spills of the cold prefix).
+    spill_migrations: u64,
 }
 
 impl fmt::Debug for SpillingBackend {
@@ -121,6 +123,7 @@ impl SpillingBackend {
             resident_bytes: 0,
             cold: None,
             spilled_rows: 0,
+            spill_migrations: 0,
         })
     }
 
@@ -131,6 +134,11 @@ impl SpillingBackend {
     /// Lifetime count of elements moved to the segment store.
     pub fn spilled_rows(&self) -> u64 {
         self.spilled_rows
+    }
+
+    /// Lifetime count of migration passes.
+    pub fn migrations(&self) -> u64 {
+        self.spill_migrations
     }
 
     /// Elements currently resident in memory.
@@ -190,6 +198,9 @@ impl SpillingBackend {
             }
         }
         self.spilled_rows += moved as u64;
+        if moved > 0 {
+            self.spill_migrations += 1;
+        }
         self.drop_resident_front(moved);
         match failure {
             Some(e) => Err(e),
@@ -223,6 +234,10 @@ impl SpillingBackend {
 impl StorageBackend for SpillingBackend {
     fn kind(&self) -> BackendKind {
         BackendKind::Spilled
+    }
+
+    fn spill_stats(&self) -> Option<(u64, u64)> {
+        Some((self.spill_migrations, self.spilled_rows))
     }
 
     fn append(&mut self, element: &StreamElement) -> GsnResult<()> {

@@ -66,6 +66,10 @@ pub struct StorageStats {
     pub persistent_tables: usize,
     /// Number of memory tables with a disk-spilled cold prefix.
     pub spilled_tables: usize,
+    /// Lifetime count of spill migration passes across all spilled tables.
+    pub spill_migrations: u64,
+    /// Lifetime count of elements moved to disk by spill migrations.
+    pub spilled_rows: u64,
     /// Elements currently retained across all tables.
     pub retained_elements: usize,
     /// Bytes currently retained across all tables.

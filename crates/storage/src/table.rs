@@ -150,6 +150,12 @@ impl StreamTable {
         self.backend.pool_stats()
     }
 
+    /// Spill counters `(migration passes, rows moved to disk)` for disk-spilled
+    /// window tables; `None` otherwise.
+    pub fn spill_stats(&self) -> Option<(u64, u64)> {
+        self.backend.spill_stats()
+    }
+
     /// Widens the retention policy to also satisfy `additional` (e.g. when a second client
     /// registers a query with a larger history over the same source).
     pub fn widen_retention(&mut self, additional: Retention) {

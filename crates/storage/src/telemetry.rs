@@ -1,0 +1,109 @@
+//! Storage-layer telemetry: the instruments the storage manager records into.
+//!
+//! The handles live on the [`crate::StorageManager`] from construction, so
+//! recording needs no registry and no branching; the container adopts the same
+//! handles into its [`MetricsRegistry`] via
+//! [`StorageTelemetry::register_into`], after which snapshots see the full
+//! history.  Counters that other storage structs already maintain (buffer-pool
+//! hits, retained bytes, spill totals…) are *not* duplicated here — the
+//! container sources them from [`crate::StorageStats`] at snapshot time, so
+//! there is exactly one authoritative cell per number.
+
+use gsn_telemetry::{Counter, Histogram, MetricDesc, MetricsRegistry};
+
+/// Time to insert one element into a stream table (lock, append, retention).
+pub static STORAGE_INSERT_MICROS: MetricDesc = MetricDesc::histogram(
+    "gsn_storage_insert_micros",
+    "Latency of one stream-table insert",
+    "microseconds",
+);
+
+/// Insert latency of durable tables only — dominated by the WAL append plus
+/// the buffer-pool page write, which is why it carries the WAL name.
+pub static STORAGE_WAL_APPEND_MICROS: MetricDesc = MetricDesc::histogram(
+    "gsn_storage_wal_append_micros",
+    "Latency of a durable insert (WAL append + page write)",
+    "microseconds",
+);
+
+/// Per-table WAL fsync latency during the container's per-step group commit.
+pub static STORAGE_WAL_SYNC_MICROS: MetricDesc = MetricDesc::histogram(
+    "gsn_storage_wal_sync_micros",
+    "Latency of one WAL fsync during group commit",
+    "microseconds",
+);
+
+/// Duration of one full retention maintenance pass across all tables.
+pub static STORAGE_MAINTENANCE_MICROS: MetricDesc = MetricDesc::histogram(
+    "gsn_storage_maintenance_micros",
+    "Duration of one retention maintenance pass",
+    "microseconds",
+);
+
+/// Duration of one table's segment reclaim (head deletion + boundary compaction).
+pub static STORAGE_RECLAIM_MICROS: MetricDesc = MetricDesc::histogram(
+    "gsn_storage_reclaim_micros",
+    "Duration of one table's segment reclaim/compact step",
+    "microseconds",
+);
+
+/// Fully dead segment files deleted by maintenance.
+pub static STORAGE_SEGMENTS_DELETED: MetricDesc = MetricDesc::counter(
+    "gsn_storage_segments_deleted_total",
+    "Dead segment files deleted by retention maintenance",
+    "segments",
+);
+
+/// Boundary segments compacted by maintenance.
+pub static STORAGE_SEGMENTS_COMPACTED: MetricDesc = MetricDesc::counter(
+    "gsn_storage_segments_compacted_total",
+    "Boundary segments compacted by retention maintenance",
+    "segments",
+);
+
+/// File bytes returned to the filesystem by maintenance.
+pub static STORAGE_BYTES_RECLAIMED: MetricDesc = MetricDesc::counter(
+    "gsn_storage_bytes_reclaimed_total",
+    "File bytes reclaimed by retention maintenance",
+    "bytes",
+);
+
+/// The live instrument handles of the storage layer.
+#[derive(Debug, Clone, Default)]
+pub struct StorageTelemetry {
+    /// All-table insert latency.
+    pub insert_micros: Histogram,
+    /// Durable-table insert latency (WAL append + page write).
+    pub wal_append_micros: Histogram,
+    /// Per-table WAL fsync latency at group commit.
+    pub wal_sync_micros: Histogram,
+    /// Full maintenance pass duration.
+    pub maintenance_micros: Histogram,
+    /// Per-table reclaim/compact duration.
+    pub reclaim_micros: Histogram,
+    /// Dead segments deleted.
+    pub segments_deleted: Counter,
+    /// Boundary segments compacted.
+    pub segments_compacted: Counter,
+    /// Bytes reclaimed.
+    pub bytes_reclaimed: Counter,
+}
+
+impl StorageTelemetry {
+    /// Fresh, detached handles (recording works immediately).
+    pub fn new() -> StorageTelemetry {
+        StorageTelemetry::default()
+    }
+
+    /// Adopts every handle into `registry` so snapshots include them.
+    pub fn register_into(&self, registry: &MetricsRegistry) {
+        registry.register_histogram(&STORAGE_INSERT_MICROS, &self.insert_micros);
+        registry.register_histogram(&STORAGE_WAL_APPEND_MICROS, &self.wal_append_micros);
+        registry.register_histogram(&STORAGE_WAL_SYNC_MICROS, &self.wal_sync_micros);
+        registry.register_histogram(&STORAGE_MAINTENANCE_MICROS, &self.maintenance_micros);
+        registry.register_histogram(&STORAGE_RECLAIM_MICROS, &self.reclaim_micros);
+        registry.register_counter(&STORAGE_SEGMENTS_DELETED, &self.segments_deleted);
+        registry.register_counter(&STORAGE_SEGMENTS_COMPACTED, &self.segments_compacted);
+        registry.register_counter(&STORAGE_BYTES_RECLAIMED, &self.bytes_reclaimed);
+    }
+}

@@ -1,0 +1,56 @@
+//! # gsn-telemetry
+//!
+//! The observability substrate of a GSN-RS container: a lock-cheap metrics
+//! registry, log-bucketed latency histograms, a ring-buffer trace log, and a
+//! threshold-gated slow-query log.
+//!
+//! The paper's web interface lets operators "monitor the effective status of
+//! all parts of the system" (Section 6); this crate is the machine-readable
+//! version of that window.  Every runtime crate records into handles created
+//! here, the container aggregates them into one [`MetricsRegistry`], and the
+//! registry exports both a typed [`MetricsSnapshot`] and Prometheus text
+//! exposition — locally and over the federation wire, so peers can scrape each
+//! other's health exactly as EMMA-style choreography assumes.
+//!
+//! ## Design rules
+//!
+//! * **Dependency-free.** Only `std`.  Every other crate links this one, so it
+//!   must never pull the shim crates (or anything else) into the build graph.
+//! * **Lock-free hot path.** Recording into a [`Counter`], [`Gauge`] or
+//!   [`Histogram`] is a handful of relaxed atomic ops; the registry mutex is
+//!   touched only at registration and snapshot time.
+//! * **Zero-allocation when disabled.** [`TraceLog`] and [`SlowQueryLog`]
+//!   take closures for their payloads; when tracing is off or the threshold is
+//!   not crossed the closure is never called and nothing is allocated.
+//!
+//! ```
+//! use gsn_telemetry::{MetricDesc, MetricKind, MetricsRegistry};
+//!
+//! static STEPS: MetricDesc = MetricDesc::counter("demo_steps_total", "Steps executed", "steps");
+//! static LAT: MetricDesc =
+//!     MetricDesc::histogram("demo_step_micros", "Step latency", "microseconds");
+//!
+//! let registry = MetricsRegistry::new();
+//! let steps = registry.counter(&STEPS);
+//! let lat = registry.histogram(&LAT);
+//! steps.inc();
+//! lat.record(120);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.get("demo_steps_total").unwrap().as_counter(), Some(1));
+//! assert!(snap.render_prometheus().contains("demo_step_micros"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, MetricDesc, MetricKind, MetricSample,
+    MetricsRegistry, MetricsSnapshot, SampleValue, Stopwatch,
+};
+pub use trace::{
+    SlowQuery, SlowQueryLog, SpanId, SpanToken, TraceLog, TraceSpan, DEFAULT_SLOW_QUERY_CAPACITY,
+    DEFAULT_TRACE_CAPACITY,
+};

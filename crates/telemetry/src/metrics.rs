@@ -1,0 +1,849 @@
+//! Metrics: descriptors, instruments, the registry, and export surfaces.
+//!
+//! Instruments are cheap `Arc`-backed handles recording into relaxed atomics;
+//! cloning one and recording from many shards is the intended usage (per-shard
+//! recordings land in the same atomics, so cross-shard "merge" is free).  The
+//! registry itself is only locked to register a handle or to take a snapshot.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of log2 buckets in a [`Histogram`].  Bucket 0 holds the value `0`;
+/// bucket `i` (1..=63) holds values in `[2^(i-1), 2^i - 1]`, so the full
+/// `u64` range is covered.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// What a metric measures, fixed by its descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time signed level, overwritten at each observation.
+    Gauge,
+    /// Log-bucketed distribution of `u64` observations (latencies, sizes).
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn prometheus_type(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            // Histograms export pre-computed quantiles, which in the
+            // exposition format is a `summary`.
+            MetricKind::Histogram => "summary",
+        }
+    }
+}
+
+/// Static description of one metric: its wire name, human help text, unit and
+/// kind.  Declared as a `static` next to the code that records it, so the
+/// registry can be queried by identity and names stay greppable.
+#[derive(Debug)]
+pub struct MetricDesc {
+    /// Exported name, e.g. `gsn_storage_wal_sync_micros`.  Must be a valid
+    /// Prometheus metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+    /// Unit of the recorded values (e.g. `microseconds`, `bytes`, `elements`).
+    pub unit: &'static str,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// Label key when the metric has a per-instance dimension (e.g. `peer`,
+    /// `phase`); empty for unlabelled metrics.
+    pub label_key: &'static str,
+}
+
+impl MetricDesc {
+    /// A counter descriptor.
+    pub const fn counter(name: &'static str, help: &'static str, unit: &'static str) -> MetricDesc {
+        MetricDesc {
+            name,
+            help,
+            unit,
+            kind: MetricKind::Counter,
+            label_key: "",
+        }
+    }
+
+    /// A gauge descriptor.
+    pub const fn gauge(name: &'static str, help: &'static str, unit: &'static str) -> MetricDesc {
+        MetricDesc {
+            name,
+            help,
+            unit,
+            kind: MetricKind::Gauge,
+            label_key: "",
+        }
+    }
+
+    /// A histogram descriptor.
+    pub const fn histogram(
+        name: &'static str,
+        help: &'static str,
+        unit: &'static str,
+    ) -> MetricDesc {
+        MetricDesc {
+            name,
+            help,
+            unit,
+            kind: MetricKind::Histogram,
+            label_key: "",
+        }
+    }
+
+    /// The same descriptor with a label dimension.
+    pub const fn with_label(mut self, key: &'static str) -> MetricDesc {
+        self.label_key = key;
+        self
+    }
+}
+
+/// Monotonic counter handle.  Clone freely; all clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (record now, register into a registry later).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the count.  For *sourcing*: when the authoritative cumulative
+    /// counter is maintained elsewhere (a subsystem's own stats struct), the exporter
+    /// stores the current total here at snapshot time instead of double-counting.
+    pub fn store(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time gauge handle.  Clone freely; all clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A detached gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by a signed delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Log2-bucketed histogram handle for latency/size distributions.
+///
+/// Recording is four relaxed atomic ops.  Quantiles are answered from the
+/// bucket boundaries: `quantile(q)` returns the upper bound of the bucket the
+/// q-th observation falls in, clamped to the true recorded maximum — so the
+/// relative error is bounded by the bucket width (a factor of 2) and
+/// `p50 <= p90 <= p99 <= max` always holds.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Bucket index for a value: 0 for 0, otherwise `floor(log2(v)) + 1`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (see [`HISTOGRAM_BUCKETS`]).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A detached histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let core = &self.0;
+        core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+        core.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed time of a [`Stopwatch`] in microseconds.
+    pub fn record_elapsed(&self, sw: Stopwatch) {
+        self.record(sw.elapsed_micros());
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the q-th quantile (`0.0 < q <= 1.0`), clamped
+    /// to the recorded maximum.  Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            cumulative += self.0.buckets[i].load(Ordering::Relaxed);
+            if cumulative >= target {
+                return bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Folds another histogram's observations into this one (element-wise
+    /// bucket add; the max is the max of the two).  Used to merge per-shard
+    /// histograms that were recorded into distinct handles.
+    pub fn merge_from(&self, other: &Histogram) {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let n = other.0.buckets[i].load(Ordering::Relaxed);
+            if n > 0 {
+                self.0.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.0.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary (count, sum, quantiles, max).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Frozen summary of a [`Histogram`] at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Median upper-bound estimate.
+    pub p50: u64,
+    /// 90th percentile upper-bound estimate.
+    pub p90: u64,
+    /// 99th percentile upper-bound estimate.
+    pub p99: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.count, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// Measures wall-clock time for histogram recording.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Microseconds elapsed since [`Stopwatch::start`], saturated to `u64`.
+    pub fn elapsed_micros(&self) -> u64 {
+        let micros = self.0.elapsed().as_micros();
+        u64::try_from(micros).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Stopwatch {
+        Stopwatch::start()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Instrument::Counter(_) => MetricKind::Counter,
+            Instrument::Gauge(_) => MetricKind::Gauge,
+            Instrument::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Entry {
+    desc: &'static MetricDesc,
+    label: String,
+    instrument: Instrument,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: Vec<Entry>,
+    index: HashMap<(&'static str, String), usize>,
+}
+
+/// The container-wide metric catalogue.
+///
+/// Registration is idempotent: asking twice for the same `(name, label)` pair
+/// returns a handle to the same underlying cells, so subsystems can register
+/// their metrics independently and shards share instruments for free.  An
+/// existing *detached* instrument can also be adopted with the `register_*`
+/// methods, which lets a subsystem record from construction time and attach
+/// to the container's registry later without losing history.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        desc: &'static MetricDesc,
+        label: &str,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(&i) = inner.index.get(&(desc.name, label.to_string())) {
+            let existing = &inner.entries[i].instrument;
+            assert_eq!(
+                existing.kind(),
+                desc.kind,
+                "metric {} re-registered with a different kind",
+                desc.name
+            );
+            return existing.clone();
+        }
+        let instrument = make();
+        assert_eq!(
+            instrument.kind(),
+            desc.kind,
+            "instrument kind does not match descriptor {}",
+            desc.name
+        );
+        let i = inner.entries.len();
+        inner.entries.push(Entry {
+            desc,
+            label: label.to_string(),
+            instrument: instrument.clone(),
+        });
+        inner.index.insert((desc.name, label.to_string()), i);
+        instrument
+    }
+
+    /// Returns the counter for `desc`, creating it on first use.
+    pub fn counter(&self, desc: &'static MetricDesc) -> Counter {
+        self.counter_labeled(desc, "")
+    }
+
+    /// Returns the counter for `desc` at one label value.
+    pub fn counter_labeled(&self, desc: &'static MetricDesc, label: &str) -> Counter {
+        match self.get_or_insert(desc, label, || Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Returns the gauge for `desc`, creating it on first use.
+    pub fn gauge(&self, desc: &'static MetricDesc) -> Gauge {
+        self.gauge_labeled(desc, "")
+    }
+
+    /// Returns the gauge for `desc` at one label value.
+    pub fn gauge_labeled(&self, desc: &'static MetricDesc, label: &str) -> Gauge {
+        match self.get_or_insert(desc, label, || Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Returns the histogram for `desc`, creating it on first use.
+    pub fn histogram(&self, desc: &'static MetricDesc) -> Histogram {
+        self.histogram_labeled(desc, "")
+    }
+
+    /// Returns the histogram for `desc` at one label value.
+    pub fn histogram_labeled(&self, desc: &'static MetricDesc, label: &str) -> Histogram {
+        match self.get_or_insert(desc, label, || Instrument::Histogram(Histogram::new())) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Adopts an existing counter handle under `desc` (no-op if already
+    /// registered; the previously registered handle wins).
+    pub fn register_counter(&self, desc: &'static MetricDesc, counter: &Counter) -> Counter {
+        match self.get_or_insert(desc, "", || Instrument::Counter(counter.clone())) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Adopts an existing gauge handle under `desc`.
+    pub fn register_gauge(&self, desc: &'static MetricDesc, gauge: &Gauge) -> Gauge {
+        match self.get_or_insert(desc, "", || Instrument::Gauge(gauge.clone())) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Adopts an existing histogram handle under `desc`.
+    pub fn register_histogram(&self, desc: &'static MetricDesc, hist: &Histogram) -> Histogram {
+        match self.get_or_insert(desc, "", || Instrument::Histogram(hist.clone())) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Number of registered `(metric, label)` instruments.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .entries
+            .len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freezes every registered instrument into a typed snapshot, sorted by
+    /// `(name, label)` for deterministic output.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut metrics: Vec<MetricSample> = inner
+            .entries
+            .iter()
+            .map(|e| MetricSample {
+                name: e.desc.name.to_string(),
+                help: e.desc.help.to_string(),
+                unit: e.desc.unit.to_string(),
+                label_key: e.desc.label_key.to_string(),
+                label: e.label.clone(),
+                value: match &e.instrument {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SampleValue::Histogram(h.summary()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| {
+            (a.name.as_str(), a.label.as_str()).cmp(&(b.name.as_str(), b.label.as_str()))
+        });
+        MetricsSnapshot { metrics }
+    }
+
+    /// Renders the current state as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricsRegistry({} instruments)", self.len())
+    }
+}
+
+/// The frozen value of one `(metric, label)` instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Exported metric name.
+    pub name: String,
+    /// Human help text.
+    pub help: String,
+    /// Unit of the value.
+    pub unit: String,
+    /// Label key (empty for unlabelled metrics).
+    pub label_key: String,
+    /// Label value (empty for unlabelled metrics).
+    pub label: String,
+    /// The frozen value.
+    pub value: SampleValue,
+}
+
+impl MetricSample {
+    /// The sample's kind.
+    pub fn kind(&self) -> MetricKind {
+        match self.value {
+            SampleValue::Counter(_) => MetricKind::Counter,
+            SampleValue::Gauge(_) => MetricKind::Gauge,
+            SampleValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+
+    /// Counter value, if this sample is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self.value {
+            SampleValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gauge level, if this sample is a gauge.
+    pub fn as_gauge(&self) -> Option<i64> {
+        match self.value {
+            SampleValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary, if this sample is a histogram.
+    pub fn as_histogram(&self) -> Option<HistogramSummary> {
+        match self.value {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// A frozen sample value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Signed level.
+    Gauge(i64),
+    /// Distribution summary.
+    Histogram(HistogramSummary),
+}
+
+/// A typed, wire-serialisable snapshot of a registry: what
+/// `GsnContainer::metrics_snapshot()` returns and what peers exchange over the
+/// federation wire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All samples, sorted by `(name, label)`.
+    pub metrics: Vec<MetricSample>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+impl MetricsSnapshot {
+    /// First sample with the given metric name.
+    pub fn get(&self, name: &str) -> Option<&MetricSample> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Sample with the given metric name and label value.
+    pub fn get_labeled(&self, name: &str, label: &str) -> Option<&MetricSample> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.label == label)
+    }
+
+    /// Number of distinct metric names in the snapshot.
+    pub fn distinct_names(&self) -> usize {
+        let mut names: Vec<&str> = self.metrics.iter().map(|m| m.name.as_str()).collect();
+        names.dedup();
+        names.len()
+    }
+
+    /// Renders the snapshot as Prometheus text exposition format: `# HELP` /
+    /// `# TYPE` headers per metric, histograms as `summary` quantiles plus
+    /// `_sum` / `_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for m in &self.metrics {
+            if last_name != Some(m.name.as_str()) {
+                out.push_str(&format!("# HELP {} {} ({})\n", m.name, m.help, m.unit));
+                out.push_str(&format!(
+                    "# TYPE {} {}\n",
+                    m.name,
+                    m.kind().prometheus_type()
+                ));
+                last_name = Some(m.name.as_str());
+            }
+            let base_label = if m.label.is_empty() {
+                String::new()
+            } else {
+                format!("{}=\"{}\"", m.label_key, escape_label(&m.label))
+            };
+            let wrap = |extra: &str| -> String {
+                match (base_label.is_empty(), extra.is_empty()) {
+                    (true, true) => String::new(),
+                    (true, false) => format!("{{{extra}}}"),
+                    (false, true) => format!("{{{base_label}}}"),
+                    (false, false) => format!("{{{base_label},{extra}}}"),
+                }
+            };
+            match &m.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {}\n", m.name, wrap(""), v));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {}\n", m.name, wrap(""), v));
+                }
+                SampleValue::Histogram(h) => {
+                    for (q, v) in [
+                        ("0.5", h.p50),
+                        ("0.9", h.p90),
+                        ("0.99", h.p99),
+                        ("1", h.max),
+                    ] {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            m.name,
+                            wrap(&format!("quantile=\"{q}\"")),
+                            v
+                        ));
+                    }
+                    out.push_str(&format!("{}_sum{} {}\n", m.name, wrap(""), h.sum));
+                    out.push_str(&format!("{}_count{} {}\n", m.name, wrap(""), h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_COUNTER: MetricDesc = MetricDesc::counter("t_counter", "a counter", "events");
+    static TEST_GAUGE: MetricDesc = MetricDesc::gauge("t_gauge", "a gauge", "bytes");
+    static TEST_HIST: MetricDesc = MetricDesc::histogram("t_hist", "a histogram", "microseconds");
+    static TEST_LABELED: MetricDesc =
+        MetricDesc::counter("t_labeled", "per-peer counter", "messages").with_label("peer");
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+        // Every value lands in a bucket whose range contains it.
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 4096, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} bucket={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} bucket={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotonic_and_clamped() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 1000);
+        // The p99 upper bound is clamped to the true max, never above it.
+        assert!(s.p99 <= 1000);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        a.record(100);
+        b.record(7);
+        b.record(200_000);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 5 + 100 + 7 + 200_000);
+        assert_eq!(a.max(), 200_000);
+    }
+
+    #[test]
+    fn registry_is_idempotent() {
+        let r = MetricsRegistry::new();
+        let c1 = r.counter(&TEST_COUNTER);
+        let c2 = r.counter(&TEST_COUNTER);
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn labeled_instruments_are_distinct() {
+        let r = MetricsRegistry::new();
+        let a = r.counter_labeled(&TEST_LABELED, "node-a");
+        let b = r.counter_labeled(&TEST_LABELED, "node-b");
+        a.inc();
+        b.add(5);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.get_labeled("t_labeled", "node-a")
+                .unwrap()
+                .as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get_labeled("t_labeled", "node-b")
+                .unwrap()
+                .as_counter(),
+            Some(5)
+        );
+        assert_eq!(snap.distinct_names(), 1);
+    }
+
+    #[test]
+    fn adopting_a_detached_handle_keeps_history() {
+        let detached = Counter::new();
+        detached.add(41);
+        let r = MetricsRegistry::new();
+        let adopted = r.register_counter(&TEST_COUNTER, &detached);
+        adopted.inc();
+        assert_eq!(detached.get(), 42);
+        assert_eq!(
+            r.snapshot().get("t_counter").unwrap().as_counter(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_all_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter(&TEST_COUNTER).add(7);
+        r.gauge(&TEST_GAUGE).set(-3);
+        let h = r.histogram(&TEST_HIST);
+        h.record(10);
+        h.record(20);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE t_counter counter"));
+        assert!(text.contains("t_counter 7"));
+        assert!(text.contains("# TYPE t_gauge gauge"));
+        assert!(text.contains("t_gauge -3"));
+        assert!(text.contains("# TYPE t_hist summary"));
+        assert!(text.contains("t_hist{quantile=\"0.5\"}"));
+        assert!(text.contains("t_hist_count 2"));
+        assert!(text.contains("t_hist_sum 30"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter_labeled(&TEST_LABELED, "we\"ird\\node").inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("peer=\"we\\\"ird\\\\node\""));
+    }
+}

@@ -1,0 +1,411 @@
+//! Structured tracing: a bounded ring buffer of spans, and a slow-query log.
+//!
+//! Both logs are *off by default* and designed so that the disabled path does
+//! no allocation and takes no lock: payloads are produced by closures that are
+//! only invoked once the log has decided to keep the record.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identity of one span inside a [`TraceLog`].  Id 0 is the null span — what
+/// [`TraceLog::begin`] hands out while tracing is disabled, and the parent id
+/// of root spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span (no parent / tracing disabled).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for the null span.
+    pub fn is_none(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A completed span as stored in the ring buffer.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// This span's id (never 0).
+    pub id: SpanId,
+    /// Parent span id (0 for roots).
+    pub parent: SpanId,
+    /// Static operation name, e.g. `pipeline.eval`.
+    pub name: &'static str,
+    /// Dynamic detail (element source, table name, SQL …), produced lazily.
+    pub detail: String,
+    /// Microseconds since the trace log was created when the span started.
+    pub start_micros: u64,
+    /// Span duration in microseconds.
+    pub duration_micros: u64,
+}
+
+/// An in-flight span returned by [`TraceLog::begin`].  Carries everything
+/// needed to finish the span without touching the log again; when tracing was
+/// disabled at begin time the token is inert (id 0) and finishing it is free.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanToken {
+    id: SpanId,
+    parent: SpanId,
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+impl SpanToken {
+    /// The id this span will be stored under (pass as `parent` to children).
+    /// [`SpanId::NONE`] when tracing was disabled at begin time.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+struct TraceInner {
+    spans: VecDeque<TraceSpan>,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of completed spans.
+///
+/// A span is opened with [`begin`](TraceLog::begin) (cheap: one relaxed load
+/// when disabled) and closed with [`finish`](TraceLog::finish), whose detail
+/// closure only runs if the span is actually kept.  When the buffer is full
+/// the oldest span is dropped and counted.
+pub struct TraceLog {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    epoch: Instant,
+    capacity: usize,
+    inner: Mutex<TraceInner>,
+}
+
+/// Default span capacity of a [`TraceLog`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+impl Default for TraceLog {
+    fn default() -> TraceLog {
+        TraceLog::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceLog {
+    /// A disabled trace log with the default capacity.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// A disabled trace log retaining at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> TraceLog {
+        TraceLog {
+            enabled: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(TraceInner {
+                spans: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Turns span collection on or off.  Spans already collected stay.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True when spans are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Opens a span.  While tracing is disabled this is one atomic load and
+    /// returns an inert token — no id is consumed, no clock is read, nothing
+    /// is allocated.
+    pub fn begin(&self, name: &'static str, parent: SpanId) -> SpanToken {
+        if !self.is_enabled() {
+            return SpanToken {
+                id: SpanId::NONE,
+                parent,
+                name,
+                started: None,
+            };
+        }
+        SpanToken {
+            id: SpanId(self.next_id.fetch_add(1, Ordering::Relaxed)),
+            parent,
+            name,
+            started: Some(Instant::now()),
+        }
+    }
+
+    /// Closes a span with no detail text.
+    pub fn finish(&self, token: SpanToken) {
+        self.finish_with(token, String::new);
+    }
+
+    /// Closes a span; `detail` runs only when the span is actually recorded.
+    pub fn finish_with(&self, token: SpanToken, detail: impl FnOnce() -> String) {
+        let Some(started) = token.started else { return };
+        let duration_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let start_micros =
+            u64::try_from(started.duration_since(self.epoch).as_micros()).unwrap_or(u64::MAX);
+        let span = TraceSpan {
+            id: token.id,
+            parent: token.parent,
+            name: token.name,
+            detail: detail(),
+            start_micros,
+            duration_micros,
+        };
+        let mut inner = self.inner.lock().expect("trace log poisoned");
+        if inner.spans.len() >= self.capacity {
+            inner.spans.pop_front();
+            inner.dropped += 1;
+        }
+        inner.spans.push_back(span);
+    }
+
+    /// All retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceSpan> {
+        self.inner
+            .lock()
+            .expect("trace log poisoned")
+            .spans
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained spans whose ancestry (following parent ids inside the buffer)
+    /// reaches `root` — the "follow one element through the layers" view.
+    pub fn descendants_of(&self, root: SpanId) -> Vec<TraceSpan> {
+        let spans = self.snapshot();
+        let mut keep: std::collections::HashSet<SpanId> = std::collections::HashSet::new();
+        keep.insert(root);
+        // Spans are stored in completion order; children may complete before
+        // parents, so fix-point over the buffer.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in &spans {
+                if keep.contains(&s.parent) && keep.insert(s.id) {
+                    changed = true;
+                }
+            }
+        }
+        spans
+            .into_iter()
+            .filter(|s| s.id != root && keep.contains(&s.id))
+            .collect()
+    }
+
+    /// Spans dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace log poisoned").dropped
+    }
+
+    /// Discards all retained spans.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("trace log poisoned");
+        inner.spans.clear();
+    }
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TraceLog(enabled={}, capacity={})",
+            self.is_enabled(),
+            self.capacity
+        )
+    }
+}
+
+/// One slow query kept by the [`SlowQueryLog`].
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The SQL text.
+    pub sql: String,
+    /// How long the cursor ran, in microseconds.
+    pub micros: u64,
+    /// The plan explain captured when the query crossed the threshold.
+    pub explain: String,
+    /// Rows the cursor scanned.
+    pub rows_scanned: u64,
+    /// Rows the cursor returned.
+    pub rows_returned: u64,
+}
+
+/// Threshold-gated log of the slowest queries.
+///
+/// A threshold of 0 disables the log entirely; the record closure (which
+/// formats SQL and plan explain) only runs for queries at or over the
+/// threshold, so fast queries cost one relaxed atomic load.
+pub struct SlowQueryLog {
+    threshold_micros: AtomicU64,
+    capacity: usize,
+    inner: Mutex<VecDeque<SlowQuery>>,
+}
+
+/// Default entry capacity of a [`SlowQueryLog`].
+pub const DEFAULT_SLOW_QUERY_CAPACITY: usize = 128;
+
+impl Default for SlowQueryLog {
+    fn default() -> SlowQueryLog {
+        SlowQueryLog::with_capacity(DEFAULT_SLOW_QUERY_CAPACITY)
+    }
+}
+
+impl SlowQueryLog {
+    /// A disabled slow-query log (threshold 0).
+    pub fn new() -> SlowQueryLog {
+        SlowQueryLog::default()
+    }
+
+    /// A disabled slow-query log retaining at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> SlowQueryLog {
+        SlowQueryLog {
+            threshold_micros: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Sets the slow threshold in microseconds; 0 disables the log.
+    pub fn set_threshold_micros(&self, micros: u64) {
+        self.threshold_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Current threshold (0 = disabled).
+    pub fn threshold_micros(&self) -> u64 {
+        self.threshold_micros.load(Ordering::Relaxed)
+    }
+
+    /// Records a query that took `micros` if the log is enabled and the
+    /// threshold is crossed; `make` runs only in that case.
+    pub fn observe(&self, micros: u64, make: impl FnOnce() -> SlowQuery) {
+        let threshold = self.threshold_micros();
+        if threshold == 0 || micros < threshold {
+            return;
+        }
+        let entry = make();
+        let mut inner = self.inner.lock().expect("slow query log poisoned");
+        if inner.len() >= self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(entry);
+    }
+
+    /// Retained slow queries, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowQuery> {
+        self.inner
+            .lock()
+            .expect("slow query log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Discards all retained entries.
+    pub fn clear(&self) {
+        self.inner.lock().expect("slow query log poisoned").clear();
+    }
+}
+
+impl std::fmt::Debug for SlowQueryLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SlowQueryLog(threshold_micros={})",
+            self.threshold_micros()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_log_is_inert() {
+        let log = TraceLog::new();
+        let token = log.begin("step", SpanId::NONE);
+        assert!(token.id().is_none());
+        log.finish_with(token, || {
+            panic!("detail closure must not run when disabled")
+        });
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_by_parent_id() {
+        let log = TraceLog::new();
+        log.set_enabled(true);
+        let root = log.begin("pipeline", SpanId::NONE);
+        let child = log.begin("storage.insert", root.id());
+        log.finish_with(child, || "motes".to_string());
+        let grandchild = log.begin("notify", root.id());
+        log.finish(grandchild);
+        log.finish(root);
+        let spans = log.snapshot();
+        assert_eq!(spans.len(), 3);
+        let tree = log.descendants_of(root.id());
+        assert_eq!(tree.len(), 2);
+        assert!(tree
+            .iter()
+            .any(|s| s.name == "storage.insert" && s.detail == "motes"));
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let log = TraceLog::with_capacity(2);
+        log.set_enabled(true);
+        for name in ["a", "b", "c"] {
+            let t = log.begin(name, SpanId::NONE);
+            log.finish(t);
+        }
+        let spans = log.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "b");
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn slow_query_log_gates_on_threshold() {
+        let log = SlowQueryLog::new();
+        // Disabled: closure must not run.
+        log.observe(1_000_000, || panic!("disabled log must not record"));
+        log.set_threshold_micros(500);
+        log.observe(100, || panic!("fast query must not record"));
+        log.observe(700, || SlowQuery {
+            sql: "select * from t".into(),
+            micros: 700,
+            explain: "scan t".into(),
+            rows_scanned: 10,
+            rows_returned: 10,
+        });
+        let entries = log.snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].micros, 700);
+    }
+
+    #[test]
+    fn slow_query_log_is_bounded() {
+        let log = SlowQueryLog::with_capacity(2);
+        log.set_threshold_micros(1);
+        for i in 0..5u64 {
+            log.observe(10 + i, || SlowQuery {
+                sql: format!("q{i}"),
+                micros: 10 + i,
+                explain: String::new(),
+                rows_scanned: 0,
+                rows_returned: 0,
+            });
+        }
+        let entries = log.snapshot();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].sql, "q3");
+    }
+}

@@ -101,4 +101,31 @@ fn main() {
 
     // 7. Inspect the container status (the programmatic form of GSN's monitoring UI).
     println!("\n{}", node.status().render());
+
+    // 8. The same numbers, machine-readable: every subsystem exports into one metrics
+    //    registry (see OBSERVABILITY.md for the full catalogue, and the `telemetry`
+    //    example for the scrape-able endpoint).
+    let snapshot = node.metrics_snapshot();
+    println!(
+        "metrics snapshot: {} distinct metrics; a taste:",
+        snapshot.distinct_names()
+    );
+    for name in [
+        "gsn_steps_total",
+        "gsn_step_micros",
+        "gsn_storage_rows_inserted_total",
+        "gsn_sql_executions_total",
+        "gsn_notify_local_delivered_total",
+    ] {
+        if let Some(sample) = snapshot.get(name) {
+            match (sample.as_counter(), sample.as_histogram()) {
+                (Some(v), _) => println!("  {name} = {v}"),
+                (_, Some(h)) => println!(
+                    "  {name}: count={} p50={}us p99={}us max={}us",
+                    h.count, h.p50, h.p99, h.max
+                ),
+                _ => {}
+            }
+        }
+    }
 }

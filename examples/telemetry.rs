@@ -1,0 +1,175 @@
+//! Telemetry tour: metrics, Prometheus exposition, tracing, the slow-query log,
+//! and peer-to-peer metric scraping — plus a real scrape-able HTTP endpoint.
+//!
+//! ```text
+//! cargo run --example telemetry            # print everything once and exit
+//! cargo run --example telemetry -- --serve # also serve /metrics on 127.0.0.1:9898
+//! ```
+//!
+//! With `--serve`, point a Prometheus scraper (or `curl`) at
+//! `http://127.0.0.1:9898/metrics` while the example keeps stepping the
+//! container on a background cadence.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use gsn::container::ContainerConfig;
+use gsn::network::LinkSpec;
+use gsn::types::{DataType, Duration, SimulatedClock};
+use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+use gsn::{Federation, GsnContainer, WindowSpec};
+
+fn mote(name: &str, interval_ms: u32, seed: u32) -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder(name)
+        .unwrap()
+        .output_field("avg_temp", DataType::Double)
+        .unwrap()
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src1").with_source(
+                StreamSourceSpec::new(
+                    "src1",
+                    AddressSpec::new("mote")
+                        .with_predicate("interval", &interval_ms.to_string())
+                        .with_predicate("seed", &seed.to_string()),
+                    "select avg(temperature) as avg_temp from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(10)),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+fn build_node(clock: &SimulatedClock) -> GsnContainer {
+    // Tracing on, and every query slower than 50µs lands in the slow-query log.
+    let config = ContainerConfig::default()
+        .with_tracing(true)
+        .with_slow_query_threshold(50);
+    let mut node = GsnContainer::new(config, Arc::new(clock.clone()));
+    for i in 0..4 {
+        node.deploy(mote(&format!("mote-{i}"), 100 + 50 * i, i))
+            .unwrap();
+    }
+    node.register_query(
+        "dashboard",
+        "select count(*) as n, avg(avg_temp) as a from mote_0",
+        WindowSpec::Count(20),
+        None,
+    )
+    .unwrap();
+    node
+}
+
+fn main() {
+    let serve = std::env::args().any(|a| a == "--serve");
+    let clock = SimulatedClock::new();
+    let mut node = build_node(&clock);
+
+    // Drive ten seconds of sensor time so every instrument has recorded.
+    for _ in 0..10 {
+        clock.advance(Duration::from_secs(1));
+        node.step();
+    }
+    node.query("select pk, avg_temp from mote_0 order by avg_temp desc limit 5")
+        .unwrap();
+
+    // --- 1. The typed snapshot -----------------------------------------------------
+    let snapshot = node.metrics_snapshot();
+    println!(
+        "== metrics snapshot: {} distinct metrics ==",
+        snapshot.distinct_names()
+    );
+    for sample in &snapshot.metrics {
+        if let Some(h) = sample.as_histogram() {
+            if h.count > 0 {
+                println!(
+                    "  {} count={} p50={} p99={} max={} ({})",
+                    sample.name, h.count, h.p50, h.p99, h.max, sample.unit
+                );
+            }
+        }
+    }
+
+    // --- 2. The trace log ----------------------------------------------------------
+    let spans = node.trace_log().snapshot();
+    println!("\n== trace log: {} spans (ring buffer) ==", spans.len());
+    for span in spans.iter().rev().take(8).rev() {
+        println!(
+            "  [{}] {} <- parent {} ({}us) {}",
+            span.id.0, span.name, span.parent.0, span.duration_micros, span.detail
+        );
+    }
+
+    // --- 3. The slow-query log -----------------------------------------------------
+    let slow = node.slow_queries();
+    println!("\n== slow queries over 50us: {} ==", slow.len());
+    for q in slow.iter().take(3) {
+        println!("  {}us  {}", q.micros, q.sql);
+        println!("    plan: {}", q.explain);
+    }
+
+    // --- 4. Peer scraping over the federation wire ----------------------------------
+    let mut fed = Federation::new();
+    let alpha = fed.add_node("alpha").unwrap();
+    let beta = fed.add_node("beta").unwrap();
+    fed.set_link(alpha, beta, LinkSpec::wireless(5, 0.1));
+    fed.node_mut(beta)
+        .unwrap()
+        .deploy(mote("beta-mote", 100, 9))
+        .unwrap();
+    fed.run_for(Duration::from_secs(2), Duration::from_millis(100));
+    let request = fed
+        .node_mut(alpha)
+        .unwrap()
+        .request_peer_metrics(beta)
+        .unwrap();
+    let mut scraped = None;
+    for _ in 0..100 {
+        fed.step(Duration::from_millis(100));
+        if let Some(s) = fed.node_mut(alpha).unwrap().take_peer_metrics(request) {
+            scraped = Some(s);
+            break;
+        }
+    }
+    match scraped {
+        Some(s) => println!(
+            "\n== scraped peer `beta` over a lossy wireless link: {} metrics, {} steps ==",
+            s.distinct_names(),
+            s.get("gsn_steps_total")
+                .and_then(|m| m.as_counter())
+                .unwrap_or(0)
+        ),
+        None => println!("\n== peer scrape did not complete in time =="),
+    }
+
+    // --- 5. The Prometheus endpoint --------------------------------------------------
+    if !serve {
+        let text = node.render_prometheus();
+        println!(
+            "\n== prometheus exposition ({} lines; rerun with --serve for the endpoint) ==",
+            text.lines().count()
+        );
+        print!("{}", text.lines().take(12).collect::<Vec<_>>().join("\n"));
+        println!("\n...");
+        return;
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:9898").expect("bind 127.0.0.1:9898");
+    println!("\nserving http://127.0.0.1:9898/metrics  (ctrl-c to stop)");
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // Advance the simulated world a little per scrape so the numbers move.
+        clock.advance(Duration::from_secs(1));
+        node.step();
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let body = node.render_prometheus();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}

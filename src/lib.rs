@@ -82,6 +82,9 @@ pub use gsn_network as network;
 /// The GSN container and federation (`gsn-core`).
 pub use gsn_core as container;
 
+/// Metrics, tracing and the slow-query log (`gsn-telemetry`).
+pub use gsn_telemetry as telemetry;
+
 // Convenience re-exports of the most common entry points.
 pub use gsn_core::{
     ContainerConfig, Federation, GsnContainer, Notification, QueryCursor, RemoteQueryResult,

@@ -39,6 +39,22 @@ fn mote_descriptor(name: &str, interval_ms: u32, seed: u32) -> VirtualSensorDesc
         .unwrap()
 }
 
+/// The deterministic counters of the container's metrics export: everything the
+/// worker shards merge must come out identical whatever the worker count.
+const PARITY_COUNTERS: &[&str] = &[
+    "gsn_steps_total",
+    "gsn_step_local_arrivals_total",
+    "gsn_step_outputs_total",
+    "gsn_step_query_evaluations_total",
+    "gsn_step_errors_total",
+    "gsn_query_incremental_total",
+    "gsn_query_fallback_total",
+    "gsn_query_registered_evaluated_total",
+    "gsn_storage_rows_inserted_total",
+    "gsn_sql_executions_total",
+    "gsn_notify_local_delivered_total",
+];
+
 struct Run {
     /// One (counters-only) report per step — `processing_micros` zeroed, it is wall-clock.
     reports: Vec<StepReport>,
@@ -46,6 +62,8 @@ struct Run {
     tables: Vec<Vec<(Value, Value)>>,
     /// Per sensor: the notified (sensor, AVG_TEMP) sequence, in delivery order.
     notifications: Vec<Vec<(String, Value)>>,
+    /// The [`PARITY_COUNTERS`] values from the final metrics snapshot.
+    counters: Vec<(&'static str, u64)>,
 }
 
 fn run_workload(workers: usize) -> Run {
@@ -102,10 +120,23 @@ fn run_workload(workers: usize) -> Run {
                 .collect()
         })
         .collect();
+    let snapshot = node.metrics_snapshot();
+    let counters = PARITY_COUNTERS
+        .iter()
+        .map(|name| {
+            let value = snapshot
+                .get(name)
+                .unwrap_or_else(|| panic!("counter {name} missing from the snapshot"))
+                .as_counter()
+                .unwrap();
+            (*name, value)
+        })
+        .collect();
     Run {
         reports,
         tables,
         notifications,
+        counters,
     }
 }
 
@@ -127,6 +158,18 @@ fn sharded_step_loop_matches_sequential_semantics() {
             "notification stream diverged for sensor {i}"
         );
     }
+    // The merged per-shard telemetry is identical too: sharding must not lose or
+    // double-count a single metric increment.
+    assert_eq!(sequential.counters, sharded.counters);
+    assert!(
+        sequential
+            .counters
+            .iter()
+            .filter(|(name, _)| !name.contains("errors") && !name.contains("fallback"))
+            .all(|(_, v)| *v > 0),
+        "parity counters never moved: {:?}",
+        sequential.counters
+    );
     // Sanity: the workload actually produced data and evaluated registered queries.
     assert!(
         sequential
