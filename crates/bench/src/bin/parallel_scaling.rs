@@ -7,9 +7,12 @@
 //! Drives the identical 64-sensor workload (16 with `--quick`) through one container at
 //! 1/2/4/8 step-loop workers and reports elements/second per cell, plus the speedup over
 //! the sequential run.  The workload is CPU-bound, so the attainable speedup is capped by
-//! the machine's core count — recorded in every row as `cores`.  Writes the
-//! machine-readable report to `target/bench-reports/parallel_scaling.json` and to
-//! `BENCH_parallel.json` at the workspace root.
+//! the machine's core count — recorded in every row as `cores`.  A second sweep repeats
+//! the workload with durable storage on (`durable = 1` rows): every output row crosses
+//! the region-sharded buffer pool and the per-shard WAL, and the row records the pool's
+//! per-region eviction/contention counters.  Writes the machine-readable report to
+//! `target/bench-reports/parallel_scaling.json` and to `BENCH_parallel.json` at the
+//! workspace root.
 
 use gsn_bench::parallel::{available_cores, run_with_workers, ParallelBenchConfig};
 use gsn_bench::{write_report, BenchReport};
@@ -27,7 +30,7 @@ fn main() {
 
     let mut report = BenchReport::new(
         "parallel_scaling",
-        "Step-loop throughput (elements/sec) of one container vs. worker-pool size, identical multi-sensor workload per cell",
+        "Step-loop throughput (elements/sec) of one container vs. worker-pool size, identical multi-sensor workload per cell; durable=1 rows repeat it through the sharded buffer pool + per-shard WAL",
         &[
             "workers",
             "sensors",
@@ -37,6 +40,12 @@ fn main() {
             "elements_per_sec",
             "speedup_vs_1",
             "cores",
+            "durable",
+            "pool_regions",
+            "pool_evictions",
+            "pool_contended",
+            "region_evictions_max",
+            "region_contended_max",
         ],
     );
 
@@ -48,39 +57,72 @@ fn main() {
         if quick { "quick" } else { "full" },
         cores
     );
-    println!("\nParallel scaling: sharded step loop");
-    println!(
-        "{:>8} {:>9} {:>11} {:>12} {:>16} {:>12} {:>6}",
-        "workers", "elements", "elapsed ms", "el/s", "speedup vs 1", "outputs", "cores"
-    );
-
-    let mut baseline: Option<f64> = None;
     let mut last_metrics = None;
-    for workers in WORKER_SWEEP {
-        let result = run_with_workers(&config, workers);
-        let base = *baseline.get_or_insert(result.elements_per_sec);
-        let speedup = result.elements_per_sec / base;
+    // Memory sweep first (rows the telemetry overhead guard reads), then the durable
+    // sweep through the sharded pool + per-shard WAL.
+    for durable in [false, true] {
+        let config = if durable {
+            config.clone().durable()
+        } else {
+            config.clone()
+        };
         println!(
-            "{:>8} {:>9} {:>11.1} {:>12.0} {:>16.2} {:>12} {:>6}",
-            result.workers,
-            result.elements,
-            result.elapsed_ms,
-            result.elements_per_sec,
-            speedup,
-            result.outputs,
-            cores
+            "\nParallel scaling: sharded step loop ({})",
+            if durable {
+                "durable: sharded pool + per-shard WAL"
+            } else {
+                "memory tables"
+            }
         );
-        report.push_row(vec![
-            result.workers as f64,
-            config.sensors as f64,
-            config.steps as f64,
-            result.elements as f64,
-            result.elapsed_ms,
-            result.elements_per_sec,
-            speedup,
-            cores as f64,
-        ]);
-        last_metrics = Some(result.metrics);
+        println!(
+            "{:>8} {:>9} {:>11} {:>12} {:>16} {:>12} {:>6} {:>8} {:>10} {:>10}",
+            "workers",
+            "elements",
+            "elapsed ms",
+            "el/s",
+            "speedup vs 1",
+            "outputs",
+            "cores",
+            "regions",
+            "evictions",
+            "contended"
+        );
+        let mut baseline: Option<f64> = None;
+        for workers in WORKER_SWEEP {
+            let result = run_with_workers(&config, workers);
+            let base = *baseline.get_or_insert(result.elements_per_sec);
+            let speedup = result.elements_per_sec / base;
+            println!(
+                "{:>8} {:>9} {:>11.1} {:>12.0} {:>16.2} {:>12} {:>6} {:>8} {:>10} {:>10}",
+                result.workers,
+                result.elements,
+                result.elapsed_ms,
+                result.elements_per_sec,
+                speedup,
+                result.outputs,
+                cores,
+                result.pool_regions,
+                result.pool_evictions,
+                result.pool_contended,
+            );
+            report.push_row(vec![
+                result.workers as f64,
+                config.sensors as f64,
+                config.steps as f64,
+                result.elements as f64,
+                result.elapsed_ms,
+                result.elements_per_sec,
+                speedup,
+                cores as f64,
+                u8::from(durable).into(),
+                result.pool_regions as f64,
+                result.pool_evictions as f64,
+                result.pool_contended as f64,
+                result.region_evictions_max as f64,
+                result.region_contended_max as f64,
+            ]);
+            last_metrics = Some(result.metrics);
+        }
     }
     if let Some(metrics) = last_metrics {
         report.set_telemetry(metrics);

@@ -26,6 +26,10 @@ pub struct ParallelBenchConfig {
     pub interval_ms: u32,
     /// Per-source count window the pipeline aggregates over.
     pub window: usize,
+    /// Run the sensors `permanent-storage` on a disposable data directory, so every
+    /// output row crosses the region-sharded buffer pool and the per-shard WAL —
+    /// measures the durable hot path instead of the in-memory one.
+    pub durable: bool,
 }
 
 impl ParallelBenchConfig {
@@ -36,6 +40,7 @@ impl ParallelBenchConfig {
             steps: 8,
             interval_ms: 50,
             window: 20,
+            durable: false,
         }
     }
 
@@ -46,7 +51,14 @@ impl ParallelBenchConfig {
             steps: 3,
             interval_ms: 100,
             window: 10,
+            durable: false,
         }
+    }
+
+    /// The same cell with durable storage on (see [`ParallelBenchConfig::durable`]).
+    pub fn durable(mut self) -> ParallelBenchConfig {
+        self.durable = true;
+        self
     }
 }
 
@@ -63,6 +75,19 @@ pub struct ParallelBenchResult {
     pub elapsed_ms: f64,
     /// Pipeline throughput: elements / elapsed seconds.
     pub elements_per_sec: f64,
+    /// Buffer-pool clock regions in the container's shared pool (memory cells never
+    /// touch the pool, so their per-region counters stay zero).
+    pub pool_regions: usize,
+    /// Pages evicted across all regions.
+    pub pool_evictions: u64,
+    /// Region-latch acquisitions that found the latch held (the tentpole's "no shared
+    /// mutex on the hit path" promise predicts ~0 for distinct-table scans).
+    pub pool_contended: u64,
+    /// The busiest single region's evictions — imbalance here means the region hash is
+    /// clustering hot tables.
+    pub region_evictions_max: u64,
+    /// The busiest single region's contended latch acquisitions.
+    pub region_contended_max: u64,
     /// The container's metrics snapshot at the end of the run.
     pub metrics: gsn_telemetry::MetricsSnapshot,
 }
@@ -76,6 +101,7 @@ fn mote_descriptor(
         .unwrap()
         .output_field("avg_temp", DataType::Double)
         .unwrap()
+        .permanent_storage(config.durable)
         .input_stream(
             InputStreamSpec::new("main", "select * from src1").with_source(
                 StreamSourceSpec::new(
@@ -96,7 +122,18 @@ fn mote_descriptor(
 /// (deployment and teardown excluded).
 pub fn run_with_workers(config: &ParallelBenchConfig, workers: usize) -> ParallelBenchResult {
     let clock = SimulatedClock::new();
-    let container_config = ContainerConfig::default().with_workers(workers);
+    let mut container_config = ContainerConfig::default().with_workers(workers);
+    let data_dir = config.durable.then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "gsn-bench-parallel-{}-w{workers}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    if let Some(dir) = &data_dir {
+        container_config = container_config.with_data_dir(dir.clone());
+    }
     let mut node = GsnContainer::new(container_config, Arc::new(clock.clone()));
     for i in 0..config.sensors {
         node.deploy(mote_descriptor(&format!("mote-{i}"), i, config))
@@ -114,14 +151,35 @@ pub fn run_with_workers(config: &ParallelBenchConfig, workers: usize) -> Paralle
     assert_eq!(total.errors, 0, "bench workload must not error");
     let elements = total.local_arrivals + total.remote_arrivals;
     let secs = elapsed.as_secs_f64().max(1e-9);
-    ParallelBenchResult {
+    let storage = node.storage().stats();
+    let result = ParallelBenchResult {
         workers,
         elements,
         outputs: total.outputs,
         elapsed_ms: secs * 1_000.0,
         elements_per_sec: elements as f64 / secs,
+        pool_regions: storage.pool_regions.len(),
+        pool_evictions: storage.pool.evictions,
+        pool_contended: storage.pool.contended,
+        region_evictions_max: storage
+            .pool_regions
+            .iter()
+            .map(|r| r.evictions)
+            .max()
+            .unwrap_or(0),
+        region_contended_max: storage
+            .pool_regions
+            .iter()
+            .map(|r| r.contended)
+            .max()
+            .unwrap_or(0),
         metrics: node.metrics_snapshot(),
+    };
+    drop(node);
+    if let Some(dir) = data_dir {
+        let _ = std::fs::remove_dir_all(dir);
     }
+    result
 }
 
 /// The number of CPUs the process may run on (the scaling ceiling).
@@ -146,5 +204,25 @@ mod tests {
         assert_eq!(sequential.elements, sharded.elements);
         assert_eq!(sequential.outputs, sharded.outputs);
         assert!(sequential.elements_per_sec > 0.0);
+    }
+
+    #[test]
+    fn durable_cell_exercises_the_sharded_pool() {
+        let config = ParallelBenchConfig::quick();
+        let memory = run_with_workers(&config, 2);
+        let durable = run_with_workers(&config.clone().durable(), 2);
+        // Durability changes where rows live, not what the pipeline computes.
+        assert_eq!(memory.elements, durable.elements);
+        assert_eq!(memory.outputs, durable.outputs);
+        // The durable cell actually crossed the region-sharded pool.
+        assert!(durable.pool_regions >= 2);
+        let pool_hits: u64 = durable
+            .metrics
+            .get("gsn_storage_pool_hits_total")
+            .and_then(|m| m.as_counter())
+            .unwrap_or(0);
+        assert!(pool_hits > 0, "durable run never touched the buffer pool");
+        assert_eq!(memory.pool_evictions, 0);
+        assert_eq!(memory.pool_contended, 0);
     }
 }

@@ -47,6 +47,10 @@ pub struct ContainerConfig {
     /// Container-wide buffer-pool page budget shared by every persistent table
     /// (resident memory ≈ pages × 8 KiB, cross-table eviction).
     pub storage_pool_pages: usize,
+    /// Clock regions the shared buffer pool is split into (pages stripe across regions
+    /// by hash; concurrent scans of different pages lock different regions).  `0` (the
+    /// default) lets the pool pick — currently 8, clamped to the page budget.
+    pub storage_pool_regions: usize,
     /// Write-ahead-log durability mode for persistent tables.
     pub wal_sync: SyncMode,
     /// Group commit for [`SyncMode::Always`]: defer WAL fsyncs to one batched fsync per
@@ -91,6 +95,7 @@ impl Default for ContainerConfig {
             incremental_queries: true,
             data_dir: None,
             storage_pool_pages: 4 * PersistentOptions::default().pool_pages,
+            storage_pool_regions: 0,
             wal_sync: SyncMode::default(),
             wal_group_commit: true,
             storage_segment_pages: PersistentOptions::default().segment_pages,
@@ -150,12 +155,18 @@ impl ContainerConfig {
             data_dir: self.data_dir.clone(),
             persistent: PersistentOptions {
                 pool_pages: self.storage_pool_pages,
+                pool_regions: self.storage_pool_regions,
                 sync: self.wal_sync,
                 group_commit: self.wal_group_commit,
                 segment_pages: self.storage_segment_pages,
                 ..PersistentOptions::default()
             },
             window_spill_bytes: self.window_spill_bytes,
+            // One shared WAL shard per step-loop worker: the worker that runs a
+            // sensor's pipeline is the only appender to that sensor's shard (both use
+            // the same name hash), and the per-step commit fsyncs once per active
+            // shard instead of once per durable table.
+            wal_shards: self.workers,
         }
     }
 }

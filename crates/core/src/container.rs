@@ -66,11 +66,12 @@ use gsn_telemetry::{
     MetricsRegistry, MetricsSnapshot, SlowQuery, SlowQueryLog, SpanId, Stopwatch, TraceLog,
 };
 use gsn_types::{
-    Clock, GsnError, GsnResult, NodeId, StreamElement, Timestamp, Value, VirtualSensorName,
+    Clock, EpochCell, GsnError, GsnResult, NodeId, StreamElement, Timestamp, Value,
+    VirtualSensorName,
 };
 use gsn_wrappers::WrapperRegistry;
 use gsn_xml::VirtualSensorDescriptor;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::config::ContainerConfig;
 use crate::cursor::QueryCursor;
@@ -292,7 +293,10 @@ struct PipelineRuntime {
     notifications: Mutex<NotificationManager>,
     network: Option<Arc<SimulatedNetwork>>,
     /// Routes incoming remote deliveries: remote sensor name -> local consumers.
-    remote_routes: RwLock<HashMap<String, Vec<(VirtualSensorName, SourceRef)>>>,
+    /// Epoch-published: the per-element hot path takes an `Arc` snapshot (one pointer
+    /// clone, no lock held across the delivery) and (un)deployments install a new
+    /// generation, so routing lookups never contend with each other or with writers.
+    remote_routes: EpochCell<HashMap<String, Vec<(VirtualSensorName, SourceRef)>>>,
     /// Structured span log shared with the step-loop workers; disabled (one relaxed
     /// load per would-be span, no allocation) unless `ContainerConfig::trace_enabled`.
     trace: Arc<TraceLog>,
@@ -400,24 +404,21 @@ fn process_one(
                 .trace
                 .finish_with(notify_span, || name.as_str().to_owned());
             // Local loop-back remote routes (a sensor on this node consuming another
-            // local sensor through the `remote` wrapper).
-            let local_routes = runtime
-                .remote_routes
-                .read()
-                .get(name.as_str())
-                .cloned()
-                .unwrap_or_default();
-            for (consumer, consumer_ref) in local_routes {
-                if &consumer == name {
+            // local sensor through the `remote` wrapper).  Snapshot semantics: the
+            // routes as of this element's delivery; a concurrent (un)deploy publishes
+            // a new generation that later elements see.
+            let local_routes = runtime.remote_routes.load();
+            for (consumer, consumer_ref) in local_routes.get(name.as_str()).into_iter().flatten() {
+                if consumer == name {
                     continue;
                 }
-                if view.contains_key(&consumer) {
+                if view.contains_key(consumer) {
                     out.report.remote_arrivals += 1;
                     deliver_remote(
                         runtime,
                         view,
-                        &consumer,
-                        consumer_ref,
+                        consumer,
+                        *consumer_ref,
                         output.clone(),
                         now,
                         out,
@@ -425,7 +426,8 @@ fn process_one(
                 } else {
                     // The consumer lives in another shard (or was undeployed): hand the
                     // delivery back for the sequential post-barrier phase.
-                    out.deferred.push((consumer, consumer_ref, output.clone()));
+                    out.deferred
+                        .push((consumer.clone(), *consumer_ref, output.clone()));
                 }
             }
         }
@@ -676,7 +678,7 @@ impl GsnContainer {
                 config.disconnect_buffer_capacity,
             )),
             network,
-            remote_routes: RwLock::new(HashMap::new()),
+            remote_routes: EpochCell::new(HashMap::new()),
             trace,
         });
 
@@ -843,12 +845,13 @@ impl GsnContainer {
 
         // Wire up remote sources: remember the routing and send Subscribe messages.
         for (producer, remote_sensor, source_ref) in sensor.remote_sources() {
-            self.runtime
-                .remote_routes
-                .write()
-                .entry(remote_sensor.to_ascii_lowercase())
-                .or_default()
-                .push((name.clone(), source_ref));
+            self.runtime.remote_routes.update(|routes| {
+                let mut next = routes.clone();
+                next.entry(remote_sensor.to_ascii_lowercase())
+                    .or_default()
+                    .push((name.clone(), source_ref));
+                (next, ())
+            });
             if producer != self.config.node_id {
                 if let Some(network) = &self.runtime.network {
                     let request = self.next_request_id;
@@ -895,18 +898,19 @@ impl GsnContainer {
         if let Some(directory) = &self.directory {
             let _ = directory.deregister(self.config.node_id, key.as_str());
         }
-        let orphaned: Vec<String> = {
-            let mut routes = self.runtime.remote_routes.write();
-            routes.values_mut().for_each(|consumers| {
+        let (_, orphaned): (u64, Vec<String>) = self.runtime.remote_routes.update(|routes| {
+            let mut next = routes.clone();
+            next.values_mut().for_each(|consumers| {
                 consumers.retain(|(owner, _)| owner != &key);
             });
             // Remote sensors no local consumer references any more.
-            routes
+            let orphaned = next
                 .iter()
                 .filter(|(_, consumers)| consumers.is_empty())
                 .map(|(sensor, _)| sensor.clone())
-                .collect()
-        };
+                .collect();
+            (next, orphaned)
+        });
         // Drop pending subscriptions (and send Unsubscribe) for orphaned remote sensors.
         for sensor in &orphaned {
             if let Some(network) = &self.runtime.network {
@@ -929,10 +933,11 @@ impl GsnContainer {
             self.pending_subscriptions
                 .retain(|p| !p.sensor.eq_ignore_ascii_case(sensor));
         }
-        self.runtime
-            .remote_routes
-            .write()
-            .retain(|_, consumers| !consumers.is_empty());
+        self.runtime.remote_routes.update(|routes| {
+            let mut next = routes.clone();
+            next.retain(|_, consumers| !consumers.is_empty());
+            (next, ())
+        });
         Ok(())
     }
 
@@ -1413,20 +1418,18 @@ impl GsnContainer {
                 }
                 Message::StreamDelivery { sensor, element } => match element.into_element() {
                     Ok(element) => {
-                        let routes = self
-                            .runtime
-                            .remote_routes
-                            .read()
+                        let routes = self.runtime.remote_routes.load();
+                        for (consumer, source_ref) in routes
                             .get(&sensor.to_ascii_lowercase())
-                            .cloned()
-                            .unwrap_or_default();
-                        for (consumer, source_ref) in routes {
+                            .into_iter()
+                            .flatten()
+                        {
                             out.report.remote_arrivals += 1;
                             deliver_remote(
                                 &self.runtime,
                                 &self.sensors,
-                                &consumer,
-                                source_ref,
+                                consumer,
+                                *source_ref,
                                 element.clone(),
                                 now,
                                 &mut out,
@@ -1872,6 +1875,29 @@ impl GsnContainer {
             remote_cursors: self.open_remote_cursors(),
             remote_queries: self.remote_queries.len(),
         });
+        // Per-region pool counters: where hits/misses/evictions/contention land across
+        // the sharded buffer pool's clock regions.
+        for region in &storage.pool_regions {
+            let label = region.region.to_string();
+            self.metrics
+                .counter_labeled(&crate::telemetry::STORAGE_POOL_REGION_HITS_TOTAL, &label)
+                .store(region.hits);
+            self.metrics
+                .counter_labeled(&crate::telemetry::STORAGE_POOL_REGION_MISSES_TOTAL, &label)
+                .store(region.misses);
+            self.metrics
+                .counter_labeled(
+                    &crate::telemetry::STORAGE_POOL_REGION_EVICTIONS_TOTAL,
+                    &label,
+                )
+                .store(region.evictions);
+            self.metrics
+                .counter_labeled(
+                    &crate::telemetry::STORAGE_POOL_REGION_CONTENDED_TOTAL,
+                    &label,
+                )
+                .store(region.contended);
+        }
         // Per-link counters, for the links this node participates in.
         if let Some(network) = self.runtime.network.as_deref() {
             let node = self.config.node_id;

@@ -39,7 +39,7 @@ use gsn_storage::{
     sampling_stride, CatalogView, LiveCatalog, StorageManager, StreamTable, WindowSpec,
 };
 use gsn_telemetry::{SlowQuery, SlowQueryLog, Stopwatch};
-use gsn_types::{GsnError, GsnResult, StreamElement, Timestamp};
+use gsn_types::{EpochCell, GsnError, GsnResult, StreamElement, Timestamp};
 use parking_lot::{Mutex, RwLock};
 
 use crate::telemetry::QueryTelemetry;
@@ -422,7 +422,10 @@ fn window_bound(history: WindowSpec, now: Timestamp) -> WindowBound {
 pub struct QueryRepository {
     partitions: Vec<Mutex<QueryPartition>>,
     /// Table name (lowercase) → partitions holding queries that read it, ascending.
-    routes: RwLock<HashMap<String, Vec<usize>>>,
+    /// Epoch-published: every produced element consults this on the hot path, while
+    /// writes happen only on (un)registration — readers take an `Arc` snapshot and
+    /// never contend.
+    routes: EpochCell<HashMap<String, Vec<usize>>>,
     /// Query id → owning partition.
     owners: RwLock<HashMap<ClientQueryId, usize>>,
     next_id: AtomicU64,
@@ -456,7 +459,7 @@ impl QueryRepository {
             partitions: (0..partitions)
                 .map(|_| Mutex::new(QueryPartition::new(cache_enabled)))
                 .collect(),
-            routes: RwLock::new(HashMap::new()),
+            routes: EpochCell::new(HashMap::new()),
             owners: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             incremental,
@@ -582,14 +585,17 @@ impl QueryRepository {
         drop(partition);
 
         self.owners.write().insert(id, partition_index);
-        let mut routes = self.routes.write();
-        for table in tables {
-            let entry = routes.entry(table).or_default();
-            if !entry.contains(&partition_index) {
-                entry.push(partition_index);
-                entry.sort_unstable();
+        self.routes.update(|routes| {
+            let mut next = routes.clone();
+            for table in tables {
+                let entry = next.entry(table).or_default();
+                if !entry.contains(&partition_index) {
+                    entry.push(partition_index);
+                    entry.sort_unstable();
+                }
             }
-        }
+            (next, ())
+        });
         Ok(id)
     }
 
@@ -615,15 +621,18 @@ impl QueryRepository {
         }
         drop(partition);
         if !orphaned.is_empty() {
-            let mut routes = self.routes.write();
-            for table in orphaned {
-                if let Some(entry) = routes.get_mut(&table) {
-                    entry.retain(|p| *p != partition_index);
-                    if entry.is_empty() {
-                        routes.remove(&table);
+            self.routes.update(|routes| {
+                let mut next = routes.clone();
+                for table in &orphaned {
+                    if let Some(entry) = next.get_mut(table) {
+                        entry.retain(|p| *p != partition_index);
+                        if entry.is_empty() {
+                            next.remove(table);
+                        }
                     }
                 }
-            }
+                (next, ())
+            });
         }
         Ok(())
     }
@@ -660,9 +669,9 @@ impl QueryRepository {
     /// order).
     pub fn queries_for_table(&self, table: &str) -> Vec<ClientQueryId> {
         let key = table.to_ascii_lowercase();
-        let route = self.routes.read().get(&key).cloned().unwrap_or_default();
+        let routes = self.routes.load();
         let mut ids = Vec::new();
-        for p in route {
+        for &p in routes.get(&key).into_iter().flatten() {
             if let Some(partition_ids) = self.partitions[p].lock().by_table.get(&key) {
                 ids.extend_from_slice(partition_ids);
             }
@@ -685,9 +694,9 @@ impl QueryRepository {
         now: Timestamp,
     ) -> Vec<ClientQueryResult> {
         let key = table.to_ascii_lowercase();
-        let route = self.routes.read().get(&key).cloned().unwrap_or_default();
+        let routes = self.routes.load();
         let mut results = Vec::new();
-        for p in route {
+        for &p in routes.get(&key).into_iter().flatten() {
             self.partitions[p].lock().evaluate_for_table(
                 &key,
                 storage,
@@ -908,6 +917,41 @@ mod tests {
             );
             assert_eq!(full.telemetry().incremental_evaluated.get(), 0);
         }
+    }
+
+    /// Epoch-snapshot staleness: a reader holding a routes snapshot across a
+    /// deregistration keeps the generation it loaded — the removed route stays visible
+    /// to it and every lookup completes — while new readers immediately observe the
+    /// next generation with the route gone.
+    #[test]
+    fn route_snapshots_stay_readable_across_deregistration() {
+        let storage = storage_with_output();
+        let qm = QueryRepository::with_partitions(4, true, true);
+        let id = qm
+            .register(
+                "client-1",
+                "select avg(temperature) from room_temp",
+                WindowSpec::Count(10),
+                None,
+            )
+            .unwrap();
+        let generation = qm.routes.generation();
+        let stale = qm.routes.load();
+        let partition = qm.partition_of_table("room_temp");
+        assert_eq!(stale.get("room_temp"), Some(&vec![partition]));
+
+        qm.deregister(id).unwrap();
+
+        // The held snapshot is immutable: a reader mid-evaluation on the old
+        // generation still resolves the route it started with.
+        assert_eq!(stale.get("room_temp"), Some(&vec![partition]));
+        // New loads see the replacement map, not a mutation of the old one.
+        assert!(qm.routes.load().get("room_temp").is_none());
+        assert!(qm.routes.generation() > generation);
+        assert!(qm.queries_for_table("room_temp").is_empty());
+        assert!(qm
+            .evaluate_for_table("room_temp", &storage, Timestamp(2_000))
+            .is_empty());
     }
 
     #[test]

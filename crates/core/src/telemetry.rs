@@ -364,6 +364,46 @@ pub static STORAGE_POOL_RESIDENT_PAGES: MetricDesc = MetricDesc::gauge(
     "pages",
 );
 
+/// Region-lock acquisitions that found the lock held (cross-thread contention on one
+/// clock region of the sharded pool; ~0 when scans stripe cleanly across regions).
+pub static STORAGE_POOL_CONTENDED_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_storage_pool_contended_total",
+    "Buffer-pool region-lock acquisitions that found the lock held",
+    "acquisitions",
+);
+
+/// Per-region page hits (labeled `region="N"`).
+pub static STORAGE_POOL_REGION_HITS_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_storage_pool_region_hits_total",
+    "Page requests served from a resident frame of one clock region",
+    "pages",
+)
+.with_label("region");
+
+/// Per-region page misses (labeled `region="N"`).
+pub static STORAGE_POOL_REGION_MISSES_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_storage_pool_region_misses_total",
+    "Page requests of one clock region that had to read from disk",
+    "pages",
+)
+.with_label("region");
+
+/// Per-region frame evictions (labeled `region="N"`).
+pub static STORAGE_POOL_REGION_EVICTIONS_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_storage_pool_region_evictions_total",
+    "Frames reclaimed by the clock hand of one region",
+    "pages",
+)
+.with_label("region");
+
+/// Per-region lock contention (labeled `region="N"`).
+pub static STORAGE_POOL_REGION_CONTENDED_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_storage_pool_region_contended_total",
+    "Lock acquisitions of one region that found the lock held",
+    "acquisitions",
+)
+.with_label("region");
+
 /// Spill migration passes across all spilled-window tables.
 pub static STORAGE_SPILL_MIGRATIONS_TOTAL: MetricDesc = MetricDesc::counter(
     "gsn_storage_spill_migrations_total",
@@ -571,6 +611,7 @@ pub struct SourcedMetrics {
     pool_misses: Counter,
     pool_evictions: Counter,
     pool_writebacks: Counter,
+    pool_contended: Counter,
     pool_resident_pages: Gauge,
     spill_migrations: Counter,
     spilled_rows: Gauge,
@@ -640,6 +681,7 @@ impl SourcedMetrics {
         registry.register_counter(&STORAGE_POOL_MISSES_TOTAL, &self.pool_misses);
         registry.register_counter(&STORAGE_POOL_EVICTIONS_TOTAL, &self.pool_evictions);
         registry.register_counter(&STORAGE_POOL_WRITEBACKS_TOTAL, &self.pool_writebacks);
+        registry.register_counter(&STORAGE_POOL_CONTENDED_TOTAL, &self.pool_contended);
         registry.register_gauge(&STORAGE_POOL_RESIDENT_PAGES, &self.pool_resident_pages);
         registry.register_counter(&STORAGE_SPILL_MIGRATIONS_TOTAL, &self.spill_migrations);
         registry.register_gauge(&STORAGE_SPILLED_ROWS, &self.spilled_rows);
@@ -692,6 +734,7 @@ impl SourcedMetrics {
             self.pool_misses.store(storage.pool.misses);
             self.pool_evictions.store(storage.pool.evictions);
             self.pool_writebacks.store(storage.pool.writebacks);
+            self.pool_contended.store(storage.pool.contended);
             self.pool_resident_pages
                 .set(storage.pool.resident_pages as i64);
             self.spill_migrations.store(storage.spill_migrations);

@@ -57,7 +57,7 @@ use crate::retention::{DiskUsage, ReclaimStats, COMPACT_MIN_DEAD_RATIO};
 use crate::segment::{
     global_page_id, segment_of, SegmentedHeap, DEFAULT_SEGMENT_PAGES, MAX_SEGMENT_PAGES,
 };
-use crate::wal::{SyncMode, Wal};
+use crate::wal::{SyncMode, TableWal, Wal, WalSet};
 use crate::window::WindowSpec;
 
 /// Which engine backs a table.
@@ -91,6 +91,14 @@ pub struct PersistentOptions {
     /// The shared buffer pool to register this table's pages with.  `None` gives the
     /// table a private pool of `pool_pages` frames (standalone use, tests).
     pub shared_pool: Option<Arc<SharedBufferPool>>,
+    /// Clock regions a *private* pool is split into (`0` = the pool's default).  A
+    /// shared pool arrives already sharded; this knob only shapes the fallback.
+    pub pool_regions: usize,
+    /// The container-wide sharded log set to append this table's WAL records to.
+    /// `None` keeps a private `<table>.wal` file (standalone use, tests).  When set,
+    /// the table joins the shard its name hashes to, and any pre-existing private log
+    /// is replayed and retired at the next checkpoint.
+    pub shared_wal: Option<Arc<WalSet>>,
     /// Pages per heap segment (clamped to `1..=`[`MAX_SEGMENT_PAGES`]).  Smaller
     /// segments reclaim space at a finer grain at the cost of more files; the default
     /// is ≈1 MiB per segment.
@@ -105,6 +113,8 @@ impl Default for PersistentOptions {
             wal_checkpoint_bytes: 4 << 20,
             group_commit: false,
             shared_pool: None,
+            pool_regions: 0,
+            shared_wal: None,
             segment_pages: DEFAULT_SEGMENT_PAGES,
         }
     }
@@ -259,9 +269,11 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     fn flush(&mut self) -> GsnResult<()>;
 
     /// Commits any group-committed WAL appends still pending (the per-step batched
-    /// fsync; see [`PersistentOptions::group_commit`]). No-op for memory tables.
-    fn sync_wal(&mut self) -> GsnResult<()> {
-        Ok(())
+    /// fsync; see [`PersistentOptions::group_commit`]).  Returns the number of records
+    /// the drained batch contained (0 for memory tables and tables on a shared
+    /// [`WalSet`], which the container commits once per step instead).
+    fn sync_wal(&mut self) -> GsnResult<u64> {
+        Ok(0)
     }
 
     /// Reclaims file space held by rows below the prune watermark: deletes fully dead
@@ -577,7 +589,7 @@ impl Drop for PoolRegistration {
 #[derive(Debug)]
 struct Inner {
     heap: Arc<Mutex<SegmentedHeap>>,
-    wal: Wal,
+    wal: TableWal,
     pool: Arc<SharedBufferPool>,
     table_id: TableId,
     /// Keep last so the registration is released after any other cleanup.
@@ -640,17 +652,38 @@ impl PersistentBackend {
         let base = sanitize_file_name(name);
         let (heap, existed) =
             SegmentedHeap::create_or_open(dir, &base, Arc::clone(&schema), options.segment_pages)?;
-        let mut wal = Wal::open(&dir.join(format!("{base}.wal")), options.sync)?;
-        wal.set_group_commit(options.group_commit)?;
+        let legacy_path = dir.join(format!("{base}.wal"));
+        let wal = match options.shared_wal.clone() {
+            Some(set) => {
+                // Joining a sharded log: a private file left by a pre-sharding
+                // incarnation stays readable until the next checkpoint retires it.
+                let legacy = match legacy_path.exists() {
+                    true => Some(Wal::open(&legacy_path, options.sync)?),
+                    false => None,
+                };
+                TableWal::Shared {
+                    set,
+                    tag: base.clone(),
+                    legacy,
+                }
+            }
+            None => {
+                let mut own = Wal::open(&legacy_path, options.sync)?;
+                own.set_group_commit(options.group_commit)?;
+                TableWal::Own(own)
+            }
+        };
 
         // Rows below the persisted watermark — or below the first surviving segment
         // (head segments deleted by a previous incarnation's reclamation) — are dead.
         let logical_start = heap.watermark().max(heap.min_first_row().unwrap_or(0));
         let heap = Arc::new(Mutex::new(heap));
-        let pool = options
-            .shared_pool
-            .clone()
-            .unwrap_or_else(|| Arc::new(SharedBufferPool::new(options.pool_pages)));
+        let pool = options.shared_pool.clone().unwrap_or_else(|| {
+            Arc::new(match options.pool_regions {
+                0 => SharedBufferPool::new(options.pool_pages),
+                n => SharedBufferPool::with_regions(options.pool_pages, n),
+            })
+        });
         let table_id = pool.register_table(Box::new(HeapIo(Arc::clone(&heap))));
 
         let mut inner = Inner {
@@ -685,8 +718,9 @@ impl PersistentBackend {
                 }
             }
         } else if inner.wal.len_bytes() > 0 {
-            // Fresh table next to a stale WAL from a dropped predecessor: clear it.
-            inner.wal.reset()?;
+            // Fresh table next to stale WAL records from a dropped predecessor: clear
+            // them (shared logs write a durable tombstone so they never resurrect).
+            inner.wal.clear_stale()?;
         }
         inner.refresh_first_live_pos();
 
@@ -1205,7 +1239,8 @@ impl Inner {
         }
     }
 
-    /// Checkpoint: pages to disk, prune watermark to the tail segment header, WAL reset.
+    /// Checkpoint: pages to disk, prune watermark to the tail segment header, WAL
+    /// records retired (an own log truncates; a shared-log tag is logically cleared).
     fn checkpoint(&mut self) -> GsnResult<()> {
         self.pool.flush_table(self.table_id)?;
         {
@@ -1213,8 +1248,7 @@ impl Inner {
             heap.set_watermark(self.logical_start)?;
             heap.sync()?;
         }
-        self.wal.sync()?;
-        self.wal.reset()
+        self.wal.checkpoint()
     }
 
     // -----------------------------------------------------------------------------------
@@ -1620,7 +1654,7 @@ impl StorageBackend for PersistentBackend {
         self.inner.get_mut().checkpoint()
     }
 
-    fn sync_wal(&mut self) -> GsnResult<()> {
+    fn sync_wal(&mut self) -> GsnResult<u64> {
         self.inner.get_mut().wal.commit()
     }
 

@@ -127,7 +127,7 @@ pub mod window;
 pub use backend::{
     BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, ScanState, StorageBackend,
 };
-pub use buffer::{BufferPoolStats, PageIo, SharedBufferPool, TableId};
+pub use buffer::{BufferPoolStats, PageIo, RegionStats, SharedBufferPool, TableId};
 pub use heap::HeapFile;
 pub use manager::{CatalogView, LiveCatalog, StorageManager, StorageOptions, StreamCursor};
 pub use page::{Page, PageId, PAGE_SIZE};
@@ -137,5 +137,5 @@ pub use spill::{SpillOptions, SpillingBackend};
 pub use stats::{StorageStats, TableDiskStats, TableStats};
 pub use table::{sampling_stride, StreamTable};
 pub use telemetry::StorageTelemetry;
-pub use wal::{SyncMode, Wal};
+pub use wal::{shard_index, ShardCommit, SyncMode, TableWal, Wal, WalSet};
 pub use window::{Retention, WindowSpec};

@@ -27,6 +27,7 @@ use crate::spill::SpillOptions;
 use crate::stats::{StorageStats, TableDiskStats};
 use crate::table::StreamTable;
 use crate::telemetry::StorageTelemetry;
+use crate::wal::{SyncMode, WalSet};
 use crate::window::{Retention, WindowSpec};
 use gsn_telemetry::Stopwatch;
 
@@ -44,6 +45,12 @@ pub struct StorageOptions {
     /// large time windows (`storage-size="30d"`) query in bounded memory.  `None`
     /// keeps the seed behaviour (windows stay fully resident).
     pub window_spill_bytes: Option<usize>,
+    /// Shards of the container-wide shared WAL (one log file per step-loop shard,
+    /// multiplexing every durable table; see [`WalSet`]).  `0` keeps the seed
+    /// behaviour: one private `<table>.wal` per durable table, one fsync per table at
+    /// group commit.  The container passes its worker count, so the per-step commit
+    /// fsyncs at most once per *active shard* instead of once per table.
+    pub wal_shards: usize,
 }
 
 impl StorageOptions {
@@ -53,7 +60,14 @@ impl StorageOptions {
             data_dir: Some(data_dir.into()),
             persistent: PersistentOptions::default(),
             window_spill_bytes: None,
+            wal_shards: 0,
         }
+    }
+
+    /// Enables the sharded container-wide WAL with `shards` log files.
+    pub fn with_wal_shards(mut self, shards: usize) -> StorageOptions {
+        self.wal_shards = shards;
+        self
     }
 
     /// Enables window spilling with the given resident budget.
@@ -71,6 +85,9 @@ pub struct StorageManager {
     /// The container-wide page budget every durable table shares
     /// (`options.persistent.pool_pages` frames in total, cross-table eviction).
     pool: Arc<SharedBufferPool>,
+    /// The sharded container-wide WAL durable tables append to, when enabled
+    /// ([`StorageOptions::wal_shards`] > 0 and a data directory is configured).
+    wal_set: Option<Arc<WalSet>>,
     /// Lifetime counters of the retention maintenance pass.
     maintenance: Mutex<MaintenanceTotals>,
     /// Guards against overlapping maintenance passes (the step loop schedules them
@@ -95,11 +112,25 @@ impl StorageManager {
     /// Creates a storage manager that can host persistent tables under
     /// `options.data_dir`.
     pub fn with_options(options: StorageOptions) -> StorageManager {
-        let pool = Arc::new(SharedBufferPool::new(options.persistent.pool_pages));
+        let pool = Arc::new(match options.persistent.pool_regions {
+            0 => SharedBufferPool::new(options.persistent.pool_pages),
+            n => SharedBufferPool::with_regions(options.persistent.pool_pages, n),
+        });
+        let wal_set = match (&options.data_dir, options.wal_shards) {
+            (Some(dir), shards) if shards > 0 => Some(Arc::new(WalSet::new(
+                dir.clone(),
+                shards,
+                options.persistent.sync,
+                options.persistent.group_commit,
+                options.persistent.wal_checkpoint_bytes.max(1),
+            ))),
+            _ => None,
+        };
         StorageManager {
             tables: RwLock::new(HashMap::new()),
             options,
             pool,
+            wal_set,
             maintenance: Mutex::new(MaintenanceTotals::default()),
             maintenance_busy: AtomicBool::new(false),
             telemetry: StorageTelemetry::new(),
@@ -167,6 +198,7 @@ impl StorageManager {
             Some(dir) => {
                 let options = PersistentOptions {
                     shared_pool: Some(Arc::clone(&self.pool)),
+                    shared_wal: self.wal_set.clone(),
                     ..self.options.persistent.clone()
                 };
                 StreamTable::persistent(name, schema, retention, dir, options)?
@@ -174,6 +206,11 @@ impl StorageManager {
             None => StreamTable::new(name, schema, retention),
         };
         self.register_table(name, table)
+    }
+
+    /// The sharded container-wide WAL, when enabled.
+    pub fn wal_set(&self) -> Option<&Arc<WalSet>> {
+        self.wal_set.as_ref()
     }
 
     /// The shared buffer pool every durable table of this manager uses.
@@ -231,10 +268,12 @@ impl StorageManager {
     }
 
     /// Group commit: fsyncs every WAL with group-committed appends still pending.  The
-    /// container calls this once per step, amortising one fsync per table across all
-    /// rows ingested in the step (instead of one per insert under `SyncMode::Always`).
+    /// container calls this once per step.  Tables on private logs drain their own
+    /// batch (one fsync per table); tables on the shared [`WalSet`] are drained by one
+    /// set-wide commit — one write and at most one fsync per *active shard*, however
+    /// many tables ingested this step.
     ///
-    /// Every table is attempted even when one fails — a transient error on one WAL must
+    /// Every log is attempted even when one fails — a transient error on one WAL must
     /// not leave the other tables' acknowledged rows unsynced past the step boundary.
     /// The first error is returned.
     pub fn group_commit(&self) -> GsnResult<()> {
@@ -243,11 +282,40 @@ impl StorageManager {
             let mut guard = table.write();
             let timed = guard.backend_kind() == BackendKind::Persistent;
             let sw = Stopwatch::start();
-            if let Err(e) = guard.sync_wal() {
-                first_error.get_or_insert(e);
+            match guard.sync_wal() {
+                Ok(records) => {
+                    if records > 0 {
+                        self.telemetry.wal_batch_records.record(records);
+                        if self.options.persistent.sync == SyncMode::Always {
+                            self.telemetry.wal_fsyncs.add(1);
+                        }
+                    }
+                }
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
             }
             if timed {
                 self.telemetry.wal_sync_micros.record(sw.elapsed_micros());
+            }
+        }
+        if let Some(set) = &self.wal_set {
+            let sw = Stopwatch::start();
+            match set.commit() {
+                Ok(commits) => {
+                    if !commits.is_empty() {
+                        self.telemetry.wal_sync_micros.record(sw.elapsed_micros());
+                    }
+                    for commit in commits {
+                        self.telemetry.wal_batch_records.record(commit.records);
+                        if commit.synced {
+                            self.telemetry.wal_fsyncs.add(1);
+                        }
+                    }
+                }
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
             }
         }
         match first_error {
@@ -423,6 +491,7 @@ impl StorageManager {
         // Every durable table shares the manager's one pool: report it once instead of
         // summing the same counters per table.
         stats.pool = self.pool.stats();
+        stats.pool_regions = self.pool.region_stats();
         stats
     }
 }

@@ -166,6 +166,9 @@ impl SpillingBackend {
             let options = PersistentOptions {
                 sync: SyncMode::Disabled,
                 group_commit: false,
+                // A spilled window is a rebuildable cache: it must not occupy a tag in
+                // the container's shared WAL shards.
+                shared_wal: None,
                 ..self.options.persistent.clone()
             };
             self.cold = Some(PersistentBackend::open_fresh(

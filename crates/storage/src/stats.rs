@@ -77,6 +77,9 @@ pub struct StorageStats {
     /// Aggregate buffer-pool counters across all persistent tables (including resident
     /// page count and total page budget).
     pub pool: crate::buffer::BufferPoolStats,
+    /// Per-clock-region pool counters (hits/misses/evictions/contention), one entry
+    /// per region of the shared pool.
+    pub pool_regions: Vec<crate::buffer::RegionStats>,
     /// Sum of per-table lifetime counters.
     pub totals: TableStats,
     /// Aggregate on-disk footprint across every disk-owning table.

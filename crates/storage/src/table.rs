@@ -397,8 +397,9 @@ impl StreamTable {
     }
 
     /// Commits group-committed WAL appends still pending (the per-step batched fsync;
-    /// no-op for in-memory tables and when nothing is pending).
-    pub fn sync_wal(&mut self) -> GsnResult<()> {
+    /// no-op for in-memory tables and when nothing is pending).  Returns the drained
+    /// batch's record count.
+    pub fn sync_wal(&mut self) -> GsnResult<u64> {
         self.backend.sync_wal()
     }
 

@@ -33,6 +33,20 @@ pub static STORAGE_WAL_SYNC_MICROS: MetricDesc = MetricDesc::histogram(
     "microseconds",
 );
 
+/// Size of one drained WAL group-commit batch (records per shard/table commit).
+pub static STORAGE_WAL_BATCH_RECORDS: MetricDesc = MetricDesc::histogram(
+    "gsn_storage_wal_batch_records",
+    "Records drained by one WAL group-commit batch",
+    "records",
+);
+
+/// WAL fsyncs issued by per-step group commits (≤ 1 per active shard per step).
+pub static STORAGE_WAL_FSYNCS: MetricDesc = MetricDesc::counter(
+    "gsn_storage_wal_fsyncs_total",
+    "WAL fsyncs issued by group commits",
+    "syncs",
+);
+
 /// Duration of one full retention maintenance pass across all tables.
 pub static STORAGE_MAINTENANCE_MICROS: MetricDesc = MetricDesc::histogram(
     "gsn_storage_maintenance_micros",
@@ -77,6 +91,10 @@ pub struct StorageTelemetry {
     pub wal_append_micros: Histogram,
     /// Per-table WAL fsync latency at group commit.
     pub wal_sync_micros: Histogram,
+    /// Records per drained group-commit batch.
+    pub wal_batch_records: Histogram,
+    /// Fsyncs issued by group commits.
+    pub wal_fsyncs: Counter,
     /// Full maintenance pass duration.
     pub maintenance_micros: Histogram,
     /// Per-table reclaim/compact duration.
@@ -100,6 +118,8 @@ impl StorageTelemetry {
         registry.register_histogram(&STORAGE_INSERT_MICROS, &self.insert_micros);
         registry.register_histogram(&STORAGE_WAL_APPEND_MICROS, &self.wal_append_micros);
         registry.register_histogram(&STORAGE_WAL_SYNC_MICROS, &self.wal_sync_micros);
+        registry.register_histogram(&STORAGE_WAL_BATCH_RECORDS, &self.wal_batch_records);
+        registry.register_counter(&STORAGE_WAL_FSYNCS, &self.wal_fsyncs);
         registry.register_histogram(&STORAGE_MAINTENANCE_MICROS, &self.maintenance_micros);
         registry.register_histogram(&STORAGE_RECLAIM_MICROS, &self.reclaim_micros);
         registry.register_counter(&STORAGE_SEGMENTS_DELETED, &self.segments_deleted);

@@ -14,16 +14,30 @@
 //!
 //! With [`SyncMode::Always`] the log normally fsyncs after every appended record.  A
 //! container ingesting from many sensors in one step can instead enable *group commit*
-//! ([`Wal::set_group_commit`]): appends only mark the log sync-pending, and a single
-//! [`Wal::commit`] at the step boundary amortises one fsync across every row ingested in
-//! that step.  Durability moves from per-insert to per-step; a crash mid-step can lose
-//! at most that step's un-committed tail (the CRC framing keeps replay safe).
+//! ([`Wal::set_group_commit`]): appends accumulate in a per-log batch buffer, and a
+//! single [`Wal::commit`] at the step boundary drains the batch with **one** `write`
+//! plus (under `Always`) **one** fsync, amortised across every row ingested in that
+//! step.  Durability moves from per-insert to per-step; a crash mid-step can lose at
+//! most that step's un-committed batch (the CRC framing keeps replay safe).
+//!
+//! ## Sharded, shared logs
+//!
+//! A container hosting many durable tables would still pay one fsync *per table* per
+//! step.  [`WalSet`] collapses that: one log file per step-loop shard, shared by every
+//! table whose name hashes to that shard (the same [`shard_index`] hash the container
+//! uses to assign sensors to workers, so a worker appends only to its own shard's log
+//! and the commit phase fsyncs once per *active shard*, not once per table).  Records
+//! carry a table tag; recovery filters by tag and the existing replay-above-heap
+//! sequence check makes the deferred (per-tag) truncation safe.
 
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use gsn_types::{GsnError, GsnResult};
+use parking_lot::Mutex;
 
 /// How eagerly the log is forced to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,10 +63,16 @@ pub struct Wal {
     path: PathBuf,
     sync: SyncMode,
     bytes: u64,
-    /// Group commit: defer `SyncMode::Always` fsyncs to the next [`commit`](Self::commit).
+    /// Group commit: batch appends (and defer `SyncMode::Always` fsyncs) to the next
+    /// [`commit`](Self::commit).
     group_commit: bool,
     /// Appends since the last fsync while group commit is enabled.
     sync_pending: bool,
+    /// Encoded frames accumulated since the last commit while group commit is enabled
+    /// (drained by one `write_all` at commit time).
+    pending: Vec<u8>,
+    /// Records inside `pending`.
+    pending_records: u64,
 }
 
 impl Wal {
@@ -76,6 +96,8 @@ impl Wal {
             bytes,
             group_commit: false,
             sync_pending: false,
+            pending: Vec::new(),
+            pending_records: 0,
         };
         wal.seek_end()?;
         Ok(wal)
@@ -91,15 +113,36 @@ impl Wal {
         Ok(())
     }
 
-    /// Fsyncs the log if any group-committed append is still pending (the per-step
-    /// batched fsync). A no-op when nothing is pending.
-    pub fn commit(&mut self) -> GsnResult<()> {
+    /// Drains the group-commit batch with one write and, if a sync is pending, one
+    /// fsync (the per-step batched commit).  A no-op when nothing is pending.
+    /// Returns the number of records the batch contained.
+    pub fn commit(&mut self) -> GsnResult<u64> {
+        let records = self.pending_records;
+        self.flush_pending()?;
         if self.sync_pending {
             self.file
                 .sync_data()
                 .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))?;
             self.sync_pending = false;
         }
+        Ok(records)
+    }
+
+    /// Records accumulated in the group-commit batch since the last commit.
+    pub fn pending_records(&self) -> u64 {
+        self.pending_records
+    }
+
+    /// Writes the accumulated batch to the file (no fsync).
+    fn flush_pending(&mut self) -> GsnResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all(&self.pending)
+            .map_err(|e| GsnError::storage(format!("cannot append to WAL: {e}")))?;
+        self.pending.clear();
+        self.pending_records = 0;
         Ok(())
     }
 
@@ -129,18 +172,24 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
+        if self.group_commit {
+            // Batch: one write_all (and at most one fsync) at the next commit.
+            self.pending.extend_from_slice(&frame);
+            self.pending_records += 1;
+            self.bytes += frame.len() as u64;
+            if self.sync == SyncMode::Always {
+                self.sync_pending = true;
+            }
+            return Ok(());
+        }
         self.file
             .write_all(&frame)
             .map_err(|e| GsnError::storage(format!("cannot append to WAL: {e}")))?;
         self.bytes += frame.len() as u64;
         if self.sync == SyncMode::Always {
-            if self.group_commit {
-                self.sync_pending = true;
-            } else {
-                self.file
-                    .sync_data()
-                    .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))?;
-            }
+            self.file
+                .sync_data()
+                .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))?;
         }
         Ok(())
     }
@@ -148,6 +197,7 @@ impl Wal {
     /// Reads every intact record from the start of the log (stopping at the first torn
     /// or corrupt frame).
     pub fn replay(&mut self) -> GsnResult<Vec<Vec<u8>>> {
+        self.flush_pending()?; // batched records are part of the log's contents
         let mut raw = Vec::with_capacity(self.bytes as usize);
         self.file
             .seek(SeekFrom::Start(0))
@@ -183,17 +233,20 @@ impl Wal {
             .map_err(|e| GsnError::storage(format!("cannot reset WAL: {e}")))?;
         self.bytes = 0;
         self.sync_pending = false;
+        self.pending.clear();
+        self.pending_records = 0;
         self.file
             .sync_data()
             .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))
     }
 
-    /// Forces buffered records to stable storage.
+    /// Forces buffered records (including the group-commit batch) to stable storage.
     pub fn sync(&mut self) -> GsnResult<()> {
         self.sync_pending = false;
         if self.sync == SyncMode::Disabled {
             return Ok(());
         }
+        self.flush_pending()?;
         self.file
             .sync_data()
             .map_err(|e| GsnError::storage(format!("cannot sync WAL: {e}")))
@@ -209,6 +262,476 @@ impl Wal {
             Err(e) => Err(GsnError::storage(format!(
                 "cannot remove WAL {path:?}: {e}"
             ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Sharded, shared logs
+// ---------------------------------------------------------------------------------------
+
+/// Stable shard assignment: FNV-1a over the *normalised* name, modulo the shard count.
+///
+/// Normalisation lower-cases and maps `-` to `_`.  This MUST stay identical to the
+/// container's `gsn_core::query::shard_index` (sensor → step-loop worker assignment):
+/// a durable table is named after its sensor, so with `wal_shards == workers` the
+/// worker that runs a sensor's pipeline is the only one appending to that table's WAL
+/// shard — appends never cross worker boundaries.
+pub fn shard_index(name: &str, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        let byte = if byte == b'-' {
+            b'_'
+        } else {
+            byte.to_ascii_lowercase()
+        };
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// Marker byte that begins a *tombstone* record (`[0xFF][u8 tag_len][tag]`): all earlier
+/// records of `tag` in the shard are dead (table dropped or superseded), regardless of
+/// their sequence numbers.  Ordinary records are `[u8 tag_len][tag][row]`; tags are
+/// therefore limited to 254 bytes.
+const TOMBSTONE_MARKER: u8 = 0xFF;
+
+/// One record commit summary per shard, returned by [`WalSet::commit`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCommit {
+    /// The shard index.
+    pub shard: usize,
+    /// Records the drained batch contained.
+    pub records: u64,
+    /// Whether the commit fsynced the shard file.
+    pub synced: bool,
+}
+
+#[derive(Debug)]
+struct WalShard {
+    wal: Wal,
+    /// Un-checkpointed logical bytes per table tag (frame overhead included).  A tag at
+    /// zero needs nothing from this shard; when *every* tag is at zero the file resets.
+    tag_bytes: HashMap<String, u64>,
+}
+
+/// A set of shared write-ahead logs, one per step-loop shard, multiplexing every
+/// durable table of a container (see the module docs).
+///
+/// Tables append under their name tag; [`WalSet::commit`] drains each shard with one
+/// write + one fsync.  Checkpoints are *logical* per table (the tag's byte count drops
+/// to zero); the shard file truncates once every tag is clean, and compacts — rewriting
+/// only live tags' records — when it outgrows `compact_bytes` before that happens.
+pub struct WalSet {
+    dir: PathBuf,
+    sync: SyncMode,
+    group_commit: bool,
+    compact_bytes: u64,
+    /// Lazily opened shard logs (a shard with no durable tables never touches disk).
+    shards: Vec<Mutex<Option<WalShard>>>,
+}
+
+impl std::fmt::Debug for WalSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WalSet({} shards in {:?}, {:?})",
+            self.shards.len(),
+            self.dir,
+            self.sync
+        )
+    }
+}
+
+impl WalSet {
+    /// Creates a set of `shards` logs (minimum 1) under `dir`, opened lazily.  `dir` is
+    /// created on first use; `compact_bytes` bounds a shard file's size before it is
+    /// rewritten to drop checkpointed tags' records.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        shards: usize,
+        sync: SyncMode,
+        group_commit: bool,
+        compact_bytes: u64,
+    ) -> WalSet {
+        WalSet {
+            dir: dir.into(),
+            sync,
+            group_commit,
+            compact_bytes,
+            shards: (0..shards.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a table tag appends to.
+    pub fn shard_of(&self, tag: &str) -> usize {
+        shard_index(tag, self.shards.len())
+    }
+
+    fn shard_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("wal-shard-{index:04}.wal"))
+    }
+
+    /// Runs `f` on the (lazily opened) shard `index`.
+    fn with_shard<T>(
+        &self,
+        index: usize,
+        f: impl FnOnce(&mut WalShard) -> GsnResult<T>,
+    ) -> GsnResult<T> {
+        let mut slot = self.shards[index].lock();
+        if slot.is_none() {
+            std::fs::create_dir_all(&self.dir).map_err(|e| {
+                GsnError::storage(format!("cannot create WAL directory {:?}: {e}", self.dir))
+            })?;
+            let mut wal = Wal::open(&self.shard_path(index), self.sync)?;
+            wal.set_group_commit(self.group_commit)?;
+            // Rebuild the per-tag accounting from the surviving records.
+            let mut tag_bytes: HashMap<String, u64> = HashMap::new();
+            for record in wal.replay()? {
+                match decode_tagged(&record) {
+                    Some(TaggedRecord::Row { tag, .. }) => {
+                        *tag_bytes.entry(tag.to_owned()).or_default() += 8 + record.len() as u64;
+                    }
+                    Some(TaggedRecord::Tombstone { tag }) => {
+                        tag_bytes.insert(tag.to_owned(), 0);
+                    }
+                    None => {} // foreign/corrupt record: ignored, dropped at next compact
+                }
+            }
+            *slot = Some(WalShard { wal, tag_bytes });
+        }
+        f(slot.as_mut().expect("shard opened above"))
+    }
+
+    /// Appends one row record for `tag`, honouring the set's sync/group-commit modes.
+    pub fn append(&self, tag: &str, payload: &[u8]) -> GsnResult<()> {
+        if self.sync == SyncMode::Disabled {
+            return Ok(());
+        }
+        if tag.len() > 254 {
+            return Err(GsnError::storage(format!(
+                "WAL table tag `{tag}` exceeds 254 bytes"
+            )));
+        }
+        self.with_shard(self.shard_of(tag), |shard| {
+            let mut tagged = Vec::with_capacity(1 + tag.len() + payload.len());
+            tagged.push(tag.len() as u8);
+            tagged.extend_from_slice(tag.as_bytes());
+            tagged.extend_from_slice(payload);
+            let frame_bytes = 8 + tagged.len() as u64;
+            shard.wal.append(&tagged)?;
+            *shard.tag_bytes.entry(tag.to_owned()).or_default() += frame_bytes;
+            Ok(())
+        })
+    }
+
+    /// Reads every surviving row payload of `tag` from its shard, in append order.  A
+    /// tombstone discards everything appended before it.
+    pub fn replay_for(&self, tag: &str) -> GsnResult<Vec<Vec<u8>>> {
+        if self.sync == SyncMode::Disabled {
+            return Ok(Vec::new());
+        }
+        self.with_shard(self.shard_of(tag), |shard| {
+            let mut rows = Vec::new();
+            for record in shard.wal.replay()? {
+                match decode_tagged(&record) {
+                    Some(TaggedRecord::Row { tag: t, row }) if t == tag => rows.push(row.to_vec()),
+                    Some(TaggedRecord::Tombstone { tag: t }) if t == tag => rows.clear(),
+                    _ => {}
+                }
+            }
+            Ok(rows)
+        })
+    }
+
+    /// Un-checkpointed logical bytes `tag` holds in its shard.
+    pub fn tag_bytes(&self, tag: &str) -> u64 {
+        if self.sync == SyncMode::Disabled {
+            return 0;
+        }
+        self.with_shard(self.shard_of(tag), |shard| {
+            Ok(shard.tag_bytes.get(tag).copied().unwrap_or(0))
+        })
+        .unwrap_or(0)
+    }
+
+    /// The per-step group commit: drains every open shard's batch with one write (and
+    /// at most one fsync) per shard.  Every shard is attempted even when one fails; the
+    /// first error wins.  Returns one summary per shard that had records pending.
+    pub fn commit(&self) -> GsnResult<Vec<ShardCommit>> {
+        let mut commits = Vec::new();
+        let mut first_error = None;
+        for (index, slot) in self.shards.iter().enumerate() {
+            let mut slot = slot.lock();
+            let Some(shard) = slot.as_mut() else {
+                continue;
+            };
+            match shard.wal.commit() {
+                Ok(records) => {
+                    if records > 0 {
+                        commits.push(ShardCommit {
+                            shard: index,
+                            records,
+                            synced: self.sync == SyncMode::Always,
+                        });
+                    }
+                }
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(commits),
+        }
+    }
+
+    /// Marks `tag` checkpointed: its records are no longer needed (the heap is
+    /// authoritative).  Truncates the shard file once every tag is clean; compacts it
+    /// (dropping clean tags' records) when it outgrew the compaction threshold.
+    pub fn checkpoint_tag(&self, tag: &str) -> GsnResult<()> {
+        if self.sync == SyncMode::Disabled {
+            return Ok(());
+        }
+        let index = self.shard_of(tag);
+        self.with_shard(index, |shard| {
+            shard.tag_bytes.insert(tag.to_owned(), 0);
+            Self::truncate_or_compact(
+                shard,
+                &self.shard_path(index),
+                self.sync,
+                self.compact_bytes,
+            )
+        })
+    }
+
+    /// Drops `tag` entirely (table destroyed, or stale records found next to a fresh
+    /// heap): appends a durable tombstone so earlier records never replay, then
+    /// truncates/compacts like a checkpoint.
+    pub fn drop_tag(&self, tag: &str) -> GsnResult<()> {
+        if self.sync == SyncMode::Disabled {
+            return Ok(());
+        }
+        if tag.len() > 254 {
+            return Err(GsnError::storage(format!(
+                "WAL table tag `{tag}` exceeds 254 bytes"
+            )));
+        }
+        let index = self.shard_of(tag);
+        self.with_shard(index, |shard| {
+            let had_records =
+                shard.tag_bytes.get(tag).copied().unwrap_or(0) > 0 || shard.wal.len_bytes() > 0;
+            shard.tag_bytes.insert(tag.to_owned(), 0);
+            if had_records {
+                let mut tombstone = Vec::with_capacity(2 + tag.len());
+                tombstone.push(TOMBSTONE_MARKER);
+                tombstone.push(tag.len() as u8);
+                tombstone.extend_from_slice(tag.as_bytes());
+                shard.wal.append(&tombstone)?;
+                shard.wal.sync()?;
+            }
+            Self::truncate_or_compact(
+                shard,
+                &self.shard_path(index),
+                self.sync,
+                self.compact_bytes,
+            )
+        })
+    }
+
+    /// Truncates the shard when every tag is clean, or rewrites it keeping only live
+    /// tags' records when the file outgrew `compact_bytes`.
+    fn truncate_or_compact(
+        shard: &mut WalShard,
+        path: &Path,
+        sync: SyncMode,
+        compact_bytes: u64,
+    ) -> GsnResult<()> {
+        if shard.tag_bytes.values().all(|&bytes| bytes == 0) {
+            shard.tag_bytes.clear();
+            return shard.wal.reset();
+        }
+        if shard.wal.len_bytes() <= compact_bytes {
+            return Ok(());
+        }
+        // Compact: rewrite only the records of tags that still hold un-checkpointed
+        // bytes, via a temp file + atomic rename (a crash mid-compact keeps the old
+        // file intact).
+        let live = |tag: &str| shard.tag_bytes.get(tag).copied().unwrap_or(0) > 0;
+        let survivors: Vec<Vec<u8>> = shard
+            .wal
+            .replay()?
+            .into_iter()
+            .filter(|record| match decode_tagged(record) {
+                Some(TaggedRecord::Row { tag, .. }) => live(tag),
+                Some(TaggedRecord::Tombstone { tag }) => live(tag),
+                None => false,
+            })
+            .collect();
+        let tmp = path.with_extension("wal.tmp");
+        match std::fs::remove_file(&tmp) {
+            Ok(()) | Err(_) => {} // best effort: Wal::open truncates logically via reset below
+        }
+        {
+            let mut fresh = Wal::open(&tmp, SyncMode::OnCheckpoint)?;
+            fresh.reset()?; // drop any stale temp contents
+            for record in &survivors {
+                fresh.append(record)?;
+            }
+            fresh.sync()?;
+        }
+        std::fs::rename(&tmp, path)
+            .map_err(|e| GsnError::storage(format!("cannot swap compacted WAL {path:?}: {e}")))?;
+        shard.wal = {
+            let mut wal = Wal::open(path, sync)?;
+            wal.set_group_commit(shard.wal.group_commit)?;
+            wal
+        };
+        Ok(())
+    }
+}
+
+enum TaggedRecord<'a> {
+    Row { tag: &'a str, row: &'a [u8] },
+    Tombstone { tag: &'a str },
+}
+
+/// Decodes a shard record into its tag + row (or tombstone), `None` when malformed.
+fn decode_tagged(record: &[u8]) -> Option<TaggedRecord<'_>> {
+    let (&first, rest) = record.split_first()?;
+    if first == TOMBSTONE_MARKER {
+        let (&len, rest) = rest.split_first()?;
+        let tag = rest.get(..len as usize)?;
+        return Some(TaggedRecord::Tombstone {
+            tag: std::str::from_utf8(tag).ok()?,
+        });
+    }
+    let tag = rest.get(..first as usize)?;
+    Some(TaggedRecord::Row {
+        tag: std::str::from_utf8(tag).ok()?,
+        row: &rest[first as usize..],
+    })
+}
+
+/// The log a [`crate::PersistentBackend`] writes to: either a private per-table file,
+/// or a tag inside the container's shared [`WalSet`].
+///
+/// The `Shared` variant keeps the table's *legacy* private log (when one exists on
+/// disk) readable until the next checkpoint: a container upgraded to sharded logging
+/// recovers from both, and only discards the private file once the heap is
+/// authoritative for everything it held.
+#[derive(Debug)]
+pub enum TableWal {
+    /// A private `<table>.wal` file.
+    Own(Wal),
+    /// A tag in the container-wide sharded log.
+    Shared {
+        /// The shared log set.
+        set: Arc<WalSet>,
+        /// This table's record tag (its sanitised file base name).
+        tag: String,
+        /// The pre-sharding private log, retained read-only until the next checkpoint.
+        legacy: Option<Wal>,
+    },
+}
+
+impl TableWal {
+    /// Appends one encoded row.
+    pub fn append(&mut self, payload: &[u8]) -> GsnResult<()> {
+        match self {
+            TableWal::Own(wal) => wal.append(payload),
+            TableWal::Shared { set, tag, .. } => set.append(tag, payload),
+        }
+    }
+
+    /// Every surviving record for this table, in append order (legacy log first).
+    pub fn replay(&mut self) -> GsnResult<Vec<Vec<u8>>> {
+        match self {
+            TableWal::Own(wal) => wal.replay(),
+            TableWal::Shared { set, tag, legacy } => {
+                let mut records = match legacy {
+                    Some(wal) => wal.replay()?,
+                    None => Vec::new(),
+                };
+                records.extend(set.replay_for(tag)?);
+                Ok(records)
+            }
+        }
+    }
+
+    /// Un-checkpointed logical bytes this table holds in its log(s) — drives the
+    /// backend's auto-checkpoint threshold and its disk accounting.
+    pub fn len_bytes(&self) -> u64 {
+        match self {
+            TableWal::Own(wal) => wal.len_bytes(),
+            TableWal::Shared { set, tag, legacy } => {
+                set.tag_bytes(tag) + legacy.as_ref().map_or(0, Wal::len_bytes)
+            }
+        }
+    }
+
+    /// Commits this table's own batched appends (the per-table group commit).  For the
+    /// `Shared` variant this is a no-op returning 0: the container commits the whole
+    /// [`WalSet`] once per step instead, one fsync per shard.
+    pub fn commit(&mut self) -> GsnResult<u64> {
+        match self {
+            TableWal::Own(wal) => wal.commit(),
+            TableWal::Shared { .. } => Ok(0),
+        }
+    }
+
+    /// Marks this table checkpointed: the heap is authoritative, its log records are
+    /// dead.  Own logs sync + truncate; shared tags are logically cleared (see
+    /// [`WalSet::checkpoint_tag`]) and any legacy private file is deleted.
+    pub fn checkpoint(&mut self) -> GsnResult<()> {
+        match self {
+            TableWal::Own(wal) => {
+                wal.sync()?;
+                wal.reset()
+            }
+            TableWal::Shared { set, tag, legacy } => {
+                set.checkpoint_tag(tag)?;
+                if let Some(wal) = legacy.take() {
+                    wal.destroy()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Discards stale records found next to a *fresh* heap (a dropped predecessor
+    /// table's leftovers).
+    pub fn clear_stale(&mut self) -> GsnResult<()> {
+        match self {
+            TableWal::Own(wal) => wal.reset(),
+            TableWal::Shared { set, tag, legacy } => {
+                set.drop_tag(tag)?;
+                if let Some(wal) = legacy.take() {
+                    wal.destroy()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes this table's log state (table dropped).
+    pub fn destroy(self) -> GsnResult<()> {
+        match self {
+            TableWal::Own(wal) => wal.destroy(),
+            TableWal::Shared { set, tag, legacy } => {
+                set.drop_tag(&tag)?;
+                if let Some(wal) = legacy {
+                    wal.destroy()?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -349,5 +872,148 @@ mod tests {
         // Usable after reset.
         wal.append(b"again").unwrap();
         assert_eq!(wal.replay().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shard_index_matches_container_hash() {
+        // Same FNV-1a + normalisation as gsn_core::query::shard_index — checked against
+        // hand-computed vectors so neither copy can drift silently.
+        assert_eq!(shard_index("wind-meter", 7), shard_index("WIND_METER", 7));
+        assert_eq!(shard_index("anything", 1), 0);
+        let spread: std::collections::HashSet<usize> = (0..64)
+            .map(|i| shard_index(&format!("sensor-{i}"), 8))
+            .collect();
+        assert!(spread.len() > 1, "64 names must not all land in one shard");
+    }
+
+    #[test]
+    fn wal_set_multiplexes_tags_and_replays_per_tag() {
+        let dir = crate::testutil::temp_dir("walset-tags");
+        let set = WalSet::new(&dir, 4, SyncMode::OnCheckpoint, false, 1 << 20);
+        for i in 0..5u8 {
+            set.append("alpha", &[b'a', i]).unwrap();
+            set.append("beta", &[b'b', i]).unwrap();
+        }
+        let alpha = set.replay_for("alpha").unwrap();
+        let beta = set.replay_for("beta").unwrap();
+        assert_eq!(alpha.len(), 5);
+        assert_eq!(beta.len(), 5);
+        assert!(alpha.iter().all(|r| r[0] == b'a'));
+        assert!(beta.iter().all(|r| r[0] == b'b'));
+        assert!(set.tag_bytes("alpha") > 0);
+        // A fresh set over the same directory rebuilds the accounting from disk.
+        let reopened = WalSet::new(&dir, 4, SyncMode::OnCheckpoint, false, 1 << 20);
+        assert_eq!(reopened.replay_for("alpha").unwrap(), alpha);
+        assert_eq!(reopened.tag_bytes("beta"), set.tag_bytes("beta"));
+    }
+
+    #[test]
+    fn wal_set_commit_drains_each_shard_once() {
+        let dir = crate::testutil::temp_dir("walset-commit");
+        let set = WalSet::new(&dir, 2, SyncMode::Always, true, 1 << 20);
+        for i in 0..8u8 {
+            set.append(&format!("table-{i}"), &[i]).unwrap();
+        }
+        let commits = set.commit().unwrap();
+        let total: u64 = commits.iter().map(|c| c.records).sum();
+        assert_eq!(total, 8);
+        assert!(commits.len() <= 2, "at most one commit per shard");
+        assert!(commits.iter().all(|c| c.synced));
+        // Nothing pending → nothing committed.
+        assert!(set.commit().unwrap().is_empty());
+    }
+
+    #[test]
+    fn wal_set_checkpoint_clears_tag_and_resets_when_all_clean() {
+        let dir = crate::testutil::temp_dir("walset-checkpoint");
+        let set = WalSet::new(&dir, 1, SyncMode::OnCheckpoint, false, 1 << 20);
+        set.append("left", b"l1").unwrap();
+        set.append("right", b"r1").unwrap();
+        set.checkpoint_tag("left").unwrap();
+        assert_eq!(set.tag_bytes("left"), 0);
+        // Right's records survive the left checkpoint…
+        assert_eq!(set.replay_for("right").unwrap(), vec![b"r1".to_vec()]);
+        // …and once right is clean too, the single shard file truncates.
+        set.checkpoint_tag("right").unwrap();
+        assert!(set.replay_for("left").unwrap().is_empty());
+        assert!(set.replay_for("right").unwrap().is_empty());
+    }
+
+    #[test]
+    fn wal_set_tombstone_survives_reopen() {
+        let dir = crate::testutil::temp_dir("walset-tombstone");
+        {
+            let set = WalSet::new(&dir, 1, SyncMode::OnCheckpoint, false, u64::MAX);
+            set.append("doomed", b"old row").unwrap();
+            set.append("keeper", b"live row").unwrap();
+            set.drop_tag("doomed").unwrap();
+        }
+        // The drop is durable: a re-opened set must not resurrect the dead tag's rows
+        // even though its records still sit in the shard file before the tombstone.
+        let set = WalSet::new(&dir, 1, SyncMode::OnCheckpoint, false, u64::MAX);
+        assert!(set.replay_for("doomed").unwrap().is_empty());
+        assert_eq!(set.tag_bytes("doomed"), 0);
+        assert_eq!(
+            set.replay_for("keeper").unwrap(),
+            vec![b"live row".to_vec()]
+        );
+    }
+
+    #[test]
+    fn wal_set_compacts_oversized_shard_keeping_live_tags() {
+        let dir = crate::testutil::temp_dir("walset-compact");
+        // Tiny compaction threshold forces a rewrite on the first checkpoint.
+        let set = WalSet::new(&dir, 1, SyncMode::OnCheckpoint, false, 64);
+        for i in 0..20u8 {
+            set.append("bulk", &[i; 32]).unwrap();
+        }
+        set.append("live", b"must survive").unwrap();
+        set.checkpoint_tag("bulk").unwrap();
+        // The shard was rewritten: far smaller than the bulk records it held…
+        let shard_file = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".wal"))
+            .expect("shard file exists");
+        assert!(shard_file.metadata().unwrap().len() < 512);
+        // …but the live tag's record survived, including across a reopen.
+        assert_eq!(
+            set.replay_for("live").unwrap(),
+            vec![b"must survive".to_vec()]
+        );
+        let reopened = WalSet::new(&dir, 1, SyncMode::OnCheckpoint, false, 64);
+        assert_eq!(
+            reopened.replay_for("live").unwrap(),
+            vec![b"must survive".to_vec()]
+        );
+        assert!(reopened.replay_for("bulk").unwrap().is_empty());
+    }
+
+    #[test]
+    fn table_wal_shared_replays_legacy_then_shard_and_migrates_on_checkpoint() {
+        let dir = crate::testutil::temp_dir("tablewal-migrate");
+        let legacy_path = dir.join("sensor.wal");
+        {
+            let mut legacy = Wal::open(&legacy_path, SyncMode::OnCheckpoint).unwrap();
+            legacy.append(b"pre-sharding row").unwrap();
+        }
+        let set = Arc::new(WalSet::new(&dir, 2, SyncMode::OnCheckpoint, false, 1 << 20));
+        let mut wal = TableWal::Shared {
+            set: Arc::clone(&set),
+            tag: "sensor".to_owned(),
+            legacy: Some(Wal::open(&legacy_path, SyncMode::OnCheckpoint).unwrap()),
+        };
+        wal.append(b"post-sharding row").unwrap();
+        // Replay order: the legacy private log first, then the shard records.
+        assert_eq!(
+            wal.replay().unwrap(),
+            vec![b"pre-sharding row".to_vec(), b"post-sharding row".to_vec()]
+        );
+        assert!(wal.len_bytes() > 0);
+        // Checkpoint retires the legacy file and clears the shard tag.
+        wal.checkpoint().unwrap();
+        assert!(!legacy_path.exists());
+        assert_eq!(wal.len_bytes(), 0);
+        assert!(wal.replay().unwrap().is_empty());
     }
 }

@@ -1,0 +1,167 @@
+//! Epoch-published values: wait-free-ish reads of read-mostly metadata.
+//!
+//! A GSN container consults the same metadata on every element it moves — catalog
+//! views, remote routes, the registered-query index — but mutates it only on
+//! (re)deployments and subscription changes.  Guarding such state with a plain lock
+//! makes every element pay for the rare writer.  An [`EpochCell`] instead *publishes*
+//! the value: readers take an [`Arc`] snapshot (one brief, uncontended read-lock to
+//! clone the pointer — never held across the read itself) and work on an immutable
+//! generation; writers build the next generation off to the side and install it with a
+//! pointer swap, bumping the epoch counter.
+//!
+//! A reader holding a snapshot across a concurrent update simply finishes on the old
+//! generation — exactly the consistency a streaming scan wants (it sees the catalog as
+//! of its own start), and the old generation is freed when the last such reader drops
+//! its `Arc`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A value published by generations: cheap `Arc` snapshots for readers, copy-on-write
+/// installs for writers (see the module docs).
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    current: RwLock<Arc<T>>,
+    /// Bumped on every install; lets callers detect "did anything change" without
+    /// comparing values.
+    generation: AtomicU64,
+    /// Serialises writers so concurrent [`EpochCell::update`] closures never build off
+    /// the same parent generation (one would silently lose the other's change).
+    writer: Mutex<()>,
+}
+
+impl<T> EpochCell<T> {
+    /// Publishes `value` as generation 0.
+    pub fn new(value: T) -> EpochCell<T> {
+        EpochCell {
+            current: RwLock::new(Arc::new(value)),
+            generation: AtomicU64::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Takes a snapshot of the current generation.  The internal lock is held only for
+    /// the pointer clone — a reader may keep the returned `Arc` for as long as it
+    /// likes without blocking writers or other readers.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&read_lock(&self.current))
+    }
+
+    /// The generation counter of the currently published value.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Publishes `value` as the next generation, returning the new generation number.
+    pub fn store(&self, value: T) -> u64 {
+        let _serialised = write_guard(&self.writer);
+        self.install(Arc::new(value))
+    }
+
+    /// Builds the next generation from the current one and publishes it (copy-on-write
+    /// update).  Writers are serialised: `f` always sees the latest generation, and no
+    /// concurrent update is lost.  Returns the new generation number.
+    pub fn update<R>(&self, f: impl FnOnce(&T) -> (T, R)) -> (u64, R) {
+        let _serialised = write_guard(&self.writer);
+        let parent = Arc::clone(&read_lock(&self.current));
+        let (next, result) = f(&parent);
+        (self.install(Arc::new(next)), result)
+    }
+
+    /// Swaps the published pointer and bumps the epoch.  Caller holds the writer lock.
+    fn install(&self, next: Arc<T>) -> u64 {
+        *self
+            .current
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = next;
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+impl<T: Default> Default for EpochCell<T> {
+    fn default() -> Self {
+        EpochCell::new(T::default())
+    }
+}
+
+fn read_lock<T>(lock: &RwLock<Arc<T>>) -> std::sync::RwLockReadGuard<'_, Arc<T>> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_guard(lock: &Mutex<()>) -> std::sync::MutexGuard<'_, ()> {
+    lock.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_survives_replacement() {
+        let cell = EpochCell::new(vec![1, 2, 3]);
+        let old = cell.load();
+        let generation = cell.store(vec![4, 5]);
+        assert_eq!(generation, 1);
+        // The reader's snapshot is the generation it started with…
+        assert_eq!(*old, vec![1, 2, 3]);
+        // …while new readers see the new one.
+        assert_eq!(*cell.load(), vec![4, 5]);
+    }
+
+    #[test]
+    fn update_is_copy_on_write_and_returns_a_result() {
+        let cell = EpochCell::new(10u64);
+        let (generation, doubled) = cell.update(|&v| (v + 1, v * 2));
+        assert_eq!(generation, 1);
+        assert_eq!(doubled, 20);
+        assert_eq!(*cell.load(), 11);
+        assert_eq!(cell.generation(), 1);
+    }
+
+    #[test]
+    fn generations_count_every_install() {
+        let cell = EpochCell::new(0u32);
+        assert_eq!(cell.generation(), 0);
+        for expected in 1..=5 {
+            assert_eq!(cell.store(expected), u64::from(expected));
+        }
+        assert_eq!(cell.generation(), 5);
+        assert_eq!(*cell.load(), 5);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_settle() {
+        let cell = Arc::new(EpochCell::new(0usize));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        cell.update(|&v| (v + 1, ()));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..500 {
+                        let snapshot = *cell.load();
+                        assert!(snapshot >= last, "value must be monotone");
+                        last = snapshot;
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        // Writer serialisation means no increment was lost.
+        assert_eq!(*cell.load(), 1000);
+        assert_eq!(cell.generation(), 1000);
+    }
+}

@@ -67,8 +67,18 @@ struct Run {
 }
 
 fn run_workload(workers: usize) -> Run {
+    run_workload_at(workers, None)
+}
+
+/// Same workload, optionally with durable storage under `data_dir` — the sensors are
+/// `permanent-storage`, so a data directory routes every output row through the sharded
+/// buffer pool and the per-worker-shard WAL.
+fn run_workload_at(workers: usize, data_dir: Option<std::path::PathBuf>) -> Run {
     let clock = SimulatedClock::new();
-    let config = ContainerConfig::default().with_workers(workers);
+    let mut config = ContainerConfig::default().with_workers(workers);
+    if let Some(dir) = data_dir {
+        config = config.with_data_dir(dir);
+    }
     let mut node = GsnContainer::new(config, Arc::new(clock.clone()));
 
     let names: Vec<String> = (0..SENSORS).map(|i| format!("mote-{i}")).collect();
@@ -192,4 +202,29 @@ fn worker_counts_do_not_change_aggregate_output() {
         assert_eq!(base.reports, run.reports, "workers={workers}");
         assert_eq!(base.tables, run.tables, "workers={workers}");
     }
+}
+
+#[test]
+fn durable_parity_under_sharded_pool_and_wal() {
+    // The same parity property with persistence on: every output row now flows through
+    // the region-sharded buffer pool and the per-worker-shard WAL (wal_shards ==
+    // workers), so a worker count must change neither stored history nor any counter.
+    let dir = |tag: &str| {
+        let d =
+            std::env::temp_dir().join(format!("gsn-parallel-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    };
+    let sequential = run_workload_at(1, Some(dir("w1")));
+    let sharded = run_workload_at(4, Some(dir("w4")));
+    assert_eq!(sequential.reports, sharded.reports);
+    assert_eq!(sequential.tables, sharded.tables);
+    for i in 0..SENSORS {
+        assert_eq!(
+            sequential.notifications[i], sharded.notifications[i],
+            "notification stream diverged for sensor {i}"
+        );
+    }
+    assert_eq!(sequential.counters, sharded.counters);
+    assert!(sequential.tables.iter().all(|t| !t.is_empty()));
 }

@@ -227,6 +227,7 @@ fn spilled_time_window_queries_in_bounded_memory() {
             ..Default::default()
         },
         window_spill_bytes: Some(16 * 1024),
+        wal_shards: 0,
     });
     let schema = schema();
     storage
