@@ -1,0 +1,247 @@
+//! Federation-scaling benchmark: aggregate query throughput vs. mesh size.
+//!
+//! ```text
+//! cargo run -p gsn-bench --release --bin federation_scaling [--quick]
+//! ```
+//!
+//! Builds meshes of 1/2/4/8 containers under a lossy, non-zero-latency simnet link
+//! model.  Every container hosts a shard of the same logical table and acts as a
+//! coordinator: it keeps one federated query in flight at all times, reissuing as soon
+//! as the previous scatter completes.  Two workloads run per cell:
+//!
+//! * **aggregate** — a decomposable `COUNT/AVG/MIN/MAX`, rewritten container-side so
+//!   only partial-aggregate frames travel.  Throughput is rows aggregated per simulated
+//!   second, summed over all coordinators; the scaling acceptance bar is the 8-container
+//!   mesh clearing 5x the single-container throughput.
+//! * **row-ship** — a non-decomposable projection that falls back to shipping each
+//!   host's rows over the streaming-query wire; the `prefetch` column toggles cursor
+//!   prefetch pipelining on that transport.
+//!
+//! Writes the machine-readable report to `target/bench-reports/federation_scaling.json`
+//! and to `BENCH_federation.json` at the workspace root.
+
+use std::collections::HashMap;
+
+use gsn::network::LinkSpec;
+use gsn::types::{DataType, Duration, NodeId};
+use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
+use gsn::{Mesh, WindowSpec};
+use gsn_bench::{write_report, BenchReport};
+
+const MESH_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const AGG_SQL: &str = "select count(*) as n, avg(temperature) as t, min(temperature) as lo, \
+     max(temperature) as hi from bench_temp";
+const SHIP_SQL: &str = "select temperature from bench_temp where temperature >= 0";
+
+struct CellConfig {
+    /// Simulated warm-up while the shards fill.
+    accumulate: Duration,
+    /// Simulated duration of each measured phase.
+    phase: Duration,
+    tick: Duration,
+}
+
+impl CellConfig {
+    fn new(quick: bool) -> CellConfig {
+        CellConfig {
+            accumulate: Duration::from_secs(if quick { 2 } else { 5 }),
+            phase: Duration::from_secs(if quick { 10 } else { 30 }),
+            tick: Duration::from_millis(50),
+        }
+    }
+}
+
+fn shard_descriptor() -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder("bench-temp")
+        .unwrap()
+        .metadata("type", "temperature")
+        .output_field("temperature", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src").with_source(
+                StreamSourceSpec::new(
+                    "src",
+                    AddressSpec::new("mote").with_predicate("interval", "100"),
+                    "select avg(temperature) as temperature from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(5)),
+            ),
+        )
+        .build()
+        .unwrap()
+}
+
+struct PhaseResult {
+    queries: u64,
+    rows: u64,
+    sim_ms: i64,
+}
+
+/// Every node keeps one federated `sql` query in flight for the whole phase; returns
+/// completed queries and the rows they covered (the COUNT for one-row aggregate
+/// results, the shipped row count otherwise).
+fn run_phase(mesh: &mut Mesh, ids: &[NodeId], sql: &str, config: &CellConfig) -> PhaseResult {
+    let ticks = (config.phase.as_millis() / config.tick.as_millis().max(1)).max(1);
+    let mut inflight: HashMap<NodeId, u64> = HashMap::new();
+    let mut queries = 0u64;
+    let mut rows = 0u64;
+    for _ in 0..ticks {
+        for id in ids {
+            match inflight.get(id).copied() {
+                None => {
+                    let request = mesh
+                        .node_mut(*id)
+                        .unwrap()
+                        .federated_query(sql)
+                        .expect("federated query failed to issue");
+                    inflight.insert(*id, request);
+                }
+                Some(request) => {
+                    if let Some(result) = mesh.node_mut(*id).unwrap().take_federated_result(request)
+                    {
+                        let relation = result.expect("federated query failed");
+                        queries += 1;
+                        rows += if relation.row_count() == 1
+                            && relation.columns().first().map(|c| c.name.as_str()) == Some("N")
+                        {
+                            relation.rows()[0][0].as_integer().unwrap_or(0) as u64
+                        } else {
+                            relation.row_count() as u64
+                        };
+                        inflight.remove(id);
+                    }
+                }
+            }
+        }
+        mesh.step(config.tick);
+    }
+    PhaseResult {
+        queries,
+        rows,
+        sim_ms: config.phase.as_millis(),
+    }
+}
+
+struct CellResult {
+    agg: PhaseResult,
+    ship: PhaseResult,
+    dropped: u64,
+}
+
+fn run_cell(containers: usize, prefetch: bool, config: &CellConfig) -> CellResult {
+    let mut mesh = Mesh::new();
+    let ids: Vec<NodeId> = (0..containers)
+        .map(|i| mesh.add_node(&format!("shard-{i}")).unwrap())
+        .collect();
+    // A lossy, latent mesh: 5 ms one-way, 1% loss on every pairwise link.
+    for (i, a) in ids.iter().enumerate() {
+        for b in &ids[i + 1..] {
+            mesh.set_link(*a, *b, LinkSpec::wireless(5, 0.01));
+        }
+    }
+    for id in &ids {
+        let node = mesh.node_mut(*id).unwrap();
+        node.deploy(shard_descriptor()).unwrap();
+        node.set_row_ship_transport(prefetch, 32);
+    }
+    mesh.run_for(config.accumulate, Duration::from_millis(100));
+
+    let agg = run_phase(&mut mesh, &ids, AGG_SQL, config);
+    let ship = run_phase(&mut mesh, &ids, SHIP_SQL, config);
+    CellResult {
+        agg,
+        ship,
+        dropped: mesh.network().stats().dropped,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = CellConfig::new(quick);
+
+    let mut report = BenchReport::new(
+        "federation_scaling",
+        "Federated query throughput vs. mesh size on a lossy simnet (5 ms, 1% loss): every container coordinates a continuous stream of federated queries; agg_* rows aggregate container-side partials, ship_* rows use the row-shipping fallback whose transport the prefetch column toggles",
+        &[
+            "containers",
+            "prefetch",
+            "agg_queries",
+            "agg_rows",
+            "agg_rows_per_sim_sec",
+            "agg_speedup_vs_1",
+            "ship_queries",
+            "ship_rows",
+            "ship_rows_per_sim_sec",
+            "phase_sim_ms",
+            "net_dropped",
+        ],
+    );
+
+    eprintln!(
+        "Federation scaling: meshes of {MESH_SWEEP:?} containers, {} ms accumulate, {} ms per phase ({} mode)",
+        config.accumulate.as_millis(),
+        config.phase.as_millis(),
+        if quick { "quick" } else { "full" },
+    );
+    println!(
+        "{:>10} {:>8} {:>11} {:>10} {:>18} {:>14} {:>11} {:>10} {:>18}",
+        "containers",
+        "prefetch",
+        "agg queries",
+        "agg rows",
+        "agg rows/sim-s",
+        "speedup vs 1",
+        "ship qrys",
+        "ship rows",
+        "ship rows/sim-s"
+    );
+    for prefetch in [false, true] {
+        let mut baseline: Option<f64> = None;
+        for containers in MESH_SWEEP {
+            let cell = run_cell(containers, prefetch, &config);
+            let agg_tput = cell.agg.rows as f64 / (cell.agg.sim_ms as f64 / 1000.0);
+            let ship_tput = cell.ship.rows as f64 / (cell.ship.sim_ms as f64 / 1000.0);
+            let base = *baseline.get_or_insert(agg_tput);
+            let speedup = if base > 0.0 { agg_tput / base } else { 0.0 };
+            println!(
+                "{:>10} {:>8} {:>11} {:>10} {:>18.0} {:>14.2} {:>11} {:>10} {:>18.0}",
+                containers,
+                u8::from(prefetch),
+                cell.agg.queries,
+                cell.agg.rows,
+                agg_tput,
+                speedup,
+                cell.ship.queries,
+                cell.ship.rows,
+                ship_tput,
+            );
+            report.push_row(vec![
+                containers as f64,
+                u8::from(prefetch).into(),
+                cell.agg.queries as f64,
+                cell.agg.rows as f64,
+                agg_tput,
+                speedup,
+                cell.ship.queries as f64,
+                cell.ship.rows as f64,
+                ship_tput,
+                cell.agg.sim_ms as f64,
+                cell.dropped as f64,
+            ]);
+        }
+    }
+
+    match write_report(&report) {
+        Ok(path) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write report: {e}"),
+    }
+    let root_copy = gsn_bench::report::report_dir()
+        .parent()
+        .and_then(|target| target.parent().map(|ws| ws.join("BENCH_federation.json")))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_federation.json"));
+    match std::fs::write(&root_copy, report.to_json().to_pretty_string()) {
+        Ok(()) => eprintln!("report copied to {}", root_copy.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", root_copy.display()),
+    }
+}

@@ -56,11 +56,12 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use gsn_federation::{PlacementRing, ReplicatedDirectory};
 use gsn_network::{
-    AccessController, Directory, IntegrityService, Message, Operation, Principal, RequestId,
-    SimulatedNetwork,
+    AccessController, Directory, DirectoryEntry, IntegrityService, Message, Operation, Principal,
+    ReplicaRecord, RequestId, SimulatedNetwork,
 };
-use gsn_sql::Relation;
+use gsn_sql::{PartialAggregatePlan, Relation};
 use gsn_storage::{StorageManager, StorageStats, WindowSpec};
 use gsn_telemetry::{
     MetricsRegistry, MetricsSnapshot, SlowQuery, SlowQueryLog, SpanId, Stopwatch, TraceLog,
@@ -532,6 +533,15 @@ pub struct GsnContainer {
     /// Most recent snapshot received from each peer (kept after the take, so a
     /// monitoring loop can read every peer's last known state at once).
     peer_metrics: HashMap<NodeId, MetricsSnapshot>,
+    /// Mesh-federation state (placement ring + gossip-replicated directory); `None`
+    /// for standalone containers and shared-directory federations.
+    mesh: Option<MeshState>,
+    /// Federated scatter-gather queries this node coordinates, by request id.
+    federated: HashMap<RequestId, FederatedQueryState>,
+    /// Transport for the row-shipping fallback of federated queries: whether the
+    /// per-host sub-queries use cursor prefetch, and their batch size.
+    row_ship_prefetch: bool,
+    row_ship_batch_rows: usize,
 }
 
 /// Client-side state of one in-flight peer metrics scrape.
@@ -564,6 +574,14 @@ const REMOTE_CURSOR_IDLE_TIMEOUT: gsn_types::Duration = gsn_types::Duration::fro
 /// [`REMOTE_CURSOR_IDLE_TIMEOUT`] reap.
 const REMOTE_QUERY_RETRY_AFTER: gsn_types::Duration = gsn_types::Duration::from_secs(2);
 
+/// How many batches a prefetching remote cursor keeps speculatively in flight ahead of
+/// the client's cumulative acknowledgements.
+const PREFETCH_WINDOW: usize = 4;
+
+/// How often a prefetching client acknowledges (every Nth batch): half the window, so
+/// the server's speculation never drains while an ack is in flight.
+const PREFETCH_ACK_EVERY: u64 = (PREFETCH_WINDOW / 2) as u64;
+
 /// One streaming-query cursor held open on behalf of a remote peer.
 struct RemoteCursor {
     /// The peer that opened the cursor; only it may pull (the rows were
@@ -577,10 +595,19 @@ struct RemoteCursor {
     cursor: Option<QueryCursor>,
     /// Sequence number the next fresh batch will carry.
     next_seq: u64,
-    /// The last batch shipped, cached for retransmission on re-request.
+    /// The last batch shipped, cached for retransmission on re-request
+    /// (strictly pull-based cursors only; prefetching cursors cache in `window`).
     last_batch: Option<Message>,
     /// Last time the owner pulled a batch (for the idle reaper).
     last_active: Timestamp,
+    /// True when this cursor pipelines: batches are pushed speculatively and
+    /// `QueryNext.expect_seq` acts as a cumulative ack.
+    prefetch: bool,
+    /// Sent-but-unacknowledged batches of a prefetching cursor, by sequence number,
+    /// for retransmission; acknowledged entries are dropped as acks arrive.
+    window: BTreeMap<u64, Message>,
+    /// Highest cumulative ack seen from the owner (prefetching cursors only).
+    last_ack: u64,
 }
 
 /// Client-side accumulation of one in-flight remote streaming query.
@@ -592,6 +619,8 @@ struct RemoteQueryState {
     /// itself (the server matches it to the already-open cursor by request id).
     sql: String,
     batch_rows: u32,
+    /// True when the server pipelines batches ahead of our acknowledgements.
+    prefetch: bool,
     /// The server-side cursor id, learned from the first batch.
     cursor: Option<u64>,
     /// The batch sequence number expected next (duplicates below it are ignored).
@@ -627,6 +656,76 @@ struct PendingSubscription {
     refused: bool,
 }
 
+/// Mesh-federation state: the shared-nothing replacement for the central [`Directory`].
+///
+/// A mesh container discovers sensors from its own [`ReplicatedDirectory`] (kept
+/// convergent by anti-entropy gossip) and places data by the [`PlacementRing`], so no
+/// lookup ever crosses the network on the hot path.
+struct MeshState {
+    /// This node's view of the consistent-hash placement ring.
+    ring: PlacementRing,
+    /// The local directory replica.  Behind a mutex so the deploy-time resolver
+    /// closure (holding `&self`) can consult it while the lookup counter advances.
+    replica: Mutex<ReplicatedDirectory>,
+    /// Steps between anti-entropy gossip rounds (0 disables gossip).
+    gossip_interval_steps: u64,
+    /// LCG state for the random gossip-peer pick, seeded from the node id so runs on
+    /// a simulated clock stay deterministic.
+    rng: u64,
+}
+
+/// Coordinator-side state of one federated scatter-gather query.
+struct FederatedQueryState {
+    /// The original SQL (re-run locally over shipped rows on the fallback path).
+    sql: String,
+    /// When the scatter was issued (for the latency histogram).
+    started: Timestamp,
+    /// Last time the scatter (or a re-scatter) was sent — paces the lossy-link retry.
+    last_request: Timestamp,
+    /// Last time any gather progress arrived (abandoned scatters are reaped).
+    last_activity: Timestamp,
+    mode: FederatedMode,
+    /// The merged result, once complete; waits for its taker.
+    result: Option<GsnResult<Relation>>,
+}
+
+/// How a federated query's scatter travels the wire.
+enum FederatedMode {
+    /// Decomposable aggregate: every host computes a container-side partial and only
+    /// partial-aggregate frames travel — never raw rows.
+    Partial {
+        plan: PartialAggregatePlan,
+        /// Hosts whose partial has not arrived yet.
+        pending: Vec<NodeId>,
+        /// Partial result sets gathered so far (the local one included).
+        partials: Vec<Vec<Vec<Value>>>,
+    },
+    /// Non-decomposable shape: ship every host's rows over the streaming-query wire,
+    /// union them per table, and run the original SQL locally.
+    RowShip {
+        /// In-flight sub-queries: `(remote_query request, table)`.
+        pending: Vec<(RequestId, String)>,
+        /// Per-table union of the shipped rows.
+        tables: HashMap<String, Relation>,
+        /// Tables the SQL references, in reference order.
+        referenced: Vec<String>,
+    },
+}
+
+/// Folds one host's shipped rows into the accumulating per-table union.
+fn merge_shipped_rows(tables: &mut HashMap<String, Relation>, table: &str, incoming: Relation) {
+    match tables.get_mut(table) {
+        Some(existing) => {
+            for row in incoming.rows() {
+                let _ = existing.push_row(row.clone());
+            }
+        }
+        None => {
+            tables.insert(table.to_owned(), incoming);
+        }
+    }
+}
+
 impl std::fmt::Debug for GsnContainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -654,6 +753,31 @@ impl GsnContainer {
     ) -> GsnResult<GsnContainer> {
         network.add_node(config.node_id)?;
         Ok(Self::build(config, clock, Some(network), Some(directory)))
+    }
+
+    /// Creates a container attached to a simulated network with *mesh* federation: no
+    /// shared directory — sensor discovery runs against a local gossip-replicated
+    /// directory and data placement against a consistent-hash ring.  Call
+    /// [`mesh_bootstrap`](Self::mesh_bootstrap) with a seed view to join an existing
+    /// mesh (or with an empty view to found one).
+    pub fn with_mesh(
+        config: ContainerConfig,
+        clock: Arc<dyn Clock>,
+        network: Arc<SimulatedNetwork>,
+    ) -> GsnResult<GsnContainer> {
+        network.add_node(config.node_id)?;
+        let node = config.node_id;
+        let mut container = Self::build(config, clock, Some(network), None);
+        container.mesh = Some(MeshState {
+            ring: PlacementRing::default(),
+            replica: Mutex::new(ReplicatedDirectory::new(node)),
+            gossip_interval_steps: 2,
+            rng: node
+                .as_u64()
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(1),
+        });
+        Ok(container)
     }
 
     fn build(
@@ -717,6 +841,10 @@ impl GsnContainer {
             slow_queries,
             pending_metric_scrapes: HashMap::new(),
             peer_metrics: HashMap::new(),
+            mesh: None,
+            federated: HashMap::new(),
+            row_ship_prefetch: false,
+            row_ship_batch_rows: 256,
             clock,
             config,
         }
@@ -811,36 +939,39 @@ impl GsnContainer {
         }
 
         let directory = self.directory.clone();
-        let node_id = self.config.node_id;
+        let mesh = &self.mesh;
         let deployed_at = self.clock.now();
         let sensor = VirtualSensor::deploy(
             descriptor,
             &self.registry,
             &self.runtime.storage,
-            |address| match &directory {
-                Some(directory) => {
-                    let entry = directory.resolve_one(&address.predicates)?;
-                    if entry.node == node_id {
-                        // Local loop-back: treat the local sensor as a remote producer on
-                        // the same node; deliveries short-circuit through notify().
-                        Ok((entry.node, entry.sensor.clone()))
-                    } else {
-                        Ok((entry.node, entry.sensor.clone()))
-                    }
-                }
-                None => Err(GsnError::config(
-                    "this container has no directory; `wrapper=\"remote\"` sources are unavailable",
-                )),
+            |address| {
+                // Local loop-back entries resolve like remote ones: the producer is a
+                // sensor on this very node and deliveries short-circuit through notify().
+                let entry: DirectoryEntry = if let Some(directory) = &directory {
+                    directory.resolve_one(&address.predicates)?
+                } else if let Some(mesh) = mesh {
+                    mesh.replica.lock().resolve_one(&address.predicates)?
+                } else {
+                    return Err(GsnError::config(
+                        "this container has no directory; `wrapper=\"remote\"` sources are unavailable",
+                    ));
+                };
+                Ok((entry.node, entry.sensor.clone()))
             },
             deployed_at,
         )?;
 
-        // Publish to the directory.
-        if let Some(directory) = &self.directory {
+        // Publish to the directory (shared or replica; gossip spreads the latter).
+        if self.directory.is_some() || self.mesh.is_some() {
             let mut metadata = sensor.descriptor().metadata.clone();
             metadata.push(("name".to_owned(), name.as_str().to_owned()));
             metadata.push(("container".to_owned(), self.config.name.clone()));
-            directory.register(self.config.node_id, name.as_str(), metadata)?;
+            if let Some(directory) = &self.directory {
+                directory.register(self.config.node_id, name.as_str(), metadata)?;
+            } else if let Some(mesh) = &self.mesh {
+                mesh.replica.lock().register(name.as_str(), metadata)?;
+            }
         }
 
         // Wire up remote sources: remember the routing and send Subscribe messages.
@@ -897,6 +1028,8 @@ impl GsnContainer {
         sensor.lock().teardown(&self.runtime.storage);
         if let Some(directory) = &self.directory {
             let _ = directory.deregister(self.config.node_id, key.as_str());
+        } else if let Some(mesh) = &self.mesh {
+            let _ = mesh.replica.lock().deregister(key.as_str());
         }
         let (_, orphaned): (u64, Vec<String>) = self.runtime.remote_routes.update(|routes| {
             let mut next = routes.clone();
@@ -1018,6 +1151,29 @@ impl GsnContainer {
         sql: &str,
         batch_rows: usize,
     ) -> GsnResult<RequestId> {
+        self.remote_query_with(target, sql, batch_rows, false)
+    }
+
+    /// Like [`remote_query`](Self::remote_query), but with cursor prefetch pipelining:
+    /// the server speculatively pushes a window of batches ahead of this container's
+    /// acknowledgements, hiding one link round trip per batch.  `QueryNext` becomes a
+    /// cumulative ack sent every half-window instead of a per-batch pull.
+    pub fn remote_query_prefetch(
+        &mut self,
+        target: NodeId,
+        sql: &str,
+        batch_rows: usize,
+    ) -> GsnResult<RequestId> {
+        self.remote_query_with(target, sql, batch_rows, true)
+    }
+
+    fn remote_query_with(
+        &mut self,
+        target: NodeId,
+        sql: &str,
+        batch_rows: usize,
+        prefetch: bool,
+    ) -> GsnResult<RequestId> {
         let Some(network) = self.runtime.network.clone() else {
             return Err(GsnError::config(
                 "this container has no network; remote queries are unavailable",
@@ -1033,6 +1189,7 @@ impl GsnContainer {
                 request,
                 sql: sql.to_owned(),
                 batch_rows,
+                prefetch,
             },
             self.clock.now(),
         )?;
@@ -1042,6 +1199,7 @@ impl GsnContainer {
                 target,
                 sql: sql.to_owned(),
                 batch_rows,
+                prefetch,
                 cursor: None,
                 expect_seq: 0,
                 columns: Vec::new(),
@@ -1212,6 +1370,10 @@ impl GsnContainer {
         self.retry_stalled_remote_queries(now);
         // Same recovery for in-flight peer metrics scrapes.
         self.retry_stalled_metric_scrapes(now);
+        // Mesh federation: one anti-entropy gossip round every few steps, and
+        // advancement of any scatter-gather queries this node coordinates.
+        self.run_mesh_gossip(now);
+        self.advance_federated_queries(now);
         self.runtime.trace.finish(drain_span);
         self.telemetry
             .network_drain_micros
@@ -1463,10 +1625,18 @@ impl GsnContainer {
                     request,
                     sql,
                     batch_rows,
+                    prefetch,
                 } => {
-                    let reply =
-                        self.serve_query_request(envelope.from, request, &sql, batch_rows as usize);
-                    let _ = network.send(self.config.node_id, envelope.from, reply, now);
+                    let replies = self.serve_query_request(
+                        envelope.from,
+                        request,
+                        &sql,
+                        batch_rows as usize,
+                        prefetch,
+                    );
+                    for reply in replies {
+                        let _ = network.send(self.config.node_id, envelope.from, reply, now);
+                    }
                 }
                 Message::QueryNext {
                     request,
@@ -1474,14 +1644,16 @@ impl GsnContainer {
                     batch_rows,
                     expect_seq,
                 } => {
-                    let reply = self.serve_query_next(
+                    let replies = self.serve_query_next(
                         envelope.from,
                         request,
                         cursor,
                         batch_rows as usize,
                         expect_seq,
                     );
-                    let _ = network.send(self.config.node_id, envelope.from, reply, now);
+                    for reply in replies {
+                        let _ = network.send(self.config.node_id, envelope.from, reply, now);
+                    }
                 }
                 Message::QueryBatch {
                     request,
@@ -1526,6 +1698,24 @@ impl GsnContainer {
                         state.rows.extend(rows);
                         if done {
                             state.done = true;
+                        } else if state.prefetch {
+                            // Pipelined wire: the server pushes ahead of us.  A
+                            // cumulative ack every half-window keeps its speculation
+                            // window open; every other batch arrived without any
+                            // request in flight — a prefetch hit.
+                            if state.expect_seq % PREFETCH_ACK_EVERY == 0 {
+                                let message = Message::QueryNext {
+                                    request,
+                                    cursor,
+                                    batch_rows: state.batch_rows,
+                                    expect_seq: state.expect_seq,
+                                };
+                                state.last_request = now;
+                                let _ =
+                                    network.send(self.config.node_id, envelope.from, message, now);
+                            } else {
+                                self.telemetry.prefetch_hits_total.inc();
+                            }
                         } else {
                             // Pull-based wire: ask for the next batch only now that
                             // this one has been consumed.
@@ -1569,6 +1759,86 @@ impl GsnContainer {
                     }
                     self.peer_metrics.insert(node, snapshot);
                 }
+                Message::GossipDigest { from: _, digest } => {
+                    // Push-pull: answer with what the digest proves the peer is
+                    // missing, plus our own digest so it sends a return delta.
+                    if let Some(mesh) = self.mesh.as_ref() {
+                        let (records, my_digest) = {
+                            let replica = mesh.replica.lock();
+                            (replica.delta_for(&digest), replica.digest())
+                        };
+                        let reply = Message::GossipDelta {
+                            from: self.config.node_id,
+                            records,
+                            digest: my_digest,
+                        };
+                        self.telemetry
+                            .gossip_bytes_total
+                            .add(gsn_network::encode(&reply).len() as u64);
+                        let _ = network.send(self.config.node_id, envelope.from, reply, now);
+                    }
+                }
+                Message::GossipDelta {
+                    from: _,
+                    records,
+                    digest,
+                } => {
+                    if let Some(mesh) = self.mesh.as_ref() {
+                        mesh.replica.lock().apply(&records);
+                        // A non-empty digest asks for the records *we* have that the
+                        // peer lacks; the terminating reply carries an empty digest.
+                        if !digest.is_empty() {
+                            let reply_records = mesh.replica.lock().delta_for(&digest);
+                            if !reply_records.is_empty() {
+                                let reply = Message::GossipDelta {
+                                    from: self.config.node_id,
+                                    records: reply_records,
+                                    digest: Vec::new(),
+                                };
+                                self.telemetry
+                                    .gossip_bytes_total
+                                    .add(gsn_network::encode(&reply).len() as u64);
+                                let _ =
+                                    network.send(self.config.node_id, envelope.from, reply, now);
+                            }
+                        }
+                    }
+                }
+                Message::RingAnnounce { epoch, members, .. } => {
+                    if let Some(mesh) = self.mesh.as_mut() {
+                        mesh.ring.install(&members, epoch);
+                    }
+                }
+                Message::PartialAggregateRequest { request, sql } => {
+                    // Stateless server side of the scatter: execute the partial locally
+                    // and reply in one frame.  Re-execution on a duplicate (retried)
+                    // request is idempotent — the coordinator keeps the first reply.
+                    let reply = match self
+                        .query_as(&Principal::named(&envelope.from.to_string()), &sql)
+                    {
+                        Ok(relation) => Message::PartialAggregateReply {
+                            request,
+                            columns: relation.columns().iter().map(|c| c.name.clone()).collect(),
+                            rows: relation.rows().to_vec(),
+                            error: String::new(),
+                        },
+                        Err(e) => Message::PartialAggregateReply {
+                            request,
+                            columns: Vec::new(),
+                            rows: Vec::new(),
+                            error: e.to_string(),
+                        },
+                    };
+                    let _ = network.send(self.config.node_id, envelope.from, reply, now);
+                }
+                Message::PartialAggregateReply {
+                    request,
+                    columns: _,
+                    rows,
+                    error,
+                } => {
+                    self.absorb_partial_reply(envelope.from, request, rows, error, now);
+                }
                 // Directory traffic and pongs are informational for the container.
                 Message::DirectoryRegister { .. }
                 | Message::DirectoryDeregister { .. }
@@ -1582,24 +1852,28 @@ impl GsnContainer {
     }
 
     /// Serves a remote `QueryRequest`: authorises and opens a cursor, then ships the
-    /// first batch.  A *retransmitted* request (the client never saw our first batch on
-    /// a lossy link) matches its existing cursor by `(owner, request)` and gets that
-    /// batch again instead of opening a duplicate cursor.
+    /// first batch (or, with prefetch, the first window of batches).  A *retransmitted*
+    /// request (the client never saw our first batch on a lossy link) matches its
+    /// existing cursor by `(owner, request)` and gets the unacknowledged batches again
+    /// instead of opening a duplicate cursor.
     fn serve_query_request(
         &mut self,
         from: NodeId,
         request: RequestId,
         sql: &str,
         batch_rows: usize,
-    ) -> Message {
-        let refuse = |error: String| Message::QueryBatch {
-            request,
-            cursor: 0,
-            columns: Vec::new(),
-            rows: Vec::new(),
-            seq: 0,
-            done: true,
-            error,
+        prefetch: bool,
+    ) -> Vec<Message> {
+        let refuse = |error: String| {
+            vec![Message::QueryBatch {
+                request,
+                cursor: 0,
+                columns: Vec::new(),
+                rows: Vec::new(),
+                seq: 0,
+                done: true,
+                error,
+            }]
         };
         if let Some((&id, _)) = self
             .remote_cursors
@@ -1634,6 +1908,9 @@ impl GsnContainer {
                 next_seq: 0,
                 last_batch: None,
                 last_active: self.clock.now(),
+                prefetch,
+                window: BTreeMap::new(),
+                last_ack: 0,
             },
         );
         self.serve_query_next(from, request, id, batch_rows, 0)
@@ -1652,15 +1929,17 @@ impl GsnContainer {
         cursor_id: u64,
         batch_rows: usize,
         expect_seq: u64,
-    ) -> Message {
-        let refused = |error: String| Message::QueryBatch {
-            request,
-            cursor: cursor_id,
-            columns: Vec::new(),
-            rows: Vec::new(),
-            seq: expect_seq,
-            done: true,
-            error,
+    ) -> Vec<Message> {
+        let refused = |error: String| {
+            vec![Message::QueryBatch {
+                request,
+                cursor: cursor_id,
+                columns: Vec::new(),
+                rows: Vec::new(),
+                seq: expect_seq,
+                done: true,
+                error,
+            }]
         };
         let now = self.clock.now();
         let Some(open) = self.remote_cursors.get_mut(&cursor_id) else {
@@ -1671,10 +1950,13 @@ impl GsnContainer {
             return refused(format!("cursor {cursor_id} is not owned by {from}"));
         }
         open.last_active = now;
+        if open.prefetch {
+            return self.pump_prefetch_cursor(cursor_id, request, batch_rows, expect_seq);
+        }
         if open.next_seq.checked_sub(1) == Some(expect_seq) {
             // The client never saw (or lost) our last batch: retransmit the cache.
             if let Some(batch) = &open.last_batch {
-                return batch.clone();
+                return vec![batch.clone()];
             }
         }
         if expect_seq != open.next_seq {
@@ -1709,13 +1991,97 @@ impl GsnContainer {
                 if done {
                     self.prune_cursor_tombstones();
                 }
-                message
+                vec![message]
             }
             Err(e) => {
                 self.remote_cursors.remove(&cursor_id);
                 refused(e.to_string())
             }
         }
+    }
+
+    /// Advances a *prefetching* remote cursor.  `expect_seq` is a cumulative ack: every
+    /// cached batch below it is confirmed received and dropped; an ack at or below the
+    /// previous one is a retry, so the whole unacknowledged window is retransmitted.
+    /// Either way the speculation window is then topped up with fresh batches, keeping
+    /// [`PREFETCH_WINDOW`] batches in flight ahead of the client.
+    fn pump_prefetch_cursor(
+        &mut self,
+        cursor_id: u64,
+        request: RequestId,
+        batch_rows: usize,
+        expect_seq: u64,
+    ) -> Vec<Message> {
+        let refused = |error: String| {
+            vec![Message::QueryBatch {
+                request,
+                cursor: cursor_id,
+                columns: Vec::new(),
+                rows: Vec::new(),
+                seq: expect_seq,
+                done: true,
+                error,
+            }]
+        };
+        let Some(open) = self.remote_cursors.get_mut(&cursor_id) else {
+            return refused(format!("no open cursor {cursor_id}"));
+        };
+        if expect_seq > open.next_seq {
+            return refused(format!(
+                "cursor {cursor_id} is at batch {}, not {expect_seq}",
+                open.next_seq
+            ));
+        }
+        // A repeated (or initial-retransmit) ack means the client is missing batches we
+        // already sent: resend everything unacknowledged, in sequence order.
+        let retry = expect_seq <= open.last_ack && open.next_seq > 0;
+        open.last_ack = open.last_ack.max(expect_seq);
+        open.window.retain(|seq, _| *seq >= expect_seq);
+        let mut replies: Vec<Message> = Vec::new();
+        if retry {
+            replies.extend(open.window.values().cloned());
+        }
+        let mut finished = false;
+        while open.window.len() < PREFETCH_WINDOW {
+            let Some(cursor) = open.cursor.as_mut() else {
+                break;
+            };
+            match cursor.next_batch(batch_rows.clamp(1, 65_536)) {
+                Ok(batch) => {
+                    let done = cursor.is_done();
+                    if done {
+                        // Keep the entry as a tombstone; the window caches the final
+                        // batches for retransmission until the client acks them.
+                        open.cursor = None;
+                        finished = true;
+                    }
+                    let seq = open.next_seq;
+                    open.next_seq += 1;
+                    let message = Message::QueryBatch {
+                        request,
+                        cursor: cursor_id,
+                        columns: batch.columns().iter().map(|c| c.name.clone()).collect(),
+                        rows: batch.into_rows(),
+                        seq,
+                        done,
+                        error: String::new(),
+                    };
+                    open.window.insert(seq, message.clone());
+                    replies.push(message);
+                    if done {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    self.remote_cursors.remove(&cursor_id);
+                    return refused(e.to_string());
+                }
+            }
+        }
+        if finished {
+            self.prune_cursor_tombstones();
+        }
+        replies
     }
 
     /// Bounds the exhausted-cursor tombstones (each caches one batch for final-batch
@@ -1770,6 +2136,7 @@ impl GsnContainer {
                     request: *request,
                     sql: state.sql.clone(),
                     batch_rows: state.batch_rows,
+                    prefetch: state.prefetch,
                 },
             };
             state.last_request = now;
@@ -1836,6 +2203,487 @@ impl GsnContainer {
     }
 
     // -----------------------------------------------------------------------------------
+    // Mesh federation: ring membership, gossip, scatter-gather queries
+    // -----------------------------------------------------------------------------------
+
+    /// True when this container runs mesh federation (placement ring + replicated
+    /// directory instead of a shared [`Directory`]).
+    pub fn mesh_enabled(&self) -> bool {
+        self.mesh.is_some()
+    }
+
+    /// This node's view of the ring membership, ordered.  Empty without a mesh.
+    pub fn ring_members(&self) -> Vec<NodeId> {
+        self.mesh
+            .as_ref()
+            .map(|m| m.ring.members())
+            .unwrap_or_default()
+    }
+
+    /// This node's ring membership epoch (0 without a mesh).
+    pub fn ring_epoch(&self) -> u64 {
+        self.mesh.as_ref().map(|m| m.ring.epoch()).unwrap_or(0)
+    }
+
+    /// The fraction of the hash-token space primarily owned by this node, in permille.
+    pub fn ring_ownership_permille(&self) -> u64 {
+        self.mesh
+            .as_ref()
+            .map(|m| m.ring.ownership_permille(self.config.node_id))
+            .unwrap_or(0)
+    }
+
+    /// The mesh members owning `key` under the placement ring, primary first.
+    pub fn ring_owners(&self, key: &str) -> Vec<NodeId> {
+        self.mesh
+            .as_ref()
+            .map(|m| m.ring.owners(key))
+            .unwrap_or_default()
+    }
+
+    /// The local directory replica's full record set, tombstones included and sorted —
+    /// two converged replicas return identical snapshots.
+    pub fn replica_snapshot(&self) -> Vec<ReplicaRecord> {
+        self.mesh
+            .as_ref()
+            .map(|m| m.replica.lock().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Live directory entries matching every predicate, answered from the local
+    /// replica (no network round trip).
+    pub fn replica_lookup(&self, predicates: &[(String, String)]) -> Vec<DirectoryEntry> {
+        self.mesh
+            .as_ref()
+            .map(|m| m.replica.lock().lookup(predicates))
+            .unwrap_or_default()
+    }
+
+    /// Configures the row-shipping fallback's transport: whether per-host sub-queries
+    /// stream with cursor prefetch, and how many rows each batch carries.
+    pub fn set_row_ship_transport(&mut self, prefetch: bool, batch_rows: usize) {
+        self.row_ship_prefetch = prefetch;
+        self.row_ship_batch_rows = batch_rows.max(1);
+    }
+
+    /// Overrides the gossip cadence (steps between rounds; 0 disables gossip).
+    pub fn set_gossip_interval_steps(&mut self, steps: u64) {
+        if let Some(mesh) = self.mesh.as_mut() {
+            mesh.gossip_interval_steps = steps;
+        }
+    }
+
+    /// Joins the mesh: adopts the seed membership view (from any existing member; pass
+    /// an empty view with epoch 0 to found a new mesh), adds this node to the ring, and
+    /// announces the grown view to every other member.
+    pub fn mesh_bootstrap(&mut self, members: &[NodeId], epoch: u64) {
+        let now = self.clock.now();
+        let node = self.config.node_id;
+        let network = self.runtime.network.clone();
+        let Some(mesh) = self.mesh.as_mut() else {
+            return;
+        };
+        mesh.ring.install(members, epoch);
+        mesh.ring.join(node);
+        let view = mesh.ring.members();
+        let epoch = mesh.ring.epoch();
+        if let Some(network) = network {
+            for peer in view.iter().filter(|p| **p != node) {
+                let _ = network.send(
+                    node,
+                    *peer,
+                    Message::RingAnnounce {
+                        from: node,
+                        epoch,
+                        members: view.clone(),
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
+    /// Leaves the mesh gracefully: tombstones every sensor this node registered,
+    /// pushes those tombstones to the surviving members (gossip re-delivers them if
+    /// the push is lost), and announces the shrunk ring.
+    pub fn mesh_leave(&mut self) {
+        let now = self.clock.now();
+        let node = self.config.node_id;
+        let network = self.runtime.network.clone();
+        let Some(mesh) = self.mesh.as_mut() else {
+            return;
+        };
+        let records: Vec<ReplicaRecord> = {
+            let mut replica = mesh.replica.lock();
+            replica.deregister_node(node);
+            replica
+                .snapshot()
+                .into_iter()
+                .filter(|r| r.node == node)
+                .collect()
+        };
+        mesh.ring.leave(node);
+        let members = mesh.ring.members();
+        let epoch = mesh.ring.epoch();
+        if let Some(network) = network {
+            for peer in &members {
+                let _ = network.send(
+                    node,
+                    *peer,
+                    Message::GossipDelta {
+                        from: node,
+                        records: records.clone(),
+                        digest: Vec::new(),
+                    },
+                    now,
+                );
+                let _ = network.send(
+                    node,
+                    *peer,
+                    Message::RingAnnounce {
+                        from: node,
+                        epoch,
+                        members: members.clone(),
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
+    /// One anti-entropy gossip round every `gossip_interval_steps` steps: push-pull
+    /// the directory digest with one pseudo-random ring peer, piggybacking a ring
+    /// announce so membership views lost on a lossy link also heal.
+    fn run_mesh_gossip(&mut self, now: Timestamp) {
+        let node = self.config.node_id;
+        let Some(network) = self.runtime.network.clone() else {
+            return;
+        };
+        let steps = self.steps;
+        let Some(mesh) = self.mesh.as_mut() else {
+            return;
+        };
+        if mesh.gossip_interval_steps == 0 || !steps.is_multiple_of(mesh.gossip_interval_steps) {
+            return;
+        }
+        let peers: Vec<NodeId> = mesh
+            .ring
+            .members()
+            .into_iter()
+            .filter(|p| *p != node)
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        mesh.rng = mesh
+            .rng
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let peer = peers[(mesh.rng >> 33) as usize % peers.len()];
+        let digest = mesh.replica.lock().digest();
+        let message = Message::GossipDigest { from: node, digest };
+        let announce = Message::RingAnnounce {
+            from: node,
+            epoch: mesh.ring.epoch(),
+            members: mesh.ring.members(),
+        };
+        self.telemetry.gossip_rounds_total.inc();
+        self.telemetry.gossip_bytes_total.add(
+            (gsn_network::encode(&message).len() + gsn_network::encode(&announce).len()) as u64,
+        );
+        let _ = network.send(node, peer, message, now);
+        let _ = network.send(node, peer, announce, now);
+    }
+
+    /// The mesh members hosting `table`'s rows per the replicated directory, restricted
+    /// to this node plus current ring members (a departed node's not-yet-tombstoned
+    /// entries must not be scattered to).
+    fn federated_hosts(&self, table: &str) -> Vec<NodeId> {
+        let node = self.config.node_id;
+        let Some(mesh) = self.mesh.as_ref() else {
+            return Vec::new();
+        };
+        let mut hosts = mesh.replica.lock().hosts_of_table(table);
+        hosts.retain(|h| *h == node || mesh.ring.contains(*h));
+        hosts
+    }
+
+    /// Issues a federated query across the mesh with this node as coordinator.
+    ///
+    /// Decomposable aggregates (`COUNT`/`SUM`/`AVG`/`MIN`/`MAX`, optionally grouped and
+    /// filtered) are rewritten container-side: every host executes a partial over its
+    /// own rows and only partial-aggregate frames travel — no raw rows.  Everything
+    /// else falls back to shipping each host's rows over the streaming-query wire and
+    /// running the original SQL locally over the union.  Poll
+    /// [`take_federated_result`](Self::take_federated_result) with the returned id.
+    pub fn federated_query(&mut self, sql: &str) -> GsnResult<RequestId> {
+        let Some(network) = self.runtime.network.clone() else {
+            return Err(GsnError::config(
+                "this container has no network; federated queries are unavailable",
+            ));
+        };
+        if self.mesh.is_none() {
+            return Err(GsnError::config(
+                "this container is not part of a mesh federation",
+            ));
+        }
+        let now = self.clock.now();
+        let node = self.config.node_id;
+        let request = self.next_request_id;
+        self.next_request_id += 1;
+        self.telemetry.scatter_queries_total.inc();
+        let mode = match gsn_sql::decompose(sql)? {
+            Some(plan) => {
+                let hosts = self.federated_hosts(&plan.table);
+                if hosts.is_empty() {
+                    return Err(GsnError::not_found(format!(
+                        "no federation member hosts table `{}`",
+                        plan.table
+                    )));
+                }
+                let mut pending = Vec::new();
+                let mut partials = Vec::new();
+                for host in hosts {
+                    if host == node {
+                        partials.push(self.query(&plan.partial_sql)?.rows().to_vec());
+                    } else {
+                        let _ = network.send(
+                            node,
+                            host,
+                            Message::PartialAggregateRequest {
+                                request,
+                                sql: plan.partial_sql.clone(),
+                            },
+                            now,
+                        );
+                        pending.push(host);
+                    }
+                }
+                FederatedMode::Partial {
+                    plan,
+                    pending,
+                    partials,
+                }
+            }
+            None => {
+                self.telemetry.scatter_fallback_total.inc();
+                let prepared =
+                    gsn_sql::SqlEngine::compile(sql, &gsn_sql::OptimizerConfig::default())?;
+                let referenced: Vec<String> = prepared.referenced_tables().to_vec();
+                let mut pending = Vec::new();
+                let mut tables: HashMap<String, Relation> = HashMap::new();
+                for table in &referenced {
+                    let hosts = self.federated_hosts(table);
+                    if hosts.is_empty() {
+                        return Err(GsnError::not_found(format!(
+                            "no federation member hosts table `{table}`"
+                        )));
+                    }
+                    for host in hosts {
+                        if host == node {
+                            let local = self.query(&format!("select * from {table}"))?;
+                            merge_shipped_rows(&mut tables, table, local);
+                        } else {
+                            let sub = self.remote_query_with(
+                                host,
+                                &format!("select * from {table}"),
+                                self.row_ship_batch_rows,
+                                self.row_ship_prefetch,
+                            )?;
+                            pending.push((sub, table.clone()));
+                        }
+                    }
+                }
+                FederatedMode::RowShip {
+                    pending,
+                    tables,
+                    referenced,
+                }
+            }
+        };
+        self.federated.insert(
+            request,
+            FederatedQueryState {
+                sql: sql.to_owned(),
+                started: now,
+                last_request: now,
+                last_activity: now,
+                mode,
+                result: None,
+            },
+        );
+        // A scatter with no remote legs (every host local) completes immediately.
+        self.advance_federated_queries(now);
+        Ok(request)
+    }
+
+    /// Takes the finished result of a [`federated_query`](Self::federated_query):
+    /// `None` while the scatter is still gathering.
+    pub fn take_federated_result(&mut self, request: RequestId) -> Option<GsnResult<Relation>> {
+        self.federated.get(&request)?.result.as_ref()?;
+        self.federated
+            .remove(&request)
+            .and_then(|state| state.result)
+    }
+
+    /// Number of federated queries this coordinator still tracks.
+    pub fn pending_federated_queries(&self) -> usize {
+        self.federated.len()
+    }
+
+    /// Folds one host's partial-aggregate reply into its scatter state.  Replies for
+    /// untracked requests and duplicates (answers to idempotent retries) are dropped —
+    /// the first reply per host wins.
+    fn absorb_partial_reply(
+        &mut self,
+        from: NodeId,
+        request: RequestId,
+        rows: Vec<Vec<Value>>,
+        error: String,
+        now: Timestamp,
+    ) {
+        let Some(state) = self.federated.get_mut(&request) else {
+            return;
+        };
+        let FederatedMode::Partial {
+            pending, partials, ..
+        } = &mut state.mode
+        else {
+            return;
+        };
+        let Some(pos) = pending.iter().position(|h| *h == from) else {
+            return;
+        };
+        state.last_activity = now;
+        if error.is_empty() {
+            pending.remove(pos);
+            partials.push(rows);
+        } else if state.result.is_none() {
+            pending.clear();
+            state.result = Some(Err(GsnError::sql_exec(format!(
+                "partial aggregate on {from} failed: {error}"
+            ))));
+        }
+    }
+
+    /// Advances every in-flight federated query: folds finished row-ship sub-queries
+    /// in, re-scatters partial requests lost on lossy links, completes queries whose
+    /// gather is done, and reaps the abandoned.
+    fn advance_federated_queries(&mut self, now: Timestamp) {
+        if self.federated.is_empty() {
+            return;
+        }
+        let network = self.runtime.network.clone();
+        let node = self.config.node_id;
+        let requests: Vec<RequestId> = self.federated.keys().copied().collect();
+        for request in requests {
+            // Poll the row-ship sub-queries (snapshot first: taking a sub-result needs
+            // `&mut self` as a whole).
+            let subs: Vec<(RequestId, String)> = match &self.federated[&request].mode {
+                FederatedMode::RowShip { pending, .. } => pending.clone(),
+                FederatedMode::Partial { .. } => Vec::new(),
+            };
+            for (sub, table) in subs {
+                let Some(outcome) = self.take_remote_query_result(sub) else {
+                    continue;
+                };
+                let state = self.federated.get_mut(&request).expect("state present");
+                state.last_activity = now;
+                match outcome {
+                    Ok(result) => {
+                        if let FederatedMode::RowShip {
+                            pending, tables, ..
+                        } = &mut state.mode
+                        {
+                            pending.retain(|(s, _)| *s != sub);
+                            merge_shipped_rows(tables, &table, result.relation);
+                        }
+                    }
+                    Err(e) => {
+                        if state.result.is_none() {
+                            state.result = Some(Err(e));
+                        }
+                    }
+                }
+            }
+            // Lossy-link recovery: re-scatter to hosts whose partial never arrived
+            // (the server side is stateless, so duplicates are idempotent).
+            let state = self.federated.get_mut(&request).expect("state present");
+            if state.result.is_none() {
+                if let FederatedMode::Partial { plan, pending, .. } = &state.mode {
+                    if !pending.is_empty()
+                        && now.saturating_sub(REMOTE_QUERY_RETRY_AFTER) >= state.last_request
+                    {
+                        if let Some(network) = &network {
+                            for host in pending {
+                                self.telemetry.retransmits_total.inc();
+                                let _ = network.send(
+                                    node,
+                                    *host,
+                                    Message::PartialAggregateRequest {
+                                        request,
+                                        sql: plan.partial_sql.clone(),
+                                    },
+                                    now,
+                                );
+                            }
+                        }
+                        state.last_request = now;
+                    }
+                }
+            }
+            // Complete once the gather is fully in.
+            let state = self.federated.get_mut(&request).expect("state present");
+            if state.result.is_none() {
+                let completed: Option<GsnResult<Relation>> = match &mut state.mode {
+                    FederatedMode::Partial {
+                        plan,
+                        pending,
+                        partials,
+                    } if pending.is_empty() => Some(
+                        gsn_sql::merge_partials(plan, partials).and_then(|(columns, rows)| {
+                            let columns = columns
+                                .iter()
+                                .map(|n| gsn_sql::ColumnInfo::new(None, n, None))
+                                .collect();
+                            Relation::with_rows(columns, rows)
+                        }),
+                    ),
+                    FederatedMode::RowShip {
+                        pending,
+                        tables,
+                        referenced,
+                    } if pending.is_empty() => {
+                        let mut catalog = gsn_sql::MemoryCatalog::new();
+                        for table in referenced.iter() {
+                            if let Some(relation) = tables.remove(table) {
+                                catalog.register(table, relation);
+                            }
+                        }
+                        Some(
+                            gsn_sql::parse_query(&state.sql)
+                                .and_then(|query| gsn_sql::execute_query(&query, &catalog)),
+                        )
+                    }
+                    _ => None,
+                };
+                if let Some(result) = completed {
+                    self.telemetry
+                        .scatter_latency_millis
+                        .record(now.abs_diff(state.started).as_millis() as u64);
+                    state.result = Some(result);
+                }
+            }
+        }
+        // Reap abandoned scatters (no progress past the idle timeout); completed
+        // results wait for their taker.
+        self.federated.retain(|_, state| {
+            state.result.is_some()
+                || state.last_activity >= now.saturating_sub(REMOTE_CURSOR_IDLE_TIMEOUT)
+        });
+    }
+
+    // -----------------------------------------------------------------------------------
     // Telemetry
     // -----------------------------------------------------------------------------------
 
@@ -1864,6 +2712,14 @@ impl GsnContainer {
         let storage = self.runtime.storage.stats();
         let notifications = self.runtime.notifications.lock().stats();
         let network = self.runtime.network.as_deref().map(SimulatedNetwork::stats);
+        let directory = self.directory.as_ref().map(|d| d.stats());
+        let (replica, replica_records) = match self.mesh.as_ref() {
+            Some(mesh) => {
+                let replica = mesh.replica.lock();
+                (Some(replica.stats()), replica.snapshot().len())
+            }
+            None => (None, 0),
+        };
         self.sourced.refresh(&SourcedTotals {
             storage: Some(&storage),
             engine: Some(&engine),
@@ -1874,6 +2730,11 @@ impl GsnContainer {
             sensors: self.sensors.len(),
             remote_cursors: self.open_remote_cursors(),
             remote_queries: self.remote_queries.len(),
+            directory,
+            replica,
+            ring_members: self.mesh.as_ref().map(|m| m.ring.len()).unwrap_or(0),
+            ring_ownership_permille: self.ring_ownership_permille(),
+            replica_records,
         });
         // Per-region pool counters: where hits/misses/evictions/contention land across
         // the sharded buffer pool's clock regions.
@@ -2383,13 +3244,15 @@ mod tests {
         // instead of accumulating until the 60 s idle reaper.
         let peer = gsn_types::NodeId::new(9);
         for request in 0..(3 * MAX_REMOTE_CURSORS as u64) {
-            let reply = container.serve_query_request(
+            let mut replies = container.serve_query_request(
                 peer,
                 request,
                 "select avg_temp from room_temp limit 1",
                 16,
+                false,
             );
-            match reply {
+            assert_eq!(replies.len(), 1);
+            match replies.pop().expect("one reply") {
                 Message::QueryBatch { done, error, .. } => {
                     assert!(done);
                     assert!(error.is_empty(), "{error}");

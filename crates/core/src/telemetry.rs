@@ -146,6 +146,48 @@ pub static FEDERATION_PEER_SNAPSHOTS_TOTAL: MetricDesc = MetricDesc::counter(
     "snapshots",
 );
 
+/// Anti-entropy gossip rounds initiated by this node.
+pub static FEDERATION_GOSSIP_ROUNDS_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_federation_gossip_rounds_total",
+    "Anti-entropy gossip rounds initiated (one digest sent per round)",
+    "rounds",
+);
+
+/// Encoded bytes of gossip digests and deltas sent by this node.
+pub static FEDERATION_GOSSIP_BYTES_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_federation_gossip_bytes_total",
+    "Encoded bytes of gossip digest and delta messages sent",
+    "bytes",
+);
+
+/// Federated scatter-gather queries coordinated by this node.
+pub static FEDERATION_SCATTER_QUERIES_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_federation_scatter_queries_total",
+    "Federated scatter-gather queries issued with this node as coordinator",
+    "queries",
+);
+
+/// Federated queries that could not be decomposed into partial aggregates.
+pub static FEDERATION_SCATTER_FALLBACK_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_federation_scatter_fallback_total",
+    "Federated queries that fell back to full row shipping",
+    "queries",
+);
+
+/// Latency of one federated query: scatter fan-out to merged result.
+pub static FEDERATION_SCATTER_LATENCY_MILLIS: MetricDesc = MetricDesc::histogram(
+    "gsn_federation_scatter_latency_millis",
+    "Latency of one federated query from scatter fan-out to merged result",
+    "milliseconds",
+);
+
+/// Remote-cursor batches consumed without an explicit per-batch request.
+pub static FEDERATION_PREFETCH_HITS_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_federation_prefetch_hits_total",
+    "Remote-cursor batches consumed without a per-batch QueryNext (prefetch pipelining)",
+    "batches",
+);
+
 /// The live instrument handles of the container itself.
 ///
 /// Created detached at container construction and adopted into the container's
@@ -185,6 +227,18 @@ pub struct ContainerTelemetry {
     pub scrapes_served_total: Counter,
     /// Peer snapshots received.
     pub peer_snapshots_total: Counter,
+    /// Gossip rounds initiated.
+    pub gossip_rounds_total: Counter,
+    /// Gossip digest/delta bytes sent.
+    pub gossip_bytes_total: Counter,
+    /// Federated queries coordinated.
+    pub scatter_queries_total: Counter,
+    /// Federated queries that fell back to row shipping.
+    pub scatter_fallback_total: Counter,
+    /// Federated query latency (scatter to merge).
+    pub scatter_latency_millis: Histogram,
+    /// Batches consumed without a per-batch request (prefetch pipelining).
+    pub prefetch_hits_total: Counter,
 }
 
 impl ContainerTelemetry {
@@ -211,6 +265,21 @@ impl ContainerTelemetry {
         registry.register_counter(&FEDERATION_RETRANSMITS_TOTAL, &self.retransmits_total);
         registry.register_counter(&FEDERATION_SCRAPES_SERVED_TOTAL, &self.scrapes_served_total);
         registry.register_counter(&FEDERATION_PEER_SNAPSHOTS_TOTAL, &self.peer_snapshots_total);
+        registry.register_counter(&FEDERATION_GOSSIP_ROUNDS_TOTAL, &self.gossip_rounds_total);
+        registry.register_counter(&FEDERATION_GOSSIP_BYTES_TOTAL, &self.gossip_bytes_total);
+        registry.register_counter(
+            &FEDERATION_SCATTER_QUERIES_TOTAL,
+            &self.scatter_queries_total,
+        );
+        registry.register_counter(
+            &FEDERATION_SCATTER_FALLBACK_TOTAL,
+            &self.scatter_fallback_total,
+        );
+        registry.register_histogram(
+            &FEDERATION_SCATTER_LATENCY_MILLIS,
+            &self.scatter_latency_millis,
+        );
+        registry.register_counter(&FEDERATION_PREFETCH_HITS_TOTAL, &self.prefetch_hits_total);
     }
 
     /// Folds one step report's counters into the cumulative totals.
@@ -597,6 +666,62 @@ pub static REMOTE_QUERIES_PENDING: MetricDesc = MetricDesc::gauge(
     "queries",
 );
 
+/// Directory registrations observed by this node (shared directory or local replica).
+pub static DIRECTORY_REGISTRATIONS_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_directory_registrations_total",
+    "Sensor registrations processed by the directory this node sees",
+    "registrations",
+);
+
+/// Directory deregistrations observed by this node.
+pub static DIRECTORY_DEREGISTRATIONS_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_directory_deregistrations_total",
+    "Sensor deregistrations processed by the directory this node sees",
+    "deregistrations",
+);
+
+/// Directory lookups served to this node.
+pub static DIRECTORY_LOOKUPS_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_directory_lookups_total",
+    "Directory lookups served to this node",
+    "lookups",
+);
+
+/// Members of the placement ring, as this node sees it.
+pub static FEDERATION_RING_MEMBERS: MetricDesc = MetricDesc::gauge(
+    "gsn_federation_ring_members",
+    "Members of the placement ring in this node's current view",
+    "nodes",
+);
+
+/// Share of the token space primarily owned by this node.
+pub static FEDERATION_RING_OWNERSHIP_PERMILLE: MetricDesc = MetricDesc::gauge(
+    "gsn_federation_ring_ownership_permille",
+    "Fraction of the hash-token space whose primary owner is this node",
+    "permille",
+);
+
+/// Records (including tombstones) held by the local directory replica.
+pub static FEDERATION_REPLICA_RECORDS: MetricDesc = MetricDesc::gauge(
+    "gsn_federation_replica_records",
+    "Records held by the local directory replica, tombstones included",
+    "records",
+);
+
+/// Remote directory records applied by gossip.
+pub static FEDERATION_GOSSIP_APPLIED_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_federation_gossip_records_applied_total",
+    "Remote directory records applied to the local replica by gossip",
+    "records",
+);
+
+/// Remote directory records ignored as stale.
+pub static FEDERATION_GOSSIP_STALE_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_federation_gossip_records_stale_total",
+    "Remote directory records ignored because the local version was newer",
+    "records",
+);
+
 /// Handles for every sourced metric, plus the refresh that stores the current totals.
 #[derive(Debug, Clone, Default)]
 pub struct SourcedMetrics {
@@ -636,6 +761,14 @@ pub struct SourcedMetrics {
     sensors_deployed: Gauge,
     remote_cursors_open: Gauge,
     remote_queries_pending: Gauge,
+    directory_registrations: Counter,
+    directory_deregistrations: Counter,
+    directory_lookups: Counter,
+    ring_members: Gauge,
+    ring_ownership_permille: Gauge,
+    replica_records: Gauge,
+    gossip_applied: Counter,
+    gossip_stale: Counter,
 }
 
 /// The subsystem totals [`SourcedMetrics::refresh`] stores into the registry.
@@ -659,6 +792,16 @@ pub struct SourcedTotals<'a> {
     pub remote_cursors: usize,
     /// Pending remote queries.
     pub remote_queries: usize,
+    /// Shared-directory statistics (federation with a central directory).
+    pub directory: Option<gsn_network::DirectoryStats>,
+    /// Replicated-directory statistics (mesh federation).
+    pub replica: Option<gsn_federation::ReplicaStats>,
+    /// Placement-ring members in this node's view.
+    pub ring_members: usize,
+    /// Token-space share primarily owned by this node (permille).
+    pub ring_ownership_permille: u64,
+    /// Records (tombstones included) held by the local replica.
+    pub replica_records: usize,
 }
 
 impl SourcedMetrics {
@@ -715,6 +858,23 @@ impl SourcedMetrics {
         registry.register_gauge(&SENSORS_DEPLOYED, &self.sensors_deployed);
         registry.register_gauge(&REMOTE_CURSORS_OPEN, &self.remote_cursors_open);
         registry.register_gauge(&REMOTE_QUERIES_PENDING, &self.remote_queries_pending);
+        registry.register_counter(
+            &DIRECTORY_REGISTRATIONS_TOTAL,
+            &self.directory_registrations,
+        );
+        registry.register_counter(
+            &DIRECTORY_DEREGISTRATIONS_TOTAL,
+            &self.directory_deregistrations,
+        );
+        registry.register_counter(&DIRECTORY_LOOKUPS_TOTAL, &self.directory_lookups);
+        registry.register_gauge(&FEDERATION_RING_MEMBERS, &self.ring_members);
+        registry.register_gauge(
+            &FEDERATION_RING_OWNERSHIP_PERMILLE,
+            &self.ring_ownership_permille,
+        );
+        registry.register_gauge(&FEDERATION_REPLICA_RECORDS, &self.replica_records);
+        registry.register_counter(&FEDERATION_GOSSIP_APPLIED_TOTAL, &self.gossip_applied);
+        registry.register_counter(&FEDERATION_GOSSIP_STALE_TOTAL, &self.gossip_stale);
     }
 
     /// Stores the current subsystem totals into the registry cells.
@@ -776,6 +936,24 @@ impl SourcedMetrics {
         self.remote_cursors_open.set(totals.remote_cursors as i64);
         self.remote_queries_pending
             .set(totals.remote_queries as i64);
+        if let Some(directory) = totals.directory {
+            self.directory_registrations.store(directory.registrations);
+            self.directory_deregistrations
+                .store(directory.deregistrations);
+            self.directory_lookups.store(directory.lookups);
+        }
+        if let Some(replica) = totals.replica {
+            self.directory_registrations.store(replica.registrations);
+            self.directory_deregistrations
+                .store(replica.deregistrations);
+            self.directory_lookups.store(replica.lookups);
+            self.gossip_applied.store(replica.records_applied);
+            self.gossip_stale.store(replica.records_stale);
+        }
+        self.ring_members.set(totals.ring_members as i64);
+        self.ring_ownership_permille
+            .set(totals.ring_ownership_permille as i64);
+        self.replica_records.set(totals.replica_records as i64);
     }
 }
 

@@ -1,0 +1,21 @@
+//! The distributed federation tier: the pieces that turn N independent GSN containers
+//! into one cooperating mesh (the paper's Section 4 peer-to-peer vision).
+//!
+//! * [`PlacementRing`] — a consistent-hash ring with virtual-node tokens that assigns
+//!   virtual sensors to containers and rebalances deterministically on join/leave.
+//! * [`ReplicatedDirectory`] — a per-container versioned replica of the sensor
+//!   directory, kept convergent by anti-entropy gossip (digest exchange + deltas with
+//!   per-entry Lamport clocks and deletion tombstones).  With it, discovery no longer
+//!   needs a central `Directory` service on the hot path: every node answers lookups
+//!   from its own replica.
+//!
+//! The wire messages these structures exchange ([`gsn_network::Message::GossipDigest`],
+//! [`gsn_network::Message::GossipDelta`], [`gsn_network::Message::RingAnnounce`]) live in
+//! `gsn-network`; the scatter-gather query coordinator that uses them lives in
+//! `gsn-core`.
+
+pub mod gossip;
+pub mod ring;
+
+pub use gossip::{ReplicaStats, ReplicatedDirectory};
+pub use ring::PlacementRing;

@@ -1,0 +1,327 @@
+//! Consistent-hash placement: which containers own a virtual sensor.
+//!
+//! Every member contributes `vnodes` tokens to a 64-bit hash ring; a key is owned by the
+//! first `replication` *distinct* members clockwise from the key's hash.  Virtual-node
+//! tokens smooth ownership (each member's share concentrates around `1/N`), and because
+//! tokens are pure hashes of `(member, index)`, any two nodes that agree on the member
+//! list and epoch agree on the entire ring — a [`RingAnnounce`] only needs to carry the
+//! member list, never the tokens.
+//!
+//! [`RingAnnounce`]: gsn_network::Message::RingAnnounce
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gsn_types::NodeId;
+
+/// Default virtual-node tokens per member.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// Default replication factor (distinct owners per key).
+pub const DEFAULT_REPLICATION: usize = 2;
+
+/// 64-bit FNV-1a with a splitmix64 finaliser.  Bare FNV-1a avalanches poorly on short
+/// inputs (all of a node's vnode tokens cluster in one region of the ring); the
+/// finaliser spreads them uniformly while keeping the hash stable and dependency-free.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash = (hash ^ (hash >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash = (hash ^ (hash >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// The consistent-hash ring of federation members.
+#[derive(Debug, Clone)]
+pub struct PlacementRing {
+    vnodes: usize,
+    replication: usize,
+    /// token -> owning member; ties on token hash resolve to the larger node id so
+    /// reconstruction is order-independent.
+    tokens: BTreeMap<u64, NodeId>,
+    members: BTreeSet<NodeId>,
+    epoch: u64,
+}
+
+impl Default for PlacementRing {
+    fn default() -> PlacementRing {
+        PlacementRing::new(DEFAULT_VNODES, DEFAULT_REPLICATION)
+    }
+}
+
+impl PlacementRing {
+    /// An empty ring.  `replication` is clamped to at least 1.
+    pub fn new(vnodes: usize, replication: usize) -> PlacementRing {
+        PlacementRing {
+            vnodes: vnodes.max(1),
+            replication: replication.max(1),
+            tokens: BTreeMap::new(),
+            members: BTreeSet::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The membership epoch (bumped by every local join/leave, adopted from announces).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current members, ordered.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.members.iter().copied().collect()
+    }
+
+    /// True when `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    fn member_tokens(&self, node: NodeId) -> impl Iterator<Item = u64> + '_ {
+        (0..self.vnodes).map(move |i| fnv1a64(format!("{}#{}", node.as_u64(), i).as_bytes()))
+    }
+
+    /// Adds a member and bumps the epoch.  Returns false (and leaves the epoch alone)
+    /// when the node is already present.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        if !self.members.insert(node) {
+            return false;
+        }
+        for token in (0..self.vnodes)
+            .map(|i| fnv1a64(format!("{}#{}", node.as_u64(), i).as_bytes()))
+            .collect::<Vec<_>>()
+        {
+            match self.tokens.get(&token) {
+                Some(existing) if *existing > node => {}
+                _ => {
+                    self.tokens.insert(token, node);
+                }
+            }
+        }
+        self.epoch += 1;
+        true
+    }
+
+    /// Removes a member and bumps the epoch.  Returns false when the node was absent.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if !self.members.remove(&node) {
+            return false;
+        }
+        // Token collisions between members are astronomically unlikely but handled:
+        // rebuild any token slot the departing node held from the surviving members.
+        let members: Vec<NodeId> = self.members.iter().copied().collect();
+        self.tokens.retain(|_, owner| *owner != node);
+        for other in members {
+            for token in (0..self.vnodes)
+                .map(|i| fnv1a64(format!("{}#{}", other.as_u64(), i).as_bytes()))
+                .collect::<Vec<_>>()
+            {
+                match self.tokens.get(&token) {
+                    Some(existing) if *existing >= other => {}
+                    _ => {
+                        self.tokens.insert(token, other);
+                    }
+                }
+            }
+        }
+        self.epoch += 1;
+        true
+    }
+
+    /// Adopts an announced membership view when its epoch is strictly newer.  The ring is
+    /// rebuilt deterministically from the member list, so every adopter converges to the
+    /// identical token layout.  Returns true when the view was installed.
+    pub fn install(&mut self, members: &[NodeId], epoch: u64) -> bool {
+        if epoch <= self.epoch {
+            return false;
+        }
+        self.members = members.iter().copied().collect();
+        self.tokens.clear();
+        for node in self.members.iter().copied().collect::<Vec<_>>() {
+            for token in self.member_tokens(node).collect::<Vec<_>>() {
+                match self.tokens.get(&token) {
+                    Some(existing) if *existing > node => {}
+                    _ => {
+                        self.tokens.insert(token, node);
+                    }
+                }
+            }
+        }
+        self.epoch = epoch;
+        true
+    }
+
+    /// The first `replication` distinct members clockwise from the key's hash, primary
+    /// first.  Empty when the ring has no members.
+    pub fn owners(&self, key: &str) -> Vec<NodeId> {
+        if self.members.is_empty() {
+            return Vec::new();
+        }
+        let want = self.replication.min(self.members.len());
+        let hash = fnv1a64(key.to_ascii_lowercase().as_bytes());
+        let mut owners: Vec<NodeId> = Vec::with_capacity(want);
+        for (_, owner) in self.tokens.range(hash..).chain(self.tokens.range(..hash)) {
+            if !owners.contains(owner) {
+                owners.push(*owner);
+                if owners.len() == want {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// The primary owner of a key.
+    pub fn primary(&self, key: &str) -> Option<NodeId> {
+        self.owners(key).into_iter().next()
+    }
+
+    /// The fraction of the 64-bit token space whose *primary* owner is `node`
+    /// (permille, 0..=1000) — the ring-balance gauge.
+    pub fn ownership_permille(&self, node: NodeId) -> u64 {
+        if self.tokens.is_empty() {
+            return 0;
+        }
+        let entries: Vec<(u64, NodeId)> = self.tokens.iter().map(|(t, n)| (*t, *n)).collect();
+        let mut owned: u128 = 0;
+        for (i, (token, _)) in entries.iter().enumerate() {
+            // The arc ending at `token` (exclusive of the previous token) belongs to this
+            // token's owner; the arc wrapping past the last token belongs to the first.
+            let owner = entries[i].1;
+            if owner != node {
+                continue;
+            }
+            let prev = if i == 0 {
+                entries[entries.len() - 1].0
+            } else {
+                entries[i - 1].0
+            };
+            owned += token.wrapping_sub(prev) as u128;
+        }
+        ((owned.saturating_mul(1000)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(ids: &[u64]) -> PlacementRing {
+        let mut ring = PlacementRing::new(64, 2);
+        for id in ids {
+            ring.join(NodeId::new(*id));
+        }
+        ring
+    }
+
+    #[test]
+    fn owners_are_deterministic_and_distinct() {
+        let a = ring_of(&[1, 2, 3, 4]);
+        let b = ring_of(&[4, 3, 2, 1]); // join order must not matter
+        for key in ["bc143-temp", "cam-0", "entrance-rfid", "lab-mote-3"] {
+            let owners = a.owners(key);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+            assert_eq!(owners, b.owners(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn install_reconstructs_identically() {
+        let grown = ring_of(&[1, 2, 3, 4, 5]);
+        let mut installed = PlacementRing::new(64, 2);
+        assert!(installed.install(&grown.members(), grown.epoch()));
+        for i in 0..200 {
+            let key = format!("sensor-{i}");
+            assert_eq!(grown.owners(&key), installed.owners(&key));
+        }
+        // Stale epochs are refused.
+        assert!(!installed.install(&[NodeId::new(9)], grown.epoch()));
+    }
+
+    #[test]
+    fn join_moves_a_bounded_fraction_of_keys() {
+        let before = ring_of(&[1, 2, 3, 4]);
+        let mut after = before.clone();
+        after.join(NodeId::new(5));
+        let total = 1000;
+        let moved = (0..total)
+            .filter(|i| {
+                let key = format!("sensor-{i}");
+                before.primary(&key) != after.primary(&key)
+            })
+            .count();
+        // Ideal movement is 1/5 of keys; virtual nodes keep it in the neighbourhood.
+        assert!(
+            moved > total / 20 && moved < total * 2 / 5,
+            "moved {moved}/{total}"
+        );
+        // Every moved key moved *to* the new node, never between old members.
+        for i in 0..total {
+            let key = format!("sensor-{i}");
+            if before.primary(&key) != after.primary(&key) {
+                assert_eq!(after.primary(&key), Some(NodeId::new(5)));
+            }
+        }
+    }
+
+    #[test]
+    fn leave_reassigns_only_the_departed_nodes_keys() {
+        let before = ring_of(&[1, 2, 3, 4]);
+        let mut after = before.clone();
+        after.leave(NodeId::new(3));
+        for i in 0..500 {
+            let key = format!("sensor-{i}");
+            if before.primary(&key) != Some(NodeId::new(3)) {
+                assert_eq!(before.primary(&key), after.primary(&key), "key {key}");
+            } else {
+                assert_ne!(after.primary(&key), Some(NodeId::new(3)));
+            }
+        }
+        assert!(!after.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn ownership_is_roughly_balanced() {
+        let ring = ring_of(&[1, 2, 3, 4]);
+        let mut total = 0;
+        for id in 1..=4 {
+            let share = ring.ownership_permille(NodeId::new(id));
+            assert!((100..500).contains(&share), "node {id} owns {share}‰");
+            total += share;
+        }
+        // Arc accounting covers the whole circle (rounding loses at most a few ‰).
+        assert!((995..=1000).contains(&total), "total {total}‰");
+    }
+
+    #[test]
+    fn empty_and_single_member_edge_cases() {
+        let mut ring = PlacementRing::new(16, 3);
+        assert!(ring.owners("x").is_empty());
+        assert_eq!(ring.primary("x"), None);
+        ring.join(NodeId::new(7));
+        assert_eq!(ring.owners("x"), vec![NodeId::new(7)]);
+        assert_eq!(ring.ownership_permille(NodeId::new(7)), 1000);
+        assert!(!ring.join(NodeId::new(7)));
+        assert_eq!(ring.epoch(), 1);
+        assert!(ring.leave(NodeId::new(7)));
+        assert!(!ring.leave(NodeId::new(7)));
+        assert!(ring.is_empty());
+    }
+}

@@ -22,5 +22,5 @@ pub mod simnet;
 pub use access::{AccessController, DefaultPolicy, Operation, Principal};
 pub use directory::{Directory, DirectoryEntry, DirectoryStats};
 pub use integrity::{IntegrityScope, IntegrityService, Signature, SigningKey};
-pub use message::{decode, encode, Message, RequestId, WireElement};
+pub use message::{decode, encode, Message, ReplicaRecord, RequestId, WireElement};
 pub use simnet::{Envelope, LinkSpec, NetworkStats, SimulatedNetwork};

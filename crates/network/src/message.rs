@@ -103,6 +103,11 @@ pub enum Message {
         sql: String,
         /// How many rows the server should ship per batch.
         batch_rows: u32,
+        /// When true the server pipelines: it speculatively pushes a window of batches
+        /// ahead of the client's acknowledgements ([`Message::QueryNext`] becomes a
+        /// cumulative ack), hiding one link RTT per batch.  When false the wire stays
+        /// strictly pull-based (one batch per `QueryNext`).
+        prefetch: bool,
     },
     /// Pull the next batch of an open remote cursor (the wire stays pull-based: the
     /// server only reads further storage pages when the client asks).
@@ -155,6 +160,76 @@ pub enum Message {
         /// The full registry snapshot at scrape time.
         snapshot: MetricsSnapshot,
     },
+    /// Anti-entropy round opener: a compact summary of the sender's directory replica
+    /// (per-origin max version).  The receiver answers with a [`Message::GossipDelta`]
+    /// carrying every record the digest proves the sender has not seen.
+    GossipDigest {
+        /// The gossiping node (replies go here).
+        from: NodeId,
+        /// `(origin, max version)` pairs — one per origin the sender knows about.
+        digest: Vec<(NodeId, u64)>,
+    },
+    /// Anti-entropy payload: directory records newer than the peer's digest.  When
+    /// `digest` is non-empty the sender also wants the records *it* is missing (push–pull);
+    /// an empty digest terminates the exchange.
+    GossipDelta {
+        /// The sending node.
+        from: NodeId,
+        /// Records the receiver has not seen (by the digest it sent).
+        records: Vec<ReplicaRecord>,
+        /// The sender's own digest when it wants a return delta; empty to end the round.
+        digest: Vec<(NodeId, u64)>,
+    },
+    /// Placement-ring membership broadcast.  Receivers rebuild the ring deterministically
+    /// from the member list; a strictly higher epoch replaces the local view.
+    RingAnnounce {
+        /// The announcing node.
+        from: NodeId,
+        /// Monotonic membership epoch (bumped by the node initiating a join/leave).
+        epoch: u64,
+        /// The full member list at this epoch.
+        members: Vec<NodeId>,
+    },
+    /// Scatter-gather fan-out: run a container-local partial-aggregate query and reply
+    /// with the partial rows.  The SQL is the coordinator's rewritten partial shape
+    /// (AVG split into SUM+COUNT, group keys first), executed against local storage.
+    PartialAggregateRequest {
+        /// Correlation id.
+        request: RequestId,
+        /// The partial-aggregate SQL to execute locally.
+        sql: String,
+    },
+    /// The partial rows answering a [`Message::PartialAggregateRequest`].
+    PartialAggregateReply {
+        /// Correlation id of the request.
+        request: RequestId,
+        /// Partial result column names.
+        columns: Vec<String>,
+        /// Partial result rows (group keys first, then accumulator columns).
+        rows: Vec<Vec<Value>>,
+        /// Non-empty when the partial execution failed (rows are empty).
+        error: String,
+    },
+}
+
+/// One versioned entry of the gossip-replicated sensor directory.  The `(version,
+/// origin)` pair is a Lamport timestamp: higher version wins, ties break on the larger
+/// origin id, so every replica resolves concurrent updates identically.  Deletions are
+/// tombstones (`deleted = true`) so they propagate like any other update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaRecord {
+    /// The container hosting the virtual sensor.
+    pub node: NodeId,
+    /// The virtual sensor name (stored lowercased).
+    pub sensor: String,
+    /// Discovery metadata (key–value predicates).
+    pub metadata: Vec<(String, String)>,
+    /// Lamport version assigned by `origin` when this update was made.
+    pub version: u64,
+    /// The node that made this update.
+    pub origin: NodeId,
+    /// True when this record is a deletion tombstone.
+    pub deleted: bool,
 }
 
 impl Message {
@@ -176,6 +251,11 @@ impl Message {
             Message::QueryBatch { .. } => "query-batch",
             Message::MetricsRequest { .. } => "metrics-request",
             Message::MetricsSnapshot { .. } => "metrics-snapshot",
+            Message::GossipDigest { .. } => "gossip-digest",
+            Message::GossipDelta { .. } => "gossip-delta",
+            Message::RingAnnounce { .. } => "ring-announce",
+            Message::PartialAggregateRequest { .. } => "partial-aggregate-request",
+            Message::PartialAggregateReply { .. } => "partial-aggregate-reply",
         }
     }
 }
@@ -245,6 +325,11 @@ const TAG_QUERY_NEXT: u8 = 12;
 const TAG_QUERY_BATCH: u8 = 13;
 const TAG_METRICS_REQUEST: u8 = 14;
 const TAG_METRICS_SNAPSHOT: u8 = 15;
+const TAG_GOSSIP_DIGEST: u8 = 16;
+const TAG_GOSSIP_DELTA: u8 = 17;
+const TAG_RING_ANNOUNCE: u8 = 18;
+const TAG_PARTIAL_AGG_REQUEST: u8 = 19;
+const TAG_PARTIAL_AGG_REPLY: u8 = 20;
 
 const SAMPLE_COUNTER: u8 = 0;
 const SAMPLE_GAUGE: u8 = 1;
@@ -336,11 +421,13 @@ pub fn encode(message: &Message) -> Bytes {
             request,
             sql,
             batch_rows,
+            prefetch,
         } => {
             buf.put_u8(TAG_QUERY_REQUEST);
             buf.put_u64(*request);
             put_string(&mut buf, sql);
             buf.put_u32(*batch_rows);
+            buf.put_u8(u8::from(*prefetch));
         }
         Message::QueryNext {
             request,
@@ -422,6 +509,63 @@ pub fn encode(message: &Message) -> Bytes {
                 }
             }
         }
+        Message::GossipDigest { from, digest } => {
+            buf.put_u8(TAG_GOSSIP_DIGEST);
+            buf.put_u64(from.as_u64());
+            put_digest(&mut buf, digest);
+        }
+        Message::GossipDelta {
+            from,
+            records,
+            digest,
+        } => {
+            buf.put_u8(TAG_GOSSIP_DELTA);
+            buf.put_u64(from.as_u64());
+            buf.put_u32(records.len() as u32);
+            for record in records {
+                put_replica_record(&mut buf, record);
+            }
+            put_digest(&mut buf, digest);
+        }
+        Message::RingAnnounce {
+            from,
+            epoch,
+            members,
+        } => {
+            buf.put_u8(TAG_RING_ANNOUNCE);
+            buf.put_u64(from.as_u64());
+            buf.put_u64(*epoch);
+            buf.put_u32(members.len() as u32);
+            for member in members {
+                buf.put_u64(member.as_u64());
+            }
+        }
+        Message::PartialAggregateRequest { request, sql } => {
+            buf.put_u8(TAG_PARTIAL_AGG_REQUEST);
+            buf.put_u64(*request);
+            put_string(&mut buf, sql);
+        }
+        Message::PartialAggregateReply {
+            request,
+            columns,
+            rows,
+            error,
+        } => {
+            buf.put_u8(TAG_PARTIAL_AGG_REPLY);
+            buf.put_u64(*request);
+            buf.put_u32(columns.len() as u32);
+            for column in columns {
+                put_string(&mut buf, column);
+            }
+            buf.put_u32(rows.len() as u32);
+            for row in rows {
+                buf.put_u32(row.len() as u32);
+                for value in row {
+                    put_value(&mut buf, value);
+                }
+            }
+            put_string(&mut buf, error);
+        }
     }
     buf.freeze()
 }
@@ -486,6 +630,7 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
             request: get_u64(&mut buf)?,
             sql: get_string(&mut buf)?,
             batch_rows: get_u32(&mut buf)?,
+            prefetch: get_u8(&mut buf)? != 0,
         },
         TAG_QUERY_NEXT => Message::QueryNext {
             request: get_u64(&mut buf)?,
@@ -565,6 +710,65 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
                 snapshot: MetricsSnapshot { metrics },
             }
         }
+        TAG_GOSSIP_DIGEST => Message::GossipDigest {
+            from: NodeId::new(get_u64(&mut buf)?),
+            digest: get_digest(&mut buf)?,
+        },
+        TAG_GOSSIP_DELTA => {
+            let from = NodeId::new(get_u64(&mut buf)?);
+            let n = get_u32(&mut buf)? as usize;
+            let mut records = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                records.push(get_replica_record(&mut buf)?);
+            }
+            Message::GossipDelta {
+                from,
+                records,
+                digest: get_digest(&mut buf)?,
+            }
+        }
+        TAG_RING_ANNOUNCE => {
+            let from = NodeId::new(get_u64(&mut buf)?);
+            let epoch = get_u64(&mut buf)?;
+            let n = get_u32(&mut buf)? as usize;
+            let mut members = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                members.push(NodeId::new(get_u64(&mut buf)?));
+            }
+            Message::RingAnnounce {
+                from,
+                epoch,
+                members,
+            }
+        }
+        TAG_PARTIAL_AGG_REQUEST => Message::PartialAggregateRequest {
+            request: get_u64(&mut buf)?,
+            sql: get_string(&mut buf)?,
+        },
+        TAG_PARTIAL_AGG_REPLY => {
+            let request = get_u64(&mut buf)?;
+            let n_columns = get_u32(&mut buf)? as usize;
+            let mut columns = Vec::with_capacity(n_columns.min(1024));
+            for _ in 0..n_columns {
+                columns.push(get_string(&mut buf)?);
+            }
+            let n_rows = get_u32(&mut buf)? as usize;
+            let mut rows = Vec::with_capacity(n_rows.min(1024));
+            for _ in 0..n_rows {
+                let width = get_u32(&mut buf)? as usize;
+                let mut row = Vec::with_capacity(width.min(1024));
+                for _ in 0..width {
+                    row.push(get_value(&mut buf)?);
+                }
+                rows.push(row);
+            }
+            Message::PartialAggregateReply {
+                request,
+                columns,
+                rows,
+                error: get_string(&mut buf)?,
+            }
+        }
         other => return Err(err(&format!("unknown tag {other}"))),
     };
     if !buf.is_empty() {
@@ -635,6 +839,45 @@ fn put_element(buf: &mut BytesMut, element: &WireElement) {
         }
         None => buf.put_u8(0),
     }
+}
+
+fn put_digest(buf: &mut BytesMut, digest: &[(NodeId, u64)]) {
+    buf.put_u32(digest.len() as u32);
+    for (origin, version) in digest {
+        buf.put_u64(origin.as_u64());
+        buf.put_u64(*version);
+    }
+}
+
+fn put_replica_record(buf: &mut BytesMut, record: &ReplicaRecord) {
+    buf.put_u64(record.node.as_u64());
+    put_string(buf, &record.sensor);
+    put_pairs(buf, &record.metadata);
+    buf.put_u64(record.version);
+    buf.put_u64(record.origin.as_u64());
+    buf.put_u8(u8::from(record.deleted));
+}
+
+fn get_digest(buf: &mut &[u8]) -> GsnResult<Vec<(NodeId, u64)>> {
+    let n = get_u32(buf)? as usize;
+    let mut digest = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let origin = NodeId::new(get_u64(buf)?);
+        let version = get_u64(buf)?;
+        digest.push((origin, version));
+    }
+    Ok(digest)
+}
+
+fn get_replica_record(buf: &mut &[u8]) -> GsnResult<ReplicaRecord> {
+    Ok(ReplicaRecord {
+        node: NodeId::new(get_u64(buf)?),
+        sensor: get_string(buf)?,
+        metadata: get_pairs(buf)?,
+        version: get_u64(buf)?,
+        origin: NodeId::new(get_u64(buf)?),
+        deleted: get_u8(buf)? != 0,
+    })
 }
 
 fn get_u8(buf: &mut &[u8]) -> GsnResult<u8> {
@@ -829,6 +1072,13 @@ mod tests {
             request: 42,
             sql: "select * from motes limit 10".into(),
             batch_rows: 128,
+            prefetch: false,
+        });
+        roundtrip(Message::QueryRequest {
+            request: 44,
+            sql: "select * from motes".into(),
+            batch_rows: 64,
+            prefetch: true,
         });
         roundtrip(Message::QueryNext {
             request: 42,
@@ -908,6 +1158,62 @@ mod tests {
             request: 10,
             node: NodeId::new(3),
             snapshot: MetricsSnapshot::default(),
+        });
+        roundtrip(Message::GossipDigest {
+            from: NodeId::new(5),
+            digest: vec![(NodeId::new(1), 17), (NodeId::new(2), 0)],
+        });
+        roundtrip(Message::GossipDigest {
+            from: NodeId::new(5),
+            digest: Vec::new(),
+        });
+        roundtrip(Message::GossipDelta {
+            from: NodeId::new(2),
+            records: vec![
+                ReplicaRecord {
+                    node: NodeId::new(2),
+                    sensor: "room-temp".into(),
+                    metadata: vec![("type".into(), "temperature".into())],
+                    version: 9,
+                    origin: NodeId::new(2),
+                    deleted: false,
+                },
+                ReplicaRecord {
+                    node: NodeId::new(3),
+                    sensor: "cam-0".into(),
+                    metadata: Vec::new(),
+                    version: 12,
+                    origin: NodeId::new(1),
+                    deleted: true,
+                },
+            ],
+            digest: vec![(NodeId::new(2), 9)],
+        });
+        roundtrip(Message::GossipDelta {
+            from: NodeId::new(2),
+            records: Vec::new(),
+            digest: Vec::new(),
+        });
+        roundtrip(Message::RingAnnounce {
+            from: NodeId::new(1),
+            epoch: 4,
+            members: vec![NodeId::new(1), NodeId::new(2), NodeId::new(7)],
+        });
+        roundtrip(Message::PartialAggregateRequest {
+            request: 81,
+            sql: "select count(*) as a0_count, sum(temperature) as a0_sum from motes".into(),
+        });
+        roundtrip(Message::PartialAggregateReply {
+            request: 81,
+            columns: vec!["a0_count".into(), "a0_sum".into()],
+            rows: vec![vec![Value::Integer(10), Value::Double(215.5)]],
+            error: String::new(),
+        });
+        roundtrip(Message::PartialAggregateReply {
+            request: 82,
+            columns: Vec::new(),
+            rows: Vec::new(),
+            error: "unknown table `nosuch`".into(),
         });
     }
 

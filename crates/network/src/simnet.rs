@@ -120,6 +120,10 @@ struct NetworkInner {
     /// without threading an RNG through every send call.
     loss_counter: u64,
     partitions: Vec<(NodeId, NodeId)>,
+    /// Messages accepted for delivery, by [`Message::kind`].  Lets tests assert which
+    /// frame kinds a protocol exchange put on the wire (e.g. that a decomposed federated
+    /// aggregate ships no row-bearing `query-batch` frames).
+    kind_sent: HashMap<&'static str, u64>,
 }
 
 impl SimulatedNetwork {
@@ -209,6 +213,7 @@ impl SimulatedNetwork {
 
         inner.stats.sent += 1;
         inner.stats.bytes_sent += wire_size as u64;
+        *inner.kind_sent.entry(message.kind()).or_default() += 1;
         {
             let link = inner.link_stats.entry((from, to)).or_default();
             link.sent += 1;
@@ -288,6 +293,20 @@ impl SimulatedNetwork {
     /// Delivery statistics.
     pub fn stats(&self) -> NetworkStats {
         self.inner.lock().stats
+    }
+
+    /// Messages accepted for delivery whose [`Message::kind`] equals `kind`.
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.inner.lock().kind_sent.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All per-kind send counters, sorted by kind name.
+    pub fn kind_stats(&self) -> Vec<(&'static str, u64)> {
+        let inner = self.inner.lock();
+        let mut kinds: Vec<(&'static str, u64)> =
+            inner.kind_sent.iter().map(|(k, v)| (*k, *v)).collect();
+        kinds.sort_by_key(|(k, _)| *k);
+        kinds
     }
 
     /// Per-directed-link delivery statistics, sorted by `(from, to)`.
@@ -428,6 +447,22 @@ mod tests {
         // b's message arrives at 50, a's at 100.
         assert!(matches!(got[0].message, Message::Ping { request: 2 }));
         assert!(matches!(got[1].message, Message::Ping { request: 1 }));
+    }
+
+    #[test]
+    fn per_kind_counters_track_sends() {
+        let net = SimulatedNetwork::new();
+        let (a, b) = (NodeId::new(1), NodeId::new(2));
+        net.add_node(a).unwrap();
+        net.add_node(b).unwrap();
+        net.send(a, b, ping(1), Timestamp(0)).unwrap();
+        net.send(a, b, ping(2), Timestamp(0)).unwrap();
+        net.send(b, a, Message::Pong { request: 1 }, Timestamp(0))
+            .unwrap();
+        assert_eq!(net.sent_of_kind("ping"), 2);
+        assert_eq!(net.sent_of_kind("pong"), 1);
+        assert_eq!(net.sent_of_kind("query-batch"), 0);
+        assert_eq!(net.kind_stats(), vec![("ping", 2), ("pong", 1)]);
     }
 
     #[test]

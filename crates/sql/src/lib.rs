@@ -51,6 +51,7 @@ pub mod exec;
 pub mod functions;
 pub mod optimizer;
 pub mod parser;
+pub mod partial;
 pub mod plan;
 pub mod relation;
 pub mod telemetry;
@@ -64,6 +65,7 @@ pub use engine::{EngineStats, PreparedQuery, SqlEngine};
 pub use exec::{execute_plan, execute_query, open_plan, Catalog, MemoryCatalog, PlanSource};
 pub use optimizer::OptimizerConfig;
 pub use parser::{parse_expression, parse_query};
+pub use partial::{decompose, merge_partials, MergeColumn, PartialAggregatePlan};
 pub use plan::{plan_query, LogicalPlan};
 pub use relation::{ColumnInfo, Relation};
 pub use telemetry::SqlTelemetry;

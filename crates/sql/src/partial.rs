@@ -1,0 +1,588 @@
+//! Partial-aggregate decomposition for scatter-gather distributed queries.
+//!
+//! A federated coordinator cannot ship every row to one place just to compute
+//! `select avg(temperature) from motes` — the classic distributed-aggregation trick is
+//! to push a *partial* aggregate to each container and merge the partials:
+//!
+//! * `COUNT` partials merge by summation,
+//! * `SUM` partials merge by summation,
+//! * `MIN`/`MAX` partials merge by comparison,
+//! * `AVG` decomposes into `SUM` + `COUNT` partials and re-divides at the coordinator,
+//! * `GROUP BY` keys travel with every partial row and align groups across containers.
+//!
+//! [`decompose`] inspects a query's AST and either produces a [`PartialAggregatePlan`]
+//! (the rewritten per-container SQL plus a merge recipe) or `None` when the shape is not
+//! decomposable — DISTINCT aggregates, HAVING, joins, subqueries, ORDER BY/LIMIT,
+//! STDDEV-family aggregates — in which case the coordinator falls back to shipping rows.
+
+use gsn_types::{GsnError, GsnResult, Value};
+
+use crate::ast::{Expr, SelectItem, TableFactor};
+use crate::parser::parse_query;
+
+/// How one output column of the original query is reassembled from partial columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeColumn {
+    /// A group key: copy partial column `i` through.
+    Group(usize),
+    /// Sum partial column `i` (integer-preserving).
+    CountSum(usize),
+    /// Sum partial column `i` (integer-preserving, NULL when every partial is NULL).
+    Sum(usize),
+    /// Keep the minimum of partial column `i`.
+    Min(usize),
+    /// Keep the maximum of partial column `i`.
+    Max(usize),
+    /// Divide the summed partial `sum` column by the summed partial `count` column.
+    Avg {
+        /// Partial column holding the per-container SUM.
+        sum: usize,
+        /// Partial column holding the per-container COUNT.
+        count: usize,
+    },
+}
+
+/// A decomposed aggregate query: the SQL every container runs locally plus the recipe
+/// that merges the partial rows back into the original query's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAggregatePlan {
+    /// The single table the query reads.
+    pub table: String,
+    /// The rewritten SQL each container executes against its local storage.
+    pub partial_sql: String,
+    /// Output column names of the *original* query (planner naming rules).
+    pub columns: Vec<String>,
+    /// One merge instruction per output column.
+    pub merge: Vec<MergeColumn>,
+    /// Leading columns of the partial result that are group keys.
+    pub group_cols: usize,
+}
+
+/// Decomposes `sql` into per-container partials, or returns `Ok(None)` when the query
+/// shape is not decomposable and the coordinator must ship rows instead.
+pub fn decompose(sql: &str) -> GsnResult<Option<PartialAggregatePlan>> {
+    let query = parse_query(sql)?;
+    if !query.set_ops.is_empty()
+        || !query.order_by.is_empty()
+        || query.limit.is_some()
+        || query.offset.is_some()
+    {
+        return Ok(None);
+    }
+    let body = &query.body;
+    if body.distinct || body.having.is_some() || body.from.len() != 1 {
+        return Ok(None);
+    }
+    let from = &body.from[0];
+    if !from.joins.is_empty() {
+        return Ok(None);
+    }
+    let TableFactor::Table { name: table, alias } = &from.relation else {
+        return Ok(None);
+    };
+    if alias.is_some() {
+        // Aliases would have to be rewritten through every expression; not worth it.
+        return Ok(None);
+    }
+    if let Some(selection) = &body.selection {
+        if selection.contains_subquery() || selection.contains_aggregate() {
+            return Ok(None);
+        }
+    }
+    for expr in &body.group_by {
+        if expr.contains_subquery() || expr.contains_aggregate() {
+            return Ok(None);
+        }
+    }
+
+    // Classify every projected item: a group-by expression or a plain aggregate call.
+    enum Item {
+        Group(usize),
+        Agg(AggCall),
+    }
+    struct AggCall {
+        kind: AggKind,
+        arg_sql: String, // "*" for COUNT(*)
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum AggKind {
+        Count,
+        Sum,
+        Avg,
+        Min,
+        Max,
+    }
+
+    let group_sql: Vec<String> = body.group_by.iter().map(|e| e.to_string()).collect();
+    let mut items: Vec<(Item, String)> = Vec::new(); // (classification, output name)
+    let mut saw_aggregate = false;
+    for (i, item) in body.projection.iter().enumerate() {
+        let SelectItem::Expr { expr, alias } = item else {
+            return Ok(None); // wildcards cannot appear in an aggregate query
+        };
+        let name = match alias {
+            Some(a) => a.to_ascii_uppercase(),
+            None => default_output_name(expr, i),
+        };
+        match expr {
+            Expr::Function {
+                name: func,
+                distinct,
+                args,
+            } if crate::aggregate::is_aggregate_function(func) => {
+                if *distinct {
+                    return Ok(None);
+                }
+                let kind = match func.to_ascii_uppercase().as_str() {
+                    "COUNT" => AggKind::Count,
+                    "SUM" => AggKind::Sum,
+                    "AVG" => AggKind::Avg,
+                    "MIN" => AggKind::Min,
+                    "MAX" => AggKind::Max,
+                    _ => return Ok(None), // STDDEV / VARIANCE / FIRST / LAST don't merge
+                };
+                let arg_sql = match args.len() {
+                    0 => "*".to_owned(),
+                    1 => {
+                        let arg = &args[0];
+                        if arg.contains_subquery() || arg.contains_aggregate() {
+                            return Ok(None);
+                        }
+                        arg.to_string()
+                    }
+                    _ => return Ok(None),
+                };
+                saw_aggregate = true;
+                items.push((Item::Agg(AggCall { kind, arg_sql }), name));
+            }
+            _ => {
+                if expr.contains_aggregate() || expr.contains_subquery() {
+                    // sum(x)+1 and friends: correct merging would need expression
+                    // re-evaluation over merged accumulators; fall back.
+                    return Ok(None);
+                }
+                let rendered = expr.to_string();
+                let Some(idx) = group_sql
+                    .iter()
+                    .position(|g| g.eq_ignore_ascii_case(&rendered))
+                else {
+                    return Ok(None);
+                };
+                items.push((Item::Group(idx), name));
+            }
+        }
+    }
+    if !saw_aggregate {
+        return Ok(None);
+    }
+
+    // Partial projection: every group-by key first (aligned with `group_sql` order),
+    // then the accumulator columns.
+    let group_cols = group_sql.len();
+    let mut partial_cols: Vec<String> = group_sql
+        .iter()
+        .enumerate()
+        .map(|(i, g)| format!("{g} as g{i}"))
+        .collect();
+    let mut merge = Vec::with_capacity(items.len());
+    let mut columns = Vec::with_capacity(items.len());
+    for (item, name) in items {
+        match item {
+            Item::Group(idx) => merge.push(MergeColumn::Group(idx)),
+            Item::Agg(call) => {
+                let slot = partial_cols.len();
+                match call.kind {
+                    AggKind::Count => {
+                        partial_cols.push(format!("count({}) as a{slot}", call.arg_sql));
+                        merge.push(MergeColumn::CountSum(slot));
+                    }
+                    AggKind::Sum => {
+                        partial_cols.push(format!("sum({}) as a{slot}", call.arg_sql));
+                        merge.push(MergeColumn::Sum(slot));
+                    }
+                    AggKind::Min => {
+                        partial_cols.push(format!("min({}) as a{slot}", call.arg_sql));
+                        merge.push(MergeColumn::Min(slot));
+                    }
+                    AggKind::Max => {
+                        partial_cols.push(format!("max({}) as a{slot}", call.arg_sql));
+                        merge.push(MergeColumn::Max(slot));
+                    }
+                    AggKind::Avg => {
+                        partial_cols.push(format!("sum({}) as a{slot}", call.arg_sql));
+                        partial_cols.push(format!("count({}) as a{}", call.arg_sql, slot + 1));
+                        merge.push(MergeColumn::Avg {
+                            sum: slot,
+                            count: slot + 1,
+                        });
+                    }
+                }
+            }
+        }
+        columns.push(name);
+    }
+
+    let mut partial_sql = format!("select {} from {}", partial_cols.join(", "), table);
+    if let Some(selection) = &body.selection {
+        partial_sql.push_str(&format!(" where {selection}"));
+    }
+    if !group_sql.is_empty() {
+        partial_sql.push_str(&format!(" group by {}", group_sql.join(", ")));
+    }
+
+    Ok(Some(PartialAggregatePlan {
+        table: table.clone(),
+        partial_sql,
+        columns,
+        merge,
+        group_cols,
+    }))
+}
+
+/// Mirrors the planner's output-name derivation (`plan::default_output_name`).
+fn default_output_name(expr: &Expr, index: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.to_ascii_uppercase(),
+        Expr::Function { name, .. } => name.to_ascii_uppercase(),
+        _ => format!("EXPR_{}", index + 1),
+    }
+}
+
+/// The width every partial row must have for `plan`.
+fn partial_width(plan: &PartialAggregatePlan) -> usize {
+    let mut width = plan.group_cols;
+    for m in &plan.merge {
+        width = width.max(match *m {
+            MergeColumn::Group(_) => 0,
+            MergeColumn::CountSum(i)
+            | MergeColumn::Sum(i)
+            | MergeColumn::Min(i)
+            | MergeColumn::Max(i) => i + 1,
+            MergeColumn::Avg { count, .. } => count + 1,
+        });
+    }
+    width
+}
+
+/// Merges per-container partial rows into the original query's result rows.
+///
+/// Each element of `partials` is one container's partial result (rows in the
+/// `partial_sql` column layout).  Returns `(columns, rows)` in the original query's
+/// projection, grouped and ordered by the group keys.
+pub fn merge_partials(
+    plan: &PartialAggregatePlan,
+    partials: &[Vec<Vec<Value>>],
+) -> GsnResult<(Vec<String>, Vec<Vec<Value>>)> {
+    let width = partial_width(plan);
+    // Accumulate per distinct group key, preserving the partial-column layout.
+    let mut groups: Vec<Vec<Value>> = Vec::new();
+    for partial in partials {
+        for row in partial {
+            if row.len() < width {
+                return Err(GsnError::internal(format!(
+                    "partial row has {} columns, expected at least {width}",
+                    row.len()
+                )));
+            }
+            let key = &row[..plan.group_cols];
+            match groups.iter_mut().find(|g| &g[..plan.group_cols] == key) {
+                None => groups.push(row.clone()),
+                Some(acc) => {
+                    for m in &plan.merge {
+                        match *m {
+                            MergeColumn::Group(_) => {}
+                            MergeColumn::CountSum(i) | MergeColumn::Sum(i) => {
+                                acc[i] = add_values(&acc[i], &row[i])
+                            }
+                            MergeColumn::Min(i) => acc[i] = pick(&acc[i], &row[i], true),
+                            MergeColumn::Max(i) => acc[i] = pick(&acc[i], &row[i], false),
+                            MergeColumn::Avg { sum, count } => {
+                                acc[sum] = add_values(&acc[sum], &row[sum]);
+                                acc[count] = add_values(&acc[count], &row[count]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // A global aggregate (no GROUP BY) always yields exactly one row, even over zero
+    // partial rows: the aggregate identities.
+    if plan.group_cols == 0 && groups.is_empty() {
+        let mut identity = vec![Value::Null; width];
+        for m in &plan.merge {
+            if let MergeColumn::CountSum(i) = *m {
+                identity[i] = Value::Integer(0);
+            }
+            if let MergeColumn::Avg { count, .. } = *m {
+                identity[count] = Value::Integer(0);
+            }
+        }
+        groups.push(identity);
+    }
+    groups.sort_by(|a, b| {
+        a[..plan.group_cols]
+            .iter()
+            .zip(b[..plan.group_cols].iter())
+            .map(|(x, y)| cmp_values(x, y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let rows = groups
+        .into_iter()
+        .map(|acc| {
+            plan.merge
+                .iter()
+                .map(|m| match *m {
+                    MergeColumn::Group(i) => acc[i].clone(),
+                    MergeColumn::CountSum(i)
+                    | MergeColumn::Sum(i)
+                    | MergeColumn::Min(i)
+                    | MergeColumn::Max(i) => acc[i].clone(),
+                    MergeColumn::Avg { sum, count } => divide(&acc[sum], &acc[count]),
+                })
+                .collect()
+        })
+        .collect();
+    Ok((plan.columns.clone(), rows))
+}
+
+/// NULL-skipping, integer-preserving addition (the SUM merge rule).
+fn add_values(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Null, other) | (other, Value::Null) => other.clone(),
+        (Value::Integer(x), Value::Integer(y)) => Value::Integer(x.wrapping_add(*y)),
+        (x, y) => match (numeric(x), numeric(y)) {
+            (Some(x), Some(y)) => Value::Double(x + y),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// NULL-skipping comparison keep (the MIN/MAX merge rule).
+fn pick(a: &Value, b: &Value, smaller: bool) -> Value {
+    match (a, b) {
+        (Value::Null, other) | (other, Value::Null) => other.clone(),
+        (x, y) => {
+            let keep_a = match cmp_values(x, y) {
+                std::cmp::Ordering::Less => smaller,
+                std::cmp::Ordering::Greater => !smaller,
+                std::cmp::Ordering::Equal => true,
+            };
+            if keep_a {
+                x.clone()
+            } else {
+                y.clone()
+            }
+        }
+    }
+}
+
+/// The AVG re-division: summed SUM over summed COUNT, as a double.
+fn divide(sum: &Value, count: &Value) -> Value {
+    match (numeric(sum), numeric(count)) {
+        (Some(s), Some(c)) if c > 0.0 => Value::Double(s / c),
+        _ => Value::Null,
+    }
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Integer(i) => Some(*i as f64),
+        Value::Double(d) => Some(*d),
+        Value::Boolean(b) => Some(f64::from(u8::from(*b))),
+        Value::Timestamp(t) => Some(t.as_millis() as f64),
+        _ => None,
+    }
+}
+
+/// A total order over values for group alignment and deterministic output ordering.
+fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Null, _) => Ordering::Less,
+        (_, Value::Null) => Ordering::Greater,
+        (Value::Varchar(x), Value::Varchar(y)) => x.cmp(y),
+        (Value::Binary(x), Value::Binary(y)) => x.cmp(y),
+        (x, y) => match (numeric(x), numeric(y)) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            _ => format!("{x:?}").cmp(&format!("{y:?}")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_query, MemoryCatalog};
+    use crate::relation::{ColumnInfo, Relation};
+    use gsn_types::DataType;
+
+    fn run(catalog: &MemoryCatalog, sql: &str) -> Relation {
+        execute_query(&parse_query(sql).unwrap(), catalog).unwrap()
+    }
+
+    fn motes(rows: &[(i64, f64, &str)]) -> Relation {
+        Relation::with_rows(
+            vec![
+                ColumnInfo::new(None, "pk", Some(DataType::Integer)),
+                ColumnInfo::new(None, "temperature", Some(DataType::Double)),
+                ColumnInfo::new(None, "room", Some(DataType::Varchar)),
+            ],
+            rows.iter()
+                .map(|(pk, t, r)| vec![Value::Integer(*pk), Value::Double(*t), Value::varchar(*r)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Runs `sql` through decompose → per-shard partial execution → merge, and checks
+    /// the result matches running the original SQL over the union of all shards.
+    fn assert_partials_match(sql: &str, shards: &[Relation]) {
+        let plan = decompose(sql).unwrap().expect("decomposable");
+        let mut partials = Vec::new();
+        for shard in shards {
+            let mut catalog = MemoryCatalog::new();
+            catalog.register("motes", shard.clone());
+            let partial = run(&catalog, &plan.partial_sql);
+            partials.push(partial.rows().to_vec());
+        }
+        let (columns, mut rows) = merge_partials(&plan, &partials).unwrap();
+
+        // Reference: the original SQL over all rows in one place.
+        let mut union = shards[0].clone();
+        for shard in &shards[1..] {
+            for row in shard.rows() {
+                union.push_row(row.clone()).unwrap();
+            }
+        }
+        let mut catalog = MemoryCatalog::new();
+        catalog.register("motes", union);
+        let expected = run(&catalog, sql);
+        assert_eq!(
+            columns,
+            expected
+                .columns()
+                .iter()
+                .map(|c| c.name.to_ascii_uppercase())
+                .collect::<Vec<_>>()
+        );
+        let mut expected_rows = expected.rows().to_vec();
+        let group_cols = plan.group_cols.min(plan.merge.len());
+        let sort = |rows: &mut Vec<Vec<Value>>| {
+            rows.sort_by(|a, b| {
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| cmp_values(x, y))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        };
+        sort(&mut rows);
+        sort(&mut expected_rows);
+        let _ = group_cols;
+        assert_eq!(rows.len(), expected_rows.len(), "row count for {sql}");
+        for (got, want) in rows.iter().zip(expected_rows.iter()) {
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                match (numeric(g), numeric(w)) {
+                    (Some(x), Some(y)) => {
+                        assert!((x - y).abs() < 1e-9, "{sql}: {g:?} != {w:?}")
+                    }
+                    _ => assert_eq!(g, w, "{sql}"),
+                }
+            }
+        }
+    }
+
+    fn shards() -> Vec<Relation> {
+        vec![
+            motes(&[(1, 20.5, "bc143"), (2, 22.0, "bc143"), (3, 18.0, "bc144")]),
+            motes(&[(4, 25.0, "bc144"), (5, 19.5, "bc143")]),
+            motes(&[]),
+            motes(&[(6, 30.0, "bc145")]),
+        ]
+    }
+
+    #[test]
+    fn global_aggregates_merge_exactly() {
+        for sql in [
+            "select count(*) from motes",
+            "select count(*) as n, sum(temperature) as total from motes",
+            "select avg(temperature) from motes",
+            "select min(temperature), max(temperature) from motes",
+            "select count(temperature) from motes where temperature > 19",
+        ] {
+            assert_partials_match(sql, &shards());
+        }
+    }
+
+    #[test]
+    fn group_by_aggregates_merge_exactly() {
+        for sql in [
+            "select room, count(*) from motes group by room",
+            "select room, avg(temperature) as t from motes group by room",
+            "select room, min(temperature), max(temperature), sum(temperature) from motes group by room",
+            "select count(*), room from motes group by room",
+            "select room, count(*) from motes where temperature < 26 group by room",
+        ] {
+            assert_partials_match(sql, &shards());
+        }
+    }
+
+    #[test]
+    fn empty_everywhere_still_yields_the_identity_row() {
+        let empty = vec![motes(&[]), motes(&[])];
+        assert_partials_match(
+            "select count(*), sum(temperature), avg(temperature), min(temperature) from motes",
+            &empty,
+        );
+        // Grouped aggregates over nothing yield no rows.
+        assert_partials_match("select room, count(*) from motes group by room", &empty);
+    }
+
+    #[test]
+    fn non_decomposable_shapes_fall_back() {
+        for sql in [
+            "select * from motes",                    // no aggregate
+            "select temperature from motes",          // no aggregate
+            "select count(distinct room) from motes", // DISTINCT agg
+            "select stddev(temperature) from motes",  // no merge rule
+            "select room, count(*) from motes group by room having count(*) > 1",
+            "select count(*) from motes order by 1",
+            "select count(*) from motes limit 1",
+            "select distinct count(*) from motes",
+            "select count(*) from motes m", // alias
+            "select a.x from motes a join motes b on a.pk = b.pk", // join
+            "select sum(temperature) + 1 from motes", // expr over agg
+            "select room from motes group by room", // no aggregate at all
+            "select count(*) from motes union select count(*) from motes",
+        ] {
+            assert!(
+                decompose(sql).unwrap().is_none(),
+                "{sql} should not decompose"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_sql_is_executable_and_carries_where() {
+        let plan = decompose(
+            "select room, avg(temperature) as t from motes where temperature > 19 group by room",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(plan.table, "motes");
+        assert_eq!(plan.group_cols, 1);
+        assert!(plan.partial_sql.contains("where"));
+        assert!(plan.partial_sql.contains("group by room"));
+        // The rewritten SQL must itself parse and run.
+        let mut catalog = MemoryCatalog::new();
+        catalog.register("motes", motes(&[(1, 20.0, "bc143")]));
+        let partial = run(&catalog, &plan.partial_sql);
+        assert_eq!(partial.rows().len(), 1);
+        assert_eq!(partial.rows()[0].len(), 3); // g0, a1 (sum), a2 (count)
+    }
+}

@@ -1,13 +1,18 @@
-//! The paper's demonstration setup (Section 6, Figure 5): four sensor networks on three
-//! GSN nodes, integrated through remote virtual sensors.
+//! The paper's demonstration setup (Section 6, Figure 5) on the *mesh* federation tier:
+//! four sensor networks on three GSN containers — with no central directory anywhere.
 //!
 //! * **node 1** hosts the RFID reader network *and* a MICA2 mote network,
 //! * **node 2** hosts the wireless camera network,
 //! * **node 3** hosts a second mote network,
-//! * a fourth "integration" virtual sensor on node 2 combines the *remote* temperature
-//!   stream from node 1 with its local camera stream — created purely from predicates,
-//!   exactly like the paper's "complex configurations that integrate the data of several
-//!   of the networks".
+//! * every node also hosts a shard of the same logical `wing-climate` table, so a
+//!   *federated* aggregate can scatter container-side partials across the mesh,
+//! * an "integration" virtual sensor on node 2 combines the *remote* temperature
+//!   stream from node 1 with its local camera stream — resolved purely from predicates
+//!   against node 2's **gossip-replicated** directory copy.
+//!
+//! Mid-run, node 3 leaves the mesh.  Its directory entries tombstone, the placement
+//! ring shrinks, and a federated query issued afterwards still completes from the
+//! replicated directory of the survivors.
 //!
 //! ```text
 //! cargo run --example multi_network_deployment
@@ -16,7 +21,7 @@
 use gsn::network::LinkSpec;
 use gsn::types::{DataType, Duration};
 use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
-use gsn::{Federation, WindowSpec};
+use gsn::{Mesh, WindowSpec};
 
 fn mote_network(
     name: &str,
@@ -54,6 +59,32 @@ fn mote_network(
                 .unwrap()
         })
         .collect()
+}
+
+/// One shard of the mesh-wide `wing-climate` table: the same sensor name on every
+/// container, each fed by its own local motes.
+fn climate_shard(wing: &str) -> VirtualSensorDescriptor {
+    VirtualSensorDescriptor::builder("wing-climate")
+        .unwrap()
+        .metadata("type", "climate")
+        .metadata("wing", wing)
+        .output_field("temperature", DataType::Double)
+        .unwrap()
+        .permanent_storage(true)
+        .input_stream(
+            InputStreamSpec::new("main", "select * from src").with_source(
+                StreamSourceSpec::new(
+                    "src",
+                    AddressSpec::new("mote")
+                        .with_predicate("interval", "500")
+                        .with_predicate("network", wing),
+                    "select avg(temperature) as temperature from WRAPPER",
+                )
+                .with_window(WindowSpec::Count(5)),
+            ),
+        )
+        .build()
+        .unwrap()
 }
 
 fn camera_network(cameras: usize) -> Vec<VirtualSensorDescriptor> {
@@ -111,8 +142,9 @@ fn rfid_network() -> VirtualSensorDescriptor {
 }
 
 /// The integration sensor: joins the *remote* temperature stream (discovered by
-/// predicates, not by address) with nothing else — a new sensor network built on top of
-/// other networks with zero programming, the paper's central claim.
+/// predicates against the local directory replica, not by address) — a new sensor
+/// network built on top of other networks with zero programming, the paper's central
+/// claim, now without any central lookup service.
 fn integration_sensor() -> VirtualSensorDescriptor {
     VirtualSensorDescriptor::builder("campus-average-temperature")
         .unwrap()
@@ -137,61 +169,110 @@ fn integration_sensor() -> VirtualSensorDescriptor {
 }
 
 fn main() {
-    let mut federation = Federation::new();
-    let node1 = federation.add_node("node1-rfid-and-motes").unwrap();
-    let node2 = federation.add_node("node2-cameras").unwrap();
-    let node3 = federation.add_node("node3-motes").unwrap();
-    federation.set_link(node1, node2, LinkSpec::lan());
-    federation.set_link(node1, node3, LinkSpec::wireless(5, 0.01));
-    federation.set_link(node2, node3, LinkSpec::lan());
+    let mut mesh = Mesh::new();
+    let node1 = mesh.add_node("node1-rfid-and-motes").unwrap();
+    let node2 = mesh.add_node("node2-cameras").unwrap();
+    let node3 = mesh.add_node("node3-motes").unwrap();
+    mesh.set_link(node1, node2, LinkSpec::lan());
+    mesh.set_link(node1, node3, LinkSpec::wireless(5, 0.01));
+    mesh.set_link(node2, node3, LinkSpec::lan());
 
-    // Deploy the four sensor networks of the demo.
+    // Deploy the four sensor networks of the demo, plus one wing-climate shard per node.
     for d in mote_network("bc", "bc-wing", 4, 500) {
-        federation.node_mut(node1).unwrap().deploy(d).unwrap();
+        mesh.node_mut(node1).unwrap().deploy(d).unwrap();
     }
-    federation
-        .node_mut(node1)
+    mesh.node_mut(node1)
         .unwrap()
         .deploy(rfid_network())
         .unwrap();
     for d in camera_network(3) {
-        federation.node_mut(node2).unwrap().deploy(d).unwrap();
+        mesh.node_mut(node2).unwrap().deploy(d).unwrap();
     }
     for d in mote_network("lab", "lab-wing", 4, 250) {
-        federation.node_mut(node3).unwrap().deploy(d).unwrap();
+        mesh.node_mut(node3).unwrap().deploy(d).unwrap();
+    }
+    for (node, wing) in [(node1, "bc-wing"), (node2, "cam-wing"), (node3, "lab-wing")] {
+        mesh.node_mut(node)
+            .unwrap()
+            .deploy(climate_shard(wing))
+            .unwrap();
     }
 
-    // The integration sensor on node 2 discovers the bc-wing temperature sensors through
-    // the directory and subscribes across the network.
-    federation
-        .node_mut(node2)
+    // Let anti-entropy gossip replicate every registration to every node.
+    mesh.run_for(Duration::from_secs(5), Duration::from_millis(250));
+    println!(
+        "gossip converged: {} | node2's replica holds {} records, ring = {:?} (epoch {})",
+        mesh.replicas_converged(),
+        mesh.node(node2).unwrap().replica_snapshot().len(),
+        mesh.node(node2).unwrap().ring_members(),
+        mesh.node(node2).unwrap().ring_epoch(),
+    );
+
+    // The integration sensor on node 2 discovers the bc-wing temperature sensors in its
+    // *local replica* and subscribes across the network.
+    mesh.node_mut(node2)
         .unwrap()
         .deploy(integration_sensor())
         .unwrap();
 
+    // Run half a simulated minute.
+    let report = mesh.run_for(Duration::from_secs(30), Duration::from_millis(250));
     println!(
-        "directory now holds {} virtual sensors across {} nodes",
-        federation.directory().len(),
-        federation.node_ids().len()
-    );
-
-    // Run one simulated minute.
-    let report = federation.run_for(Duration::from_secs(60), Duration::from_millis(250));
-    println!(
-        "after 60s simulated: {} local arrivals, {} remote deliveries, {} outputs, {} errors",
+        "after 30s simulated: {} local arrivals, {} remote deliveries, {} outputs, {} errors",
         report.local_arrivals, report.remote_arrivals, report.outputs, report.errors
     );
 
+    // A federated aggregate: the coordinator decomposes COUNT/AVG container-side, every
+    // shard computes a partial over its own rows, and only partial-aggregate frames
+    // travel — not one raw row.
+    let climate = mesh
+        .federated_query(
+            node2,
+            "select count(*) as readings, avg(temperature) as campus_avg from wing_climate",
+            Duration::from_millis(250),
+            100,
+        )
+        .unwrap();
+    println!("\nfederated wing-climate aggregate over 3 containers:\n{climate}");
+    println!(
+        "row batches shipped: {} | partial-aggregate frames: {} + {}",
+        mesh.network().sent_of_kind("query-batch"),
+        mesh.network().sent_of_kind("partial-aggregate-request"),
+        mesh.network().sent_of_kind("partial-aggregate-reply"),
+    );
+
+    // Mid-run, node 3 leaves the mesh: entries tombstone, the ring shrinks.
+    println!("\nnode 3 leaves the mesh...");
+    mesh.remove_node(node3).unwrap();
+    mesh.run_for(Duration::from_secs(5), Duration::from_millis(250));
+    println!(
+        "survivors' ring = {:?}, replicas converged: {}",
+        mesh.node(node1).unwrap().ring_members(),
+        mesh.replicas_converged(),
+    );
+
+    // The same federated query still completes — coordinated from node 1 this time,
+    // resolved entirely from the survivors' replicated directory.
+    let after_leave = mesh
+        .federated_query(
+            node1,
+            "select count(*) as readings, avg(temperature) as campus_avg from wing_climate",
+            Duration::from_millis(250),
+            100,
+        )
+        .unwrap();
+    println!("federated aggregate after the leave (2 survivors):\n{after_leave}");
+
     // Query the individual networks...
-    let rfid_count = federation
+    let rfid_count = mesh
         .node_mut(node1)
         .unwrap()
         .query("select count(*) as detections from entrance_rfid")
         .unwrap();
-    println!("\nRFID detections at the entrance:\n{rfid_count}");
+    println!("RFID detections at the entrance:\n{rfid_count}");
 
     // ...and the derived, network-spanning sensor.
-    let campus = federation
+    let campus = mesh
         .node_mut(node2)
         .unwrap()
         .query(
@@ -201,13 +282,13 @@ fn main() {
         .unwrap();
     println!("campus-wide averaged temperature (derived from a remote network):\n{campus}");
 
-    // Discovery by property, as in the paper: "discovered and accessed based on any
-    // combination of their properties".
-    let temperature_sensors = federation
-        .directory()
-        .lookup(&[("type".to_owned(), "temperature".to_owned())]);
+    // Discovery by property, as in the paper — served from node 1's local replica.
+    let temperature_sensors = mesh
+        .node(node1)
+        .unwrap()
+        .replica_lookup(&[("type".to_owned(), "temperature".to_owned())]);
     println!(
-        "directory lookup type=temperature -> {} sensors: {}",
+        "replica lookup type=temperature -> {} sensors: {}",
         temperature_sensors.len(),
         temperature_sensors
             .iter()
@@ -216,6 +297,20 @@ fn main() {
             .join(", ")
     );
 
-    println!("\nnetwork statistics: {:?}", federation.network().stats());
-    println!("\n{}", federation.render_status());
+    println!("\nnetwork statistics: {:?}", mesh.network().stats());
+    println!(
+        "gossip: {} rounds, {} bytes of digests/deltas announced by node 1",
+        mesh.node(node1)
+            .unwrap()
+            .metrics_snapshot()
+            .get("gsn_federation_gossip_rounds_total")
+            .and_then(|s| s.as_counter())
+            .unwrap_or(0),
+        mesh.node(node1)
+            .unwrap()
+            .metrics_snapshot()
+            .get("gsn_federation_gossip_bytes_total")
+            .and_then(|s| s.as_counter())
+            .unwrap_or(0),
+    );
 }

@@ -79,6 +79,9 @@ pub use gsn_wrappers as wrappers;
 /// The simulated peer-to-peer substrate (`gsn-network`).
 pub use gsn_network as network;
 
+/// The distributed federation tier: placement ring + replicated directory (`gsn-federation`).
+pub use gsn_federation as federation;
+
 /// The GSN container and federation (`gsn-core`).
 pub use gsn_core as container;
 
@@ -87,7 +90,7 @@ pub use gsn_telemetry as telemetry;
 
 // Convenience re-exports of the most common entry points.
 pub use gsn_core::{
-    ContainerConfig, Federation, GsnContainer, Notification, QueryCursor, RemoteQueryResult,
+    ContainerConfig, Federation, GsnContainer, Mesh, Notification, QueryCursor, RemoteQueryResult,
     StepReport,
 };
 pub use gsn_storage::WindowSpec;
