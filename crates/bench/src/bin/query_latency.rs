@@ -1,14 +1,17 @@
-//! Streaming-query latency benchmark: full scan vs `LIMIT 10` through the pull-based
-//! cursor executor, on the in-memory and disk (persistent page engine) backends.
+//! Streaming-query latency benchmark: full scan vs `LIMIT 10` vs *indexed* point and
+//! time-range lookups through the pull-based cursor executor, on the in-memory and
+//! disk (persistent page engine) backends.
 //!
 //! ```text
 //! cargo run -p gsn-bench --release --bin query_latency [--quick]
 //! ```
 //!
-//! The headline number: with the Volcano-style cursor path a `LIMIT 10` over a
-//! 100k-row table completes in O(limit) — the scan stops after ~10 rows and (for the
-//! disk backend) the buffer pool reads a constant number of pages instead of the whole
-//! heap.  Prints a table and writes the machine-readable report both to
+//! Headline numbers: with the Volcano-style cursor path a `LIMIT 10` over a 1M-row
+//! table completes in O(limit); and with predicate pushdown a `pk = n` point lookup or
+//! a narrow `timed between` range lookup completes in a constant-bounded number of
+//! buffer-pool page reads (the per-segment sparse index seeks or skips everything
+//! else) — asserted in-binary, and ≥100× faster than the full scan on disk.  Prints a
+//! table and writes the machine-readable report both to
 //! `target/bench-reports/query_latency.json` and to `BENCH_query.json` at the
 //! workspace root.
 
@@ -29,6 +32,11 @@ struct Cell {
     limit_ms: f64,
     limit_rows_scanned: u64,
     limit_pages_read: u64,
+    point_ms: f64,
+    point_pages_read: u64,
+    range_ms: f64,
+    range_pages_read: u64,
+    range_pages_skipped: u64,
     metrics: gsn::telemetry::MetricsSnapshot,
 }
 
@@ -101,6 +109,31 @@ fn run_cell(disk: bool, rows: usize) -> Cell {
     let limit_ms = started.elapsed().as_secs_f64() * 1e3;
     assert_eq!(batch.row_count(), 10.min(rows));
 
+    // Indexed point lookup: the pushed-down `pk = n` bound seeks straight to the row's
+    // page through the per-segment sparse index.
+    let point_pk = rows as i64 - 37;
+    let started = Instant::now();
+    let mut point = container
+        .query_cursor(&format!("select v from history where pk = {point_pk}"))
+        .unwrap();
+    let batch = point.next_batch(4).unwrap();
+    let point_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(batch.row_count(), 1);
+    assert_eq!(batch.rows()[0][0], Value::Integer(point_pk - 1));
+
+    // Indexed time-range lookup: page summaries skip every page outside the bound;
+    // the residual filter trims the page-granular superset to the exact 101 rows.
+    let (lo, hi) = (rows as i64 - 500, rows as i64 - 400);
+    let started = Instant::now();
+    let mut range = container
+        .query_cursor(&format!(
+            "select v from history where timed >= {lo} and timed <= {hi}"
+        ))
+        .unwrap();
+    let relation = range.collect().unwrap();
+    let range_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(relation.row_count(), 101);
+
     let cell = Cell {
         backend: if disk { "disk" } else { "memory" },
         rows,
@@ -110,6 +143,11 @@ fn run_cell(disk: bool, rows: usize) -> Cell {
         limit_ms,
         limit_rows_scanned: limited.rows_scanned(),
         limit_pages_read: limited.pages_read(),
+        point_ms,
+        point_pages_read: point.pages_read(),
+        range_ms,
+        range_pages_read: range.pages_read(),
+        range_pages_skipped: range.pages_skipped(),
         metrics: container.metrics_snapshot(),
     };
     drop(container);
@@ -119,11 +157,11 @@ fn run_cell(disk: bool, rows: usize) -> Cell {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let rows = if quick { 10_000 } else { 100_000 };
+    let rows = if quick { 10_000 } else { 1_000_000 };
 
     let mut report = BenchReport::new(
         "query_latency",
-        "Full scan vs LIMIT 10 latency through the pull-based cursor executor (memory and disk backends)",
+        "Full scan vs LIMIT 10 vs indexed point/time-range lookups through the pull-based cursor executor (memory and disk backends)",
         &[
             "backend_disk",
             "rows",
@@ -134,43 +172,57 @@ fn main() {
             "limit10_rows_scanned",
             "limit10_pages_read",
             "speedup_full_over_limit",
+            "point_lookup_ms",
+            "point_pages_read",
+            "range_lookup_ms",
+            "range_pages_read",
+            "range_pages_skipped",
+            "speedup_full_over_point",
         ],
     );
 
-    println!("Streaming query latency: full scan vs LIMIT 10 ({rows} rows)");
+    println!("Streaming query latency: full scan vs LIMIT 10 vs indexed lookups ({rows} rows)");
     println!(
-        "{:>8} {:>9} {:>11} {:>13} {:>13} {:>11} {:>13} {:>12} {:>9}",
+        "{:>8} {:>9} {:>11} {:>13} {:>11} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
         "backend",
         "rows",
         "ingest ms",
         "full ms",
-        "full scanned",
         "limit ms",
-        "limit scanned",
         "limit pages",
+        "point ms",
+        "point pgs",
+        "range ms",
+        "range pgs",
+        "pgs skipped",
         "speedup"
     );
     let mut last_metrics = None;
     for disk in [false, true] {
         let cell = run_cell(disk, rows);
-        let speedup = if cell.limit_ms > 0.0 {
-            cell.full_scan_ms / cell.limit_ms
+        let point_speedup = if cell.point_ms > 0.0 {
+            cell.full_scan_ms / cell.point_ms
         } else {
             f64::INFINITY
         };
         println!(
-            "{:>8} {:>9} {:>11.1} {:>13.3} {:>13} {:>11.4} {:>13} {:>12} {:>8.0}x",
+            "{:>8} {:>9} {:>11.1} {:>13.3} {:>11.4} {:>12} {:>10.4} {:>10} {:>10.4} {:>10} {:>12} {:>9.0}x",
             cell.backend,
             cell.rows,
             cell.ingest_ms,
             cell.full_scan_ms,
-            cell.full_rows_scanned,
             cell.limit_ms,
-            cell.limit_rows_scanned,
             cell.limit_pages_read,
-            speedup
+            cell.point_ms,
+            cell.point_pages_read,
+            cell.range_ms,
+            cell.range_pages_read,
+            cell.range_pages_skipped,
+            point_speedup
         );
-        // The acceptance property: LIMIT 10 must not read the heap.
+        // The acceptance properties: LIMIT 10 must not read the heap, and indexed
+        // lookups must touch a constant-bounded number of pages regardless of table
+        // size (the segment index seeks / skips everything else).
         assert!(
             cell.limit_rows_scanned <= 10,
             "LIMIT 10 scanned {} rows",
@@ -182,6 +234,26 @@ fn main() {
                 "LIMIT 10 read {} buffer-pool pages",
                 cell.limit_pages_read
             );
+            assert!(
+                cell.point_pages_read <= 6,
+                "point lookup read {} buffer-pool pages of a {rows}-row heap",
+                cell.point_pages_read
+            );
+            assert!(
+                cell.range_pages_read <= 8,
+                "range lookup read {} buffer-pool pages of a {rows}-row heap",
+                cell.range_pages_read
+            );
+            assert!(
+                cell.range_pages_skipped > 0,
+                "range lookup skipped no pages"
+            );
+            if !quick {
+                assert!(
+                    point_speedup >= 100.0,
+                    "indexed point lookup only {point_speedup:.0}x faster than the full scan"
+                );
+            }
         }
         report.push_row(vec![
             f64::from(u8::from(disk)),
@@ -192,7 +264,17 @@ fn main() {
             cell.limit_ms,
             cell.limit_rows_scanned as f64,
             cell.limit_pages_read as f64,
-            speedup,
+            if cell.limit_ms > 0.0 {
+                cell.full_scan_ms / cell.limit_ms
+            } else {
+                f64::INFINITY
+            },
+            cell.point_ms,
+            cell.point_pages_read as f64,
+            cell.range_ms,
+            cell.range_pages_read as f64,
+            cell.range_pages_skipped as f64,
+            point_speedup,
         ]);
         last_metrics = Some(cell.metrics);
     }

@@ -1128,9 +1128,16 @@ impl GsnContainer {
         // When the cursor is dropped its counters fold into the engine statistics, so
         // streaming executions show up in `ContainerStatus` like materialised ones.
         let runtime = Arc::clone(&self.runtime);
-        let telemetry = Box::new(move |scanned: u64, returned: u64| {
-            runtime.query_manager.record_cursor(scanned, returned);
-        });
+        let telemetry = Box::new(
+            move |scanned: u64, returned: u64, pages_skipped: u64, residual_filtered: u64| {
+                runtime.query_manager.record_cursor(
+                    scanned,
+                    returned,
+                    pages_skipped,
+                    residual_filtered,
+                );
+            },
+        );
         QueryCursor::open(
             &prepared,
             Arc::clone(&self.runtime.storage),

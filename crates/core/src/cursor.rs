@@ -15,9 +15,10 @@ use gsn_sql::{ColumnInfo, PlanSource, PreparedQuery, Relation, RowSource};
 use gsn_storage::{LiveCatalog, StorageManager};
 use gsn_types::{GsnResult, Timestamp};
 
-/// Invoked when a cursor is dropped, with its final `(rows_scanned, rows_returned)` —
-/// the container uses it to fold streaming executions into the engine statistics.
-type TelemetrySink = Box<dyn FnOnce(u64, u64) + Send>;
+/// Invoked when a cursor is dropped, with its final `(rows_scanned, rows_returned,
+/// pages_skipped, rows_residual_filtered)` — the container uses it to fold streaming
+/// executions into the engine statistics.
+type TelemetrySink = Box<dyn FnOnce(u64, u64, u64, u64) + Send>;
 
 /// A pull-based cursor over an ad-hoc container query.
 ///
@@ -32,6 +33,7 @@ pub struct QueryCursor {
     columns: Vec<ColumnInfo>,
     storage: Arc<StorageManager>,
     pool_reads_at_open: u64,
+    pages_skipped_at_open: u64,
     done: bool,
     telemetry: Option<TelemetrySink>,
 }
@@ -63,11 +65,13 @@ impl QueryCursor {
         };
         let columns = source.columns().to_vec();
         let pool = storage.buffer_pool().stats();
+        let pages_skipped_at_open = storage.telemetry().index_pages_skipped.get();
         Ok(QueryCursor {
             sql: prepared.sql().to_owned(),
             source,
             columns,
             pool_reads_at_open: pool.hits + pool.misses,
+            pages_skipped_at_open,
             storage,
             done: false,
             telemetry,
@@ -126,12 +130,35 @@ impl QueryCursor {
         let pool = self.storage.buffer_pool().stats();
         (pool.hits + pool.misses).saturating_sub(self.pool_reads_at_open)
     }
+
+    /// Storage pages the segment index let bounded scans *skip* since the cursor was
+    /// opened — the direct saving of predicate pushdown, the complement of
+    /// [`pages_read`](Self::pages_read).  Container-wide like `pages_read`: exact for
+    /// this cursor only in a quiet container.
+    pub fn pages_skipped(&self) -> u64 {
+        self.storage
+            .telemetry()
+            .index_pages_skipped
+            .get()
+            .saturating_sub(self.pages_skipped_at_open)
+    }
+
+    /// Rows the executor dropped re-applying pushed-down residual predicates above the
+    /// bounded scan (bounds are page-granular supersets).
+    pub fn rows_residual_filtered(&self) -> u64 {
+        self.source.rows_residual_filtered()
+    }
 }
 
 impl Drop for QueryCursor {
     fn drop(&mut self) {
         if let Some(sink) = self.telemetry.take() {
-            sink(self.rows_scanned(), self.rows_returned());
+            sink(
+                self.rows_scanned(),
+                self.rows_returned(),
+                self.pages_skipped(),
+                self.rows_residual_filtered(),
+            );
         }
     }
 }

@@ -36,7 +36,7 @@ use gsn_sql::{
     ContinuousPlan, EngineStats, OptimizerConfig, PreparedQuery, Relation, SqlEngine, WindowBound,
 };
 use gsn_storage::{
-    sampling_stride, CatalogView, LiveCatalog, StorageManager, StreamTable, WindowSpec,
+    sampling_stride, CatalogView, LiveCatalog, ScanBounds, StorageManager, StreamTable, WindowSpec,
 };
 use gsn_telemetry::{SlowQuery, SlowQueryLog, Stopwatch};
 use gsn_types::{EpochCell, GsnError, GsnResult, StreamElement, Timestamp};
@@ -339,7 +339,21 @@ fn advance_incremental(
                 // Seed: the current window contents become the initial resident state
                 // (one window-sized scan; every later evaluation reads only the delta).
                 let last_seq = guard.last_sequence();
-                let mut scan = guard.open_scan(query.history, now)?;
+                // Time windows seed through an index-bounded range scan: the segment
+                // index skips every page wholly older than the cutoff, so seeding a
+                // short window over a long durable history reads O(window) pages, not
+                // O(history).  The bound is a page-granular superset — `evaluate`'s
+                // `WindowBound::Since` pruning pops any too-old leading rows.
+                let mut scan = match query.history {
+                    WindowSpec::Time(d) => {
+                        let bounds = ScanBounds {
+                            min_ts: Some(now.saturating_sub(d).as_millis()),
+                            ..ScanBounds::default()
+                        };
+                        guard.open_scan_bounded(WindowSpec::Count(usize::MAX), now, &bounds)?
+                    }
+                    _ => guard.open_scan(query.history, now)?,
+                };
                 let mut delta = Vec::new();
                 while let Some(batch) = guard.scan_next(&mut scan)? {
                     delta.extend(batch.iter().map(element_row));
@@ -716,13 +730,21 @@ impl QueryRepository {
         self.partitions[0].lock().engine.prepare(sql)
     }
 
-    /// Folds a finished container cursor's row counters into the engine statistics
+    /// Folds a finished container cursor's counters into the engine statistics
     /// (streaming executions count like materialised ones).
-    pub fn record_cursor(&self, rows_scanned: u64, rows_returned: u64) {
-        self.partitions[0]
-            .lock()
-            .engine
-            .record_cursor(rows_scanned, rows_returned);
+    pub fn record_cursor(
+        &self,
+        rows_scanned: u64,
+        rows_returned: u64,
+        pages_skipped: u64,
+        rows_residual_filtered: u64,
+    ) {
+        self.partitions[0].lock().engine.record_cursor(
+            rows_scanned,
+            rows_returned,
+            pages_skipped,
+            rows_residual_filtered,
+        );
     }
 
     /// Compiles a query without registering or executing it (used for EXPLAIN-style

@@ -522,6 +522,20 @@ pub static SQL_ROWS_RETURNED_TOTAL: MetricDesc = MetricDesc::counter(
     "rows",
 );
 
+/// Compiled plans with at least one pushed-down scan spec.
+pub static SQL_PUSHDOWN_APPLIED_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_sql_pushdown_applied_total",
+    "Fresh compilations whose plan pushed predicates/projections/limits into a scan",
+    "plans",
+);
+
+/// Rows dropped by residual predicate re-application above bounded scans.
+pub static SQL_RESIDUAL_ROWS_FILTERED_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_sql_residual_rows_filtered_total",
+    "Rows dropped re-applying pushed-down residual predicates above bounded scans",
+    "rows",
+);
+
 /// Ad-hoc queries executed.
 pub static QUERY_ADHOC_TOTAL: MetricDesc = MetricDesc::counter(
     "gsn_query_adhoc_total",
@@ -745,6 +759,8 @@ pub struct SourcedMetrics {
     sql_executions: Counter,
     sql_rows_scanned: Counter,
     sql_rows_returned: Counter,
+    sql_pushdown_applied: Counter,
+    sql_residual_rows_filtered: Counter,
     query_adhoc: Counter,
     query_registered_evaluated: Counter,
     query_registered_failed: Counter,
@@ -833,6 +849,11 @@ impl SourcedMetrics {
         registry.register_counter(&SQL_EXECUTIONS_TOTAL, &self.sql_executions);
         registry.register_counter(&SQL_ROWS_SCANNED_TOTAL, &self.sql_rows_scanned);
         registry.register_counter(&SQL_ROWS_RETURNED_TOTAL, &self.sql_rows_returned);
+        registry.register_counter(&SQL_PUSHDOWN_APPLIED_TOTAL, &self.sql_pushdown_applied);
+        registry.register_counter(
+            &SQL_RESIDUAL_ROWS_FILTERED_TOTAL,
+            &self.sql_residual_rows_filtered,
+        );
         registry.register_counter(&QUERY_ADHOC_TOTAL, &self.query_adhoc);
         registry.register_counter(
             &QUERY_REGISTERED_EVALUATED_TOTAL,
@@ -906,6 +927,9 @@ impl SourcedMetrics {
             self.sql_executions.store(engine.executions);
             self.sql_rows_scanned.store(engine.rows_scanned);
             self.sql_rows_returned.store(engine.rows_returned);
+            self.sql_pushdown_applied.store(engine.pushdown_applied);
+            self.sql_residual_rows_filtered
+                .store(engine.rows_residual_filtered);
         }
         if let Some(queries) = totals.queries {
             self.query_adhoc.store(queries.adhoc_executed);
@@ -1011,6 +1035,9 @@ mod tests {
             executions: 10,
             rows_scanned: 500,
             rows_returned: 50,
+            pages_skipped: 12,
+            pushdown_applied: 2,
+            rows_residual_filtered: 9,
         };
         let totals = SourcedTotals {
             storage: Some(&storage),
@@ -1033,6 +1060,18 @@ mod tests {
                 .get("gsn_sql_rows_scanned_total")
                 .and_then(|s| s.as_counter()),
             Some(500)
+        );
+        assert_eq!(
+            snapshot
+                .get("gsn_sql_pushdown_applied_total")
+                .and_then(|s| s.as_counter()),
+            Some(2)
+        );
+        assert_eq!(
+            snapshot
+                .get("gsn_sql_residual_rows_filtered_total")
+                .and_then(|s| s.as_counter()),
+            Some(9)
         );
         assert_eq!(
             snapshot

@@ -366,8 +366,15 @@ impl ContinuousPlan {
             LogicalPlan::Filter { input, predicate } => (Some(predicate.clone()), &**input),
             other => (None, other),
         };
-        let LogicalPlan::Scan { alias, .. } = scan else {
+        let LogicalPlan::Scan { alias, spec, .. } = scan else {
             return None;
+        };
+        // The optimizer absorbs WHERE conjuncts into the scan's spec; the
+        // incremental engine evaluates them per delta row like any filter.
+        let filter = {
+            let mut conjuncts = spec.residual.clone();
+            conjuncts.extend(filter);
+            crate::optimizer::join_conjuncts(conjuncts)
         };
         if let Some(predicate) = &filter {
             if predicate.contains_aggregate() || predicate.contains_subquery() {

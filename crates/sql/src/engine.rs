@@ -81,6 +81,14 @@ pub struct EngineStats {
     /// Rows returned to consumers across all executions.  The gap to `rows_scanned`
     /// is the pull-based executor's early-exit saving (LIMIT queries stop scanning).
     pub rows_returned: u64,
+    /// Storage pages skipped by pushed-down scan bounds, folded in from
+    /// externally driven cursors via [`SqlEngine::record_cursor`].
+    pub pages_skipped: u64,
+    /// Compilations that pushed at least one bound/residual/projection/limit
+    /// below a scan (the plan carries a non-default `ScanSpec`).
+    pub pushdown_applied: u64,
+    /// Rows dropped by residual predicates re-applied above pushed-down scans.
+    pub rows_residual_filtered: u64,
 }
 
 impl EngineStats {
@@ -93,12 +101,18 @@ impl EngineStats {
             executions,
             rows_scanned,
             rows_returned,
+            pages_skipped,
+            pushdown_applied,
+            rows_residual_filtered,
         } = other;
         self.compiled += compiled;
         self.cache_hits += cache_hits;
         self.executions += executions;
         self.rows_scanned += rows_scanned;
         self.rows_returned += rows_returned;
+        self.pages_skipped += pages_skipped;
+        self.pushdown_applied += pushdown_applied;
+        self.rows_residual_filtered += rows_residual_filtered;
     }
 }
 
@@ -170,6 +184,9 @@ impl SqlEngine {
         let prepared = Self::compile(sql, &self.optimizer)?;
         self.telemetry.compile_micros.record_elapsed(sw);
         self.stats.compiled += 1;
+        if plan_has_pushdown(prepared.plan()) {
+            self.stats.pushdown_applied += 1;
+        }
         if self.cache_enabled {
             self.cache.insert(sql.to_owned(), prepared.clone());
         }
@@ -212,16 +229,25 @@ impl SqlEngine {
         self.telemetry.exec_micros.record_elapsed(exec_sw);
         self.stats.rows_scanned += source.rows_scanned();
         self.stats.rows_returned += source.rows_returned();
+        self.stats.rows_residual_filtered += source.rows_residual_filtered();
         relation
     }
 
     /// Folds the telemetry of an externally driven cursor (opened via
     /// [`PreparedQuery::open`] and consumed outside the engine) into the statistics,
     /// so streaming executions show up next to materialised ones.
-    pub fn record_cursor(&mut self, rows_scanned: u64, rows_returned: u64) {
+    pub fn record_cursor(
+        &mut self,
+        rows_scanned: u64,
+        rows_returned: u64,
+        pages_skipped: u64,
+        rows_residual_filtered: u64,
+    ) {
         self.stats.executions += 1;
         self.stats.rows_scanned += rows_scanned;
         self.stats.rows_returned += rows_returned;
+        self.stats.pages_skipped += pages_skipped;
+        self.stats.rows_residual_filtered += rows_residual_filtered;
     }
 
     /// Convenience helper: executes a query expected to produce a single scalar value.
@@ -249,6 +275,16 @@ impl SqlEngine {
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
+}
+
+/// True when any scan in the plan carries a non-default pushed-down spec.
+fn plan_has_pushdown(plan: &LogicalPlan) -> bool {
+    if let LogicalPlan::Scan { spec, .. } = plan {
+        if !spec.is_default() {
+            return true;
+        }
+    }
+    plan.children().into_iter().any(plan_has_pushdown)
 }
 
 #[cfg(test)]
@@ -326,6 +362,24 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.rows_scanned, 3);
         assert_eq!(stats.rows_returned, 2);
+    }
+
+    #[test]
+    fn pushdown_counters_track_absorbed_predicates() {
+        let mut engine = SqlEngine::new();
+        let cat = catalog();
+        engine
+            .execute("select room from readings where temperature > 25", &cat)
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.pushdown_applied, 1);
+        assert_eq!(
+            stats.rows_residual_filtered, 1,
+            "one of two rows fails temperature > 25"
+        );
+        // A bare full scan pushes nothing down and leaves the counter alone.
+        engine.execute("select * from readings", &cat).unwrap();
+        assert_eq!(engine.stats().pushdown_applied, 1);
     }
 
     #[test]

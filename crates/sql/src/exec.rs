@@ -24,7 +24,8 @@ use crate::aggregate::{is_aggregate_function, Accumulator, AggregateKind};
 use crate::ast::{Expr, Query, SetOperator};
 use crate::cursor::{RelationSource, RowSource};
 use crate::eval::{evaluate, evaluate_predicate, RowContext};
-use crate::plan::{plan_query, JoinKind, LogicalPlan, ProjectionItem, SortKey};
+use crate::optimizer::join_conjuncts;
+use crate::plan::{plan_query, JoinKind, LogicalPlan, ProjectionItem, ScanSpec, SortKey};
 use crate::relation::{ColumnInfo, Relation};
 
 /// Resolves table names to row sources.
@@ -41,6 +42,16 @@ use crate::relation::{ColumnInfo, Relation};
 pub trait Catalog {
     /// Opens a cursor over the rows of `name`, or an error when the name is unknown.
     fn scan(&self, name: &str) -> GsnResult<Box<dyn RowSource>>;
+
+    /// Opens a cursor honouring the pushed-down `spec` where the backing store
+    /// can exploit it (range bounds seek, projection skips column decode, the
+    /// limit stops production early).  The default ignores the spec — that is
+    /// always correct, because the executor re-applies the full residual
+    /// predicate above the scan and every spec field is a superset-safe hint.
+    fn scan_with_spec(&self, name: &str, spec: &ScanSpec) -> GsnResult<Box<dyn RowSource>> {
+        let _ = spec;
+        self.scan(name)
+    }
 
     /// Materialises the relation bound to `name` (collects [`scan`](Catalog::scan)).
     fn relation(&self, name: &str) -> GsnResult<Relation> {
@@ -103,13 +114,28 @@ impl Catalog for MemoryCatalog {
 pub struct PlanSource {
     root: Box<dyn RowSource>,
     scanned: Arc<AtomicU64>,
+    residual_filtered: Arc<AtomicU64>,
     returned: u64,
+}
+
+/// The shared telemetry counters threaded through plan compilation.
+#[derive(Clone, Default)]
+struct ExecCounters {
+    /// Rows pulled out of base-table scans.
+    scanned: Arc<AtomicU64>,
+    /// Rows dropped by residual predicates re-applied above pushed-down scans.
+    residual_filtered: Arc<AtomicU64>,
 }
 
 impl PlanSource {
     /// Rows pulled from base-table scans so far.
     pub fn rows_scanned(&self) -> u64 {
         self.scanned.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Rows dropped by residual predicates re-applied above pushed-down scans.
+    pub fn rows_residual_filtered(&self) -> u64 {
+        self.residual_filtered.load(AtomicOrdering::Relaxed)
     }
 
     /// Rows returned to the consumer so far.
@@ -139,11 +165,12 @@ impl RowSource for PlanSource {
 /// time (their row sets gate the streaming probe side).  Plans without those
 /// operators open without touching storage.
 pub fn open_plan(plan: &LogicalPlan, catalog: &dyn Catalog) -> GsnResult<PlanSource> {
-    let scanned = Arc::new(AtomicU64::new(0));
-    let root = open_node(plan, catalog, &scanned)?;
+    let counters = ExecCounters::default();
+    let root = open_node(plan, catalog, &counters)?;
     Ok(PlanSource {
         root,
-        scanned,
+        scanned: counters.scanned,
+        residual_filtered: counters.residual_filtered,
         returned: 0,
     })
 }
@@ -164,11 +191,15 @@ pub fn execute_query(query: &Query, catalog: &dyn Catalog) -> GsnResult<Relation
 fn open_node(
     plan: &LogicalPlan,
     catalog: &dyn Catalog,
-    scanned: &Arc<AtomicU64>,
+    counters: &ExecCounters,
 ) -> GsnResult<Box<dyn RowSource>> {
     Ok(match plan {
-        LogicalPlan::Scan { table, alias } => {
-            let inner = catalog.scan(table)?;
+        LogicalPlan::Scan { table, alias, spec } => {
+            let inner = if spec.is_default() {
+                catalog.scan(table)?
+            } else {
+                catalog.scan_with_spec(table, spec)?
+            };
             // Re-qualify every column with the alias used in this query so that
             // `alias.column` references resolve.
             let columns = inner
@@ -176,15 +207,26 @@ fn open_node(
                 .iter()
                 .map(|c| ColumnInfo::new(Some(alias), &c.name, c.data_type))
                 .collect();
-            Box::new(ReAliasSource {
+            let source: Box<dyn RowSource> = Box::new(ReAliasSource {
                 inner,
                 columns,
-                scanned: Some(Arc::clone(scanned)),
-            })
+                scanned: Some(Arc::clone(&counters.scanned)),
+            });
+            // Re-apply every absorbed conjunct row-wise: storage range bounds
+            // are superset-safe hints, so this filter makes the result exact
+            // (and is a no-op for catalogs that honoured the bounds already).
+            match join_conjuncts(spec.residual.clone()) {
+                Some(predicate) => Box::new(FilterSource {
+                    inner: source,
+                    predicate,
+                    dropped: Some(Arc::clone(&counters.residual_filtered)),
+                }),
+                None => source,
+            }
         }
         LogicalPlan::Empty => Box::new(RelationSource::new(Relation::single_empty_row())),
         LogicalPlan::Derived { input, alias } => {
-            let inner = open_node(input, catalog, scanned)?;
+            let inner = open_node(input, catalog, counters)?;
             let columns = inner
                 .columns()
                 .iter()
@@ -197,33 +239,37 @@ fn open_node(
             })
         }
         LogicalPlan::Filter { input, predicate } => {
-            let inner = open_node(input, catalog, scanned)?;
+            let inner = open_node(input, catalog, counters)?;
             let predicate = resolve_subqueries(predicate.clone(), catalog)?;
-            Box::new(FilterSource { inner, predicate })
+            Box::new(FilterSource {
+                inner,
+                predicate,
+                dropped: None,
+            })
         }
         LogicalPlan::Join {
             left,
             right,
             kind,
             on,
-        } => open_join(left, right, *kind, on.as_ref(), catalog, scanned)?,
+        } => open_join(left, right, *kind, on.as_ref(), catalog, counters)?,
         LogicalPlan::Project {
             input,
             items,
             wildcards,
-        } => open_project(input, items, wildcards, catalog, scanned)?,
+        } => open_project(input, items, wildcards, catalog, counters)?,
         LogicalPlan::Aggregate {
             input,
             group_by,
             items,
             having,
-        } => open_aggregate(input, group_by, items, having.as_ref(), catalog, scanned)?,
+        } => open_aggregate(input, group_by, items, having.as_ref(), catalog, counters)?,
         LogicalPlan::Distinct { input } => Box::new(DistinctSource {
-            inner: open_node(input, catalog, scanned)?,
+            inner: open_node(input, catalog, counters)?,
             seen: HashSet::new(),
         }),
         LogicalPlan::Sort { input, keys } => {
-            let inner = open_node(input, catalog, scanned)?;
+            let inner = open_node(input, catalog, counters)?;
             let columns = inner.columns().to_vec();
             Box::new(SortSource {
                 inner: Some(inner),
@@ -237,7 +283,7 @@ fn open_node(
             limit,
             offset,
         } => Box::new(LimitSource {
-            inner: open_node(input, catalog, scanned)?,
+            inner: open_node(input, catalog, counters)?,
             skip: *offset,
             remaining: limit.unwrap_or(u64::MAX),
         }),
@@ -246,7 +292,7 @@ fn open_node(
             right,
             op,
             all,
-        } => open_set_op(left, right, *op, *all, catalog, scanned)?,
+        } => open_set_op(left, right, *op, *all, catalog, counters)?,
     })
 }
 
@@ -281,6 +327,8 @@ impl RowSource for ReAliasSource {
 struct FilterSource {
     inner: Box<dyn RowSource>,
     predicate: Expr,
+    /// When set (residual filters above pushed-down scans), counts dropped rows.
+    dropped: Option<Arc<AtomicU64>>,
 }
 
 impl RowSource for FilterSource {
@@ -296,6 +344,9 @@ impl RowSource for FilterSource {
             };
             if keep {
                 return Ok(Some(row));
+            }
+            if let Some(counter) = &self.dropped {
+                counter.fetch_add(1, AtomicOrdering::Relaxed);
             }
         }
         Ok(None)
@@ -365,9 +416,9 @@ fn open_project(
     items: &[ProjectionItem],
     wildcards: &[Option<String>],
     catalog: &dyn Catalog,
-    scanned: &Arc<AtomicU64>,
+    counters: &ExecCounters,
 ) -> GsnResult<Box<dyn RowSource>> {
-    let inner = open_node(input, catalog, scanned)?;
+    let inner = open_node(input, catalog, counters)?;
     let input_columns = inner.columns().to_vec();
 
     // Expand wildcards into column positions.
@@ -462,12 +513,12 @@ fn open_join(
     kind: JoinKind,
     on: Option<&Expr>,
     catalog: &dyn Catalog,
-    scanned: &Arc<AtomicU64>,
+    counters: &ExecCounters,
 ) -> GsnResult<Box<dyn RowSource>> {
-    let left_source = open_node(left, catalog, scanned)?;
+    let left_source = open_node(left, catalog, counters)?;
     // The build side is a pipeline breaker: materialise it once, then stream the left
     // (probe) side row-at-a-time.
-    let right_rel = open_node(right, catalog, scanned)?.collect()?;
+    let right_rel = open_node(right, catalog, counters)?.collect()?;
     let columns: Vec<ColumnInfo> = left_source
         .columns()
         .iter()
@@ -713,9 +764,9 @@ fn open_aggregate(
     items: &[ProjectionItem],
     having: Option<&Expr>,
     catalog: &dyn Catalog,
-    scanned: &Arc<AtomicU64>,
+    counters: &ExecCounters,
 ) -> GsnResult<Box<dyn RowSource>> {
-    let inner = open_node(input, catalog, scanned)?;
+    let inner = open_node(input, catalog, counters)?;
 
     // Extract every aggregate call from the output items and the HAVING clause, replacing
     // each with a reference to a placeholder column computed per group.
@@ -877,10 +928,10 @@ fn open_set_op(
     op: SetOperator,
     all: bool,
     catalog: &dyn Catalog,
-    scanned: &Arc<AtomicU64>,
+    counters: &ExecCounters,
 ) -> GsnResult<Box<dyn RowSource>> {
-    let left_source = open_node(left, catalog, scanned)?;
-    let right_source = open_node(right, catalog, scanned)?;
+    let left_source = open_node(left, catalog, counters)?;
+    let right_source = open_node(right, catalog, counters)?;
     if left_source.columns().len() != right_source.columns().len() {
         return Err(GsnError::sql_exec(format!(
             "set operation requires equal column counts ({} vs {})",

@@ -66,6 +66,6 @@ pub use exec::{execute_plan, execute_query, open_plan, Catalog, MemoryCatalog, P
 pub use optimizer::OptimizerConfig;
 pub use parser::{parse_expression, parse_query};
 pub use partial::{decompose, merge_partials, MergeColumn, PartialAggregatePlan};
-pub use plan::{plan_query, LogicalPlan};
+pub use plan::{plan_query, LogicalPlan, ScanSpec};
 pub use relation::{ColumnInfo, Relation};
 pub use telemetry::SqlTelemetry;

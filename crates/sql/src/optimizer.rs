@@ -11,7 +11,7 @@ use gsn_types::{GsnResult, Value};
 
 use crate::ast::{BinaryOp, Expr};
 use crate::eval::{evaluate, RowContext};
-use crate::plan::{JoinKind, LogicalPlan};
+use crate::plan::{JoinKind, LogicalPlan, ScanSpec};
 
 /// Optimizer configuration, exposed so ablation benchmarks can toggle passes.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +39,8 @@ pub fn optimize(plan: LogicalPlan, config: &OptimizerConfig) -> GsnResult<Logica
     }
     if config.predicate_pushdown {
         plan = pushdown_predicates(plan)?;
+        plan = pushdown_limits(plan);
+        pushdown_projections(&mut plan);
     }
     Ok(plan)
 }
@@ -469,7 +471,284 @@ fn push_conjuncts_into(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
             };
             wrap_filter(joined, keep)
         }
+        // A conjunct that reached a scan leaf references only that scan, so it
+        // is absorbed into the scan's [`ScanSpec`]: sargable PK/TIMED
+        // comparisons additionally tighten the range bounds, and *every*
+        // absorbed conjunct stays in `residual` so the executor re-applies it
+        // row-wise (storage bounds are superset-safe hints).  Subquery-bearing
+        // conjuncts stay as Filter nodes — they need the executor's catalog.
+        LogicalPlan::Scan {
+            table,
+            alias,
+            mut spec,
+        } => {
+            let mut keep = Vec::new();
+            for conjunct in conjuncts {
+                if conjunct.contains_subquery() {
+                    keep.push(conjunct);
+                    continue;
+                }
+                spec.absorb_bound(&conjunct, &alias);
+                spec.residual.push(conjunct);
+            }
+            wrap_filter(LogicalPlan::Scan { table, alias, spec }, keep)
+        }
         other => wrap_filter(other, conjuncts),
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Limit + projection pushdown into scans
+// ---------------------------------------------------------------------------------------
+
+/// Records a limit hint on scans directly below a `Limit` (optionally through a
+/// row-preserving projection).  The `Limit` node stays as the authoritative
+/// enforcement; the hint merely lets storage stop producing rows early when no
+/// residual predicate can drop rows first.
+fn pushdown_limits(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Limit {
+            input,
+            limit: Some(limit),
+            offset,
+        } => {
+            let budget = limit.saturating_add(offset);
+            let hint = |mut spec: ScanSpec| {
+                spec.limit = Some(spec.limit.map_or(budget, |cur| cur.min(budget)));
+                spec
+            };
+            let input = match pushdown_limits(*input) {
+                LogicalPlan::Scan { table, alias, spec } => LogicalPlan::Scan {
+                    table,
+                    alias,
+                    spec: hint(spec),
+                },
+                LogicalPlan::Project {
+                    input: proj_input,
+                    items,
+                    wildcards,
+                } => {
+                    let proj_input = match *proj_input {
+                        LogicalPlan::Scan { table, alias, spec } => LogicalPlan::Scan {
+                            table,
+                            alias,
+                            spec: hint(spec),
+                        },
+                        other => other,
+                    };
+                    LogicalPlan::Project {
+                        input: Box::new(proj_input),
+                        items,
+                        wildcards,
+                    }
+                }
+                other => other,
+            };
+            LogicalPlan::Limit {
+                input: Box::new(input),
+                limit: Some(limit),
+                offset,
+            }
+        }
+        LogicalPlan::Limit {
+            input,
+            limit: None,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(pushdown_limits(*input)),
+            limit: None,
+            offset,
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(pushdown_limits(*input)),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            items,
+            wildcards,
+        } => LogicalPlan::Project {
+            input: Box::new(pushdown_limits(*input)),
+            items,
+            wildcards,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            items,
+            having,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(pushdown_limits(*input)),
+            group_by,
+            items,
+            having,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(pushdown_limits(*left)),
+            right: Box::new(pushdown_limits(*right)),
+            kind,
+            on,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(pushdown_limits(*input)),
+            keys,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(pushdown_limits(*input)),
+        },
+        LogicalPlan::Derived { input, alias } => LogicalPlan::Derived {
+            input: Box::new(pushdown_limits(*input)),
+            alias,
+        },
+        LogicalPlan::SetOp {
+            left,
+            right,
+            op,
+            all,
+        } => LogicalPlan::SetOp {
+            left: Box::new(pushdown_limits(*left)),
+            right: Box::new(pushdown_limits(*right)),
+            op,
+            all,
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Empty) => leaf,
+    }
+}
+
+/// Records on every scan the set of columns its query scope actually reads
+/// (`None` when a covering wildcard needs them all), so the cursor layer can
+/// skip materialising the rest.  Unqualified references conservatively count
+/// against every scan in the scope; derived tables open a fresh scope.
+fn pushdown_projections(plan: &mut LogicalPlan) {
+    let mut columns: Vec<(Option<String>, String)> = Vec::new();
+    let mut wildcards: Vec<Option<String>> = Vec::new();
+    collect_scope_refs(plan, &mut columns, &mut wildcards);
+    assign_scan_projections(plan, &columns, &wildcards);
+}
+
+/// Gathers every column reference and wildcard in the current query scope,
+/// stopping at derived-table boundaries (their scans see only their own scope).
+fn collect_scope_refs(
+    plan: &LogicalPlan,
+    columns: &mut Vec<(Option<String>, String)>,
+    wildcards: &mut Vec<Option<String>>,
+) {
+    match plan {
+        LogicalPlan::Scan { spec, .. } => {
+            for conjunct in &spec.residual {
+                columns.extend(conjunct.referenced_columns());
+            }
+        }
+        LogicalPlan::Empty | LogicalPlan::Derived { .. } => {}
+        LogicalPlan::Filter { input, predicate } => {
+            columns.extend(predicate.referenced_columns());
+            collect_scope_refs(input, columns, wildcards);
+        }
+        LogicalPlan::Project {
+            input,
+            items,
+            wildcards: project_wildcards,
+        } => {
+            for item in items {
+                columns.extend(item.expr.referenced_columns());
+            }
+            wildcards.extend(project_wildcards.iter().cloned());
+            collect_scope_refs(input, columns, wildcards);
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            items,
+            having,
+        } => {
+            for expr in group_by {
+                columns.extend(expr.referenced_columns());
+            }
+            for item in items {
+                columns.extend(item.expr.referenced_columns());
+            }
+            if let Some(having) = having {
+                columns.extend(having.referenced_columns());
+            }
+            collect_scope_refs(input, columns, wildcards);
+        }
+        LogicalPlan::Join {
+            left, right, on, ..
+        } => {
+            if let Some(on) = on {
+                columns.extend(on.referenced_columns());
+            }
+            collect_scope_refs(left, columns, wildcards);
+            collect_scope_refs(right, columns, wildcards);
+        }
+        LogicalPlan::Sort { input, keys } => {
+            for key in keys {
+                columns.extend(key.expr.referenced_columns());
+            }
+            collect_scope_refs(input, columns, wildcards);
+        }
+        LogicalPlan::Limit { input, .. } | LogicalPlan::Distinct { input } => {
+            collect_scope_refs(input, columns, wildcards);
+        }
+        LogicalPlan::SetOp { left, right, .. } => {
+            collect_scope_refs(left, columns, wildcards);
+            collect_scope_refs(right, columns, wildcards);
+        }
+    }
+}
+
+/// Writes the needed-column set into each scan of the scope and recurses into
+/// derived-table scopes.
+fn assign_scan_projections(
+    plan: &mut LogicalPlan,
+    columns: &[(Option<String>, String)],
+    wildcards: &[Option<String>],
+) {
+    match plan {
+        LogicalPlan::Scan { alias, spec, .. } => {
+            let covered = wildcards.iter().any(|w| match w {
+                None => true,
+                Some(q) => q.eq_ignore_ascii_case(alias),
+            });
+            if covered {
+                spec.projection = None;
+                return;
+            }
+            let mut needed: Vec<String> = Vec::new();
+            for (qualifier, name) in columns {
+                let applies = match qualifier {
+                    Some(q) => q.eq_ignore_ascii_case(alias),
+                    None => true,
+                };
+                if applies {
+                    let name = name.to_ascii_lowercase();
+                    if !needed.contains(&name) {
+                        needed.push(name);
+                    }
+                }
+            }
+            needed.sort();
+            spec.projection = Some(needed);
+        }
+        LogicalPlan::Derived { input, .. } => pushdown_projections(input),
+        LogicalPlan::Empty => {}
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => {
+            assign_scan_projections(input, columns, wildcards);
+        }
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+            assign_scan_projections(left, columns, wildcards);
+            assign_scan_projections(right, columns, wildcards);
+        }
     }
 }
 
@@ -558,23 +837,23 @@ mod tests {
              where m.temp > 20 and c.size > 1000 and m.id = c.id",
         );
         let explain = p.explain();
-        // The single-side conjuncts must appear below the join; the cross-side conjunct
-        // stays above it.
+        // The single-side conjuncts are absorbed into their scans as residual
+        // predicates; the cross-side conjunct stays as a Filter above the join.
         let join_line = explain.lines().position(|l| l.contains("Join")).unwrap();
-        let m_filter = explain
+        let m_scan = explain
             .lines()
-            .position(|l| l.contains("Filter (m.temp > 20)"))
-            .expect("left filter pushed");
-        let c_filter = explain
+            .position(|l| l.contains("Scan motes AS m") && l.contains("residual=(m.temp > 20)"))
+            .expect("left conjunct absorbed");
+        let c_scan = explain
             .lines()
-            .position(|l| l.contains("Filter (c.size > 1000)"))
-            .expect("right filter pushed");
+            .position(|l| l.contains("Scan cameras AS c") && l.contains("residual=(c.size > 1000)"))
+            .expect("right conjunct absorbed");
         let cross_filter = explain
             .lines()
-            .position(|l| l.contains("(m.id = c.id)"))
+            .position(|l| l.contains("Filter") && l.contains("(m.id = c.id)"))
             .expect("cross filter kept");
-        assert!(m_filter > join_line);
-        assert!(c_filter > join_line);
+        assert!(m_scan > join_line);
+        assert!(c_scan > join_line);
         assert!(cross_filter < join_line);
     }
 
@@ -593,11 +872,100 @@ mod tests {
     }
 
     #[test]
-    fn single_table_filters_are_untouched() {
+    fn single_table_filters_are_absorbed_into_the_scan() {
         let p = optimized("select * from t where a > 1 and b > 2");
         let explain = p.explain();
-        assert!(explain.contains("Filter"));
-        assert!(explain.contains("Scan t"));
+        assert!(!explain.contains("Filter"), "{explain}");
+        assert!(
+            explain.contains("Scan t residual=(a > 1) AND (b > 2)"),
+            "{explain}"
+        );
+        // All conjuncts live in the residual for the executor to re-apply.
+        match find_scan(&p) {
+            LogicalPlan::Scan { spec, .. } => assert_eq!(spec.residual.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn find_scan(plan: &LogicalPlan) -> &LogicalPlan {
+        fn walk(plan: &LogicalPlan) -> Option<&LogicalPlan> {
+            if matches!(plan, LogicalPlan::Scan { .. }) {
+                return Some(plan);
+            }
+            plan.children().into_iter().find_map(walk)
+        }
+        walk(plan).expect("no scan in plan")
+    }
+
+    #[test]
+    fn sargable_conjuncts_become_index_bounds() {
+        let p = optimized("select * from t where pk >= 100 and pk <= 200 and v > 5");
+        match find_scan(&p) {
+            LogicalPlan::Scan { spec, .. } => {
+                assert_eq!(spec.min_seq, Some(100));
+                assert_eq!(spec.max_seq, Some(200));
+                // Bounds stay in the residual too: storage may over-return.
+                assert_eq!(spec.residual.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p.explain_physical().contains("IndexRangeScan"));
+        let p = optimized("select * from t where timed >= 5000 and timed < 9000");
+        match find_scan(&p) {
+            LogicalPlan::Scan { spec, .. } => {
+                assert_eq!(spec.min_ts, Some(5_000));
+                assert_eq!(spec.max_ts, Some(8_999));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limits_hint_the_scan_through_projections() {
+        let p = optimized("select v from t limit 10 offset 2");
+        match find_scan(&p) {
+            LogicalPlan::Scan { spec, .. } => assert_eq!(spec.limit, Some(12)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A blocking operator between Limit and Scan suppresses the hint.
+        let p = optimized("select v from t order by v limit 10");
+        match find_scan(&p) {
+            LogicalPlan::Scan { spec, .. } => assert_eq!(spec.limit, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_projection_tracks_referenced_columns() {
+        let p = optimized("select a from t where b > 1 order by c");
+        match find_scan(&p) {
+            LogicalPlan::Scan { spec, .. } => {
+                assert_eq!(
+                    spec.projection.as_deref(),
+                    Some(&["a".to_owned(), "b".to_owned(), "c".to_owned()][..])
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Any covering wildcard keeps every column.
+        let p = optimized("select * from t where b > 1");
+        match find_scan(&p) {
+            LogicalPlan::Scan { spec, .. } => assert_eq!(spec.projection, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_conjuncts_stay_as_filters() {
+        let p = optimized("select * from t where a in (select x from u) and b > 1");
+        let explain = p.explain();
+        assert!(explain.contains("Filter"), "{explain}");
+        match find_scan(&p) {
+            LogicalPlan::Scan { spec, table, .. } if table == "t" => {
+                assert_eq!(spec.residual.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

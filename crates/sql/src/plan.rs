@@ -9,8 +9,10 @@ use std::fmt;
 
 use gsn_types::{GsnError, GsnResult};
 
+use gsn_types::Value;
+
 use crate::ast::{
-    Expr, Join, JoinOperator, Query, SelectBody, SelectItem, SetOperator, TableFactor,
+    BinaryOp, Expr, Join, JoinOperator, Query, SelectBody, SelectItem, SetOperator, TableFactor,
     TableWithJoins,
 };
 
@@ -53,6 +55,153 @@ pub struct SortKey {
     pub ascending: bool,
 }
 
+/// Constraints pushed below a [`LogicalPlan::Scan`] into the storage layer.
+///
+/// The optimizer absorbs sargable `WHERE` conjuncts over the implicit `PK` /
+/// `TIMED` columns into inclusive range bounds, collects the column set the
+/// rest of the plan actually reads, and records a limit hint for
+/// `LIMIT`-over-scan shapes.  Storage treats every field as a *superset-safe
+/// hint*: it may return extra rows (e.g. whole pages overlapping a time
+/// bound), so `residual` keeps **all** absorbed conjuncts and the executor
+/// re-applies them row-wise above the scan — a catalog that ignores the spec
+/// entirely is still correct.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanSpec {
+    /// Inclusive lower bound on the implicit `PK` sequence column.
+    pub min_seq: Option<u64>,
+    /// Inclusive upper bound on the implicit `PK` sequence column.
+    pub max_seq: Option<u64>,
+    /// Inclusive lower bound on the implicit `TIMED` column (epoch millis).
+    pub min_ts: Option<i64>,
+    /// Inclusive upper bound on the implicit `TIMED` column (epoch millis).
+    pub max_ts: Option<i64>,
+    /// Every conjunct absorbed from Filters above the scan (bounds included);
+    /// the executor evaluates all of them against each scanned row.
+    pub residual: Vec<Expr>,
+    /// Columns the plan reads from this scan; `None` means all (wildcard).
+    pub projection: Option<Vec<String>>,
+    /// Maximum rows the plan consumes, when no residual can drop rows first.
+    pub limit: Option<u64>,
+}
+
+impl ScanSpec {
+    /// True when nothing was pushed down (the scan behaves like the seed path).
+    pub fn is_default(&self) -> bool {
+        *self == ScanSpec::default()
+    }
+
+    /// Tries to tighten the range bounds with one conjunct of the form
+    /// `PK/TIMED <cmp> <integer literal>` (or reversed).  Returns whether the
+    /// conjunct was recognised; the caller records it in `residual` either way.
+    pub fn absorb_bound(&mut self, conjunct: &Expr, alias: &str) -> bool {
+        let Expr::Binary { left, op, right } = conjunct else {
+            return false;
+        };
+        let on_alias = |qualifier: &Option<String>| {
+            qualifier
+                .as_deref()
+                .is_none_or(|q| q.eq_ignore_ascii_case(alias))
+        };
+        let (column, op, value) = match (&**left, &**right) {
+            (Expr::Column { qualifier, name }, Expr::Literal(Value::Integer(v)))
+                if on_alias(qualifier) =>
+            {
+                (name, *op, *v)
+            }
+            (Expr::Literal(Value::Integer(v)), Expr::Column { qualifier, name })
+                if on_alias(qualifier) =>
+            {
+                let mirrored = match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::LtEq => BinaryOp::GtEq,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::GtEq => BinaryOp::LtEq,
+                    BinaryOp::Eq => BinaryOp::Eq,
+                    _ => return false,
+                };
+                (name, mirrored, *v)
+            }
+            _ => return false,
+        };
+        let (lo, hi) = match op {
+            BinaryOp::Gt => (Some(value.saturating_add(1)), None),
+            BinaryOp::GtEq => (Some(value), None),
+            BinaryOp::Lt => (None, Some(value.saturating_sub(1))),
+            BinaryOp::LtEq => (None, Some(value)),
+            BinaryOp::Eq => (Some(value), Some(value)),
+            _ => return false,
+        };
+        if column.eq_ignore_ascii_case("pk") {
+            if let Some(lo) = lo {
+                let lo = lo.max(0) as u64;
+                self.min_seq = Some(self.min_seq.map_or(lo, |cur| cur.max(lo)));
+            }
+            if let Some(hi) = hi {
+                let hi = hi.max(0) as u64;
+                self.max_seq = Some(self.max_seq.map_or(hi, |cur| cur.min(hi)));
+            }
+            true
+        } else if column.eq_ignore_ascii_case("timed") {
+            if let Some(lo) = lo {
+                self.min_ts = Some(self.min_ts.map_or(lo, |cur| cur.max(lo)));
+            }
+            if let Some(hi) = hi {
+                self.max_ts = Some(self.max_ts.map_or(hi, |cur| cur.min(hi)));
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when the conjunct would tighten a PK/TIMED bound on `alias`.
+    pub fn is_bound_conjunct(conjunct: &Expr, alias: &str) -> bool {
+        ScanSpec::default().absorb_bound(conjunct, alias)
+    }
+
+    fn bounds_description(&self) -> Vec<String> {
+        let mut parts = Vec::new();
+        if let Some(v) = self.min_seq {
+            parts.push(format!("pk >= {v}"));
+        }
+        if let Some(v) = self.max_seq {
+            parts.push(format!("pk <= {v}"));
+        }
+        if let Some(v) = self.min_ts {
+            parts.push(format!("timed >= {v}"));
+        }
+        if let Some(v) = self.max_ts {
+            parts.push(format!("timed <= {v}"));
+        }
+        parts
+    }
+
+    /// Renders the pushed-down parts as an `EXPLAIN` suffix (empty when default).
+    pub fn explain_suffix(&self, alias: &str) -> String {
+        let mut s = String::new();
+        let bounds = self.bounds_description();
+        if !bounds.is_empty() {
+            s.push_str(&format!(" [{}]", bounds.join(", ")));
+        }
+        let residual: Vec<String> = self
+            .residual
+            .iter()
+            .filter(|c| !ScanSpec::is_bound_conjunct(c, alias))
+            .map(|c| c.to_string())
+            .collect();
+        if !residual.is_empty() {
+            s.push_str(&format!(" residual={}", residual.join(" AND ")));
+        }
+        if let Some(cols) = &self.projection {
+            s.push_str(&format!(" columns=[{}]", cols.join(", ")));
+        }
+        if let Some(n) = self.limit {
+            s.push_str(&format!(" limit={n}"));
+        }
+        s
+    }
+}
+
 /// A logical plan operator tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
@@ -62,6 +211,8 @@ pub enum LogicalPlan {
         table: String,
         /// The alias the rest of the query uses to refer to it.
         alias: String,
+        /// Bounds/residual/projection/limit pushed below the scan.
+        spec: ScanSpec,
     },
     /// A single row with no columns; the input of FROM-less SELECTs.
     Empty,
@@ -192,12 +343,14 @@ impl LogicalPlan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let indent = "  ".repeat(depth);
         let line = match self {
-            LogicalPlan::Scan { table, alias } => {
-                if table.eq_ignore_ascii_case(alias) {
+            LogicalPlan::Scan { table, alias, spec } => {
+                let mut s = if table.eq_ignore_ascii_case(alias) {
                     format!("Scan {table}")
                 } else {
                     format!("Scan {table} AS {alias}")
-                }
+                };
+                s.push_str(&spec.explain_suffix(alias));
+                s
             }
             LogicalPlan::Empty => "Empty".to_owned(),
             LogicalPlan::Derived { alias, .. } => format!("Derived AS {alias}"),
@@ -271,12 +424,28 @@ impl LogicalPlan {
     fn explain_physical_into(&self, out: &mut String, depth: usize) {
         let indent = "  ".repeat(depth);
         let line = match self {
-            LogicalPlan::Scan { table, alias } => {
-                if table.eq_ignore_ascii_case(alias) {
-                    format!("StreamScan {table} [streaming]")
+            LogicalPlan::Scan { table, alias, spec } => {
+                // A scan with pushed-down range bounds or a limit hint seeks via
+                // the segment index instead of starting at row 0.
+                let seeks = spec.min_seq.is_some()
+                    || spec.max_seq.is_some()
+                    || spec.min_ts.is_some()
+                    || spec.max_ts.is_some()
+                    || spec.limit.is_some();
+                let operator = if seeks {
+                    "IndexRangeScan"
                 } else {
-                    format!("StreamScan {table} AS {alias} [streaming]")
-                }
+                    "StreamScan"
+                };
+                let name = if table.eq_ignore_ascii_case(alias) {
+                    table.clone()
+                } else {
+                    format!("{table} AS {alias}")
+                };
+                format!(
+                    "{operator} {name}{} [streaming]",
+                    spec.explain_suffix(alias)
+                )
             }
             LogicalPlan::Empty => "SingleRow [streaming]".to_owned(),
             LogicalPlan::Derived { alias, .. } => format!("Derived AS {alias} [streaming]"),
@@ -552,6 +721,7 @@ fn plan_table_factor(factor: &TableFactor) -> GsnResult<LogicalPlan> {
         TableFactor::Table { name, alias } => Ok(LogicalPlan::Scan {
             table: name.clone(),
             alias: alias.clone().unwrap_or_else(|| name.clone()),
+            spec: ScanSpec::default(),
         }),
         TableFactor::Derived { subquery, alias } => Ok(LogicalPlan::Derived {
             input: Box::new(plan_query(subquery)?),
@@ -801,6 +971,96 @@ mod tests {
         assert!(p.explain_physical().contains("NestedLoopJoin (INNER)"));
         let p = plan("select * from a join b on a.x = a.y");
         assert!(p.explain_physical().contains("NestedLoopJoin (INNER)"));
+    }
+
+    #[test]
+    fn explain_renders_pushed_down_scan_specs() {
+        let residual = Expr::binary(
+            Expr::col("temp"),
+            BinaryOp::Gt,
+            Expr::Literal(Value::Integer(20)),
+        );
+        let bound = Expr::binary(
+            Expr::col("timed"),
+            BinaryOp::GtEq,
+            Expr::Literal(Value::Integer(1_700_000_000)),
+        );
+        let mut spec = ScanSpec {
+            residual: vec![bound.clone(), residual],
+            limit: Some(10),
+            ..ScanSpec::default()
+        };
+        assert!(spec.absorb_bound(&bound, "motes"));
+        let p = LogicalPlan::Scan {
+            table: "motes".to_owned(),
+            alias: "motes".to_owned(),
+            spec,
+        };
+        let physical = p.explain_physical();
+        assert!(
+            physical.contains(
+                "IndexRangeScan motes [timed >= 1700000000] residual=(temp > 20) limit=10"
+            ),
+            "{physical}"
+        );
+        // The logical EXPLAIN carries the same suffix on its Scan line.
+        let logical = p.explain();
+        assert!(
+            logical.contains("Scan motes [timed >= 1700000000] residual=(temp > 20) limit=10"),
+            "{logical}"
+        );
+        // An un-pushed scan renders exactly as before.
+        let plain = plan("select * from motes").explain_physical();
+        assert!(plain.contains("StreamScan motes [streaming]"), "{plain}");
+    }
+
+    #[test]
+    fn scan_spec_bounds_absorb_and_tighten() {
+        let mut spec = ScanSpec::default();
+        // pk > 10 and pk > 20 keep the tighter lower bound; 5 >= pk mirrors.
+        for (sql_left, op, v) in [("pk", BinaryOp::Gt, 10), ("pk", BinaryOp::Gt, 20)] {
+            assert!(spec.absorb_bound(
+                &Expr::binary(Expr::col(sql_left), op, Expr::Literal(Value::Integer(v))),
+                "t"
+            ));
+        }
+        assert_eq!(spec.min_seq, Some(21));
+        assert!(spec.absorb_bound(
+            &Expr::binary(
+                Expr::Literal(Value::Integer(5)),
+                BinaryOp::GtEq,
+                Expr::qcol("t", "pk")
+            ),
+            "t"
+        ));
+        assert_eq!(spec.max_seq, Some(5));
+        // timed = v sets both time bounds; other columns are not sargable.
+        assert!(spec.absorb_bound(
+            &Expr::binary(
+                Expr::col("timed"),
+                BinaryOp::Eq,
+                Expr::Literal(Value::Integer(99))
+            ),
+            "t"
+        ));
+        assert_eq!((spec.min_ts, spec.max_ts), (Some(99), Some(99)));
+        assert!(!spec.absorb_bound(
+            &Expr::binary(
+                Expr::col("temp"),
+                BinaryOp::Gt,
+                Expr::Literal(Value::Integer(1))
+            ),
+            "t"
+        ));
+        // A qualifier naming a different alias is left alone.
+        assert!(!spec.absorb_bound(
+            &Expr::binary(
+                Expr::qcol("other", "pk"),
+                BinaryOp::Gt,
+                Expr::Literal(Value::Integer(1))
+            ),
+            "t"
+        ));
     }
 
     #[test]

@@ -44,19 +44,22 @@
 //! into reclaimed file space: fully dead head segments are deleted and the boundary
 //! segment is compacted.
 
+use std::collections::HashSet;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use gsn_types::{codec, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp};
 use parking_lot::Mutex;
 
 use crate::buffer::{BufferPoolStats, PageIo, SharedBufferPool, TableId};
+use crate::index::{self, PageSummary, SegmentIndex};
 use crate::page::{Page, PageId, MAX_INLINE_RECORD};
 use crate::retention::{DiskUsage, ReclaimStats, COMPACT_MIN_DEAD_RATIO};
 use crate::segment::{
     global_page_id, segment_of, SegmentedHeap, DEFAULT_SEGMENT_PAGES, MAX_SEGMENT_PAGES,
 };
+use crate::telemetry::StorageTelemetry;
 use crate::wal::{SyncMode, TableWal, Wal, WalSet};
 use crate::window::WindowSpec;
 
@@ -103,6 +106,11 @@ pub struct PersistentOptions {
     /// segments reclaim space at a finer grain at the cost of more files; the default
     /// is ≈1 MiB per segment.
     pub segment_pages: u32,
+    /// Storage telemetry handles the backend records index seeks and page skips
+    /// into.  Default handles are detached (recording works, nothing is exported);
+    /// the [`crate::StorageManager`] passes its container-wide handles so the
+    /// counters surface through the metrics registry.
+    pub telemetry: StorageTelemetry,
 }
 
 impl Default for PersistentOptions {
@@ -116,7 +124,40 @@ impl Default for PersistentOptions {
             pool_regions: 0,
             shared_wal: None,
             segment_pages: DEFAULT_SEGMENT_PAGES,
+            telemetry: StorageTelemetry::default(),
         }
+    }
+}
+
+/// Pushed-down scan bounds, derived by the SQL optimizer from sargable
+/// predicates (and a safe limit hint) on the implicit `PK` / `TIMED` columns.
+///
+/// All bounds are *hints* that let a backend skip storage it would otherwise
+/// read: a backend may return a **superset** of the qualifying rows (the
+/// executor re-applies the originating predicate row-wise above the scan), but
+/// must never drop a row the bounds admit.  `min_seq`/`max_seq` are inclusive
+/// sequence bounds; `min_ts`/`max_ts` are inclusive timestamp bounds in
+/// milliseconds; `limit` caps the rows the consumer will pull and is only
+/// forwarded by callers when nothing between storage and the limit operator can
+/// drop rows (no residual predicate, no time bounds, no sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanBounds {
+    /// Inclusive lower sequence bound (`pk >= n`).
+    pub min_seq: Option<u64>,
+    /// Inclusive upper sequence bound (`pk <= n`).
+    pub max_seq: Option<u64>,
+    /// Inclusive lower timestamp bound in millis (`timed >= t`).
+    pub min_ts: Option<i64>,
+    /// Inclusive upper timestamp bound in millis (`timed <= t`).
+    pub max_ts: Option<i64>,
+    /// Upper bound on rows the consumer will pull.
+    pub limit: Option<u64>,
+}
+
+impl ScanBounds {
+    /// True when no bound is set (the scan reads everything the window selects).
+    pub fn is_unbounded(&self) -> bool {
+        *self == ScanBounds::default()
     }
 }
 
@@ -163,6 +204,12 @@ pub(crate) enum ScanStateInner {
         cutoff: Option<Timestamp>,
         /// Whether the cutoff has been passed (partition-point semantics).
         passed: bool,
+        /// Inclusive pushed-down timestamp bounds (millis): pages whose stamp
+        /// range falls entirely outside are skipped without a read.  Bounds are
+        /// page-granular hints — the executor re-filters row-wise.
+        min_ts: Option<i64>,
+        /// See `min_ts`.
+        max_ts: Option<i64>,
     },
 }
 
@@ -239,6 +286,21 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// first.  The returned state is advanced with [`scan_next`](Self::scan_next);
     /// a consumer that stops pulling reads no further storage.
     fn open_scan(&self, window: WindowSpec, now: Timestamp) -> GsnResult<ScanState>;
+
+    /// Like [`open_scan`](Self::open_scan), additionally seeded with pushed-down
+    /// [`ScanBounds`]: the backend seeks its page index to the first qualifying
+    /// row and skips pages the bounds rule out.  Bounds are superset-safe hints
+    /// (see [`ScanBounds`]); the default implementation ignores them, which is
+    /// always correct.
+    fn open_scan_bounded(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        bounds: &ScanBounds,
+    ) -> GsnResult<ScanState> {
+        let _ = bounds;
+        self.open_scan(window, now)
+    }
 
     /// Begins a *delta* scan: every live element whose sequence number is strictly
     /// greater than `after`, oldest first.  This is the resume point of incremental
@@ -384,6 +446,37 @@ impl StorageBackend for MemoryBackend {
             next_seq: first.sequence(),
             end_seq: last.sequence(),
         }))
+    }
+
+    fn open_scan_bounded(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        bounds: &ScanBounds,
+    ) -> GsnResult<ScanState> {
+        let mut state = self.open_scan(window, now)?;
+        // Memory scans are cheap either way; sequence bounds still trim the
+        // cloned range (timestamp bounds stay with the executor's re-filter).
+        if let ScanStateInner::Sequence { next_seq, end_seq } = &mut state.0 {
+            if let Some(min_seq) = bounds.min_seq {
+                *next_seq = (*next_seq).max(min_seq);
+            }
+            if let Some(max_seq) = bounds.max_seq {
+                *end_seq = (*end_seq).min(max_seq);
+            }
+            // Sequences are dense in the live range, so a limit hint becomes an exact
+            // upper bound — unless a timestamp bound rides along (rows it drops fall
+            // below the cursor, so capping here could starve the consumer).
+            if bounds.min_ts.is_none() && bounds.max_ts.is_none() {
+                if let Some(limit) = bounds.limit {
+                    if limit == 0 {
+                        return Ok(ScanState::empty());
+                    }
+                    *end_seq = (*end_seq).min(next_seq.saturating_add(limit - 1));
+                }
+            }
+        }
+        Ok(state)
     }
 
     fn open_scan_after(&self, after: u64) -> GsnResult<ScanState> {
@@ -590,6 +683,13 @@ impl Drop for PoolRegistration {
 struct Inner {
     heap: Arc<Mutex<SegmentedHeap>>,
     wal: TableWal,
+    /// Data directory and sanitized file-name base — where segment files and
+    /// their index sidecars live.
+    dir: PathBuf,
+    base: String,
+    /// Segments whose on-disk index sidecar is known current in this
+    /// incarnation (validated at recovery or written since).
+    sidecars: HashSet<u32>,
     pool: Arc<SharedBufferPool>,
     table_id: TableId,
     /// Keep last so the registration is released after any other cleanup.
@@ -693,6 +793,9 @@ impl PersistentBackend {
             },
             pool,
             table_id,
+            dir: dir.to_path_buf(),
+            base,
+            sidecars: HashSet::new(),
             index: Vec::new(),
             schema,
             total_rows: 0,
@@ -782,19 +885,53 @@ impl Inner {
     /// compaction by previous incarnations.
     fn rebuild_index(&mut self) -> GsnResult<()> {
         self.index.clear();
+        self.sidecars.clear();
         self.last = None;
         self.max_sequence = 0;
-        let spans: Vec<(u32, u64, PageId)> = self
-            .heap
-            .lock()
-            .segments()
-            .map(|s| (s.segment_id(), s.first_row(), s.page_count()))
-            .collect();
+        let (spans, tail_segment): (Vec<(u32, u64, PageId)>, Option<u32>) = {
+            let heap = self.heap.lock();
+            (
+                heap.segments()
+                    .map(|s| (s.segment_id(), s.first_row(), s.page_count()))
+                    .collect(),
+                heap.tail_segment_id(),
+            )
+        };
         let mut chain: Vec<u8> = Vec::new();
         let mut chain_open = false;
         let mut chain_start_pos = 0usize;
         let mut counted = 0u64;
-        for &(segment_id, _, page_count) in &spans {
+        let mut used_sidecar = false;
+        for &(segment_id, seg_first_row, page_count) in &spans {
+            // Sealed segments with a valid sidecar rebuild without reading a
+            // single page.  The tail segment is always page-scanned (its sidecar
+            // is never current), as is any segment a not-yet-closed chain runs
+            // into — the chain's row count lives in its START page, which the
+            // scan must finish.
+            if Some(segment_id) != tail_segment && !chain_open {
+                if let Some(sidecar) = index::load_sidecar(&self.dir, &self.base, segment_id) {
+                    if sidecar.first_row == seg_first_row
+                        && sidecar.pages.len() as PageId == page_count
+                    {
+                        for (local, page) in sidecar.pages.iter().enumerate() {
+                            counted += u64::from(page.rows);
+                            self.index.push(PageEntry {
+                                pid: global_page_id(segment_id, local as PageId),
+                                info: PageInfo {
+                                    first_row: 0, // prefix-summed below
+                                    rows: page.rows,
+                                    min_ts: page.min_ts,
+                                    max_ts: page.max_ts,
+                                    bytes: page.bytes,
+                                },
+                            });
+                        }
+                        self.sidecars.insert(segment_id);
+                        used_sidecar = true;
+                        continue;
+                    }
+                }
+            }
             for local in 0..page_count {
                 let pid = global_page_id(segment_id, local);
                 let page = self.heap.lock().read_page(pid)?;
@@ -873,6 +1010,26 @@ impl Inner {
             "recovered row count disagrees with the segment headers"
         );
         self.total_rows = next;
+        // Sidecar-covered segments were never read, so `last`/`max_sequence`
+        // may still reflect only the page-scanned tail.  Re-derive them from
+        // the page(s) holding the final row (at most one page plus chain
+        // spill-over) — the only page I/O a fully sidecar-indexed recovery
+        // performs.
+        if used_sidecar && self.total_rows > 0 {
+            let target = self.total_rows - 1;
+            let from_pos = self.index.partition_point(|e| e.info.end_row() <= target);
+            // Bypass the prune watermark: `last` tracks the newest row ever
+            // appended, and the final row may sit below `logical_start`.
+            let saved_start = self.logical_start;
+            self.logical_start = 0;
+            let mut last: Option<StreamElement> = None;
+            let scanned = self.scan_payloads(from_pos, u64::MAX, &mut |e| last = Some(e.clone()));
+            self.logical_start = saved_start;
+            scanned?;
+            if let Some(element) = last {
+                self.note_element(&element);
+            }
+        }
         Ok(())
     }
 
@@ -1104,7 +1261,54 @@ impl Inner {
             end_row: self.total_rows,
             cutoff,
             passed: false,
+            min_ts: None,
+            max_ts: None,
         })
+    }
+
+    /// [`open_scan_state`](Self::open_scan_state) with pushed-down bounds: the
+    /// sequence bounds clamp the row range exactly (sequence `s` ⇔ global row
+    /// `s − 1`), the timestamp bounds arm page-granular skipping, and a limit
+    /// hint trims the snapshot bound when nothing downstream can drop rows.
+    ///
+    /// Time windows (partition-point semantics) take no bounds: a mid-scan skip
+    /// could swallow the partition point and change which out-of-order rows the
+    /// window admits.  Such scans simply fall back to the unbounded state.
+    fn open_scan_state_bounded(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        bounds: &ScanBounds,
+    ) -> ScanState {
+        let mut state = self.open_scan_state(window, now);
+        if bounds.is_unbounded() {
+            return state;
+        }
+        if let ScanStateInner::Rows {
+            next_row,
+            end_row,
+            cutoff: None,
+            min_ts,
+            max_ts,
+            ..
+        } = &mut state.0
+        {
+            if let Some(min_seq) = bounds.min_seq {
+                *next_row = (*next_row).max(min_seq.saturating_sub(1));
+            }
+            if let Some(max_seq) = bounds.max_seq {
+                // Row `max_seq − 1` is the last admissible row, so the
+                // exclusive snapshot bound clamps to `max_seq`.
+                *end_row = (*end_row).min(max_seq);
+            }
+            *min_ts = bounds.min_ts;
+            *max_ts = bounds.max_ts;
+            if let (Some(limit), None, None) = (bounds.limit, *min_ts, *max_ts) {
+                *end_row = (*end_row).min(next_row.saturating_add(limit));
+            }
+            self.options.telemetry.index_seeks.inc();
+        }
+        state
     }
 
     /// A pull-based scan starting at an exact global row index (pre-prune numbering):
@@ -1123,6 +1327,8 @@ impl Inner {
             end_row: self.total_rows,
             cutoff: None,
             passed: false,
+            min_ts: None,
+            max_ts: None,
         })
     }
 
@@ -1140,6 +1346,8 @@ impl Inner {
         end_row: u64,
         cutoff: Option<Timestamp>,
         passed: &mut bool,
+        min_ts: Option<i64>,
+        max_ts: Option<i64>,
     ) -> GsnResult<Option<Vec<StreamElement>>> {
         let end = end_row.min(self.total_rows);
         let next = (*next_row).max(self.logical_start);
@@ -1158,6 +1366,27 @@ impl Inner {
         let mut stop = false;
         let mut pos = start_pos;
         while pos < self.index.len() {
+            // Pushed-down timestamp bounds: a page whose whole stamp range falls
+            // outside cannot contribute a qualifying row (every row *touching*
+            // the page is covered by its range, chained rows included), so it is
+            // skipped without a read.  A page mid-chain is never skipped — its
+            // continuation chunks belong to a row that started in an admissible
+            // page.
+            if !chain_open && (min_ts.is_some() || max_ts.is_some()) {
+                let info = &self.index[pos].info;
+                let outside = info.rows > 0
+                    && (min_ts.is_some_and(|bound| info.max_ts < bound)
+                        || max_ts.is_some_and(|bound| info.min_ts > bound));
+                if outside {
+                    row_cursor = row_cursor.max(info.end_row());
+                    self.options.telemetry.index_pages_skipped.inc();
+                    pos += 1;
+                    if row_cursor >= end {
+                        break;
+                    }
+                    continue;
+                }
+            }
             let pid = self.index[pos].pid;
             let page_stop = self.pool.with_page(self.table_id, pid, |page| {
                 let mut stop_here = false;
@@ -1248,7 +1477,40 @@ impl Inner {
             heap.set_watermark(self.logical_start)?;
             heap.sync()?;
         }
+        self.write_missing_sidecars()?;
         self.wal.checkpoint()
+    }
+
+    /// Persists an index sidecar for every sealed (non-tail) segment that does
+    /// not have a current one — the incremental maintenance hook of checkpoint.
+    /// Sealed segments never change except through compaction (which writes its
+    /// own fresh sidecar) and deletion (which removes it), so one write per
+    /// segment lifetime suffices.
+    fn write_missing_sidecars(&mut self) -> GsnResult<()> {
+        let tail = self.heap.lock().tail_segment_id();
+        let mut pos = 0usize;
+        while pos < self.index.len() {
+            let segment = segment_of(self.index[pos].pid);
+            let len = self.index[pos..]
+                .iter()
+                .take_while(|e| segment_of(e.pid) == segment)
+                .count();
+            if Some(segment) != tail && !self.sidecars.contains(&segment) {
+                let entries = &self.index[pos..pos + len];
+                index::write_sidecar(
+                    &self.dir,
+                    &self.base,
+                    &SegmentIndex {
+                        segment_id: segment,
+                        first_row: entries[0].info.first_row,
+                        pages: entries.iter().map(|e| page_summary(&e.info)).collect(),
+                    },
+                )?;
+                self.sidecars.insert(segment);
+            }
+            pos += len;
+        }
+        Ok(())
     }
 
     // -----------------------------------------------------------------------------------
@@ -1281,6 +1543,8 @@ impl Inner {
                 break;
             }
             let (bytes, pids) = self.heap.lock().delete_segment(segment)?;
+            index::remove_sidecar(&self.dir, &self.base, segment);
+            self.sidecars.remove(&segment);
             for pid in pids {
                 self.pool.discard(self.table_id, pid);
             }
@@ -1337,9 +1601,23 @@ impl Inner {
             .heap
             .lock()
             .write_replacement(segment, live_start, &pages)?;
+        index::remove_sidecar(&self.dir, &self.base, segment);
+        self.sidecars.remove(&segment);
         for pid in &outcome.old_page_ids {
             self.pool.discard(self.table_id, *pid);
         }
+        // The replacement segment is sealed at birth (only the tail is ever
+        // written), so its sidecar can be persisted immediately.
+        index::write_sidecar(
+            &self.dir,
+            &self.base,
+            &SegmentIndex {
+                segment_id: outcome.new_segment_id,
+                first_row: live_start,
+                pages: infos.iter().map(page_summary).collect(),
+            },
+        )?;
+        self.sidecars.insert(outcome.new_segment_id);
         let new_entries: Vec<PageEntry> = infos
             .into_iter()
             .enumerate()
@@ -1427,6 +1705,16 @@ fn pack_rows(rows: &[StreamElement]) -> (Vec<Page>, Vec<PageInfo>) {
         }
     }
     (pages, infos)
+}
+
+/// The sidecar form of one in-memory page summary.
+fn page_summary(info: &PageInfo) -> PageSummary {
+    PageSummary {
+        rows: info.rows,
+        min_ts: info.min_ts,
+        max_ts: info.max_ts,
+        bytes: info.bytes,
+    }
 }
 
 fn split_chunk(record: &[u8]) -> GsnResult<(u8, &[u8])> {
@@ -1572,6 +1860,18 @@ impl StorageBackend for PersistentBackend {
         Ok(self.inner.lock().open_scan_state(window, now))
     }
 
+    fn open_scan_bounded(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        bounds: &ScanBounds,
+    ) -> GsnResult<ScanState> {
+        Ok(self
+            .inner
+            .lock()
+            .open_scan_state_bounded(window, now, bounds))
+    }
+
     fn open_scan_after(&self, after: u64) -> GsnResult<ScanState> {
         let inner = self.inner.lock();
         debug_assert_eq!(
@@ -1603,10 +1903,12 @@ impl StorageBackend for PersistentBackend {
                 end_row,
                 cutoff,
                 passed,
+                min_ts,
+                max_ts,
             } => self
                 .inner
                 .lock()
-                .scan_rows_next(next_row, *end_row, *cutoff, passed),
+                .scan_rows_next(next_row, *end_row, *cutoff, passed, *min_ts, *max_ts),
         }
     }
 
@@ -1675,6 +1977,8 @@ impl StorageBackend for PersistentBackend {
             heap,
             wal,
             registration,
+            dir,
+            base,
             ..
         } = self.inner.into_inner();
         // Release frames and the pool's I/O handle (its clone of the heap Arc) first so
@@ -1684,6 +1988,7 @@ impl StorageBackend for PersistentBackend {
             .map_err(|_| GsnError::internal("segmented heap still shared at destroy"))?
             .into_inner();
         heap.destroy()?;
+        index::remove_all_sidecars(&dir, &format!("{base}."));
         wal.destroy()
     }
 }
@@ -2279,5 +2584,157 @@ mod tests {
         );
         assert_eq!(b.len(), 1);
         assert_eq!(b.first_timestamp().unwrap(), Some(Timestamp(1_000)));
+    }
+
+    #[test]
+    fn bounded_scan_clamps_to_the_sequence_range() {
+        let dir = temp_dir("backend-bounds-seq");
+        let s = schema();
+        let mut mem = MemoryBackend::new();
+        let mut per = open(&dir, 4);
+        for i in 1..=2_000 {
+            mem.append(&element(&s, i, i, 64)).unwrap();
+            per.append(&element(&s, i, i, 64)).unwrap();
+        }
+        let bounds = ScanBounds {
+            min_seq: Some(1_500),
+            max_seq: Some(1_510),
+            ..Default::default()
+        };
+        for b in [&mem as &dyn StorageBackend, &per] {
+            let mut state = b
+                .open_scan_bounded(WindowSpec::Count(usize::MAX), Timestamp(10_000), &bounds)
+                .unwrap();
+            assert_eq!(
+                drain_scan(b, &mut state),
+                (1_500..=1_510).collect::<Vec<i64>>()
+            );
+        }
+        // The persistent point lookup touches only the page(s) holding the range.
+        let before = per.pool_stats().unwrap();
+        let mut state = per
+            .open_scan_bounded(
+                WindowSpec::Count(usize::MAX),
+                Timestamp(10_000),
+                &ScanBounds {
+                    min_seq: Some(1_500),
+                    max_seq: Some(1_500),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(drain_scan(&per, &mut state), vec![1_500]);
+        let after = per.pool_stats().unwrap();
+        let touched = (after.hits + after.misses) - (before.hits + before.misses);
+        assert!(touched <= 2, "point lookup touched {touched} pages");
+    }
+
+    #[test]
+    fn timestamp_bounds_skip_non_qualifying_pages() {
+        let dir = temp_dir("backend-bounds-ts");
+        let s = schema();
+        let telemetry = StorageTelemetry::new();
+        let mut b = PersistentBackend::open(
+            &dir,
+            "t",
+            s.clone(),
+            PersistentOptions {
+                pool_pages: 4,
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 1..=2_000 {
+            b.append(&element(&s, i, i * 10, 64)).unwrap();
+        }
+        let bounds = ScanBounds {
+            min_ts: Some(10_000),
+            max_ts: Some(10_100),
+            ..Default::default()
+        };
+        let mut state = b
+            .open_scan_bounded(WindowSpec::Count(usize::MAX), Timestamp(100_000), &bounds)
+            .unwrap();
+        // Time bounds are page-granular hints: the scan returns a superset of the
+        // qualifying rows (whole overlapping pages); the SQL residual filter makes
+        // the result exact.  It must contain the true range and skip most pages.
+        let got = drain_scan(&b, &mut state);
+        let want: Vec<i64> = (1_000..=1_010).collect();
+        assert!(
+            got.windows(want.len()).any(|w| w == want.as_slice()),
+            "bounded scan lost qualifying rows"
+        );
+        assert!(
+            got.len() < 400,
+            "bounded scan returned {} of 2000 rows",
+            got.len()
+        );
+        assert!(telemetry.index_seeks.get() >= 1);
+        assert!(
+            telemetry.index_pages_skipped.get() > 0,
+            "time-range scan skipped no pages"
+        );
+    }
+
+    #[test]
+    fn sidecars_are_written_at_checkpoint_and_survive_recovery() {
+        let dir = temp_dir("backend-sidecar");
+        let s = schema();
+        {
+            let mut b = open_segmented(&dir, 4, 2);
+            for i in 1..=400 {
+                b.append(&element(&s, i, i, 512)).unwrap();
+            }
+            b.flush().unwrap();
+        }
+        let sidecars = || {
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".idx"))
+                .count()
+        };
+        assert!(sidecars() > 0, "checkpoint wrote no sidecars");
+        // Recovery through the sidecars reproduces the exact table state.
+        {
+            let b = open_segmented(&dir, 4, 2);
+            assert_eq!(b.max_sequence(), 400);
+            assert_eq!(b.last().unwrap().sequence(), 400);
+            assert_eq!(
+                collect(&b, WindowSpec::Count(usize::MAX), Timestamp(10_000)),
+                (1..=400).collect::<Vec<i64>>()
+            );
+        }
+        // A corrupt or missing sidecar degrades to a page scan of that segment —
+        // and the next checkpoint writes it back.
+        let mut idx_paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(".idx"))
+            .collect();
+        idx_paths.sort();
+        let mut corrupt = std::fs::read(&idx_paths[0]).unwrap();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        std::fs::write(&idx_paths[0], &corrupt).unwrap();
+        std::fs::remove_file(&idx_paths[1]).unwrap();
+        let before = sidecars();
+        {
+            let mut b = open_segmented(&dir, 4, 2);
+            assert_eq!(
+                collect(&b, WindowSpec::Count(usize::MAX), Timestamp(10_000)),
+                (1..=400).collect::<Vec<i64>>()
+            );
+            b.append(&element(&s, 401, 401, 512)).unwrap();
+            b.flush().unwrap();
+            assert_eq!(b.max_sequence(), 401);
+        }
+        assert!(sidecars() > before, "checkpoint did not restore sidecars");
+        // Destroy leaves no sidecar behind.
+        let b = open_segmented(&dir, 4, 2);
+        Box::new(b).destroy().unwrap();
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
     }
 }

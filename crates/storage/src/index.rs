@@ -1,0 +1,245 @@
+//! Per-segment sparse index sidecars.
+//!
+//! Every sealed segment `{base}.{id:08}.seg` can carry a sibling sidecar
+//! `{base}.{id:08}.idx` summarising its pages: row count, min/max timestamp and
+//! payload bytes per page.  The sidecar lets recovery rebuild the in-memory page
+//! index without reading a single segment page, and lets scans skip pages whose
+//! timestamp range cannot satisfy a pushed-down time bound.
+//!
+//! Sidecars are pure hints: a missing, truncated, CRC-stale or mismatched
+//! sidecar silently degrades to a per-segment page scan.  The tail (writing)
+//! segment never has a trustworthy sidecar and is always page-scanned.
+//!
+//! On-disk layout (little-endian), CRC32 framed like the WAL:
+//!
+//! ```text
+//! [magic  8B "GSNIDX1\0"]
+//! [segment_id u32] [first_row u64] [page_count u32]
+//! page_count x { [rows u32] [min_ts i64] [max_ts i64] [bytes u64] }
+//! [crc32 u32]   // over everything before it
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gsn_types::{GsnError, GsnResult};
+
+use crate::wal::crc32;
+
+/// Magic prefix identifying (and versioning) an index sidecar file.
+const SIDECAR_MAGIC: [u8; 8] = *b"GSNIDX1\0";
+const HEADER_LEN: usize = 8 + 4 + 8 + 4;
+const RECORD_LEN: usize = 4 + 8 + 8 + 8;
+
+/// Summary of one heap page as persisted in a segment's index sidecar.
+///
+/// `rows` counts records *starting* in the page (chained records count once, in
+/// their START page); `min_ts`/`max_ts` cover every record that *touches* the
+/// page, so a page may be skipped for a time bound only when its whole range
+/// falls outside the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageSummary {
+    /// Records starting in this page.
+    pub rows: u32,
+    /// Smallest timestamp (millis) of any record touching this page.
+    pub min_ts: i64,
+    /// Largest timestamp (millis) of any record touching this page.
+    pub max_ts: i64,
+    /// Payload bytes accounted to this page.
+    pub bytes: u64,
+}
+
+/// Decoded contents of one segment's index sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentIndex {
+    /// Segment the sidecar describes.
+    pub segment_id: u32,
+    /// Global row number of the first record in the segment.
+    pub first_row: u64,
+    /// Per-page summaries in page order.
+    pub pages: Vec<PageSummary>,
+}
+
+/// Path of the index sidecar for `{base}.{segment_id:08}.seg` inside `dir`.
+pub fn sidecar_path(dir: &Path, base: &str, segment_id: u32) -> PathBuf {
+    dir.join(format!("{base}.{segment_id:08}.idx"))
+}
+
+/// Returns true for file names produced by [`sidecar_path`] (used by wipe paths).
+pub fn is_sidecar_name(name: &str, prefix: &str) -> bool {
+    name.starts_with(prefix) && name.ends_with(".idx")
+}
+
+fn encode(index: &SegmentIndex) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + index.pages.len() * RECORD_LEN + 4);
+    buf.extend_from_slice(&SIDECAR_MAGIC);
+    buf.extend_from_slice(&index.segment_id.to_le_bytes());
+    buf.extend_from_slice(&index.first_row.to_le_bytes());
+    buf.extend_from_slice(&(index.pages.len() as u32).to_le_bytes());
+    for page in &index.pages {
+        buf.extend_from_slice(&page.rows.to_le_bytes());
+        buf.extend_from_slice(&page.min_ts.to_le_bytes());
+        buf.extend_from_slice(&page.max_ts.to_le_bytes());
+        buf.extend_from_slice(&page.bytes.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn decode(bytes: &[u8]) -> Option<SegmentIndex> {
+    if bytes.len() < HEADER_LEN + 4 || bytes[..8] != SIDECAR_MAGIC {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(tail.try_into().ok()?);
+    if crc32(body) != crc {
+        return None;
+    }
+    let segment_id = u32::from_le_bytes(body[8..12].try_into().ok()?);
+    let first_row = u64::from_le_bytes(body[12..20].try_into().ok()?);
+    let page_count = u32::from_le_bytes(body[20..24].try_into().ok()?) as usize;
+    if body.len() != HEADER_LEN + page_count * RECORD_LEN {
+        return None;
+    }
+    let mut pages = Vec::with_capacity(page_count);
+    for chunk in body[HEADER_LEN..].chunks_exact(RECORD_LEN) {
+        pages.push(PageSummary {
+            rows: u32::from_le_bytes(chunk[0..4].try_into().ok()?),
+            min_ts: i64::from_le_bytes(chunk[4..12].try_into().ok()?),
+            max_ts: i64::from_le_bytes(chunk[12..20].try_into().ok()?),
+            bytes: u64::from_le_bytes(chunk[20..28].try_into().ok()?),
+        });
+    }
+    Some(SegmentIndex {
+        segment_id,
+        first_row,
+        pages,
+    })
+}
+
+/// Atomically persists `index` beside its segment (write temp file, rename).
+pub fn write_sidecar(dir: &Path, base: &str, index: &SegmentIndex) -> GsnResult<()> {
+    let path = sidecar_path(dir, base, index.segment_id);
+    let tmp = path.with_extension("idx.tmp");
+    let bytes = encode(index);
+    fs::write(&tmp, &bytes)
+        .map_err(|e| GsnError::storage(format!("write index sidecar {}: {e}", tmp.display())))?;
+    fs::rename(&tmp, &path)
+        .map_err(|e| GsnError::storage(format!("rename index sidecar {}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Loads the sidecar for `segment_id`, returning `None` when it is missing,
+/// truncated, CRC-stale, or describes a different segment.
+pub fn load_sidecar(dir: &Path, base: &str, segment_id: u32) -> Option<SegmentIndex> {
+    let bytes = fs::read(sidecar_path(dir, base, segment_id)).ok()?;
+    let index = decode(&bytes)?;
+    (index.segment_id == segment_id).then_some(index)
+}
+
+/// Deletes the sidecar for `segment_id` if present (best-effort).
+pub fn remove_sidecar(dir: &Path, base: &str, segment_id: u32) {
+    let _ = fs::remove_file(sidecar_path(dir, base, segment_id));
+    let _ = fs::remove_file(sidecar_path(dir, base, segment_id).with_extension("idx.tmp"));
+}
+
+/// Deletes every sidecar (and temp sidecar) whose name starts with `prefix`.
+pub fn remove_all_sidecars(dir: &Path, prefix: &str) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with(prefix) && (name.ends_with(".idx") || name.ends_with(".idx.tmp")) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SegmentIndex {
+        SegmentIndex {
+            segment_id: 7,
+            first_row: 1234,
+            pages: vec![
+                PageSummary {
+                    rows: 10,
+                    min_ts: 100,
+                    max_ts: 250,
+                    bytes: 4096,
+                },
+                PageSummary {
+                    rows: 0,
+                    min_ts: i64::MAX,
+                    max_ts: i64::MIN,
+                    bytes: 0,
+                },
+            ],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gsn-idx-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = temp_dir("round");
+        let index = sample();
+        write_sidecar(&dir, "table", &index).unwrap();
+        assert_eq!(load_sidecar(&dir, "table", 7), Some(index));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_missing_sidecars_load_as_none() {
+        let dir = temp_dir("corrupt");
+        assert_eq!(load_sidecar(&dir, "table", 7), None);
+        write_sidecar(&dir, "table", &sample()).unwrap();
+        let path = sidecar_path(&dir, "table", 7);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_sidecar(&dir, "table", 7), None);
+        // Truncation is also detected.
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(load_sidecar(&dir, "table", 7), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_segment_id_is_rejected() {
+        let dir = temp_dir("mismatch");
+        write_sidecar(&dir, "table", &sample()).unwrap();
+        // A sidecar renamed onto another segment's slot must not validate.
+        std::fs::rename(
+            sidecar_path(&dir, "table", 7),
+            sidecar_path(&dir, "table", 8),
+        )
+        .unwrap();
+        assert_eq!(load_sidecar(&dir, "table", 8), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_all_sidecars_only_touches_matching_prefix() {
+        let dir = temp_dir("wipe");
+        let mut a = sample();
+        write_sidecar(&dir, "alpha", &a).unwrap();
+        a.segment_id = 9;
+        write_sidecar(&dir, "beta", &a).unwrap();
+        remove_all_sidecars(&dir, "alpha.");
+        assert_eq!(load_sidecar(&dir, "alpha", 7), None);
+        assert!(load_sidecar(&dir, "beta", 9).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

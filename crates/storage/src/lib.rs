@@ -111,6 +111,7 @@
 pub mod backend;
 pub mod buffer;
 pub mod heap;
+pub mod index;
 pub mod manager;
 pub mod page;
 pub mod retention;
@@ -125,7 +126,8 @@ pub mod wal;
 pub mod window;
 
 pub use backend::{
-    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, ScanState, StorageBackend,
+    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, ScanBounds, ScanState,
+    StorageBackend,
 };
 pub use buffer::{BufferPoolStats, PageIo, RegionStats, SharedBufferPool, TableId};
 pub use heap::HeapFile;

@@ -16,11 +16,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use gsn_sql::{Catalog, ColumnInfo, Relation, RowSource};
+use gsn_sql::{Catalog, ColumnInfo, Relation, RowSource, ScanSpec};
 use gsn_types::{GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
 use parking_lot::{Mutex, RwLock};
 
-use crate::backend::{BackendKind, PersistentOptions, ScanState};
+use crate::backend::{BackendKind, PersistentOptions, ScanBounds, ScanState};
 use crate::buffer::SharedBufferPool;
 use crate::retention::{MaintenanceReport, MaintenanceTotals};
 use crate::spill::SpillOptions;
@@ -173,6 +173,7 @@ impl StorageManager {
                     budget_bytes: budget,
                     persistent: PersistentOptions {
                         shared_pool: Some(Arc::clone(&self.pool)),
+                        telemetry: self.telemetry.clone(),
                         ..self.options.persistent.clone()
                     },
                 };
@@ -199,6 +200,7 @@ impl StorageManager {
                 let options = PersistentOptions {
                     shared_pool: Some(Arc::clone(&self.pool)),
                     shared_wal: self.wal_set.clone(),
+                    telemetry: self.telemetry.clone(),
                     ..self.options.persistent.clone()
                 };
                 StreamTable::persistent(name, schema, retention, dir, options)?
@@ -579,6 +581,37 @@ impl Catalog for LiveCatalog<'_> {
         Ok(Box::new(cursor))
     }
 
+    fn scan_with_spec(&self, name: &str, spec: &ScanSpec) -> GsnResult<Box<dyn RowSource>> {
+        // Mirror of `scan`, handing the optimizer's pushed-down spec to the cursor so
+        // storage can seek via the segment index instead of walking the whole window.
+        if let Some(view) = self
+            .views
+            .iter()
+            .find(|v| v.alias.eq_ignore_ascii_case(name))
+        {
+            let table = self.manager.table(&view.table)?;
+            let cursor = StreamCursor::open_with_spec(
+                table,
+                &view.alias,
+                view.window,
+                self.now,
+                view.sampling_rate,
+                spec,
+            )?;
+            return Ok(Box::new(cursor));
+        }
+        let table = self.manager.table(name)?;
+        let cursor = StreamCursor::open_with_spec(
+            table,
+            name,
+            WindowSpec::Count(usize::MAX),
+            self.now,
+            None,
+            spec,
+        )?;
+        Ok(Box::new(cursor))
+    }
+
     fn relation(&self, name: &str) -> GsnResult<Relation> {
         // Materialising convenience kept on the direct path: identical rows to
         // collecting `scan`, without the per-batch cursor machinery.
@@ -618,6 +651,9 @@ pub struct StreamCursor {
     /// Deterministic sampling: keep elements whose sequence is a multiple of this
     /// (`None` = keep everything, mirroring `sampled_window_relation`).
     keep_every: Option<usize>,
+    /// Projection pushdown: schema-field positions (after `PK`/`TIMED`) the query never
+    /// reads are emitted as `Value::Null` instead of cloned (`None` = emit everything).
+    masked_fields: Option<Vec<bool>>,
     done: bool,
 }
 
@@ -631,14 +667,68 @@ impl StreamCursor {
         now: Timestamp,
         sampling_rate: Option<f64>,
     ) -> GsnResult<StreamCursor> {
+        Self::open_with_spec(
+            table,
+            alias,
+            window,
+            now,
+            sampling_rate,
+            &ScanSpec::default(),
+        )
+    }
+
+    /// Opens a cursor like [`open`](Self::open), additionally pushing an optimizer
+    /// [`ScanSpec`] down into the storage scan: sequence/timestamp bounds seek via the
+    /// per-segment sparse index, a limit hint caps how far the heap is read, and
+    /// projected-away columns are masked out instead of cloned.
+    ///
+    /// Bounds are advisory supersets — storage may return rows outside them (page
+    /// granularity), so the executor re-applies the spec's residual predicate row-wise.
+    pub fn open_with_spec(
+        table: Arc<RwLock<StreamTable>>,
+        alias: &str,
+        window: WindowSpec,
+        now: Timestamp,
+        sampling_rate: Option<f64>,
+        spec: &ScanSpec,
+    ) -> GsnResult<StreamCursor> {
+        let keep_every = sampling_rate.and_then(crate::table::sampling_stride);
         let (state, columns) = {
             let guard = table.read();
             let columns = Relation::for_stream_schema(alias, guard.schema())
                 .columns()
                 .to_vec();
-            (guard.open_scan(window, now)?, columns)
+            // Sampling keeps rows by absolute sequence; bounds would interact with the
+            // stride in surprising ways under a limit hint, so sampled cursors scan the
+            // plain window and leave all filtering to the executor.
+            let state = if keep_every.is_some() || spec.is_default() {
+                guard.open_scan(window, now)?
+            } else {
+                let bounds = ScanBounds {
+                    min_seq: spec.min_seq,
+                    max_seq: spec.max_seq,
+                    min_ts: spec.min_ts,
+                    max_ts: spec.max_ts,
+                    // The limit is only sound when every returned row reaches the
+                    // consumer: no residual predicate dropping rows above the scan.
+                    limit: if spec.residual.is_empty() {
+                        spec.limit
+                    } else {
+                        None
+                    },
+                };
+                guard.open_scan_bounded(window, now, &bounds)?
+            };
+            (state, columns)
         };
-        let keep_every = sampling_rate.and_then(crate::table::sampling_stride);
+        // `columns` is `[PK, TIMED, fields...]`; the mask covers only the field tail.
+        let masked_fields = spec.projection.as_ref().map(|needed| {
+            columns
+                .iter()
+                .skip(2)
+                .map(|column| !needed.iter().any(|n| n.eq_ignore_ascii_case(&column.name)))
+                .collect::<Vec<bool>>()
+        });
         Ok(StreamCursor {
             // A zero sampling rate keeps nothing: mark exhausted up front.
             done: keep_every == Some(usize::MAX),
@@ -647,6 +737,7 @@ impl StreamCursor {
             columns,
             buffered: std::collections::VecDeque::new(),
             keep_every,
+            masked_fields,
         })
     }
 }
@@ -683,7 +774,14 @@ impl RowSource for StreamCursor {
         let mut row = Vec::with_capacity(self.columns.len());
         row.push(Value::Integer(element.sequence() as i64));
         row.push(Value::Timestamp(element.timestamp()));
-        row.extend_from_slice(element.values());
+        match &self.masked_fields {
+            Some(mask) => {
+                for (value, masked) in element.values().iter().zip(mask) {
+                    row.push(if *masked { Value::Null } else { value.clone() });
+                }
+            }
+            None => row.extend_from_slice(element.values()),
+        }
         Ok(Some(row))
     }
 }
@@ -830,6 +928,60 @@ mod tests {
             assert_eq!(collected.columns(), rel.columns(), "table {name}");
         }
         assert!(live.scan("nosuch").is_err());
+    }
+
+    #[test]
+    fn scan_with_spec_bounds_and_masks_the_cursor() {
+        let m = manager_with_data();
+        let live = LiveCatalog::new(&m, &[], Timestamp(1_000));
+
+        // Sequence bounds clamp which rows the cursor produces at all.
+        let spec = ScanSpec {
+            min_seq: Some(3),
+            max_seq: Some(7),
+            ..ScanSpec::default()
+        };
+        let rows = live
+            .scan_with_spec("motes", &spec)
+            .unwrap()
+            .collect()
+            .unwrap();
+        let seqs: Vec<i64> = rows
+            .rows()
+            .iter()
+            .map(|r| match r[0] {
+                Value::Integer(n) => n,
+                ref other => panic!("unexpected PK value {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![3, 4, 5, 6, 7]);
+
+        // Projection masking nulls out fields the query never reads.
+        let spec = ScanSpec {
+            projection: Some(Vec::new()),
+            limit: Some(2),
+            ..ScanSpec::default()
+        };
+        let rows = live
+            .scan_with_spec("motes", &spec)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.rows().len(), 2);
+        for row in rows.rows() {
+            assert!(matches!(row[0], Value::Integer(_)));
+            assert!(matches!(row[1], Value::Timestamp(_)));
+            assert_eq!(row[2], Value::Null);
+        }
+
+        // A default spec streams exactly what `scan` streams.
+        let plain = live.scan("motes").unwrap().collect().unwrap();
+        let specced = live
+            .scan_with_spec("motes", &ScanSpec::default())
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(specced.rows(), plain.rows());
     }
 
     #[test]

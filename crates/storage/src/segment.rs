@@ -196,7 +196,9 @@ impl SegmentedHeap {
         for entry in entries.flatten() {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if name.starts_with(&prefix) && (name.ends_with(".seg") || name.ends_with(".seg.tmp")) {
+            let is_segment = name.ends_with(".seg") || name.ends_with(".seg.tmp");
+            let is_sidecar = name.ends_with(".idx") || name.ends_with(".idx.tmp");
+            if name.starts_with(&prefix) && (is_segment || is_sidecar) {
                 std::fs::remove_file(entry.path()).map_err(|e| {
                     GsnError::storage(format!("cannot wipe segment file {name}: {e}"))
                 })?;

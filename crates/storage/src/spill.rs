@@ -30,7 +30,7 @@ use gsn_types::{GsnError, GsnResult, StreamElement, StreamSchema, Timestamp};
 
 use crate::backend::{
     memory_scan_next, sanitize_file_name, BackendKind, PersistentBackend, PersistentOptions,
-    ScanState, ScanStateInner, StorageBackend, MEMORY_SCAN_BATCH,
+    ScanBounds, ScanState, ScanStateInner, StorageBackend, MEMORY_SCAN_BATCH,
 };
 use crate::buffer::BufferPoolStats;
 use crate::retention::{DiskUsage, ReclaimStats};
@@ -366,6 +366,39 @@ impl StorageBackend for SpillingBackend {
             }
         };
         Ok(ScanState::sequence_range(next_seq, end_seq))
+    }
+
+    fn open_scan_bounded(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        bounds: &ScanBounds,
+    ) -> GsnResult<ScanState> {
+        let mut state = self.open_scan(window, now)?;
+        // The hybrid cursor is tracked purely by sequence, so primary-key bounds
+        // clamp the range before a single resident element is cloned or a cold
+        // page is pinned.  Timestamp bounds stay with the executor's re-filter.
+        if let ScanStateInner::Sequence { next_seq, end_seq } = &mut state.0 {
+            if let Some(min_seq) = bounds.min_seq {
+                *next_seq = (*next_seq).max(min_seq);
+            }
+            if let Some(max_seq) = bounds.max_seq {
+                *end_seq = (*end_seq).min(max_seq);
+            }
+            // Sequences are dense inside the live range, so a limit hint turns
+            // into an exact upper sequence bound — but only when no timestamp
+            // bound rides along (those drop rows after the cursor, so capping
+            // here could starve the consumer).
+            if bounds.min_ts.is_none() && bounds.max_ts.is_none() {
+                if let Some(limit) = bounds.limit {
+                    if limit == 0 {
+                        return Ok(ScanState::empty());
+                    }
+                    *end_seq = (*end_seq).min(next_seq.saturating_add(limit - 1));
+                }
+            }
+        }
+        Ok(state)
     }
 
     fn open_scan_after(&self, after: u64) -> GsnResult<ScanState> {

@@ -17,7 +17,8 @@ use std::sync::Arc;
 use gsn_types::{Duration, GsnError, GsnResult, StreamElement, StreamSchema, Timestamp, Value};
 
 use crate::backend::{
-    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, ScanState, StorageBackend,
+    BackendKind, MemoryBackend, PersistentBackend, PersistentOptions, ScanBounds, ScanState,
+    StorageBackend,
 };
 use crate::buffer::BufferPoolStats;
 use crate::retention::{DiskUsage, ReclaimStats};
@@ -285,6 +286,20 @@ impl StreamTable {
     /// the heap unread.
     pub fn open_scan(&self, window: WindowSpec, now: Timestamp) -> GsnResult<ScanState> {
         self.backend.open_scan(window, now)
+    }
+
+    /// Begins a pull-based scan like [`open_scan`](Self::open_scan), but hands the backend
+    /// a set of [`ScanBounds`] so it can seek past non-qualifying segments and pages using
+    /// the per-segment sparse index instead of decoding the whole window.  Bounds are a
+    /// superset contract: the backend may return rows outside them (page granularity), so
+    /// callers must still re-apply any residual predicate row-wise.
+    pub fn open_scan_bounded(
+        &self,
+        window: WindowSpec,
+        now: Timestamp,
+        bounds: &ScanBounds,
+    ) -> GsnResult<ScanState> {
+        self.backend.open_scan_bounded(window, now, bounds)
     }
 
     /// Pulls the next batch of a scan started with [`open_scan`](Self::open_scan);

@@ -82,6 +82,20 @@ pub static STORAGE_BYTES_RECLAIMED: MetricDesc = MetricDesc::counter(
     "bytes",
 );
 
+/// Bounded scans opened through a segment index seek (pushed-down bounds).
+pub static STORAGE_INDEX_SEEKS: MetricDesc = MetricDesc::counter(
+    "gsn_storage_index_seeks_total",
+    "Scans positioned via segment-index bounds instead of row 0",
+    "seeks",
+);
+
+/// Pages skipped by index bounds (rows outside pushed-down key/time ranges).
+pub static STORAGE_INDEX_PAGES_SKIPPED: MetricDesc = MetricDesc::counter(
+    "gsn_storage_index_pages_skipped_total",
+    "Heap pages skipped by segment-index key/time bounds",
+    "pages",
+);
+
 /// The live instrument handles of the storage layer.
 #[derive(Debug, Clone, Default)]
 pub struct StorageTelemetry {
@@ -105,6 +119,10 @@ pub struct StorageTelemetry {
     pub segments_compacted: Counter,
     /// Bytes reclaimed.
     pub bytes_reclaimed: Counter,
+    /// Scans positioned via segment-index bounds.
+    pub index_seeks: Counter,
+    /// Pages skipped by segment-index bounds.
+    pub index_pages_skipped: Counter,
 }
 
 impl StorageTelemetry {
@@ -125,5 +143,7 @@ impl StorageTelemetry {
         registry.register_counter(&STORAGE_SEGMENTS_DELETED, &self.segments_deleted);
         registry.register_counter(&STORAGE_SEGMENTS_COMPACTED, &self.segments_compacted);
         registry.register_counter(&STORAGE_BYTES_RECLAIMED, &self.bytes_reclaimed);
+        registry.register_counter(&STORAGE_INDEX_SEEKS, &self.index_seeks);
+        registry.register_counter(&STORAGE_INDEX_PAGES_SKIPPED, &self.index_pages_skipped);
     }
 }

@@ -90,6 +90,51 @@ fn limit_query_touches_a_bounded_number_of_pages() {
 }
 
 #[test]
+fn indexed_predicates_touch_a_bounded_number_of_pages() {
+    let dir = temp_dir("indexed");
+    let container = container_with_history(&dir, ROWS);
+
+    // Point lookup by PK: the pushed-down sequence bound seeks straight to the row's
+    // page instead of scanning 40k rows.
+    let mut point = container
+        .query_cursor("select v from history where pk = 39123")
+        .unwrap();
+    let batch = point.next_batch(8).unwrap();
+    assert_eq!(batch.row_count(), 1);
+    assert_eq!(batch.rows()[0][0], Value::Integer(39122));
+    assert!(
+        point.pages_read() <= 4,
+        "point lookup read {} pages of a 40k-row heap",
+        point.pages_read()
+    );
+    drop(point);
+
+    // Time-range lookup: the per-segment page summaries skip every page outside the
+    // bound; the executor's residual filter trims the page-granular superset.
+    let mut ranged = container
+        .query_cursor("select v from history where timed >= 39000 and timed <= 39010")
+        .unwrap();
+    let rel = ranged.collect().unwrap();
+    assert_eq!(rel.row_count(), 11);
+    assert_eq!(rel.rows()[0][0], Value::Integer(39000));
+    assert!(
+        ranged.pages_skipped() > 0,
+        "the segment index should have skipped cold pages"
+    );
+    assert!(
+        ranged.pages_read() <= 8,
+        "time-range lookup read {} pages of a 40k-row heap",
+        ranged.pages_read()
+    );
+    drop(ranged);
+
+    // Dropped cursors fold the new counters into the engine statistics.
+    let engine = container.status().engine;
+    assert!(engine.pages_skipped > 0, "{engine:?}");
+    assert!(engine.pushdown_applied >= 2, "{engine:?}");
+}
+
+#[test]
 fn full_scan_streams_in_bounded_memory_and_matches_query() {
     let dir = temp_dir("parity");
     let container = container_with_history(&dir, ROWS);
