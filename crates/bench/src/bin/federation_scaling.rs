@@ -17,6 +17,13 @@
 //!   host's rows over the streaming-query wire; the `prefetch` column toggles cursor
 //!   prefetch pipelining on that transport.
 //!
+//! The `tracing` column toggles distributed tracing on every container: traced cells
+//! propagate a `TraceContext` on each scatter frame, record serve spans remotely and
+//! collect them back to the coordinator after each query.  The acceptance bar is the
+//! traced aggregate throughput staying within 5% of the untraced cell at the same
+//! mesh size (the collect frames ride the same simnet without stretching the scatter
+//! critical path).
+//!
 //! Writes the machine-readable report to `target/bench-reports/federation_scaling.json`
 //! and to `BENCH_federation.json` at the workspace root.
 
@@ -25,7 +32,7 @@ use std::collections::HashMap;
 use gsn::network::LinkSpec;
 use gsn::types::{DataType, Duration, NodeId};
 use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
-use gsn::{Mesh, WindowSpec};
+use gsn::{ContainerConfig, Mesh, WindowSpec};
 use gsn_bench::{write_report, BenchReport};
 
 const MESH_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -129,10 +136,15 @@ struct CellResult {
     dropped: u64,
 }
 
-fn run_cell(containers: usize, prefetch: bool, config: &CellConfig) -> CellResult {
+fn run_cell(containers: usize, prefetch: bool, tracing: bool, config: &CellConfig) -> CellResult {
     let mut mesh = Mesh::new();
     let ids: Vec<NodeId> = (0..containers)
-        .map(|i| mesh.add_node(&format!("shard-{i}")).unwrap())
+        .map(|i| {
+            let node_config =
+                ContainerConfig::named(NodeId::new(i as u64 + 1), &format!("shard-{i}"))
+                    .with_tracing(tracing);
+            mesh.add_node_with_config(node_config).unwrap()
+        })
         .collect();
     // A lossy, latent mesh: 5 ms one-way, 1% loss on every pairwise link.
     for (i, a) in ids.iter().enumerate() {
@@ -162,10 +174,11 @@ fn main() {
 
     let mut report = BenchReport::new(
         "federation_scaling",
-        "Federated query throughput vs. mesh size on a lossy simnet (5 ms, 1% loss): every container coordinates a continuous stream of federated queries; agg_* rows aggregate container-side partials, ship_* rows use the row-shipping fallback whose transport the prefetch column toggles",
+        "Federated query throughput vs. mesh size on a lossy simnet (5 ms, 1% loss): every container coordinates a continuous stream of federated queries; agg_* rows aggregate container-side partials, ship_* rows use the row-shipping fallback whose transport the prefetch column toggles; the tracing column toggles distributed trace propagation + collection (acceptance: traced agg throughput within 5% of the untraced cell at the same mesh size)",
         &[
             "containers",
             "prefetch",
+            "tracing",
             "agg_queries",
             "agg_rows",
             "agg_rows_per_sim_sec",
@@ -185,9 +198,10 @@ fn main() {
         if quick { "quick" } else { "full" },
     );
     println!(
-        "{:>10} {:>8} {:>11} {:>10} {:>18} {:>14} {:>11} {:>10} {:>18}",
+        "{:>10} {:>8} {:>8} {:>11} {:>10} {:>18} {:>14} {:>11} {:>10} {:>18}",
         "containers",
         "prefetch",
+        "tracing",
         "agg queries",
         "agg rows",
         "agg rows/sim-s",
@@ -196,41 +210,63 @@ fn main() {
         "ship rows",
         "ship rows/sim-s"
     );
+    // Untraced throughput per (prefetch, containers) cell, for the tracing-delta check.
+    let mut untraced: HashMap<(bool, usize), f64> = HashMap::new();
+    let mut worst_delta: f64 = 0.0;
     for prefetch in [false, true] {
-        let mut baseline: Option<f64> = None;
-        for containers in MESH_SWEEP {
-            let cell = run_cell(containers, prefetch, &config);
-            let agg_tput = cell.agg.rows as f64 / (cell.agg.sim_ms as f64 / 1000.0);
-            let ship_tput = cell.ship.rows as f64 / (cell.ship.sim_ms as f64 / 1000.0);
-            let base = *baseline.get_or_insert(agg_tput);
-            let speedup = if base > 0.0 { agg_tput / base } else { 0.0 };
-            println!(
-                "{:>10} {:>8} {:>11} {:>10} {:>18.0} {:>14.2} {:>11} {:>10} {:>18.0}",
-                containers,
-                u8::from(prefetch),
-                cell.agg.queries,
-                cell.agg.rows,
-                agg_tput,
-                speedup,
-                cell.ship.queries,
-                cell.ship.rows,
-                ship_tput,
-            );
-            report.push_row(vec![
-                containers as f64,
-                u8::from(prefetch).into(),
-                cell.agg.queries as f64,
-                cell.agg.rows as f64,
-                agg_tput,
-                speedup,
-                cell.ship.queries as f64,
-                cell.ship.rows as f64,
-                ship_tput,
-                cell.agg.sim_ms as f64,
-                cell.dropped as f64,
-            ]);
+        for tracing in [false, true] {
+            let mut baseline: Option<f64> = None;
+            for containers in MESH_SWEEP {
+                let cell = run_cell(containers, prefetch, tracing, &config);
+                let agg_tput = cell.agg.rows as f64 / (cell.agg.sim_ms as f64 / 1000.0);
+                let ship_tput = cell.ship.rows as f64 / (cell.ship.sim_ms as f64 / 1000.0);
+                let base = *baseline.get_or_insert(agg_tput);
+                let speedup = if base > 0.0 { agg_tput / base } else { 0.0 };
+                if tracing {
+                    let plain = untraced
+                        .get(&(prefetch, containers))
+                        .copied()
+                        .unwrap_or(0.0);
+                    if plain > 0.0 {
+                        worst_delta = worst_delta.max((plain - agg_tput) / plain);
+                    }
+                } else {
+                    untraced.insert((prefetch, containers), agg_tput);
+                }
+                println!(
+                    "{:>10} {:>8} {:>8} {:>11} {:>10} {:>18.0} {:>14.2} {:>11} {:>10} {:>18.0}",
+                    containers,
+                    u8::from(prefetch),
+                    u8::from(tracing),
+                    cell.agg.queries,
+                    cell.agg.rows,
+                    agg_tput,
+                    speedup,
+                    cell.ship.queries,
+                    cell.ship.rows,
+                    ship_tput,
+                );
+                report.push_row(vec![
+                    containers as f64,
+                    u8::from(prefetch).into(),
+                    u8::from(tracing).into(),
+                    cell.agg.queries as f64,
+                    cell.agg.rows as f64,
+                    agg_tput,
+                    speedup,
+                    cell.ship.queries as f64,
+                    cell.ship.rows as f64,
+                    ship_tput,
+                    cell.agg.sim_ms as f64,
+                    cell.dropped as f64,
+                ]);
+            }
         }
     }
+    eprintln!(
+        "\nworst traced-vs-untraced aggregate throughput delta: {:.1}% (acceptance bar: 5%)",
+        worst_delta * 100.0
+    );
 
     match write_report(&report) {
         Ok(path) => eprintln!("\nreport written to {}", path.display()),

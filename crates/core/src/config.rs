@@ -80,6 +80,9 @@ pub struct ContainerConfig {
     /// `0` (the default) disables the log entirely — the observe path allocates
     /// nothing.
     pub slow_query_threshold_micros: u64,
+    /// Thresholds of the mesh health model (evaluated on gossip rounds and
+    /// gossiped to peers; standalone containers never evaluate them).
+    pub health_thresholds: gsn_telemetry::HealthThresholds,
 }
 
 impl Default for ContainerConfig {
@@ -104,6 +107,7 @@ impl Default for ContainerConfig {
             trace_enabled: false,
             trace_capacity: gsn_telemetry::DEFAULT_TRACE_CAPACITY,
             slow_query_threshold_micros: 0,
+            health_thresholds: gsn_telemetry::HealthThresholds::default(),
         }
     }
 }
@@ -146,6 +150,15 @@ impl ContainerConfig {
     /// Logs queries slower than `micros` with their plan explain (`0` disables).
     pub fn with_slow_query_threshold(mut self, micros: u64) -> ContainerConfig {
         self.slow_query_threshold_micros = micros;
+        self
+    }
+
+    /// Overrides the mesh health-model thresholds.
+    pub fn with_health_thresholds(
+        mut self,
+        thresholds: gsn_telemetry::HealthThresholds,
+    ) -> ContainerConfig {
+        self.health_thresholds = thresholds;
         self
     }
 

@@ -53,7 +53,7 @@
 //!   and a registered query joining tables of concurrently executing sensors reads
 //!   whatever those tables hold mid-step, which may vary run to run.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use gsn_federation::{PlacementRing, ReplicatedDirectory};
@@ -64,7 +64,9 @@ use gsn_network::{
 use gsn_sql::{PartialAggregatePlan, Relation};
 use gsn_storage::{StorageManager, StorageStats, WindowSpec};
 use gsn_telemetry::{
-    MetricsRegistry, MetricsSnapshot, SlowQuery, SlowQueryLog, SpanId, Stopwatch, TraceLog,
+    evaluate as evaluate_health, AssembledTrace, HealthSummary, HopBreakdown, MetricsRegistry,
+    MetricsSnapshot, RemoteSpan, SlowQuery, SlowQueryLog, SpanId, SpanToken, Stopwatch,
+    TraceContext, TraceLog,
 };
 use gsn_types::{
     Clock, EpochCell, GsnError, GsnResult, NodeId, StreamElement, Timestamp, Value,
@@ -158,6 +160,8 @@ pub struct ContainerStatus {
     pub workers: usize,
     /// `(submitted, completed)` job counts of the step-loop worker pool, when sharded.
     pub pool_jobs: Option<(u64, u64)>,
+    /// The health model's verdict per subsystem, evaluated over `metrics`.
+    pub health: HealthSummary,
     /// The full metrics snapshot the status numbers derive from (incremental-vs-full
     /// evaluation counts and step-phase latencies live only here).
     pub metrics: MetricsSnapshot,
@@ -227,6 +231,18 @@ impl ContainerStatus {
                     summary.p50, summary.p99, summary.max, summary.count
                 ));
             }
+        }
+        for sub in &self.health.subsystems {
+            out.push_str(&format!(
+                "  health {}: {}{}\n",
+                sub.subsystem,
+                sub.state.label(),
+                if sub.reasons.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", sub.reasons.join("; "))
+                }
+            ));
         }
         if self.query_partitions.len() > 1 {
             for p in &self.query_partitions {
@@ -530,6 +546,13 @@ pub struct GsnContainer {
     slow_queries: Arc<SlowQueryLog>,
     /// In-flight metrics scrapes this container has issued to peers.
     pending_metric_scrapes: HashMap<RequestId, MetricScrapeState>,
+    /// In-flight distributed-trace collections this node coordinates.
+    pending_trace_collects: HashMap<RequestId, TraceCollectState>,
+    /// Completed distributed traces, oldest evicted past [`MAX_ASSEMBLED_TRACES`].
+    assembled_traces: VecDeque<AssembledTrace>,
+    /// The most recent local health evaluation (refreshed each gossip round; `None`
+    /// until the first round, and always `None` on standalone containers).
+    local_health: Option<HealthSummary>,
     /// Most recent snapshot received from each peer (kept after the take, so a
     /// monitoring loop can read every peer's last known state at once).
     peer_metrics: HashMap<NodeId, MetricsSnapshot>,
@@ -556,6 +579,28 @@ struct MetricScrapeState {
     /// When the scrape was issued (stalled scrapes are reaped like remote queries).
     issued: Timestamp,
 }
+
+/// Coordinator-side state of one distributed-trace collection: spans of one trace id
+/// being gathered off every participating peer (see
+/// [`GsnContainer::collect_remote_spans`]).
+#[derive(Debug)]
+struct TraceCollectState {
+    /// The trace being assembled.
+    trace_id: u128,
+    /// The root span id (on this coordinator).
+    root: u64,
+    /// Peers whose spans have not arrived yet.
+    pending: Vec<NodeId>,
+    /// Spans gathered so far (this node's own spans are seeded at issue time).
+    spans: Vec<RemoteSpan>,
+    /// Last time the collect (or a re-request) was sent — paces the lossy-link retry.
+    last_request: Timestamp,
+    /// When the collect was issued (stalled collects assemble what arrived and stop).
+    issued: Timestamp,
+}
+
+/// How many assembled distributed traces the container retains for `/traces` readers.
+const MAX_ASSEMBLED_TRACES: usize = 16;
 
 /// Upper bound on concurrently open server-side remote query cursors; requests past
 /// the cap are refused (the idle reaper below keeps abandoned cursors from pinning
@@ -608,6 +653,9 @@ struct RemoteCursor {
     window: BTreeMap<u64, Message>,
     /// Highest cumulative ack seen from the owner (prefetching cursors only).
     last_ack: u64,
+    /// Time spent authorising and opening the cursor, charged to the first batch's
+    /// `server_micros` so the client's per-hop breakdown sees the open cost.
+    open_micros: u64,
 }
 
 /// Client-side accumulation of one in-flight remote streaming query.
@@ -635,6 +683,17 @@ struct RemoteQueryState {
     last_activity: Timestamp,
     /// Last time the request or a re-request was sent (paces the retry loop).
     last_request: Timestamp,
+    /// Distributed-trace context carried on the request frames (retries included);
+    /// `None` for untraced queries — the frames then match the pre-tracing format.
+    trace: Option<TraceContext>,
+    /// Time spent encoding the request frame (measured only when traced).
+    serialize_micros: u64,
+    /// Round trip of the opening request, from send to first batch, milliseconds.
+    open_rtt_millis: u64,
+    /// Total server-side open/execute time reported by the batches' `server_micros`.
+    server_micros: u64,
+    /// Request frames re-sent to this peer after apparent loss.
+    retransmits: u64,
 }
 
 /// The assembled result of a remote streaming query (see
@@ -645,6 +704,8 @@ pub struct RemoteQueryResult {
     pub relation: Relation,
     /// How many batches carried the result over the wire.
     pub batches: u64,
+    /// Wire-timing breakdown of this hop (serialize, RTT, remote execute, retries).
+    pub hop: HopBreakdown,
 }
 
 #[derive(Debug, Clone)]
@@ -685,6 +746,12 @@ struct FederatedQueryState {
     /// Last time any gather progress arrived (abandoned scatters are reaped).
     last_activity: Timestamp,
     mode: FederatedMode,
+    /// Distributed-trace context of this scatter (`None` when tracing is disabled).
+    trace: Option<TraceContext>,
+    /// The coordinator's root span, finished when the gather completes.
+    root_span: Option<SpanToken>,
+    /// Per-peer wire-timing breakdown, accumulated as the gather progresses.
+    hops: Vec<HopBreakdown>,
     /// The merged result, once complete; waits for its taker.
     result: Option<GsnResult<Relation>>,
 }
@@ -790,6 +857,9 @@ impl GsnContainer {
             .then(|| WorkerPool::new(&format!("{}-step", config.name), config.workers));
         let trace = Arc::new(TraceLog::with_capacity(config.trace_capacity));
         trace.set_enabled(config.trace_enabled);
+        // Namespace span ids by node so spans collected off different containers
+        // never collide when assembled into one distributed trace tree.
+        trace.set_id_namespace(config.node_id.as_u64());
         let runtime = Arc::new(PipelineRuntime {
             storage: Arc::new(StorageManager::with_options(config.storage_options())),
             query_manager: QueryRepository::with_partitions(
@@ -840,6 +910,9 @@ impl GsnContainer {
             sourced,
             slow_queries,
             pending_metric_scrapes: HashMap::new(),
+            pending_trace_collects: HashMap::new(),
+            assembled_traces: VecDeque::new(),
+            local_health: None,
             peer_metrics: HashMap::new(),
             mesh: None,
             federated: HashMap::new(),
@@ -1103,6 +1176,7 @@ impl GsnContainer {
                 explain: prepared.explain(),
                 rows_scanned: 0,
                 rows_returned: relation.row_count() as u64,
+                hops: Vec::new(),
             });
         }
         result
@@ -1158,7 +1232,7 @@ impl GsnContainer {
         sql: &str,
         batch_rows: usize,
     ) -> GsnResult<RequestId> {
-        self.remote_query_with(target, sql, batch_rows, false)
+        self.remote_query_with(target, sql, batch_rows, false, None)
     }
 
     /// Like [`remote_query`](Self::remote_query), but with cursor prefetch pipelining:
@@ -1171,7 +1245,7 @@ impl GsnContainer {
         sql: &str,
         batch_rows: usize,
     ) -> GsnResult<RequestId> {
-        self.remote_query_with(target, sql, batch_rows, true)
+        self.remote_query_with(target, sql, batch_rows, true, None)
     }
 
     fn remote_query_with(
@@ -1180,6 +1254,7 @@ impl GsnContainer {
         sql: &str,
         batch_rows: usize,
         prefetch: bool,
+        trace: Option<TraceContext>,
     ) -> GsnResult<RequestId> {
         let Some(network) = self.runtime.network.clone() else {
             return Err(GsnError::config(
@@ -1189,17 +1264,23 @@ impl GsnContainer {
         let batch_rows = batch_rows.clamp(1, 65_536) as u32;
         let request = self.next_request_id;
         self.next_request_id += 1;
-        network.send(
-            self.config.node_id,
-            target,
-            Message::QueryRequest {
-                request,
-                sql: sql.to_owned(),
-                batch_rows,
-                prefetch,
-            },
-            self.clock.now(),
-        )?;
+        let message = Message::QueryRequest {
+            request,
+            sql: sql.to_owned(),
+            batch_rows,
+            prefetch,
+            trace,
+        };
+        // The serialize leg of the hop breakdown: measured by a throwaway encode,
+        // and only for traced queries — untraced hot paths pay nothing.
+        let serialize_micros = if trace.is_some() {
+            let watch = Stopwatch::start();
+            let _ = gsn_network::encode(&message);
+            watch.elapsed_micros()
+        } else {
+            0
+        };
+        network.send(self.config.node_id, target, message, self.clock.now())?;
         self.remote_queries.insert(
             request,
             RemoteQueryState {
@@ -1216,6 +1297,11 @@ impl GsnContainer {
                 error: None,
                 last_activity: self.clock.now(),
                 last_request: self.clock.now(),
+                trace,
+                serialize_micros,
+                open_rtt_millis: 0,
+                server_micros: 0,
+                retransmits: 0,
             },
         );
         Ok(request)
@@ -1259,6 +1345,13 @@ impl GsnContainer {
             Relation::with_rows(columns, state.rows).map(|relation| RemoteQueryResult {
                 relation,
                 batches: state.batches,
+                hop: HopBreakdown {
+                    peer: state.target.as_u64(),
+                    serialize_micros: state.serialize_micros,
+                    rtt_millis: state.open_rtt_millis,
+                    remote_micros: state.server_micros,
+                    retransmits: state.retransmits,
+                },
             }),
         )
     }
@@ -1375,8 +1468,9 @@ impl GsnContainer {
         // has waited past the retry threshold (batch sequence numbers make this
         // idempotent — the server retransmits or the client drops the duplicate).
         self.retry_stalled_remote_queries(now);
-        // Same recovery for in-flight peer metrics scrapes.
+        // Same recovery for in-flight peer metrics scrapes and trace collections.
         self.retry_stalled_metric_scrapes(now);
+        self.retry_stalled_trace_collects(now);
         // Mesh federation: one anti-entropy gossip round every few steps, and
         // advancement of any scatter-gather queries this node coordinates.
         self.run_mesh_gossip(now);
@@ -1633,6 +1727,7 @@ impl GsnContainer {
                     sql,
                     batch_rows,
                     prefetch,
+                    trace,
                 } => {
                     let replies = self.serve_query_request(
                         envelope.from,
@@ -1640,6 +1735,7 @@ impl GsnContainer {
                         &sql,
                         batch_rows as usize,
                         prefetch,
+                        trace,
                     );
                     for reply in replies {
                         let _ = network.send(self.config.node_id, envelope.from, reply, now);
@@ -1650,6 +1746,7 @@ impl GsnContainer {
                     cursor,
                     batch_rows,
                     expect_seq,
+                    trace: _,
                 } => {
                     let replies = self.serve_query_next(
                         envelope.from,
@@ -1670,6 +1767,7 @@ impl GsnContainer {
                     seq,
                     done,
                     error,
+                    server_micros,
                 } => {
                     // A batch for a request we no longer track (taken or never issued)
                     // is dropped; the server already closed done/errored cursors.
@@ -1680,6 +1778,12 @@ impl GsnContainer {
                         self.telemetry
                             .batch_rtt_millis
                             .record(now.abs_diff(state.last_request).as_millis() as u64);
+                        if state.cursor.is_none() {
+                            // First batch: its round trip covers the cursor open.
+                            state.open_rtt_millis =
+                                now.abs_diff(state.last_request).as_millis() as u64;
+                        }
+                        state.server_micros += server_micros;
                         state.last_activity = now;
                         state.cursor = Some(cursor);
                         if seq != state.expect_seq {
@@ -1716,6 +1820,7 @@ impl GsnContainer {
                                     cursor,
                                     batch_rows: state.batch_rows,
                                     expect_seq: state.expect_seq,
+                                    trace: state.trace,
                                 };
                                 state.last_request = now;
                                 let _ =
@@ -1731,6 +1836,7 @@ impl GsnContainer {
                                 cursor,
                                 batch_rows: state.batch_rows,
                                 expect_seq: state.expect_seq,
+                                trace: state.trace,
                             };
                             state.last_request = now;
                             let _ = network.send(self.config.node_id, envelope.from, message, now);
@@ -1766,18 +1872,33 @@ impl GsnContainer {
                     }
                     self.peer_metrics.insert(node, snapshot);
                 }
-                Message::GossipDigest { from: _, digest } => {
+                Message::GossipDigest {
+                    from: _,
+                    digest,
+                    health,
+                    trace: _,
+                } => {
                     // Push-pull: answer with what the digest proves the peer is
-                    // missing, plus our own digest so it sends a return delta.
+                    // missing, plus our own digest so it sends a return delta.  The
+                    // piggybacked health summaries merge into the replica's health
+                    // store, and the reply carries our view back — one round moves
+                    // health both ways.
                     if let Some(mesh) = self.mesh.as_ref() {
-                        let (records, my_digest) = {
-                            let replica = mesh.replica.lock();
-                            (replica.delta_for(&digest), replica.digest())
+                        let (records, my_digest, my_health) = {
+                            let mut replica = mesh.replica.lock();
+                            replica.apply_health(&health);
+                            (
+                                replica.delta_for(&digest),
+                                replica.digest(),
+                                replica.health_snapshot(),
+                            )
                         };
                         let reply = Message::GossipDelta {
                             from: self.config.node_id,
                             records,
                             digest: my_digest,
+                            health: my_health,
+                            trace: None,
                         };
                         self.telemetry
                             .gossip_bytes_total
@@ -1789,11 +1910,18 @@ impl GsnContainer {
                     from: _,
                     records,
                     digest,
+                    health,
+                    trace: _,
                 } => {
                     if let Some(mesh) = self.mesh.as_ref() {
-                        mesh.replica.lock().apply(&records);
+                        {
+                            let mut replica = mesh.replica.lock();
+                            replica.apply(&records);
+                            replica.apply_health(&health);
+                        }
                         // A non-empty digest asks for the records *we* have that the
-                        // peer lacks; the terminating reply carries an empty digest.
+                        // peer lacks; the terminating reply carries an empty digest
+                        // (health already travelled in both directions this round).
                         if !digest.is_empty() {
                             let reply_records = mesh.replica.lock().delta_for(&digest);
                             if !reply_records.is_empty() {
@@ -1801,6 +1929,8 @@ impl GsnContainer {
                                     from: self.config.node_id,
                                     records: reply_records,
                                     digest: Vec::new(),
+                                    health: Vec::new(),
+                                    trace: None,
                                 };
                                 self.telemetry
                                     .gossip_bytes_total
@@ -1816,24 +1946,39 @@ impl GsnContainer {
                         mesh.ring.install(&members, epoch);
                     }
                 }
-                Message::PartialAggregateRequest { request, sql } => {
+                Message::PartialAggregateRequest {
+                    request,
+                    sql,
+                    trace,
+                } => {
                     // Stateless server side of the scatter: execute the partial locally
                     // and reply in one frame.  Re-execution on a duplicate (retried)
                     // request is idempotent — the coordinator keeps the first reply.
-                    let reply = match self
-                        .query_as(&Principal::named(&envelope.from.to_string()), &sql)
-                    {
+                    // A traced request records a serve span under the coordinator's
+                    // root, so the assembled trace tree shows every hop's execution.
+                    let watch = Stopwatch::start();
+                    let span =
+                        trace.map(|ctx| self.runtime.trace.begin_in_trace("federated.serve", ctx));
+                    let outcome =
+                        self.query_as(&Principal::named(&envelope.from.to_string()), &sql);
+                    if let Some(span) = span {
+                        self.runtime.trace.finish(span);
+                    }
+                    let server_micros = watch.elapsed_micros();
+                    let reply = match outcome {
                         Ok(relation) => Message::PartialAggregateReply {
                             request,
                             columns: relation.columns().iter().map(|c| c.name.clone()).collect(),
                             rows: relation.rows().to_vec(),
                             error: String::new(),
+                            server_micros,
                         },
                         Err(e) => Message::PartialAggregateReply {
                             request,
                             columns: Vec::new(),
                             rows: Vec::new(),
                             error: e.to_string(),
+                            server_micros,
                         },
                     };
                     let _ = network.send(self.config.node_id, envelope.from, reply, now);
@@ -1843,8 +1988,66 @@ impl GsnContainer {
                     columns: _,
                     rows,
                     error,
+                    server_micros,
                 } => {
-                    self.absorb_partial_reply(envelope.from, request, rows, error, now);
+                    self.absorb_partial_reply(
+                        envelope.from,
+                        request,
+                        rows,
+                        error,
+                        server_micros,
+                        now,
+                    );
+                }
+                Message::TraceCollectRequest {
+                    request,
+                    from,
+                    trace_id,
+                } => {
+                    // Serve our slice of a distributed trace: every retained span
+                    // stamped with the requested trace id, in wire form.  Idempotent,
+                    // so retried requests just ship the slice again.
+                    let spans: Vec<RemoteSpan> = self
+                        .runtime
+                        .trace
+                        .spans_of_trace(trace_id)
+                        .iter()
+                        .map(|s| RemoteSpan::from_span(self.config.node_id.as_u64(), s))
+                        .collect();
+                    let _ = network.send(
+                        self.config.node_id,
+                        from,
+                        Message::TraceCollectReply {
+                            request,
+                            node: self.config.node_id,
+                            trace_id,
+                            spans,
+                        },
+                        now,
+                    );
+                }
+                Message::TraceCollectReply {
+                    request,
+                    node,
+                    trace_id: _,
+                    spans,
+                } => {
+                    // Duplicate replies (answers to retried collects) are dropped by
+                    // the pending-peer check; the assembler also dedupes span ids.
+                    if let Some(state) = self.pending_trace_collects.get_mut(&request) {
+                        if let Some(pos) = state.pending.iter().position(|p| *p == node) {
+                            state.pending.remove(pos);
+                            self.telemetry.remote_spans_total.add(spans.len() as u64);
+                            state.spans.extend(spans);
+                            if state.pending.is_empty() {
+                                let state = self
+                                    .pending_trace_collects
+                                    .remove(&request)
+                                    .expect("state present");
+                                self.finish_trace_collect(state);
+                            }
+                        }
+                    }
                 }
                 // Directory traffic and pongs are informational for the container.
                 Message::DirectoryRegister { .. }
@@ -1870,6 +2073,7 @@ impl GsnContainer {
         sql: &str,
         batch_rows: usize,
         prefetch: bool,
+        trace: Option<TraceContext>,
     ) -> Vec<Message> {
         let refuse = |error: String| {
             vec![Message::QueryBatch {
@@ -1880,6 +2084,7 @@ impl GsnContainer {
                 seq: 0,
                 done: true,
                 error,
+                server_micros: 0,
             }]
         };
         if let Some((&id, _)) = self
@@ -1887,6 +2092,8 @@ impl GsnContainer {
             .iter()
             .find(|(_, open)| open.owner == from && open.request == request)
         {
+            // Retransmitted request: the serve span (if any) was recorded when the
+            // cursor first opened, so only the batches are replayed.
             return self.serve_query_next(from, request, id, batch_rows, 0);
         }
         let live = self
@@ -1899,11 +2106,23 @@ impl GsnContainer {
                 "too many open remote cursors (limit {MAX_REMOTE_CURSORS})"
             ));
         }
+        // A traced request records a serve span under the remote parent: the hop
+        // shows up in the coordinator's assembled trace tree with the open cost.
+        let watch = Stopwatch::start();
+        let span = trace.map(|ctx| self.runtime.trace.begin_in_trace("query.serve", ctx));
         let principal = Principal::named(&from.to_string());
         let cursor = match self.query_cursor_as(&principal, sql) {
             Ok(cursor) => cursor,
-            Err(e) => return refuse(e.to_string()),
+            Err(e) => {
+                if let Some(span) = span {
+                    self.runtime.trace.finish(span);
+                }
+                return refuse(e.to_string());
+            }
         };
+        if let Some(span) = span {
+            self.runtime.trace.finish(span);
+        }
         let id = self.next_cursor_id;
         self.next_cursor_id += 1;
         self.remote_cursors.insert(
@@ -1918,6 +2137,7 @@ impl GsnContainer {
                 prefetch,
                 window: BTreeMap::new(),
                 last_ack: 0,
+                open_micros: watch.elapsed_micros(),
             },
         );
         self.serve_query_next(from, request, id, batch_rows, 0)
@@ -1946,6 +2166,7 @@ impl GsnContainer {
                 seq: expect_seq,
                 done: true,
                 error,
+                server_micros: 0,
             }]
         };
         let now = self.clock.now();
@@ -1976,6 +2197,7 @@ impl GsnContainer {
             // Exhausted tombstone pulled past its cached batch: nothing left to serve.
             return refused(format!("cursor {cursor_id} is exhausted"));
         };
+        let batch_watch = Stopwatch::start();
         match cursor.next_batch(batch_rows.clamp(1, 65_536)) {
             Ok(batch) => {
                 let done = cursor.is_done();
@@ -1985,6 +2207,10 @@ impl GsnContainer {
                 }
                 let seq = open.next_seq;
                 open.next_seq += 1;
+                // The first batch also carries the cursor-open cost, so the client's
+                // hop breakdown sees the full server-side time.
+                let server_micros =
+                    batch_watch.elapsed_micros() + if seq == 0 { open.open_micros } else { 0 };
                 let message = Message::QueryBatch {
                     request,
                     cursor: cursor_id,
@@ -1993,6 +2219,7 @@ impl GsnContainer {
                     seq,
                     done,
                     error: String::new(),
+                    server_micros,
                 };
                 open.last_batch = Some(message.clone());
                 if done {
@@ -2028,6 +2255,7 @@ impl GsnContainer {
                 seq: expect_seq,
                 done: true,
                 error,
+                server_micros: 0,
             }]
         };
         let Some(open) = self.remote_cursors.get_mut(&cursor_id) else {
@@ -2053,6 +2281,7 @@ impl GsnContainer {
             let Some(cursor) = open.cursor.as_mut() else {
                 break;
             };
+            let batch_watch = Stopwatch::start();
             match cursor.next_batch(batch_rows.clamp(1, 65_536)) {
                 Ok(batch) => {
                     let done = cursor.is_done();
@@ -2064,6 +2293,8 @@ impl GsnContainer {
                     }
                     let seq = open.next_seq;
                     open.next_seq += 1;
+                    let server_micros =
+                        batch_watch.elapsed_micros() + if seq == 0 { open.open_micros } else { 0 };
                     let message = Message::QueryBatch {
                         request,
                         cursor: cursor_id,
@@ -2072,6 +2303,7 @@ impl GsnContainer {
                         seq,
                         done,
                         error: String::new(),
+                        server_micros,
                     };
                     open.window.insert(seq, message.clone());
                     replies.push(message);
@@ -2136,6 +2368,7 @@ impl GsnContainer {
                     cursor,
                     batch_rows: state.batch_rows,
                     expect_seq: state.expect_seq,
+                    trace: state.trace,
                 },
                 // No batch ever arrived: the QueryRequest (or its first reply) was
                 // lost — retransmit the request itself.
@@ -2144,9 +2377,11 @@ impl GsnContainer {
                     sql: state.sql.clone(),
                     batch_rows: state.batch_rows,
                     prefetch: state.prefetch,
+                    trace: state.trace,
                 },
             };
             state.last_request = now;
+            state.retransmits += 1;
             self.telemetry.retransmits_total.inc();
             let _ = network.send(node, state.target, message, now);
         }
@@ -2182,6 +2417,48 @@ impl GsnContainer {
                 },
                 now,
             );
+        }
+    }
+
+    /// Re-sends the `TraceCollectRequest` of every stalled in-flight trace collection
+    /// (serving a collect is idempotent — the peer's slice just ships again), and
+    /// finalises collections whose peers never answered within
+    /// [`REMOTE_CURSOR_IDLE_TIMEOUT`]: what *did* arrive still assembles, with broken
+    /// parent links marking the trace incomplete.
+    fn retry_stalled_trace_collects(&mut self, now: Timestamp) {
+        let expired: Vec<RequestId> = self
+            .pending_trace_collects
+            .iter()
+            .filter(|(_, state)| state.issued < now.saturating_sub(REMOTE_CURSOR_IDLE_TIMEOUT))
+            .map(|(request, _)| *request)
+            .collect();
+        for request in expired {
+            if let Some(state) = self.pending_trace_collects.remove(&request) {
+                self.finish_trace_collect(state);
+            }
+        }
+        let Some(network) = self.runtime.network.clone() else {
+            return;
+        };
+        let node = self.config.node_id;
+        for (request, state) in self.pending_trace_collects.iter_mut() {
+            if now.saturating_sub(REMOTE_QUERY_RETRY_AFTER) < state.last_request {
+                continue;
+            }
+            state.last_request = now;
+            for peer in &state.pending {
+                self.telemetry.retransmits_total.inc();
+                let _ = network.send(
+                    node,
+                    *peer,
+                    Message::TraceCollectRequest {
+                        request: *request,
+                        from: node,
+                        trace_id: state.trace_id,
+                    },
+                    now,
+                );
+            }
         }
     }
 
@@ -2341,6 +2618,8 @@ impl GsnContainer {
                         from: node,
                         records: records.clone(),
                         digest: Vec::new(),
+                        health: Vec::new(),
+                        trace: None,
                     },
                     now,
                 );
@@ -2360,19 +2639,41 @@ impl GsnContainer {
 
     /// One anti-entropy gossip round every `gossip_interval_steps` steps: push-pull
     /// the directory digest with one pseudo-random ring peer, piggybacking a ring
-    /// announce so membership views lost on a lossy link also heal.
+    /// announce so membership views lost on a lossy link also heal, plus every
+    /// member's latest health summary so the mesh health model converges the same
+    /// way the directory does.
     fn run_mesh_gossip(&mut self, now: Timestamp) {
         let node = self.config.node_id;
         let Some(network) = self.runtime.network.clone() else {
             return;
         };
         let steps = self.steps;
+        let interval = match self.mesh.as_ref() {
+            Some(mesh) => mesh.gossip_interval_steps,
+            None => return,
+        };
+        if interval == 0 || !steps.is_multiple_of(interval) {
+            return;
+        }
+        // Health plane: evaluate the local rules over the live metrics snapshot,
+        // versioned by the step counter so gossiped copies order correctly, and
+        // mirror the verdicts into the labelled `gsn_health_state` gauges.
+        let summary = evaluate_health(
+            &self.metrics_snapshot(),
+            &self.config.health_thresholds,
+            node.as_u64(),
+            steps,
+        );
+        for sub in &summary.subsystems {
+            self.metrics
+                .gauge_labeled(&crate::telemetry::HEALTH_STATE, &sub.subsystem)
+                .set(sub.state.as_u8() as i64);
+        }
+        self.local_health = Some(summary.clone());
         let Some(mesh) = self.mesh.as_mut() else {
             return;
         };
-        if mesh.gossip_interval_steps == 0 || !steps.is_multiple_of(mesh.gossip_interval_steps) {
-            return;
-        }
+        mesh.replica.lock().record_local_health(summary);
         let peers: Vec<NodeId> = mesh
             .ring
             .members()
@@ -2387,8 +2688,16 @@ impl GsnContainer {
             .wrapping_mul(6_364_136_223_846_793_005)
             .wrapping_add(1_442_695_040_888_963_407);
         let peer = peers[(mesh.rng >> 33) as usize % peers.len()];
-        let digest = mesh.replica.lock().digest();
-        let message = Message::GossipDigest { from: node, digest };
+        let (digest, health) = {
+            let replica = mesh.replica.lock();
+            (replica.digest(), replica.health_snapshot())
+        };
+        let message = Message::GossipDigest {
+            from: node,
+            digest,
+            health,
+            trace: None,
+        };
         let announce = Message::RingAnnounce {
             from: node,
             epoch: mesh.ring.epoch(),
@@ -2439,6 +2748,17 @@ impl GsnContainer {
         let request = self.next_request_id;
         self.next_request_id += 1;
         self.telemetry.scatter_queries_total.inc();
+        // Distributed-trace root: the trace id derives from (node, request), so it
+        // is mesh-unique without a random source.  With tracing disabled the token
+        // is inert and `context()` is `None` — every scatter frame then matches the
+        // pre-tracing wire format exactly.
+        let trace_id = ((node.as_u64() as u128) << 64) | request as u128;
+        let root_span = self
+            .runtime
+            .trace
+            .begin_traced("federated.query", SpanId::NONE, trace_id);
+        let trace = root_span.context();
+        let mut hops: Vec<HopBreakdown> = Vec::new();
         let mode = match gsn_sql::decompose(sql)? {
             Some(plan) => {
                 let hosts = self.federated_hosts(&plan.table);
@@ -2454,15 +2774,26 @@ impl GsnContainer {
                     if host == node {
                         partials.push(self.query(&plan.partial_sql)?.rows().to_vec());
                     } else {
-                        let _ = network.send(
-                            node,
-                            host,
-                            Message::PartialAggregateRequest {
-                                request,
-                                sql: plan.partial_sql.clone(),
-                            },
-                            now,
-                        );
+                        let message = Message::PartialAggregateRequest {
+                            request,
+                            sql: plan.partial_sql.clone(),
+                            trace,
+                        };
+                        // The serialize leg of the per-hop breakdown, measured by a
+                        // throwaway encode — traced scatters only.
+                        let serialize_micros = if trace.is_some() {
+                            let watch = Stopwatch::start();
+                            let _ = gsn_network::encode(&message);
+                            watch.elapsed_micros()
+                        } else {
+                            0
+                        };
+                        hops.push(HopBreakdown {
+                            peer: host.as_u64(),
+                            serialize_micros,
+                            ..HopBreakdown::default()
+                        });
+                        let _ = network.send(node, host, message, now);
                         pending.push(host);
                     }
                 }
@@ -2496,6 +2827,7 @@ impl GsnContainer {
                                 &format!("select * from {table}"),
                                 self.row_ship_batch_rows,
                                 self.row_ship_prefetch,
+                                trace,
                             )?;
                             pending.push((sub, table.clone()));
                         }
@@ -2516,6 +2848,9 @@ impl GsnContainer {
                 last_request: now,
                 last_activity: now,
                 mode,
+                trace,
+                root_span: Some(root_span),
+                hops,
                 result: None,
             },
         );
@@ -2547,11 +2882,13 @@ impl GsnContainer {
         request: RequestId,
         rows: Vec<Vec<Value>>,
         error: String,
+        server_micros: u64,
         now: Timestamp,
     ) {
         let Some(state) = self.federated.get_mut(&request) else {
             return;
         };
+        let rtt_millis = now.abs_diff(state.last_request).as_millis() as u64;
         let FederatedMode::Partial {
             pending, partials, ..
         } = &mut state.mode
@@ -2562,6 +2899,12 @@ impl GsnContainer {
             return;
         };
         state.last_activity = now;
+        // Per-hop breakdown: reply round trip against the last (re-)scatter, server
+        // execute time as reported by the peer.
+        if let Some(hop) = state.hops.iter_mut().find(|h| h.peer == from.as_u64()) {
+            hop.rtt_millis = rtt_millis;
+            hop.remote_micros = server_micros;
+        }
         if error.is_empty() {
             pending.remove(pos);
             partials.push(rows);
@@ -2583,6 +2926,8 @@ impl GsnContainer {
         let network = self.runtime.network.clone();
         let node = self.config.node_id;
         let requests: Vec<RequestId> = self.federated.keys().copied().collect();
+        // Trace collections to issue once the per-request borrows are released.
+        let mut collects: Vec<(TraceContext, Vec<NodeId>)> = Vec::new();
         for request in requests {
             // Poll the row-ship sub-queries (snapshot first: taking a sub-result needs
             // `&mut self` as a whole).
@@ -2603,6 +2948,7 @@ impl GsnContainer {
                         } = &mut state.mode
                         {
                             pending.retain(|(s, _)| *s != sub);
+                            state.hops.push(result.hop);
                             merge_shipped_rows(tables, &table, result.relation);
                         }
                     }
@@ -2624,12 +2970,18 @@ impl GsnContainer {
                         if let Some(network) = &network {
                             for host in pending {
                                 self.telemetry.retransmits_total.inc();
+                                if let Some(hop) =
+                                    state.hops.iter_mut().find(|h| h.peer == host.as_u64())
+                                {
+                                    hop.retransmits += 1;
+                                }
                                 let _ = network.send(
                                     node,
                                     *host,
                                     Message::PartialAggregateRequest {
                                         request,
                                         sql: plan.partial_sql.clone(),
+                                        trace: state.trace,
                                     },
                                     now,
                                 );
@@ -2675,12 +3027,40 @@ impl GsnContainer {
                     _ => None,
                 };
                 if let Some(result) = completed {
-                    self.telemetry
-                        .scatter_latency_millis
-                        .record(now.abs_diff(state.started).as_millis() as u64);
+                    let elapsed_millis = now.abs_diff(state.started).as_millis() as u64;
+                    self.telemetry.scatter_latency_millis.record(elapsed_millis);
+                    // Federated queries route through the same slow-query log as
+                    // local ones, with the per-hop wire breakdown attached.  The
+                    // latency is simulated-clock time: on a simnet that is the
+                    // meaningful end-to-end figure, wall time is not.
+                    let micros = elapsed_millis.saturating_mul(1_000);
+                    let sql = state.sql.clone();
+                    let hops = state.hops.clone();
+                    let rows_returned = result.as_ref().map(|r| r.row_count() as u64).unwrap_or(0);
+                    self.slow_queries.observe(micros, || SlowQuery {
+                        sql,
+                        micros,
+                        explain: "federated scatter-gather".to_owned(),
+                        rows_scanned: 0,
+                        rows_returned,
+                        hops,
+                    });
+                    if let Some(token) = state.root_span.take() {
+                        self.runtime.trace.finish(token);
+                    }
+                    // Traced scatters trigger a collect of every participant's spans,
+                    // assembling the full distributed tree client-side.
+                    if let Some(ctx) = state.trace {
+                        let peers: Vec<NodeId> =
+                            state.hops.iter().map(|h| NodeId::new(h.peer)).collect();
+                        collects.push((ctx, peers));
+                    }
                     state.result = Some(result);
                 }
             }
+        }
+        for (ctx, peers) in collects {
+            let _ = self.start_trace_collect(ctx.trace_id, ctx.parent_span.0, peers);
         }
         // Reap abandoned scatters (no progress past the idle timeout); completed
         // results wait for their taker.
@@ -2707,9 +3087,139 @@ impl GsnContainer {
     }
 
     /// The slow-query log: ad-hoc queries and registered evaluations slower than
-    /// `ContainerConfig::slow_query_threshold_micros`, with their plan explains.
+    /// `ContainerConfig::slow_query_threshold_micros`, with their plan explains
+    /// (federated queries appear with a per-hop wire breakdown).
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.slow_queries.snapshot()
+    }
+
+    /// Starts collecting every participant's spans of one distributed trace.
+    /// This node's own spans are seeded immediately; each peer answers with its
+    /// slice over subsequent [`step`](Self::step)s (lost requests are re-sent by
+    /// the lossy-link recovery timer), and the completed tree lands in
+    /// [`assembled_traces`](Self::assembled_traces).  Traced
+    /// [`federated_query`](Self::federated_query) gathers trigger this
+    /// automatically for the hosts they scattered to; the explicit call asks
+    /// every current ring member instead.
+    pub fn collect_remote_spans(&mut self, trace_id: u128) -> GsnResult<RequestId> {
+        let peers = self.ring_members();
+        let root = self
+            .runtime
+            .trace
+            .spans_of_trace(trace_id)
+            .iter()
+            .find(|s| s.parent.is_none())
+            .map(|s| s.id.0)
+            .unwrap_or(0);
+        self.start_trace_collect(trace_id, root, peers)
+    }
+
+    fn start_trace_collect(
+        &mut self,
+        trace_id: u128,
+        root: u64,
+        peers: Vec<NodeId>,
+    ) -> GsnResult<RequestId> {
+        let Some(network) = self.runtime.network.clone() else {
+            return Err(GsnError::config(
+                "this container has no network; trace collection is unavailable",
+            ));
+        };
+        let now = self.clock.now();
+        let node = self.config.node_id;
+        let request = self.next_request_id;
+        self.next_request_id += 1;
+        let local: Vec<RemoteSpan> = self
+            .runtime
+            .trace
+            .spans_of_trace(trace_id)
+            .iter()
+            .map(|s| RemoteSpan::from_span(node.as_u64(), s))
+            .collect();
+        let mut peers = peers;
+        peers.sort_by_key(|p| p.as_u64());
+        peers.dedup_by_key(|p| p.as_u64());
+        let mut pending = Vec::new();
+        for peer in peers {
+            if peer == node {
+                continue;
+            }
+            let _ = network.send(
+                node,
+                peer,
+                Message::TraceCollectRequest {
+                    request,
+                    from: node,
+                    trace_id,
+                },
+                now,
+            );
+            pending.push(peer);
+        }
+        let state = TraceCollectState {
+            trace_id,
+            root,
+            pending,
+            spans: local,
+            last_request: now,
+            issued: now,
+        };
+        if state.pending.is_empty() {
+            self.finish_trace_collect(state);
+        } else {
+            self.pending_trace_collects.insert(request, state);
+        }
+        Ok(request)
+    }
+
+    /// Stitches a finished (or timed-out) collection into an assembled trace and
+    /// retains it, bounded by [`MAX_ASSEMBLED_TRACES`].
+    fn finish_trace_collect(&mut self, state: TraceCollectState) {
+        let assembled = AssembledTrace::assemble(state.trace_id, state.root, state.spans);
+        if self.assembled_traces.len() >= MAX_ASSEMBLED_TRACES {
+            self.assembled_traces.pop_front();
+        }
+        self.assembled_traces.push_back(assembled);
+    }
+
+    /// The distributed traces assembled so far, oldest first (bounded; older ones
+    /// are evicted as new collections complete).
+    pub fn assembled_traces(&self) -> Vec<AssembledTrace> {
+        self.assembled_traces.iter().cloned().collect()
+    }
+
+    /// Number of trace collections still waiting for peer replies.
+    pub fn pending_trace_collects(&self) -> usize {
+        self.pending_trace_collects.len()
+    }
+
+    /// This node's latest local health evaluation (`None` before the first mesh
+    /// gossip round; standalone containers evaluate only in [`status`](Self::status)).
+    pub fn local_health(&self) -> Option<HealthSummary> {
+        self.local_health.clone()
+    }
+
+    /// The mesh-wide health view from this node's replica: one summary per member,
+    /// sorted by node id, each carried here by gossip.  On a standalone container
+    /// this is just the local summary (if one was ever evaluated).
+    pub fn mesh_health(&self) -> Vec<HealthSummary> {
+        match self.mesh.as_ref() {
+            Some(mesh) => mesh.replica.lock().health_snapshot(),
+            None => self.local_health.clone().into_iter().collect(),
+        }
+    }
+
+    /// Fault-injection hook for tests and drills: records `samples` synthetic WAL
+    /// fsync latency observations of `micros` each into the storage telemetry,
+    /// driving the `storage` health rule without real disk stalls.
+    pub fn inject_wal_sync_latency(&self, micros: u64, samples: u64) {
+        for _ in 0..samples {
+            self.runtime
+                .storage
+                .telemetry()
+                .wal_sync_micros
+                .record(micros);
+        }
     }
 
     /// A typed snapshot of every metric the container exports, with the sourced
@@ -2854,6 +3364,13 @@ impl GsnContainer {
         let query_partitions = self.runtime.query_manager.partition_status();
         let registered_queries = self.runtime.query_manager.registered_count();
         let notifications = self.runtime.notifications.lock().stats();
+        let metrics = self.metrics_snapshot();
+        let health = evaluate_health(
+            &metrics,
+            &self.config.health_thresholds,
+            self.config.node_id.as_u64(),
+            self.steps,
+        );
         ContainerStatus {
             name: self.config.name.clone(),
             node: self.config.node_id,
@@ -2882,7 +3399,8 @@ impl GsnContainer {
             wrapper_kinds: self.registry.kinds(),
             workers: self.pool.as_ref().map(WorkerPool::size).unwrap_or(1),
             pool_jobs: self.pool.as_ref().map(WorkerPool::stats),
-            metrics: self.metrics_snapshot(),
+            health,
+            metrics,
         }
     }
 }
@@ -3257,6 +3775,7 @@ mod tests {
                 "select avg_temp from room_temp limit 1",
                 16,
                 false,
+                None,
             );
             assert_eq!(replies.len(), 1);
             match replies.pop().expect("one reply") {

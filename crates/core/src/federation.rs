@@ -627,6 +627,7 @@ mod tests {
                     sql: "select temperature from room_bc143_temperature".into(),
                     batch_rows: 1,
                     prefetch: false,
+                    trace: None,
                 },
                 fed.now(),
             )

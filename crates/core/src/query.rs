@@ -270,6 +270,7 @@ impl QueryPartition {
                         explain: query.prepared.explain(),
                         rows_scanned: 0,
                         rows_returned: relation.row_count() as u64,
+                        hops: Vec::new(),
                     });
                     out.push(ClientQueryResult {
                         query_id: id,

@@ -188,6 +188,23 @@ pub static FEDERATION_PREFETCH_HITS_TOTAL: MetricDesc = MetricDesc::counter(
     "batches",
 );
 
+/// Remote spans received by trace-collect assembly (answers to
+/// `TraceCollectRequest` messages issued when a federated query completes).
+pub static TRACE_REMOTE_SPANS_TOTAL: MetricDesc = MetricDesc::counter(
+    "gsn_trace_remote_spans_total",
+    "Remote spans received while assembling distributed trace trees",
+    "spans",
+);
+
+/// Per-subsystem health state evaluated on gossip rounds
+/// (labeled `subsystem="..."`; 0 = healthy, 1 = degraded, 2 = unhealthy).
+pub static HEALTH_STATE: MetricDesc = MetricDesc::gauge(
+    "gsn_health_state",
+    "Health state of one subsystem (0 healthy, 1 degraded, 2 unhealthy)",
+    "state",
+)
+.with_label("subsystem");
+
 /// The live instrument handles of the container itself.
 ///
 /// Created detached at container construction and adopted into the container's
@@ -239,6 +256,8 @@ pub struct ContainerTelemetry {
     pub scatter_latency_millis: Histogram,
     /// Batches consumed without a per-batch request (prefetch pipelining).
     pub prefetch_hits_total: Counter,
+    /// Remote spans received by trace-collect assembly.
+    pub remote_spans_total: Counter,
 }
 
 impl ContainerTelemetry {
@@ -280,6 +299,7 @@ impl ContainerTelemetry {
             &self.scatter_latency_millis,
         );
         registry.register_counter(&FEDERATION_PREFETCH_HITS_TOTAL, &self.prefetch_hits_total);
+        registry.register_counter(&TRACE_REMOTE_SPANS_TOTAL, &self.remote_spans_total);
     }
 
     /// Folds one step report's counters into the cumulative totals.

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use gsn_network::{DirectoryEntry, ReplicaRecord};
+use gsn_telemetry::HealthSummary;
 use gsn_types::{GsnError, GsnResult, NodeId};
 
 /// Counters kept by a directory replica (the replicated twin of
@@ -36,6 +37,10 @@ pub struct ReplicatedDirectory {
     /// Lamport clock: bumped on every local mutation, advanced past every version seen.
     clock: u64,
     records: HashMap<(NodeId, String), ReplicaRecord>,
+    /// The latest health summary seen per node, piggybacked on gossip rounds.
+    /// Kept apart from `records` so [`ReplicatedDirectory::snapshot`] (the
+    /// convergence equality check) is unaffected by health churn.
+    health: HashMap<u64, HealthSummary>,
     stats: ReplicaStats,
 }
 
@@ -46,6 +51,7 @@ impl ReplicatedDirectory {
             node,
             clock: 0,
             records: HashMap::new(),
+            health: HashMap::new(),
             stats: ReplicaStats::default(),
         }
     }
@@ -250,6 +256,36 @@ impl ReplicatedDirectory {
         applied
     }
 
+    /// Records this node's own freshly evaluated health summary.
+    pub fn record_local_health(&mut self, summary: HealthSummary) {
+        self.health.insert(summary.node, summary);
+    }
+
+    /// Merges health summaries received on a gossip round, keeping the copy
+    /// with the higher version per node.  Returns how many were applied.
+    pub fn apply_health(&mut self, summaries: &[HealthSummary]) -> usize {
+        let mut applied = 0;
+        for incoming in summaries {
+            let newer = match self.health.get(&incoming.node) {
+                Some(existing) => incoming.version > existing.version,
+                None => true,
+            };
+            if newer {
+                self.health.insert(incoming.node, incoming.clone());
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// The latest known health summary of every node, ordered by node id —
+    /// the whole-mesh answer behind `mesh_health()`.
+    pub fn health_snapshot(&self) -> Vec<HealthSummary> {
+        let mut summaries: Vec<HealthSummary> = self.health.values().cloned().collect();
+        summaries.sort_by_key(|s| s.node);
+        summaries
+    }
+
     /// Replica statistics.
     pub fn stats(&self) -> ReplicaStats {
         self.stats
@@ -364,6 +400,61 @@ mod tests {
         assert_eq!(a.deregister_node(NodeId::new(2)), 2);
         assert!(a.is_empty());
         assert_eq!(a.hosts_of_table("cam_0"), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn health_merge_keeps_the_higher_version_per_node() {
+        use gsn_telemetry::{HealthState, SubsystemHealth};
+        let sub = |state| SubsystemHealth {
+            subsystem: "storage".into(),
+            state,
+            reasons: Vec::new(),
+        };
+        let mut a = ReplicatedDirectory::new(NodeId::new(1));
+        a.record_local_health(HealthSummary {
+            node: 1,
+            version: 5,
+            subsystems: vec![sub(HealthState::Healthy)],
+        });
+        // A peer's summary and a stale copy of our own arrive on one round.
+        let applied = a.apply_health(&[
+            HealthSummary {
+                node: 2,
+                version: 3,
+                subsystems: vec![sub(HealthState::Degraded)],
+            },
+            HealthSummary {
+                node: 1,
+                version: 4,
+                subsystems: vec![sub(HealthState::Unhealthy)],
+            },
+        ]);
+        assert_eq!(applied, 1);
+        let snapshot = a.health_snapshot();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot[0].node, 1);
+        assert_eq!(snapshot[0].version, 5);
+        assert_eq!(
+            snapshot[0].state_of("storage"),
+            Some(HealthState::Healthy),
+            "stale self-copy must not regress local health"
+        );
+        assert_eq!(snapshot[1].node, 2);
+        // A newer copy of the peer's summary replaces the older one.
+        assert_eq!(
+            a.apply_health(&[HealthSummary {
+                node: 2,
+                version: 9,
+                subsystems: vec![sub(HealthState::Healthy)],
+            }]),
+            1
+        );
+        assert_eq!(
+            a.health_snapshot()[1].state_of("storage"),
+            Some(HealthState::Healthy)
+        );
+        // Health never leaks into the convergence snapshot.
+        assert!(a.snapshot().is_empty());
     }
 
     #[test]

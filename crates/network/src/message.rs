@@ -9,7 +9,10 @@
 //! exercised, as it would be over TCP.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gsn_telemetry::{HistogramSummary, MetricSample, MetricsSnapshot, SampleValue};
+use gsn_telemetry::{
+    HealthState, HealthSummary, HistogramSummary, MetricSample, MetricsSnapshot, RemoteSpan,
+    SampleValue, SpanId, SubsystemHealth, TraceContext,
+};
 use gsn_types::{GsnError, GsnResult, NodeId, StreamElement, StreamSchema, Timestamp, Value};
 use std::sync::Arc;
 
@@ -108,6 +111,10 @@ pub enum Message {
         /// cumulative ack), hiding one link RTT per batch.  When false the wire stays
         /// strictly pull-based (one batch per `QueryNext`).
         prefetch: bool,
+        /// The distributed trace this query belongs to, if any.  Encoded as a
+        /// trailing extension: old peers simply omit it (decodes as `None`),
+        /// and untraced frames are byte-identical to the pre-tracing format.
+        trace: Option<TraceContext>,
     },
     /// Pull the next batch of an open remote cursor (the wire stays pull-based: the
     /// server only reads further storage pages when the client asks).
@@ -123,6 +130,9 @@ pub enum Message {
         /// retransmit its cached copy instead of advancing the cursor, so a dropped
         /// `QueryBatch` is re-requested rather than stalling the query.
         expect_seq: u64,
+        /// The distributed trace this pull belongs to, if any (trailing
+        /// extension; `None` is byte-identical to the pre-tracing format).
+        trace: Option<TraceContext>,
     },
     /// One incremental batch of a remote query result.
     QueryBatch {
@@ -142,6 +152,9 @@ pub enum Message {
         done: bool,
         /// Non-empty when the query failed (rows are empty and `done` is true).
         error: String,
+        /// Microseconds the server spent opening/executing for this batch
+        /// (trailing extension; 0 is byte-identical to the old format).
+        server_micros: u64,
     },
     /// Ask a peer for its current metrics snapshot (the federation scrape:
     /// EMMA-style cooperating nodes report health to each other).
@@ -168,6 +181,12 @@ pub enum Message {
         from: NodeId,
         /// `(origin, max version)` pairs — one per origin the sender knows about.
         digest: Vec<(NodeId, u64)>,
+        /// Per-node health summaries piggybacked on the round (trailing
+        /// extension; empty is byte-identical to the pre-health format).
+        health: Vec<HealthSummary>,
+        /// The distributed trace this round belongs to, if any (trailing
+        /// extension, normally `None` — gossip is background traffic).
+        trace: Option<TraceContext>,
     },
     /// Anti-entropy payload: directory records newer than the peer's digest.  When
     /// `digest` is non-empty the sender also wants the records *it* is missing (push–pull);
@@ -179,6 +198,12 @@ pub enum Message {
         records: Vec<ReplicaRecord>,
         /// The sender's own digest when it wants a return delta; empty to end the round.
         digest: Vec<(NodeId, u64)>,
+        /// Per-node health summaries piggybacked on the round (trailing
+        /// extension; empty is byte-identical to the pre-health format).
+        health: Vec<HealthSummary>,
+        /// The distributed trace this round belongs to, if any (trailing
+        /// extension, normally `None`).
+        trace: Option<TraceContext>,
     },
     /// Placement-ring membership broadcast.  Receivers rebuild the ring deterministically
     /// from the member list; a strictly higher epoch replaces the local view.
@@ -198,6 +223,9 @@ pub enum Message {
         request: RequestId,
         /// The partial-aggregate SQL to execute locally.
         sql: String,
+        /// The distributed trace this scatter belongs to, if any (trailing
+        /// extension; `None` is byte-identical to the pre-tracing format).
+        trace: Option<TraceContext>,
     },
     /// The partial rows answering a [`Message::PartialAggregateRequest`].
     PartialAggregateReply {
@@ -209,6 +237,32 @@ pub enum Message {
         rows: Vec<Vec<Value>>,
         /// Non-empty when the partial execution failed (rows are empty).
         error: String,
+        /// Microseconds the server spent executing the partial (trailing
+        /// extension; 0 is byte-identical to the old format).
+        server_micros: u64,
+    },
+    /// Ask a peer for every retained span of one distributed trace — the
+    /// client-side assembly step of cross-container tracing, issued next to
+    /// [`Message::MetricsRequest`] once a federated query completes.
+    TraceCollectRequest {
+        /// Correlation id.
+        request: RequestId,
+        /// The collecting node (where the spans should be sent back).
+        from: NodeId,
+        /// The trace whose spans are wanted.
+        trace_id: u128,
+    },
+    /// A peer's retained spans of one trace, answering
+    /// [`Message::TraceCollectRequest`].
+    TraceCollectReply {
+        /// Correlation id of the request.
+        request: RequestId,
+        /// The answering node.
+        node: NodeId,
+        /// The trace the spans belong to.
+        trace_id: u128,
+        /// Every retained span of the trace on the answering node.
+        spans: Vec<RemoteSpan>,
     },
 }
 
@@ -256,6 +310,8 @@ impl Message {
             Message::RingAnnounce { .. } => "ring-announce",
             Message::PartialAggregateRequest { .. } => "partial-aggregate-request",
             Message::PartialAggregateReply { .. } => "partial-aggregate-reply",
+            Message::TraceCollectRequest { .. } => "trace-collect-request",
+            Message::TraceCollectReply { .. } => "trace-collect-reply",
         }
     }
 }
@@ -330,6 +386,17 @@ const TAG_GOSSIP_DELTA: u8 = 17;
 const TAG_RING_ANNOUNCE: u8 = 18;
 const TAG_PARTIAL_AGG_REQUEST: u8 = 19;
 const TAG_PARTIAL_AGG_REPLY: u8 = 20;
+const TAG_TRACE_COLLECT_REQUEST: u8 = 21;
+const TAG_TRACE_COLLECT_REPLY: u8 = 22;
+
+// Trailing-extension flag bits.  Extended messages append one flags byte plus
+// the flagged payloads *after* their legacy fields, and only when at least one
+// extension is present — so frames without extensions stay byte-identical to
+// the pre-extension format and decode on old peers, while old frames (which
+// end exactly where the legacy fields end) decode here with the defaults.
+const EXT_TRACE: u8 = 0x01;
+const EXT_HEALTH: u8 = 0x02;
+const EXT_SERVER_MICROS: u8 = 0x04;
 
 const SAMPLE_COUNTER: u8 = 0;
 const SAMPLE_GAUGE: u8 = 1;
@@ -422,24 +489,28 @@ pub fn encode(message: &Message) -> Bytes {
             sql,
             batch_rows,
             prefetch,
+            trace,
         } => {
             buf.put_u8(TAG_QUERY_REQUEST);
             buf.put_u64(*request);
             put_string(&mut buf, sql);
             buf.put_u32(*batch_rows);
             buf.put_u8(u8::from(*prefetch));
+            put_extensions(&mut buf, trace, &[], 0);
         }
         Message::QueryNext {
             request,
             cursor,
             batch_rows,
             expect_seq,
+            trace,
         } => {
             buf.put_u8(TAG_QUERY_NEXT);
             buf.put_u64(*request);
             buf.put_u64(*cursor);
             buf.put_u32(*batch_rows);
             buf.put_u64(*expect_seq);
+            put_extensions(&mut buf, trace, &[], 0);
         }
         Message::QueryBatch {
             request,
@@ -449,6 +520,7 @@ pub fn encode(message: &Message) -> Bytes {
             seq,
             done,
             error,
+            server_micros,
         } => {
             buf.put_u8(TAG_QUERY_BATCH);
             buf.put_u64(*request);
@@ -467,6 +539,7 @@ pub fn encode(message: &Message) -> Bytes {
             }
             buf.put_u8(u8::from(*done));
             put_string(&mut buf, error);
+            put_extensions(&mut buf, &None, &[], *server_micros);
         }
         Message::MetricsRequest { request, from } => {
             buf.put_u8(TAG_METRICS_REQUEST);
@@ -509,15 +582,23 @@ pub fn encode(message: &Message) -> Bytes {
                 }
             }
         }
-        Message::GossipDigest { from, digest } => {
+        Message::GossipDigest {
+            from,
+            digest,
+            health,
+            trace,
+        } => {
             buf.put_u8(TAG_GOSSIP_DIGEST);
             buf.put_u64(from.as_u64());
             put_digest(&mut buf, digest);
+            put_extensions(&mut buf, trace, health, 0);
         }
         Message::GossipDelta {
             from,
             records,
             digest,
+            health,
+            trace,
         } => {
             buf.put_u8(TAG_GOSSIP_DELTA);
             buf.put_u64(from.as_u64());
@@ -526,6 +607,7 @@ pub fn encode(message: &Message) -> Bytes {
                 put_replica_record(&mut buf, record);
             }
             put_digest(&mut buf, digest);
+            put_extensions(&mut buf, trace, health, 0);
         }
         Message::RingAnnounce {
             from,
@@ -540,16 +622,22 @@ pub fn encode(message: &Message) -> Bytes {
                 buf.put_u64(member.as_u64());
             }
         }
-        Message::PartialAggregateRequest { request, sql } => {
+        Message::PartialAggregateRequest {
+            request,
+            sql,
+            trace,
+        } => {
             buf.put_u8(TAG_PARTIAL_AGG_REQUEST);
             buf.put_u64(*request);
             put_string(&mut buf, sql);
+            put_extensions(&mut buf, trace, &[], 0);
         }
         Message::PartialAggregateReply {
             request,
             columns,
             rows,
             error,
+            server_micros,
         } => {
             buf.put_u8(TAG_PARTIAL_AGG_REPLY);
             buf.put_u64(*request);
@@ -565,6 +653,29 @@ pub fn encode(message: &Message) -> Bytes {
                 }
             }
             put_string(&mut buf, error);
+            put_extensions(&mut buf, &None, &[], *server_micros);
+        }
+        Message::TraceCollectRequest {
+            request,
+            from,
+            trace_id,
+        } => {
+            buf.put_u8(TAG_TRACE_COLLECT_REQUEST);
+            buf.put_u64(*request);
+            buf.put_u64(from.as_u64());
+            put_u128(&mut buf, *trace_id);
+        }
+        Message::TraceCollectReply {
+            request,
+            node,
+            trace_id,
+            spans,
+        } => {
+            buf.put_u8(TAG_TRACE_COLLECT_REPLY);
+            buf.put_u64(*request);
+            buf.put_u64(node.as_u64());
+            put_u128(&mut buf, *trace_id);
+            put_remote_spans(&mut buf, spans);
         }
     }
     buf.freeze()
@@ -626,18 +737,34 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
         TAG_PONG => Message::Pong {
             request: get_u64(&mut buf)?,
         },
-        TAG_QUERY_REQUEST => Message::QueryRequest {
-            request: get_u64(&mut buf)?,
-            sql: get_string(&mut buf)?,
-            batch_rows: get_u32(&mut buf)?,
-            prefetch: get_u8(&mut buf)? != 0,
-        },
-        TAG_QUERY_NEXT => Message::QueryNext {
-            request: get_u64(&mut buf)?,
-            cursor: get_u64(&mut buf)?,
-            batch_rows: get_u32(&mut buf)?,
-            expect_seq: get_u64(&mut buf)?,
-        },
+        TAG_QUERY_REQUEST => {
+            let request = get_u64(&mut buf)?;
+            let sql = get_string(&mut buf)?;
+            let batch_rows = get_u32(&mut buf)?;
+            let prefetch = get_u8(&mut buf)? != 0;
+            let (trace, _, _) = get_extensions(&mut buf)?;
+            Message::QueryRequest {
+                request,
+                sql,
+                batch_rows,
+                prefetch,
+                trace,
+            }
+        }
+        TAG_QUERY_NEXT => {
+            let request = get_u64(&mut buf)?;
+            let cursor = get_u64(&mut buf)?;
+            let batch_rows = get_u32(&mut buf)?;
+            let expect_seq = get_u64(&mut buf)?;
+            let (trace, _, _) = get_extensions(&mut buf)?;
+            Message::QueryNext {
+                request,
+                cursor,
+                batch_rows,
+                expect_seq,
+                trace,
+            }
+        }
         TAG_QUERY_BATCH => {
             let request = get_u64(&mut buf)?;
             let cursor = get_u64(&mut buf)?;
@@ -657,14 +784,18 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
                 }
                 rows.push(row);
             }
+            let done = get_u8(&mut buf)? != 0;
+            let error = get_string(&mut buf)?;
+            let (_, _, server_micros) = get_extensions(&mut buf)?;
             Message::QueryBatch {
                 request,
                 cursor,
                 columns,
                 rows,
                 seq,
-                done: get_u8(&mut buf)? != 0,
-                error: get_string(&mut buf)?,
+                done,
+                error,
+                server_micros,
             }
         }
         TAG_METRICS_REQUEST => Message::MetricsRequest {
@@ -710,10 +841,17 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
                 snapshot: MetricsSnapshot { metrics },
             }
         }
-        TAG_GOSSIP_DIGEST => Message::GossipDigest {
-            from: NodeId::new(get_u64(&mut buf)?),
-            digest: get_digest(&mut buf)?,
-        },
+        TAG_GOSSIP_DIGEST => {
+            let from = NodeId::new(get_u64(&mut buf)?);
+            let digest = get_digest(&mut buf)?;
+            let (trace, health, _) = get_extensions(&mut buf)?;
+            Message::GossipDigest {
+                from,
+                digest,
+                health,
+                trace,
+            }
+        }
         TAG_GOSSIP_DELTA => {
             let from = NodeId::new(get_u64(&mut buf)?);
             let n = get_u32(&mut buf)? as usize;
@@ -721,10 +859,14 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
             for _ in 0..n {
                 records.push(get_replica_record(&mut buf)?);
             }
+            let digest = get_digest(&mut buf)?;
+            let (trace, health, _) = get_extensions(&mut buf)?;
             Message::GossipDelta {
                 from,
                 records,
-                digest: get_digest(&mut buf)?,
+                digest,
+                health,
+                trace,
             }
         }
         TAG_RING_ANNOUNCE => {
@@ -741,10 +883,16 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
                 members,
             }
         }
-        TAG_PARTIAL_AGG_REQUEST => Message::PartialAggregateRequest {
-            request: get_u64(&mut buf)?,
-            sql: get_string(&mut buf)?,
-        },
+        TAG_PARTIAL_AGG_REQUEST => {
+            let request = get_u64(&mut buf)?;
+            let sql = get_string(&mut buf)?;
+            let (trace, _, _) = get_extensions(&mut buf)?;
+            Message::PartialAggregateRequest {
+                request,
+                sql,
+                trace,
+            }
+        }
         TAG_PARTIAL_AGG_REPLY => {
             let request = get_u64(&mut buf)?;
             let n_columns = get_u32(&mut buf)? as usize;
@@ -762,19 +910,197 @@ pub fn decode(mut buf: &[u8]) -> GsnResult<Message> {
                 }
                 rows.push(row);
             }
+            let error = get_string(&mut buf)?;
+            let (_, _, server_micros) = get_extensions(&mut buf)?;
             Message::PartialAggregateReply {
                 request,
                 columns,
                 rows,
-                error: get_string(&mut buf)?,
+                error,
+                server_micros,
             }
         }
+        TAG_TRACE_COLLECT_REQUEST => Message::TraceCollectRequest {
+            request: get_u64(&mut buf)?,
+            from: NodeId::new(get_u64(&mut buf)?),
+            trace_id: get_u128(&mut buf)?,
+        },
+        TAG_TRACE_COLLECT_REPLY => Message::TraceCollectReply {
+            request: get_u64(&mut buf)?,
+            node: NodeId::new(get_u64(&mut buf)?),
+            trace_id: get_u128(&mut buf)?,
+            spans: get_remote_spans(&mut buf)?,
+        },
         other => return Err(err(&format!("unknown tag {other}"))),
     };
     if !buf.is_empty() {
         return Err(err("trailing bytes"));
     }
     Ok(message)
+}
+
+/// Appends the trailing-extension block: one flags byte plus the flagged
+/// payloads, in flag-bit order (trace, health, server micros).  When nothing
+/// is flagged, nothing is written — the frame stays byte-identical to the
+/// pre-extension format.
+fn put_extensions(
+    buf: &mut BytesMut,
+    trace: &Option<TraceContext>,
+    health: &[HealthSummary],
+    server_micros: u64,
+) {
+    let mut flags = 0u8;
+    if trace.is_some() {
+        flags |= EXT_TRACE;
+    }
+    if !health.is_empty() {
+        flags |= EXT_HEALTH;
+    }
+    if server_micros != 0 {
+        flags |= EXT_SERVER_MICROS;
+    }
+    if flags == 0 {
+        return;
+    }
+    buf.put_u8(flags);
+    if let Some(trace) = trace {
+        put_u128(buf, trace.trace_id);
+        buf.put_u64(trace.parent_span.0);
+    }
+    if !health.is_empty() {
+        put_health_summaries(buf, health);
+    }
+    if server_micros != 0 {
+        buf.put_u64(server_micros);
+    }
+}
+
+/// Reads the trailing-extension block if present, returning
+/// `(trace, health, server_micros)` with defaults for absent extensions.
+/// Old frames end exactly where the legacy fields end, so an empty buffer
+/// means "no extensions".
+fn get_extensions(buf: &mut &[u8]) -> GsnResult<(Option<TraceContext>, Vec<HealthSummary>, u64)> {
+    if buf.is_empty() {
+        return Ok((None, Vec::new(), 0));
+    }
+    let flags = get_u8(buf)?;
+    if flags & !(EXT_TRACE | EXT_HEALTH | EXT_SERVER_MICROS) != 0 {
+        return Err(GsnError::internal(format!(
+            "malformed message: unknown extension flags {flags:#04x}"
+        )));
+    }
+    let trace = if flags & EXT_TRACE != 0 {
+        let trace_id = get_u128(buf)?;
+        let parent_span = SpanId(get_u64(buf)?);
+        Some(TraceContext {
+            trace_id,
+            parent_span,
+        })
+    } else {
+        None
+    };
+    let health = if flags & EXT_HEALTH != 0 {
+        get_health_summaries(buf)?
+    } else {
+        Vec::new()
+    };
+    let server_micros = if flags & EXT_SERVER_MICROS != 0 {
+        get_u64(buf)?
+    } else {
+        0
+    };
+    Ok((trace, health, server_micros))
+}
+
+fn put_u128(buf: &mut BytesMut, v: u128) {
+    buf.put_u64((v >> 64) as u64);
+    buf.put_u64(v as u64);
+}
+
+fn get_u128(buf: &mut &[u8]) -> GsnResult<u128> {
+    let hi = get_u64(buf)?;
+    let lo = get_u64(buf)?;
+    Ok((u128::from(hi) << 64) | u128::from(lo))
+}
+
+fn put_health_summaries(buf: &mut BytesMut, summaries: &[HealthSummary]) {
+    buf.put_u32(summaries.len() as u32);
+    for summary in summaries {
+        buf.put_u64(summary.node);
+        buf.put_u64(summary.version);
+        buf.put_u32(summary.subsystems.len() as u32);
+        for sub in &summary.subsystems {
+            put_string(buf, &sub.subsystem);
+            buf.put_u8(sub.state.as_u8());
+            buf.put_u32(sub.reasons.len() as u32);
+            for reason in &sub.reasons {
+                put_string(buf, reason);
+            }
+        }
+    }
+}
+
+fn get_health_summaries(buf: &mut &[u8]) -> GsnResult<Vec<HealthSummary>> {
+    let n = get_u32(buf)? as usize;
+    let mut summaries = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let node = get_u64(buf)?;
+        let version = get_u64(buf)?;
+        let n_subs = get_u32(buf)? as usize;
+        let mut subsystems = Vec::with_capacity(n_subs.min(1024));
+        for _ in 0..n_subs {
+            let subsystem = get_string(buf)?;
+            let state = HealthState::from_u8(get_u8(buf)?);
+            let n_reasons = get_u32(buf)? as usize;
+            let mut reasons = Vec::with_capacity(n_reasons.min(1024));
+            for _ in 0..n_reasons {
+                reasons.push(get_string(buf)?);
+            }
+            subsystems.push(SubsystemHealth {
+                subsystem,
+                state,
+                reasons,
+            });
+        }
+        summaries.push(HealthSummary {
+            node,
+            version,
+            subsystems,
+        });
+    }
+    Ok(summaries)
+}
+
+fn put_remote_spans(buf: &mut BytesMut, spans: &[RemoteSpan]) {
+    buf.put_u32(spans.len() as u32);
+    for span in spans {
+        buf.put_u64(span.node);
+        put_u128(buf, span.trace_id);
+        buf.put_u64(span.id);
+        buf.put_u64(span.parent);
+        put_string(buf, &span.name);
+        put_string(buf, &span.detail);
+        buf.put_u64(span.start_micros);
+        buf.put_u64(span.duration_micros);
+    }
+}
+
+fn get_remote_spans(buf: &mut &[u8]) -> GsnResult<Vec<RemoteSpan>> {
+    let n = get_u32(buf)? as usize;
+    let mut spans = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        spans.push(RemoteSpan {
+            node: get_u64(buf)?,
+            trace_id: get_u128(buf)?,
+            id: get_u64(buf)?,
+            parent: get_u64(buf)?,
+            name: get_string(buf)?,
+            detail: get_string(buf)?,
+            start_micros: get_u64(buf)?,
+            duration_micros: get_u64(buf)?,
+        });
+    }
+    Ok(spans)
 }
 
 fn put_string(buf: &mut BytesMut, s: &str) {
@@ -1073,18 +1399,34 @@ mod tests {
             sql: "select * from motes limit 10".into(),
             batch_rows: 128,
             prefetch: false,
+            trace: None,
         });
         roundtrip(Message::QueryRequest {
             request: 44,
             sql: "select * from motes".into(),
             batch_rows: 64,
             prefetch: true,
+            trace: Some(TraceContext {
+                trace_id: (7u128 << 64) | 44,
+                parent_span: SpanId(0x0007_0000_0000_0001),
+            }),
         });
         roundtrip(Message::QueryNext {
             request: 42,
             cursor: 7,
             batch_rows: 64,
             expect_seq: 3,
+            trace: None,
+        });
+        roundtrip(Message::QueryNext {
+            request: 42,
+            cursor: 7,
+            batch_rows: 64,
+            expect_seq: 4,
+            trace: Some(TraceContext {
+                trace_id: u128::MAX,
+                parent_span: SpanId(u64::MAX),
+            }),
         });
         roundtrip(Message::QueryBatch {
             request: 42,
@@ -1097,6 +1439,7 @@ mod tests {
             seq: 5,
             done: false,
             error: String::new(),
+            server_micros: 0,
         });
         roundtrip(Message::QueryBatch {
             request: 43,
@@ -1106,6 +1449,7 @@ mod tests {
             seq: 0,
             done: true,
             error: "unknown table `nosuch`".into(),
+            server_micros: 1_375,
         });
         roundtrip(Message::StreamDelivery {
             sensor: "motes".into(),
@@ -1162,10 +1506,29 @@ mod tests {
         roundtrip(Message::GossipDigest {
             from: NodeId::new(5),
             digest: vec![(NodeId::new(1), 17), (NodeId::new(2), 0)],
+            health: Vec::new(),
+            trace: None,
         });
         roundtrip(Message::GossipDigest {
             from: NodeId::new(5),
             digest: Vec::new(),
+            health: vec![HealthSummary {
+                node: 5,
+                version: 31,
+                subsystems: vec![
+                    SubsystemHealth {
+                        subsystem: "step".into(),
+                        state: HealthState::Healthy,
+                        reasons: Vec::new(),
+                    },
+                    SubsystemHealth {
+                        subsystem: "storage".into(),
+                        state: HealthState::Degraded,
+                        reasons: vec!["wal fsync p99 80000us over budget 50000us".into()],
+                    },
+                ],
+            }],
+            trace: None,
         });
         roundtrip(Message::GossipDelta {
             from: NodeId::new(2),
@@ -1188,11 +1551,29 @@ mod tests {
                 },
             ],
             digest: vec![(NodeId::new(2), 9)],
+            health: Vec::new(),
+            trace: None,
         });
         roundtrip(Message::GossipDelta {
             from: NodeId::new(2),
             records: Vec::new(),
             digest: Vec::new(),
+            health: vec![
+                HealthSummary {
+                    node: 2,
+                    version: 8,
+                    subsystems: vec![SubsystemHealth {
+                        subsystem: "federation".into(),
+                        state: HealthState::Unhealthy,
+                        reasons: vec!["retransmit ratio 412 per mille".into()],
+                    }],
+                },
+                HealthSummary::default(),
+            ],
+            trace: Some(TraceContext {
+                trace_id: 1,
+                parent_span: SpanId(2),
+            }),
         });
         roundtrip(Message::RingAnnounce {
             from: NodeId::new(1),
@@ -1202,18 +1583,67 @@ mod tests {
         roundtrip(Message::PartialAggregateRequest {
             request: 81,
             sql: "select count(*) as a0_count, sum(temperature) as a0_sum from motes".into(),
+            trace: None,
+        });
+        roundtrip(Message::PartialAggregateRequest {
+            request: 83,
+            sql: "select count(*) as a0_count from motes".into(),
+            trace: Some(TraceContext {
+                trace_id: (3u128 << 64) | 83,
+                parent_span: SpanId(0x0003_0000_0000_0009),
+            }),
         });
         roundtrip(Message::PartialAggregateReply {
             request: 81,
             columns: vec!["a0_count".into(), "a0_sum".into()],
             rows: vec![vec![Value::Integer(10), Value::Double(215.5)]],
             error: String::new(),
+            server_micros: 912,
         });
         roundtrip(Message::PartialAggregateReply {
             request: 82,
             columns: Vec::new(),
             rows: Vec::new(),
             error: "unknown table `nosuch`".into(),
+            server_micros: 0,
+        });
+        roundtrip(Message::TraceCollectRequest {
+            request: 90,
+            from: NodeId::new(1),
+            trace_id: (1u128 << 64) | 42,
+        });
+        roundtrip(Message::TraceCollectReply {
+            request: 90,
+            node: NodeId::new(4),
+            trace_id: (1u128 << 64) | 42,
+            spans: vec![
+                RemoteSpan {
+                    node: 4,
+                    trace_id: (1u128 << 64) | 42,
+                    id: 0x0004_0000_0000_0002,
+                    parent: 0x0001_0000_0000_0001,
+                    name: "federated.serve".into(),
+                    detail: "select avg(temperature) from mesh-temp".into(),
+                    start_micros: 12_000,
+                    duration_micros: 640,
+                },
+                RemoteSpan {
+                    node: 4,
+                    trace_id: (1u128 << 64) | 42,
+                    id: 0x0004_0000_0000_0003,
+                    parent: 0x0004_0000_0000_0002,
+                    name: "query.exec".into(),
+                    detail: String::new(),
+                    start_micros: 12_100,
+                    duration_micros: 500,
+                },
+            ],
+        });
+        roundtrip(Message::TraceCollectReply {
+            request: 91,
+            node: NodeId::new(5),
+            trace_id: 7,
+            spans: Vec::new(),
         });
     }
 
@@ -1255,6 +1685,80 @@ mod tests {
         .to_vec();
         let len = bytes.len();
         bytes[len - 3] = 0xFF; // inflate the sensor-name length prefix
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn untraced_frames_match_the_pre_extension_format() {
+        // An untraced QueryRequest must be byte-identical to the legacy
+        // encoding (no flags byte at all), so old peers still decode it.
+        let bytes = encode(&Message::QueryRequest {
+            request: 42,
+            sql: "select 1".into(),
+            batch_rows: 8,
+            prefetch: true,
+            trace: None,
+        });
+        let mut legacy = BytesMut::new();
+        legacy.put_u8(TAG_QUERY_REQUEST);
+        legacy.put_u64(42);
+        put_string(&mut legacy, "select 1");
+        legacy.put_u32(8);
+        legacy.put_u8(1);
+        assert_eq!(&bytes[..], &legacy[..]);
+        // And a legacy frame (ending at the legacy fields) decodes here with
+        // the extension defaults.
+        match decode(&legacy).unwrap() {
+            Message::QueryRequest { trace, .. } => assert_eq!(trace, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Same for a health-free gossip digest.
+        let bytes = encode(&Message::GossipDigest {
+            from: NodeId::new(5),
+            digest: vec![(NodeId::new(1), 17)],
+            health: Vec::new(),
+            trace: None,
+        });
+        let mut legacy = BytesMut::new();
+        legacy.put_u8(TAG_GOSSIP_DIGEST);
+        legacy.put_u64(5);
+        put_digest(&mut legacy, &[(NodeId::new(1), 17)]);
+        assert_eq!(&bytes[..], &legacy[..]);
+        // A zero server_micros QueryBatch also omits the extension block.
+        let plain = encode(&Message::QueryBatch {
+            request: 1,
+            cursor: 2,
+            columns: Vec::new(),
+            rows: Vec::new(),
+            seq: 0,
+            done: true,
+            error: String::new(),
+            server_micros: 0,
+        });
+        let timed = encode(&Message::QueryBatch {
+            request: 1,
+            cursor: 2,
+            columns: Vec::new(),
+            rows: Vec::new(),
+            seq: 0,
+            done: true,
+            error: String::new(),
+            server_micros: 99,
+        });
+        assert_eq!(timed.len(), plain.len() + 9); // flags byte + u64
+    }
+
+    #[test]
+    fn unknown_extension_flags_are_rejected() {
+        let mut bytes = encode(&Message::QueryNext {
+            request: 1,
+            cursor: 2,
+            batch_rows: 3,
+            expect_seq: 4,
+            trace: None,
+        })
+        .to_vec();
+        bytes.push(0x80); // a flags byte with an unassigned bit set
         assert!(decode(&bytes).is_err());
     }
 

@@ -116,9 +116,12 @@ struct NetworkInner {
     stats: NetworkStats,
     /// Per-directed-link delivery counters, keyed `(from, to)`.
     link_stats: HashMap<(NodeId, NodeId), NetworkStats>,
-    /// Deterministic loss decisions: a simple counter-based hash keeps runs reproducible
-    /// without threading an RNG through every send call.
-    loss_counter: u64,
+    /// Deterministic loss decisions: one counter-based hash stream per
+    /// `(from, to, message kind)` keeps runs reproducible without threading an RNG
+    /// through every send call — and keeps the loss pattern one traffic class sees
+    /// independent of how much *other* traffic shares the network, so A/B runs that
+    /// add frames (e.g. tracing on vs. off) face identical drops on identical frames.
+    loss_counters: HashMap<(NodeId, NodeId, &'static str), u64>,
     partitions: Vec<(NodeId, NodeId)>,
     /// Messages accepted for delivery, by [`Message::kind`].  Lets tests assert which
     /// frame kinds a protocol exchange put on the wire (e.g. that a decomposed federated
@@ -220,13 +223,24 @@ impl SimulatedNetwork {
             link.bytes_sent += wire_size as u64;
         }
 
-        // Deterministic pseudo-random loss.
+        // Deterministic pseudo-random loss, one stream per (link, frame kind).
         if spec.loss_probability > 0.0 {
-            inner.loss_counter = inner
-                .loss_counter
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1);
-            let draw = (inner.loss_counter >> 33) as f64 / (u32::MAX as f64 / 2.0).max(1.0);
+            let kind = message.kind();
+            let counter = inner
+                .loss_counters
+                .entry((from, to, kind))
+                .or_insert_with(|| {
+                    // Seed each stream from its key so different links/kinds start at
+                    // different phases of the sequence.
+                    let mut seed = from.as_u64().wrapping_mul(0x9E3779B97F4A7C15);
+                    seed ^= to.as_u64().wrapping_mul(0xD1B54A32D192ED03);
+                    for b in kind.bytes() {
+                        seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+                    }
+                    seed
+                });
+            *counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let draw = (*counter >> 33) as f64 / (u32::MAX as f64 / 2.0).max(1.0);
             if draw.fract() < spec.loss_probability {
                 inner.stats.dropped += 1;
                 inner.link_stats.entry((from, to)).or_default().dropped += 1;

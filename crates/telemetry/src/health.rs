@@ -1,0 +1,466 @@
+//! The mesh health model: a small rule set evaluated over a metrics snapshot.
+//!
+//! Each rule reads one or two samples out of a [`MetricsSnapshot`] and grades
+//! one *subsystem* `Healthy`, `Degraded` or `Unhealthy` with a human-readable
+//! reason.  The result — a [`HealthSummary`] — is small enough to piggyback on
+//! gossip rounds, so every container can answer `mesh_health()` for the whole
+//! cluster without a scrape fan-out.
+//!
+//! Rules are deliberately forgiving: a missing metric grades `Healthy` (the
+//! subsystem is not in use), and ratio rules only fire past a minimum sample
+//! count so cold containers are not flagged on their first handful of events.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::escape_json;
+
+/// The grade one subsystem (or a whole node) can receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthState {
+    /// All rules within budget.
+    Healthy,
+    /// At least one rule over its degraded threshold.
+    Degraded,
+    /// At least one rule over its unhealthy threshold.
+    Unhealthy,
+}
+
+impl HealthState {
+    /// Stable numeric encoding (0/1/2) used on the wire and as the
+    /// `gsn_health_state` gauge value.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Unhealthy => 2,
+        }
+    }
+
+    /// Inverse of [`as_u8`](HealthState::as_u8); unknown values clamp to
+    /// `Unhealthy` (fail conservative on wire corruption).
+    pub fn from_u8(v: u8) -> HealthState {
+        match v {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            _ => HealthState::Unhealthy,
+        }
+    }
+
+    /// Lower-case display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The grade of one subsystem, with the reasons that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsystemHealth {
+    /// Subsystem name: `step`, `storage`, `pool`, `federation`, `queries`,
+    /// `sources`.
+    pub subsystem: String,
+    /// The grade.
+    pub state: HealthState,
+    /// One line per rule over budget (empty when healthy).
+    pub reasons: Vec<String>,
+}
+
+/// One node's graded subsystems, versioned so gossip can keep the newest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthSummary {
+    /// The node this summary grades.
+    pub node: u64,
+    /// Monotonic version (the node's step counter); gossip keeps the higher.
+    pub version: u64,
+    /// Per-subsystem grades, in evaluation order.
+    pub subsystems: Vec<SubsystemHealth>,
+}
+
+impl HealthSummary {
+    /// The grade of one subsystem, if present.
+    pub fn state_of(&self, subsystem: &str) -> Option<HealthState> {
+        self.subsystems
+            .iter()
+            .find(|s| s.subsystem == subsystem)
+            .map(|s| s.state)
+    }
+
+    /// The worst grade across all subsystems (`Healthy` when empty).
+    pub fn worst(&self) -> HealthState {
+        self.subsystems
+            .iter()
+            .map(|s| s.state)
+            .max()
+            .unwrap_or(HealthState::Healthy)
+    }
+
+    /// Renders the summary as a JSON object (for the `/health` endpoint).
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"node\":{},\"version\":{},\"state\":\"{}\",\"subsystems\":[",
+            self.node,
+            self.version,
+            self.worst().label()
+        );
+        for (i, s) in self.subsystems.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"subsystem\":\"{}\",\"state\":\"{}\",\"reasons\":[",
+                escape_json(&s.subsystem),
+                s.state.label()
+            ));
+            for (j, r) in s.reasons.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", escape_json(r)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The threshold knobs of every health rule.
+///
+/// Defaults are generous — an ordinary test container grades `Healthy` — and a
+/// rule's `Unhealthy` bound is a multiple of its `Degraded` bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthThresholds {
+    /// `step`: p99 step duration budget in microseconds (`Degraded` above it,
+    /// `Unhealthy` above `step_unhealthy_factor` times it).
+    pub step_p99_budget_micros: u64,
+    /// `step`: multiplier on the p99 budget that grades `Unhealthy`.
+    pub step_unhealthy_factor: u64,
+    /// `storage`: p99 WAL fsync budget in microseconds.
+    pub wal_sync_p99_budget_micros: u64,
+    /// `storage`: multiplier on the fsync budget that grades `Unhealthy`.
+    pub wal_unhealthy_factor: u64,
+    /// `pool`: contended lock acquisitions per 1000 page requests that grade
+    /// `Degraded` (4x grades `Unhealthy`).
+    pub pool_contention_permille: u64,
+    /// `pool`: evictions per 1000 page requests that grade `Degraded` (the
+    /// working set thrashes through the pool).
+    pub pool_eviction_permille: u64,
+    /// `federation`: retransmits per 1000 sent messages that grade `Degraded`
+    /// (4x grades `Unhealthy`).
+    pub retransmit_permille: u64,
+    /// `queries`: full re-evaluation fallbacks per 1000 registered-query
+    /// evaluations that grade `Degraded`.
+    pub fallback_permille: u64,
+    /// `sources`: silence episodes tolerated before `Degraded` (4x grades
+    /// `Unhealthy`).
+    pub silence_budget: u64,
+    /// Ratio rules only fire once their denominator reaches this count.
+    pub min_samples: u64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> HealthThresholds {
+        HealthThresholds {
+            step_p99_budget_micros: 250_000,
+            step_unhealthy_factor: 4,
+            wal_sync_p99_budget_micros: 50_000,
+            wal_unhealthy_factor: 10,
+            pool_contention_permille: 100,
+            pool_eviction_permille: 800,
+            retransmit_permille: 100,
+            fallback_permille: 900,
+            silence_budget: 2,
+            min_samples: 8,
+        }
+    }
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.get(name).and_then(|s| s.as_counter()).unwrap_or(0)
+}
+
+fn histogram_p99(snap: &MetricsSnapshot, name: &str) -> Option<(u64, u64)> {
+    snap.get(name)
+        .and_then(|s| s.as_histogram())
+        .map(|h| (h.p99, h.count))
+}
+
+/// Grades a budget rule: `Healthy` under `budget`, `Degraded` at or above it,
+/// `Unhealthy` at or above `budget * factor`.
+fn grade_budget(value: u64, budget: u64, factor: u64) -> HealthState {
+    if value >= budget.saturating_mul(factor.max(1)) {
+        HealthState::Unhealthy
+    } else if value >= budget {
+        HealthState::Degraded
+    } else {
+        HealthState::Healthy
+    }
+}
+
+struct RuleSet {
+    subsystems: Vec<SubsystemHealth>,
+}
+
+impl RuleSet {
+    fn grade(&mut self, subsystem: &str, state: HealthState, reason: impl FnOnce() -> String) {
+        let entry = match self
+            .subsystems
+            .iter_mut()
+            .find(|s| s.subsystem == subsystem)
+        {
+            Some(e) => e,
+            None => {
+                self.subsystems.push(SubsystemHealth {
+                    subsystem: subsystem.to_string(),
+                    state: HealthState::Healthy,
+                    reasons: Vec::new(),
+                });
+                self.subsystems.last_mut().expect("just pushed")
+            }
+        };
+        if state > entry.state {
+            entry.state = state;
+        }
+        if state > HealthState::Healthy {
+            entry.reasons.push(reason());
+        }
+    }
+}
+
+/// Evaluates every health rule over `snap`, producing one node's
+/// [`HealthSummary`] at `version` (use the node's step counter so gossip can
+/// order summaries).
+pub fn evaluate(
+    snap: &MetricsSnapshot,
+    thresholds: &HealthThresholds,
+    node: u64,
+    version: u64,
+) -> HealthSummary {
+    let t = thresholds;
+    let mut rules = RuleSet {
+        subsystems: Vec::new(),
+    };
+
+    // step: p99 duration of a full container step vs budget.
+    let (step_p99, step_count) = histogram_p99(snap, "gsn_step_micros").unwrap_or((0, 0));
+    let step_state = if step_count >= t.min_samples {
+        grade_budget(step_p99, t.step_p99_budget_micros, t.step_unhealthy_factor)
+    } else {
+        HealthState::Healthy
+    };
+    rules.grade("step", step_state, || {
+        format!(
+            "step p99 {step_p99}us over budget {}us",
+            t.step_p99_budget_micros
+        )
+    });
+
+    // storage: p99 WAL fsync latency vs budget.
+    let (wal_p99, wal_count) = histogram_p99(snap, "gsn_storage_wal_sync_micros").unwrap_or((0, 0));
+    let wal_state = if wal_count >= t.min_samples {
+        grade_budget(
+            wal_p99,
+            t.wal_sync_p99_budget_micros,
+            t.wal_unhealthy_factor,
+        )
+    } else {
+        HealthState::Healthy
+    };
+    rules.grade("storage", wal_state, || {
+        format!(
+            "wal fsync p99 {wal_p99}us over budget {}us",
+            t.wal_sync_p99_budget_micros
+        )
+    });
+
+    // pool: lock contention and eviction pressure per 1000 page requests.
+    let requests = counter(snap, "gsn_storage_pool_hits_total")
+        + counter(snap, "gsn_storage_pool_misses_total");
+    let contended = counter(snap, "gsn_storage_pool_contended_total");
+    let evictions = counter(snap, "gsn_storage_pool_evictions_total");
+    let mut pool_state = HealthState::Healthy;
+    let mut contention_permille = 0;
+    let mut eviction_permille = 0;
+    if requests >= t.min_samples {
+        contention_permille = contended.saturating_mul(1000) / requests;
+        eviction_permille = evictions.saturating_mul(1000) / requests;
+        pool_state = grade_budget(contention_permille, t.pool_contention_permille, 4);
+    }
+    rules.grade("pool", pool_state, || {
+        format!(
+            "pool contention {contention_permille} per mille over budget {}",
+            t.pool_contention_permille
+        )
+    });
+    let eviction_state = if requests >= t.min_samples {
+        grade_budget(eviction_permille, t.pool_eviction_permille, 4)
+    } else {
+        HealthState::Healthy
+    };
+    rules.grade("pool", eviction_state, || {
+        format!(
+            "pool eviction pressure {eviction_permille} per mille over budget {}",
+            t.pool_eviction_permille
+        )
+    });
+
+    // federation: retransmit ratio over all messages this node sent.
+    let sent = counter(snap, "gsn_net_sent_total");
+    let retransmits = counter(snap, "gsn_federation_retransmits_total");
+    let mut retransmit_permille = 0;
+    let federation_state = if sent >= t.min_samples {
+        retransmit_permille = retransmits.saturating_mul(1000) / sent;
+        grade_budget(retransmit_permille, t.retransmit_permille, 4)
+    } else {
+        HealthState::Healthy
+    };
+    rules.grade("federation", federation_state, || {
+        format!(
+            "retransmit ratio {retransmit_permille} per mille over budget {}",
+            t.retransmit_permille
+        )
+    });
+
+    // queries: continuous-query fallback ratio.
+    let incremental = counter(snap, "gsn_query_incremental_total");
+    let fallback = counter(snap, "gsn_query_fallback_total");
+    let evaluations = incremental + fallback;
+    let mut fallback_permille = 0;
+    // Degraded-only: the ratio tops out at 1000 per mille, so there is no
+    // meaningful "far over budget" tier.
+    let queries_state = if evaluations >= t.min_samples {
+        fallback_permille = fallback.saturating_mul(1000) / evaluations;
+        if fallback_permille >= t.fallback_permille {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        }
+    } else {
+        HealthState::Healthy
+    };
+    rules.grade("queries", queries_state, || {
+        format!(
+            "fallback ratio {fallback_permille} per mille over budget {}",
+            t.fallback_permille
+        )
+    });
+
+    // sources: silence episodes (sources that stopped producing).
+    let silences = counter(snap, "gsn_step_silence_events_total");
+    let sources_state = grade_budget(silences, t.silence_budget.max(1), 4);
+    rules.grade("sources", sources_state, || {
+        format!(
+            "{silences} silence episodes over budget {}",
+            t.silence_budget
+        )
+    });
+
+    HealthSummary {
+        node,
+        version,
+        subsystems: rules.subsystems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricDesc, MetricsRegistry};
+
+    static STEP: MetricDesc = MetricDesc::histogram("gsn_step_micros", "step", "microseconds");
+    static WAL: MetricDesc =
+        MetricDesc::histogram("gsn_storage_wal_sync_micros", "wal", "microseconds");
+    static SILENCE: MetricDesc =
+        MetricDesc::counter("gsn_step_silence_events_total", "silence", "episodes");
+    static SENT: MetricDesc = MetricDesc::counter("gsn_net_sent_total", "sent", "messages");
+    static RETRANS: MetricDesc =
+        MetricDesc::counter("gsn_federation_retransmits_total", "retrans", "messages");
+
+    #[test]
+    fn empty_snapshot_grades_all_healthy() {
+        let snap = MetricsRegistry::new().snapshot();
+        let summary = evaluate(&snap, &HealthThresholds::default(), 3, 17);
+        assert_eq!(summary.node, 3);
+        assert_eq!(summary.version, 17);
+        assert_eq!(summary.worst(), HealthState::Healthy);
+        assert_eq!(summary.state_of("step"), Some(HealthState::Healthy));
+        assert_eq!(summary.state_of("storage"), Some(HealthState::Healthy));
+        assert!(summary.subsystems.iter().all(|s| s.reasons.is_empty()));
+    }
+
+    #[test]
+    fn slow_wal_fsync_degrades_storage() {
+        let registry = MetricsRegistry::new();
+        let wal = registry.histogram(&WAL);
+        for _ in 0..16 {
+            wal.record(80_000); // over the 50 ms budget, under 10x
+        }
+        let summary = evaluate(&registry.snapshot(), &HealthThresholds::default(), 1, 1);
+        assert_eq!(summary.state_of("storage"), Some(HealthState::Degraded));
+        assert_eq!(summary.worst(), HealthState::Degraded);
+        let storage = summary
+            .subsystems
+            .iter()
+            .find(|s| s.subsystem == "storage")
+            .unwrap();
+        assert!(storage.reasons[0].contains("wal fsync"), "{:?}", storage);
+        // 10x over the budget grades Unhealthy.
+        for _ in 0..32 {
+            wal.record(600_000);
+        }
+        let summary = evaluate(&registry.snapshot(), &HealthThresholds::default(), 1, 2);
+        assert_eq!(summary.state_of("storage"), Some(HealthState::Unhealthy));
+        assert!(summary.render_json().contains("\"state\":\"unhealthy\""));
+    }
+
+    #[test]
+    fn ratio_rules_need_min_samples() {
+        let registry = MetricsRegistry::new();
+        registry.counter(&SENT).add(2);
+        registry.counter(&RETRANS).add(2); // 100% retransmits, but only 2 sends
+        let summary = evaluate(&registry.snapshot(), &HealthThresholds::default(), 1, 1);
+        assert_eq!(summary.state_of("federation"), Some(HealthState::Healthy));
+        registry.counter(&SENT).add(98);
+        registry.counter(&RETRANS).add(48); // 50% over 100 sends
+        let summary = evaluate(&registry.snapshot(), &HealthThresholds::default(), 1, 2);
+        assert_eq!(summary.state_of("federation"), Some(HealthState::Unhealthy));
+    }
+
+    #[test]
+    fn silence_and_step_rules_fire() {
+        let registry = MetricsRegistry::new();
+        registry.counter(&SILENCE).add(3);
+        let step = registry.histogram(&STEP);
+        for _ in 0..16 {
+            step.record(2_000_000); // 2 s steps: over 4x the 250 ms budget
+        }
+        let summary = evaluate(&registry.snapshot(), &HealthThresholds::default(), 1, 1);
+        assert_eq!(summary.state_of("sources"), Some(HealthState::Degraded));
+        assert_eq!(summary.state_of("step"), Some(HealthState::Unhealthy));
+        let json = summary.render_json();
+        assert!(json.contains("\"subsystem\":\"step\""));
+        assert!(json.contains("silence episodes"));
+    }
+
+    #[test]
+    fn health_state_wire_encoding_round_trips() {
+        for state in [
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::Unhealthy,
+        ] {
+            assert_eq!(HealthState::from_u8(state.as_u8()), state);
+        }
+        assert_eq!(HealthState::from_u8(99), HealthState::Unhealthy);
+        assert!(HealthState::Healthy < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::Unhealthy);
+    }
+}

@@ -43,14 +43,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod health;
 pub mod metrics;
 pub mod trace;
 
+pub use health::{evaluate, HealthState, HealthSummary, HealthThresholds, SubsystemHealth};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, MetricDesc, MetricKind, MetricSample,
     MetricsRegistry, MetricsSnapshot, SampleValue, Stopwatch,
 };
 pub use trace::{
-    SlowQuery, SlowQueryLog, SpanId, SpanToken, TraceLog, TraceSpan, DEFAULT_SLOW_QUERY_CAPACITY,
+    AssembledTrace, HopBreakdown, RemoteSpan, SlowQuery, SlowQueryLog, SpanId, SpanToken,
+    TraceContext, TraceLog, TraceSpan, TraceTree, DEFAULT_SLOW_QUERY_CAPACITY,
     DEFAULT_TRACE_CAPACITY,
 };

@@ -1,14 +1,18 @@
 //! Telemetry tour: metrics, Prometheus exposition, tracing, the slow-query log,
-//! and peer-to-peer metric scraping — plus a real scrape-able HTTP endpoint.
+//! health grading and peer-to-peer metric scraping — plus a real scrape-able
+//! HTTP endpoint.
 //!
 //! ```text
 //! cargo run --example telemetry            # print everything once and exit
-//! cargo run --example telemetry -- --serve # also serve /metrics on 127.0.0.1:9898
+//! cargo run --example telemetry -- --serve # serve on 127.0.0.1:9898
 //! ```
 //!
 //! With `--serve`, point a Prometheus scraper (or `curl`) at
 //! `http://127.0.0.1:9898/metrics` while the example keeps stepping the
-//! container on a background cadence.
+//! container on a background cadence.  Two JSON surfaces ride along:
+//! `GET /health` returns the container's graded subsystems (HTTP 503 when any
+//! subsystem is Unhealthy, so load balancers can eject the node), and
+//! `GET /traces` returns the distributed trace trees assembled so far.
 
 use std::io::{Read, Write};
 use std::net::TcpListener;
@@ -143,7 +147,23 @@ fn main() {
         None => println!("\n== peer scrape did not complete in time =="),
     }
 
-    // --- 5. The Prometheus endpoint --------------------------------------------------
+    // --- 5. Health grading -----------------------------------------------------------
+    let health = node.status().health;
+    println!("\n== health: {} ==", health.worst().label());
+    for sub in &health.subsystems {
+        println!(
+            "  {}: {}{}",
+            sub.subsystem,
+            sub.state.label(),
+            if sub.reasons.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", sub.reasons.join("; "))
+            }
+        );
+    }
+
+    // --- 6. The HTTP endpoint ---------------------------------------------------------
     if !serve {
         let text = node.render_prometheus();
         println!(
@@ -156,17 +176,47 @@ fn main() {
     }
 
     let listener = TcpListener::bind("127.0.0.1:9898").expect("bind 127.0.0.1:9898");
-    println!("\nserving http://127.0.0.1:9898/metrics  (ctrl-c to stop)");
+    println!("\nserving http://127.0.0.1:9898/{{metrics,health,traces}}  (ctrl-c to stop)");
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
         // Advance the simulated world a little per scrape so the numbers move.
         clock.advance(Duration::from_secs(1));
         node.step();
         let mut buf = [0u8; 1024];
-        let _ = stream.read(&mut buf);
-        let body = node.render_prometheus();
+        let n = stream.read(&mut buf).unwrap_or(0);
+        let request = String::from_utf8_lossy(&buf[..n]);
+        let path = request.split_whitespace().nth(1).unwrap_or("/metrics");
+        let (status, content_type, body) = match path {
+            "/health" => {
+                let health = node.status().health;
+                // Non-200 on Unhealthy: a load balancer or orchestrator health
+                // probe ejects the node without parsing the body.
+                let status = if health.worst() == gsn::telemetry::HealthState::Unhealthy {
+                    "503 Service Unavailable"
+                } else {
+                    "200 OK"
+                };
+                (status, "application/json", health.render_json())
+            }
+            "/traces" => {
+                let body = node
+                    .assembled_traces()
+                    .iter()
+                    .map(|t| t.render_json())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                ("200 OK", "application/json", format!("[{body}]"))
+            }
+            _ => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                node.render_prometheus(),
+            ),
+        };
         let response = format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            status,
+            content_type,
             body.len(),
             body
         );

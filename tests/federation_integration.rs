@@ -415,6 +415,143 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------------------
+// Distributed tracing + mesh health plane
+// ---------------------------------------------------------------------------------------
+
+/// Like [`sharded_mesh`] but every container runs with structured tracing on and a
+/// 1 µs slow-query threshold, so federated queries produce spans and hop breakdowns.
+fn traced_sharded_mesh(nodes: usize) -> (Mesh, Vec<gsn::types::NodeId>) {
+    let mut mesh = Mesh::new();
+    let ids: Vec<_> = (0..nodes)
+        .map(|i| {
+            let config = gsn::ContainerConfig::named(
+                gsn::types::NodeId::new(i as u64 + 1),
+                &format!("traced-{i}"),
+            )
+            .with_tracing(true)
+            .with_slow_query_threshold(1);
+            mesh.add_node_with_config(config).unwrap()
+        })
+        .collect();
+    for id in &ids {
+        mesh.node_mut(*id)
+            .unwrap()
+            .deploy(temperature_producer("mesh-temp", "mesh", 100))
+            .unwrap();
+    }
+    (mesh, ids)
+}
+
+#[test]
+fn traced_federated_query_assembles_one_tree_spanning_all_containers() {
+    let (mut mesh, ids) = traced_sharded_mesh(4);
+    mesh.run_for(Duration::from_secs(2), Duration::from_millis(100));
+    assert!(mesh.replicas_converged(), "gossip did not converge");
+
+    mesh.federated_query(
+        ids[0],
+        "select count(*) as n, avg(temperature) as t from mesh_temp",
+        Duration::from_millis(100),
+        100,
+    )
+    .unwrap();
+
+    // The coordinator fires a trace collection at every scattered-to host as soon as
+    // the gather completes; step until the last peer's span slice arrives.
+    for _ in 0..200 {
+        if mesh.node(ids[0]).unwrap().pending_trace_collects() == 0 {
+            break;
+        }
+        mesh.step(Duration::from_millis(50));
+    }
+    assert_eq!(mesh.node(ids[0]).unwrap().pending_trace_collects(), 0);
+
+    let traces = mesh.node(ids[0]).unwrap().assembled_traces();
+    assert_eq!(traces.len(), 1, "expected exactly one assembled trace");
+    let trace = &traces[0];
+    assert!(!trace.incomplete, "assembled trace has broken parent links");
+    let expected: Vec<u64> = ids.iter().map(|n| n.as_u64()).collect();
+    assert_eq!(
+        trace.nodes, expected,
+        "the trace tree must carry spans from every participating container"
+    );
+    // One root (the coordinator's federated.query span), every other span reachable.
+    let roots = trace.spans.iter().filter(|s| s.id == trace.root).count();
+    assert_eq!(roots, 1);
+    assert!(trace
+        .spans
+        .iter()
+        .any(|s| s.name == "federated.serve" && s.node != ids[0].as_u64()));
+
+    // Satellite: the same query landed in the coordinator's slow-query log with a
+    // per-hop breakdown for each of the three remote participants.
+    let slow = mesh.node(ids[0]).unwrap().slow_queries();
+    let entry = slow
+        .iter()
+        .find(|q| q.explain.contains("scatter-gather"))
+        .expect("federated query missing from the slow-query log");
+    assert_eq!(entry.hops.len(), 3);
+    for hop in &entry.hops {
+        assert!(expected.contains(&hop.peer));
+        assert!(hop.rtt_millis > 0, "hop to {} recorded no RTT", hop.peer);
+    }
+}
+
+#[test]
+fn wal_fault_on_one_node_is_observed_degraded_from_another() {
+    use gsn::telemetry::HealthState;
+
+    let (mut mesh, ids) = sharded_mesh(4);
+    mesh.run_for(Duration::from_secs(2), Duration::from_millis(100));
+    assert!(mesh.replicas_converged(), "gossip did not converge");
+
+    // Every member's summary reaches every node via gossip piggybacking.
+    for id in &ids {
+        let view = mesh.node(*id).unwrap().mesh_health();
+        assert_eq!(
+            view.len(),
+            ids.len(),
+            "node {id} sees only {} of {} health summaries",
+            view.len(),
+            ids.len()
+        );
+    }
+
+    // Drive node 0's storage subsystem over its WAL-sync budget (50 ms p99 budget,
+    // 10× unhealthy factor) with synthetic 500 ms fsync observations, then let the
+    // fault gossip out.
+    mesh.node(ids[0])
+        .unwrap()
+        .inject_wal_sync_latency(500_000, 16);
+    mesh.run_for(Duration::from_secs(2), Duration::from_millis(100));
+
+    // Observed from a *different* node: the replicated health view grades node 0's
+    // storage Degraded or worse, while an unfaulted member stays Healthy.
+    let view = mesh.node(ids[2]).unwrap().mesh_health();
+    let faulted = view
+        .iter()
+        .find(|s| s.node == ids[0].as_u64())
+        .expect("node 0's health summary missing from node 2's view");
+    let storage = faulted
+        .state_of("storage")
+        .expect("no storage subsystem grade");
+    assert!(
+        storage >= HealthState::Degraded,
+        "injected WAL fault not reflected: storage graded {storage:?}"
+    );
+    let clean = view
+        .iter()
+        .find(|s| s.node == ids[1].as_u64())
+        .expect("node 1's health summary missing from node 2's view");
+    assert_eq!(clean.state_of("storage"), Some(HealthState::Healthy));
+
+    // The faulted node's own status line agrees with what the mesh sees.
+    let status = mesh.node(ids[0]).unwrap().status();
+    assert!(status.health.worst() >= HealthState::Degraded);
+    assert!(status.render().contains("health storage:"));
+}
+
 /// Measures the simulated time a remote streaming query takes over a fixed row set.
 fn remote_query_millis(
     fed: &mut Federation,

@@ -13,17 +13,21 @@
 //!    their plan explain; the log stays empty at the default threshold 0.
 //! 5. **Federation scraping.**  A peer's `MetricsSnapshot` arrives over a lossy
 //!    simnet link via request/retry, exactly like remote-cursor traffic.
-//! 6. **Overhead guard** (`--ignored`, bench mode): the instrumented step loop
-//!    stays within 3% of the checked-in `BENCH_parallel.json` baseline.
+//! 6. **Distributed trace propagation.**  Traced federated queries over a
+//!    25%-loss simnet assemble exactly one connected tree per trace id, and
+//!    untraced ("old wire format") containers interoperate with traced ones.
+//! 7. **Overhead guard** (`--ignored`, bench mode): the instrumented step loop
+//!    — tracing enabled — stays within 3% of the checked-in
+//!    `BENCH_parallel.json` baseline.
 
 use std::sync::Arc;
 
 use gsn::container::ContainerConfig;
 use gsn::network::LinkSpec;
 use gsn::telemetry::{Histogram, SpanId};
-use gsn::types::{DataType, Duration, SimulatedClock};
+use gsn::types::{DataType, Duration, NodeId, SimulatedClock};
 use gsn::xml::{AddressSpec, InputStreamSpec, StreamSourceSpec, VirtualSensorDescriptor};
-use gsn::{Federation, GsnContainer, WindowSpec};
+use gsn::{Federation, GsnContainer, Mesh, WindowSpec};
 use proptest::prelude::*;
 
 fn mote_descriptor(name: &str, interval_ms: u32, seed: u32) -> VirtualSensorDescriptor {
@@ -366,6 +370,155 @@ fn peers_scrape_metrics_snapshots_over_a_lossy_link() {
 }
 
 // ---------------------------------------------------------------------------------------
+// Distributed trace propagation
+// ---------------------------------------------------------------------------------------
+
+/// An N-node mesh where node `i` traces iff `tracing[i]`, every node hosting a
+/// shard of the same logical `mesh_temp` table.
+fn tracing_mesh(tracing: &[bool]) -> (Mesh, Vec<NodeId>) {
+    let mut mesh = Mesh::new();
+    let ids: Vec<_> = tracing
+        .iter()
+        .enumerate()
+        .map(|(i, &traced)| {
+            let config = ContainerConfig::named(NodeId::new(i as u64 + 1), &format!("trace-{i}"))
+                .with_tracing(traced);
+            mesh.add_node_with_config(config).unwrap()
+        })
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        mesh.node_mut(*id)
+            .unwrap()
+            .deploy(mote_descriptor("mesh-temp", 100, i as u32))
+            .unwrap();
+    }
+    (mesh, ids)
+}
+
+/// Steps the mesh until no node has a trace collection in flight.
+fn drain_trace_collects(mesh: &mut Mesh, ids: &[NodeId]) {
+    for _ in 0..600 {
+        if ids
+            .iter()
+            .all(|id| mesh.node(*id).unwrap().pending_trace_collects() == 0)
+        {
+            return;
+        }
+        mesh.step(Duration::from_millis(50));
+    }
+    panic!("trace collections never drained");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Federated queries from random coordinators over links dropping 25% of
+    /// frames: every coordinator must end up with exactly one assembled tree per
+    /// trace id, each connected (one root, every parent link resolvable) with
+    /// mesh-unique span ids — losses are absorbed by re-sends, never by forked
+    /// or duplicated trees.
+    #[test]
+    fn lossy_trace_propagation_yields_one_connected_tree_per_trace(
+        coordinators in prop::collection::vec(0usize..4, 1..4)
+    ) {
+        let (mut mesh, ids) = tracing_mesh(&[true; 4]);
+        mesh.run_for(Duration::from_secs(2), Duration::from_millis(100));
+        prop_assert!(mesh.replicas_converged(), "gossip did not converge");
+        // Loss starts only after the (lossless) join handshakes and warm-up.
+        mesh.set_all_links(LinkSpec::wireless(5, 0.25));
+
+        let mut expected = [0usize; 4];
+        for &c in &coordinators {
+            mesh.federated_query(
+                ids[c],
+                "select count(*) as n from mesh_temp",
+                Duration::from_millis(50),
+                600,
+            )
+            .unwrap();
+            expected[c] += 1;
+        }
+        drain_trace_collects(&mut mesh, &ids);
+
+        for (i, id) in ids.iter().enumerate() {
+            let traces = mesh.node(*id).unwrap().assembled_traces();
+            prop_assert_eq!(
+                traces.len(), expected[i],
+                "node {} assembled {} traces, expected {}", i, traces.len(), expected[i]
+            );
+            let mut trace_ids = std::collections::HashSet::new();
+            for trace in &traces {
+                prop_assert!(
+                    trace_ids.insert(trace.trace_id),
+                    "two trees assembled for trace {:032x}", trace.trace_id
+                );
+                prop_assert!(!trace.incomplete, "broken parent links in {:032x}", trace.trace_id);
+                let mut span_ids = std::collections::HashSet::new();
+                for span in &trace.spans {
+                    prop_assert_eq!(span.trace_id, trace.trace_id);
+                    prop_assert!(
+                        span_ids.insert(span.id),
+                        "span id {} appears twice (namespacing broken)", span.id
+                    );
+                }
+                prop_assert_eq!(
+                    trace.spans.iter().filter(|s| s.id == trace.root).count(),
+                    1,
+                    "trace {:032x} does not have exactly one root", trace.trace_id
+                );
+                for span in &trace.spans {
+                    prop_assert!(
+                        span.id == trace.root || span_ids.contains(&span.parent),
+                        "span {} is disconnected from the tree", span.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mixed meshes keep working: an untraced container speaks the pre-extension
+/// wire format (its frames carry no trace/health extensions at all), serves
+/// traced coordinators without contributing spans, and — as a coordinator —
+/// runs federated queries that never start a trace.
+#[test]
+fn untraced_containers_interoperate_with_traced_ones() {
+    let (mut mesh, ids) = tracing_mesh(&[true, true, true, false]);
+    mesh.run_for(Duration::from_secs(2), Duration::from_millis(100));
+    assert!(mesh.replicas_converged(), "gossip did not converge");
+
+    // Traced coordinator, one untraced participant: the gather completes and the
+    // tree is complete — it simply carries spans only from the traced members.
+    mesh.federated_query(
+        ids[0],
+        "select count(*) as n from mesh_temp",
+        Duration::from_millis(100),
+        100,
+    )
+    .unwrap();
+    drain_trace_collects(&mut mesh, &ids);
+    let traces = mesh.node(ids[0]).unwrap().assembled_traces();
+    assert_eq!(traces.len(), 1);
+    let traced_members: Vec<u64> = ids[..3].iter().map(|n| n.as_u64()).collect();
+    assert_eq!(traces[0].nodes, traced_members);
+    assert!(!traces[0].incomplete);
+
+    // Untraced coordinator: the query itself works (frames byte-identical to the
+    // legacy format), and no trace is started or collected anywhere.
+    let rel = mesh
+        .federated_query(
+            ids[3],
+            "select count(*) as n from mesh_temp",
+            Duration::from_millis(100),
+            100,
+        )
+        .unwrap();
+    assert!(rel.rows()[0][0].as_integer().unwrap() >= 0);
+    assert_eq!(mesh.node(ids[3]).unwrap().pending_trace_collects(), 0);
+    assert!(mesh.node(ids[3]).unwrap().assembled_traces().is_empty());
+}
+
+// ---------------------------------------------------------------------------------------
 // Overhead guard (bench mode)
 // ---------------------------------------------------------------------------------------
 
@@ -387,7 +540,8 @@ fn baseline_elements_per_sec(json: &str) -> Option<f64> {
 }
 
 /// Bench-mode guard for the tentpole's hot-path promise: with telemetry always
-/// on, the `workers = 1` step loop must stay within 3% of the PR-5 baseline in
+/// on — and since the tracing PR, with span recording *enabled* — the
+/// `workers = 1` step loop must stay within 3% of the PR-5 baseline in
 /// `BENCH_parallel.json` (identical 64-sensor workload).  Run explicitly:
 ///
 /// ```text
@@ -405,7 +559,9 @@ fn step_loop_overhead_within_3_percent_of_baseline() {
     // The BENCH_parallel full cell: 64 sensors, 8 one-second steps, 50 ms motes.
     let clock = SimulatedClock::new();
     let mut node = GsnContainer::new(
-        ContainerConfig::default().with_workers(1),
+        ContainerConfig::default()
+            .with_workers(1)
+            .with_tracing(true),
         Arc::new(clock.clone()),
     );
     for i in 0..64 {
